@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md) and both prints it and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the evidence.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables
+inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def emit():
+    """Print a named experiment artifact and archive it to results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _emit
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The formal proofs are far too heavy for statistical repetition; a
+    single timed round matches how the paper reports its runtimes.
+    """
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,41 @@
+"""E6 — the countermeasure proof (Sec. 4.2).
+
+The paper: "With this countermeasure in place, we ran the proof
+procedure of Alg. 1.  After 3 iterations, the procedure proved the
+system to be secure w.r.t. the considered threat model.  The runtime of
+the iterations ranged between 58 seconds and 2 hours 52 minutes."
+
+Reproduced shape: the secured SoC (victim region in the private memory
+device, DMA/HWPE excluded by firmware constraints, reachability
+invariants proven by 1-induction) reaches the secure fixed point after
+a handful of iterations that strip only transient interconnect/pipeline
+buffers from S.  Absolute runtimes are not comparable (pure-Python SAT
+vs OneSpin, scaled design) and are reported as measured.
+"""
+
+from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc
+from repro.soc.invariants import verify_soc_invariants
+from repro.upec.report import format_iterations
+
+
+def test_e6_countermeasure(once, emit):
+    soc = build_soc(FORMAL_TINY.replace(secure=True))
+    invariants = verify_soc_invariants(soc)
+    classifier = StateClassifier(soc.threat_model)
+    result = once(upec_ssc, soc.threat_model, classifier=classifier)
+    removed = sorted(set().union(*(r.removed for r in result.iterations)))
+    emit(
+        "e6_countermeasure",
+        f"reachability invariants proven (1-induction): {invariants.proved}\n"
+        f"verdict: {result.verdict.upper()} after {len(result.iterations)} "
+        "iterations (paper: secure after 3)\n\n"
+        + format_iterations(result.iterations)
+        + "\n\ntransient state removed from S before the fixed point:\n"
+        + "\n".join("  " + classifier.describe(n) for n in removed)
+        + f"\n\ntotal solver time: {result.total_solve_seconds():.1f} s "
+          "(paper iterations: 58 s .. 2 h 52 min on OneSpin/i9-13900K)",
+    )
+    assert invariants.proved
+    assert result.secure
+    # Only transient (non-S_pers) state may be stripped on the way.
+    assert all(not classifier.in_s_pers(name) for name in removed)

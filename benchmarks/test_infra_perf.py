@@ -1,0 +1,59 @@
+"""Infrastructure micro-benchmarks (not paper experiments).
+
+Performance baselines for the three engines everything else stands on:
+the CDCL SAT solver, the compiled cycle-accurate simulator, and the
+2-safety miter construction.  Useful for tracking regressions when
+extending the library.
+"""
+
+from repro import ATTACK_DEMO, FORMAL_TINY, build_soc
+from repro.sat import Solver
+from repro.sim import Simulator
+from repro.upec import StateClassifier, UpecMiter
+
+
+def test_sat_solver_php(benchmark):
+    """Pigeonhole PHP(7,6): a classic resolution-hard UNSAT instance."""
+
+    def solve():
+        pigeons, holes = 7, 6
+        solver = Solver()
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        return solver.solve()
+
+    assert benchmark(solve) is False
+
+
+def test_simulator_throughput(benchmark):
+    """Cycles/second of the compiled backend on the demo SoC."""
+    soc = build_soc(ATTACK_DEMO)
+    sim = Simulator(soc.circuit)
+
+    def run_block():
+        sim.run(200)
+        return sim.cycle
+
+    benchmark(run_block)
+
+
+def test_miter_build_time(benchmark):
+    """Construction cost of one 2-safety unrolled property instance."""
+    soc = build_soc(FORMAL_TINY)
+    classifier = StateClassifier(soc.threat_model)
+    miter = UpecMiter(soc.threat_model, classifier)
+    s = classifier.s_not_victim()
+
+    def build():
+        return miter._build([s, s], 1)["aig"].num_nodes()
+
+    nodes = benchmark(build)
+    assert nodes > 1000

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""The HWPE+memory attack as real RV32 machine code on the full SoC.
+
+The most faithful demonstration in this repository: attacker and victim
+are RISC-V programs (assembled by :mod:`repro.soc.cpu.assembler`)
+executing on the 32-bit simulation SoC with the RV32-subset core.  The
+attacker task primes a memory region, programs the HWPE, "context
+switches" to the victim task, and afterwards counts the overwritten
+words — recovering how many shared-memory accesses the victim made.
+
+Run:  python examples/machine_code_attack.py
+"""
+
+from repro import SIM_DEFAULT, build_soc
+from repro.sim import Simulator
+from repro.soc import hwpe as hwpe_regs
+from repro.soc.cpu import assemble
+
+PRIMED_WORDS = 48
+VICTIM_SLOTS = 12
+
+
+def firmware(soc, victim_accesses: int) -> str:
+    """One binary: attacker prepare -> victim task -> attacker retrieve."""
+    pub = soc.byte_addr("pub_ram")
+    hwpe = soc.byte_addr("hwpe")
+    primed = soc.byte_addr("pub_ram", 64)
+    victim = soc.byte_addr("pub_ram", 32)
+    priv = soc.byte_addr("priv_ram")
+    result = soc.byte_addr("pub_ram", 255)
+    idle_slots = VICTIM_SLOTS - victim_accesses
+    return f"""
+    # ---- attacker: preparation phase --------------------------------
+        li   s0, {primed}          # primed region
+        li   t1, 0
+        li   t2, {PRIMED_WORDS}
+    prime:
+        slli t3, t1, 2
+        add  t3, t3, s0
+        sw   x0, 0(t3)             # zero the ruler
+        addi t1, t1, 1
+        bne  t1, t2, prime
+
+        li   s1, {hwpe}
+        li   t0, {pub}
+        sw   t0, {4 * hwpe_regs.REG_SRC}(s1)
+        li   t0, {soc.word_addr('pub_ram', 64)}
+        sw   t0, {4 * hwpe_regs.REG_DST}(s1)
+        li   t0, {PRIMED_WORDS}
+        sw   t0, {4 * hwpe_regs.REG_LEN}(s1)
+        li   t0, 0xA5
+        sw   t0, {4 * hwpe_regs.REG_COEF}(s1)
+        li   t0, {1 | (hwpe_regs.OP_XOR << 1)}
+        sw   t0, {4 * hwpe_regs.REG_CTRL}(s1)   # start the spy
+
+    # ---- context switch, victim task ---------------------------------
+        li   s2, {victim}          # victim's shared-memory buffer
+        li   s3, {priv}            # private scratch (no contention)
+        li   t1, 0
+        li   t2, {victim_accesses}
+        li   t4, {idle_slots}
+        li   t5, 0xBEE
+        beq  t2, x0, victim_idle
+    victim_work:
+        sw   t5, 0(s2)             # protected accesses: contend with HWPE
+        addi t1, t1, 1
+        bne  t1, t2, victim_work
+    victim_idle:
+        li   t1, 0
+        beq  t4, x0, victim_done
+    victim_pad:
+        sw   t5, 0(s3)             # same instruction count, other device
+        addi t1, t1, 1
+        bne  t1, t4, victim_pad
+    victim_done:
+
+    # ---- context switch, attacker: retrieval phase ---------------------
+        sw   x0, {4 * hwpe_regs.REG_CTRL}(s1)   # freeze the ruler
+        li   t1, 0
+        li   t2, {PRIMED_WORDS}
+        li   a0, 0                 # overwritten-word count
+    scan:
+        slli t3, t1, 2
+        add  t3, t3, s0
+        lw   t4, 0(t3)
+        beq  t4, x0, not_written
+        addi a0, a0, 1
+    not_written:
+        addi t1, t1, 1
+        bne  t1, t2, scan
+        li   t6, {result}
+        sw   a0, 0(t6)             # publish the observation
+    halt:
+        j    halt
+    """
+
+
+def run(soc, victim_accesses: int) -> int:
+    sim = Simulator(soc.circuit)
+    for addr, word in assemble(firmware(soc, victim_accesses)).items():
+        sim.mems["soc.cpu.rom"][addr // 4] = word
+    sim.run(3500)
+    return sim.peek_mem("soc.pub_ram.mem", 255)
+
+
+def main() -> None:
+    soc = build_soc(SIM_DEFAULT)
+    print("HWPE+memory attack, attacker and victim as RV32 machine code")
+    print(f"{'victim accesses':>16} {'attacker observes':>18}")
+    print("-" * 36)
+    observations = {}
+    for n in range(0, VICTIM_SLOTS + 1, 2):
+        observations[n] = run(soc, n)
+        print(f"{n:>16} {observations[n]:>18}")
+    values = [observations[n] for n in sorted(observations)]
+    assert values[0] >= values[-1]
+    assert len(set(values)) > 1, "the machine-code channel must be open"
+    print()
+    print("The attacker's count decreases with victim activity: the victim's")
+    print("memory access pattern leaks through HWPE progress - no timer used.")
+
+
+if __name__ == "__main__":
+    main()

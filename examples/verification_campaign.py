@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A security verification campaign across SoC design variants.
+
+What a verification engineer adopting UPEC-SSC would run: every design
+variant is checked with Algorithm 1, the vulnerable one is debugged with
+Algorithm 2's explicit counterexample trace, and the IFT baseline shows
+why a non-relational method cannot discriminate the fixed design.
+
+Run:  python examples/verification_campaign.py
+"""
+
+import time
+
+from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc, upec_ssc_unrolled
+from repro.ift import bounded_ift_check
+from repro.upec.report import format_counterexample
+
+VARIANTS = [
+    ("baseline (Sec. 4.1)", FORMAL_TINY),
+    ("no timer IP (E5)", FORMAL_TINY.replace(include_timer=False)),
+    ("DMA only, no HWPE (E9)", FORMAL_TINY.replace(include_hwpe=False)),
+    ("countermeasure (Sec. 4.2)", FORMAL_TINY.replace(secure=True)),
+]
+
+
+def main() -> None:
+    print(f"{'variant':<28} {'verdict':<12} {'iters':>5} {'time[s]':>8} leaking")
+    print("-" * 78)
+    results = {}
+    for name, cfg in VARIANTS:
+        soc = build_soc(cfg)
+        start = time.perf_counter()
+        result = upec_ssc(soc.threat_model)
+        elapsed = time.perf_counter() - start
+        results[name] = (soc, result)
+        leak = ", ".join(sorted(result.leaking)[:2]) or "-"
+        print(
+            f"{name:<28} {result.verdict:<12} {len(result.iterations):>5} "
+            f"{elapsed:>8.1f} {leak}"
+        )
+
+    print()
+    print("=" * 72)
+    print("Debugging the baseline with Algorithm 2 (explicit counterexample)")
+    print("=" * 72)
+    soc = build_soc(FORMAL_TINY)
+    classifier = StateClassifier(soc.threat_model)
+    unrolled = upec_ssc_unrolled(
+        soc.threat_model, classifier=classifier, max_depth=3
+    )
+    assert unrolled.vulnerable
+    print(f"vulnerability exposed at unrolling depth k = {unrolled.reached_depth}")
+    print()
+    print(format_counterexample(unrolled.counterexample, classifier,
+                                max_signals=12))
+
+    print()
+    print("=" * 72)
+    print("IFT baseline (Sec. 5): cannot discriminate the fixed design")
+    print("=" * 72)
+    for name in ("baseline (Sec. 4.1)", "countermeasure (Sec. 4.2)"):
+        soc, upec_result = results[name]
+        page_region = "priv_ram" if soc.config.secure else "pub_ram"
+        page = soc.address_map.pages_of(
+            page_region, soc.config.page_bits
+        ).start
+        ift = bounded_ift_check(soc.threat_model, depth=2, victim_page=page)
+        print(
+            f"{name:<28} UPEC-SSC: {upec_result.verdict:<11} "
+            f"IFT: {'flow reported' if ift.flows else 'no flow'}"
+        )
+    print()
+    print("UPEC-SSC separates the two designs; plain IFT flags both.")
+
+
+if __name__ == "__main__":
+    main()

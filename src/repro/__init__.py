@@ -1,0 +1,68 @@
+"""repro — reproduction of "MCU-Wide Timing Side Channels and Their
+Detection" (Müller et al., DAC 2024).
+
+The package implements the paper's formal method, UPEC-SSC, together
+with every substrate it needs:
+
+* :mod:`repro.rtl` — a word-level RTL modelling framework;
+* :mod:`repro.sat` — a CDCL SAT solver (the decision procedure);
+* :mod:`repro.aig` — and-inverter graphs, CNF encoding, bit-blasting;
+* :mod:`repro.formal` — symbolic unrolling, IPC, BMC, k-induction;
+* :mod:`repro.upec` — the paper's contribution: the 2-safety miter,
+  Algorithm 1 and Algorithm 2, state classification, reports;
+* :mod:`repro.soc` — a Pulpissimo-style MCU SoC case study (CPU, DMA,
+  HWPE accelerator, timer, UART, GPIO, SPI, two memories, crossbar);
+* :mod:`repro.sim` — a cycle-accurate simulator and testbench tools;
+* :mod:`repro.attacks` — end-to-end three-phase attack demonstrations;
+* :mod:`repro.ift` — the Information Flow Tracking comparison baseline.
+
+Quickstart::
+
+    from repro import build_soc, FORMAL_TINY, upec_ssc
+
+    soc = build_soc(FORMAL_TINY)                 # vulnerable SoC
+    result = upec_ssc(soc.threat_model)
+    assert result.vulnerable
+
+    fixed = build_soc(FORMAL_TINY.replace(secure=True))
+    assert upec_ssc(fixed.threat_model).secure
+"""
+
+from .soc import (
+    ATTACK_DEMO,
+    FORMAL_SMALL,
+    FORMAL_TINY,
+    SIM_DEFAULT,
+    SocConfig,
+    build_soc,
+)
+from .upec import (
+    SscResult,
+    StateClassifier,
+    ThreatModel,
+    UnrolledResult,
+    VictimPort,
+    format_result,
+    upec_ssc,
+    upec_ssc_unrolled,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATTACK_DEMO",
+    "FORMAL_SMALL",
+    "FORMAL_TINY",
+    "SIM_DEFAULT",
+    "SocConfig",
+    "build_soc",
+    "SscResult",
+    "StateClassifier",
+    "ThreatModel",
+    "UnrolledResult",
+    "VictimPort",
+    "format_result",
+    "upec_ssc",
+    "upec_ssc_unrolled",
+    "__version__",
+]

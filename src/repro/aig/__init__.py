@@ -1,0 +1,9 @@
+"""And-Inverter Graph layer: strashed AIG, Tseitin CNF, bit-blasting."""
+
+from .aig import FALSE, TRUE, Aig
+from .bitblast import BitBlaster
+from .cnf import CnfEncoder
+from .sim import random_patterns, simulate_patterns
+
+__all__ = ["Aig", "FALSE", "TRUE", "BitBlaster", "CnfEncoder",
+           "random_patterns", "simulate_patterns"]

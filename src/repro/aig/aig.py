@@ -1,0 +1,210 @@
+"""And-Inverter Graph (AIG) with structural hashing.
+
+The AIG is the bit-level representation produced by the bit-blaster and
+consumed by the CNF encoder.  Structural hashing (strashing) plus local
+simplification rules mean that when the UPEC-SSC miter shares variables
+between its two design instances, the duplicated logic collapses onto a
+single copy and only the *difference cone* — logic actually influenced by
+the confidential data — survives.  This mirrors how commercial IPC
+engines keep 2-safety proofs tractable (Sec. 3.2 of the paper).
+
+Literal encoding: literal ``2*n`` is node ``n``, literal ``2*n+1`` is its
+complement.  Node 0 is the constant FALSE, so ``FALSE = 0`` and
+``TRUE = 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["Aig", "FALSE", "TRUE"]
+
+FALSE = 0
+TRUE = 1
+
+
+class Aig:
+    """A structurally hashed and-inverter graph."""
+
+    def __init__(self):
+        # Parallel arrays of fanin literals; index 0 is the constant node.
+        self._fanin0: list[int] = [0]
+        self._fanin1: list[int] = [0]
+        self._is_input: list[bool] = [False]
+        self._names: dict[int, str] = {}
+        self._strash: dict[tuple[int, int], int] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def new_input(self, name: str | None = None) -> int:
+        """Create a primary input node; returns its positive literal."""
+        node = len(self._fanin0)
+        self._fanin0.append(0)
+        self._fanin1.append(0)
+        self._is_input.append(True)
+        if name is not None:
+            self._names[node] = name
+        return 2 * node
+
+    def and_(self, a: int, b: int) -> int:
+        """AND of two literals, with simplification and strashing."""
+        # Constant and trivial cases.
+        if a == FALSE or b == FALSE or a == (b ^ 1):
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE or a == b:
+            return a
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self._fanin0)
+            self._fanin0.append(a)
+            self._fanin1.append(b)
+            self._is_input.append(False)
+            self._strash[key] = node
+        return 2 * node
+
+    @staticmethod
+    def not_(a: int) -> int:
+        """Complement a literal."""
+        return a ^ 1
+
+    def or_(self, a: int, b: int) -> int:
+        """OR of two literals."""
+        return self.and_(a ^ 1, b ^ 1) ^ 1
+
+    def xor_(self, a: int, b: int) -> int:
+        """XOR of two literals."""
+        return self.or_(self.and_(a, b ^ 1), self.and_(a ^ 1, b))
+
+    def mux_(self, sel: int, if_true: int, if_false: int) -> int:
+        """2:1 mux of literals."""
+        if sel == TRUE:
+            return if_true
+        if sel == FALSE:
+            return if_false
+        if if_true == if_false:
+            return if_true
+        return self.or_(self.and_(sel, if_true), self.and_(sel ^ 1, if_false))
+
+    def eq_(self, a: int, b: int) -> int:
+        """XNOR (equality) of two literals."""
+        return self.xor_(a, b) ^ 1
+
+    def and_many(self, lits: Iterable[int]) -> int:
+        """AND-reduce an iterable of literals (TRUE if empty)."""
+        out = TRUE
+        for lit in lits:
+            out = self.and_(out, lit)
+        return out
+
+    def or_many(self, lits: Iterable[int]) -> int:
+        """OR-reduce an iterable of literals (FALSE if empty)."""
+        out = FALSE
+        for lit in lits:
+            out = self.or_(out, lit)
+        return out
+
+    def implies_(self, a: int, b: int) -> int:
+        """Implication ``!a | b``."""
+        return self.or_(a ^ 1, b)
+
+    # -- vector helpers (LSB-first lists of literals) ----------------------
+
+    def equal_vec(self, xs: list[int], ys: list[int]) -> int:
+        """Single literal: all corresponding bits equal."""
+        if len(xs) != len(ys):
+            raise ValueError("vector width mismatch")
+        return self.and_many(self.eq_(x, y) for x, y in zip(xs, ys))
+
+    def diff_vec(self, xs: list[int], ys: list[int]) -> int:
+        """Single literal: some corresponding bits differ."""
+        return self.equal_vec(xs, ys) ^ 1
+
+    def const_vec(self, value: int, width: int) -> list[int]:
+        """Bit vector of a constant, LSB first."""
+        return [TRUE if (value >> i) & 1 else FALSE for i in range(width)]
+
+    def input_vec(self, name: str, width: int) -> list[int]:
+        """Vector of fresh inputs named ``name[i]``."""
+        return [self.new_input(f"{name}[{i}]") for i in range(width)]
+
+    def mux_vec(self, sel: int, if_true: list[int], if_false: list[int]) -> list[int]:
+        """Element-wise 2:1 mux of two vectors."""
+        if len(if_true) != len(if_false):
+            raise ValueError("vector width mismatch")
+        return [self.mux_(sel, t, f) for t, f in zip(if_true, if_false)]
+
+    # -- inspection --------------------------------------------------------
+
+    def num_nodes(self) -> int:
+        """Total node count, including the constant and inputs."""
+        return len(self._fanin0)
+
+    def num_ands(self) -> int:
+        """Count of AND gates."""
+        return len(self._fanin0) - 1 - sum(self._is_input)
+
+    def is_input(self, node: int) -> bool:
+        """Whether node index ``node`` is a primary input."""
+        return self._is_input[node]
+
+    def fanins(self, node: int) -> tuple[int, int]:
+        """Fanin literals of an AND node."""
+        return self._fanin0[node], self._fanin1[node]
+
+    def name_of(self, node: int) -> str | None:
+        """Debug name of an input node, if assigned."""
+        return self._names.get(node)
+
+    def cone_nodes(self, roots: Iterable[int]) -> list[int]:
+        """Node indices in the transitive fanin of ``roots`` (topological).
+
+        The constant node is excluded; inputs appear before gates that use
+        them.
+        """
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, bool]] = [(lit >> 1, False) for lit in roots]
+        fanin0, fanin1 = self._fanin0, self._fanin1
+        is_input = self._is_input
+        while stack:
+            node, expanded = stack.pop()
+            if node == 0:
+                continue
+            if expanded:
+                order.append(node)
+                continue
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            if not is_input[node]:
+                stack.append((fanin0[node] >> 1, False))
+                stack.append((fanin1[node] >> 1, False))
+        return order
+
+    def evaluate(self, roots: list[int], input_values: dict[int, int]) -> list[int]:
+        """Evaluate literals under an input assignment (node -> 0/1).
+
+        Values may be multi-bit integers for parallel pattern simulation;
+        bitwise semantics apply (see :mod:`repro.aig.sim`).
+        """
+        values: dict[int, int] = {0: 0}
+        mask_all = -1
+        for node in self.cone_nodes(roots):
+            if self._is_input[node]:
+                values[node] = input_values.get(node, 0)
+            else:
+                f0, f1 = self._fanin0[node], self._fanin1[node]
+                v0 = values[f0 >> 1] ^ (mask_all if f0 & 1 else 0)
+                v1 = values[f1 >> 1] ^ (mask_all if f1 & 1 else 0)
+                values[node] = v0 & v1
+        out = []
+        for lit in roots:
+            v = values.get(lit >> 1, 0)
+            out.append(v ^ (mask_all if lit & 1 else 0))
+        return out

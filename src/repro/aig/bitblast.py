@@ -1,0 +1,197 @@
+"""Bit-blasting: lowering word-level RTL expressions to AIG bit vectors.
+
+Every :class:`~repro.rtl.expr.Expr` becomes an LSB-first list of AIG
+literals.  The leaf environment (what register reads and inputs map to)
+is supplied by the caller — the symbolic unroller binds them to
+per-frame variables, so the same lowering code serves single-instance
+BMC, k-induction, and the 2-safety UPEC miter.
+"""
+
+from __future__ import annotations
+
+from ..rtl.expr import Const, Expr, Input, MemRead, Op, RegRead, topo_sort
+from .aig import FALSE, TRUE, Aig
+
+__all__ = ["BitBlaster"]
+
+
+class BitBlaster:
+    """Lower expressions into an :class:`Aig` against a leaf environment.
+
+    Args:
+        aig: target graph.
+        leaves: mapping from leaf key to bit vector.  Keys are
+            ``("in", name)`` for primary inputs and ``("reg", name)`` for
+            register reads.
+    """
+
+    def __init__(self, aig: Aig, leaves: dict[tuple[str, str], list[int]]):
+        self.aig = aig
+        self.leaves = leaves
+        self._cache: dict[int, list[int]] = {}
+
+    def vec(self, expr: Expr) -> list[int]:
+        """Bit vector (LSB first) for ``expr``, lowering its cone on demand."""
+        cached = self._cache.get(expr.uid)
+        if cached is not None:
+            return cached
+        for node in topo_sort([expr]):
+            if node.uid not in self._cache:
+                self._cache[node.uid] = self._lower(node)
+        return self._cache[expr.uid]
+
+    def bit(self, expr: Expr) -> int:
+        """Single AIG literal for a 1-bit expression."""
+        if expr.width != 1:
+            raise ValueError(f"expected 1-bit expression, got width {expr.width}")
+        return self.vec(expr)[0]
+
+    # -- lowering ------------------------------------------------------------
+
+    def _lower(self, node: Expr) -> list[int]:
+        aig = self.aig
+        if isinstance(node, Const):
+            return aig.const_vec(node.value, node.width)
+        if isinstance(node, Input):
+            try:
+                return self._leaf(("in", node.name), node.width)
+            except KeyError:
+                raise KeyError(f"no binding for input {node.name!r}") from None
+        if isinstance(node, RegRead):
+            try:
+                return self._leaf(("reg", node.name), node.width)
+            except KeyError:
+                raise KeyError(f"no binding for register {node.name!r}") from None
+        if isinstance(node, MemRead):
+            raise NotImplementedError(
+                "behavioural memories cannot be bit-blasted; build formal "
+                "configurations with RegisterFileMemory instead"
+            )
+        assert isinstance(node, Op)
+        args = [self._cache[c.uid] for c in node.operands]
+        return self._lower_op(node, args)
+
+    def _leaf(self, key: tuple[str, str], width: int) -> list[int]:
+        vec = self.leaves[key]
+        if len(vec) != width:
+            raise ValueError(
+                f"leaf {key} bound to {len(vec)} bits, expression needs {width}"
+            )
+        return vec
+
+    def _lower_op(self, node: Op, args: list[list[int]]) -> list[int]:
+        aig = self.aig
+        kind = node.kind
+        if kind == "NOT":
+            return [bit ^ 1 for bit in args[0]]
+        if kind == "AND":
+            return [aig.and_(a, b) for a, b in zip(args[0], args[1])]
+        if kind == "OR":
+            return [aig.or_(a, b) for a, b in zip(args[0], args[1])]
+        if kind == "XOR":
+            return [aig.xor_(a, b) for a, b in zip(args[0], args[1])]
+        if kind == "ADD":
+            return self._adder(args[0], args[1], carry_in=FALSE)
+        if kind == "SUB":
+            return self._adder(args[0], [b ^ 1 for b in args[1]], carry_in=TRUE)
+        if kind == "MUL":
+            return self._multiplier(args[0], args[1])
+        if kind == "SHL":
+            return self._shifter(args[0], args[1], node, left=True, arith=False)
+        if kind == "LSHR":
+            return self._shifter(args[0], args[1], node, left=False, arith=False)
+        if kind == "ASHR":
+            return self._shifter(args[0], args[1], node, left=False, arith=True)
+        if kind == "EQ":
+            return [aig.equal_vec(args[0], args[1])]
+        if kind == "ULT":
+            return [self._less_than(args[0], args[1], signed=False, or_equal=False)]
+        if kind == "ULE":
+            return [self._less_than(args[0], args[1], signed=False, or_equal=True)]
+        if kind == "SLT":
+            return [self._less_than(args[0], args[1], signed=True, or_equal=False)]
+        if kind == "MUX":
+            return aig.mux_vec(args[0][0], args[1], args[2])
+        if kind == "CAT":
+            out: list[int] = []
+            for part in reversed(args):  # first operand is most significant
+                out.extend(part)
+            return out
+        if kind == "SLICE":
+            hi, lo = node.params
+            return args[0][lo : hi + 1]
+        if kind == "ZEXT":
+            return args[0] + [FALSE] * (node.width - len(args[0]))
+        if kind == "SEXT":
+            sign = args[0][-1]
+            return args[0] + [sign] * (node.width - len(args[0]))
+        if kind == "RED_OR":
+            return [aig.or_many(args[0])]
+        if kind == "RED_AND":
+            return [aig.and_many(args[0])]
+        if kind == "RED_XOR":
+            out = FALSE
+            for bit in args[0]:
+                out = aig.xor_(out, bit)
+            return [out]
+        raise NotImplementedError(f"unknown op kind {kind}")
+
+    # -- arithmetic helpers ------------------------------------------------------
+
+    def _adder(self, xs: list[int], ys: list[int], carry_in: int) -> list[int]:
+        aig = self.aig
+        out: list[int] = []
+        carry = carry_in
+        for x, y in zip(xs, ys):
+            xor_xy = aig.xor_(x, y)
+            out.append(aig.xor_(xor_xy, carry))
+            carry = aig.or_(aig.and_(x, y), aig.and_(xor_xy, carry))
+        return out
+
+    def _multiplier(self, xs: list[int], ys: list[int]) -> list[int]:
+        aig = self.aig
+        width = len(xs)
+        acc = aig.const_vec(0, width)
+        for i, y in enumerate(ys):
+            partial = [FALSE] * i + [aig.and_(x, y) for x in xs[: width - i]]
+            acc = self._adder(acc, partial, carry_in=FALSE)
+        return acc
+
+    def _shifter(
+        self, xs: list[int], amount: list[int], node: Op, left: bool, arith: bool
+    ) -> list[int]:
+        """Barrel shifter: mux ladder over the shift-amount bits."""
+        aig = self.aig
+        width = len(xs)
+        fill = xs[-1] if arith else FALSE
+        current = list(xs)
+        for bit_index, sel in enumerate(amount):
+            shift = 1 << bit_index
+            if shift >= width:
+                # Shifting by >= width clears (or saturates to sign fill).
+                shifted = [fill] * width
+            elif left:
+                shifted = [FALSE] * shift + current[: width - shift]
+            else:
+                shifted = current[shift:] + [fill] * shift
+            current = aig.mux_vec(sel, shifted, current)
+        return current
+
+    def _less_than(
+        self, xs: list[int], ys: list[int], signed: bool, or_equal: bool
+    ) -> int:
+        aig = self.aig
+        if signed:
+            # Flip sign bits to map signed comparison onto unsigned.
+            xs = xs[:-1] + [xs[-1] ^ 1]
+            ys = ys[:-1] + [ys[-1] ^ 1]
+        # x < y  <=>  borrow out of (x - y)
+        carry = TRUE
+        for x, y in zip(xs, ys):
+            y_n = y ^ 1
+            xor_xy = aig.xor_(x, y_n)
+            carry = aig.or_(aig.and_(x, y_n), aig.and_(xor_xy, carry))
+        less = carry ^ 1
+        if not or_equal:
+            return less
+        return aig.or_(less, aig.equal_vec(xs, ys))

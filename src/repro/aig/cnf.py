@@ -1,0 +1,108 @@
+"""Tseitin encoding of AIG cones into CNF, incrementally.
+
+The :class:`CnfEncoder` keeps a persistent AIG-node-to-SAT-variable map
+so that successive queries over the same graph (the iterations of
+Algorithm 1/2) only emit clauses for nodes not yet encoded — learned
+clauses in the incremental SAT solver stay valid throughout, because
+encoding is purely additive.
+"""
+
+from __future__ import annotations
+
+from ..sat.solver import Solver
+from .aig import FALSE, TRUE, Aig
+
+__all__ = ["CnfEncoder"]
+
+
+class CnfEncoder:
+    """Incremental Tseitin encoder from an :class:`Aig` into a solver."""
+
+    def __init__(self, aig: Aig, solver: Solver):
+        self.aig = aig
+        self.solver = solver
+        self._var_of: dict[int, int] = {}
+        self._true_var: int | None = None
+
+    def _const_true_var(self) -> int:
+        if self._true_var is None:
+            self._true_var = self.solver.new_var()
+            self.solver.add_clause([self._true_var])
+        return self._true_var
+
+    def lit(self, aig_lit: int) -> int:
+        """DIMACS literal for an AIG literal, encoding its cone on demand."""
+        if aig_lit == TRUE:
+            return self._const_true_var()
+        if aig_lit == FALSE:
+            return -self._const_true_var()
+        node = aig_lit >> 1
+        var = self._var_of.get(node)
+        if var is None:
+            self._encode_cone(node)
+            var = self._var_of[node]
+        return -var if aig_lit & 1 else var
+
+    def lits(self, aig_lits: list[int]) -> list[int]:
+        """Encode a list of AIG literals."""
+        return [self.lit(lit) for lit in aig_lits]
+
+    def _encode_cone(self, root: int) -> None:
+        aig = self.aig
+        solver = self.solver
+        var_of = self._var_of
+        for node in aig.cone_nodes([2 * root]):
+            if node in var_of:
+                continue
+            var = solver.new_var()
+            var_of[node] = var
+            if aig.is_input(node):
+                continue
+            f0, f1 = aig.fanins(node)
+            a = self._fanin_dimacs(f0)
+            b = self._fanin_dimacs(f1)
+            # var <-> a & b
+            solver.add_clause([-var, a])
+            solver.add_clause([-var, b])
+            solver.add_clause([var, -a, -b])
+
+    def _fanin_dimacs(self, aig_lit: int) -> int:
+        if aig_lit <= 1:
+            true_var = self._const_true_var()
+            return true_var if aig_lit == TRUE else -true_var
+        var = self._var_of[aig_lit >> 1]
+        return -var if aig_lit & 1 else var
+
+    def assume_true(self, aig_lit: int) -> None:
+        """Add a unit clause asserting an AIG literal."""
+        self.solver.add_clause([self.lit(aig_lit)])
+
+    def value(self, aig_lit: int) -> bool:
+        """Model value of an AIG literal after a SAT answer.
+
+        Nodes that were Tseitin-encoded read their value from the model.
+        Nodes outside the encoded cone are completed consistently: inputs
+        (unconstrained by the formula) default to False and gates are
+        evaluated from their fanins — so decoded traces always satisfy
+        the circuit's transition functions.
+        """
+        return self.values([aig_lit])[0]
+
+    def values(self, aig_lits: list[int]) -> list[bool]:
+        """Model values for several AIG literals (one cone traversal)."""
+        aig = self.aig
+        solver = self.solver
+        var_of = self._var_of
+        node_val: dict[int, bool] = {0: False}
+        for node in aig.cone_nodes(aig_lits):
+            var = var_of.get(node)
+            if var is not None:
+                node_val[node] = solver.value(var)
+            elif aig.is_input(node):
+                node_val[node] = False
+            else:
+                f0, f1 = aig.fanins(node)
+                v0 = node_val[f0 >> 1] ^ bool(f0 & 1)
+                v1 = node_val[f1 >> 1] ^ bool(f1 & 1)
+                node_val[node] = v0 and v1
+        return [node_val[lit >> 1] ^ bool(lit & 1) for lit in aig_lits]

@@ -1,0 +1,93 @@
+"""The DMA + timer attack of Fig. 1 (the original BUSted shape).
+
+The four numbered events of the paper's figure:
+
+1. (preparation) the attacker instructs the DMA to perform memory
+   accesses and *afterwards* start the timer;
+2. (recording) after the context switch, the DMA performs the accesses
+   and then starts the timer;
+3. victim memory accesses contend with the DMA and delay the timer
+   start;
+4. (retrieval) the attacker reads the timer state — a lower count means
+   the start was delayed, i.e. the victim accessed memory more often.
+"""
+
+from __future__ import annotations
+
+from ..soc import dma as dma_regs
+from ..soc import timer as timer_regs
+from ..soc.pulpissimo import Soc
+from .phases import AttackHarness, AttackResult
+
+__all__ = ["run_dma_timer_attack", "dma_timer_attack_sweep"]
+
+
+def run_dma_timer_attack(
+    soc: Soc,
+    victim_accesses: int,
+    victim_region: str = "pub_ram",
+    recording_cycles: int = 64,
+    transfer_words: int = 6,
+    backend: str = "compile",
+) -> AttackResult:
+    """One run of the Fig. 1 attack; observation = final timer count."""
+    if soc.timer is None:
+        raise ValueError("this attack needs the timer IP (include_timer)")
+    harness = AttackHarness(soc, backend=backend)
+    bus = harness.bus
+    pub = soc.word_addr("pub_ram")
+    dma = soc.word_addr("dma")
+    timer = soc.word_addr("timer")
+
+    # -- preparation: program the DMA, arm the timer kick (event 1) -----------
+    harness.phase("preparation")
+    harness.note("configuring DMA transfer with timer-start kick")
+    bus.write(timer + timer_regs.REG_CTRL, 0b10)  # clear, disabled
+    bus.write(dma + dma_regs.REG_SRC, pub)
+    bus.write(dma + dma_regs.REG_DST, pub + transfer_words)
+    bus.write(dma + dma_regs.REG_LEN, transfer_words)
+    bus.write(dma + dma_regs.REG_KICK_ADDR, timer + timer_regs.REG_CTRL)
+    bus.write(dma + dma_regs.REG_KICK_DATA, 1)  # enable bit
+    bus.write(dma + dma_regs.REG_CTRL, 1)
+    harness.note("DMA started (event 1)")
+
+    # -- recording: victim contends; timer start is delayed (events 2-3) -------
+    harness.phase("recording")
+    harness.context_switch()
+    window_end = harness.sim.cycle + recording_cycles
+    victim_base = soc.word_addr(victim_region)
+    for i in range(victim_accesses):
+        bus.read(victim_base + (i % 4))
+        harness.note(f"victim access #{i + 1} (event 3)")
+    harness.run_until(window_end)
+
+    # -- retrieval: read the timer state (event 4) --------------------------------
+    harness.phase("retrieval")
+    harness.context_switch()
+    count = bus.read(timer + timer_regs.REG_VALUE)
+    harness.note(f"retrieved timer count: {count} (event 4)")
+    return AttackResult(
+        victim_accesses=victim_accesses,
+        observation=count,
+        timeline=harness.timeline,
+    )
+
+
+def dma_timer_attack_sweep(
+    soc: Soc,
+    max_accesses: int = 6,
+    victim_region: str = "pub_ram",
+    recording_cycles: int = 64,
+    backend: str = "compile",
+) -> list[AttackResult]:
+    """Sweep victim activity: a decreasing timer count is the channel."""
+    return [
+        run_dma_timer_attack(
+            soc,
+            victim_accesses=n,
+            victim_region=victim_region,
+            recording_cycles=recording_cycles,
+            backend=backend,
+        )
+        for n in range(max_accesses + 1)
+    ]

@@ -1,0 +1,130 @@
+"""The new BUSted variant: HWPE accelerator + memory device (Sec. 4.1).
+
+The attack UPEC-SSC discovered, demonstrated end-to-end in simulation:
+
+* **preparation** — the attacker primes a writable memory region with
+  zeros and programs the HWPE to progressively overwrite it with
+  non-zero values;
+* **recording** — the victim runs; each of its accesses to the shared
+  memory device contends with the HWPE's streaming transactions and
+  delays them;
+* **retrieval** — the attacker counts how far the primed region was
+  overwritten; fewer overwritten words = more victim memory accesses.
+
+The key property (benchmark E5): **no timer IP is involved** — the
+"progress ruler" is the memory region itself, so timer-denial
+countermeasures do not stop it.
+"""
+
+from __future__ import annotations
+
+from ..soc import hwpe as hwpe_regs
+from ..soc.pulpissimo import Soc
+from .phases import AttackHarness, AttackResult
+
+__all__ = ["run_hwpe_attack", "hwpe_attack_sweep"]
+
+
+def run_hwpe_attack(
+    soc: Soc,
+    victim_accesses: int,
+    victim_region: str = "pub_ram",
+    recording_cycles: int = 48,
+    spy_words: int | None = None,
+    victim_writes: bool = True,
+    backend: str = "compile",
+) -> AttackResult:
+    """One run of the HWPE+memory attack.
+
+    Args:
+        soc: a CPU-cut SoC build (vulnerable or secured).
+        victim_accesses: how many accesses the victim performs in its
+            (protected) region during the fixed recording window.
+        victim_region: ``"pub_ram"`` for the vulnerable scenario or
+            ``"priv_ram"`` for the countermeasure scenario.
+        recording_cycles: fixed length of the recording window.
+        spy_words: length of the primed region (defaults to half the
+            public memory).
+        victim_writes: victim performs stores (back-to-back bus cycles,
+            maximum contention) instead of loads.
+        backend: simulator backend.
+
+    Returns:
+        The ground truth and the attacker's observation (overwritten
+        words in the primed region).
+    """
+    harness = AttackHarness(soc, backend=backend)
+    bus = harness.bus
+    pub = soc.word_addr("pub_ram")
+    hwpe = soc.word_addr("hwpe")
+    if spy_words is None:
+        spy_words = soc.config.pub_mem_words // 2
+    src = pub
+    primed = pub + soc.config.pub_mem_words // 2
+
+    # -- preparation (attacker task) ----------------------------------------
+    harness.phase("preparation")
+    harness.note("priming attacker region with zeros")
+    for i in range(spy_words):
+        bus.write(primed + i, 0)
+    harness.note("configuring HWPE to overwrite the primed region")
+    bus.write(hwpe + hwpe_regs.REG_SRC, src)
+    bus.write(hwpe + hwpe_regs.REG_DST, primed)
+    bus.write(hwpe + hwpe_regs.REG_LEN, spy_words)
+    bus.write(hwpe + hwpe_regs.REG_COEF, 0xA5)
+    bus.write(hwpe + hwpe_regs.REG_CTRL, 1 | (hwpe_regs.OP_XOR << 1))
+    harness.note("HWPE started")
+
+    # -- recording (victim task) ----------------------------------------------
+    harness.phase("recording")
+    harness.context_switch()
+    window_end = harness.sim.cycle + recording_cycles
+    victim_base = soc.word_addr(victim_region)
+    for i in range(victim_accesses):
+        if victim_writes:
+            bus.write(victim_base + (i % 4), i & 0xFF)
+        else:
+            bus.read(victim_base + (i % 4))
+        harness.note(f"victim access #{i + 1}")
+    harness.run_until(window_end)
+
+    # -- retrieval (attacker task) ------------------------------------------------
+    harness.phase("retrieval")
+    harness.context_switch()
+    # Freeze the ruler: abort the engine, then scan the primed region.
+    bus.write(hwpe + hwpe_regs.REG_CTRL, 0)
+    harness.note("HWPE stopped")
+    overwritten = 0
+    for i in range(spy_words):
+        if bus.read(primed + i) != 0:
+            overwritten += 1
+    harness.note(f"retrieved progress: {overwritten}/{spy_words} words")
+    return AttackResult(
+        victim_accesses=victim_accesses,
+        observation=overwritten,
+        timeline=harness.timeline,
+    )
+
+
+def hwpe_attack_sweep(
+    soc: Soc,
+    max_accesses: int = 10,
+    victim_region: str = "pub_ram",
+    recording_cycles: int = 28,
+    victim_writes: bool = True,
+    backend: str = "compile",
+) -> list[AttackResult]:
+    """Sweep the victim access count; the channel shows as a monotonic
+    decrease of the observation (vulnerable SoC) or a constant
+    (secured scenario)."""
+    return [
+        run_hwpe_attack(
+            soc,
+            victim_accesses=n,
+            victim_region=victim_region,
+            recording_cycles=recording_cycles,
+            victim_writes=victim_writes,
+            backend=backend,
+        )
+        for n in range(max_accesses + 1)
+    ]

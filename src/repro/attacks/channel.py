@@ -1,0 +1,71 @@
+"""Leakage quantification for attack sweeps.
+
+Turns a sweep of :class:`~repro.attacks.phases.AttackResult` into
+channel metrics: how many victim-activity levels the attacker can
+distinguish from the observation, whether the relation is monotonic
+(a usable ruler), and the resulting channel capacity bound in bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .phases import AttackResult
+
+__all__ = ["ChannelReport", "analyze_channel"]
+
+
+@dataclass
+class ChannelReport:
+    """Summary of one attack sweep.
+
+    Attributes:
+        observations: victim-access count -> attacker observation.
+        distinguishable_classes: number of distinct observations.
+        leaked_bits: log2 of the class count — an upper bound on the
+            information per attack window.
+        monotonic: whether the observation is monotonically non-increasing
+            or non-decreasing in the victim activity (a calibratable ruler).
+        leaks: True when more than one class is distinguishable.
+    """
+
+    observations: dict[int, int]
+    distinguishable_classes: int
+    leaked_bits: float
+    monotonic: bool
+
+    @property
+    def leaks(self) -> bool:
+        return self.distinguishable_classes > 1
+
+    def format_table(self) -> str:
+        """Render the sweep as a two-column table plus the verdict."""
+        lines = [f"{'victim accesses':>16} {'observation':>12}"]
+        lines.append("-" * 30)
+        for n in sorted(self.observations):
+            lines.append(f"{n:>16} {self.observations[n]:>12}")
+        lines.append("-" * 30)
+        lines.append(
+            f"distinguishable classes: {self.distinguishable_classes} "
+            f"(~{self.leaked_bits:.2f} bits/window), "
+            f"{'monotonic' if self.monotonic else 'non-monotonic'}, "
+            f"channel {'OPEN' if self.leaks else 'closed'}"
+        )
+        return "\n".join(lines)
+
+
+def analyze_channel(results: list[AttackResult]) -> ChannelReport:
+    """Compute channel metrics from a sweep (one result per activity level)."""
+    import math
+
+    observations = {r.victim_accesses: r.observation for r in results}
+    values = [observations[n] for n in sorted(observations)]
+    classes = len(set(values))
+    non_increasing = all(a >= b for a, b in zip(values, values[1:]))
+    non_decreasing = all(a <= b for a, b in zip(values, values[1:]))
+    return ChannelReport(
+        observations=observations,
+        distinguishable_classes=classes,
+        leaked_bits=math.log2(classes) if classes else 0.0,
+        monotonic=non_increasing or non_decreasing,
+    )

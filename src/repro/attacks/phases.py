@@ -1,0 +1,99 @@
+"""Three-phase attack orchestration (Sec. 2.2 of the paper).
+
+Timing side-channel attacks on MCUs divide into *preparation* (attacker
+configures spying IPs), *recording* (victim executes while the IPs
+collect information into system state) and *retrieval* (attacker reads
+the information back), separated by context switches.
+
+:class:`AttackHarness` scripts these phases against a simulated SoC
+whose CPU port is driven directly — the attacker and victim tasks share
+the port in time-multiplexed fashion, exactly the single-core threat
+model of Sec. 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.simulator import Simulator
+from ..sim.testbench import BusDriver
+from ..soc.pulpissimo import Soc
+
+__all__ = ["TimelineEvent", "AttackResult", "AttackHarness"]
+
+
+@dataclass
+class TimelineEvent:
+    """One annotated moment of an attack run (for Fig. 1-style renders)."""
+
+    cycle: int
+    phase: str
+    description: str
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run.
+
+    Attributes:
+        victim_accesses: ground truth — protected accesses the victim made.
+        observation: what the attacker retrieved (progress count, timer
+            value, ...); the side channel exists iff this varies with
+            ``victim_accesses``.
+        timeline: annotated events of the run.
+    """
+
+    victim_accesses: int
+    observation: int
+    timeline: list[TimelineEvent] = field(default_factory=list)
+
+
+class AttackHarness:
+    """Simulate a three-phase attack on a CPU-cut SoC build."""
+
+    def __init__(self, soc: Soc, backend: str = "compile"):
+        if soc.config.include_cpu:
+            raise ValueError(
+                "AttackHarness drives the cut CPU port; build the SoC "
+                "with include_cpu=False"
+            )
+        self.soc = soc
+        self.sim = Simulator(soc.circuit, backend=backend)
+        self.bus = BusDriver(self.sim)
+        self.timeline: list[TimelineEvent] = []
+        self._phase = "idle"
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def phase(self, name: str) -> None:
+        """Enter a phase (records a context switch on the timeline)."""
+        if name != self._phase:
+            self.note(f"context switch -> {name}")
+            self._phase = name
+
+    def note(self, description: str) -> None:
+        """Record an annotated event at the current cycle."""
+        self.timeline.append(
+            TimelineEvent(self.sim.cycle, self._phase, description)
+        )
+
+    def context_switch(self, cycles: int = 4) -> None:
+        """Idle cycles standing in for the OS context-switch code."""
+        self.bus.idle(cycles)
+
+    # -- convenience -------------------------------------------------------------
+
+    def run_until(self, cycle: int) -> None:
+        """Idle the port until an absolute simulation cycle (fixed windows)."""
+        while self.sim.cycle < cycle:
+            self.bus.idle(1)
+
+    def format_timeline(self) -> str:
+        """Render the recorded events as an aligned table."""
+        lines = [f"{'cycle':>6}  {'phase':<12} event"]
+        lines.append("-" * 48)
+        for event in self.timeline:
+            lines.append(
+                f"{event.cycle:>6}  {event.phase:<12} {event.description}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Formal engines: symbolic unrolling, IPC, BMC, k-induction."""
+
+from .bmc import BmcResult, bmc
+from .induction import InductionResult, prove_invariant
+from .ipc import IpcCheck, IpcResult
+from .trace import Trace, decode_vec
+from .unroller import Frame, Unroller
+
+__all__ = [
+    "BmcResult",
+    "bmc",
+    "InductionResult",
+    "prove_invariant",
+    "IpcCheck",
+    "IpcResult",
+    "Trace",
+    "decode_vec",
+    "Frame",
+    "Unroller",
+]

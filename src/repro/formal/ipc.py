@@ -1,0 +1,131 @@
+"""Interval Property Checking (IPC) harness.
+
+IPC properties are formulated over a finite number of clock cycles on the
+RTL design's signals, and checked from a *symbolic starting state* that
+models all possible input histories (Sec. 3.2; [Urdahl et al. 2014]).
+A property that holds therefore has unbounded validity — this is what
+lets the 2-cycle UPEC-SSC property cover attacks spanning thousands of
+cycles.
+
+:class:`IpcCheck` is the single-instance harness (used for invariant
+proofs and as a general user-facing API); the 2-safety UPEC miter builds
+on :class:`~repro.formal.unroller.Unroller` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..aig.aig import Aig
+from ..aig.cnf import CnfEncoder
+from ..rtl.circuit import Circuit
+from ..rtl.expr import Expr
+from ..sat.solver import Solver
+from .trace import Trace, decode_vec
+from .unroller import Unroller
+
+__all__ = ["IpcCheck", "IpcResult"]
+
+
+@dataclass
+class IpcResult:
+    """Outcome of an IPC check."""
+
+    holds: bool
+    trace: Trace | None = None
+    failed_obligations: list[tuple[int, str]] | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class IpcCheck:
+    """A bounded property over ``depth+1`` cycles with a symbolic start.
+
+    Usage::
+
+        check = IpcCheck(circuit, depth=2)
+        check.assume_at(0, fsm_state.ne(ILLEGAL))
+        check.prove_at(2, grant_onehot)
+        result = check.run()
+
+    Args:
+        circuit: the design under verification.
+        depth: number of clock transitions in the window (cycles 0..depth).
+        from_reset: bind cycle 0 to the reset state instead of a symbolic
+            state — this turns the check into bounded model checking.
+    """
+
+    def __init__(self, circuit: Circuit, depth: int, from_reset: bool = False):
+        if depth < 0:
+            raise ValueError("depth must be >= 0")
+        self.circuit = circuit
+        self.depth = depth
+        self.aig = Aig()
+        self.unroller = Unroller(circuit, self.aig)
+        initial = None
+        if from_reset:
+            initial = {
+                name: self.aig.const_vec(info.reset, info.width)
+                for name, info in circuit.regs.items()
+            }
+        self.unroller.begin(initial)
+        self.unroller.unroll(depth)
+        self._assumes: list[tuple[int, Expr, str]] = []
+        self._proves: list[tuple[int, Expr, str]] = []
+
+    # -- property construction ------------------------------------------------
+
+    def assume_at(self, cycle: int, expr: Expr, label: str = "") -> None:
+        """Constrain a 1-bit expression to hold at ``cycle``."""
+        self._check_cycle(cycle)
+        self._assumes.append((cycle, expr, label or f"assume@{cycle}"))
+
+    def assume_during(self, first: int, last: int, expr: Expr, label: str = "") -> None:
+        """Constrain a 1-bit expression to hold at every cycle in a range."""
+        for cycle in range(first, last + 1):
+            self.assume_at(cycle, expr, label)
+
+    def prove_at(self, cycle: int, expr: Expr, label: str = "") -> None:
+        """Add a proof obligation: the 1-bit expression holds at ``cycle``."""
+        self._check_cycle(cycle)
+        self._proves.append((cycle, expr, label or f"prove@{cycle}"))
+
+    def _check_cycle(self, cycle: int) -> None:
+        if not 0 <= cycle <= self.depth:
+            raise ValueError(f"cycle {cycle} outside window 0..{self.depth}")
+
+    # -- solving ------------------------------------------------------------------
+
+    def run(self, record_trace: bool = True) -> IpcResult:
+        """Check the property; returns holds or a counterexample trace."""
+        if not self._proves:
+            raise ValueError("no proof obligations; call prove_at() first")
+        solver = Solver()
+        encoder = CnfEncoder(self.aig, solver)
+        for cycle, expr, _ in self._assumes:
+            encoder.assume_true(self.unroller.bit_at(cycle, expr))
+        # Violation: some obligation fails.
+        obligation_bits = [
+            (cycle, label, self.unroller.bit_at(cycle, expr))
+            for cycle, expr, label in self._proves
+        ]
+        violation = self.aig.or_many(bit ^ 1 for _, _, bit in obligation_bits)
+        encoder.assume_true(violation)
+        if not solver.solve():
+            return IpcResult(holds=True)
+        failed = [
+            (cycle, label)
+            for cycle, label, bit in obligation_bits
+            if not encoder.value(bit)
+        ]
+        trace = self._extract_trace(encoder) if record_trace else None
+        return IpcResult(holds=False, trace=trace, failed_obligations=failed)
+
+    def _extract_trace(self, encoder: CnfEncoder) -> Trace:
+        trace = Trace(self.depth)
+        for t, frame in enumerate(self.unroller.frames):
+            for table in (frame.regs, frame.inputs, frame.nets):
+                for name, vec in table.items():
+                    trace.record(t, name, decode_vec(encoder, vec))
+        return trace

@@ -1,0 +1,188 @@
+"""Symbolic unrolling of circuits into AIG frames.
+
+This implements the computational model behind Interval Property Checking
+(IPC) as used by UPEC (Sec. 3.2 of the paper): the time window starts in
+a *symbolic starting state* — every register begins as a free variable
+unless the caller binds it — "which models all possible histories of
+inputs to the design", in contrast to bounded model checking from reset.
+
+The caller controls leaf binding per instance and per frame, which is the
+hook the UPEC-SSC miter uses to share variables between its two design
+instances (shared variable = assumed-equal state, letting structural
+hashing collapse all logic outside the difference cone).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..aig.aig import Aig
+from ..aig.bitblast import BitBlaster
+from ..rtl.circuit import Circuit
+from ..rtl.expr import Expr
+
+__all__ = ["Frame", "Unroller"]
+
+#: Optional callback deciding what vector to use for a leaf: receives
+#: (frame index, input name, width) and returns a vector or None (fresh).
+InputProvider = Callable[[int, str, int], "list[int] | None"]
+
+
+class Frame:
+    """One time step of an unrolled design: all signal vectors at cycle t."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.regs: dict[str, list[int]] = {}
+        self.inputs: dict[str, list[int]] = {}
+        self.nets: dict[str, list[int]] = {}
+
+    def signal(self, name: str) -> list[int]:
+        """Look up a register, input or net vector by name."""
+        for table in (self.regs, self.inputs, self.nets):
+            if name in table:
+                return table[name]
+        raise KeyError(f"no signal named {name!r} in frame {self.index}")
+
+
+class Unroller:
+    """Unroll a circuit over time against a shared :class:`Aig`.
+
+    Args:
+        circuit: validated netlist (register-file memories only).
+        aig: target graph (shared between instances in 2-safety mode).
+        prefix: debug name prefix for fresh variables (e.g. ``"i1"``).
+        input_provider: optional callback to bind primary inputs per frame
+            (return None to allocate fresh variables).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        aig: Aig,
+        prefix: str = "",
+        input_provider: InputProvider | None = None,
+    ):
+        circuit.validate()
+        if circuit.memories:
+            raise ValueError(
+                "formal flows require register-file memories; circuit "
+                f"{circuit.name!r} has behavioural memories: "
+                f"{', '.join(circuit.memories)}"
+            )
+        self.circuit = circuit
+        self.aig = aig
+        self.prefix = prefix
+        self.input_provider = input_provider
+        self.frames: list[Frame] = []
+
+    # -- initial state ----------------------------------------------------
+
+    def begin(self, initial: dict[str, list[int]] | None = None) -> Frame:
+        """Create frame 0 with a symbolic starting state.
+
+        ``initial`` may bind some registers to caller-supplied vectors
+        (the UPEC miter binds assumed-equal state to shared variables);
+        unbound registers get fresh variables — the symbolic start state.
+        """
+        if self.frames:
+            raise ValueError("begin() may only be called once")
+        frame = Frame(0)
+        initial = initial or {}
+        for name, info in self.circuit.regs.items():
+            vec = initial.get(name)
+            if vec is None:
+                vec = self.aig.input_vec(self._tag(0, name), info.width)
+            elif len(vec) != info.width:
+                raise ValueError(
+                    f"initial vector for {name} has {len(vec)} bits, "
+                    f"register is {info.width}"
+                )
+            frame.regs[name] = vec
+        self._bind_inputs(frame)
+        self._evaluate_combinational(frame)
+        self.frames.append(frame)
+        return frame
+
+    def step(self) -> Frame:
+        """Extend the unrolling by one clock cycle."""
+        if not self.frames:
+            raise ValueError("call begin() before step()")
+        prev = self.frames[-1]
+        frame = Frame(prev.index + 1)
+        frame.regs = prev.next_regs  # computed by _evaluate_combinational
+        self._bind_inputs(frame)
+        self._evaluate_combinational(frame)
+        self.frames.append(frame)
+        return frame
+
+    def unroll(self, depth: int) -> None:
+        """Ensure frames 0..depth exist."""
+        if not self.frames:
+            self.begin()
+        while len(self.frames) <= depth:
+            self.step()
+
+    def frame(self, index: int) -> Frame:
+        """Access frame ``index`` (must already be unrolled)."""
+        return self.frames[index]
+
+    # -- expression evaluation at a frame ------------------------------------
+
+    def eval_at(self, index: int, expr: Expr) -> list[int]:
+        """Bit-blast an arbitrary expression over frame ``index``'s signals.
+
+        Used for assumption/proof macros formulated over circuit signals.
+        """
+        frame = self.frames[index]
+        blaster = self._blaster(frame)
+        return blaster.vec(expr)
+
+    def bit_at(self, index: int, expr: Expr) -> int:
+        """1-bit variant of :meth:`eval_at`."""
+        vec = self.eval_at(index, expr)
+        if len(vec) != 1:
+            raise ValueError("expected a 1-bit expression")
+        return vec[0]
+
+    # -- internals -----------------------------------------------------------
+
+    def _tag(self, frame_index: int, name: str) -> str:
+        base = f"{name}@{frame_index}"
+        return f"{self.prefix}:{base}" if self.prefix else base
+
+    def _bind_inputs(self, frame: Frame) -> None:
+        for name, node in self.circuit.inputs.items():
+            vec = None
+            if self.input_provider is not None:
+                vec = self.input_provider(frame.index, name, node.width)
+            if vec is None:
+                vec = self.aig.input_vec(self._tag(frame.index, name), node.width)
+            elif len(vec) != node.width:
+                raise ValueError(
+                    f"input provider returned {len(vec)} bits for {name}, "
+                    f"expected {node.width}"
+                )
+            frame.inputs[name] = vec
+        frame._blaster = None  # lazily created, invalidated if leaves change
+
+    def _blaster(self, frame: Frame) -> BitBlaster:
+        blaster = getattr(frame, "_blaster", None)
+        if blaster is None:
+            leaves: dict[tuple[str, str], list[int]] = {}
+            for name, vec in frame.regs.items():
+                leaves[("reg", name)] = vec
+            for name, vec in frame.inputs.items():
+                leaves[("in", name)] = vec
+            blaster = BitBlaster(self.aig, leaves)
+            frame._blaster = blaster
+        return blaster
+
+    def _evaluate_combinational(self, frame: Frame) -> None:
+        blaster = self._blaster(frame)
+        for name, expr in self.circuit.nets.items():
+            frame.nets[name] = blaster.vec(expr)
+        frame.next_regs = {
+            name: blaster.vec(info.next)
+            for name, info in self.circuit.regs.items()
+        }

@@ -1,0 +1,6 @@
+"""Information Flow Tracking baseline (Sec. 5 comparison)."""
+
+from .engine import IftResult, bounded_ift_check
+from .taint import TaintTracker
+
+__all__ = ["IftResult", "bounded_ift_check", "TaintTracker"]

@@ -1,0 +1,154 @@
+"""Bounded information-flow checking — the comparison baseline (Sec. 5).
+
+Answers, by exact SAT-based bounded analysis: *can information from the
+victim's bus interface (and victim memory words) reach persistent,
+attacker-accessible state within k cycles?*
+
+The contrast with UPEC-SSC (benchmark E8) is the paper's argument made
+executable:
+
+* IFT tracks *any* flow from the victim interface — it cannot express
+  that non-protected accesses are public (equal in both 2-safety
+  instances), so the secured SoC still reports flows: a **false
+  positive** that no amount of solver power removes, because the
+  property itself is non-relational.
+* UPEC-SSC's 2-safety formulation distinguishes exactly the
+  *confidential* part of victim behaviour and proves the secured SoC
+  clean.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..aig.aig import Aig
+from ..aig.cnf import CnfEncoder
+from ..formal.unroller import Unroller
+from ..sat.solver import Solver
+from ..upec.classify import StateClassifier
+from ..upec.threat_model import ThreatModel
+from .taint import TaintTracker
+
+__all__ = ["IftResult", "bounded_ift_check"]
+
+
+@dataclass
+class IftResult:
+    """Outcome of a bounded IFT query.
+
+    ``flows`` is True when some persistent sink can be tainted within
+    the window; ``tainted_sinks`` lists which (from the SAT model).
+    """
+
+    flows: bool
+    depth: int
+    tainted_sinks: set[str] = field(default_factory=set)
+    aig_nodes: int = 0
+    solve_seconds: float = 0.0
+
+
+def bounded_ift_check(
+    threat_model: ThreatModel,
+    classifier: StateClassifier | None = None,
+    depth: int = 2,
+    victim_page: int | None = None,
+) -> IftResult:
+    """Check taint reachability from the victim interface into S_pers.
+
+    Args:
+        threat_model: design + threat model (the same object UPEC uses,
+            so environment assumptions are applied identically).
+        classifier: S_pers decision rules.
+        depth: bounded window length in cycles.
+        victim_page: concrete protected page (the non-relational baseline
+            cannot keep it symbolic); defaults to the lowest page of the
+            first secret array.
+
+    Returns:
+        Whether a flow exists and which sinks the model taints.
+    """
+    classifier = classifier or StateClassifier(threat_model)
+    tm = threat_model
+    circuit = tm.circuit
+    aig = Aig()
+    unroller = Unroller(circuit, aig, prefix="ift")
+    unroller.begin()
+    unroller.unroll(depth)
+    tracker = TaintTracker(aig)
+
+    # Taint sources: the victim's bus interface during the window head
+    # (mirroring Victim_Task_Executing()'s divergence window), plus the
+    # victim memory words of the chosen page.
+    for frame_index in (0, 1):
+        frame = unroller.frame(min(frame_index, depth))
+        for name in tm.victim_port.fields():
+            for lit in frame.inputs[name]:
+                tracker.taint_input(lit)
+    if victim_page is None:
+        first_array = next(iter(tm.secret_arrays))
+        victim_page = tm.secret_arrays[first_array] >> tm.page_bits
+    for name, info in circuit.regs.items():
+        guard = classifier.conditional_guard_info(name)
+        if guard is None:
+            continue
+        array, index = guard
+        page = (tm.secret_arrays[array] + index) >> tm.page_bits
+        if page == victim_page:
+            for lit in unroller.frame(0).regs[name]:
+                if lit > 1 and aig.is_input(lit >> 1):
+                    tracker.taint_input(lit)
+
+    solver = Solver()
+    encoder = CnfEncoder(aig, solver)
+
+    # Same environment as the UPEC run: pin the symbolic page, apply the
+    # threat-model isolation, firmware constraints and invariants.
+    page_width = circuit.inputs[tm.victim_page].width
+    page_vec = unroller.frame(0).inputs[tm.victim_page]
+    for bit_index, lit in enumerate(page_vec):
+        want = (victim_page >> bit_index) & 1
+        encoder.assume_true(lit if want else lit ^ 1)
+    per_frame = tm.spy_isolation_constraints() + list(tm.firmware_constraints)
+    for f in range(depth + 1):
+        for expr in per_frame:
+            encoder.assume_true(unroller.bit_at(f, expr))
+    for expr in tm.invariants:
+        encoder.assume_true(unroller.bit_at(0, expr))
+    if tm.victim_page_constraint is not None:
+        encoder.assume_true(unroller.bit_at(0, tm.victim_page_constraint))
+
+    # Sinks: persistent attacker-accessible state at the final frame,
+    # excluding the victim's own page.
+    sink_taints: dict[str, int] = {}
+    final = unroller.frame(depth)
+    for name in classifier.s_not_victim():
+        try:
+            persistent = classifier.in_s_pers(name)
+        except Exception:
+            persistent = True
+        if not persistent:
+            continue
+        guard = classifier.conditional_guard_info(name)
+        if guard is not None:
+            array, index = guard
+            if (tm.secret_arrays[array] + index) >> tm.page_bits == victim_page:
+                continue
+        sink_taints[name] = tracker.any_tainted(final.regs[name])
+
+    start = time.perf_counter()
+    encoder.assume_true(aig.or_many(sink_taints.values()))
+    flows = solver.solve()
+    elapsed = time.perf_counter() - start
+    tainted = (
+        {name for name, lit in sink_taints.items() if encoder.value(lit)}
+        if flows
+        else set()
+    )
+    return IftResult(
+        flows=flows,
+        depth=depth,
+        tainted_sinks=tainted,
+        aig_nodes=aig.num_nodes(),
+        solve_seconds=elapsed,
+    )

@@ -1,0 +1,75 @@
+"""RTL modeling framework: word-level expressions, circuits, memories.
+
+This package is the hardware-description substrate of the reproduction:
+designs (the Pulpissimo-style SoC of :mod:`repro.soc`, the toy designs in
+the tests) are written against this API, and both the cycle-accurate
+simulator and the formal engines consume the resulting netlists.
+"""
+
+from .circuit import Circuit, MemoryInfo, RegInfo, Scope, StateMeta
+from .expr import (
+    Const,
+    Expr,
+    Input,
+    MemRead,
+    Op,
+    RegRead,
+    all_of,
+    any_of,
+    cat,
+    const,
+    equal_any,
+    implies,
+    mask,
+    mux,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+    sext,
+    topo_sort,
+    zext,
+)
+from .memory import RegisterFileMemory
+from .pretty import format_expr
+from .structure import (
+    StateSummary,
+    fanin_inputs,
+    fanin_regs,
+    influence_closure,
+    state_summary,
+)
+
+__all__ = [
+    "Circuit",
+    "MemoryInfo",
+    "RegInfo",
+    "Scope",
+    "StateMeta",
+    "Const",
+    "Expr",
+    "Input",
+    "MemRead",
+    "Op",
+    "RegRead",
+    "all_of",
+    "any_of",
+    "cat",
+    "const",
+    "equal_any",
+    "implies",
+    "mask",
+    "mux",
+    "reduce_and",
+    "reduce_or",
+    "reduce_xor",
+    "sext",
+    "topo_sort",
+    "zext",
+    "RegisterFileMemory",
+    "format_expr",
+    "StateSummary",
+    "fanin_inputs",
+    "fanin_regs",
+    "influence_closure",
+    "state_summary",
+]

@@ -1,0 +1,282 @@
+"""Synchronous circuit container for the RTL IR.
+
+A :class:`Circuit` is a flat netlist of named registers, primary inputs,
+behavioural memories and named nets (probes), with a single implicit clock.
+Hierarchy is modelled by :class:`Scope`, which prefixes names with a
+module path and records the owning module on every register — this
+ownership metadata is what the UPEC-SSC state classification
+(:mod:`repro.upec.classify`) consumes to build the sets ``S_not_victim``
+and ``S_pers`` of the paper (Definitions 1 and 2).
+
+Because expressions are immutable and built bottom-up, combinational
+cycles cannot be expressed; the only back-edges are through registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .expr import Const, Expr, Input, MemRead, RegRead, mask, mux
+
+__all__ = ["StateMeta", "RegInfo", "MemoryPort", "MemoryInfo", "Circuit", "Scope"]
+
+#: Register classification kinds used by the UPEC-SSC state classifier.
+#: ``cpu`` state is excluded from S_not_victim (Def. 1); ``interconnect``
+#: buffers are overwritten every transaction and hence not persistent
+#: (Sec. 3.4); ``ip`` registers and ``memory`` words are candidates for
+#: S_pers when attacker-accessible.
+KINDS = ("cpu", "interconnect", "ip", "memory", "other")
+
+
+@dataclass
+class StateMeta:
+    """Classification metadata attached to a register.
+
+    Attributes:
+        owner: hierarchical path of the owning module (e.g. ``soc.hwpe``).
+        kind: one of :data:`KINDS`.
+        persistent: explicit S_pers classification; ``None`` means "decide
+            by heuristic" (Sec. 3.4 of the paper).
+        accessible: whether the attacker task can read this state in the
+            retrieval phase; ``None`` means "decide by heuristic".
+        array: for memory words, the name of the containing array.
+        index: for memory words, the word index within the array.
+    """
+
+    owner: str = ""
+    kind: str = "other"
+    persistent: bool | None = None
+    accessible: bool | None = None
+    array: str | None = None
+    index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown state kind {self.kind!r}")
+
+
+@dataclass
+class RegInfo:
+    """A register: current-value read node, next-state expression, metadata."""
+
+    name: str
+    width: int
+    reset: int
+    read: RegRead
+    next: Expr | None = None
+    meta: StateMeta = field(default_factory=StateMeta)
+
+
+@dataclass
+class MemoryPort:
+    """One synchronous write port of a behavioural memory."""
+
+    enable: Expr
+    addr: Expr
+    data: Expr
+
+
+@dataclass
+class MemoryInfo:
+    """A behavioural memory array (simulation only).
+
+    Formal flows require register-file memories (see
+    :mod:`repro.rtl.memory`), where each word is an ordinary register.
+    """
+
+    name: str
+    words: int
+    width: int
+    init: list[int] = field(default_factory=list)
+    write_ports: list[MemoryPort] = field(default_factory=list)
+
+
+class Circuit:
+    """A flat synchronous netlist."""
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.inputs: dict[str, Input] = {}
+        self.regs: dict[str, RegInfo] = {}
+        self.memories: dict[str, MemoryInfo] = {}
+        self.nets: dict[str, Expr] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_input(self, name: str, width: int) -> Input:
+        """Declare a primary input and return its read expression."""
+        self._check_fresh(name)
+        node = Input(name, width)
+        self.inputs[name] = node
+        return node
+
+    def add_reg(
+        self,
+        name: str,
+        width: int,
+        reset: int = 0,
+        meta: StateMeta | None = None,
+    ) -> RegRead:
+        """Declare a register and return its current-value read expression.
+
+        The next-state function must be supplied later via :meth:`set_next`
+        (checked by :meth:`validate`).
+        """
+        self._check_fresh(name)
+        if not 0 <= reset <= mask(width):
+            raise ValueError(f"reset value {reset} does not fit in {width} bits")
+        read = RegRead(name, width)
+        self.regs[name] = RegInfo(
+            name=name, width=width, reset=reset, read=read, meta=meta or StateMeta()
+        )
+        return read
+
+    def set_next(self, reg: RegRead | str, value: Expr | int) -> None:
+        """Set the next-state expression of a register."""
+        name = reg if isinstance(reg, str) else reg.name
+        info = self.regs[name]
+        if isinstance(value, int):
+            value = Const(value, info.width)
+        if value.width != info.width:
+            raise ValueError(
+                f"next-state width mismatch for {name}: "
+                f"register is {info.width} bits, expression is {value.width}"
+            )
+        if info.next is not None:
+            raise ValueError(f"register {name} already driven")
+        info.next = value
+
+    def update_if(self, reg: RegRead, enable: Expr, value: Expr | int) -> None:
+        """Drive ``reg`` with ``value`` when ``enable`` is 1, else hold."""
+        if isinstance(value, int):
+            value = Const(value, reg.width)
+        self.set_next(reg, mux(enable, value, reg))
+
+    def add_memory(self, name: str, words: int, width: int) -> MemoryInfo:
+        """Declare a behavioural memory array (simulation only)."""
+        self._check_fresh(name)
+        if words < 1:
+            raise ValueError("memory must have at least one word")
+        info = MemoryInfo(name=name, words=words, width=width, init=[0] * words)
+        self.memories[name] = info
+        return info
+
+    def mem_read(self, mem: MemoryInfo | str, addr: Expr) -> MemRead:
+        """Build an asynchronous read of a behavioural memory."""
+        info = self.memories[mem if isinstance(mem, str) else mem.name]
+        return MemRead(info.name, addr, info.width)
+
+    def mem_write(
+        self, mem: MemoryInfo | str, enable: Expr, addr: Expr, data: Expr
+    ) -> None:
+        """Attach a synchronous write port to a behavioural memory."""
+        info = self.memories[mem if isinstance(mem, str) else mem.name]
+        if enable.width != 1:
+            raise ValueError("memory write enable must be 1 bit")
+        if data.width != info.width:
+            raise ValueError(
+                f"memory write width mismatch: {data.width} vs {info.width}"
+            )
+        info.write_ports.append(MemoryPort(enable=enable, addr=addr, data=data))
+
+    def add_net(self, name: str, value: Expr) -> Expr:
+        """Name an internal expression so simulators and traces can probe it."""
+        self._check_fresh(name)
+        self.nets[name] = value
+        return value
+
+    # -- queries ---------------------------------------------------------------
+
+    def scope(self, path: str = "") -> "Scope":
+        """Return a naming scope rooted at ``path`` (empty = circuit root)."""
+        return Scope(self, path)
+
+    def reg_names(self) -> list[str]:
+        """All register names in declaration order."""
+        return list(self.regs)
+
+    def state_bits(self) -> int:
+        """Total number of state bits (registers plus behavioural memories)."""
+        bits = sum(r.width for r in self.regs.values())
+        bits += sum(m.words * m.width for m in self.memories.values())
+        return bits
+
+    def validate(self) -> None:
+        """Check the netlist is complete: every register must be driven."""
+        undriven = [name for name, info in self.regs.items() if info.next is None]
+        if undriven:
+            raise ValueError(f"undriven registers: {', '.join(sorted(undriven))}")
+
+    def roots(self) -> list[Expr]:
+        """All expression roots: register next-states, nets, memory ports."""
+        out: list[Expr] = []
+        for info in self.regs.values():
+            if info.next is not None:
+                out.append(info.next)
+        out.extend(self.nets.values())
+        for mem in self.memories.values():
+            for port in mem.write_ports:
+                out.extend((port.enable, port.addr, port.data))
+        return out
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.inputs or name in self.regs or name in self.memories:
+            raise ValueError(f"name {name!r} already declared")
+        if name in self.nets:
+            raise ValueError(f"name {name!r} already declared as a net")
+
+
+class Scope:
+    """A hierarchical naming scope over a :class:`Circuit`.
+
+    Every register created through a scope records the scope path as its
+    ``meta.owner``, which the UPEC classifier uses for structural analysis
+    (Sec. 3.4: "simple structural analysis of the RTL model").
+    """
+
+    def __init__(self, circuit: Circuit, path: str):
+        self.circuit = circuit
+        self.path = path
+
+    def child(self, name: str) -> "Scope":
+        """Create a sub-scope, extending the module path."""
+        return Scope(self.circuit, self._qualify(name))
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.path}.{name}" if self.path else name
+
+    # -- forwarding constructors with scoped names -----------------------------
+
+    def input(self, name: str, width: int) -> Input:
+        """Declare a primary input named within this scope."""
+        return self.circuit.add_input(self._qualify(name), width)
+
+    def reg(
+        self,
+        name: str,
+        width: int,
+        reset: int = 0,
+        kind: str = "other",
+        persistent: bool | None = None,
+        accessible: bool | None = None,
+        array: str | None = None,
+        index: int | None = None,
+    ) -> RegRead:
+        """Declare a register owned by this scope."""
+        meta = StateMeta(
+            owner=self.path,
+            kind=kind,
+            persistent=persistent,
+            accessible=accessible,
+            array=array,
+            index=index,
+        )
+        return self.circuit.add_reg(self._qualify(name), width, reset, meta)
+
+    def net(self, name: str, value: Expr) -> Expr:
+        """Name a probe net within this scope."""
+        return self.circuit.add_net(self._qualify(name), value)
+
+    def memory(self, name: str, words: int, width: int) -> MemoryInfo:
+        """Declare a behavioural memory within this scope."""
+        return self.circuit.add_memory(self._qualify(name), words, width)

@@ -1,0 +1,457 @@
+"""Word-level RTL expression IR.
+
+Expressions are immutable DAG nodes with an explicit bit ``width``.  They
+are built either through the constructors in this module (:func:`const`,
+:func:`mux`, :func:`cat`, ...) or through Python operator overloading on
+:class:`Expr` (``a + b``, ``a & b``, ``a[3:0]``, ...).
+
+Width discipline is strict and explicit: binary bitwise and arithmetic
+operators require both operands to have the same width; Python integers
+are implicitly coerced to a constant of the other operand's width.
+Comparisons produce 1-bit results.  All arithmetic is unsigned modulo
+``2**width`` unless a signed variant is used explicitly.
+
+The IR is deliberately small: it is the single source of truth consumed by
+the cycle-accurate simulator (:mod:`repro.sim`), the bit-blaster
+(:mod:`repro.aig.bitblast`) and the Verilog exporter
+(:mod:`repro.rtl.verilog`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Input",
+    "RegRead",
+    "MemRead",
+    "Op",
+    "const",
+    "mux",
+    "cat",
+    "zext",
+    "sext",
+    "reduce_or",
+    "reduce_and",
+    "reduce_xor",
+    "implies",
+    "all_of",
+    "any_of",
+    "equal_any",
+    "topo_sort",
+    "mask",
+]
+
+_counter = itertools.count()
+
+
+def mask(width: int) -> int:
+    """Return the all-ones bit mask for ``width`` bits."""
+    return (1 << width) - 1
+
+
+class Expr:
+    """Base class of all expression nodes.
+
+    Every node has a ``width`` (number of bits, >= 1) and a unique ``uid``
+    used for hashing and memoised DAG traversals.
+    """
+
+    __slots__ = ("width", "uid")
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError(f"expression width must be >= 1, got {width}")
+        self.width = width
+        self.uid = next(_counter)
+
+    # -- traversal ---------------------------------------------------------
+
+    def children(self) -> tuple["Expr", ...]:
+        """Return the operand expressions of this node."""
+        return ()
+
+    # -- coercion helpers --------------------------------------------------
+
+    def _coerce(self, other: "Expr | int") -> "Expr":
+        if isinstance(other, Expr):
+            return other
+        if isinstance(other, bool):
+            other = int(other)
+        if isinstance(other, int):
+            return Const(other, self.width)
+        raise TypeError(f"cannot use {type(other).__name__} as an expression")
+
+    def _binary(self, kind: str, other: "Expr | int", width: int | None = None) -> "Op":
+        rhs = self._coerce(other)
+        if rhs.width != self.width:
+            raise ValueError(
+                f"width mismatch in {kind}: {self.width} vs {rhs.width}"
+            )
+        return Op(kind, (self, rhs), width if width is not None else self.width)
+
+    # -- bitwise -----------------------------------------------------------
+
+    def __invert__(self) -> "Op":
+        return Op("NOT", (self,), self.width)
+
+    def __and__(self, other: "Expr | int") -> "Op":
+        return self._binary("AND", other)
+
+    def __rand__(self, other: int) -> "Op":
+        return self._coerce(other)._binary("AND", self)
+
+    def __or__(self, other: "Expr | int") -> "Op":
+        return self._binary("OR", other)
+
+    def __ror__(self, other: int) -> "Op":
+        return self._coerce(other)._binary("OR", self)
+
+    def __xor__(self, other: "Expr | int") -> "Op":
+        return self._binary("XOR", other)
+
+    def __rxor__(self, other: int) -> "Op":
+        return self._coerce(other)._binary("XOR", self)
+
+    # -- arithmetic (unsigned modulo 2**width) -----------------------------
+
+    def __add__(self, other: "Expr | int") -> "Op":
+        return self._binary("ADD", other)
+
+    def __radd__(self, other: int) -> "Op":
+        return self._coerce(other)._binary("ADD", self)
+
+    def __sub__(self, other: "Expr | int") -> "Op":
+        return self._binary("SUB", other)
+
+    def __rsub__(self, other: int) -> "Op":
+        return self._coerce(other)._binary("SUB", self)
+
+    def __mul__(self, other: "Expr | int") -> "Op":
+        return self._binary("MUL", other)
+
+    def __rmul__(self, other: int) -> "Op":
+        return self._coerce(other)._binary("MUL", self)
+
+    # -- shifts (amount may be a constant int or an expression) ------------
+
+    def __lshift__(self, amount: "Expr | int") -> "Op":
+        return self._shift("SHL", amount)
+
+    def __rshift__(self, amount: "Expr | int") -> "Op":
+        return self._shift("LSHR", amount)
+
+    def ashr(self, amount: "Expr | int") -> "Op":
+        """Arithmetic (sign-preserving) right shift."""
+        return self._shift("ASHR", amount)
+
+    def _shift(self, kind: str, amount: "Expr | int") -> "Op":
+        if isinstance(amount, int):
+            bits = max(1, self.width.bit_length())
+            amount = Const(amount, bits)
+        return Op(kind, (self, amount), self.width)
+
+    # -- comparisons (1-bit results) ----------------------------------------
+
+    def eq(self, other: "Expr | int") -> "Op":
+        """Equality comparison, yielding a 1-bit expression."""
+        return self._binary("EQ", other, width=1)
+
+    def ne(self, other: "Expr | int") -> "Op":
+        """Inequality comparison, yielding a 1-bit expression."""
+        return Op("NOT", (self.eq(other),), 1)
+
+    def ult(self, other: "Expr | int") -> "Op":
+        """Unsigned less-than, yielding a 1-bit expression."""
+        return self._binary("ULT", other, width=1)
+
+    def ule(self, other: "Expr | int") -> "Op":
+        """Unsigned less-or-equal, yielding a 1-bit expression."""
+        return self._binary("ULE", other, width=1)
+
+    def ugt(self, other: "Expr | int") -> "Op":
+        """Unsigned greater-than, yielding a 1-bit expression."""
+        return self._coerce(other)._binary("ULT", self, width=1)
+
+    def uge(self, other: "Expr | int") -> "Op":
+        """Unsigned greater-or-equal, yielding a 1-bit expression."""
+        return self._coerce(other)._binary("ULE", self, width=1)
+
+    def slt(self, other: "Expr | int") -> "Op":
+        """Signed less-than, yielding a 1-bit expression."""
+        return self._binary("SLT", other, width=1)
+
+    # -- structure -----------------------------------------------------------
+
+    def __getitem__(self, index: "int | slice") -> "Expr":
+        """Bit select ``e[i]`` or slice ``e[hi:lo]`` (inclusive, Verilog style)."""
+        if isinstance(index, int):
+            hi = lo = index
+        elif isinstance(index, slice):
+            if index.step is not None:
+                raise ValueError("bit slices do not support a step")
+            hi, lo = index.start, index.stop
+            if hi is None or lo is None:
+                raise ValueError("bit slices need explicit bounds, e.g. e[7:0]")
+        else:
+            raise TypeError(f"invalid bit index {index!r}")
+        if not 0 <= lo <= hi < self.width:
+            raise ValueError(
+                f"slice [{hi}:{lo}] out of range for width {self.width}"
+            )
+        return Op("SLICE", (self,), hi - lo + 1, params=(hi, lo))
+
+    def bits(self) -> list["Expr"]:
+        """Return this expression split into a list of 1-bit slices (LSB first)."""
+        return [self[i] for i in range(self.width)]
+
+    # -- convenience ---------------------------------------------------------
+
+    def is_true(self) -> bool:
+        """Return True if this node is the 1-bit constant 1."""
+        return isinstance(self, Const) and self.width == 1 and self.value == 1
+
+    def is_false(self) -> bool:
+        """Return True if this node is the 1-bit constant 0."""
+        return isinstance(self, Const) and self.width == 1 and self.value == 0
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "RTL expressions have no Python truth value; use mux()/implies() "
+            "to build conditional hardware"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        from .pretty import format_expr
+
+        return f"<{type(self).__name__} w{self.width} {format_expr(self, max_depth=3)}>"
+
+
+class Const(Expr):
+    """A constant bit vector of a given width."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, width: int):
+        super().__init__(width)
+        if value < 0:
+            value &= mask(width)
+        if value > mask(width):
+            raise ValueError(f"constant {value} does not fit in {width} bits")
+        self.value = value
+
+
+class Input(Expr):
+    """A primary input of the circuit (also used for cut pseudo-inputs)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, width: int):
+        super().__init__(width)
+        self.name = name
+
+
+class RegRead(Expr):
+    """The current-cycle value of a register."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, width: int):
+        super().__init__(width)
+        self.name = name
+
+
+class MemRead(Expr):
+    """Asynchronous read port of a behavioural memory array.
+
+    Behavioural memories are supported by the simulator only; formal flows
+    require the register-file memory backend (see :mod:`repro.rtl.memory`).
+    """
+
+    __slots__ = ("mem_name", "addr")
+
+    def __init__(self, mem_name: str, addr: Expr, data_width: int):
+        super().__init__(data_width)
+        self.mem_name = mem_name
+        self.addr = addr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.addr,)
+
+
+class Op(Expr):
+    """An operator node.
+
+    ``kind`` is one of: NOT, AND, OR, XOR, ADD, SUB, MUL, SHL, LSHR, ASHR,
+    EQ, ULT, ULE, SLT, MUX, CAT, SLICE, ZEXT, SEXT, RED_OR, RED_AND,
+    RED_XOR.  ``params`` carries operator attributes (slice bounds).
+    """
+
+    __slots__ = ("kind", "operands", "params")
+
+    def __init__(
+        self,
+        kind: str,
+        operands: tuple[Expr, ...],
+        width: int,
+        params: tuple = (),
+    ):
+        super().__init__(width)
+        self.kind = kind
+        self.operands = operands
+        self.params = params
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+
+def const(value: int, width: int) -> Const:
+    """Create a constant of the given value and width."""
+    return Const(value, width)
+
+
+def mux(sel: Expr, if_true: Expr | int, if_false: Expr | int) -> Expr:
+    """2:1 multiplexer: ``if_true`` when ``sel`` is 1, else ``if_false``.
+
+    ``sel`` must be 1 bit wide.  Integer branches are coerced to the width
+    of the other branch (at least one branch must be an expression).
+    """
+    if sel.width != 1:
+        raise ValueError(f"mux select must be 1 bit wide, got {sel.width}")
+    if not isinstance(if_true, Expr) and not isinstance(if_false, Expr):
+        raise TypeError("at least one mux branch must be an expression")
+    if not isinstance(if_true, Expr):
+        if_true = Const(if_true, if_false.width)
+    if not isinstance(if_false, Expr):
+        if_false = Const(if_false, if_true.width)
+    if if_true.width != if_false.width:
+        raise ValueError(
+            f"mux branch width mismatch: {if_true.width} vs {if_false.width}"
+        )
+    return Op("MUX", (sel, if_true, if_false), if_true.width)
+
+
+def cat(*parts: Expr) -> Expr:
+    """Concatenate expressions, first argument becoming the most significant.
+
+    Mirrors the Verilog ``{a, b, c}`` convention.
+    """
+    if not parts:
+        raise ValueError("cat() needs at least one operand")
+    if len(parts) == 1:
+        return parts[0]
+    width = sum(p.width for p in parts)
+    return Op("CAT", tuple(parts), width)
+
+
+def zext(e: Expr, width: int) -> Expr:
+    """Zero-extend ``e`` to ``width`` bits (no-op if already that width)."""
+    if width < e.width:
+        raise ValueError(f"cannot zero-extend width {e.width} down to {width}")
+    if width == e.width:
+        return e
+    return Op("ZEXT", (e,), width)
+
+
+def sext(e: Expr, width: int) -> Expr:
+    """Sign-extend ``e`` to ``width`` bits (no-op if already that width)."""
+    if width < e.width:
+        raise ValueError(f"cannot sign-extend width {e.width} down to {width}")
+    if width == e.width:
+        return e
+    return Op("SEXT", (e,), width)
+
+
+def reduce_or(e: Expr) -> Expr:
+    """OR-reduce all bits of ``e`` to a single bit."""
+    if e.width == 1:
+        return e
+    return Op("RED_OR", (e,), 1)
+
+
+def reduce_and(e: Expr) -> Expr:
+    """AND-reduce all bits of ``e`` to a single bit."""
+    if e.width == 1:
+        return e
+    return Op("RED_AND", (e,), 1)
+
+
+def reduce_xor(e: Expr) -> Expr:
+    """XOR-reduce all bits of ``e`` to a single bit (parity)."""
+    if e.width == 1:
+        return e
+    return Op("RED_XOR", (e,), 1)
+
+
+def implies(antecedent: Expr, consequent: Expr) -> Expr:
+    """Logical implication on 1-bit expressions: ``!a | b``."""
+    if antecedent.width != 1 or consequent.width != 1:
+        raise ValueError("implies() requires 1-bit operands")
+    return ~antecedent | consequent
+
+
+def all_of(terms: Iterable[Expr]) -> Expr:
+    """AND together an iterable of 1-bit expressions (1 if empty)."""
+    result: Expr | None = None
+    for term in terms:
+        if term.width != 1:
+            raise ValueError("all_of() requires 1-bit operands")
+        result = term if result is None else result & term
+    return result if result is not None else Const(1, 1)
+
+
+def any_of(terms: Iterable[Expr]) -> Expr:
+    """OR together an iterable of 1-bit expressions (0 if empty)."""
+    result: Expr | None = None
+    for term in terms:
+        if term.width != 1:
+            raise ValueError("any_of() requires 1-bit operands")
+        result = term if result is None else result | term
+    return result if result is not None else Const(0, 1)
+
+
+def equal_any(e: Expr, values: Iterable[int]) -> Expr:
+    """1-bit expression that is true when ``e`` equals any of ``values``."""
+    return any_of(e.eq(v) for v in values)
+
+
+# ---------------------------------------------------------------------------
+# DAG traversal
+# ---------------------------------------------------------------------------
+
+
+def topo_sort(roots: Iterable[Expr]) -> list[Expr]:
+    """Topologically sort the DAG under ``roots``, children before parents.
+
+    Iterative (no recursion limits) and memoised on node identity; shared
+    sub-expressions appear exactly once.
+    """
+    order: list[Expr] = []
+    seen: set[int] = set()
+    stack: list[tuple[Expr, bool]] = [(r, False) for r in roots]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if node.uid in seen:
+            continue
+        seen.add(node.uid)
+        stack.append((node, True))
+        for child in node.children():
+            if child.uid not in seen:
+                stack.append((child, False))
+    return order
+
+
+def iter_nodes(roots: Iterable[Expr]) -> Iterator[Expr]:
+    """Iterate over every unique node reachable from ``roots``."""
+    return iter(topo_sort(roots))

@@ -1,0 +1,107 @@
+"""Register-file memories: one register per word.
+
+Formal analysis needs every memory word to be an individual state variable
+so that the symbolic victim address range of the paper (Sec. 3.4,
+"We model the address ranges symbolically") can classify each word as
+confidential or not with a per-word guard expression.  This module builds
+such memories on top of plain registers, with a balanced mux tree for
+reads and per-word write decode.
+"""
+
+from __future__ import annotations
+
+from .circuit import Scope
+from .expr import Const, Expr, RegRead, mux
+
+__all__ = ["RegisterFileMemory"]
+
+
+class RegisterFileMemory:
+    """A word-per-register memory with one synchronous write port.
+
+    Words carry ``kind="memory"`` metadata with their array name and index,
+    which the UPEC classifier uses to model victim/attacker memory regions.
+    """
+
+    def __init__(
+        self,
+        scope: Scope,
+        name: str,
+        words: int,
+        width: int,
+        accessible: bool | None = None,
+        init: list[int] | None = None,
+    ):
+        if words < 1:
+            raise ValueError("memory must have at least one word")
+        self.name = name
+        self.words = words
+        self.width = width
+        self.addr_bits = max(1, (words - 1).bit_length())
+        array_name = scope._qualify(name)
+        init = init or [0] * words
+        if len(init) != words:
+            raise ValueError("init list length must equal word count")
+        self.word_regs: list[RegRead] = [
+            scope.reg(
+                f"{name}[{i}]",
+                width,
+                reset=init[i],
+                kind="memory",
+                accessible=accessible,
+                array=array_name,
+                index=i,
+            )
+            for i in range(words)
+        ]
+        self._scope = scope
+        self._written = False
+
+    def read(self, addr: Expr) -> Expr:
+        """Asynchronous read: balanced mux tree over the word registers."""
+        if addr.width < self.addr_bits:
+            raise ValueError(
+                f"address width {addr.width} too narrow for {self.words} words"
+            )
+        level: list[Expr] = list(self.word_regs)
+        bit = 0
+        while len(level) > 1:
+            sel = addr[bit]
+            nxt: list[Expr] = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    nxt.append(mux(sel, level[i + 1], level[i]))
+                else:
+                    nxt.append(level[i])
+            level = nxt
+            bit += 1
+        return level[0]
+
+    def write(self, enable: Expr, addr: Expr, data: Expr) -> None:
+        """Attach the (single) synchronous write port.
+
+        Each word register is driven with ``data`` when ``enable`` is high
+        and the address decodes to its index, else it holds its value.
+        """
+        if self._written:
+            raise ValueError(f"memory {self.name} already has a write port")
+        if enable.width != 1:
+            raise ValueError("write enable must be 1 bit")
+        if data.width != self.width:
+            raise ValueError(
+                f"write data width {data.width} != memory width {self.width}"
+            )
+        circuit = self._scope.circuit
+        for i, word in enumerate(self.word_regs):
+            hit = enable & addr.eq(Const(i, addr.width))
+            circuit.set_next(word, mux(hit, data, word))
+        self._written = True
+
+    def tie_off(self) -> None:
+        """Drive all words to hold their value (read-only memory)."""
+        if self._written:
+            raise ValueError(f"memory {self.name} already has a write port")
+        circuit = self._scope.circuit
+        for word in self.word_regs:
+            circuit.set_next(word, word)
+        self._written = True

@@ -1,0 +1,61 @@
+"""Human-readable formatting of RTL expressions.
+
+Used by counterexample reports and ``Expr.__repr__``; kept separate from
+:mod:`repro.rtl.expr` so the IR module has no formatting concerns.
+"""
+
+from __future__ import annotations
+
+from .expr import Const, Expr, Input, MemRead, Op, RegRead
+
+_INFIX = {
+    "AND": "&",
+    "OR": "|",
+    "XOR": "^",
+    "ADD": "+",
+    "SUB": "-",
+    "MUL": "*",
+    "EQ": "==",
+    "ULT": "<u",
+    "ULE": "<=u",
+    "SLT": "<s",
+    "SHL": "<<",
+    "LSHR": ">>",
+    "ASHR": ">>>",
+}
+
+
+def format_expr(e: Expr, max_depth: int = 12) -> str:
+    """Render ``e`` as a compact infix string, eliding beyond ``max_depth``."""
+    if max_depth <= 0:
+        return "..."
+    if isinstance(e, Const):
+        if e.width == 1:
+            return str(e.value)
+        return f"{e.width}'h{e.value:x}"
+    if isinstance(e, Input):
+        return e.name
+    if isinstance(e, RegRead):
+        return e.name
+    if isinstance(e, MemRead):
+        return f"{e.mem_name}[{format_expr(e.addr, max_depth - 1)}]"
+    assert isinstance(e, Op)
+    sub = [format_expr(c, max_depth - 1) for c in e.operands]
+    if e.kind == "NOT":
+        return f"~{sub[0]}"
+    if e.kind in _INFIX:
+        return f"({sub[0]} {_INFIX[e.kind]} {sub[1]})"
+    if e.kind == "MUX":
+        return f"({sub[0]} ? {sub[1]} : {sub[2]})"
+    if e.kind == "SLICE":
+        hi, lo = e.params
+        if hi == lo:
+            return f"{sub[0]}[{hi}]"
+        return f"{sub[0]}[{hi}:{lo}]"
+    if e.kind == "CAT":
+        return "{" + ", ".join(sub) + "}"
+    if e.kind in ("ZEXT", "SEXT"):
+        return f"{e.kind.lower()}({sub[0]}, {e.width})"
+    if e.kind in ("RED_OR", "RED_AND", "RED_XOR"):
+        return f"{e.kind.lower()}({sub[0]})"
+    return f"{e.kind}({', '.join(sub)})"

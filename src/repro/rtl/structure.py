@@ -1,0 +1,99 @@
+"""Structural analysis of circuits.
+
+Implements the "simple structural analysis of the RTL model" that the
+paper relies on (Sec. 3.4) to enumerate state variables, group them by
+owning module, and compute fan-in cones (which registers and inputs can
+influence a given expression combinationally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .circuit import Circuit
+from .expr import Expr, Input, MemRead, RegRead, topo_sort
+
+__all__ = ["StateSummary", "state_summary", "fanin_regs", "fanin_inputs",
+           "influence_closure"]
+
+
+@dataclass
+class StateSummary:
+    """Aggregate statistics over a circuit's state, for reporting (E7)."""
+
+    total_registers: int
+    total_state_bits: int
+    by_owner: dict[str, int]
+    by_kind: dict[str, int]
+
+    def format_table(self) -> str:
+        """Render the per-module breakdown as an aligned text table."""
+        lines = [f"{'module':<32} {'state bits':>10}"]
+        lines.append("-" * 43)
+        for owner in sorted(self.by_owner):
+            lines.append(f"{owner or '<root>':<32} {self.by_owner[owner]:>10}")
+        lines.append("-" * 43)
+        lines.append(f"{'total':<32} {self.total_state_bits:>10}")
+        return "\n".join(lines)
+
+
+def state_summary(circuit: Circuit) -> StateSummary:
+    """Count state bits per owning module and per classification kind."""
+    by_owner: dict[str, int] = {}
+    by_kind: dict[str, int] = {}
+    for info in circuit.regs.values():
+        by_owner[info.meta.owner] = by_owner.get(info.meta.owner, 0) + info.width
+        by_kind[info.meta.kind] = by_kind.get(info.meta.kind, 0) + info.width
+    for mem in circuit.memories.values():
+        bits = mem.words * mem.width
+        by_owner["<behavioural mem>"] = by_owner.get("<behavioural mem>", 0) + bits
+        by_kind["memory"] = by_kind.get("memory", 0) + bits
+    return StateSummary(
+        total_registers=len(circuit.regs),
+        total_state_bits=circuit.state_bits(),
+        by_owner=by_owner,
+        by_kind=by_kind,
+    )
+
+
+def fanin_regs(roots: list[Expr]) -> set[str]:
+    """Names of all registers in the combinational fan-in of ``roots``."""
+    return {
+        node.name for node in topo_sort(roots) if isinstance(node, RegRead)
+    }
+
+
+def fanin_inputs(roots: list[Expr]) -> set[str]:
+    """Names of all primary inputs in the combinational fan-in of ``roots``."""
+    names: set[str] = set()
+    for node in topo_sort(roots):
+        if isinstance(node, Input):
+            names.add(node.name)
+        elif isinstance(node, MemRead):
+            names.add(node.mem_name)
+    return names
+
+
+def influence_closure(circuit: Circuit, seeds: set[str]) -> set[str]:
+    """Registers transitively influenceable (over any number of cycles) by
+    the registers/inputs named in ``seeds``.
+
+    This is the sequential forward-reachability closure over the register
+    dependency graph — useful for sanity-checking which state a victim
+    interface could ever touch, before running the exact UPEC-SSC proof.
+    """
+    # Build the one-cycle dependency map: reg -> set of regs/inputs it reads.
+    depends: dict[str, set[str]] = {}
+    for name, info in circuit.regs.items():
+        assert info.next is not None, f"register {name} undriven"
+        deps = fanin_regs([info.next]) | fanin_inputs([info.next])
+        depends[name] = deps
+    influenced = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for name, deps in depends.items():
+            if name not in influenced and deps & influenced:
+                influenced.add(name)
+                changed = True
+    return influenced - set(seeds) | ({s for s in seeds if s in circuit.regs})

@@ -1,0 +1,161 @@
+"""Verilog-2001 export of circuits.
+
+Emits a flat synthesizable module from a :class:`Circuit` so designs
+built with this framework can be inspected with standard EDA tooling
+(Yosys, Verilator, commercial property checkers) — the form in which the
+paper's method would meet a real Pulpissimo netlist.  Behavioural
+memories become unpacked arrays with synchronous write processes.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .circuit import Circuit
+from .expr import Const, Expr, Input, MemRead, Op, RegRead, topo_sort
+
+__all__ = ["to_verilog"]
+
+_INFIX = {
+    "AND": "&",
+    "OR": "|",
+    "XOR": "^",
+    "ADD": "+",
+    "SUB": "-",
+    "MUL": "*",
+}
+
+
+def _ident(name: str) -> str:
+    """Flatten a hierarchical name into a legal Verilog identifier."""
+    out = name.replace(".", "__").replace("[", "_").replace("]", "")
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def to_verilog(circuit: Circuit, module_name: str | None = None) -> str:
+    """Render the circuit as a single flat Verilog module."""
+    circuit.validate()
+    module_name = module_name or _ident(circuit.name)
+    order = topo_sort(circuit.roots())
+    buf = io.StringIO()
+
+    ports = ["input wire clk", "input wire rst_n"]
+    for name, node in circuit.inputs.items():
+        width = f"[{node.width - 1}:0] " if node.width > 1 else ""
+        ports.append(f"input wire {width}{_ident(name)}")
+    for name, expr in circuit.nets.items():
+        width = f"[{expr.width - 1}:0] " if expr.width > 1 else ""
+        ports.append(f"output wire {width}{_ident(name)}")
+    buf.write(f"module {module_name} (\n    ")
+    buf.write(",\n    ".join(ports))
+    buf.write("\n);\n\n")
+
+    for name, info in circuit.regs.items():
+        width = f"[{info.width - 1}:0] " if info.width > 1 else ""
+        buf.write(f"reg {width}{_ident(name)};\n")
+    for name, mem in circuit.memories.items():
+        width = f"[{mem.width - 1}:0] " if mem.width > 1 else ""
+        buf.write(f"reg {width}{_ident(name)} [0:{mem.words - 1}];\n")
+    buf.write("\n")
+
+    # Combinational netlist: one wire per operator node.
+    names: dict[int, str] = {}
+
+    def ref(e: Expr) -> str:
+        return names[e.uid]
+
+    for node in order:
+        if isinstance(node, Const):
+            names[node.uid] = f"{node.width}'h{node.value:x}"
+            continue
+        if isinstance(node, Input):
+            names[node.uid] = _ident(node.name)
+            continue
+        if isinstance(node, RegRead):
+            names[node.uid] = _ident(node.name)
+            continue
+        wire = f"n{node.uid}"
+        names[node.uid] = wire
+        width = f"[{node.width - 1}:0] " if node.width > 1 else ""
+        buf.write(f"wire {width}{wire} = {_render_op(node, ref)};\n")
+
+    buf.write("\n")
+    for name, expr in circuit.nets.items():
+        buf.write(f"assign {_ident(name)} = {ref(expr)};\n")
+
+    buf.write("\nalways @(posedge clk or negedge rst_n) begin\n")
+    buf.write("    if (!rst_n) begin\n")
+    for name, info in circuit.regs.items():
+        buf.write(
+            f"        {_ident(name)} <= {info.width}'h{info.reset:x};\n"
+        )
+    buf.write("    end else begin\n")
+    for name, info in circuit.regs.items():
+        buf.write(f"        {_ident(name)} <= {ref(info.next)};\n")
+    buf.write("    end\nend\n")
+
+    for name, mem in circuit.memories.items():
+        for i, port in enumerate(mem.write_ports):
+            buf.write(
+                f"\nalways @(posedge clk) begin  // {name} port {i}\n"
+                f"    if ({ref(port.enable)})\n"
+                f"        {_ident(name)}[{ref(port.addr)}] <= {ref(port.data)};\n"
+                f"end\n"
+            )
+
+    buf.write("\nendmodule\n")
+    return buf.getvalue()
+
+
+def _render_op(node: Expr, ref) -> str:
+    if isinstance(node, MemRead):
+        return f"{_ident(node.mem_name)}[{ref(node.addr)}]"
+    assert isinstance(node, Op)
+    kind = node.kind
+    ops = node.operands
+    if kind == "NOT":
+        return f"~{ref(ops[0])}"
+    if kind in _INFIX:
+        return f"{ref(ops[0])} {_INFIX[kind]} {ref(ops[1])}"
+    if kind == "EQ":
+        return f"{ref(ops[0])} == {ref(ops[1])}"
+    if kind == "ULT":
+        return f"{ref(ops[0])} < {ref(ops[1])}"
+    if kind == "ULE":
+        return f"{ref(ops[0])} <= {ref(ops[1])}"
+    if kind == "SLT":
+        return f"$signed({ref(ops[0])}) < $signed({ref(ops[1])})"
+    if kind == "SHL":
+        return f"{ref(ops[0])} << {ref(ops[1])}"
+    if kind == "LSHR":
+        return f"{ref(ops[0])} >> {ref(ops[1])}"
+    if kind == "ASHR":
+        return f"$signed({ref(ops[0])}) >>> {ref(ops[1])}"
+    if kind == "MUX":
+        return f"{ref(ops[0])} ? {ref(ops[1])} : {ref(ops[2])}"
+    if kind == "CAT":
+        return "{" + ", ".join(ref(op) for op in ops) + "}"
+    if kind == "SLICE":
+        hi, lo = node.params
+        if isinstance(ops[0], Const):
+            value = (ops[0].value >> lo) & ((1 << (hi - lo + 1)) - 1)
+            return f"{node.width}'h{value:x}"
+        if hi == lo:
+            return f"{ref(ops[0])}[{hi}]"
+        return f"{ref(ops[0])}[{hi}:{lo}]"
+    if kind == "ZEXT":
+        pad = node.width - ops[0].width
+        return "{" + f"{pad}'h0, {ref(ops[0])}" + "}"
+    if kind == "SEXT":
+        pad = node.width - ops[0].width
+        top = f"{ref(ops[0])}[{ops[0].width - 1}]"
+        return "{{" + f"{pad}{{{top}}}" + "}, " + ref(ops[0]) + "}"
+    if kind == "RED_OR":
+        return f"|{ref(ops[0])}"
+    if kind == "RED_AND":
+        return f"&{ref(ops[0])}"
+    if kind == "RED_XOR":
+        return f"^{ref(ops[0])}"
+    raise NotImplementedError(f"unknown op kind {kind}")

@@ -1,0 +1,7 @@
+"""SAT solving: CDCL solver and DIMACS I/O."""
+
+from .dimacs import parse_dimacs, solver_from_dimacs, write_dimacs
+from .solver import SAT, UNSAT, Solver
+
+__all__ = ["Solver", "SAT", "UNSAT", "parse_dimacs", "solver_from_dimacs",
+           "write_dimacs"]

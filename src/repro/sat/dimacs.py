@@ -1,0 +1,57 @@
+"""DIMACS CNF reading/writing.
+
+Lets users export the CNF instances produced by the UPEC-SSC flow for
+cross-checking with external solvers, and import standard benchmark
+instances into :class:`repro.sat.Solver`.
+"""
+
+from __future__ import annotations
+
+from .solver import Solver
+
+__all__ = ["parse_dimacs", "write_dimacs", "solver_from_dimacs"]
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Parse DIMACS CNF text; returns (num_vars, clauses)."""
+    num_vars = 0
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+                num_vars = max(num_vars, abs(lit))
+    if current:
+        clauses.append(current)
+    return num_vars, clauses
+
+
+def write_dimacs(num_vars: int, clauses: list[list[int]]) -> str:
+    """Render clauses as DIMACS CNF text."""
+    lines = [f"p cnf {num_vars} {len(clauses)}"]
+    for clause in clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def solver_from_dimacs(text: str) -> Solver:
+    """Build a solver preloaded with the clauses of a DIMACS instance."""
+    num_vars, clauses = parse_dimacs(text)
+    solver = Solver()
+    solver.ensure_vars(num_vars)
+    solver.add_clauses(clauses)
+    return solver

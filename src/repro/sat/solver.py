@@ -1,0 +1,439 @@
+"""A CDCL SAT solver (MiniSat lineage) in pure Python.
+
+This is the decision procedure underneath the IPC/UPEC-SSC engines, in
+place of the commercial property checker (OneSpin 360 DV) used in the
+paper.  Implements the standard modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* exponential VSIDS branching with phase saving,
+* Luby-sequence restarts,
+* activity-driven learned-clause database reduction,
+* incremental solving under assumptions (MiniSat ``solve(assumps)``
+  semantics): clauses may be added between calls and learned clauses are
+  kept, which is what makes the iterative Algorithm 1 loop cheap.
+
+Literals use DIMACS conventions externally (non-zero ints, sign =
+polarity); internally literals are encoded as ``2*var + neg``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+__all__ = ["Solver", "SAT", "UNSAT"]
+
+SAT = True
+UNSAT = False
+
+
+def _luby(x: int) -> int:
+    """The x-th element (0-based) of the Luby restart sequence (MiniSat)."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """Incremental CDCL SAT solver."""
+
+    def __init__(self):
+        self.n_vars = 0
+        # Indexed by internal literal (2v / 2v+1): lists of clause refs.
+        self._watches: list[list[list[int]]] = [[], []]
+        self._assign: list[int] = [0]  # per var: 0 unassigned, 1 true, -1 false
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._polarity: list[bool] = [False]
+        self._trail: list[int] = []  # internal literals, assignment order
+        self._trail_lim: list[int] = []  # trail length at each decision level
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._learned: list[list[int]] = []
+        self._cla_activity: dict[int, float] = {}
+        self._order: list[tuple[float, int]] = []  # heap of (-activity, var)
+        self._model: list[int] = [0]  # copy of assignments at last SAT answer
+        self._ok = True  # False once the clause set is trivially UNSAT
+        # Statistics, exposed for the benchmark harness.
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+
+    # -- variable / clause management ---------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) DIMACS index."""
+        self.n_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._order, (0.0, self.n_vars))
+        return self.n_vars
+
+    def ensure_vars(self, n: int) -> None:
+        """Grow the variable table so that variables 1..n exist."""
+        while self.n_vars < n:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause of DIMACS literals; returns False if UNSAT results.
+
+        The solver must be at decision level 0 (i.e. between ``solve``
+        calls) when clauses are added.
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        seen: set[int] = set()
+        clause: list[int] = []
+        for ext in lits:
+            var = abs(ext)
+            self.ensure_vars(var)
+            lit = 2 * var + (1 if ext < 0 else 0)
+            if lit ^ 1 in seen:
+                return True  # tautology: contains x and !x
+            if lit in seen:
+                continue
+            value = self._lit_value(lit)
+            if value == 1 and self._level[var] == 0:
+                return True  # already satisfied at top level
+            if value == -1 and self._level[var] == 0:
+                continue  # already false at top level: drop literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        self._attach(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Add several clauses; returns False if UNSAT results."""
+        result = True
+        for clause in clauses:
+            result = self.add_clause(clause) and result
+        return result
+
+    def _attach(self, clause: list[int]) -> None:
+        self._watches[clause[0] ^ 1].append(clause)
+        self._watches[clause[1] ^ 1].append(clause)
+
+    # -- assignment primitives ------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        """1 true, -1 false, 0 unassigned."""
+        v = self._assign[lit >> 1]
+        if v == 0:
+            return 0
+        return -v if lit & 1 else v
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        value = self._lit_value(lit)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        var = lit >> 1
+        self._assign[var] = -1 if lit & 1 else 1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._polarity[var] = not (lit & 1)
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        watches = self._watches
+        assign = self._assign
+        trail = self._trail
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            watch_list = watches[lit]
+            i = 0
+            j = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                # Make sure the false literal is at position 1.
+                if clause[0] == lit ^ 1:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                v0 = assign[first >> 1]
+                if (v0 == 1 and not first & 1) or (v0 == -1 and first & 1):
+                    watch_list[j] = clause
+                    j += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    lk = clause[k]
+                    vk = assign[lk >> 1]
+                    if vk == 0 or (vk == 1 and not lk & 1) or (vk == -1 and lk & 1):
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[clause[1] ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                watch_list[j] = clause
+                j += 1
+                # Clause is unit or conflicting.
+                if v0 == 0:
+                    if not self._enqueue(first, clause):  # pragma: no cover
+                        raise AssertionError("enqueue of unit literal failed")
+                else:
+                    # Conflict: copy the remaining watchers and report.
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
+                    del watch_list[j:]
+                    self._qhead = len(trail)
+                    return clause
+            del watch_list[j:]
+        return None
+
+    # -- conflict analysis ------------------------------------------------------
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.n_vars + 1)
+        counter = 0
+        lit = -1
+        index = len(self._trail)
+        reason: list[int] | None = conflict
+        current_level = len(self._trail_lim)
+        while True:
+            assert reason is not None
+            for q in reason if lit == -1 else reason[1:]:
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Find the next literal on the trail to resolve on.
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[lit >> 1]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[lit >> 1]
+            seen[lit >> 1] = False
+        learned[0] = lit ^ 1
+        # Minimal backjump level = max level among the other literals.
+        if len(learned) == 1:
+            back_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learned)):
+                if self._level[learned[i] >> 1] > self._level[learned[max_i] >> 1]:
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            back_level = self._level[learned[1] >> 1]
+        return learned, back_level
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.n_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+            # Rescaling invalidates heap priorities; rebuild (rare).
+            self._order = [
+                (-self._activity[v], v)
+                for v in range(1, self.n_vars + 1)
+                if self._assign[v] == 0
+            ]
+            heapq.heapify(self._order)
+        else:
+            heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        assign = self._assign
+        activity = self._activity
+        order = self._order
+        for lit in reversed(self._trail[limit:]):
+            var = lit >> 1
+            assign[var] = 0
+            self._reason[var] = None
+            heapq.heappush(order, (-activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # -- learned clause DB ---------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Drop the less active half of the learned clauses."""
+        act = self._cla_activity
+        self._learned.sort(key=lambda c: act.get(id(c), 0.0))
+        keep_from = len(self._learned) // 2
+        locked = {id(self._reason[lit >> 1]) for lit in self._trail
+                  if self._reason[lit >> 1] is not None}
+        dropped: set[int] = set()
+        kept: list[list[int]] = []
+        for i, clause in enumerate(self._learned):
+            if i >= keep_from or len(clause) <= 2 or id(clause) in locked:
+                kept.append(clause)
+            else:
+                dropped.add(id(clause))
+        if not dropped:
+            return
+        self._learned = kept
+        for lists in self._watches:
+            lists[:] = [c for c in lists if id(c) not in dropped]
+        for cid in dropped:
+            self._cla_activity.pop(cid, None)
+
+    # -- main search -----------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Search for a model under the given assumption literals.
+
+        Returns True (SAT) or False (UNSAT under assumptions).  On SAT the
+        model is available through :meth:`value`.
+        """
+        if not self._ok:
+            return UNSAT
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return UNSAT
+        assumps = [2 * abs(a) + (1 if a < 0 else 0) for a in assumptions]
+        for a in assumps:
+            self.ensure_vars(a >> 1)
+        restarts = 0
+        conflict_budget = 100 * _luby(restarts)
+        conflicts_here = 0
+        max_learned = max(1000, self._clause_count() // 3)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts_here += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return UNSAT
+                if len(self._trail_lim) <= len(assumps):
+                    # Conflict forced purely by the assumptions.
+                    self._backtrack(0)
+                    return UNSAT
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(max(back_level, 0))
+                if len(learned) == 1:
+                    self._backtrack(0)
+                    if not self._enqueue(learned[0], None):
+                        self._ok = False
+                        return UNSAT
+                else:
+                    self._attach(learned)
+                    self._learned.append(learned)
+                    self._cla_activity[id(learned)] = self._cla_inc
+                    self.stats["learned"] += 1
+                    self._enqueue(learned[0], learned)
+                self._var_inc /= self._var_decay
+                self._cla_inc /= 0.999
+                continue
+            if conflicts_here >= conflict_budget:
+                # Restart, keeping assumptions intact.
+                self.stats["restarts"] += 1
+                restarts += 1
+                conflict_budget = 100 * _luby(restarts)
+                conflicts_here = 0
+                self._backtrack(0)
+                continue
+            if len(self._learned) > max_learned:
+                self._reduce_db()
+                max_learned = int(max_learned * 1.3)
+            # Place assumptions as the first decisions.
+            level = len(self._trail_lim)
+            if level < len(assumps):
+                lit = assumps[level]
+                value = self._lit_value(lit)
+                if value == -1:
+                    self._backtrack(0)
+                    return UNSAT
+                self._trail_lim.append(len(self._trail))
+                if value == 0:
+                    self._enqueue(lit, None)
+                continue
+            decision = self._pick_branch()
+            if decision == 0:
+                self._model = list(self._assign)
+                self._backtrack(0)
+                return SAT
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    def _pick_branch(self) -> int:
+        """Pick the unassigned variable with highest activity (0 if none).
+
+        The heap may contain stale entries (assigned vars, outdated
+        activities); they are skipped or superseded by fresher pushes.
+        """
+        order = self._order
+        assign = self._assign
+        while order:
+            __, var = heapq.heappop(order)
+            if assign[var] == 0:
+                return 2 * var + (0 if self._polarity[var] else 1)
+        return 0
+
+    def _clause_count(self) -> int:
+        return sum(len(w) for w in self._watches) // 2
+
+    # -- model access --------------------------------------------------------------------
+
+    def value(self, ext_lit: int) -> bool:
+        """Value of a DIMACS literal in the last SAT model (False if unknown)."""
+        var = abs(ext_lit)
+        if var >= len(self._model):
+            return False
+        v = self._model[var]
+        return (v == 1) if ext_lit > 0 else (v == -1)
+
+    def model(self) -> list[int]:
+        """The last SAT model as a list of DIMACS literals (one per variable)."""
+        return [
+            var if self.value(var) else -var
+            for var in range(1, len(self._model))
+        ]

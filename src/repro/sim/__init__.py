@@ -1,0 +1,7 @@
+"""Cycle-accurate simulation: interpreter/compiled backends and VCD dumps."""
+
+from .simulator import Simulator, evaluate
+from .testbench import BusDriver
+from .vcd import VcdTracer
+
+__all__ = ["Simulator", "evaluate", "BusDriver", "VcdTracer"]

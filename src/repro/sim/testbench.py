@@ -1,0 +1,108 @@
+"""Testbench helpers: drive bus transactions into a simulated SoC.
+
+:class:`BusDriver` plays the role of the CPU on a formal-configuration
+SoC (where the CPU is cut and its master port is exposed as inputs):
+it performs granted OBI write/read transactions, respecting stalls —
+which makes it equally useful for scripting the *attacker task* of the
+three-phase attacks in :mod:`repro.attacks`.
+"""
+
+from __future__ import annotations
+
+from .simulator import Simulator
+
+__all__ = ["BusDriver"]
+
+
+class BusDriver:
+    """Issue OBI transactions through the cut CPU port of a simulated SoC.
+
+    Args:
+        sim: simulator of a formal-configuration SoC (CPU cut).
+        valid/addr/we/wdata: input names of the master port.
+        gnt/rvalid/rdata: probe-net names of the response side.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        valid: str = "cpu_req_valid",
+        addr: str = "cpu_req_addr",
+        we: str = "cpu_req_we",
+        wdata: str = "cpu_req_wdata",
+        gnt: str = "soc.cpu_gnt",
+        rvalid: str = "soc.cpu_rvalid",
+        rdata: str = "soc.cpu_rdata",
+    ):
+        self.sim = sim
+        self._in = {"valid": valid, "addr": addr, "we": we, "wdata": wdata}
+        self._out = {"gnt": gnt, "rvalid": rvalid, "rdata": rdata}
+
+    def idle(self, cycles: int = 1) -> None:
+        """Advance the clock without any request."""
+        for _ in range(cycles):
+            self.sim.step({})
+
+    def write(self, addr: int, data: int, timeout: int = 64) -> int:
+        """Perform one write; returns the number of stall cycles endured."""
+        stalls = 0
+        while True:
+            nets = self.sim.step(
+                {
+                    self._in["valid"]: 1,
+                    self._in["addr"]: addr,
+                    self._in["we"]: 1,
+                    self._in["wdata"]: data,
+                }
+            )
+            if nets[self._out["gnt"]]:
+                return stalls
+            stalls += 1
+            if stalls > timeout:
+                raise TimeoutError(f"write to {addr:#x} never granted")
+
+    def read(self, addr: int, timeout: int = 64) -> int:
+        """Perform one read; returns the data word."""
+        stalls = 0
+        while True:
+            nets = self.sim.step(
+                {
+                    self._in["valid"]: 1,
+                    self._in["addr"]: addr,
+                    self._in["we"]: 0,
+                }
+            )
+            if nets[self._out["gnt"]]:
+                break
+            stalls += 1
+            if stalls > timeout:
+                raise TimeoutError(f"read of {addr:#x} never granted")
+        waited = 0
+        while True:
+            nets = self.sim.step({})
+            if nets[self._out["rvalid"]]:
+                return nets[self._out["rdata"]]
+            waited += 1
+            if waited > timeout:
+                raise TimeoutError(f"read of {addr:#x}: no rvalid")
+
+    def read_stalls(self, addr: int, timeout: int = 64) -> tuple[int, int]:
+        """Like :meth:`read` but returns (data, address-phase stalls)."""
+        stalls = 0
+        while True:
+            nets = self.sim.step(
+                {
+                    self._in["valid"]: 1,
+                    self._in["addr"]: addr,
+                    self._in["we"]: 0,
+                }
+            )
+            if nets[self._out["gnt"]]:
+                break
+            stalls += 1
+            if stalls > timeout:
+                raise TimeoutError(f"read of {addr:#x} never granted")
+        while True:
+            nets = self.sim.step({})
+            if nets[self._out["rvalid"]]:
+                return nets[self._out["rdata"]], stalls

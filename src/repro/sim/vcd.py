@@ -1,0 +1,92 @@
+"""Minimal VCD (Value Change Dump) writer for simulation traces.
+
+Lets users inspect attack demonstrations in standard waveform viewers
+(GTKWave etc.).  Only the subset of VCD needed for register/net traces is
+implemented.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .simulator import Simulator
+
+__all__ = ["VcdTracer"]
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(chars)
+
+
+class VcdTracer:
+    """Record selected signals of a simulator run and emit a VCD file.
+
+    Usage::
+
+        tracer = VcdTracer(sim, ["soc.hwpe.progress", "soc.timer.count"])
+        for _ in range(100):
+            sim.step(...)
+            tracer.sample()
+        tracer.write("trace.vcd")
+    """
+
+    def __init__(self, sim: Simulator, signals: list[str]):
+        self.sim = sim
+        self.signals = list(signals)
+        self.widths = {}
+        for name in self.signals:
+            if name in sim.circuit.regs:
+                self.widths[name] = sim.circuit.regs[name].width
+            elif name in sim.circuit.nets:
+                self.widths[name] = sim.circuit.nets[name].width
+            else:
+                raise KeyError(f"no register or net named {name!r}")
+        self.samples: list[tuple[int, dict[str, int]]] = []
+
+    def sample(self) -> None:
+        """Record the current value of every traced signal."""
+        values = {name: self.sim.peek(name) for name in self.signals}
+        self.samples.append((self.sim.cycle, values))
+
+    def dumps(self) -> str:
+        """Render the recorded samples as VCD text."""
+        out = io.StringIO()
+        out.write("$date reproduction run $end\n")
+        out.write("$timescale 1ns $end\n")
+        out.write("$scope module top $end\n")
+        ids = {}
+        for i, name in enumerate(self.signals):
+            ident = _identifier(i)
+            ids[name] = ident
+            safe = name.replace(".", "_").replace("[", "_").replace("]", "")
+            out.write(f"$var wire {self.widths[name]} {ident} {safe} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        last: dict[str, int] = {}
+        for cycle, values in self.samples:
+            changes = [
+                (name, value)
+                for name, value in values.items()
+                if last.get(name) != value
+            ]
+            if changes:
+                out.write(f"#{cycle}\n")
+                for name, value in changes:
+                    width = self.widths[name]
+                    if width == 1:
+                        out.write(f"{value}{ids[name]}\n")
+                    else:
+                        out.write(f"b{value:b} {ids[name]}\n")
+                    last[name] = value
+        return out.getvalue()
+
+    def write(self, path: str) -> None:
+        """Write the VCD text to ``path``."""
+        with open(path, "w") as f:
+            f.write(self.dumps())

@@ -1,0 +1,46 @@
+"""Pulpissimo-style MCU SoC: CPU, crossbar, DMA, HWPE, peripherals.
+
+The case-study substrate of the paper (Sec. 4).  ``build_soc`` assembles
+a vulnerable or secured SoC from a :class:`SocConfig`; formal builds cut
+the CPU and come with a ready :class:`~repro.upec.ThreatModel`.
+"""
+
+from .address_map import AddressMap, build_address_map
+from .config import ATTACK_DEMO, FORMAL_SMALL, FORMAL_TINY, SIM_DEFAULT, SocConfig
+from .crossbar import Crossbar, SlaveRegion
+from .dma import Dma
+from .firmware import config_word_is_legal, private_region_constraints
+from .gpio import Gpio
+from .hwpe import Hwpe
+from .obi import ObiRequest, ObiResponse, idle_request
+from .pulpissimo import Soc, build_soc
+from .spi import Spi
+from .sram import Sram
+from .timer import Timer
+from .uart import Uart
+
+__all__ = [
+    "AddressMap",
+    "build_address_map",
+    "ATTACK_DEMO",
+    "FORMAL_SMALL",
+    "FORMAL_TINY",
+    "SIM_DEFAULT",
+    "SocConfig",
+    "Crossbar",
+    "SlaveRegion",
+    "Dma",
+    "config_word_is_legal",
+    "private_region_constraints",
+    "Gpio",
+    "Hwpe",
+    "ObiRequest",
+    "ObiResponse",
+    "idle_request",
+    "Soc",
+    "build_soc",
+    "Spi",
+    "Sram",
+    "Timer",
+    "Uart",
+]

@@ -1,0 +1,98 @@
+"""SoC address map construction.
+
+Lays out the word-addressed bus space: the public memory at address 0,
+the private memory next, then one page per peripheral register block.
+All regions are power-of-two sized and size-aligned, so address decoding
+is a mask compare and the symbolic victim page maps cleanly onto device
+words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import SocConfig
+from .crossbar import SlaveRegion
+
+__all__ = ["AddressMap", "build_address_map"]
+
+
+@dataclass
+class AddressMap:
+    """Ordered slave regions plus name-based lookup helpers."""
+
+    regions: list[SlaveRegion] = field(default_factory=list)
+
+    def index_of(self, name: str) -> int:
+        """Slave index of a region name."""
+        for i, region in enumerate(self.regions):
+            if region.name == name:
+                return i
+        raise KeyError(f"no region named {name!r}")
+
+    def region(self, name: str) -> SlaveRegion:
+        """Region by name."""
+        return self.regions[self.index_of(name)]
+
+    def base(self, name: str) -> int:
+        """Base word address of a region."""
+        return self.region(name).base
+
+    def has(self, name: str) -> bool:
+        """Whether a region exists."""
+        return any(r.name == name for r in self.regions)
+
+    def pages_of(self, name: str, page_bits: int) -> range:
+        """Page indices covered by a region."""
+        region = self.region(name)
+        return range(region.base >> page_bits,
+                     (region.base + region.size) >> page_bits)
+
+    def format_table(self) -> str:
+        """Aligned text rendering of the map."""
+        lines = [f"{'region':<12} {'base':>6} {'size':>6}"]
+        lines.append("-" * 26)
+        for region in self.regions:
+            lines.append(
+                f"{region.name:<12} {region.base:>#6x} {region.size:>6}"
+            )
+        return "\n".join(lines)
+
+
+def build_address_map(cfg: SocConfig) -> AddressMap:
+    """Lay out the bus regions for a configuration."""
+    amap = AddressMap()
+    cursor = 0
+
+    def add(name: str, size: int, latency: int = 1) -> None:
+        nonlocal cursor
+        if size & (size - 1):
+            raise ValueError(f"region {name}: size {size} not a power of two")
+        cursor = (cursor + size - 1) & ~(size - 1)  # align up
+        if cursor + size > (1 << cfg.addr_width):
+            raise ValueError(
+                f"address space overflow placing {name}: widen addr_width"
+            )
+        amap.regions.append(
+            SlaveRegion(name=name, base=cursor, size=size, latency=latency)
+        )
+        cursor += size
+
+    add("pub_ram", cfg.pub_mem_words)
+    add("priv_ram", cfg.priv_mem_words, latency=cfg.priv_mem_latency)
+    # Peripheral register blocks decode 3 offset bits (up to 8 registers),
+    # so their regions are at least 8 words even with smaller pages.
+    block = max(cfg.page_size, 8)
+    if cfg.include_dma:
+        add("dma", block)
+    if cfg.include_hwpe:
+        add("hwpe", block)
+    if cfg.include_timer:
+        add("timer", block)
+    if cfg.include_uart:
+        add("uart", block)
+    if cfg.include_gpio:
+        add("gpio", block)
+    if cfg.include_spi:
+        add("spi", block)
+    return amap

@@ -1,0 +1,153 @@
+"""Configuration of the Pulpissimo-style SoC.
+
+One :class:`SocConfig` drives both build flavours:
+
+* **simulation** configs include the RV32-subset CPU and use behavioural
+  memories (fast, thousands of cycles for the attack demos);
+* **formal** configs cut the CPU (its data port becomes the symbolic
+  victim interface, per Obs. 1 of the paper) and use register-file
+  memories so every word is an individually classifiable state variable.
+
+The address space is word-addressed and divided into aligned pages of
+``2**page_bits`` words; the symbolic protected range of the threat model
+is one such page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SocConfig", "FORMAL_TINY", "FORMAL_SMALL", "ATTACK_DEMO",
+           "SIM_DEFAULT"]
+
+
+@dataclass
+class SocConfig:
+    """Parameters of the SoC build.
+
+    Attributes:
+        data_width: width of data words and registers.
+        addr_width: width of bus addresses (word addressing).
+        page_bits: log2 of the page size in words; the protected victim
+            range is one page.
+        pub_mem_words / priv_mem_words: sizes of the two memory devices
+            (Pulpissimo's public and private L2 memories, Sec. 4.2).
+        include_cpu: build the 2-stage RV32-subset core (simulation) or
+            cut it and expose the victim interface (formal).
+        include_dma / include_hwpe / include_timer / include_uart /
+        include_gpio / include_spi: peripheral selection; ``E5`` builds a
+            timer-less SoC, ``E9`` an HWPE-less one.
+        priv_mem_latency: response latency of the private memory device
+            (its guarded-RAM pipeline; the public memory is single-cycle).
+        secure: apply the countermeasure — firmware constraints denying
+            DMA/HWPE access to the private memory, plus the victim page
+            constrained to private pages.
+        rom_words: simulation-only instruction ROM size.
+        dma_counter_bits / hwpe_counter_bits: width of transfer counters.
+        arbitration: per-slave policy, ``"rr"`` (round-robin) or
+            ``"fixed"`` (master index priority).
+    """
+
+    data_width: int = 8
+    addr_width: int = 10
+    page_bits: int = 2
+    pub_mem_words: int = 8
+    priv_mem_words: int = 4
+    include_cpu: bool = False
+    include_dma: bool = True
+    include_hwpe: bool = True
+    include_timer: bool = True
+    include_uart: bool = True
+    include_gpio: bool = True
+    include_spi: bool = False
+    secure: bool = False
+    rom_words: int = 256
+    dma_counter_bits: int = 4
+    hwpe_counter_bits: int = 4
+    arbitration: str = "rr"
+    priv_mem_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.arbitration not in ("rr", "fixed"):
+            raise ValueError(f"unknown arbitration policy {self.arbitration!r}")
+        if self.page_bits < 1:
+            raise ValueError("page_bits must be >= 1")
+        page = self.page_size
+        for name, words in (
+            ("pub_mem_words", self.pub_mem_words),
+            ("priv_mem_words", self.priv_mem_words),
+        ):
+            if words % page:
+                raise ValueError(
+                    f"{name}={words} must be a multiple of the page size {page}"
+                )
+        if self.addr_width <= self.page_bits:
+            raise ValueError("addr_width must exceed page_bits")
+
+    @property
+    def page_size(self) -> int:
+        """Page size in words."""
+        return 1 << self.page_bits
+
+    @property
+    def page_index_width(self) -> int:
+        """Width of a page index (the symbolic victim-page input)."""
+        return self.addr_width - self.page_bits
+
+    def replace(self, **kwargs) -> "SocConfig":
+        """A copy of this config with some fields overridden."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+
+#: Smallest formal configuration: used by unit tests.
+FORMAL_TINY = SocConfig(
+    data_width=8,
+    addr_width=10,
+    page_bits=2,
+    pub_mem_words=8,
+    priv_mem_words=4,
+    include_uart=False,
+    include_gpio=False,
+)
+
+#: Default formal configuration for the benchmark campaign.
+FORMAL_SMALL = SocConfig(
+    data_width=8,
+    addr_width=12,
+    page_bits=2,
+    pub_mem_words=16,
+    priv_mem_words=8,
+    include_uart=True,
+    include_gpio=True,
+    include_spi=True,
+)
+
+#: Attack-demonstration configuration: CPU-cut like the formal builds but
+#: with a larger public memory so the HWPE's progress ruler has enough
+#: resolution over a realistic recording window.
+ATTACK_DEMO = SocConfig(
+    data_width=8,
+    addr_width=12,
+    page_bits=2,
+    pub_mem_words=64,
+    priv_mem_words=8,
+    dma_counter_bits=6,
+    hwpe_counter_bits=6,
+    include_spi=False,
+)
+
+#: Simulation configuration: full CPU, 32-bit datapath, behavioural memories.
+SIM_DEFAULT = SocConfig(
+    data_width=32,
+    addr_width=16,
+    page_bits=4,
+    pub_mem_words=256,
+    priv_mem_words=64,
+    include_cpu=True,
+    include_spi=True,
+    rom_words=1024,
+    dma_counter_bits=8,
+    hwpe_counter_bits=8,
+)

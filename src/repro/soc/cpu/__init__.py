@@ -1,0 +1,6 @@
+"""RV32I-subset CPU: ISA encodings, assembler, and the simulation core."""
+
+from .assembler import AssemblyError, assemble
+from .core import SimpleRv32Core
+
+__all__ = ["AssemblyError", "assemble", "SimpleRv32Core"]

@@ -1,0 +1,224 @@
+"""A two-pass assembler for the RV32I subset.
+
+Turns attack/victim firmware written as assembly text into word images
+for the instruction ROM.  Supports labels, ``.word`` data, ``.org``,
+decimal/hex immediates, ``%hi``/``%lo`` relocations, the usual load/store
+``offset(reg)`` syntax, and the pseudo-instructions the firmware needs
+(``li``, ``la``, ``mv``, ``nop``, ``j``, ``ret``, ``call``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import isa
+
+__all__ = ["AssemblyError", "assemble"]
+
+
+class AssemblyError(Exception):
+    """Raised for malformed assembly input, with the offending line."""
+
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_reg(token: str) -> int:
+    token = token.strip().lower()
+    if token in isa.ABI_REGS:
+        return isa.ABI_REGS[token]
+    raise AssemblyError(f"unknown register {token!r}")
+
+
+def _to_int(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad integer {token!r}") from None
+
+
+class _Assembler:
+    def __init__(self, text: str, origin: int):
+        self.lines = text.splitlines()
+        self.origin = origin
+        self.labels: dict[str, int] = {}
+
+    # -- pass 1: lay out addresses -----------------------------------------
+
+    def _statements(self):
+        for lineno, raw in enumerate(self.lines, start=1):
+            line = raw.split("#")[0].split("//")[0].strip()
+            if not line:
+                continue
+            while ":" in line:
+                label, line = line.split(":", 1)
+                yield lineno, "label", label.strip()
+                line = line.strip()
+            if line:
+                yield lineno, "stmt", line
+
+    def layout(self) -> list[tuple[int, int, str]]:
+        """Returns (lineno, address, statement) triples with labels bound."""
+        out = []
+        pc = self.origin
+        for lineno, kind, text in self._statements():
+            if kind == "label":
+                if text in self.labels:
+                    raise AssemblyError(f"line {lineno}: duplicate label {text!r}")
+                self.labels[text] = pc
+                continue
+            op = text.split()[0].lower()
+            if op == ".org":
+                pc = _to_int(text.split()[1])
+                continue
+            out.append((lineno, pc, text))
+            pc += 4 * self._size_in_words(text)
+        return out
+
+    def _size_in_words(self, stmt: str) -> int:
+        op, *rest = stmt.split(None, 1)
+        op = op.lower()
+        if op == ".word":
+            return len(rest[0].split(","))
+        if op in ("li", "la", "call"):
+            return 2  # conservatively lui+addi / auipc+jalr
+        return 1
+
+    # -- pass 2: encode --------------------------------------------------------
+
+    def resolve(self, token: str, pc: int) -> int:
+        token = token.strip()
+        match = re.match(r"%(hi|lo)\((.+)\)$", token)
+        if match:
+            value = self.resolve(match.group(2), pc)
+            if match.group(1) == "hi":
+                return ((value + 0x800) >> 12) & 0xFFFFF
+            return value & 0xFFF
+        if token in self.labels:
+            return self.labels[token]
+        return _to_int(token)
+
+    def encode(self, lineno: int, pc: int, stmt: str) -> list[int]:
+        try:
+            return self._encode(pc, stmt)
+        except AssemblyError:
+            raise
+        except ValueError as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from exc
+
+    def _encode(self, pc: int, stmt: str) -> list[int]:
+        parts = stmt.split(None, 1)
+        op = parts[0].lower()
+        args = [a.strip() for a in parts[1].split(",")] if len(parts) > 1 else []
+
+        if op == ".word":
+            return [self.resolve(a, pc) & 0xFFFFFFFF for a in args]
+        if op == "nop":
+            return [isa.encode_i(0, 0, 0, 0, isa.OP_IMM)]
+        if op == "mv":
+            return [isa.encode_i(0, _parse_reg(args[1]), 0,
+                                 _parse_reg(args[0]), isa.OP_IMM)]
+        if op == "li":
+            return self._encode_li(_parse_reg(args[0]), self.resolve(args[1], pc))
+        if op == "la":
+            return self._encode_li(_parse_reg(args[0]), self.resolve(args[1], pc))
+        if op == "j":
+            return [isa.encode_j(self.resolve(args[0], pc) - pc, 0)]
+        if op == "ret":
+            return [isa.encode_i(0, 1, 0, 0, isa.OP_JALR)]
+        if op == "call":
+            target = self.resolve(args[0], pc)
+            offset = target - pc
+            hi = ((offset + 0x800) >> 12) & 0xFFFFF
+            lo = offset & 0xFFF
+            if lo >= 0x800:
+                lo -= 0x1000
+            return [
+                isa.encode_u(hi, 1, isa.OP_AUIPC),
+                isa.encode_i(lo, 1, 0, 1, isa.OP_JALR),
+            ]
+        if op in isa.R_TYPE:
+            funct3, funct7 = isa.R_TYPE[op]
+            rd, rs1, rs2 = (_parse_reg(a) for a in args)
+            return [isa.encode_r(funct7, rs2, rs1, funct3, rd)]
+        if op in isa.I_TYPE and op not in ("slli", "srli", "srai"):
+            rd, rs1 = _parse_reg(args[0]), _parse_reg(args[1])
+            imm = self.resolve(args[2], pc)
+            return [isa.encode_i(imm, rs1, isa.I_TYPE[op], rd, isa.OP_IMM)]
+        if op in ("slli", "srli", "srai"):
+            rd, rs1 = _parse_reg(args[0]), _parse_reg(args[1])
+            shamt = self.resolve(args[2], pc)
+            if not 0 <= shamt < 32:
+                raise AssemblyError(f"shift amount {shamt} out of range")
+            imm = shamt | (0b0100000 << 5 if op == "srai" else 0)
+            return [isa.encode_i(imm, rs1, isa.I_TYPE[op], rd, isa.OP_IMM)]
+        if op in isa.B_TYPE:
+            rs1, rs2 = _parse_reg(args[0]), _parse_reg(args[1])
+            offset = self.resolve(args[2], pc) - pc
+            return [isa.encode_b(offset, rs2, rs1, isa.B_TYPE[op])]
+        if op == "lui":
+            return [isa.encode_u(self.resolve(args[1], pc), _parse_reg(args[0]),
+                                 isa.OP_LUI)]
+        if op == "auipc":
+            return [isa.encode_u(self.resolve(args[1], pc), _parse_reg(args[0]),
+                                 isa.OP_AUIPC)]
+        if op == "jal":
+            if len(args) == 1:
+                rd, target = 1, args[0]
+            else:
+                rd, target = _parse_reg(args[0]), args[1]
+            return [isa.encode_j(self.resolve(target, pc) - pc, rd)]
+        if op == "jalr":
+            if len(args) == 1:
+                return [isa.encode_i(0, _parse_reg(args[0]), 0, 1, isa.OP_JALR)]
+            rd = _parse_reg(args[0])
+            match = _MEM_RE.match(args[1])
+            if match:
+                imm = self.resolve(match.group(1), pc)
+                rs1 = _parse_reg(match.group(2))
+            else:
+                rs1 = _parse_reg(args[1])
+                imm = self.resolve(args[2], pc) if len(args) > 2 else 0
+            return [isa.encode_i(imm, rs1, 0, rd, isa.OP_JALR)]
+        if op in ("lw", "sw"):
+            reg = _parse_reg(args[0])
+            match = _MEM_RE.match(args[1])
+            if not match:
+                raise AssemblyError(f"expected offset(base), got {args[1]!r}")
+            imm = self.resolve(match.group(1), pc)
+            base = _parse_reg(match.group(2))
+            if op == "lw":
+                return [isa.encode_i(imm, base, 0b010, reg, isa.OP_LOAD)]
+            return [isa.encode_s(imm, reg, base, 0b010)]
+        raise AssemblyError(f"unknown mnemonic {op!r}")
+
+    def _encode_li(self, rd: int, value: int) -> list[int]:
+        value &= 0xFFFFFFFF
+        lo = value & 0xFFF
+        if lo >= 0x800:
+            lo -= 0x1000
+        hi = ((value - lo) >> 12) & 0xFFFFF
+        # Always two words so pass-1 layout stays correct.
+        out = [isa.encode_u(hi, rd, isa.OP_LUI)]
+        out.append(isa.encode_i(lo, rd, 0b000, rd, isa.OP_IMM))
+        return out
+
+
+def assemble(text: str, origin: int = 0) -> dict[int, int]:
+    """Assemble ``text``; returns a {byte_address: instruction_word} map.
+
+    Two passes: label layout, then encoding.  ``origin`` sets the address
+    of the first instruction.
+    """
+    asm = _Assembler(text, origin)
+    layout = asm.layout()
+    image: dict[int, int] = {}
+    for lineno, pc, stmt in layout:
+        words = asm.encode(lineno, pc, stmt)
+        for i, word in enumerate(words):
+            addr = pc + 4 * i
+            if addr in image:
+                raise AssemblyError(f"line {lineno}: address {addr:#x} reused")
+            image[addr] = word
+    return image

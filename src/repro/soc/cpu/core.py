@@ -1,0 +1,187 @@
+"""RV32I-subset processor core (simulation builds).
+
+A single-issue in-order core: one instruction per cycle for ALU/branch
+work, plus bus-stall cycles for loads and stores.  Pulpissimo's RI5CY/
+Ibex cores are 2/4-stage pipelines; the pipeline depth is irrelevant to
+the SoC-side channel (the CPU is excluded from the formal analysis by
+Obs. 1 and Def. 1), so the simulation core favours simplicity — the
+substitution is recorded in DESIGN.md.
+
+The core fetches from a dedicated instruction ROM port and issues data
+accesses through an OBI master port; when the crossbar withholds ``gnt``
+(contention with the DMA/HWPE), the core stalls — the victim-side half
+of the timing channel.
+"""
+
+from __future__ import annotations
+
+from ...rtl.circuit import Scope
+from ...rtl.expr import Const, Expr, cat, const, mux, sext, zext
+from ..obi import ObiRequest, ObiResponse
+from . import isa
+
+__all__ = ["SimpleRv32Core"]
+
+_RUN, _WAIT_RDATA = 0, 1
+
+
+class SimpleRv32Core:
+    """The CPU: fetch/execute with bus stalls, 32x32 register file.
+
+    Args:
+        scope: naming scope; all registers carry ``kind="cpu"`` so the
+            UPEC classifier excludes them from ``S_not_victim``.
+        rom_words: size of the instruction ROM (behavioural memory).
+        bus_addr_width: word-address width of the data bus.
+    """
+
+    def __init__(self, scope: Scope, name: str, rom_words: int,
+                 bus_addr_width: int):
+        self.scope = scope.child(name)
+        self.bus_addr_width = bus_addr_width
+        s = self.scope
+        c = s.circuit
+        self.rom = s.memory("rom", rom_words, 32)
+        self.regfile = s.memory("regfile", 32, 32)
+        self.pc = s.reg("pc", 32, kind="cpu")
+        self.state = s.reg("state", 1, kind="cpu")
+        self.load_rd = s.reg("load_rd", 5, kind="cpu")
+        self.retired = s.reg("retired", 32, kind="cpu")
+
+        rom_bits = max(1, (rom_words - 1).bit_length())
+        instr = c.mem_read(self.rom, self.pc[rom_bits + 1 : 2])
+        self.instr = s.net("instr", instr)
+        s.net("pc_net", self.pc)
+
+        # -- decode ---------------------------------------------------------
+        opcode = instr[6:0]
+        self.rd = instr[11:7]
+        funct3 = instr[14:12]
+        rs1 = instr[19:15]
+        rs2 = instr[24:20]
+        funct7 = instr[31:25]
+        imm_i = sext(instr[31:20], 32)
+        imm_s = sext(cat(instr[31:25], instr[11:7]), 32)
+        imm_b = sext(
+            cat(instr[31], instr[7], instr[30:25], instr[11:8], const(0, 1)), 32
+        )
+        imm_u = cat(instr[31:12], const(0, 12))
+        imm_j = sext(
+            cat(instr[31], instr[19:12], instr[20], instr[30:21], const(0, 1)),
+            32,
+        )
+
+        rs1_val = mux(rs1.eq(0), const(0, 32), c.mem_read(self.regfile, rs1))
+        rs2_val = mux(rs2.eq(0), const(0, 32), c.mem_read(self.regfile, rs2))
+        self.rs1_val, self.rs2_val = rs1_val, rs2_val
+
+        is_lui = opcode.eq(isa.OP_LUI)
+        is_auipc = opcode.eq(isa.OP_AUIPC)
+        is_jal = opcode.eq(isa.OP_JAL)
+        is_jalr = opcode.eq(isa.OP_JALR)
+        is_branch = opcode.eq(isa.OP_BRANCH)
+        is_load = opcode.eq(isa.OP_LOAD)
+        is_store = opcode.eq(isa.OP_STORE)
+        is_imm = opcode.eq(isa.OP_IMM)
+        is_reg = opcode.eq(isa.OP_REG)
+
+        # -- ALU ----------------------------------------------------------------
+        src2 = mux(is_reg, rs2_val, imm_i)
+        shamt = src2[4:0]
+        sub_bit = funct7[5]
+        add_sub = mux(is_reg & sub_bit, rs1_val - src2, rs1_val + src2)
+        shift_right = mux(sub_bit, rs1_val.ashr(shamt), rs1_val >> shamt)
+        alu = add_sub
+        alu = mux(funct3.eq(0b001), rs1_val << shamt, alu)
+        alu = mux(funct3.eq(0b010), zext(rs1_val.slt(src2), 32), alu)
+        alu = mux(funct3.eq(0b011), zext(rs1_val.ult(src2), 32), alu)
+        alu = mux(funct3.eq(0b100), rs1_val ^ src2, alu)
+        alu = mux(funct3.eq(0b101), shift_right, alu)
+        alu = mux(funct3.eq(0b110), rs1_val | src2, alu)
+        alu = mux(funct3.eq(0b111), rs1_val & src2, alu)
+
+        # -- branch resolution -----------------------------------------------------
+        eq = rs1_val.eq(rs2_val)
+        lt = rs1_val.slt(rs2_val)
+        ltu = rs1_val.ult(rs2_val)
+        taken = eq
+        taken = mux(funct3.eq(0b001), ~eq, taken)
+        taken = mux(funct3.eq(0b100), lt, taken)
+        taken = mux(funct3.eq(0b101), ~lt, taken)
+        taken = mux(funct3.eq(0b110), ltu, taken)
+        taken = mux(funct3.eq(0b111), ~ltu, taken)
+
+        # -- data bus request (Moore: state-derived only) ----------------------------
+        running = self.state.eq(_RUN)
+        mem_byte_addr = rs1_val + mux(is_store, imm_s, imm_i)
+        bus_addr = mem_byte_addr[bus_addr_width + 1 : 2]
+        self.request = ObiRequest(
+            valid=running & (is_load | is_store),
+            addr=bus_addr,
+            we=is_store,
+            wdata=rs2_val,
+        )
+        s.net("dreq_valid", self.request.valid)
+        s.net("dreq_addr", self.request.addr)
+
+        # Stash decode results needed by connect().
+        self._dec = {
+            "is_lui": is_lui, "is_auipc": is_auipc, "is_jal": is_jal,
+            "is_jalr": is_jalr, "is_branch": is_branch, "is_load": is_load,
+            "is_store": is_store, "is_imm": is_imm, "is_reg": is_reg,
+            "alu": alu, "taken": taken, "imm_u": imm_u, "imm_j": imm_j,
+            "imm_b": imm_b, "imm_i": imm_i, "running": running,
+        }
+
+    def connect(self, response: ObiResponse) -> None:
+        """Close the loop with the data-bus response; drives all state."""
+        s = self.scope
+        c = s.circuit
+        d = self._dec
+        running = d["running"]
+        waiting = self.state.eq(_WAIT_RDATA)
+        gnt = response.gnt
+
+        # Completion of the instruction currently in execute.
+        alu_like = d["is_lui"] | d["is_auipc"] | d["is_imm"] | d["is_reg"]
+        control = d["is_jal"] | d["is_jalr"] | d["is_branch"]
+        store_done = running & d["is_store"] & gnt
+        load_issued = running & d["is_load"] & gnt
+        load_done = waiting & response.rvalid
+        complete = (running & (alu_like | control)) | store_done | load_done
+
+        # Program counter.
+        pc_plus4 = self.pc + 4
+        next_pc = pc_plus4
+        next_pc = mux(d["is_branch"] & d["taken"], self.pc + d["imm_b"], next_pc)
+        next_pc = mux(d["is_jal"], self.pc + d["imm_j"], next_pc)
+        next_pc = mux(
+            d["is_jalr"],
+            (self.rs1_val + d["imm_i"]) & const(0xFFFFFFFE, 32),
+            next_pc,
+        )
+        advance = (running & (alu_like | control)) | store_done
+        c.set_next(
+            self.pc,
+            mux(advance, next_pc, mux(load_done, pc_plus4, self.pc)),
+        )
+
+        # FSM: block in WAIT_RDATA between load grant and rvalid.
+        c.set_next(
+            self.state,
+            mux(load_issued, Const(_WAIT_RDATA, 1),
+                mux(load_done, Const(_RUN, 1), self.state)),
+        )
+        c.set_next(self.load_rd, mux(load_issued, self.rd, self.load_rd))
+        c.set_next(self.retired, mux(complete, self.retired + 1, self.retired))
+
+        # Register file writeback.
+        wb_value = d["alu"]
+        wb_value = mux(d["is_lui"], d["imm_u"], wb_value)
+        wb_value = mux(d["is_auipc"], self.pc + d["imm_u"], wb_value)
+        wb_value = mux(d["is_jal"] | d["is_jalr"], self.pc + 4, wb_value)
+        wb_exec = running & (alu_like | d["is_jal"] | d["is_jalr"])
+        wb_rd = mux(load_done, self.load_rd, self.rd)
+        wb_enable = (wb_exec | load_done) & wb_rd.ne(0)
+        wb_data = mux(load_done, response.rdata, wb_value)
+        c.mem_write(self.regfile, wb_enable, wb_rd, wb_data)

@@ -1,0 +1,158 @@
+"""RV32I-subset instruction encodings.
+
+The Pulpissimo case study uses a 2-stage RISC-V core; our simulation core
+implements the RV32I subset sufficient for the attack firmware: ALU
+register/immediate ops, LUI/AUIPC, JAL/JALR, conditional branches, and
+word loads/stores.  Encodings follow the RISC-V ISA manual, so the
+assembled images are genuine RV32 machine code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "OPCODES",
+    "R_TYPE",
+    "I_TYPE",
+    "B_TYPE",
+    "encode_r",
+    "encode_i",
+    "encode_s",
+    "encode_b",
+    "encode_u",
+    "encode_j",
+    "ABI_REGS",
+]
+
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_REG = 0b0110011
+
+OPCODES = {
+    "lui": OP_LUI,
+    "auipc": OP_AUIPC,
+    "jal": OP_JAL,
+    "jalr": OP_JALR,
+    "lw": OP_LOAD,
+    "sw": OP_STORE,
+}
+
+#: R-type: name -> (funct3, funct7)
+R_TYPE = {
+    "add": (0b000, 0b0000000),
+    "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000),
+    "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000),
+    "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000),
+    "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000),
+    "and": (0b111, 0b0000000),
+}
+
+#: I-type ALU: name -> funct3 (shifts carry funct7 in the immediate)
+I_TYPE = {
+    "addi": 0b000,
+    "slti": 0b010,
+    "sltiu": 0b011,
+    "xori": 0b100,
+    "ori": 0b110,
+    "andi": 0b111,
+    "slli": 0b001,
+    "srli": 0b101,
+    "srai": 0b101,
+}
+
+#: Branches: name -> funct3
+B_TYPE = {
+    "beq": 0b000,
+    "bne": 0b001,
+    "blt": 0b100,
+    "bge": 0b101,
+    "bltu": 0b110,
+    "bgeu": 0b111,
+}
+
+#: ABI register names.
+ABI_REGS = {"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4}
+ABI_REGS.update({f"t{i}": reg for i, reg in zip(range(3), (5, 6, 7))})
+ABI_REGS.update({"s0": 8, "fp": 8, "s1": 9})
+ABI_REGS.update({f"a{i}": 10 + i for i in range(8)})
+ABI_REGS.update({f"s{i}": 16 + i for i in range(2, 12)})
+ABI_REGS.update({f"t{i}": 25 + i for i in range(3, 7)})
+ABI_REGS.update({f"x{i}": i for i in range(32)})
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < 32:
+        raise ValueError(f"register x{reg} out of range")
+    return reg
+
+
+def _field(value: int, bits: int, signed: bool) -> int:
+    lo = -(1 << (bits - 1)) if signed else 0
+    hi = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"immediate {value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def encode_r(funct7: int, rs2: int, rs1: int, funct3: int, rd: int) -> int:
+    """R-type: register-register ALU operations."""
+    return (
+        (funct7 << 25) | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15)
+        | (funct3 << 12) | (_check_reg(rd) << 7) | OP_REG
+    )
+
+
+def encode_i(imm: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    """I-type: immediates, loads, JALR."""
+    return (
+        (_field(imm, 12, signed=True) << 20) | (_check_reg(rs1) << 15)
+        | (funct3 << 12) | (_check_reg(rd) << 7) | opcode
+    )
+
+
+def encode_s(imm: int, rs2: int, rs1: int, funct3: int) -> int:
+    """S-type: stores."""
+    value = _field(imm, 12, signed=True)
+    return (
+        ((value >> 5) << 25) | (_check_reg(rs2) << 20)
+        | (_check_reg(rs1) << 15) | (funct3 << 12)
+        | ((value & 0x1F) << 7) | OP_STORE
+    )
+
+
+def encode_b(imm: int, rs2: int, rs1: int, funct3: int) -> int:
+    """B-type: conditional branches (byte offset, even)."""
+    if imm % 2:
+        raise ValueError("branch offset must be even")
+    value = _field(imm, 13, signed=True)
+    return (
+        (((value >> 12) & 1) << 31) | (((value >> 5) & 0x3F) << 25)
+        | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15) | (funct3 << 12)
+        | (((value >> 1) & 0xF) << 8) | (((value >> 11) & 1) << 7) | OP_BRANCH
+    )
+
+
+def encode_u(imm: int, rd: int, opcode: int) -> int:
+    """U-type: LUI/AUIPC (imm is the upper-20-bit value)."""
+    return (_field(imm, 20, signed=False) << 12) | (_check_reg(rd) << 7) | opcode
+
+
+def encode_j(imm: int, rd: int) -> int:
+    """J-type: JAL (byte offset, even)."""
+    if imm % 2:
+        raise ValueError("jump offset must be even")
+    value = _field(imm, 21, signed=True)
+    return (
+        (((value >> 20) & 1) << 31) | (((value >> 1) & 0x3FF) << 21)
+        | (((value >> 11) & 1) << 20) | (((value >> 12) & 0xFF) << 12)
+        | (_check_reg(rd) << 7) | OP_JAL
+    )

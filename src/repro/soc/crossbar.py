@@ -1,0 +1,221 @@
+"""N-master x M-slave crossbar with per-slave arbitration.
+
+This is the on-chip communication structure whose *contention* carries
+the timing side channel: when two masters address the same slave in the
+same cycle, the arbiter grants one and stalls the other, so the stalled
+master's progress becomes a function of the other master's (possibly
+confidential) access pattern.
+
+Pulpissimo connects its public and private memories through two separate
+crossbars; modelling both as slaves of one crossbar with *independent
+per-slave arbiters* preserves the relevant behaviour (no head-of-line
+blocking between devices, contention only within a device) — the
+substitution is recorded in DESIGN.md.
+
+Arbitration is round-robin (pointer register per slave, classified as
+``interconnect`` state: overwritten on every transaction, hence outside
+``S_pers`` per Sec. 3.4 of the paper) or fixed priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import Const, Expr, any_of, mux
+from .obi import ObiRequest, ObiResponse
+
+__all__ = ["SlaveRegion", "Crossbar"]
+
+
+@dataclass
+class SlaveRegion:
+    """Address-map entry: an aligned power-of-two region for one slave.
+
+    ``latency`` is the slave's fixed response latency in cycles; the
+    crossbar delays its response-routing decision by the same amount so
+    read data returns to the master that issued the request even when
+    responses from a multi-cycle device overlap with later grants.
+    """
+
+    name: str
+    base: int
+    size: int
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1 or self.size & (self.size - 1):
+            raise ValueError(f"region {self.name}: size must be a power of two")
+        if self.base % self.size:
+            raise ValueError(f"region {self.name}: base must be size-aligned")
+        if self.latency < 1:
+            raise ValueError(f"region {self.name}: latency must be >= 1")
+
+    def contains(self, addr: int) -> bool:
+        """Whether a concrete word address falls in this region."""
+        return self.base <= addr < self.base + self.size
+
+    def decode(self, addr: Expr) -> Expr:
+        """1-bit expression: ``addr`` falls in this region."""
+        return (addr & ~Const(self.size - 1, addr.width)).eq(self.base)
+
+
+class Crossbar:
+    """Combinational address-decoded crossbar with registered response routing.
+
+    Build protocol (Moore composition):
+
+    1. construct with the master request bundles and the address map;
+    2. feed each ``slave_request[s]`` to the corresponding slave device
+       and collect its :class:`ObiResponse`;
+    3. call :meth:`connect_slaves` with those responses to obtain the
+       per-master :class:`ObiResponse` bundles.
+    """
+
+    def __init__(
+        self,
+        scope: Scope,
+        masters: list[ObiRequest],
+        regions: list[SlaveRegion],
+        arbitration: str = "rr",
+    ):
+        if not masters:
+            raise ValueError("crossbar needs at least one master")
+        self.scope = scope
+        self.masters = masters
+        self.regions = regions
+        self.num_masters = len(masters)
+        self.num_slaves = len(regions)
+        self._check_overlaps()
+        circuit = scope.circuit
+        addr_width = masters[0].addr.width
+        data_width = masters[0].wdata.width
+
+        # Per (master, slave): master requests this slave.
+        self._targets: list[list[Expr]] = [
+            [m.valid & region.decode(m.addr) for region in regions]
+            for m in masters
+        ]
+
+        # Per-slave arbitration -> grant matrix.
+        self._grant: list[list[Expr]] = [
+            [None] * self.num_slaves for _ in range(self.num_masters)
+        ]
+        self._rr_ptrs: list[Expr | None] = []
+        for s, region in enumerate(regions):
+            requests = [self._targets[m][s] for m in range(self.num_masters)]
+            grants, ptr = self._arbitrate(scope, region.name, requests, arbitration)
+            self._rr_ptrs.append(ptr)
+            for m in range(self.num_masters):
+                self._grant[m][s] = grants[m]
+
+        # Muxed request per slave (winner's fields).
+        self.slave_requests: list[ObiRequest] = []
+        for s in range(self.num_slaves):
+            valid = any_of(self._grant[m][s] for m in range(self.num_masters))
+            addr = Const(0, addr_width)
+            we = Const(0, 1)
+            wdata = Const(0, data_width)
+            for m in range(self.num_masters):
+                g = self._grant[m][s]
+                addr = mux(g, masters[m].addr, addr)
+                we = mux(g, masters[m].we, we)
+                wdata = mux(g, masters[m].wdata, wdata)
+            self.slave_requests.append(
+                ObiRequest(valid=valid, addr=addr, we=we, wdata=wdata)
+            )
+
+        # Response routing: a per-slave shift pipeline of grant vectors,
+        # one stage per cycle of slave latency, so the response is matched
+        # to the master granted ``latency`` cycles earlier.
+        self._resp_master: list[list[Expr]] = []
+        for s, region in enumerate(regions):
+            stage_in = [self._grant[m][s] for m in range(self.num_masters)]
+            for stage in range(region.latency):
+                row = []
+                for m in range(self.num_masters):
+                    suffix = f"_s{stage}" if region.latency > 1 else ""
+                    flag = scope.reg(
+                        f"resp_{region.name}{suffix}_m{m}", 1,
+                        kind="interconnect",
+                    )
+                    circuit.set_next(flag, stage_in[m])
+                    row.append(flag)
+                stage_in = row
+            self._resp_master.append(stage_in)
+
+    # -- arbitration -----------------------------------------------------------
+
+    def _arbitrate(
+        self,
+        scope: Scope,
+        slave_name: str,
+        requests: list[Expr],
+        arbitration: str,
+    ) -> tuple[list[Expr], Expr | None]:
+        n = len(requests)
+        if n == 1:
+            return list(requests), None
+        if arbitration == "fixed":
+            grants = []
+            blocked = Const(0, 1)
+            for req in requests:
+                grants.append(req & ~blocked)
+                blocked = blocked | req
+            return grants, None
+        # Round-robin: the pointer names the master granted last; priority
+        # starts one past it.  The pointer is interconnect state.
+        ptr_bits = max(1, (n - 1).bit_length())
+        ptr = scope.reg(f"rr_{slave_name}", ptr_bits, kind="interconnect")
+        grants: list[Expr] = [Const(0, 1)] * n
+        # For each pointer value, fixed-priority starting at ptr+1.  The
+        # last case absorbs out-of-range pointer encodings (unreachable
+        # from reset, but the symbolic starting state of IPC includes
+        # them — robust decoding keeps the arbiter work-conserving from
+        # *any* state, avoiding needless invariants).
+        for p in range(n):
+            ptr_is_p = ptr.eq(p) if p < n - 1 else ptr.uge(n - 1)
+            blocked = Const(0, 1)
+            for offset in range(1, n + 1):
+                m = (p + offset) % n
+                grant_here = ptr_is_p & requests[m] & ~blocked
+                grants[m] = grants[m] | grant_here
+                blocked = blocked | requests[m]
+        # Pointer follows the granted master (holds when slave is idle).
+        next_ptr = ptr
+        for m in range(n):
+            next_ptr = mux(grants[m], Const(m, ptr_bits), next_ptr)
+        scope.circuit.set_next(ptr, next_ptr)
+        return grants, ptr
+
+    def _check_overlaps(self) -> None:
+        spans = sorted((r.base, r.base + r.size, r.name) for r in self.regions)
+        for (b1, e1, n1), (b2, e2, n2) in zip(spans, spans[1:]):
+            if b2 < e1:
+                raise ValueError(f"regions {n1} and {n2} overlap")
+
+    # -- response side -------------------------------------------------------------
+
+    def grant_to(self, master: int) -> Expr:
+        """Combinational grant back to ``master`` (any slave granted it)."""
+        return any_of(self._grant[master][s] for s in range(self.num_slaves))
+
+    def connect_slaves(self, responses: list[ObiResponse]) -> list[ObiResponse]:
+        """Route slave responses back to masters; returns per-master bundles."""
+        if len(responses) != self.num_slaves:
+            raise ValueError(
+                f"expected {self.num_slaves} slave responses, got {len(responses)}"
+            )
+        data_width = self.masters[0].wdata.width
+        out: list[ObiResponse] = []
+        for m in range(self.num_masters):
+            rvalid = Const(0, 1)
+            rdata = Const(0, data_width)
+            for s, resp in enumerate(responses):
+                mine = resp.rvalid & self._resp_master[s][m]
+                rvalid = rvalid | mine
+                rdata = mux(mine, resp.rdata, rdata)
+            out.append(
+                ObiResponse(gnt=self.grant_to(m), rvalid=rvalid, rdata=rdata)
+            )
+        return out

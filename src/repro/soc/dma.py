@@ -1,0 +1,170 @@
+"""DMA engine: memory-to-memory copies plus a timer kick.
+
+This is the spying IP of the original BUSted-style attack sketched in
+Fig. 1 of the paper: the attacker programs a transfer, context-switches
+to the victim, and the transfer's *progress* — observable afterwards in
+the DMA's counters or in the timer it starts on completion — encodes how
+often the victim contended for the same memory device.
+
+The DMA is both a bus **slave** (configuration registers) and a bus
+**master** (the transfer engine).  Configuration registers are ``ip``
+state: persistent and attacker-readable, hence in ``S_pers``.
+"""
+
+from __future__ import annotations
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import Const, Expr, mux, zext
+from .obi import ObiRequest, ObiResponse
+
+__all__ = ["Dma"]
+
+# FSM states.
+_IDLE, _READ, _WRITE, _KICK = 0, 1, 2, 3
+
+# Configuration register map (word offsets within the DMA page).
+REG_SRC, REG_DST, REG_LEN, REG_CTRL, REG_KICK_ADDR, REG_KICK_DATA = range(6)
+
+
+class Dma:
+    """A single-channel DMA with an optional completion write ("kick").
+
+    Transfer protocol: for ``len`` words, read ``src+i`` then write
+    ``dst+i``.  When the transfer completes and a kick address is
+    configured (non-zero), one extra write is issued to it — this is how
+    the Fig. 1 attacker makes the DMA "start the timer" after its memory
+    accesses.
+    """
+
+    def __init__(self, scope: Scope, name: str, addr_width: int,
+                 data_width: int, counter_bits: int):
+        self.scope = scope.child(name)
+        self.addr_width = addr_width
+        self.data_width = data_width
+        self.counter_bits = counter_bits
+        s = self.scope
+        c = s.circuit
+        # Configuration registers (attacker-accessible IP state).
+        self.src = s.reg("src", addr_width, kind="ip")
+        self.dst = s.reg("dst", addr_width, kind="ip")
+        self.length = s.reg("len", counter_bits, kind="ip")
+        self.busy = s.reg("busy", 1, kind="ip")
+        self.kick_addr = s.reg("kick_addr", addr_width, kind="ip")
+        self.kick_data = s.reg("kick_data", data_width, kind="ip")
+        # Engine state.
+        self.state = s.reg("state", 2, kind="ip")
+        self.index = s.reg("index", counter_bits, kind="ip")
+        self.data_buf = s.reg("data_buf", data_width, kind="ip",
+                              persistent=False)
+        # Master request (Moore: function of registers only).
+        reading = self.state.eq(_READ)
+        writing = self.state.eq(_WRITE)
+        kicking = self.state.eq(_KICK)
+        index_ext = zext(self.index, addr_width)
+        req_addr = mux(
+            kicking,
+            self.kick_addr,
+            mux(writing, self.dst + index_ext, self.src + index_ext),
+        )
+        self.request = ObiRequest(
+            valid=reading | writing | kicking,
+            addr=req_addr,
+            we=writing | kicking,
+            wdata=mux(kicking, self.kick_data, self.data_buf),
+        )
+        s.net("req_valid", self.request.valid)
+        s.net("req_addr", self.request.addr)
+        # Config-slave response registers (Moore: usable before connect()).
+        self._cfg_rvalid = s.reg("cfg_rvalid", 1, kind="interconnect")
+        self._cfg_rdata = s.reg("cfg_rdata", data_width, kind="interconnect")
+        self.slave_response = ObiResponse(
+            gnt=Const(1, 1), rvalid=self._cfg_rvalid, rdata=self._cfg_rdata
+        )
+
+    def connect(self, response: ObiResponse, cfg: ObiRequest) -> None:
+        """Close the loop: master response in, config-slave interface in.
+
+        Args:
+            response: the crossbar's response to :attr:`request`.
+            cfg: the (arbitrated) request hitting the DMA's register page.
+        """
+        s = self.scope
+        c = s.circuit
+        gnt = response.gnt
+        reading = self.state.eq(_READ)
+        writing = self.state.eq(_WRITE)
+        kicking = self.state.eq(_KICK)
+        idle = self.state.eq(_IDLE)
+
+        cfg_write = cfg.valid & cfg.we
+        offset = cfg.addr[2:0]
+        start = cfg_write & offset.eq(REG_CTRL) & cfg.wdata[0]
+
+        # Transfer-complete condition: last word written.
+        next_index = self.index + 1
+        last_word = next_index.eq(self.length)
+        has_kick = self.kick_addr.ne(0)
+
+        # FSM.
+        next_state = self.state
+        next_state = mux(idle & start, Const(_READ, 2), next_state)
+        next_state = mux(reading & response.rvalid, Const(_WRITE, 2), next_state)
+        after_write = mux(
+            last_word,
+            mux(has_kick, Const(_KICK, 2), Const(_IDLE, 2)),
+            Const(_READ, 2),
+        )
+        next_state = mux(writing & gnt, after_write, next_state)
+        next_state = mux(kicking & gnt, Const(_IDLE, 2), next_state)
+        c.set_next(self.state, next_state)
+
+        c.set_next(
+            self.index,
+            mux(idle & start, Const(0, self.counter_bits),
+                mux(writing & gnt, next_index, self.index)),
+        )
+        c.set_next(self.data_buf,
+                   mux(response.rvalid, response.rdata, self.data_buf))
+        c.set_next(
+            self.busy,
+            mux(idle & start, Const(1, 1),
+                mux((writing & gnt & last_word & ~has_kick)
+                    | (kicking & gnt), Const(0, 1), self.busy)),
+        )
+
+        # Configuration writes (ignored while busy, like real DMA engines).
+        def cfg_reg(reg: Expr, index: int) -> None:
+            hit = cfg_write & offset.eq(index) & ~self.busy
+            value = cfg.wdata
+            if reg.width < value.width:
+                value = value[reg.width - 1 : 0]
+            elif reg.width > value.width:
+                value = zext(value, reg.width)
+            c.set_next(reg, mux(hit, value, reg))
+
+        cfg_reg(self.src, REG_SRC)
+        cfg_reg(self.dst, REG_DST)
+        cfg_reg(self.length, REG_LEN)
+        cfg_reg(self.kick_addr, REG_KICK_ADDR)
+        cfg_reg(self.kick_data, REG_KICK_DATA)
+
+        # Config read-back: status register exposes busy + progress.
+        status = zext(self.busy, self.data_width) | (
+            zext(self.index, self.data_width) << 1
+        )
+        read_mux = status
+        for reg, index in (
+            (self.src, REG_SRC),
+            (self.dst, REG_DST),
+            (self.length, REG_LEN),
+            (self.kick_addr, REG_KICK_ADDR),
+            (self.kick_data, REG_KICK_DATA),
+        ):
+            value = zext(reg, self.data_width) if reg.width < self.data_width \
+                else reg[self.data_width - 1 : 0]
+            read_mux = mux(offset.eq(index), value, read_mux)
+        c.set_next(self._cfg_rvalid, cfg.valid & ~cfg.we)
+        c.set_next(
+            self._cfg_rdata,
+            mux(cfg.valid & ~cfg.we, read_mux, self._cfg_rdata),
+        )

@@ -1,0 +1,64 @@
+"""Firmware constraints implementing the countermeasure (Sec. 4.2).
+
+The paper's fix restricts access to the private memory device "for very
+few IPs"; the restrictions are "a set of legal configurations for the
+corresponding IPs and can be compiled as a set of firmware constraints
+to be checked for compliance during firmware development".
+
+We express the compiled form directly: whenever the DMA or HWPE issues a
+bus request, its address lies outside the private memory region.  A
+legally configured engine (transfer windows disjoint from the private
+device) satisfies this by construction; :func:`config_word_is_legal`
+gives the firmware-development-time compliance check for concrete
+configuration values.
+"""
+
+from __future__ import annotations
+
+from ..rtl.expr import Expr, all_of, implies
+from ..upec.threat_model import ThreatModel
+
+__all__ = [
+    "private_region_constraints",
+    "victim_page_in_private",
+    "config_word_is_legal",
+]
+
+
+def private_region_constraints(soc) -> list[Expr]:
+    """Assumptions: no DMA/HWPE request ever targets the private memory."""
+    region = soc.address_map.region("priv_ram")
+    circuit = soc.circuit
+    out: list[Expr] = []
+    for ip in ("dma", "hwpe"):
+        valid_name = f"soc.{ip}.req_valid"
+        if valid_name not in circuit.nets:
+            continue
+        valid = circuit.nets[valid_name]
+        addr = circuit.nets[f"soc.{ip}.req_addr"]
+        out.append(implies(valid, ~region.decode(addr)))
+    return out
+
+
+def victim_page_in_private(soc, tm: ThreatModel) -> Expr:
+    """Constraint confining the symbolic victim page to the private memory."""
+    cfg = soc.config
+    pages = soc.address_map.pages_of("priv_ram", cfg.page_bits)
+    page_input = tm.page_input
+    return all_of([page_input.uge(pages.start) & page_input.ult(pages.stop)])
+
+
+def config_word_is_legal(soc, src: int, dst: int, length: int) -> bool:
+    """Firmware-development-time compliance check for one transfer window.
+
+    Returns True when the window ``[src, src+length)`` / ``[dst,
+    dst+length)`` never touches the private memory device — the check a
+    firmware build system would run over every DMA/HWPE configuration in
+    the image (the process referenced from [Mehmedagic et al. 2023]).
+    """
+    region = soc.address_map.region("priv_ram")
+    for base in (src, dst):
+        lo, hi = base, base + max(length, 1) - 1
+        if lo <= region.base + region.size - 1 and hi >= region.base:
+            return False
+    return True

@@ -1,0 +1,58 @@
+"""GPIO peripheral.
+
+Register map (word offsets): 0 = OUT, 1 = IN (external pins, read-only),
+2 = DIR.  The external pin inputs are true primary inputs of the SoC and
+therefore constrained equal between the two UPEC instances
+(``Primary_Input_Constraints()``).
+"""
+
+from __future__ import annotations
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import mux
+from .obi import ObiRequest, ObiResponse
+from ..rtl.expr import Const
+
+__all__ = ["Gpio"]
+
+REG_OUT, REG_IN, REG_DIR = range(3)
+
+
+class Gpio:
+    """A bank of ``data_width`` general-purpose pins."""
+
+    def __init__(self, scope: Scope, name: str, data_width: int):
+        self.scope = scope.child(name)
+        self.data_width = data_width
+        s = self.scope
+        self.out = s.reg("out", data_width, kind="ip")
+        self.direction = s.reg("dir", data_width, kind="ip")
+        self.pins_in = s.input("pins_in", data_width)
+        # Pin view: driven bits read back the output register.
+        self.pins = s.net(
+            "pins", (self.out & self.direction) | (self.pins_in & ~self.direction)
+        )
+        self._rvalid = s.reg("rvalid_q", 1, kind="interconnect")
+        self._rdata = s.reg("rdata_q", data_width, kind="interconnect")
+        self.slave_response = ObiResponse(
+            gnt=Const(1, 1), rvalid=self._rvalid, rdata=self._rdata
+        )
+
+    def connect(self, cfg: ObiRequest) -> None:
+        """Attach the register port; drives all GPIO state."""
+        s = self.scope
+        c = s.circuit
+        cfg_write = cfg.valid & cfg.we
+        offset = cfg.addr[1:0]
+        c.set_next(
+            self.out, mux(cfg_write & offset.eq(REG_OUT), cfg.wdata, self.out)
+        )
+        c.set_next(
+            self.direction,
+            mux(cfg_write & offset.eq(REG_DIR), cfg.wdata, self.direction),
+        )
+        read_mux = self.out
+        read_mux = mux(offset.eq(REG_IN), self.pins, read_mux)
+        read_mux = mux(offset.eq(REG_DIR), self.direction, read_mux)
+        c.set_next(self._rvalid, cfg.valid & ~cfg.we)
+        c.set_next(self._rdata, mux(cfg.valid & ~cfg.we, read_mux, self._rdata))

@@ -1,0 +1,177 @@
+"""HWPE-style accelerator: the spy of the new BUSted variant (Sec. 4.1).
+
+The Hardware Processing Engine "can be configured to fetch its inputs
+directly from the memory, perform complex arithmetic operations on the
+data, and write the results back to a configured memory region".  In the
+attack found by UPEC-SSC, the attacker primes a writable region with
+zeros and programs the HWPE to progressively overwrite it with non-zero
+values; victim memory accesses create interconnect contention that
+delays the engine, so the *overwrite progress* visible after the context
+switch encodes the number of victim accesses — no timer needed.
+
+Like the DMA, the HWPE is master (streaming engine) plus slave
+(configuration/status registers); all its registers are ``ip`` state.
+"""
+
+from __future__ import annotations
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import Const, Expr, mux, zext
+from .obi import ObiRequest, ObiResponse
+
+__all__ = ["Hwpe"]
+
+# FSM states.
+_IDLE, _READ, _COMPUTE, _WRITE = 0, 1, 2, 3
+
+# Configuration register map (word offsets within the HWPE page).
+REG_SRC, REG_DST, REG_LEN, REG_COEF, REG_CTRL, REG_STATUS = range(6)
+
+# Operation select (REG_CTRL bits [2:1]).
+OP_MAC, OP_XOR, OP_ADD = 0, 1, 2
+
+
+class Hwpe:
+    """A streaming accelerator: read, compute, write back, repeat.
+
+    Per element: read ``src+i``; one compute cycle applying the selected
+    operation with the ``coef`` register; write the result to ``dst+i``.
+    The ``progress`` counter (elements written back) is the persistent,
+    attacker-readable state that carries the side channel — both directly
+    (status register) and through the primed memory region itself.
+    """
+
+    def __init__(self, scope: Scope, name: str, addr_width: int,
+                 data_width: int, counter_bits: int):
+        self.scope = scope.child(name)
+        self.addr_width = addr_width
+        self.data_width = data_width
+        self.counter_bits = counter_bits
+        s = self.scope
+        # Configuration registers.
+        self.src = s.reg("src", addr_width, kind="ip")
+        self.dst = s.reg("dst", addr_width, kind="ip")
+        self.length = s.reg("len", counter_bits, kind="ip")
+        self.coef = s.reg("coef", data_width, kind="ip")
+        self.op = s.reg("op", 2, kind="ip")
+        self.busy = s.reg("busy", 1, kind="ip")
+        # Engine state.
+        self.state = s.reg("state", 2, kind="ip")
+        self.progress = s.reg("progress", counter_bits, kind="ip")
+        self.operand = s.reg("operand", data_width, kind="ip",
+                             persistent=False)
+        self.result = s.reg("result", data_width, kind="ip",
+                            persistent=False)
+        self.acc = s.reg("acc", data_width, kind="ip")
+        # Master request (Moore).
+        reading = self.state.eq(_READ)
+        writing = self.state.eq(_WRITE)
+        index_ext = zext(self.progress, addr_width)
+        self.request = ObiRequest(
+            valid=reading | writing,
+            addr=mux(writing, self.dst + index_ext, self.src + index_ext),
+            we=writing,
+            wdata=self.result,
+        )
+        s.net("req_valid", self.request.valid)
+        s.net("req_addr", self.request.addr)
+        # Config-slave response registers (Moore: usable before connect()).
+        self._cfg_rvalid = s.reg("cfg_rvalid", 1, kind="interconnect")
+        self._cfg_rdata = s.reg("cfg_rdata", data_width, kind="interconnect")
+        self.slave_response = ObiResponse(
+            gnt=Const(1, 1), rvalid=self._cfg_rvalid, rdata=self._cfg_rdata
+        )
+
+    def connect(self, response: ObiResponse, cfg: ObiRequest) -> None:
+        """Close the loop with the crossbar response and the config port."""
+        s = self.scope
+        c = s.circuit
+        gnt = response.gnt
+        idle = self.state.eq(_IDLE)
+        reading = self.state.eq(_READ)
+        computing = self.state.eq(_COMPUTE)
+        writing = self.state.eq(_WRITE)
+
+        cfg_write = cfg.valid & cfg.we
+        offset = cfg.addr[2:0]
+        ctrl_hit = cfg_write & offset.eq(REG_CTRL)
+        start = ctrl_hit & cfg.wdata[0]
+        # Writing CTRL with the run bit clear aborts a running transfer
+        # (the attacker uses this to freeze the progress ruler before
+        # scanning the primed region).
+        stop = ctrl_hit & ~cfg.wdata[0]
+
+        next_progress = self.progress + 1
+        done = next_progress.eq(self.length)
+
+        # FSM.
+        next_state = self.state
+        next_state = mux(idle & start, Const(_READ, 2), next_state)
+        next_state = mux(reading & response.rvalid, Const(_COMPUTE, 2), next_state)
+        next_state = mux(computing, Const(_WRITE, 2), next_state)
+        next_state = mux(
+            writing & gnt,
+            mux(done, Const(_IDLE, 2), Const(_READ, 2)),
+            next_state,
+        )
+        next_state = mux(stop, Const(_IDLE, 2), next_state)
+        c.set_next(self.state, next_state)
+
+        c.set_next(self.operand,
+                   mux(response.rvalid, response.rdata, self.operand))
+        # Compute unit: one-cycle MAC / XOR / ADD with the coefficient.
+        mac = self.operand * self.coef + self.acc
+        computed = mux(
+            self.op.eq(OP_XOR),
+            self.operand ^ self.coef,
+            mux(self.op.eq(OP_ADD), self.operand + self.coef, mac),
+        )
+        c.set_next(self.result, mux(computing, computed, self.result))
+        c.set_next(self.acc, mux(computing & self.op.eq(OP_MAC), mac, self.acc))
+
+        c.set_next(
+            self.progress,
+            mux(idle & start, Const(0, self.counter_bits),
+                mux(writing & gnt, next_progress, self.progress)),
+        )
+        c.set_next(
+            self.busy,
+            mux(idle & start, Const(1, 1),
+                mux((writing & gnt & done) | stop, Const(0, 1), self.busy)),
+        )
+
+        # Configuration writes (ignored while busy).
+        def cfg_reg(reg: Expr, index: int, source: Expr | None = None) -> None:
+            hit = cfg_write & offset.eq(index) & ~self.busy
+            value = source if source is not None else cfg.wdata
+            if reg.width < value.width:
+                value = value[reg.width - 1 : 0]
+            elif reg.width > value.width:
+                value = zext(value, reg.width)
+            c.set_next(reg, mux(hit, value, reg))
+
+        cfg_reg(self.src, REG_SRC)
+        cfg_reg(self.dst, REG_DST)
+        cfg_reg(self.length, REG_LEN)
+        cfg_reg(self.coef, REG_COEF)
+        cfg_reg(self.op, REG_CTRL, source=cfg.wdata[2:1])
+
+        # Status read-back: busy flag plus overwrite progress.
+        status = zext(self.busy, self.data_width) | (
+            zext(self.progress, self.data_width) << 1
+        )
+        read_mux = status
+        for reg, index in (
+            (self.src, REG_SRC),
+            (self.dst, REG_DST),
+            (self.length, REG_LEN),
+            (self.coef, REG_COEF),
+        ):
+            value = zext(reg, self.data_width) if reg.width < self.data_width \
+                else reg[self.data_width - 1 : 0]
+            read_mux = mux(offset.eq(index), value, read_mux)
+        c.set_next(self._cfg_rvalid, cfg.valid & ~cfg.we)
+        c.set_next(
+            self._cfg_rdata,
+            mux(cfg.valid & ~cfg.we, read_mux, self._cfg_rdata),
+        )

@@ -1,0 +1,67 @@
+"""Reachability invariants for the SoC (Sec. 3.4 of the paper).
+
+IPC's symbolic starting state includes unreachable states, which produce
+*false counterexamples*.  The one that actually arises on the secured
+SoC is historical: the crossbar's response-routing flags can claim that
+the DMA or HWPE was granted a private-memory access in the previous
+cycle — impossible under the firmware constraints, but the start state
+does not know that.  The flag then routes the (victim-dependent) private
+memory read data into the engine's data buffer.
+
+As the paper observes, "the false counterexamples ... involve only few
+state variables and the associated invariants are straightforward to
+formulate": the fix is pinning those routing flags to zero.  Each
+invariant is 1-inductive under the firmware constraints and is proven by
+:func:`verify_soc_invariants` before use.
+"""
+
+from __future__ import annotations
+
+from ..formal.induction import InductionResult, prove_invariant
+from ..rtl.expr import Expr
+
+__all__ = ["spy_response_invariants", "verify_soc_invariants"]
+
+
+def spy_response_invariants(soc) -> list[Expr]:
+    """No DMA/HWPE response routed from the private memory.
+
+    The routing flag ``resp_priv_ram_m<i>`` records "master i was granted
+    priv_ram last cycle"; with firmware keeping the engines out of the
+    private device, the flags of every non-CPU master are always 0.
+    """
+    circuit = soc.circuit
+    latency = soc.address_map.region("priv_ram").latency
+    out: list[Expr] = []
+    master_index = 1  # master 0 is the CPU / victim interface
+    for ip in ("dma", "hwpe"):
+        if getattr(soc, ip) is None:
+            continue
+        for stage in range(latency):
+            suffix = f"_s{stage}" if latency > 1 else ""
+            reg = circuit.regs.get(
+                f"soc.xbar.resp_priv_ram{suffix}_m{master_index}"
+            )
+            if reg is not None:
+                out.append(reg.read.eq(0))
+        master_index += 1
+    return out
+
+
+def verify_soc_invariants(soc, k: int = 1) -> InductionResult:
+    """Prove the SoC invariants by k-induction under firmware constraints.
+
+    The base case runs from reset; the step case assumes the invariant in
+    a symbolic state — exactly the justification required before the
+    UPEC-SSC miter may assume them at cycle ``t``.
+    """
+    tm = soc.threat_model
+    invariants = spy_response_invariants(soc)
+    if not invariants:
+        return InductionResult(proved=True)
+    return prove_invariant(
+        soc.circuit,
+        invariants,
+        k=k,
+        assumptions=list(tm.firmware_constraints) if tm else [],
+    )

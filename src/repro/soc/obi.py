@@ -1,0 +1,68 @@
+"""OBI-style bus protocol bundles.
+
+The Pulpissimo SoC uses the Open Bus Interface: a master asserts ``valid``
+with address/write/wdata; the interconnect answers with a combinational
+``gnt`` in the same cycle (address phase) and, for reads, ``rvalid`` +
+``rdata`` in a later cycle (response phase).  A master that is not
+granted must hold its request — this stalling under contention is
+precisely the timing channel studied in the paper.
+
+Bundles are plain dataclasses of expressions; modules are built Moore
+style (requests depend only on registers), which keeps the composition
+acyclic: requests first, crossbar second, slave responses third, master
+next-state logic last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.expr import Const, Expr
+
+__all__ = ["ObiRequest", "ObiResponse", "idle_request"]
+
+
+@dataclass
+class ObiRequest:
+    """Master request bundle (address phase).
+
+    Attributes:
+        valid: 1-bit, request pending.
+        addr: word address.
+        we: 1-bit, 1 = write.
+        wdata: write data.
+    """
+
+    valid: Expr
+    addr: Expr
+    we: Expr
+    wdata: Expr
+
+    def __post_init__(self) -> None:
+        if self.valid.width != 1 or self.we.width != 1:
+            raise ValueError("valid and we must be 1-bit")
+
+
+@dataclass
+class ObiResponse:
+    """Response bundle seen by one master.
+
+    Attributes:
+        gnt: 1-bit, combinational grant of the current request.
+        rvalid: 1-bit, read data valid (one cycle after a granted read).
+        rdata: read data.
+    """
+
+    gnt: Expr
+    rvalid: Expr
+    rdata: Expr
+
+
+def idle_request(addr_width: int, data_width: int) -> ObiRequest:
+    """A permanently idle master request (used to tie off unused ports)."""
+    return ObiRequest(
+        valid=Const(0, 1),
+        addr=Const(0, addr_width),
+        we=Const(0, 1),
+        wdata=Const(0, data_width),
+    )

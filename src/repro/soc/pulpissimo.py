@@ -1,0 +1,238 @@
+"""The Pulpissimo-style SoC top level.
+
+Assembles the case-study system of Sec. 4: a RISC-V core (simulation
+builds) or the cut victim interface (formal builds), a DMA, an
+HWPE-style accelerator, timer/UART/GPIO/SPI peripherals, and two memory
+devices (public and private) behind a crossbar with independent
+per-slave arbitration.
+
+``build_soc(FORMAL_TINY)`` returns the vulnerable design of Sec. 4.1;
+``build_soc(FORMAL_TINY.replace(secure=True))`` applies the
+countermeasure of Sec. 4.2 (victim region confined to the private
+memory, firmware constraints keeping the DMA and HWPE out of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.circuit import Circuit
+from ..rtl.expr import Expr, implies
+from ..upec.threat_model import ThreatModel, VictimPort
+from .address_map import AddressMap, build_address_map
+from .config import SocConfig
+from .crossbar import Crossbar
+from .cpu.core import SimpleRv32Core
+from .dma import Dma
+from .gpio import Gpio
+from .hwpe import Hwpe
+from .obi import ObiRequest, ObiResponse
+from .spi import Spi
+from .sram import Sram
+from .timer import Timer
+from .uart import Uart
+
+__all__ = ["Soc", "build_soc"]
+
+#: Input names of the cut CPU data port (formal builds).
+VICTIM_VALID = "cpu_req_valid"
+VICTIM_ADDR = "cpu_req_addr"
+VICTIM_WE = "cpu_req_we"
+VICTIM_WDATA = "cpu_req_wdata"
+VICTIM_PAGE = "victim_page"
+
+
+@dataclass
+class Soc:
+    """A built SoC: netlist, address map, IP handles, threat model."""
+
+    circuit: Circuit
+    config: SocConfig
+    address_map: AddressMap
+    threat_model: ThreatModel | None = None
+    cpu: SimpleRv32Core | None = None
+    dma: Dma | None = None
+    hwpe: Hwpe | None = None
+    timer: Timer | None = None
+    uart: Uart | None = None
+    gpio: Gpio | None = None
+    spi: Spi | None = None
+
+    def word_addr(self, region: str, offset: int = 0) -> int:
+        """Bus word address of ``region[offset]``."""
+        return self.address_map.base(region) + offset
+
+    def byte_addr(self, region: str, offset: int = 0) -> int:
+        """CPU byte address of ``region[offset]`` (simulation firmware)."""
+        return self.word_addr(region, offset) * 4
+
+
+def build_soc(cfg: SocConfig) -> Soc:
+    """Build the SoC for a configuration; validates the netlist."""
+    circuit = Circuit("pulpissimo")
+    soc_scope = circuit.scope("soc")
+    amap = build_address_map(cfg)
+    soc = Soc(circuit=circuit, config=cfg, address_map=amap)
+
+    # -- masters -----------------------------------------------------------
+    masters: list[ObiRequest] = []
+    if cfg.include_cpu:
+        soc.cpu = SimpleRv32Core(
+            soc_scope, "cpu", cfg.rom_words, cfg.addr_width
+        )
+        masters.append(soc.cpu.request)
+    else:
+        # Obs. 1: the CPU is cut; its data port becomes free inputs that
+        # the Victim_Task_Executing() macro will constrain.
+        masters.append(
+            ObiRequest(
+                valid=circuit.add_input(VICTIM_VALID, 1),
+                addr=circuit.add_input(VICTIM_ADDR, cfg.addr_width),
+                we=circuit.add_input(VICTIM_WE, 1),
+                wdata=circuit.add_input(VICTIM_WDATA, cfg.data_width),
+            )
+        )
+        circuit.add_input(VICTIM_PAGE, cfg.page_index_width)
+    if cfg.include_dma:
+        soc.dma = Dma(soc_scope, "dma", cfg.addr_width, cfg.data_width,
+                      cfg.dma_counter_bits)
+        masters.append(soc.dma.request)
+    if cfg.include_hwpe:
+        soc.hwpe = Hwpe(soc_scope, "hwpe", cfg.addr_width, cfg.data_width,
+                        cfg.hwpe_counter_bits)
+        masters.append(soc.hwpe.request)
+
+    # -- crossbar ------------------------------------------------------------
+    xbar = Crossbar(soc_scope.child("xbar"), masters, amap.regions,
+                    cfg.arbitration)
+
+    # -- slaves ----------------------------------------------------------------
+    behavioural = cfg.include_cpu
+    pub = Sram(
+        soc_scope, "pub_ram", cfg.pub_mem_words, cfg.data_width,
+        base=amap.base("pub_ram"), behavioural=behavioural,
+        accessible=True, pipeline_stages=1,
+    )
+    priv = Sram(
+        soc_scope, "priv_ram", cfg.priv_mem_words, cfg.data_width,
+        base=amap.base("priv_ram"), behavioural=behavioural,
+        accessible=True, pipeline_stages=cfg.priv_mem_latency,
+    )
+    responses: list[ObiResponse | None] = [None] * len(amap.regions)
+    responses[amap.index_of("pub_ram")] = pub.connect(
+        xbar.slave_requests[amap.index_of("pub_ram")]
+    )
+    responses[amap.index_of("priv_ram")] = priv.connect(
+        xbar.slave_requests[amap.index_of("priv_ram")]
+    )
+    if cfg.include_dma:
+        responses[amap.index_of("dma")] = soc.dma.slave_response
+    if cfg.include_hwpe:
+        responses[amap.index_of("hwpe")] = soc.hwpe.slave_response
+    if cfg.include_timer:
+        soc.timer = Timer(soc_scope, "timer", cfg.data_width)
+        responses[amap.index_of("timer")] = soc.timer.slave_response
+    if cfg.include_uart:
+        soc.uart = Uart(soc_scope, "uart", cfg.data_width)
+        responses[amap.index_of("uart")] = soc.uart.slave_response
+    if cfg.include_gpio:
+        soc.gpio = Gpio(soc_scope, "gpio", cfg.data_width)
+        responses[amap.index_of("gpio")] = soc.gpio.slave_response
+    if cfg.include_spi:
+        soc.spi = Spi(soc_scope, "spi", cfg.data_width)
+        responses[amap.index_of("spi")] = soc.spi.slave_response
+
+    # -- response routing and master/slave next-state closure --------------------
+    master_responses = xbar.connect_slaves(responses)
+    # Probe nets: the CPU-side bus handshake (testbenches and traces).
+    circuit.add_net("soc.cpu_gnt", master_responses[0].gnt)
+    circuit.add_net("soc.cpu_rvalid", master_responses[0].rvalid)
+    circuit.add_net("soc.cpu_rdata", master_responses[0].rdata)
+    master_index = 0
+    if cfg.include_cpu:
+        soc.cpu.connect(master_responses[0])
+    master_index += 1
+    if cfg.include_dma:
+        soc.dma.connect(
+            master_responses[master_index],
+            xbar.slave_requests[amap.index_of("dma")],
+        )
+        master_index += 1
+    if cfg.include_hwpe:
+        soc.hwpe.connect(
+            master_responses[master_index],
+            xbar.slave_requests[amap.index_of("hwpe")],
+        )
+        master_index += 1
+    if cfg.include_timer:
+        soc.timer.connect(xbar.slave_requests[amap.index_of("timer")])
+    if cfg.include_uart:
+        soc.uart.connect(xbar.slave_requests[amap.index_of("uart")])
+    if cfg.include_gpio:
+        soc.gpio.connect(xbar.slave_requests[amap.index_of("gpio")])
+    if cfg.include_spi:
+        soc.spi.connect(xbar.slave_requests[amap.index_of("spi")])
+
+    circuit.validate()
+
+    # -- threat model (formal builds) ---------------------------------------------
+    if not cfg.include_cpu:
+        soc.threat_model = _build_threat_model(soc)
+    return soc
+
+
+def _build_threat_model(soc: Soc) -> ThreatModel:
+    cfg = soc.config
+    circuit = soc.circuit
+    amap = soc.address_map
+    secret_arrays = {
+        "soc.pub_ram.mem": amap.base("pub_ram"),
+        "soc.priv_ram.mem": amap.base("priv_ram"),
+    }
+    spy_ports = []
+    if cfg.include_dma:
+        spy_ports.append(("soc.dma.req_valid", "soc.dma.req_addr"))
+    if cfg.include_hwpe:
+        spy_ports.append(("soc.hwpe.req_valid", "soc.hwpe.req_addr"))
+    tm = ThreatModel(
+        circuit=circuit,
+        victim_port=VictimPort(
+            valid=VICTIM_VALID, addr=VICTIM_ADDR,
+            write=VICTIM_WE, wdata=VICTIM_WDATA,
+        ),
+        victim_page=VICTIM_PAGE,
+        page_bits=cfg.page_bits,
+        secret_arrays=secret_arrays,
+        spy_master_ports=spy_ports,
+    )
+    # Per Sec. 3.4 the victim memory space is "determined by address
+    # ranges in the memory devices of the SoCs": the symbolic page ranges
+    # over the two memories (any page of either device), not over
+    # peripheral register blocks.
+    page_input = tm.page_input
+    in_memory_device = None
+    for region_name in ("pub_ram", "priv_ram"):
+        pages = amap.pages_of(region_name, cfg.page_bits)
+        term = page_input.uge(pages.start) & page_input.ult(pages.stop)
+        in_memory_device = term if in_memory_device is None \
+            else in_memory_device | term
+    tm.victim_page_constraint = in_memory_device
+    if cfg.secure:
+        _apply_countermeasure(soc, tm)
+    return tm
+
+
+def _apply_countermeasure(soc: Soc, tm: ThreatModel) -> None:
+    """The Sec. 4.2 fix: security-critical region in the private memory,
+    access to that device denied to the DMA and HWPE by firmware
+    constraints (the "set of legal configurations for the corresponding
+    IPs").
+    """
+    from .firmware import private_region_constraints, victim_page_in_private
+    from .invariants import spy_response_invariants
+
+    tm.victim_page_constraint = victim_page_in_private(soc, tm)
+    tm.firmware_constraints.extend(private_region_constraints(soc))
+    # Reachability invariants excluding the false counterexamples of
+    # Sec. 3.4; proven by verify_soc_invariants() (see tests/E10 ablation).
+    tm.invariants.extend(spy_response_invariants(soc))

@@ -1,0 +1,77 @@
+"""SPI master peripheral (mode 0, transmit/receive shift register).
+
+Register map (word offsets): 0 = DATA (write starts an 8-bit transfer;
+read returns the last received byte), 1 = STATUS (bit0 busy),
+2 = CLKDIV.  ``miso`` is a true primary input; ``mosi``/``sck``/``cs_n``
+are probe nets.
+"""
+
+from __future__ import annotations
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import Const, cat, mux, zext
+from .obi import ObiRequest, ObiResponse
+
+__all__ = ["Spi"]
+
+REG_DATA, REG_STATUS, REG_CLKDIV = range(3)
+
+
+class Spi:
+    """A minimal SPI master with a programmable clock divider."""
+
+    def __init__(self, scope: Scope, name: str, data_width: int):
+        self.scope = scope.child(name)
+        self.data_width = data_width
+        s = self.scope
+        self.busy = s.reg("busy", 1, kind="ip")
+        self.shift = s.reg("shift", 8, kind="ip")
+        self.bit_cnt = s.reg("bit_cnt", 4, kind="ip")
+        self.clk_div = s.reg("clk_div", 8, kind="ip", reset=2)
+        self.clk_cnt = s.reg("clk_cnt", 8, kind="ip")
+        self.sck = s.reg("sck", 1, kind="ip")
+        self.miso = s.input("miso", 1)
+        s.net("mosi", self.shift[7])
+        s.net("cs_n", ~self.busy)
+        self._rvalid = s.reg("rvalid_q", 1, kind="interconnect")
+        self._rdata = s.reg("rdata_q", data_width, kind="interconnect")
+        self.slave_response = ObiResponse(
+            gnt=Const(1, 1), rvalid=self._rvalid, rdata=self._rdata
+        )
+
+    def connect(self, cfg: ObiRequest) -> None:
+        """Attach the register port; drives all SPI state."""
+        s = self.scope
+        c = s.circuit
+        cfg_write = cfg.valid & cfg.we
+        offset = cfg.addr[1:0]
+        start = cfg_write & offset.eq(REG_DATA) & ~self.busy
+        tick = self.busy & self.clk_cnt.eq(self.clk_div)
+
+        # Toggle sck on each divider tick; sample+shift on falling edge.
+        falling = tick & self.sck
+        c.set_next(self.sck, mux(tick, ~self.sck, self.sck & self.busy))
+        c.set_next(self.clk_cnt, mux(tick | ~self.busy, Const(0, 8),
+                                     self.clk_cnt + 1))
+        next_shift = mux(start, cfg.wdata[7:0], self.shift)
+        next_shift = mux(falling, cat(self.shift[6:0], self.miso), next_shift)
+        c.set_next(self.shift, next_shift)
+        next_bits = mux(start, Const(0, 4),
+                        mux(falling, self.bit_cnt + 1, self.bit_cnt))
+        c.set_next(self.bit_cnt, next_bits)
+        done = falling & self.bit_cnt.eq(7)
+        c.set_next(self.busy, mux(start, Const(1, 1),
+                                  mux(done, Const(0, 1), self.busy)))
+
+        read_mux = zext(self.shift, self.data_width) \
+            if self.data_width > 8 else self.shift[self.data_width - 1 : 0]
+        read_mux = mux(offset.eq(REG_STATUS), zext(self.busy, self.data_width),
+                       read_mux)
+        div_read = zext(self.clk_div, self.data_width) \
+            if self.data_width > 8 else self.clk_div[self.data_width - 1 : 0]
+        read_mux = mux(offset.eq(REG_CLKDIV), div_read, read_mux)
+        div_hit = cfg_write & offset.eq(REG_CLKDIV)
+        wide = zext(cfg.wdata, 8) if cfg.wdata.width < 8 else cfg.wdata[7:0]
+        c.set_next(self.clk_div, mux(div_hit, wide, self.clk_div))
+        c.set_next(self._rvalid, cfg.valid & ~cfg.we)
+        c.set_next(self._rdata, mux(cfg.valid & ~cfg.we, read_mux, self._rdata))

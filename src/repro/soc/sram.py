@@ -1,0 +1,115 @@
+"""SRAM slave devices.
+
+Two flavours mirror the two memory types of the case study (Sec. 4.2):
+
+* :class:`Sram` — single-cycle device used for the public memory;
+* response latency is configurable (``pipeline_stages``), and the
+  *private* memory of the secured SoC uses a 2-stage response pipeline
+  (modelling an ECC/guarded RAM) — each stage is a transient buffer that
+  the UPEC-SSC procedure removes in successive iterations, which is what
+  gives the multi-iteration secure proof of the paper its shape.
+
+Both flavours exist with register-file storage (formal) or behavioural
+storage (simulation).
+"""
+
+from __future__ import annotations
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import Const, Expr, mux
+from ..rtl.memory import RegisterFileMemory
+from .obi import ObiRequest, ObiResponse
+
+__all__ = ["Sram"]
+
+
+class Sram:
+    """A word-addressed RAM slave.
+
+    Args:
+        scope: naming scope (one child scope per device).
+        name: device name.
+        words: capacity in words.
+        data_width: word width.
+        base: bus base address (word address of word 0).
+        behavioural: use a simulation-only memory array instead of one
+            register per word.
+        accessible: S_pers annotation for the stored words (True for the
+            public memory: the attacker task can read it back in the
+            retrieval phase).
+        pipeline_stages: response latency in cycles (1 = classic OBI SRAM).
+        init: optional initial memory image.
+    """
+
+    def __init__(
+        self,
+        scope: Scope,
+        name: str,
+        words: int,
+        data_width: int,
+        base: int,
+        behavioural: bool = False,
+        accessible: bool | None = True,
+        pipeline_stages: int = 1,
+        init: list[int] | None = None,
+    ):
+        if pipeline_stages < 1:
+            raise ValueError("pipeline_stages must be >= 1")
+        self.scope = scope.child(name)
+        self.name = name
+        self.words = words
+        self.base = base
+        self.data_width = data_width
+        self.behavioural = behavioural
+        self.pipeline_stages = pipeline_stages
+        circuit = self.scope.circuit
+        if behavioural:
+            self.mem = self.scope.memory("mem", words, data_width)
+            if init:
+                self.mem.init[: len(init)] = [
+                    v & ((1 << data_width) - 1) for v in init
+                ]
+            self.array_name = self.mem.name
+        else:
+            self.rf = RegisterFileMemory(
+                self.scope, "mem", words, data_width,
+                accessible=accessible, init=init,
+            )
+            self.array_name = self.scope._qualify("mem").replace(".mem", "") + ".mem"
+
+    def connect(self, req: ObiRequest) -> ObiResponse:
+        """Attach the (already arbitrated) request; returns the response.
+
+        Reads return data after ``pipeline_stages`` cycles; writes commit
+        at the end of the request cycle.  The device always grants.
+        """
+        scope = self.scope
+        circuit = scope.circuit
+        local_addr = self._local_addr(req.addr)
+        write = req.valid & req.we
+        read = req.valid & ~req.we
+        if self.behavioural:
+            circuit.mem_write(self.mem, write, local_addr, req.wdata)
+            read_data = circuit.mem_read(self.mem, local_addr)
+        else:
+            self.rf.write(write, local_addr, req.wdata)
+            read_data = self.rf.read(local_addr)
+
+        # Response pipeline: stage registers are transient buffers —
+        # overwritten by every transaction (not in S_pers, Sec. 3.4).
+        rvalid: Expr = read
+        rdata: Expr = read_data
+        for stage in range(self.pipeline_stages):
+            valid_q = scope.reg(f"rvalid_q{stage}", 1, kind="interconnect")
+            data_q = scope.reg(
+                f"rdata_q{stage}", self.data_width,
+                kind="interconnect", persistent=False,
+            )
+            circuit.set_next(valid_q, rvalid)
+            circuit.set_next(data_q, mux(rvalid, rdata, data_q))
+            rvalid, rdata = valid_q, data_q
+        return ObiResponse(gnt=Const(1, 1), rvalid=rvalid, rdata=rdata)
+
+    def _local_addr(self, addr: Expr) -> Expr:
+        bits = max(1, (self.words - 1).bit_length())
+        return addr[bits - 1 : 0]

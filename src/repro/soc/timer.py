@@ -1,0 +1,77 @@
+"""Timer IP.
+
+The classic measurement device of timing attacks (Fig. 1: the DMA "then
+starts the timer"; step 4: "the attacker task reads the timer state or
+waits for a timer overflow event").  The case-study's key point is that
+the HWPE variant leaks *without* this IP — benchmark E5 builds the SoC
+with ``include_timer=False`` and shows the vulnerability persists.
+
+Register map (word offsets): 0 = CTRL (bit0 enable, bit1 clear),
+1 = VALUE (current count, read-only), 2 = COMPARE, 3 = STATUS (bit0
+overflow sticky flag, write-1-to-clear).
+"""
+
+from __future__ import annotations
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import Const, mux, zext
+from .obi import ObiRequest, ObiResponse
+
+__all__ = ["Timer"]
+
+REG_CTRL, REG_VALUE, REG_COMPARE, REG_STATUS = range(4)
+
+
+class Timer:
+    """A free-running compare timer with a sticky overflow flag."""
+
+    def __init__(self, scope: Scope, name: str, data_width: int):
+        self.scope = scope.child(name)
+        self.data_width = data_width
+        s = self.scope
+        self.enable = s.reg("enable", 1, kind="ip")
+        self.count = s.reg("count", data_width, kind="ip")
+        self.compare = s.reg("compare", data_width, kind="ip")
+        self.overflow = s.reg("overflow", 1, kind="ip")
+        self._rvalid = s.reg("rvalid_q", 1, kind="interconnect")
+        self._rdata = s.reg("rdata_q", data_width, kind="interconnect")
+        self.slave_response = ObiResponse(
+            gnt=Const(1, 1), rvalid=self._rvalid, rdata=self._rdata
+        )
+
+    def connect(self, cfg: ObiRequest) -> None:
+        """Attach the register port; drives all timer state."""
+        s = self.scope
+        c = s.circuit
+        cfg_write = cfg.valid & cfg.we
+        offset = cfg.addr[1:0]
+
+        ctrl_hit = cfg_write & offset.eq(REG_CTRL)
+        clear = ctrl_hit & cfg.wdata[1]
+        c.set_next(self.enable, mux(ctrl_hit, cfg.wdata[0], self.enable))
+
+        ticked = self.count + 1
+        next_count = mux(self.enable, ticked, self.count)
+        next_count = mux(clear, Const(0, self.data_width), next_count)
+        c.set_next(self.count, next_count)
+
+        compare_hit = cfg_write & offset.eq(REG_COMPARE)
+        c.set_next(
+            self.compare,
+            mux(compare_hit, cfg.wdata[self.compare.width - 1 : 0], self.compare),
+        )
+
+        hit_compare = self.enable & ticked.eq(self.compare)
+        status_clear = cfg_write & offset.eq(REG_STATUS) & cfg.wdata[0]
+        next_overflow = mux(hit_compare, Const(1, 1), self.overflow)
+        next_overflow = mux(status_clear, Const(0, 1), next_overflow)
+        c.set_next(self.overflow, next_overflow)
+
+        read_mux = zext(self.enable, self.data_width)
+        read_mux = mux(offset.eq(REG_VALUE), self.count, read_mux)
+        read_mux = mux(offset.eq(REG_COMPARE), self.compare, read_mux)
+        read_mux = mux(
+            offset.eq(REG_STATUS), zext(self.overflow, self.data_width), read_mux
+        )
+        c.set_next(self._rvalid, cfg.valid & ~cfg.we)
+        c.set_next(self._rdata, mux(cfg.valid & ~cfg.we, read_mux, self._rdata))

@@ -1,0 +1,95 @@
+"""UART transmitter (I/O peripheral).
+
+One of the "plethora of complex IPs" an MCU SoC ships; included so the
+state-variable population and the S_pers classification exercise more
+than the attack-relevant IPs.  Transmit-only with a programmable baud
+divider: 8N1 framing on the ``tx`` net.
+
+Register map (word offsets): 0 = DATA (write starts transmission),
+1 = STATUS (bit0 busy), 2 = BAUDDIV.
+"""
+
+from __future__ import annotations
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import Const, mux, zext
+from .obi import ObiRequest, ObiResponse
+
+__all__ = ["Uart"]
+
+REG_DATA, REG_STATUS, REG_BAUDDIV = range(3)
+
+_IDLE, _START, _DATA, _STOP = 0, 1, 2, 3
+
+
+class Uart:
+    """8N1 UART transmitter with a 16-bit baud divider."""
+
+    def __init__(self, scope: Scope, name: str, data_width: int):
+        self.scope = scope.child(name)
+        self.data_width = data_width
+        s = self.scope
+        self.state = s.reg("state", 2, kind="ip")
+        self.shift = s.reg("shift", 8, kind="ip")
+        self.bit_index = s.reg("bit_index", 3, kind="ip")
+        self.baud_div = s.reg("baud_div", 16, kind="ip", reset=4)
+        self.baud_cnt = s.reg("baud_cnt", 16, kind="ip")
+        self.tx = s.net(
+            "tx",
+            mux(self.state.eq(_DATA), self.shift[0],
+                mux(self.state.eq(_START), Const(0, 1), Const(1, 1))),
+        )
+        self._rvalid = s.reg("rvalid_q", 1, kind="interconnect")
+        self._rdata = s.reg("rdata_q", data_width, kind="interconnect")
+        self.slave_response = ObiResponse(
+            gnt=Const(1, 1), rvalid=self._rvalid, rdata=self._rdata
+        )
+
+    def connect(self, cfg: ObiRequest) -> None:
+        """Attach the register port; drives all UART state."""
+        s = self.scope
+        c = s.circuit
+        cfg_write = cfg.valid & cfg.we
+        offset = cfg.addr[1:0]
+        idle = self.state.eq(_IDLE)
+        busy = ~idle
+
+        start = cfg_write & offset.eq(REG_DATA) & idle
+        tick = self.baud_cnt.eq(self.baud_div)
+
+        next_state = self.state
+        next_state = mux(start, Const(_START, 2), next_state)
+        next_state = mux(self.state.eq(_START) & tick, Const(_DATA, 2), next_state)
+        last_bit = self.bit_index.eq(7)
+        next_state = mux(
+            self.state.eq(_DATA) & tick & last_bit, Const(_STOP, 2), next_state
+        )
+        next_state = mux(self.state.eq(_STOP) & tick, Const(_IDLE, 2), next_state)
+        c.set_next(self.state, next_state)
+
+        next_shift = mux(start, cfg.wdata[7:0], self.shift)
+        next_shift = mux(self.state.eq(_DATA) & tick, self.shift >> 1, next_shift)
+        c.set_next(self.shift, next_shift)
+
+        next_bits = mux(self.state.eq(_DATA) & tick, self.bit_index + 1,
+                        self.bit_index)
+        next_bits = mux(start, Const(0, 3), next_bits)
+        c.set_next(self.bit_index, next_bits)
+
+        div_hit = cfg_write & offset.eq(REG_BAUDDIV)
+        wide = zext(cfg.wdata, 16) if cfg.wdata.width < 16 else cfg.wdata[15:0]
+        c.set_next(self.baud_div, mux(div_hit, wide, self.baud_div))
+        c.set_next(
+            self.baud_cnt,
+            mux(tick | idle, Const(0, 16), self.baud_cnt + 1),
+        )
+
+        read_mux = zext(self.shift, self.data_width) \
+            if self.data_width > 8 else self.shift[self.data_width - 1 : 0]
+        read_mux = mux(offset.eq(REG_STATUS), zext(busy, self.data_width),
+                       read_mux)
+        div_read = zext(self.baud_div, self.data_width) \
+            if self.data_width > 16 else self.baud_div[self.data_width - 1 : 0]
+        read_mux = mux(offset.eq(REG_BAUDDIV), div_read, read_mux)
+        c.set_next(self._rvalid, cfg.valid & ~cfg.we)
+        c.set_next(self._rdata, mux(cfg.valid & ~cfg.we, read_mux, self._rdata))

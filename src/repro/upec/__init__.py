@@ -1,0 +1,44 @@
+"""UPEC-SSC: formal detection of MCU-wide timing side channels.
+
+The paper's primary contribution — Unique Program Execution Checking for
+System Side Channels.  Public entry points:
+
+* :class:`ThreatModel` / :class:`VictimPort` — what is confidential.
+* :class:`StateClassifier` — Definitions 1 and 2 (``S_not_victim``,
+  ``S_pers``).
+* :func:`upec_ssc` — Algorithm 1 (2-cycle property, fixed-point loop).
+* :func:`upec_ssc_unrolled` — Algorithm 2 (explicit multi-cycle
+  counterexamples).
+* :mod:`repro.upec.report` — human-readable verdicts and traces.
+"""
+
+from .classify import StateClassifier, UnclassifiedStateError
+from .diagnose import Diagnosis, diagnose
+from .miter import CheckStats, MiterCounterexample, UpecMiter
+from .replay import ReplayReport, replay_counterexample
+from .report import format_counterexample, format_iterations, format_result
+from .ssc import IterationRecord, SscResult, upec_ssc
+from .threat_model import ThreatModel, VictimPort
+from .unrolled import UnrolledResult, upec_ssc_unrolled
+
+__all__ = [
+    "StateClassifier",
+    "UnclassifiedStateError",
+    "Diagnosis",
+    "diagnose",
+    "ReplayReport",
+    "replay_counterexample",
+    "CheckStats",
+    "MiterCounterexample",
+    "UpecMiter",
+    "format_counterexample",
+    "format_iterations",
+    "format_result",
+    "IterationRecord",
+    "SscResult",
+    "upec_ssc",
+    "ThreatModel",
+    "VictimPort",
+    "UnrolledResult",
+    "upec_ssc_unrolled",
+]

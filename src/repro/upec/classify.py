@@ -1,0 +1,130 @@
+"""State-variable classification: ``S_not_victim`` and ``S_pers``.
+
+Implements Definitions 1 and 2 of the paper:
+
+* ``S_not_victim`` — every state variable except CPU state and victim
+  memory.  With the CPU cut out of the formal model, this is all
+  registers minus the *conditionally secret* memory words (whose
+  membership depends on the symbolic protected page and is handled by
+  guard expressions in the miter, not by set membership).
+* ``S_pers`` — state that is (1) attacker-accessible and (2) persists
+  across a context switch.  Following Sec. 3.4, membership only needs to
+  be decided for variables that actually appear in counterexamples; the
+  decision rules are:
+
+  - ``interconnect`` buffers are overwritten with every transaction and
+    are **not** persistent;
+  - ``memory`` words and ``ip`` registers are persistent, and in
+    ``S_pers`` when attacker-accessible (explicit ``accessible``
+    annotation, defaulting to True for IP registers);
+  - explicit ``persistent=`` annotations always win;
+  - anything else "requires closer inspection" — we raise
+    :class:`UnclassifiedStateError` so the engineer must annotate, rather
+    than guessing silently.
+"""
+
+from __future__ import annotations
+
+from ..rtl.circuit import Circuit, RegInfo
+from .threat_model import ThreatModel
+
+__all__ = ["StateClassifier", "UnclassifiedStateError"]
+
+
+class UnclassifiedStateError(Exception):
+    """A counterexample touched state with no classification rule.
+
+    Mirrors the paper's "rare counterexamples may involve state variables
+    that are neither buffers in the interconnect nor obviously persistent
+    registers in IPs. These cases require closer inspection" — the fix is
+    an explicit ``persistent=``/``accessible=`` annotation on the
+    register, or registration via :meth:`StateClassifier.annotate`.
+    """
+
+
+class StateClassifier:
+    """Decides set membership for the UPEC-SSC procedure."""
+
+    def __init__(self, threat_model: ThreatModel):
+        self.tm = threat_model
+        self.circuit: Circuit = threat_model.circuit
+        self._overrides: dict[str, bool] = {}
+
+    # -- manual escape hatch -------------------------------------------------
+
+    def annotate(self, name: str, persistent: bool) -> None:
+        """Record a manual S_pers decision for one state variable."""
+        if name not in self.circuit.regs:
+            raise KeyError(f"no register named {name!r}")
+        self._overrides[name] = persistent
+
+    # -- Definition 1 -----------------------------------------------------------
+
+    def s_not_victim(self) -> set[str]:
+        """All state variables outside the CPU (Def. 1).
+
+        Conditionally secret memory words are *included*: their victim
+        membership is symbolic, so the miter applies a per-word guard
+        instead of removing them from the set.
+        """
+        return {
+            name
+            for name, info in self.circuit.regs.items()
+            if info.meta.kind != "cpu"
+        }
+
+    def conditional_guard_info(self, name: str) -> tuple[str, int] | None:
+        """(array, index) if the register is a conditionally-secret word."""
+        info = self.circuit.regs[name]
+        if info.meta.kind == "memory" and info.meta.array in self.tm.secret_arrays:
+            assert info.meta.index is not None
+            return info.meta.array, info.meta.index
+        return None
+
+    # -- Definition 2 -----------------------------------------------------------
+
+    def in_s_pers(self, name: str) -> bool:
+        """Whether a state variable belongs to ``S_pers`` (Def. 2)."""
+        if name in self._overrides:
+            return self._overrides[name]
+        info = self.circuit.regs[name]
+        meta = info.meta
+        if meta.persistent is not None:
+            if meta.persistent and meta.accessible is not None:
+                return meta.accessible
+            return meta.persistent
+        if meta.kind == "interconnect":
+            # Overwritten with every communication transaction (Sec. 3.4).
+            return False
+        if meta.kind == "memory":
+            accessible = meta.accessible
+            return bool(accessible) if accessible is not None else True
+        if meta.kind == "ip":
+            # Memory-mapped IP registers are readable by the attacker task
+            # unless annotated otherwise.
+            accessible = meta.accessible
+            return True if accessible is None else bool(accessible)
+        raise UnclassifiedStateError(
+            f"state variable {name!r} (kind={meta.kind!r}, owner="
+            f"{meta.owner!r}) appeared in a counterexample but has no "
+            "S_pers classification; annotate it with persistent=True/False"
+        )
+
+    def split_by_persistence(
+        self, names: set[str]
+    ) -> tuple[set[str], set[str]]:
+        """Partition ``names`` into (persistent, transient)."""
+        pers = {name for name in names if self.in_s_pers(name)}
+        return pers, names - pers
+
+    def describe(self, name: str) -> str:
+        """One-line human description of a state variable, for reports."""
+        info: RegInfo = self.circuit.regs[name]
+        tags = [f"kind={info.meta.kind}", f"owner={info.meta.owner or '<root>'}"]
+        if self.conditional_guard_info(name) is not None:
+            tags.append("conditionally-secret")
+        try:
+            tags.append("S_pers" if self.in_s_pers(name) else "transient")
+        except UnclassifiedStateError:
+            tags.append("UNCLASSIFIED")
+        return f"{name} ({', '.join(tags)})"

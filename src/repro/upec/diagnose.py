@@ -1,0 +1,137 @@
+"""Leak diagnosis: from a counterexample to a countermeasure proposal.
+
+The paper closes with "our future work will explore a UPEC-SCC driven
+design methodology leading to new and less conservative
+countermeasures".  This module is a first step in that direction: it
+post-processes a ``vulnerable`` verdict into an actionable report —
+
+* which persistent state received victim-dependent information,
+* where the divergence was injected (earliest differing signals in the
+  explicit trace),
+* which shared resources (arbitrated slaves) are implicated on the
+  structural path from the victim interface to the leak,
+* and the candidate countermeasures, mirroring Sec. 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtl.circuit import Circuit
+from ..rtl.structure import fanin_regs
+from .classify import StateClassifier
+from .miter import MiterCounterexample
+from .ssc import SscResult
+
+__all__ = ["Diagnosis", "diagnose"]
+
+
+@dataclass
+class Diagnosis:
+    """Structured explanation of a detected timing side channel."""
+
+    leaking: set[str]
+    earliest_divergence: list[str]
+    implicated_resources: set[str]
+    suggestions: list[str] = field(default_factory=list)
+
+    def format_report(self) -> str:
+        """Render the diagnosis as a human-readable report."""
+        lines = ["Timing side-channel diagnosis", "=" * 34]
+        lines.append("persistent state receiving victim-dependent data:")
+        for name in sorted(self.leaking):
+            lines.append(f"  {name}")
+        lines.append("")
+        lines.append("divergence first observable at:")
+        for name in self.earliest_divergence:
+            lines.append(f"  {name}")
+        lines.append("")
+        if self.implicated_resources:
+            lines.append("shared resources on the propagation path:")
+            for name in sorted(self.implicated_resources):
+                lines.append(f"  {name}")
+            lines.append("")
+        lines.append("candidate countermeasures:")
+        for i, text in enumerate(self.suggestions, start=1):
+            lines.append(f"  {i}. {text}")
+        return "\n".join(lines)
+
+
+def diagnose(
+    result: SscResult,
+    classifier: StateClassifier,
+) -> Diagnosis:
+    """Explain a vulnerable verdict.
+
+    Args:
+        result: a ``vulnerable`` outcome of Algorithm 1 or the final
+            record of Algorithm 2 (with a counterexample attached).
+        classifier: the state classifier used for the run.
+
+    Returns:
+        A :class:`Diagnosis` with the implicated resources and suggested
+        fixes.
+    """
+    if not result.vulnerable or result.counterexample is None:
+        raise ValueError("diagnosis requires a vulnerable result with a "
+                         "counterexample")
+    circuit: Circuit = classifier.circuit
+    cex: MiterCounterexample = result.counterexample
+
+    # Earliest diverging signals: smallest cycle where A and B disagree.
+    earliest: list[str] = []
+    for t in range(cex.frame + 1):
+        for name in sorted(cex.trace_a.cycles[t]):
+            a = cex.trace_a.cycles[t].get(name)
+            b = cex.trace_b.cycles[t].get(name)
+            if a != b:
+                earliest.append(f"{name} (cycle t+{t}: {a:#x} vs {b:#x})")
+        if earliest:
+            break
+
+    # Shared resources: arbitration state in the sequential fan-in of the
+    # leaking registers (one step is enough: grant decisions feed the
+    # spy's state directly).
+    implicated: set[str] = set()
+    frontier = set(result.leaking)
+    seen: set[str] = set()
+    for _ in range(3):  # bounded backward walk over register dependencies
+        next_frontier: set[str] = set()
+        for name in frontier:
+            if name in seen or name not in circuit.regs:
+                continue
+            seen.add(name)
+            info = circuit.regs[name]
+            deps = fanin_regs([info.next]) if info.next is not None else set()
+            for dep in deps:
+                meta = circuit.regs[dep].meta
+                if meta.kind == "interconnect":
+                    implicated.add(f"{dep} ({meta.owner})")
+                next_frontier.add(dep)
+        frontier = next_frontier
+
+    suggestions = [
+        "map the victim's security-critical region into a memory device "
+        "with a dedicated (non-shared) interconnect path, and constrain "
+        "the symbolic victim page accordingly (Sec. 4.2)",
+        "restrict the implicated spying IPs' legal configurations so they "
+        "cannot address that device; compile the restrictions as firmware "
+        "constraints and re-run UPEC-SSC to prove the fix",
+    ]
+    leak_kinds = {
+        circuit.regs[name].meta.kind
+        for name in result.leaking
+        if name in circuit.regs
+    }
+    if "memory" in leak_kinds:
+        suggestions.append(
+            "the leak lands in memory words (a BUSted progress ruler): "
+            "denying timer access does NOT help — the memory itself is "
+            "the clock (Sec. 4.1)"
+        )
+    return Diagnosis(
+        leaking=set(result.leaking),
+        earliest_divergence=earliest,
+        implicated_resources=implicated,
+        suggestions=suggestions,
+    )

@@ -1,0 +1,324 @@
+"""The UPEC-SSC 2-safety miter (Sec. 3.2/3.3 of the paper).
+
+Two instances of the design-under-verification are unrolled side by side
+over a bounded window with a shared symbolic starting state:
+
+* ``Primary_Input_Constraints()`` — true primary inputs are *the same
+  AIG variables* in both instances (equal by construction);
+* ``State_Equivalence(S)`` at cycle ``t`` — state variables in ``S`` are
+  bound to shared variables, so the duplicated logic structurally
+  collapses and only the difference cone survives (this is what keeps
+  the 2-safety proof tractable, mirroring commercial IPC engines);
+* conditionally secret memory words (symbolic victim range) are bound as
+  ``b = guard ? fresh : a`` — equal exactly when outside the protected
+  page;
+* ``Victim_Task_Executing()`` — the cut CPU interface is free in both
+  instances during ``t..t+1`` except that *non-protected* accesses must
+  be identical; from ``t+2`` on the interfaces are fully equal (the
+  paper's Fig. 3/4 macros);
+* the proof obligation is ``State_Equivalence(S')`` at the final cycle;
+  a SAT answer yields the diverging set ``S_cex``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..aig.aig import Aig
+from ..aig.bitblast import BitBlaster
+from ..aig.cnf import CnfEncoder
+from ..formal.trace import Trace, decode_vec
+from ..formal.unroller import Unroller
+from ..sat.solver import Solver
+from .classify import StateClassifier
+from .threat_model import ThreatModel
+
+__all__ = ["MiterCounterexample", "CheckStats", "UpecMiter"]
+
+
+@dataclass
+class CheckStats:
+    """Cost metrics of one property check (one Alg. 1/2 iteration)."""
+
+    aig_nodes: int = 0
+    cnf_vars: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    build_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+
+@dataclass
+class MiterCounterexample:
+    """A violation of the UPEC-SSC property.
+
+    Attributes:
+        diff_names: state variables differing at the prove cycle (S_cex).
+        frame: the prove cycle (t+k).
+        trace_a / trace_b: concrete per-cycle signal values of the two
+            instances, decoded from the SAT model.
+        victim_page: concrete protected page index chosen by the solver.
+        stats: solver cost metrics.
+    """
+
+    diff_names: set[str]
+    frame: int
+    trace_a: Trace
+    trace_b: Trace
+    victim_page: int
+    stats: CheckStats = field(default_factory=CheckStats)
+
+    def differing_signals(self) -> list[str]:
+        """All signals (state or interface) differing anywhere in the window."""
+        return self.trace_a.differing_signals(self.trace_b)
+
+
+class UpecMiter:
+    """Builds and checks UPEC-SSC property instances.
+
+    A fresh miter is constructed per check: shrinking ``S`` changes which
+    variables are unified, and structural hashing then does the heavy
+    lifting.  (The ablation in benchmarks/E10 compares this against an
+    assumption-based incremental encoding.)
+    """
+
+    def __init__(self, threat_model: ThreatModel, classifier: StateClassifier | None = None):
+        self.tm = threat_model
+        self.classifier = classifier or StateClassifier(threat_model)
+        self.circuit = threat_model.circuit
+        self.circuit.validate()
+
+    # -- public API -------------------------------------------------------------
+
+    def check(
+        self,
+        s_frames: list[set[str]],
+        record_trace: bool = True,
+    ) -> MiterCounterexample | None:
+        """Check UPEC-SSC-unrolled(k, S[]) from Fig. 4 of the paper.
+
+        ``s_frames[0]`` is assumed equal at cycle ``t`` (Fig. 3's
+        ``State_Equivalence(S)``), ``s_frames[1..k-1]`` are assumed equal
+        at the intermediate cycles (already proven in earlier unrolling
+        stages), and ``s_frames[k]`` is the proof obligation at ``t+k``.
+        With ``len(s_frames) == 2`` this is exactly the 2-cycle property
+        of Fig. 3.
+
+        Returns None if the property holds, else the counterexample.
+        """
+        if len(s_frames) < 2:
+            raise ValueError("need at least [S@t, S@t+1]")
+        depth = len(s_frames) - 1
+        build_start = time.perf_counter()
+        ctx = self._build(s_frames, depth)
+        stats = CheckStats(
+            aig_nodes=ctx["aig"].num_nodes(),
+            build_seconds=time.perf_counter() - build_start,
+        )
+        solve_start = time.perf_counter()
+        sat = ctx["solver"].solve()
+        stats.solve_seconds = time.perf_counter() - solve_start
+        stats.cnf_vars = ctx["solver"].n_vars
+        stats.conflicts = ctx["solver"].stats["conflicts"]
+        stats.decisions = ctx["solver"].stats["decisions"]
+        if not sat:
+            return None
+        encoder: CnfEncoder = ctx["encoder"]
+        diff_names = {
+            name for name, lit in ctx["diff_lits"].items() if encoder.value(lit)
+        }
+        trace_a = trace_b = Trace(depth)
+        if record_trace:
+            trace_a = self._extract_trace(encoder, ctx["unroller_a"], depth)
+            trace_b = self._extract_trace(encoder, ctx["unroller_b"], depth)
+        victim_page = decode_vec(encoder, ctx["page_vec"])
+        return MiterCounterexample(
+            diff_names=diff_names,
+            frame=depth,
+            trace_a=trace_a,
+            trace_b=trace_b,
+            victim_page=victim_page,
+            stats=stats,
+        )
+
+    # -- construction ---------------------------------------------------------------
+
+    def _build(self, s_frames: list[set[str]], depth: int) -> dict:
+        tm = self.tm
+        circuit = self.circuit
+        aig = Aig()
+        victim_fields = set(tm.victim_port.fields())
+
+        # Symbolic constants: shared between instances and across frames.
+        stable_vecs = {
+            name: aig.input_vec(f"const:{name}", circuit.inputs[name].width)
+            for name in tm.stable_input_names
+        }
+        page_vec = stable_vecs[tm.victim_page]
+
+        # True primary inputs: shared between instances, fresh per frame.
+        shared_inputs: dict[tuple[int, str], list[int]] = {}
+
+        def make_provider(tag: str):
+            def provider(frame_idx: int, name: str, width: int):
+                if name in stable_vecs:
+                    return stable_vecs[name]
+                if name in victim_fields:
+                    return None  # per-instance fresh (constrained below)
+                key = (frame_idx, name)
+                vec = shared_inputs.get(key)
+                if vec is None:
+                    vec = aig.input_vec(f"{name}@{frame_idx}", width)
+                    shared_inputs[key] = vec
+                return vec
+
+            return provider
+
+        # Guard literals for conditionally secret words.
+        guard_blaster = BitBlaster(
+            aig, {("in", tm.victim_page): page_vec}
+        )
+        guard_of: dict[str, int] = {}
+
+        def guard_lit(name: str) -> int:
+            lit = guard_of.get(name)
+            if lit is None:
+                info = self.classifier.conditional_guard_info(name)
+                assert info is not None
+                array, index = info
+                lit = guard_blaster.bit(tm.word_is_secret(array, index))
+                guard_of[name] = lit
+            return lit
+
+        # Initial (cycle t) state binding implementing State_Equivalence(S[0]).
+        init_a: dict[str, list[int]] = {}
+        init_b: dict[str, list[int]] = {}
+        s0 = s_frames[0]
+        for name, info in circuit.regs.items():
+            if name not in s0:
+                continue  # both instances get independent fresh vectors
+            if self.classifier.conditional_guard_info(name) is None:
+                shared = aig.input_vec(f"S:{name}@0", info.width)
+                init_a[name] = shared
+                init_b[name] = shared
+            else:
+                vec_a = aig.input_vec(f"A:{name}@0", info.width)
+                fresh_b = aig.input_vec(f"B:{name}@0", info.width)
+                init_a[name] = vec_a
+                init_b[name] = aig.mux_vec(guard_lit(name), fresh_b, vec_a)
+
+        unroller_a = Unroller(circuit, aig, prefix="A", input_provider=make_provider("A"))
+        unroller_b = Unroller(circuit, aig, prefix="B", input_provider=make_provider("B"))
+        unroller_a.begin(init_a)
+        unroller_b.begin(init_b)
+        unroller_a.unroll(depth)
+        unroller_b.unroll(depth)
+
+        solver = Solver()
+        encoder = CnfEncoder(aig, solver)
+
+        # Victim_Task_Executing(): divergence only through protected accesses,
+        # and only during t..t+1; equal interfaces afterwards.
+        for f in range(depth + 1):
+            constraint = self._victim_constraint(
+                aig, unroller_a, unroller_b, page_vec, f, free_window=f <= 1
+            )
+            encoder.assume_true(constraint)
+
+        # Threat-model isolation + firmware constraints, each frame & instance.
+        per_frame_exprs = (
+            tm.spy_isolation_constraints() + list(tm.firmware_constraints)
+        )
+        for unroller in (unroller_a, unroller_b):
+            for f in range(depth + 1):
+                for expr in per_frame_exprs:
+                    encoder.assume_true(unroller.bit_at(f, expr))
+            for expr in tm.invariants:
+                encoder.assume_true(unroller.bit_at(0, expr))
+        if tm.victim_page_constraint is not None:
+            encoder.assume_true(unroller_a.bit_at(0, tm.victim_page_constraint))
+
+        # Intermediate State_Equivalence(S[i]) assumptions (Alg. 2 stages
+        # 1..k-1 were proven in earlier unrollings, so they may be assumed).
+        for f in range(1, depth):
+            for name in s_frames[f]:
+                encoder.assume_true(
+                    self._equal_lit(aig, unroller_a, unroller_b, name, f, guard_lit)
+                )
+
+        # Proof obligation: State_Equivalence(S[k]) at t+k; the violation
+        # goal is "some variable in S[k] differs (and is not victim memory)".
+        diff_lits: dict[str, int] = {}
+        for name in s_frames[depth]:
+            equal = self._equal_lit(aig, unroller_a, unroller_b, name, depth, guard_lit)
+            diff_lits[name] = equal ^ 1
+        encoder.assume_true(aig.or_many(diff_lits.values()))
+
+        return {
+            "aig": aig,
+            "solver": solver,
+            "encoder": encoder,
+            "unroller_a": unroller_a,
+            "unroller_b": unroller_b,
+            "diff_lits": diff_lits,
+            "page_vec": page_vec,
+        }
+
+    def _victim_constraint(
+        self,
+        aig: Aig,
+        unroller_a: Unroller,
+        unroller_b: Unroller,
+        page_vec: list[int],
+        frame: int,
+        free_window: bool,
+    ) -> int:
+        tm = self.tm
+        port = tm.victim_port
+        fa = unroller_a.frame(frame).inputs
+        fb = unroller_b.frame(frame).inputs
+        all_equal = aig.and_many(
+            aig.equal_vec(fa[name], fb[name]) for name in port.fields()
+        )
+        if not free_window:
+            return all_equal
+        page_bits = tm.page_bits
+
+        def nonprot(frame_inputs: dict[str, list[int]]) -> int:
+            valid = frame_inputs[port.valid][0]
+            addr = frame_inputs[port.addr]
+            in_page = aig.equal_vec(addr[page_bits:], page_vec)
+            return aig.and_(valid, in_page ^ 1)
+
+        either_nonprot = aig.or_(nonprot(fa), nonprot(fb))
+        return aig.implies_(either_nonprot, all_equal)
+
+    def _equal_lit(
+        self,
+        aig: Aig,
+        unroller_a: Unroller,
+        unroller_b: Unroller,
+        name: str,
+        frame: int,
+        guard_lit,
+    ) -> int:
+        vec_a = unroller_a.frame(frame).regs[name]
+        vec_b = unroller_b.frame(frame).regs[name]
+        equal = aig.equal_vec(vec_a, vec_b)
+        if self.classifier.conditional_guard_info(name) is not None:
+            # Victim-range words are allowed to differ: equality is only
+            # required when the word lies outside the protected page.
+            equal = aig.or_(guard_lit(name), equal)
+        return equal
+
+    def _extract_trace(
+        self, encoder: CnfEncoder, unroller: Unroller, depth: int
+    ) -> Trace:
+        trace = Trace(depth)
+        for t in range(depth + 1):
+            frame = unroller.frame(t)
+            for table in (frame.regs, frame.inputs, frame.nets):
+                for name, vec in table.items():
+                    trace.record(t, name, decode_vec(encoder, vec))
+        return trace

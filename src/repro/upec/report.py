@@ -1,0 +1,84 @@
+"""Human-readable reports for UPEC-SSC results.
+
+Renders verdicts, per-iteration statistics and side-by-side 2-safety
+counterexample traces — the artifacts a verification engineer uses to
+debug a detected timing side channel (Sec. 4.1 of the paper walks
+through exactly such a counterexample).
+"""
+
+from __future__ import annotations
+
+from .classify import StateClassifier
+from .miter import MiterCounterexample
+from .ssc import IterationRecord, SscResult
+from .unrolled import UnrolledResult
+
+__all__ = ["format_iterations", "format_counterexample", "format_result"]
+
+
+def format_iterations(iterations: list[IterationRecord]) -> str:
+    """Render the Algorithm 1/2 iteration history as a text table."""
+    header = (
+        f"{'iter':>4} {'k':>2} {'|S|':>6} {'#diff':>6} {'removed':>8} "
+        f"{'pers-hit':>8} {'solve[s]':>9} {'conflicts':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for rec in iterations:
+        lines.append(
+            f"{rec.index:>4} {rec.unroll_depth:>2} {rec.s_size:>6} "
+            f"{len(rec.diff_names):>6} {len(rec.removed):>8} "
+            f"{len(rec.persistent_hits):>8} {rec.stats.solve_seconds:>9.3f} "
+            f"{rec.stats.conflicts:>9}"
+        )
+    return "\n".join(lines)
+
+
+def format_counterexample(
+    cex: MiterCounterexample,
+    classifier: StateClassifier | None = None,
+    max_signals: int = 40,
+) -> str:
+    """Render a 2-safety counterexample: diverging state + paired traces."""
+    lines = [
+        f"counterexample at cycle t+{cex.frame} "
+        f"(victim page = {cex.victim_page:#x})",
+        "",
+        "diverging state variables (S_cex):",
+    ]
+    for name in sorted(cex.diff_names):
+        description = classifier.describe(name) if classifier else name
+        lines.append(f"  {description}")
+    differing = cex.differing_signals()
+    shown = differing[:max_signals]
+    lines.append("")
+    lines.append(f"signals differing between instances ({len(differing)} total):")
+    lines.append("")
+    lines.append("--- instance A (victim performs protected accesses) ---")
+    lines.append(cex.trace_a.format_table(shown))
+    lines.append("")
+    lines.append("--- instance B (alternative victim behaviour) ---")
+    lines.append(cex.trace_b.format_table(shown))
+    return "\n".join(lines)
+
+
+def format_result(
+    result: SscResult | UnrolledResult,
+    classifier: StateClassifier | None = None,
+) -> str:
+    """Render a full procedure outcome."""
+    lines = [f"UPEC-SSC verdict: {result.verdict.upper()}"]
+    if isinstance(result, UnrolledResult):
+        lines.append(f"unrolled depth reached: k = {result.reached_depth}")
+    lines.append("")
+    lines.append(format_iterations(result.iterations))
+    if result.leaking:
+        lines.append("")
+        lines.append("persistent state reached by victim-dependent information:")
+        for name in sorted(result.leaking):
+            description = classifier.describe(name) if classifier else name
+            lines.append(f"  {description}")
+    cex = getattr(result, "counterexample", None)
+    if cex is not None:
+        lines.append("")
+        lines.append(format_counterexample(cex, classifier))
+    return "\n".join(lines)

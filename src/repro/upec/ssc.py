@@ -1,0 +1,136 @@
+"""Algorithm 1: the UPEC-SSC procedure.
+
+Iteratively shrinks the set ``S`` of state variables assumed (and proven)
+equal between the two miter instances:
+
+1. ``S <- S_not_victim``;
+2. check the 2-cycle property ``UPEC-SSC(S)`` (Fig. 3);
+3. if it holds — ``S`` has reached a fixed point: the property is the
+   induction step proving the victim can *never* influence ``S``, hence
+   nothing persistent, hence **secure**;
+4. if the counterexample ``S_cex`` intersects ``S_pers`` — information
+   about the victim reaches attacker-retrievable state: **vulnerable**;
+5. otherwise remove ``S_cex`` from ``S`` (those variables may carry
+   victim information, but cannot hold it across a context switch) and
+   repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .classify import StateClassifier
+from .miter import CheckStats, MiterCounterexample, UpecMiter
+from .threat_model import ThreatModel
+
+__all__ = ["IterationRecord", "SscResult", "upec_ssc"]
+
+
+@dataclass
+class IterationRecord:
+    """Bookkeeping for one while-loop iteration of Algorithm 1/2."""
+
+    index: int
+    s_size: int
+    diff_names: set[str]
+    removed: set[str]
+    persistent_hits: set[str]
+    stats: CheckStats
+    unroll_depth: int = 1
+
+
+@dataclass
+class SscResult:
+    """Outcome of the UPEC-SSC procedure.
+
+    ``verdict`` is ``"secure"`` or ``"vulnerable"`` (Alg. 1 always
+    terminates: ``S`` shrinks strictly while no persistent state is hit).
+    """
+
+    verdict: str
+    iterations: list[IterationRecord] = field(default_factory=list)
+    final_s: set[str] = field(default_factory=set)
+    leaking: set[str] = field(default_factory=set)
+    counterexample: MiterCounterexample | None = None
+
+    @property
+    def secure(self) -> bool:
+        return self.verdict == "secure"
+
+    @property
+    def vulnerable(self) -> bool:
+        return self.verdict == "vulnerable"
+
+    def total_solve_seconds(self) -> float:
+        """Aggregate SAT time across all iterations."""
+        return sum(r.stats.solve_seconds for r in self.iterations)
+
+
+def upec_ssc(
+    threat_model: ThreatModel,
+    classifier: StateClassifier | None = None,
+    initial_s: set[str] | None = None,
+    max_iterations: int = 1000,
+    record_trace: bool = True,
+) -> SscResult:
+    """Run Algorithm 1 on a design.
+
+    Args:
+        threat_model: the design plus its threat-model specification.
+        classifier: S_pers decision rules (default heuristics per Sec. 3.4).
+        initial_s: override the starting set (used for the final inductive
+            proof after Algorithm 2 returns ``hold``, with ``S <- S[k]``).
+        max_iterations: safety bound; Alg. 1 terminates on its own because
+            ``S`` shrinks strictly in every non-terminal iteration.
+        record_trace: decode full counterexample traces (disable to save
+            time in sweeps).
+
+    Returns:
+        The verdict with per-iteration statistics; on ``vulnerable`` the
+        counterexample and the leaking persistent variables are included.
+    """
+    classifier = classifier or StateClassifier(threat_model)
+    miter = UpecMiter(threat_model, classifier)
+    s = set(initial_s) if initial_s is not None else classifier.s_not_victim()
+    iterations: list[IterationRecord] = []
+    for index in range(1, max_iterations + 1):
+        cex = miter.check([s, s], record_trace=record_trace)
+        if cex is None:
+            # Fixed point: UPEC-SSC(S) is now the induction step (base: the
+            # victim has influenced nothing before first touching the
+            # CPU/system interface), so the design is secure w.r.t. the
+            # threat model.
+            iterations.append(
+                IterationRecord(
+                    index=index,
+                    s_size=len(s),
+                    diff_names=set(),
+                    removed=set(),
+                    persistent_hits=set(),
+                    stats=CheckStats(),
+                )
+            )
+            return SscResult(verdict="secure", iterations=iterations, final_s=s)
+        persistent, transient = classifier.split_by_persistence(cex.diff_names)
+        iterations.append(
+            IterationRecord(
+                index=index,
+                s_size=len(s),
+                diff_names=set(cex.diff_names),
+                removed=set() if persistent else set(transient),
+                persistent_hits=set(persistent),
+                stats=cex.stats,
+            )
+        )
+        if persistent:
+            return SscResult(
+                verdict="vulnerable",
+                iterations=iterations,
+                final_s=s,
+                leaking=persistent,
+                counterexample=cex,
+            )
+        s -= transient
+    raise RuntimeError(
+        f"UPEC-SSC did not converge within {max_iterations} iterations"
+    )

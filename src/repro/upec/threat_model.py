@@ -1,0 +1,165 @@
+"""Threat-model specification for UPEC-SSC (Sec. 2.1 and 3.3 of the paper).
+
+The threat model fixes *what is confidential* and *what the attacker can
+touch*:
+
+* The victim task executes on the (single-threaded) CPU; its accesses to
+  a **protected address range** are the confidential information, along
+  with the memory content of that range.
+* The protected range is **symbolic**: a free page index shared between
+  both miter instances and stable over time, so one proof covers every
+  possible victim memory layout ("the address ranges allocated to the
+  victim task are modeled symbolically").
+* Per Obs. 1, the CPU is cut out of the formal model and its bus master
+  port becomes free pseudo-inputs, constrained by the
+  ``Victim_Task_Executing()`` macro (see :mod:`repro.upec.macros`).
+* Spying IPs cannot directly address the protected range (threat-model
+  restriction from Sec. 3.3), expressed as assumptions on the other
+  masters' request addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtl.circuit import Circuit
+from ..rtl.expr import Expr, Input, implies
+
+__all__ = ["VictimPort", "ThreatModel"]
+
+
+@dataclass
+class VictimPort:
+    """Input names of the cut CPU master interface (request side).
+
+    The response side (grant, read data) needs no declaration: with the
+    CPU removed nothing consumes it.
+
+    Attributes:
+        valid: 1-bit request-valid input name.
+        addr: address input name.
+        write: 1-bit write-enable input name.
+        wdata: write-data input name.
+    """
+
+    valid: str
+    addr: str
+    write: str
+    wdata: str
+
+    def fields(self) -> list[str]:
+        """All input names of the interface, valid first."""
+        return [self.valid, self.addr, self.write, self.wdata]
+
+
+@dataclass
+class ThreatModel:
+    """Everything the UPEC-SSC miter needs to know about a design.
+
+    Attributes:
+        circuit: the formal netlist (CPU already cut).
+        victim_port: the cut CPU master interface.
+        victim_page: name of the symbolic protected-page input.  The
+            protected range is the set of addresses whose upper bits equal
+            this page index — one aligned page of ``2**page_bits`` words.
+        page_bits: log2 of the protected-range size in words.
+        secret_arrays: register-file arrays whose words are *conditionally
+            confidential*, mapped to the bus base address of word 0.  A
+            word is secret iff its bus address falls inside the protected
+            page (per-word guard, computed symbolically).
+        spy_master_ports: (valid_net, addr_net) pairs for every non-CPU
+            master; the threat model assumes they never address the
+            protected page.
+        stable_input_names: inputs treated as symbolic *constants*: shared
+            between instances and across all frames (the victim page, any
+            configuration straps).
+        firmware_constraints: 1-bit expressions assumed at every cycle in
+            both instances — the "set of legal configurations ... compiled
+            as a set of firmware constraints" of the countermeasure
+            (Sec. 4.2).
+        invariants: 1-bit expressions assumed at cycle ``t`` to exclude
+            unreachable symbolic start states (Sec. 3.4); prove them first
+            with :func:`repro.formal.prove_invariant`.
+        victim_page_constraint: optional 1-bit expression restricting the
+            symbolic page (the countermeasure maps the security-critical
+            region into private memory by constraining this).
+    """
+
+    circuit: Circuit
+    victim_port: VictimPort
+    victim_page: str
+    page_bits: int
+    secret_arrays: dict[str, int] = field(default_factory=dict)
+    spy_master_ports: list[tuple[str, str]] = field(default_factory=list)
+    stable_input_names: set[str] = field(default_factory=set)
+    firmware_constraints: list[Expr] = field(default_factory=list)
+    invariants: list[Expr] = field(default_factory=list)
+    victim_page_constraint: Expr | None = None
+
+    def __post_init__(self) -> None:
+        inputs = self.circuit.inputs
+        for name in self.victim_port.fields():
+            if name not in inputs:
+                raise ValueError(f"victim port input {name!r} not in circuit")
+        if self.victim_page not in inputs:
+            raise ValueError(f"victim page input {self.victim_page!r} not in circuit")
+        self.stable_input_names = set(self.stable_input_names)
+        self.stable_input_names.add(self.victim_page)
+        for array in self.secret_arrays:
+            if not any(
+                info.meta.array == array for info in self.circuit.regs.values()
+            ):
+                raise ValueError(f"secret array {array!r} has no word registers")
+
+    # -- derived expressions -------------------------------------------------
+
+    @property
+    def addr_width(self) -> int:
+        """Bus address width of the victim interface."""
+        return self.circuit.inputs[self.victim_port.addr].width
+
+    @property
+    def page_input(self) -> Input:
+        """The symbolic protected-page input node."""
+        return self.circuit.inputs[self.victim_page]
+
+    def page_of(self, addr: Expr) -> Expr:
+        """Upper address bits selecting the page of ``addr``."""
+        if addr.width != self.addr_width:
+            raise ValueError(
+                f"address width {addr.width} != interface width {self.addr_width}"
+            )
+        return addr[self.addr_width - 1 : self.page_bits]
+
+    def in_protected_range(self, addr: Expr) -> Expr:
+        """1-bit expression: ``addr`` lies in the symbolic protected page."""
+        return self.page_of(addr).eq(self.page_input)
+
+    def word_is_secret(self, array: str, index: int) -> Expr:
+        """Guard: word ``index`` of ``array`` lies in the protected page.
+
+        This is the symbolic-address-range modelling of Sec. 3.4: whether
+        a concrete memory word belongs to the victim is itself a symbolic
+        predicate over the free page index.
+        """
+        base = self.secret_arrays[array]
+        word_addr = base + index
+        page = word_addr >> self.page_bits
+        page_width = self.addr_width - self.page_bits
+        return self.page_input.eq(page & ((1 << page_width) - 1))
+
+    def spy_isolation_constraints(self) -> list[Expr]:
+        """Assumptions: no non-CPU master addresses the protected page."""
+        out = []
+        for valid_name, addr_name in self.spy_master_ports:
+            valid = self._net_or_input(valid_name)
+            addr = self._net_or_input(addr_name)
+            out.append(implies(valid, ~self.in_protected_range(addr)))
+        return out
+
+    def _net_or_input(self, name: str) -> Expr:
+        if name in self.circuit.nets:
+            return self.circuit.nets[name]
+        if name in self.circuit.inputs:
+            return self.circuit.inputs[name]
+        raise KeyError(f"no net or input named {name!r}")

@@ -1,0 +1,144 @@
+"""Algorithm 2: the unrolled UPEC-SSC procedure (Sec. 3.5).
+
+The 2-cycle property folds all multi-cycle behaviour into the symbolic
+starting state, which makes counterexamples "cryptic" — divergence shows
+up as inexplicable start-state differences.  Algorithm 2 instead unrolls
+the property cycle by cycle with a per-cycle vector of state sets
+``S[0..k]``, producing explicit traces: this is how the paper exposes the
+delayed HWPE access of the new BUSted variant (k = 2, Sec. 4.1).
+
+Termination of the unrolling returns ``hold`` — *not* ``secure``: a
+final inductive proof (Algorithm 1 seeded with ``S[k]``) is still
+required, because influence could resume at a later cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .classify import StateClassifier
+from .miter import MiterCounterexample, UpecMiter
+from .ssc import IterationRecord, SscResult, upec_ssc
+from .threat_model import ThreatModel
+
+__all__ = ["UnrolledResult", "upec_ssc_unrolled"]
+
+
+@dataclass
+class UnrolledResult:
+    """Outcome of Algorithm 2.
+
+    ``verdict`` is ``"hold"``, ``"vulnerable"``, or — when the final
+    inductive proof was requested and succeeded — ``"secure"``.
+    """
+
+    verdict: str
+    reached_depth: int
+    iterations: list[IterationRecord] = field(default_factory=list)
+    s_frames: list[set[str]] = field(default_factory=list)
+    leaking: set[str] = field(default_factory=set)
+    counterexample: MiterCounterexample | None = None
+    inductive_result: SscResult | None = None
+
+    @property
+    def vulnerable(self) -> bool:
+        return self.verdict == "vulnerable"
+
+
+def upec_ssc_unrolled(
+    threat_model: ThreatModel,
+    classifier: StateClassifier | None = None,
+    max_depth: int = 16,
+    max_iterations: int = 1000,
+    inductive_final: bool = True,
+    record_trace: bool = True,
+) -> UnrolledResult:
+    """Run Algorithm 2 on a design.
+
+    Args:
+        threat_model: the design plus threat-model specification.
+        classifier: S_pers decision rules.
+        max_depth: largest unrolling ``k`` to attempt.
+        max_iterations: global iteration safety bound.
+        inductive_final: after ``hold``, run Algorithm 1 with
+            ``S <- S[k]`` to upgrade the verdict to ``secure`` (the
+            paper's required "additional inductive proof").
+        record_trace: decode full counterexample traces.
+
+    Returns:
+        Verdict plus the evolved ``S[]`` vector and per-iteration records;
+        on ``vulnerable`` the multi-cycle counterexample trace shows every
+        signal explicitly.
+    """
+    classifier = classifier or StateClassifier(threat_model)
+    miter = UpecMiter(threat_model, classifier)
+    s_not_victim = classifier.s_not_victim()
+    s_frames: list[set[str]] = [set(s_not_victim), set(s_not_victim)]
+    k = 1
+    iterations: list[IterationRecord] = []
+    for index in range(1, max_iterations + 1):
+        cex = miter.check(s_frames, record_trace=record_trace)
+        if cex is None:
+            if s_frames[k] == s_frames[k - 1]:
+                inductive = None
+                verdict = "hold"
+                if inductive_final:
+                    inductive = upec_ssc(
+                        threat_model,
+                        classifier,
+                        initial_s=set(s_frames[k]),
+                        record_trace=record_trace,
+                    )
+                    verdict = inductive.verdict
+                    if inductive.vulnerable:
+                        return UnrolledResult(
+                            verdict="vulnerable",
+                            reached_depth=k,
+                            iterations=iterations + inductive.iterations,
+                            s_frames=s_frames,
+                            leaking=inductive.leaking,
+                            counterexample=inductive.counterexample,
+                            inductive_result=inductive,
+                        )
+                return UnrolledResult(
+                    verdict=verdict,
+                    reached_depth=k,
+                    iterations=iterations,
+                    s_frames=s_frames,
+                    inductive_result=inductive,
+                )
+            if k + 1 > max_depth:
+                return UnrolledResult(
+                    verdict="hold",
+                    reached_depth=k,
+                    iterations=iterations,
+                    s_frames=s_frames,
+                )
+            k += 1
+            s_frames.append(set(s_frames[k - 1]))
+            continue
+        persistent, transient = classifier.split_by_persistence(cex.diff_names)
+        iterations.append(
+            IterationRecord(
+                index=index,
+                s_size=len(s_frames[k]),
+                diff_names=set(cex.diff_names),
+                removed=set() if persistent else set(transient),
+                persistent_hits=set(persistent),
+                stats=cex.stats,
+                unroll_depth=k,
+            )
+        )
+        if persistent:
+            return UnrolledResult(
+                verdict="vulnerable",
+                reached_depth=k,
+                iterations=iterations,
+                s_frames=s_frames,
+                leaking=persistent,
+                counterexample=cex,
+            )
+        s_frames[k] -= transient
+    raise RuntimeError(
+        f"unrolled UPEC-SSC did not converge within {max_iterations} iterations"
+    )

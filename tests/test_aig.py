@@ -1,0 +1,297 @@
+"""Tests for the AIG, CNF encoding, and bit-blaster.
+
+The central property: bit-blasting any expression and evaluating the AIG
+must agree with the word-level interpreter on all inputs.  Hypothesis
+generates random expression trees and input values to enforce it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import FALSE, TRUE, Aig, BitBlaster, CnfEncoder
+from repro.rtl import Input, cat, mask, mux, reduce_and, reduce_or, reduce_xor, sext, zext
+from repro.sat import Solver
+from repro.sim import evaluate
+
+
+# ---------------------------------------------------------------------------
+# AIG structural behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_constant_folding():
+    g = Aig()
+    a = g.new_input()
+    assert g.and_(a, FALSE) == FALSE
+    assert g.and_(a, TRUE) == a
+    assert g.and_(a, a) == a
+    assert g.and_(a, a ^ 1) == FALSE
+    assert g.or_(a, TRUE) == TRUE
+    assert g.xor_(a, FALSE) == a
+    assert g.xor_(a, TRUE) == (a ^ 1)
+
+
+def test_structural_hashing_shares_nodes():
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    n1 = g.and_(a, b)
+    n2 = g.and_(b, a)
+    assert n1 == n2
+    assert g.num_ands() == 1
+
+
+def test_mux_simplifications():
+    g = Aig()
+    a, b, s = g.new_input(), g.new_input(), g.new_input()
+    assert g.mux_(TRUE, a, b) == a
+    assert g.mux_(FALSE, a, b) == b
+    assert g.mux_(s, a, a) == a
+
+
+def test_cone_nodes_topological():
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    n = g.and_(g.and_(a, b), b)
+    cone = g.cone_nodes([n])
+    assert cone[-1] == n >> 1
+    assert set(cone) >= {a >> 1, b >> 1}
+
+
+def test_evaluate_matches_truth_table():
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    f = g.xor_(a, b)
+    for va in (0, 1):
+        for vb in (0, 1):
+            got = g.evaluate([f], {a >> 1: va, b >> 1: vb})[0] & 1
+            assert got == (va ^ vb)
+
+
+def test_evaluate_parallel_patterns():
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    f = g.and_(a, b)
+    got = g.evaluate([f], {a >> 1: 0b1100, b >> 1: 0b1010})[0] & 0xF
+    assert got == 0b1000
+
+
+# ---------------------------------------------------------------------------
+# CNF encoding
+# ---------------------------------------------------------------------------
+
+
+def test_cnf_encoder_simple_and():
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    f = g.and_(a, b)
+    solver = Solver()
+    enc = CnfEncoder(g, solver)
+    enc.assume_true(f)
+    assert solver.solve() is True
+    assert enc.value(a) is True
+    assert enc.value(b) is True
+
+
+def test_cnf_encoder_unsat_contradiction():
+    g = Aig()
+    a = g.new_input()
+    solver = Solver()
+    enc = CnfEncoder(g, solver)
+    enc.assume_true(a)
+    enc.assume_true(a ^ 1)
+    assert solver.solve() is False
+
+
+def test_cnf_encoder_constants():
+    g = Aig()
+    solver = Solver()
+    enc = CnfEncoder(g, solver)
+    enc.assume_true(TRUE)
+    assert solver.solve() is True
+    enc.assume_true(FALSE)
+    assert solver.solve() is False
+
+
+def test_cnf_encoder_incremental_reuse():
+    g = Aig()
+    a, b, c = g.new_input(), g.new_input(), g.new_input()
+    solver = Solver()
+    enc = CnfEncoder(g, solver)
+    enc.assume_true(g.or_(a, b))
+    assert solver.solve() is True
+    # Extend the encoded cone after a solve.
+    enc.assume_true(g.and_(c, a ^ 1))
+    assert solver.solve() is True
+    assert enc.value(b) is True
+    assert enc.value(c) is True
+
+
+def test_cnf_solve_under_aig_assumption_literals():
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    f = g.xor_(a, b)
+    solver = Solver()
+    enc = CnfEncoder(g, solver)
+    f_dimacs = enc.lit(f)
+    a_dimacs = enc.lit(a)
+    assert solver.solve(assumptions=[f_dimacs, a_dimacs]) is True
+    assert enc.value(b) is False
+    assert solver.solve(assumptions=[-f_dimacs, a_dimacs]) is True
+    assert enc.value(b) is True
+
+
+# ---------------------------------------------------------------------------
+# Bit-blasting vs the word-level interpreter
+# ---------------------------------------------------------------------------
+
+
+def blast_and_eval(expr, input_widths: dict[str, int], values: dict[str, int]) -> int:
+    """Bit-blast ``expr``, evaluate the AIG under ``values``, return the word."""
+    g = Aig()
+    leaves = {}
+    node_values = {}
+    for name, width in input_widths.items():
+        vec = g.input_vec(name, width)
+        leaves[("in", name)] = vec
+        for i, lit in enumerate(vec):
+            node_values[lit >> 1] = (values[name] >> i) & 1
+    blaster = BitBlaster(g, leaves)
+    vec = blaster.vec(expr)
+    bits = g.evaluate(vec, node_values)
+    return sum((bit & 1) << i for i, bit in enumerate(bits))
+
+
+OPS_BINARY = ["add", "sub", "mul", "and", "or", "xor", "eq", "ult", "ule", "slt",
+              "shl", "lshr", "ashr"]
+
+
+def apply_op(op: str, a, b):
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "eq":
+        return a.eq(b)
+    if op == "ult":
+        return a.ult(b)
+    if op == "ule":
+        return a.ule(b)
+    if op == "slt":
+        return a.slt(b)
+    if op == "shl":
+        return a << b[2:0] if a.width > 3 else a << b[0]
+    if op == "lshr":
+        return a >> b[2:0] if a.width > 3 else a >> b[0]
+    if op == "ashr":
+        return a.ashr(b[2:0]) if a.width > 3 else a.ashr(b[0])
+    raise AssertionError(op)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    op=st.sampled_from(OPS_BINARY),
+    width=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_bitblast_binary_ops_match_interpreter(op, width, data):
+    a = Input("a", width)
+    b = Input("b", width)
+    expr = apply_op(op, a, b)
+    va = data.draw(st.integers(min_value=0, max_value=mask(width)))
+    vb = data.draw(st.integers(min_value=0, max_value=mask(width)))
+    env = {"a": va, "b": vb}
+    expected = evaluate(expr, inputs=env)
+    got = blast_and_eval(expr, {"a": width, "b": width}, env)
+    assert got == expected, f"{op} w{width} a={va} b={vb}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    width=st.integers(min_value=2, max_value=8),
+    data=st.data(),
+)
+def test_bitblast_structure_ops_match_interpreter(width, data):
+    a = Input("a", width)
+    b = Input("b", width)
+    s = Input("s", 1)
+    hi = data.draw(st.integers(min_value=0, max_value=width - 1))
+    lo = data.draw(st.integers(min_value=0, max_value=hi))
+    exprs = [
+        mux(s, a, b),
+        cat(a, b),
+        a[hi:lo],
+        zext(a, width + 3),
+        sext(a, width + 3),
+        reduce_or(a),
+        reduce_and(a),
+        reduce_xor(a),
+        ~a,
+    ]
+    va = data.draw(st.integers(min_value=0, max_value=mask(width)))
+    vb = data.draw(st.integers(min_value=0, max_value=mask(width)))
+    vs = data.draw(st.integers(min_value=0, max_value=1))
+    env = {"a": va, "b": vb, "s": vs}
+    widths = {"a": width, "b": width, "s": 1}
+    for expr in exprs:
+        assert blast_and_eval(expr, widths, env) == evaluate(expr, inputs=env)
+
+
+def test_bitblast_deep_nested_expression():
+    a = Input("a", 8)
+    b = Input("b", 8)
+    expr = ((a + b) ^ (a & b)) - mux(a.ult(b), a, b)
+    env = {"a": 200, "b": 77}
+    assert blast_and_eval(expr, {"a": 8, "b": 8}, env) == evaluate(expr, inputs=env)
+
+
+def test_bitblast_sat_finds_witness():
+    # Use SAT to invert a function: find a with a + 3 == 10.
+    a = Input("a", 8)
+    expr = (a + 3).eq(10)
+    g = Aig()
+    vec_a = g.input_vec("a", 8)
+    blaster = BitBlaster(g, {("in", "a"): vec_a})
+    cond = blaster.bit(expr)
+    solver = Solver()
+    enc = CnfEncoder(g, solver)
+    enc.assume_true(cond)
+    assert solver.solve() is True
+    model_a = sum(int(enc.value(bit)) << i for i, bit in enumerate(vec_a))
+    assert (model_a + 3) & 0xFF == 10
+
+
+def test_bitblast_rejects_unbound_leaf():
+    a = Input("a", 4)
+    g = Aig()
+    blaster = BitBlaster(g, {})
+    with pytest.raises(KeyError, match="no binding for input"):
+        blaster.vec(a)
+
+
+def test_bitblast_leaf_width_mismatch():
+    a = Input("a", 4)
+    g = Aig()
+    blaster = BitBlaster(g, {("in", "a"): g.input_vec("a", 2)})
+    with pytest.raises(ValueError, match="bound to 2 bits"):
+        blaster.vec(a)
+
+
+def test_bitblaster_caches_shared_subexpressions():
+    a = Input("a", 8)
+    shared = a + 1
+    expr = (shared ^ shared) | shared
+    g = Aig()
+    blaster = BitBlaster(g, {("in", "a"): g.input_vec("a", 8)})
+    blaster.vec(expr)
+    first_count = g.num_ands()
+    blaster.vec(expr)
+    assert g.num_ands() == first_count

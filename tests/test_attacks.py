@@ -1,0 +1,126 @@
+"""Tests for the end-to-end attack demonstrations.
+
+These check the *empirical* side of the paper: the timing channels are
+real in simulation, monotonic (usable as a ruler), survive timer
+removal, and are closed by the countermeasure.
+"""
+
+import pytest
+
+from repro.attacks import (
+    AttackHarness,
+    AttackResult,
+    analyze_channel,
+    dma_timer_attack_sweep,
+    hwpe_attack_sweep,
+    run_dma_timer_attack,
+    run_hwpe_attack,
+)
+from repro.soc import ATTACK_DEMO, SIM_DEFAULT, build_soc
+
+
+@pytest.fixture(scope="module")
+def demo_soc():
+    return build_soc(ATTACK_DEMO)
+
+
+@pytest.fixture(scope="module")
+def secured_soc():
+    return build_soc(ATTACK_DEMO.replace(secure=True))
+
+
+def test_hwpe_channel_open_on_vulnerable_soc(demo_soc):
+    results = hwpe_attack_sweep(demo_soc, max_accesses=16, recording_cycles=60)
+    report = analyze_channel(results)
+    assert report.leaks
+    assert report.monotonic
+    values = [report.observations[n] for n in sorted(report.observations)]
+    assert values[0] > values[-1]  # more victim activity -> less progress
+
+
+def test_hwpe_channel_closed_with_countermeasure(secured_soc):
+    results = hwpe_attack_sweep(
+        secured_soc, max_accesses=16, victim_region="priv_ram",
+        recording_cycles=60,
+    )
+    report = analyze_channel(results)
+    assert not report.leaks
+
+
+def test_hwpe_attack_needs_no_timer():
+    # Sec. 4.1: the variant works on an SoC with no timer IP at all.
+    soc = build_soc(ATTACK_DEMO.replace(include_timer=False))
+    results = hwpe_attack_sweep(soc, max_accesses=16, recording_cycles=60)
+    assert analyze_channel(results).leaks
+
+
+def test_dma_timer_channel_matches_fig1(demo_soc):
+    results = dma_timer_attack_sweep(
+        demo_soc, max_accesses=8, recording_cycles=96
+    )
+    report = analyze_channel(results)
+    assert report.leaks
+    assert report.monotonic
+    # Fig. 1: the timer start is delayed by contention, so the count
+    # strictly decreases with victim activity at the extremes.
+    values = [report.observations[n] for n in sorted(report.observations)]
+    assert values[0] > values[-1]
+
+
+def test_attack_timeline_records_phases(demo_soc):
+    result = run_hwpe_attack(demo_soc, victim_accesses=2, recording_cycles=40)
+    phases = {event.phase for event in result.timeline}
+    assert {"preparation", "recording", "retrieval"} <= phases
+    # Events are cycle-ordered.
+    cycles = [event.cycle for event in result.timeline]
+    assert cycles == sorted(cycles)
+
+
+def test_dma_timer_attack_requires_timer():
+    soc = build_soc(ATTACK_DEMO.replace(include_timer=False))
+    with pytest.raises(ValueError, match="timer"):
+        run_dma_timer_attack(soc, victim_accesses=0)
+
+
+def test_harness_rejects_cpu_builds():
+    soc = build_soc(SIM_DEFAULT)
+    with pytest.raises(ValueError, match="include_cpu"):
+        AttackHarness(soc)
+
+
+def test_harness_timeline_render(demo_soc):
+    result = run_hwpe_attack(demo_soc, victim_accesses=1, recording_cycles=30)
+    harness_text_lines = len(result.timeline)
+    assert harness_text_lines >= 4
+
+
+def test_analyze_channel_metrics():
+    results = [
+        AttackResult(victim_accesses=n, observation=obs)
+        for n, obs in [(0, 8), (1, 8), (2, 7), (3, 6)]
+    ]
+    report = analyze_channel(results)
+    assert report.distinguishable_classes == 3
+    assert report.monotonic
+    assert report.leaks
+    assert 1.5 < report.leaked_bits < 1.7
+    assert "OPEN" in report.format_table()
+
+
+def test_analyze_channel_flat_is_closed():
+    results = [
+        AttackResult(victim_accesses=n, observation=5) for n in range(4)
+    ]
+    report = analyze_channel(results)
+    assert not report.leaks
+    assert report.leaked_bits == 0.0
+    assert "closed" in report.format_table()
+
+
+def test_analyze_channel_non_monotonic_detected():
+    results = [
+        AttackResult(victim_accesses=n, observation=obs)
+        for n, obs in [(0, 5), (1, 7), (2, 4)]
+    ]
+    report = analyze_channel(results)
+    assert not report.monotonic

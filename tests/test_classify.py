@@ -1,0 +1,113 @@
+"""Unit tests for the S_not_victim / S_pers state classifier."""
+
+import pytest
+
+from repro.rtl import Circuit, RegisterFileMemory
+from repro.upec import StateClassifier, ThreatModel, UnclassifiedStateError, VictimPort
+
+
+def build():
+    c = Circuit("cls")
+    c.add_input("v_valid", 1)
+    c.add_input("v_addr", 6)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 4)
+    c.add_input("victim_page", 4)
+    soc = c.scope("soc")
+    regs = {
+        "cpu": soc.child("core").reg("pc", 6, kind="cpu"),
+        "xbar": soc.child("xbar").reg("rr", 2, kind="interconnect"),
+        "ip": soc.child("dma").reg("cfg", 4, kind="ip"),
+        "hidden_ip": soc.child("dma").reg("shadow", 4, kind="ip",
+                                          accessible=False),
+        "forced": soc.child("xbar").reg("sticky", 1, kind="interconnect",
+                                        persistent=True),
+        "odd": soc.child("misc").reg("latch", 2, kind="other"),
+    }
+    mem = RegisterFileMemory(soc, "ram", 4, 4, accessible=True)
+    mem.tie_off()
+    priv = RegisterFileMemory(soc, "vault", 4, 4, accessible=False)
+    priv.tie_off()
+    for reg in regs.values():
+        c.set_next(reg, reg)
+    tm = ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=2,
+        secret_arrays={"soc.ram": 0},
+    )
+    return c, tm, StateClassifier(tm)
+
+
+def test_s_not_victim_excludes_cpu():
+    c, tm, cls = build()
+    s = cls.s_not_victim()
+    assert "soc.core.pc" not in s
+    assert "soc.xbar.rr" in s
+    assert "soc.ram[0]" in s  # conditionally secret words stay in the set
+
+
+def test_interconnect_not_persistent():
+    __, __, cls = build()
+    assert cls.in_s_pers("soc.xbar.rr") is False
+
+
+def test_ip_registers_persistent_by_default():
+    __, __, cls = build()
+    assert cls.in_s_pers("soc.dma.cfg") is True
+
+
+def test_accessible_false_excludes_from_s_pers():
+    __, __, cls = build()
+    assert cls.in_s_pers("soc.dma.shadow") is False
+
+
+def test_explicit_persistent_annotation_wins():
+    __, __, cls = build()
+    assert cls.in_s_pers("soc.xbar.sticky") is True
+
+
+def test_memory_words_persistent_accessibility():
+    __, __, cls = build()
+    assert cls.in_s_pers("soc.ram[1]") is True
+    assert cls.in_s_pers("soc.vault[1]") is False
+
+
+def test_conditional_guard_info():
+    __, tm, cls = build()
+    assert cls.conditional_guard_info("soc.ram[2]") == ("soc.ram", 2)
+    assert cls.conditional_guard_info("soc.vault[2]") is None  # not secret
+    assert cls.conditional_guard_info("soc.dma.cfg") is None
+
+
+def test_unclassified_kind_raises():
+    __, __, cls = build()
+    with pytest.raises(UnclassifiedStateError, match="soc.misc.latch"):
+        cls.in_s_pers("soc.misc.latch")
+
+
+def test_manual_annotation_overrides():
+    __, __, cls = build()
+    cls.annotate("soc.misc.latch", persistent=False)
+    assert cls.in_s_pers("soc.misc.latch") is False
+    with pytest.raises(KeyError):
+        cls.annotate("soc.missing", persistent=True)
+
+
+def test_split_by_persistence():
+    __, __, cls = build()
+    pers, transient = cls.split_by_persistence(
+        {"soc.xbar.rr", "soc.dma.cfg", "soc.ram[0]"}
+    )
+    assert pers == {"soc.dma.cfg", "soc.ram[0]"}
+    assert transient == {"soc.xbar.rr"}
+
+
+def test_describe_renders_tags():
+    __, __, cls = build()
+    text = cls.describe("soc.ram[2]")
+    assert "conditionally-secret" in text
+    assert "S_pers" in text
+    text = cls.describe("soc.misc.latch")
+    assert "UNCLASSIFIED" in text

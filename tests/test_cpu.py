@@ -1,0 +1,395 @@
+"""Tests for the RV32 subset: assembler encodings and core execution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.soc import SIM_DEFAULT, build_soc
+from repro.soc.cpu import AssemblyError, assemble
+
+ROM = "soc.cpu.rom"
+REGS = "soc.cpu.regfile"
+
+
+# ---------------------------------------------------------------------------
+# Assembler
+# ---------------------------------------------------------------------------
+
+
+def words(text, origin=0):
+    image = assemble(text, origin)
+    return [image[a] for a in sorted(image)]
+
+
+def test_encode_addi():
+    assert words("addi x1, x0, 5") == [0x00500093]
+
+
+def test_encode_negative_immediate():
+    assert words("addi x1, x0, -1") == [0xFFF00093]
+
+
+def test_encode_r_type():
+    assert words("add x3, x1, x2") == [0x002081B3]
+    assert words("sub x3, x1, x2") == [0x402081B3]
+
+
+def test_encode_load_store():
+    assert words("lw x5, 8(x2)") == [0x00812283]
+    assert words("sw x5, 8(x2)") == [0x00512423]
+
+
+def test_encode_branch_with_label():
+    image = words("beq x1, x2, target\nnop\ntarget: nop")
+    assert image[0] == 0x00208463  # +8 offset
+
+
+def test_encode_backward_branch():
+    image = words("loop: addi x1, x1, 1\nbne x1, x2, loop")
+    assert image[1] == 0xFE209EE3  # -4 offset
+
+
+def test_encode_lui_jal():
+    assert words("lui x1, 0x12345") == [0x123450B7]
+    image = words("jal x1, next\nnext: nop")
+    assert image[0] == 0x004000EF
+
+
+def test_encode_shifts():
+    assert words("slli x1, x2, 3") == [0x00311093]
+    assert words("srai x1, x2, 3") == [0x40315093]
+
+
+def test_pseudo_instructions():
+    assert words("nop") == [0x00000013]
+    assert words("mv x1, x2") == [0x00010093]
+    assert len(words("li x1, 0x12345678")) == 2
+    assert words("ret") == [0x00008067]
+    assert words("j here\nhere: nop")[0] == 0x0040006F
+
+
+def test_abi_register_names():
+    assert words("addi a0, sp, 4") == [0x00410513]
+
+
+def test_dot_word_and_org():
+    image = assemble(".org 16\nstart: .word 0xdeadbeef, 1")
+    assert image[16] == 0xDEADBEEF
+    assert image[20] == 1
+
+
+def test_comments_stripped():
+    assert words("addi x1, x0, 1 # comment\n// full line\nnop") == [
+        0x00100093,
+        0x00000013,
+    ]
+
+
+def test_assembler_errors():
+    with pytest.raises(AssemblyError, match="register"):
+        assemble("addi x99, x0, 1")
+    with pytest.raises(AssemblyError, match="immediate"):
+        assemble("addi x1, x0, 5000")
+    with pytest.raises(AssemblyError, match="duplicate"):
+        assemble("a: nop\na: nop")
+    with pytest.raises(AssemblyError, match="mnemonic"):
+        assemble("frobnicate x1")
+    with pytest.raises(AssemblyError, match="offset"):
+        assemble("lw x1, x2")
+
+
+# ---------------------------------------------------------------------------
+# Core execution
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def soc():
+    return build_soc(SIM_DEFAULT)
+
+
+def run_program(soc, text, cycles=200):
+    sim = Simulator(soc.circuit)
+    for addr, word in assemble(text).items():
+        sim.mems[ROM][addr // 4] = word
+    sim.run(cycles)
+    return sim
+
+
+def reg(sim, index):
+    return sim.mems[REGS][index]
+
+
+def test_alu_immediates(soc):
+    sim = run_program(
+        soc,
+        """
+        addi x1, x0, 100
+        xori x2, x1, 0xFF
+        ori  x3, x1, 0x0F
+        andi x4, x1, 0x3C
+        slti x5, x1, 200
+        sltiu x6, x1, 50
+        """,
+        cycles=20,
+    )
+    assert reg(sim, 1) == 100
+    assert reg(sim, 2) == 100 ^ 0xFF
+    assert reg(sim, 3) == 100 | 0x0F
+    assert reg(sim, 4) == 100 & 0x3C
+    assert reg(sim, 5) == 1
+    assert reg(sim, 6) == 0
+
+
+def test_alu_register_ops(soc):
+    sim = run_program(
+        soc,
+        """
+        addi x1, x0, 12
+        addi x2, x0, 10
+        add x3, x1, x2
+        sub x4, x1, x2
+        and x5, x1, x2
+        or  x6, x1, x2
+        xor x7, x1, x2
+        """,
+        cycles=20,
+    )
+    assert reg(sim, 3) == 22
+    assert reg(sim, 4) == 2
+    assert reg(sim, 5) == 12 & 10
+    assert reg(sim, 6) == 12 | 10
+    assert reg(sim, 7) == 12 ^ 10
+
+
+def test_shifts_and_sra_of_negative(soc):
+    sim = run_program(
+        soc,
+        """
+        addi x1, x0, -8
+        addi x2, x0, 2
+        sll x3, x1, x2
+        srl x4, x1, x2
+        sra x5, x1, x2
+        """,
+        cycles=20,
+    )
+    assert reg(sim, 3) == (-8 << 2) & 0xFFFFFFFF
+    assert reg(sim, 4) == (0xFFFFFFF8 >> 2)
+    assert reg(sim, 5) == 0xFFFFFFFE
+
+
+def test_slt_signed_vs_unsigned(soc):
+    sim = run_program(
+        soc,
+        """
+        addi x1, x0, -1
+        addi x2, x0, 1
+        slt x3, x1, x2
+        sltu x4, x1, x2
+        """,
+        cycles=15,
+    )
+    assert reg(sim, 3) == 1  # -1 < 1 signed
+    assert reg(sim, 4) == 0  # 0xFFFFFFFF > 1 unsigned
+
+
+def test_lui_auipc(soc):
+    sim = run_program(
+        soc,
+        """
+        lui x1, 0xABCDE
+        auipc x2, 1
+        """,
+        cycles=10,
+    )
+    assert reg(sim, 1) == 0xABCDE000
+    assert reg(sim, 2) == 0x1000 + 4  # pc of auipc is 4
+
+
+def test_branch_loop_sums(soc):
+    sim = run_program(
+        soc,
+        """
+        addi x1, x0, 0    # sum
+        addi x2, x0, 1    # i
+        addi x3, x0, 6    # limit
+    loop:
+        add x1, x1, x2
+        addi x2, x2, 1
+        bne x2, x3, loop
+        """,
+        cycles=60,
+    )
+    assert reg(sim, 1) == 1 + 2 + 3 + 4 + 5
+
+
+def test_branch_variants(soc):
+    sim = run_program(
+        soc,
+        """
+        addi x1, x0, -5
+        addi x2, x0, 3
+        addi x10, x0, 0
+        blt x1, x2, l1     # taken (signed)
+        addi x10, x10, 1   # skipped
+    l1: bltu x1, x2, l2    # not taken (unsigned: big < 3 is false)
+        addi x10, x10, 2   # executed
+    l2: bge x2, x1, l3     # taken
+        addi x10, x10, 4   # skipped
+    l3: nop
+        """,
+        cycles=30,
+    )
+    assert reg(sim, 10) == 2
+
+
+def test_jal_jalr_function_call(soc):
+    sim = run_program(
+        soc,
+        """
+        addi x10, x0, 5
+        jal ra, double
+        addi x11, x10, 0
+        j end
+    double:
+        add x10, x10, x10
+        ret
+    end: nop
+        """,
+        cycles=40,
+    )
+    assert reg(sim, 11) == 10
+
+
+def test_memory_roundtrip_and_stalls(soc):
+    pub = soc.byte_addr("pub_ram")
+    sim = run_program(
+        soc,
+        f"""
+        li t0, {pub}
+        li t1, 0x1234
+        sw t1, 0(t0)
+        lw t2, 0(t0)
+        addi t2, t2, 1
+        sw t2, 4(t0)
+        """,
+        cycles=40,
+    )
+    assert sim.peek_mem("soc.pub_ram.mem", 0) == 0x1234
+    assert sim.peek_mem("soc.pub_ram.mem", 1) == 0x1235
+
+
+def test_private_memory_access(soc):
+    priv = soc.byte_addr("priv_ram")
+    sim = run_program(
+        soc,
+        f"""
+        li t0, {priv}
+        li t1, 77
+        sw t1, 0(t0)
+        lw t2, 0(t0)
+        sw t2, 4(t0)
+        """,
+        cycles=60,
+    )
+    assert sim.peek_mem("soc.priv_ram.mem", 0) == 77
+    assert sim.peek_mem("soc.priv_ram.mem", 1) == 77
+
+
+def test_x0_hardwired_to_zero(soc):
+    sim = run_program(
+        soc,
+        """
+        addi x0, x0, 5
+        add x1, x0, x0
+        """,
+        cycles=10,
+    )
+    assert reg(sim, 0) == 0
+    assert reg(sim, 1) == 0
+
+
+def test_cpu_configures_timer_peripheral(soc):
+    timer = soc.byte_addr("timer")
+    sim = run_program(
+        soc,
+        f"""
+        li t0, {timer}
+        li t1, 1
+        sw t1, 0(t0)     # enable timer
+        lw t2, 4(t0)     # read VALUE
+        lw t3, 4(t0)     # read VALUE again
+        """,
+        cycles=60,
+    )
+    # The second read (t3 = x28) sees a later count than the first
+    # (t2 = x7): the timer is live and CPU-visible.
+    assert reg(sim, 28) > reg(sim, 7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.integers(min_value=-2048, max_value=2047),
+    b=st.integers(min_value=-2048, max_value=2047),
+    op=st.sampled_from(["add", "sub", "and", "or", "xor", "slt", "sltu"]),
+)
+def test_random_alu_against_python(a, b, op):
+    soc = build_soc(SIM_DEFAULT)
+    sim = run_program(
+        soc,
+        f"""
+        addi x1, x0, {a}
+        addi x2, x0, {b}
+        {op} x3, x1, x2
+        """,
+        cycles=10,
+    )
+    ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    expected = {
+        "add": (a + b) & 0xFFFFFFFF,
+        "sub": (a - b) & 0xFFFFFFFF,
+        "and": ua & ub,
+        "or": ua | ub,
+        "xor": ua ^ ub,
+        "slt": int(a < b),
+        "sltu": int(ua < ub),
+    }[op]
+    assert reg(sim, 3) == expected
+
+
+def test_victim_measures_hwpe_contention(soc):
+    """From the CPU's own perspective: a loop of loads takes longer when
+    the HWPE streams over the same memory — the victim-side phenomenon
+    behind the recording phase."""
+    from repro.soc import hwpe as hwpe_regs
+
+    pub = soc.byte_addr("pub_ram")
+    stores = "\n".join(f"    sw t1, {4 * i}(t0)" for i in range(16))
+    program = f"""
+        li t0, {pub}
+        li t1, 7
+{stores}
+    done: j done
+    """
+    retire_target = 4 + 16  # two 2-word li's + the stores
+
+    def cycles_to_finish(start_hwpe: bool) -> int:
+        sim = Simulator(soc.circuit)
+        for addr, word in assemble(program).items():
+            sim.mems[ROM][addr // 4] = word
+        if start_hwpe:
+            # Backdoor-configure a long HWPE burst over the public memory.
+            sim.poke("soc.hwpe.src", soc.word_addr("pub_ram"))
+            sim.poke("soc.hwpe.dst", soc.word_addr("pub_ram", 32))
+            sim.poke("soc.hwpe.len", 200)
+            sim.poke("soc.hwpe.busy", 1)
+            sim.poke("soc.hwpe.state", 1)
+        for cycle in range(400):
+            sim.step({})
+            if sim.peek("soc.cpu.retired") >= retire_target:
+                return cycle
+        raise AssertionError("program did not finish")
+
+    assert cycles_to_finish(True) > cycles_to_finish(False)

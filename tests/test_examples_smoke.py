@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts' core flows, in miniature.
+
+The examples themselves run minutes-long campaigns; these tests execute
+the same API paths with the smallest inputs so a broken example surfaces
+in the ordinary test run.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_complete():
+    present = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart",
+        "busted_attack_demo",
+        "verification_campaign",
+        "machine_code_attack",
+    } <= present
+
+
+def test_machine_code_firmware_assembles():
+    module = load("machine_code_attack")
+    from repro import SIM_DEFAULT, build_soc
+    from repro.soc.cpu import assemble
+
+    soc = build_soc(SIM_DEFAULT)
+    for n in (0, module.VICTIM_SLOTS):
+        image = assemble(module.firmware(soc, n))
+        assert len(image) > 40  # a real program, both attack phases
+
+
+def test_machine_code_single_run_extremes():
+    module = load("machine_code_attack")
+    from repro import SIM_DEFAULT, build_soc
+
+    soc = build_soc(SIM_DEFAULT)
+    quiet = module.run(soc, 0)
+    busy = module.run(soc, module.VICTIM_SLOTS)
+    assert 0 < busy <= quiet <= module.PRIMED_WORDS

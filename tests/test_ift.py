@@ -1,0 +1,125 @@
+"""Tests for the IFT baseline: taint rules and the E8 comparison story."""
+
+import pytest
+
+from repro.aig import FALSE, TRUE, Aig, CnfEncoder
+from repro.ift import TaintTracker, bounded_ift_check
+from repro.sat import Solver
+from repro.soc import FORMAL_TINY, build_soc
+from repro.upec import upec_ssc
+
+
+# ---------------------------------------------------------------------------
+# Taint rule semantics
+# ---------------------------------------------------------------------------
+
+
+def taint_truth(aig, tracker, out, assignments):
+    """Evaluate a taint literal under concrete input values/taints."""
+    solver = Solver()
+    enc = CnfEncoder(aig, solver)
+    t_lit = tracker.taint_of(out)
+    for lit, value in assignments:
+        enc.assume_true(lit if value else lit ^ 1)
+    assert solver.solve() is True
+    return enc.value(t_lit)
+
+
+def test_and_gate_precise_taint():
+    # taint(a&b) with a tainted, b=0 untainted -> untainted (b masks a).
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    out = g.and_(a, b)
+    tracker = TaintTracker(g)
+    tracker.taint_input(a)
+    assert taint_truth(g, tracker, out, [(b, False)]) is False
+    assert taint_truth(g, tracker, out, [(b, True)]) is True
+
+
+def test_not_propagates_taint_unchanged():
+    g = Aig()
+    a = g.new_input()
+    tracker = TaintTracker(g)
+    tracker.taint_input(a)
+    assert tracker.taint_of(a ^ 1) == tracker.taint_of(a)
+
+
+def test_xor_always_propagates_taint():
+    # XOR never masks: a tainted operand always taints the result.
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    out = g.xor_(a, b)
+    tracker = TaintTracker(g)
+    tracker.taint_input(a)
+    for b_val in (False, True):
+        assert taint_truth(g, tracker, out, [(b, b_val)]) is True
+
+
+def test_untainted_cone_stays_clean():
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    out = g.or_(a, b)
+    tracker = TaintTracker(g)
+    assert tracker.taint_of(out) == FALSE
+
+
+def test_conditional_taint_literal():
+    # Taint guarded by another literal.
+    g = Aig()
+    a, cond = g.new_input(), g.new_input()
+    tracker = TaintTracker(g)
+    tracker.taint_input(a, taint_lit=cond)
+    out = g.and_(a, TRUE)
+    assert tracker.taint_of(out) == cond
+
+
+def test_taint_source_must_be_input():
+    g = Aig()
+    a, b = g.new_input(), g.new_input()
+    gate = g.and_(a, b)
+    tracker = TaintTracker(g)
+    with pytest.raises(ValueError):
+        tracker.taint_input(gate)
+
+
+# ---------------------------------------------------------------------------
+# E8: the comparison story on the SoC
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def socs():
+    return (
+        build_soc(FORMAL_TINY),
+        build_soc(FORMAL_TINY.replace(secure=True)),
+    )
+
+
+def test_ift_detects_flow_on_vulnerable_soc(socs):
+    vulnerable, __ = socs
+    result = bounded_ift_check(vulnerable.threat_model, depth=2)
+    assert result.flows
+    assert result.tainted_sinks
+
+
+def test_ift_false_positive_on_secured_soc(socs):
+    """The paper's Sec. 5 point, executable: plain IFT cannot express
+    that only *protected* accesses are confidential, so the secured SoC
+    still reports flows — while UPEC-SSC proves it secure."""
+    __, secured = socs
+    priv_page = secured.address_map.pages_of(
+        "priv_ram", secured.config.page_bits
+    ).start
+    ift = bounded_ift_check(
+        secured.threat_model, depth=2, victim_page=priv_page
+    )
+    upec = upec_ssc(secured.threat_model)
+    assert ift.flows  # false positive
+    assert upec.secure  # exact relational verdict
+
+
+def test_ift_defaults_to_first_secret_page(socs):
+    vulnerable, __ = socs
+    result = bounded_ift_check(vulnerable.threat_model, depth=1)
+    assert result.depth == 1
+    assert result.aig_nodes > 0

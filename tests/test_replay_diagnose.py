@@ -1,0 +1,99 @@
+"""Tests for counterexample replay and leak diagnosis.
+
+Replay is the strongest cross-validation in the repository: traces
+produced by the SAT-based 2-safety engine must re-execute exactly on the
+independently implemented cycle-accurate simulator.
+"""
+
+import pytest
+
+from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc, upec_ssc_unrolled
+from repro.upec import diagnose, replay_counterexample
+from repro.upec.diagnose import Diagnosis
+
+
+@pytest.fixture(scope="module")
+def vulnerable():
+    soc = build_soc(FORMAL_TINY)
+    classifier = StateClassifier(soc.threat_model)
+    result = upec_ssc(soc.threat_model, classifier=classifier)
+    assert result.vulnerable
+    return soc, classifier, result
+
+
+def test_alg1_counterexample_replays_concretely(vulnerable):
+    soc, __, result = vulnerable
+    report = replay_counterexample(soc.circuit, result.counterexample)
+    assert report.ok, report.format_report()
+    assert report.cycles_checked == result.counterexample.frame
+    assert "consistent" in report.format_report()
+
+
+def test_alg2_counterexample_replays_concretely():
+    soc = build_soc(FORMAL_TINY)
+    result = upec_ssc_unrolled(soc.threat_model, max_depth=3)
+    assert result.vulnerable
+    report = replay_counterexample(soc.circuit, result.counterexample)
+    assert report.ok, report.format_report()
+
+
+def test_replay_detects_corrupted_trace(vulnerable):
+    soc, __, result = vulnerable
+    cex = result.counterexample
+    # Corrupt one register value at the final frame of instance A.
+    name = next(iter(soc.circuit.regs))
+    original = cex.trace_a.cycles[cex.frame].get(name, 0)
+    cex.trace_a.cycles[cex.frame][name] = original ^ 1
+    report = replay_counterexample(soc.circuit, cex)
+    assert not report.ok
+    assert any(entry[2] == name for entry in report.mismatches)
+    assert "REPLAY MISMATCHES" in report.format_report()
+    cex.trace_a.cycles[cex.frame][name] = original  # restore for others
+
+
+def test_replay_requires_trace():
+    soc = build_soc(FORMAL_TINY)
+    result = upec_ssc(soc.threat_model, record_trace=False)
+    with pytest.raises(ValueError, match="record_trace"):
+        replay_counterexample(soc.circuit, result.counterexample)
+
+
+def test_diagnose_identifies_channel(vulnerable):
+    __, classifier, result = vulnerable
+    diagnosis = diagnose(result, classifier)
+    assert isinstance(diagnosis, Diagnosis)
+    assert diagnosis.leaking == result.leaking
+    assert diagnosis.earliest_divergence
+    assert len(diagnosis.suggestions) >= 2
+    report = diagnosis.format_report()
+    assert "candidate countermeasures" in report
+    assert "Sec. 4.2" in report
+
+
+def test_diagnose_flags_memory_ruler_when_applicable(vulnerable):
+    __, classifier, result = vulnerable
+    diagnosis = diagnose(result, classifier)
+    leak_kinds = {
+        classifier.circuit.regs[name].meta.kind for name in result.leaking
+    }
+    timer_note = any("timer" in s for s in diagnosis.suggestions)
+    assert timer_note == ("memory" in leak_kinds)
+
+
+def test_diagnose_rejects_secure_results():
+    soc = build_soc(FORMAL_TINY.replace(secure=True))
+    classifier = StateClassifier(soc.threat_model)
+    result = upec_ssc(soc.threat_model, classifier=classifier)
+    assert result.secure
+    with pytest.raises(ValueError):
+        diagnose(result, classifier)
+
+
+def test_diagnosed_countermeasure_actually_works(vulnerable):
+    """The loop the paper's future work sketches: diagnose, apply the
+    suggested fix (the Sec. 4.2 countermeasure), and re-prove."""
+    __, classifier, result = vulnerable
+    diagnosis = diagnose(result, classifier)
+    assert any("dedicated" in s or "private" in s for s in diagnosis.suggestions)
+    fixed = build_soc(FORMAL_TINY.replace(secure=True))
+    assert upec_ssc(fixed.threat_model).secure

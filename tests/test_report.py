@@ -1,0 +1,111 @@
+"""Tests for report rendering (iteration tables, counterexamples)."""
+
+from repro.formal import Trace
+from repro.upec import (
+    CheckStats,
+    IterationRecord,
+    MiterCounterexample,
+    SscResult,
+    UnrolledResult,
+    format_counterexample,
+    format_iterations,
+    format_result,
+)
+
+
+def make_record(index=1, diff=("soc.x",), pers=()):
+    return IterationRecord(
+        index=index,
+        s_size=10,
+        diff_names=set(diff),
+        removed=set(diff) - set(pers),
+        persistent_hits=set(pers),
+        stats=CheckStats(aig_nodes=100, conflicts=5, solve_seconds=0.25),
+    )
+
+
+def make_cex():
+    trace_a, trace_b = Trace(1), Trace(1)
+    for t in (0, 1):
+        trace_a.record(t, "soc.x", t)
+        trace_b.record(t, "soc.x", t + 1)
+        trace_a.record(t, "same", 7)
+        trace_b.record(t, "same", 7)
+    return MiterCounterexample(
+        diff_names={"soc.x"},
+        frame=1,
+        trace_a=trace_a,
+        trace_b=trace_b,
+        victim_page=2,
+    )
+
+
+def test_format_iterations_columns():
+    text = format_iterations([make_record(1), make_record(2, pers=("soc.x",))])
+    lines = text.splitlines()
+    assert "iter" in lines[0] and "solve[s]" in lines[0]
+    assert len(lines) == 4
+    assert "0.250" in lines[2]
+
+
+def test_format_counterexample_sections():
+    text = format_counterexample(make_cex())
+    assert "victim page = 0x2" in text
+    assert "soc.x" in text
+    assert "instance A" in text and "instance B" in text
+    # Unchanged signals are not listed among the differing ones.
+    assert text.count("same") == 0
+
+
+def test_format_result_vulnerable():
+    result = SscResult(
+        verdict="vulnerable",
+        iterations=[make_record()],
+        leaking={"soc.x"},
+        counterexample=make_cex(),
+    )
+    text = format_result(result)
+    assert text.startswith("UPEC-SSC verdict: VULNERABLE")
+    assert "persistent state" in text
+
+
+def test_format_result_secure():
+    result = SscResult(verdict="secure", iterations=[make_record()],
+                       final_s={"soc.x"})
+    text = format_result(result)
+    assert "SECURE" in text
+    assert "persistent state" not in text
+
+
+def test_format_result_unrolled_shows_depth():
+    result = UnrolledResult(
+        verdict="vulnerable",
+        reached_depth=2,
+        iterations=[make_record()],
+        leaking={"soc.x"},
+        counterexample=make_cex(),
+    )
+    text = format_result(result)
+    assert "k = 2" in text
+
+
+def test_counterexample_differing_signals():
+    cex = make_cex()
+    assert cex.differing_signals() == ["soc.x"]
+
+
+def test_max_signals_truncates():
+    trace_a, trace_b = Trace(0), Trace(0)
+    for i in range(30):
+        trace_a.record(0, f"sig{i:02}", 0)
+        trace_b.record(0, f"sig{i:02}", 1)
+    cex = MiterCounterexample(
+        diff_names=set(),
+        frame=0,
+        trace_a=trace_a,
+        trace_b=trace_b,
+        victim_page=0,
+    )
+    text = format_counterexample(cex, max_signals=5)
+    assert "30 total" in text
+    assert "sig04" in text and "sig29" not in text

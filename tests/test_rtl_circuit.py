@@ -1,0 +1,195 @@
+"""Unit tests for Circuit, Scope, metadata and register-file memories."""
+
+import pytest
+
+from repro.rtl import Circuit, RegisterFileMemory, StateMeta, mux, state_summary
+from repro.sim import Simulator
+
+
+def test_register_roundtrip_counter():
+    c = Circuit("counter")
+    cnt = c.add_reg("cnt", 8)
+    c.set_next(cnt, cnt + 1)
+    sim = Simulator(c)
+    sim.run(5)
+    assert sim.peek("cnt") == 5
+
+
+def test_reset_value_respected():
+    c = Circuit()
+    r = c.add_reg("r", 8, reset=42)
+    c.set_next(r, r)
+    sim = Simulator(c)
+    assert sim.peek("r") == 42
+
+
+def test_reset_value_range_checked():
+    c = Circuit()
+    with pytest.raises(ValueError):
+        c.add_reg("r", 4, reset=16)
+
+
+def test_double_drive_rejected():
+    c = Circuit()
+    r = c.add_reg("r", 8)
+    c.set_next(r, r)
+    with pytest.raises(ValueError):
+        c.set_next(r, r + 1)
+
+
+def test_undriven_register_caught_by_validate():
+    c = Circuit()
+    c.add_reg("r", 8)
+    with pytest.raises(ValueError, match="undriven"):
+        c.validate()
+
+
+def test_duplicate_names_rejected():
+    c = Circuit()
+    c.add_input("x", 1)
+    with pytest.raises(ValueError):
+        c.add_reg("x", 1)
+    with pytest.raises(ValueError):
+        c.add_input("x", 2)
+
+
+def test_next_state_width_checked():
+    c = Circuit()
+    r = c.add_reg("r", 8)
+    w = c.add_input("w", 4)
+    with pytest.raises(ValueError):
+        c.set_next(r, w)
+
+
+def test_update_if_holds_when_disabled():
+    c = Circuit()
+    en = c.add_input("en", 1)
+    r = c.add_reg("r", 8)
+    c.update_if(r, en, r + 1)
+    sim = Simulator(c)
+    sim.step({"en": 0})
+    assert sim.peek("r") == 0
+    sim.step({"en": 1})
+    assert sim.peek("r") == 1
+
+
+def test_scope_prefixes_names_and_records_owner():
+    c = Circuit()
+    soc = c.scope("soc")
+    hwpe = soc.child("hwpe")
+    r = hwpe.reg("progress", 8, kind="ip")
+    assert r.name == "soc.hwpe.progress"
+    assert c.regs["soc.hwpe.progress"].meta.owner == "soc.hwpe"
+    assert c.regs["soc.hwpe.progress"].meta.kind == "ip"
+
+
+def test_state_meta_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        StateMeta(kind="bogus")
+
+
+def test_behavioural_memory_read_write():
+    c = Circuit()
+    scope = c.scope()
+    mem = scope.memory("m", 16, 8)
+    addr = c.add_input("addr", 4)
+    data = c.add_input("data", 8)
+    we = c.add_input("we", 1)
+    c.mem_write(mem, we, addr, data)
+    c.add_net("rdata", c.mem_read(mem, addr))
+    sim = Simulator(c)
+    sim.step({"addr": 3, "data": 99, "we": 1})
+    nets = sim.step({"addr": 3, "we": 0})
+    assert nets["rdata"] == 99
+    assert sim.peek_mem("m", 3) == 99
+
+
+def test_behavioural_memory_read_same_cycle_sees_old_value():
+    # Reads are asynchronous against the pre-write state (write commits at
+    # the clock edge), matching synchronous SRAM write semantics.
+    c = Circuit()
+    mem = c.add_memory("m", 4, 8)
+    addr = c.add_input("addr", 2)
+    we = c.add_input("we", 1)
+    c.mem_write(mem, we, addr, c.mem_read(mem, addr) + 1)
+    c.add_net("r", c.mem_read(mem, addr))
+    sim = Simulator(c)
+    nets = sim.step({"addr": 0, "we": 1})
+    assert nets["r"] == 0
+    assert sim.peek_mem("m", 0) == 1
+
+
+def test_register_file_memory_read_write():
+    c = Circuit()
+    scope = c.scope("soc")
+    mem = RegisterFileMemory(scope, "ram", 8, 8)
+    addr = c.add_input("addr", 3)
+    data = c.add_input("data", 8)
+    we = c.add_input("we", 1)
+    mem.write(we, addr, data)
+    c.add_net("rdata", mem.read(addr))
+    sim = Simulator(c)
+    sim.step({"addr": 5, "data": 0xAB, "we": 1})
+    assert sim.peek("soc.ram[5]") == 0xAB
+    nets = sim.step({"addr": 5, "we": 0})
+    assert nets["rdata"] == 0xAB
+    # Other words untouched.
+    assert all(sim.peek(f"soc.ram[{i}]") == 0 for i in range(8) if i != 5)
+
+
+def test_register_file_memory_word_metadata():
+    c = Circuit()
+    scope = c.scope("soc")
+    mem = RegisterFileMemory(scope, "ram", 4, 8, accessible=True)
+    mem.tie_off()
+    info = c.regs["soc.ram[2]"]
+    assert info.meta.kind == "memory"
+    assert info.meta.array == "soc.ram"
+    assert info.meta.index == 2
+    assert info.meta.accessible is True
+
+
+def test_register_file_memory_nonpow2_words():
+    c = Circuit()
+    scope = c.scope()
+    mem = RegisterFileMemory(scope, "ram", 5, 8, init=[10, 11, 12, 13, 14])
+    mem.tie_off()
+    addr = c.add_input("addr", 3)
+    c.add_net("rdata", mem.read(addr))
+    sim = Simulator(c)
+    for i in range(5):
+        nets = sim.step({"addr": i})
+        assert nets["rdata"] == 10 + i
+
+
+def test_register_file_memory_single_write_port():
+    c = Circuit()
+    scope = c.scope()
+    mem = RegisterFileMemory(scope, "ram", 4, 8)
+    addr = c.add_input("addr", 2)
+    data = c.add_input("data", 8)
+    we = c.add_input("we", 1)
+    mem.write(we, addr, data)
+    with pytest.raises(ValueError):
+        mem.write(we, addr, data)
+
+
+def test_state_summary_counts_bits():
+    c = Circuit()
+    soc = c.scope("soc")
+    a = soc.child("a").reg("r1", 8, kind="ip")
+    b = soc.child("b").reg("r2", 4, kind="interconnect")
+    c.set_next(a, a)
+    c.set_next(b, b)
+    summary = state_summary(c)
+    assert summary.total_registers == 2
+    assert summary.total_state_bits == 12
+    assert summary.by_owner == {"soc.a": 8, "soc.b": 4}
+    assert summary.by_kind == {"ip": 8, "interconnect": 4}
+    assert "soc.a" in summary.format_table()
+
+
+def test_state_bits_includes_behavioural_memories():
+    c = Circuit()
+    c.add_memory("m", 16, 8)
+    assert c.state_bits() == 128

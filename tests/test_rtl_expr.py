@@ -1,0 +1,226 @@
+"""Unit tests for the word-level expression IR."""
+
+import pytest
+
+from repro.rtl import (
+    Const,
+    Input,
+    all_of,
+    any_of,
+    cat,
+    const,
+    equal_any,
+    implies,
+    mask,
+    mux,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+    sext,
+    topo_sort,
+    zext,
+)
+from repro.sim import evaluate
+
+
+def test_const_masks_negative_values():
+    c = const(-1, 8)
+    assert c.value == 0xFF
+
+
+def test_const_rejects_oversized_value():
+    with pytest.raises(ValueError):
+        const(256, 8)
+
+
+def test_width_mismatch_rejected():
+    a = Input("a", 8)
+    b = Input("b", 4)
+    with pytest.raises(ValueError):
+        _ = a + b
+
+
+def test_int_coercion_uses_other_operand_width():
+    a = Input("a", 8)
+    e = a + 1
+    assert e.width == 8
+    assert evaluate(e, inputs={"a": 0xFF}) == 0
+
+
+def test_reverse_operators():
+    a = Input("a", 8)
+    assert evaluate(5 + a, inputs={"a": 3}) == 8
+    assert evaluate(10 - a, inputs={"a": 3}) == 7
+    assert evaluate(3 * a, inputs={"a": 5}) == 15
+    assert evaluate(0xF0 | a, inputs={"a": 0x0F}) == 0xFF
+    assert evaluate(0xF0 & a, inputs={"a": 0xFF}) == 0xF0
+    assert evaluate(0xFF ^ a, inputs={"a": 0x0F}) == 0xF0
+
+
+def test_bitwise_semantics():
+    a = Input("a", 8)
+    b = Input("b", 8)
+    env = {"a": 0b1100, "b": 0b1010}
+    assert evaluate(a & b, inputs=env) == 0b1000
+    assert evaluate(a | b, inputs=env) == 0b1110
+    assert evaluate(a ^ b, inputs=env) == 0b0110
+    assert evaluate(~a, inputs=env) == 0xF3
+
+
+def test_arith_wraps_modulo_width():
+    a = Input("a", 4)
+    assert evaluate(a + 1, inputs={"a": 15}) == 0
+    assert evaluate(a - 1, inputs={"a": 0}) == 15
+    assert evaluate(a * a, inputs={"a": 5}) == 25 & 0xF
+
+
+def test_comparisons_are_one_bit():
+    a = Input("a", 8)
+    b = Input("b", 8)
+    assert a.eq(b).width == 1
+    assert evaluate(a.eq(b), inputs={"a": 3, "b": 3}) == 1
+    assert evaluate(a.ne(b), inputs={"a": 3, "b": 3}) == 0
+    assert evaluate(a.ult(b), inputs={"a": 2, "b": 3}) == 1
+    assert evaluate(a.ule(b), inputs={"a": 3, "b": 3}) == 1
+    assert evaluate(a.ugt(b), inputs={"a": 4, "b": 3}) == 1
+    assert evaluate(a.uge(b), inputs={"a": 2, "b": 3}) == 0
+
+
+def test_signed_less_than():
+    a = Input("a", 4)
+    b = Input("b", 4)
+    # -1 (0xF) < 1
+    assert evaluate(a.slt(b), inputs={"a": 0xF, "b": 1}) == 1
+    assert evaluate(a.slt(b), inputs={"a": 1, "b": 0xF}) == 0
+
+
+def test_shifts_by_constant_and_expression():
+    a = Input("a", 8)
+    s = Input("s", 3)
+    assert evaluate(a << 2, inputs={"a": 0x41, "s": 0}) == 0x04
+    assert evaluate(a >> 2, inputs={"a": 0x41, "s": 0}) == 0x10
+    assert evaluate(a << s, inputs={"a": 1, "s": 7}) == 0x80
+    assert evaluate(a >> s, inputs={"a": 0x80, "s": 7}) == 1
+
+
+def test_arithmetic_shift_right_preserves_sign():
+    a = Input("a", 8)
+    assert evaluate(a.ashr(2), inputs={"a": 0x80}) == 0xE0
+    assert evaluate(a.ashr(2), inputs={"a": 0x40}) == 0x10
+
+
+def test_slice_and_bit_select():
+    a = Input("a", 8)
+    assert a[7:4].width == 4
+    assert evaluate(a[7:4], inputs={"a": 0xA5}) == 0xA
+    assert evaluate(a[0], inputs={"a": 0xA5}) == 1
+    assert evaluate(a[1], inputs={"a": 0xA5}) == 0
+
+
+def test_slice_bounds_checked():
+    a = Input("a", 8)
+    with pytest.raises(ValueError):
+        _ = a[8]
+    with pytest.raises(ValueError):
+        _ = a[3:5]
+
+
+def test_cat_msb_first():
+    a = Input("a", 4)
+    b = Input("b", 4)
+    e = cat(a, b)
+    assert e.width == 8
+    assert evaluate(e, inputs={"a": 0xA, "b": 0x5}) == 0xA5
+
+
+def test_zext_sext():
+    a = Input("a", 4)
+    assert evaluate(zext(a, 8), inputs={"a": 0xF}) == 0x0F
+    assert evaluate(sext(a, 8), inputs={"a": 0xF}) == 0xFF
+    assert evaluate(sext(a, 8), inputs={"a": 0x7}) == 0x07
+    assert zext(a, 4) is a
+
+
+def test_zext_narrower_rejected():
+    a = Input("a", 8)
+    with pytest.raises(ValueError):
+        zext(a, 4)
+
+
+def test_reductions():
+    a = Input("a", 4)
+    assert evaluate(reduce_or(a), inputs={"a": 0}) == 0
+    assert evaluate(reduce_or(a), inputs={"a": 2}) == 1
+    assert evaluate(reduce_and(a), inputs={"a": 0xF}) == 1
+    assert evaluate(reduce_and(a), inputs={"a": 0xE}) == 0
+    assert evaluate(reduce_xor(a), inputs={"a": 0b0111}) == 1
+    assert evaluate(reduce_xor(a), inputs={"a": 0b0101}) == 0
+
+
+def test_mux_with_int_branch():
+    s = Input("s", 1)
+    a = Input("a", 8)
+    e = mux(s, a, 0)
+    assert e.width == 8
+    assert evaluate(e, inputs={"s": 1, "a": 42}) == 42
+    assert evaluate(e, inputs={"s": 0, "a": 42}) == 0
+
+
+def test_mux_requires_one_bit_select():
+    s = Input("s", 2)
+    a = Input("a", 8)
+    with pytest.raises(ValueError):
+        mux(s, a, a)
+
+
+def test_implies_and_aggregates():
+    a = Input("a", 1)
+    b = Input("b", 1)
+    assert evaluate(implies(a, b), inputs={"a": 1, "b": 0}) == 0
+    assert evaluate(implies(a, b), inputs={"a": 0, "b": 0}) == 1
+    assert evaluate(all_of([a, b]), inputs={"a": 1, "b": 1}) == 1
+    assert evaluate(all_of([]), inputs={}) == 1
+    assert evaluate(any_of([a, b]), inputs={"a": 0, "b": 0}) == 0
+    assert evaluate(any_of([]), inputs={}) == 0
+
+
+def test_equal_any():
+    a = Input("a", 4)
+    e = equal_any(a, [1, 5, 9])
+    assert evaluate(e, inputs={"a": 5}) == 1
+    assert evaluate(e, inputs={"a": 6}) == 0
+
+
+def test_no_python_truth_value():
+    a = Input("a", 1)
+    with pytest.raises(TypeError):
+        if a:  # pragma: no cover - raising is the point
+            pass
+
+
+def test_topo_sort_children_before_parents():
+    a = Input("a", 8)
+    b = a + 1
+    c = b & a
+    order = topo_sort([c])
+    pos = {node.uid: i for i, node in enumerate(order)}
+    assert pos[a.uid] < pos[b.uid] < pos[c.uid]
+
+
+def test_topo_sort_shares_common_subexpressions():
+    a = Input("a", 8)
+    b = a + 1
+    c = b ^ b
+    order = topo_sort([c])
+    assert sum(1 for n in order if n.uid == b.uid) == 1
+
+
+def test_mask_helper():
+    assert mask(1) == 1
+    assert mask(8) == 255
+
+
+def test_bits_splits_lsb_first():
+    a = Input("a", 4)
+    bits = a.bits()
+    assert [evaluate(bit, inputs={"a": 0b0110}) for bit in bits] == [0, 1, 1, 0]

@@ -1,0 +1,247 @@
+"""Unit and property-based tests for the CDCL SAT solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import Solver, parse_dimacs, solver_from_dimacs, write_dimacs
+
+
+def brute_force_sat(num_vars: int, clauses: list[list[int]]) -> bool:
+    """Exhaustive truth-table check, the reference oracle for small CNFs."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def val(lit: int) -> bool:
+            truth = bits[abs(lit) - 1]
+            return truth if lit > 0 else not truth
+
+        if all(any(val(lit) for lit in clause) for clause in clauses):
+            return True
+    return False
+
+
+def check_model(solver: Solver, clauses: list[list[int]]) -> bool:
+    return all(any(solver.value(lit) for lit in clause) for clause in clauses)
+
+
+def test_trivial_sat():
+    s = Solver()
+    s.add_clause([1])
+    assert s.solve() is True
+    assert s.value(1) is True
+
+
+def test_trivial_unsat():
+    s = Solver()
+    s.add_clause([1])
+    assert s.add_clause([-1]) is False
+    assert s.solve() is False
+
+
+def test_empty_formula_is_sat():
+    assert Solver().solve() is True
+
+
+def test_unit_propagation_chain():
+    s = Solver()
+    s.add_clauses([[1], [-1, 2], [-2, 3], [-3, 4]])
+    assert s.solve() is True
+    assert all(s.value(v) for v in (1, 2, 3, 4))
+
+
+def test_simple_conflict_resolution():
+    # (a | b) & (a | !b) & (!a | c) & (!a | !c) is UNSAT.
+    s = Solver()
+    s.add_clauses([[1, 2], [1, -2], [-1, 3], [-1, -3]])
+    assert s.solve() is False
+
+
+def test_tautological_clause_ignored():
+    s = Solver()
+    assert s.add_clause([1, -1]) is True
+    assert s.solve() is True
+
+
+def test_duplicate_literals_deduplicated():
+    s = Solver()
+    s.add_clause([1, 1, 1])
+    assert s.solve() is True
+    assert s.value(1) is True
+
+
+def test_model_satisfies_3sat_instance():
+    clauses = [[1, 2, -3], [-1, 3, 4], [2, -4, 5], [-2, -5, 6], [3, -6, 1]]
+    s = Solver()
+    s.add_clauses(clauses)
+    assert s.solve() is True
+    assert check_model(s, clauses)
+
+
+def test_assumptions_sat_and_unsat():
+    s = Solver()
+    s.add_clauses([[1, 2], [-1, -2]])
+    assert s.solve(assumptions=[1]) is True
+    assert s.value(1) is True and s.value(2) is False
+    assert s.solve(assumptions=[2]) is True
+    assert s.value(2) is True and s.value(1) is False
+    assert s.solve(assumptions=[1, 2]) is False
+    # Solver remains usable after an assumption failure.
+    assert s.solve(assumptions=[-1]) is True
+    assert s.value(2) is True
+
+
+def test_contradictory_assumptions():
+    s = Solver()
+    s.add_clause([1, 2])
+    assert s.solve(assumptions=[1, -1]) is False
+    assert s.solve() is True
+
+
+def test_incremental_clause_addition():
+    s = Solver()
+    s.add_clause([1, 2])
+    assert s.solve() is True
+    s.add_clause([-1])
+    assert s.solve() is True
+    assert s.value(2) is True
+    s.add_clause([-2])
+    assert s.solve() is False
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # Classic PHP(3,2): 3 pigeons, 2 holes. var(p,h) = 2*p + h + 1.
+    def var(p, h):
+        return 2 * p + h + 1
+
+    s = Solver()
+    for p in range(3):
+        s.add_clause([var(p, 0), var(p, 1)])
+    for h in range(2):
+        for p1 in range(3):
+            for p2 in range(p1 + 1, 3):
+                s.add_clause([-var(p1, h), -var(p2, h)])
+    assert s.solve() is False
+
+
+def test_pigeonhole_5_into_4_unsat():
+    def var(p, h):
+        return 4 * p + h + 1
+
+    s = Solver()
+    for p in range(5):
+        s.add_clause([var(p, h) for h in range(4)])
+    for h in range(4):
+        for p1 in range(5):
+            for p2 in range(p1 + 1, 5):
+                s.add_clause([-var(p1, h), -var(p2, h)])
+    assert s.solve() is False
+    assert s.stats["conflicts"] > 0
+
+
+def test_xor_chain_parity_unsat():
+    # x1 ^ x2 = 1, x2 ^ x3 = 1, ..., x1 ^ xn = 1 with odd cycle is UNSAT.
+    n = 7
+    s = Solver()
+
+    def xor_clauses(a, b, parity):
+        if parity:
+            return [[a, b], [-a, -b]]
+        return [[-a, b], [a, -b]]
+
+    for i in range(1, n):
+        s.add_clauses(xor_clauses(i, i + 1, 1))
+    s.add_clauses(xor_clauses(n, 1, 0))
+    # Sum of parities around the cycle is odd -> UNSAT (n-1 ones + 0).
+    expected = (n - 1) % 2 == 0
+    assert s.solve() is expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6).flatmap(
+        lambda n: st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=n).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=14,
+        ).map(lambda cls: (n, cls))
+    )
+)
+def test_random_cnf_matches_brute_force(problem):
+    num_vars, clauses = problem
+    solver = Solver()
+    solver.ensure_vars(num_vars)
+    solver.add_clauses(clauses)
+    expected = brute_force_sat(num_vars, clauses)
+    got = solver.solve()
+    assert got is expected
+    if got:
+        assert check_model(solver, clauses)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    st.lists(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        max_size=3,
+        unique_by=abs,
+    ),
+)
+def test_random_cnf_with_assumptions_matches_brute_force(clauses, assumptions):
+    solver = Solver()
+    solver.ensure_vars(5)
+    solver.add_clauses(clauses)
+    augmented = clauses + [[a] for a in assumptions]
+    expected = brute_force_sat(5, augmented)
+    assert solver.solve(assumptions=assumptions) is expected
+    # Incremental reuse: solving again without assumptions must still agree.
+    assert solver.solve() is brute_force_sat(5, clauses)
+
+
+def test_dimacs_roundtrip():
+    clauses = [[1, -2], [2, 3], [-1, -3]]
+    text = write_dimacs(3, clauses)
+    num_vars, parsed = parse_dimacs(text)
+    assert num_vars == 3
+    assert parsed == clauses
+
+
+def test_dimacs_parse_with_comments():
+    text = "c a comment\np cnf 2 2\n1 -2 0\n2 0\n"
+    solver = solver_from_dimacs(text)
+    assert solver.solve() is True
+    assert solver.value(2) is True
+
+
+def test_dimacs_malformed_problem_line():
+    with pytest.raises(ValueError):
+        parse_dimacs("p dnf 2 2\n1 0\n")
+
+
+def test_solver_statistics_populated():
+    s = Solver()
+    # A formula needing some search.
+    for i in range(1, 9, 2):
+        s.add_clause([i, i + 1])
+        s.add_clause([-i, -(i + 1)])
+    assert s.solve() is True
+    assert s.stats["decisions"] > 0

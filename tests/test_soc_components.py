@@ -1,0 +1,290 @@
+"""Simulation tests of the SoC building blocks.
+
+Uses the formal (CPU-cut) configuration and drives the exposed CPU bus
+port directly with :class:`repro.sim.BusDriver` — the same path the
+attacker/victim tasks use in the attack demonstrations.
+"""
+
+import pytest
+
+from repro.sim import BusDriver, Simulator
+from repro.soc import FORMAL_TINY, SocConfig, build_address_map, build_soc
+from repro.soc.config import FORMAL_SMALL
+from repro.soc import dma as dma_regs
+from repro.soc import hwpe as hwpe_regs
+from repro.soc import timer as timer_regs
+from repro.soc import uart as uart_regs
+from repro.soc import gpio as gpio_regs
+
+
+@pytest.fixture(scope="module")
+def soc():
+    return build_soc(FORMAL_SMALL)
+
+
+@pytest.fixture()
+def bus(soc):
+    sim = Simulator(soc.circuit)
+    return BusDriver(sim)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="arbitration"):
+        SocConfig(arbitration="lottery")
+    with pytest.raises(ValueError, match="multiple of the page size"):
+        SocConfig(pub_mem_words=6, page_bits=2)
+    with pytest.raises(ValueError, match="addr_width"):
+        SocConfig(addr_width=2, page_bits=2)
+
+
+def test_address_map_layout():
+    amap = build_address_map(FORMAL_TINY)
+    assert amap.base("pub_ram") == 0
+    assert amap.base("priv_ram") == FORMAL_TINY.pub_mem_words
+    assert amap.region("dma").size == max(FORMAL_TINY.page_size, 8)
+    assert amap.region("priv_ram").latency == FORMAL_TINY.priv_mem_latency
+    # Regions must not overlap and must be sorted upward.
+    spans = [(r.base, r.base + r.size) for r in amap.regions]
+    for (b1, e1), (b2, e2) in zip(spans, spans[1:]):
+        assert e1 <= b2
+
+
+def test_address_map_pages_of():
+    amap = build_address_map(FORMAL_TINY)
+    pages = amap.pages_of("priv_ram", FORMAL_TINY.page_bits)
+    assert list(pages) == [2]
+
+
+def test_address_map_overflow_rejected():
+    with pytest.raises(ValueError, match="overflow"):
+        build_address_map(FORMAL_TINY.replace(addr_width=4, pub_mem_words=16))
+
+
+def test_sram_write_read_roundtrip(soc, bus):
+    base = soc.word_addr("pub_ram")
+    bus.write(base + 3, 0xA5)
+    assert bus.read(base + 3) == 0xA5
+    assert bus.read(base + 2) == 0
+
+
+def test_private_sram_longer_latency(soc):
+    # The private device has a 2-stage response pipeline.
+    sim = Simulator(soc.circuit)
+    bus = BusDriver(sim)
+    pub, priv = soc.word_addr("pub_ram"), soc.word_addr("priv_ram")
+    bus.write(pub, 1)
+    bus.write(priv, 2)
+
+    def read_latency(addr):
+        start = sim.cycle
+        bus.read(addr)
+        return sim.cycle - start
+
+    assert read_latency(priv) == read_latency(pub) + 1
+
+
+def test_dma_copies_memory(soc, bus):
+    pub = soc.word_addr("pub_ram")
+    dma = soc.word_addr("dma")
+    for i in range(4):
+        bus.write(pub + i, 0x10 + i)
+    bus.write(dma + dma_regs.REG_SRC, pub)
+    bus.write(dma + dma_regs.REG_DST, pub + 8)
+    bus.write(dma + dma_regs.REG_LEN, 4)
+    bus.write(dma + dma_regs.REG_CTRL, 1)
+    bus.idle(60)
+    assert [bus.read(pub + 8 + i) for i in range(4)] == [0x10 + i for i in range(4)]
+    status = bus.read(dma + dma_regs.REG_CTRL)
+    assert status & 1 == 0  # busy cleared
+
+
+def test_dma_kick_write_starts_timer(soc, bus):
+    # Fig. 1 of the paper: DMA performs accesses, then starts the timer.
+    pub = soc.word_addr("pub_ram")
+    dma = soc.word_addr("dma")
+    timer = soc.word_addr("timer")
+    bus.write(dma + dma_regs.REG_SRC, pub)
+    bus.write(dma + dma_regs.REG_DST, pub + 4)
+    bus.write(dma + dma_regs.REG_LEN, 2)
+    bus.write(dma + dma_regs.REG_KICK_ADDR, timer + timer_regs.REG_CTRL)
+    bus.write(dma + dma_regs.REG_KICK_DATA, 1)
+    assert bus.read(timer + timer_regs.REG_VALUE) == 0
+    bus.write(dma + dma_regs.REG_CTRL, 1)
+    bus.idle(40)
+    # The DMA's completion write enabled the timer; it is now counting.
+    v1 = bus.read(timer + timer_regs.REG_VALUE)
+    v2 = bus.read(timer + timer_regs.REG_VALUE)
+    assert v2 > v1 > 0
+
+
+def test_hwpe_xor_stream(soc, bus):
+    pub = soc.word_addr("pub_ram")
+    hwpe = soc.word_addr("hwpe")
+    data = [0x11, 0x22, 0x33]
+    for i, v in enumerate(data):
+        bus.write(pub + i, v)
+    bus.write(hwpe + hwpe_regs.REG_SRC, pub)
+    bus.write(hwpe + hwpe_regs.REG_DST, pub + 8)
+    bus.write(hwpe + hwpe_regs.REG_LEN, len(data))
+    bus.write(hwpe + hwpe_regs.REG_COEF, 0xFF)
+    bus.write(hwpe + hwpe_regs.REG_CTRL, 1 | (hwpe_regs.OP_XOR << 1))
+    bus.idle(60)
+    assert [bus.read(pub + 8 + i) for i in range(3)] == [v ^ 0xFF for v in data]
+
+
+def test_hwpe_mac_accumulates(soc, bus):
+    pub = soc.word_addr("pub_ram")
+    hwpe = soc.word_addr("hwpe")
+    data = [2, 3, 4]
+    for i, v in enumerate(data):
+        bus.write(pub + i, v)
+    bus.write(hwpe + hwpe_regs.REG_SRC, pub)
+    bus.write(hwpe + hwpe_regs.REG_DST, pub + 8)
+    bus.write(hwpe + hwpe_regs.REG_LEN, len(data))
+    bus.write(hwpe + hwpe_regs.REG_COEF, 5)
+    bus.write(hwpe + hwpe_regs.REG_CTRL, 1 | (hwpe_regs.OP_MAC << 1))
+    bus.idle(80)
+    # Running MAC: out[i] = sum_{j<=i} data[j]*coef.
+    expected = [10, 25, 45]
+    assert [bus.read(pub + 8 + i) for i in range(3)] == [
+        v & 0xFF for v in expected
+    ]
+
+
+def test_hwpe_progress_visible_in_status(soc, bus):
+    pub = soc.word_addr("pub_ram")
+    hwpe = soc.word_addr("hwpe")
+    bus.write(hwpe + hwpe_regs.REG_SRC, pub)
+    bus.write(hwpe + hwpe_regs.REG_DST, pub + 8)
+    bus.write(hwpe + hwpe_regs.REG_LEN, 7)
+    bus.write(hwpe + hwpe_regs.REG_CTRL, 1 | (hwpe_regs.OP_XOR << 1))
+    bus.idle(8)
+    status_mid = bus.read(hwpe + hwpe_regs.REG_STATUS)
+    bus.idle(80)
+    status_end = bus.read(hwpe + hwpe_regs.REG_STATUS)
+    assert status_mid & 1 == 1  # busy
+    assert status_end & 1 == 0
+    assert (status_end >> 1) == 7  # progress == len
+
+
+def test_timer_counts_and_overflows(soc, bus):
+    timer = soc.word_addr("timer")
+    bus.write(timer + timer_regs.REG_COMPARE, 5)
+    bus.write(timer + timer_regs.REG_CTRL, 0b11)  # enable + clear
+    bus.idle(20)
+    assert bus.read(timer + timer_regs.REG_STATUS) & 1 == 1
+    bus.write(timer + timer_regs.REG_STATUS, 1)  # W1C
+    assert bus.read(timer + timer_regs.REG_STATUS) & 1 == 0
+    # Disable: count freezes.
+    bus.write(timer + timer_regs.REG_CTRL, 0)
+    v1 = bus.read(timer + timer_regs.REG_VALUE)
+    bus.idle(5)
+    assert bus.read(timer + timer_regs.REG_VALUE) == v1
+
+
+def test_uart_transmits_frame(soc):
+    sim = Simulator(soc.circuit)
+    bus = BusDriver(sim)
+    uart = soc.word_addr("uart")
+    bus.write(uart + uart_regs.REG_BAUDDIV, 1)
+    bus.write(uart + uart_regs.REG_DATA, 0x41)
+    assert bus.read(uart + uart_regs.REG_STATUS) & 1 == 1  # busy
+    # Sample tx over time: must see start bit (0) then data bits of 0x41.
+    samples = []
+    for _ in range(60):
+        sim.step({})
+        samples.append(sim.peek("soc.uart.tx"))
+    assert 0 in samples  # start bit went low
+    assert bus.read(uart + uart_regs.REG_STATUS) & 1 == 0  # done
+
+
+def test_gpio_out_in_dir(soc):
+    sim = Simulator(soc.circuit)
+    bus = BusDriver(sim)
+    gpio = soc.word_addr("gpio")
+    bus.write(gpio + gpio_regs.REG_DIR, 0x0F)
+    bus.write(gpio + gpio_regs.REG_OUT, 0x05)
+    # Upper pins read external inputs, lower pins read the output reg.
+    value = None
+    sim.step({"soc.gpio.pins_in": 0xA0})
+    # Read IN register while external pins are driven.
+    nets = sim.step(
+        {
+            "cpu_req_valid": 1,
+            "cpu_req_addr": gpio + gpio_regs.REG_IN,
+            "cpu_req_we": 0,
+            "soc.gpio.pins_in": 0xA0,
+        }
+    )
+    nets = sim.step({"soc.gpio.pins_in": 0xA0})
+    assert nets["soc.cpu_rvalid"] == 1
+    assert nets["soc.cpu_rdata"] == 0xA5
+
+
+def test_spi_transfer_shifts_miso(soc):
+    sim = Simulator(soc.circuit)
+    bus = BusDriver(sim)
+    spi = soc.word_addr("spi")
+    bus.write(spi + 2, 1)  # CLKDIV
+    bus.write(spi + 0, 0xF0)  # start transfer
+    # Drive miso high constantly; after the transfer the shift register
+    # is full of ones received from the peer.
+    for _ in range(80):
+        sim.step({"soc.spi.miso": 1})
+    assert bus.read(spi + 1) & 1 == 0  # not busy
+    assert bus.read(spi + 0) == 0xFF
+
+
+def test_crossbar_contention_stalls_victim(soc):
+    """An HWPE burst over the public memory delays CPU-port accesses —
+    the observable heart of the timing channel."""
+    pub = soc.word_addr("pub_ram")
+    hwpe = soc.word_addr("hwpe")
+
+    def run(with_hwpe: bool) -> int:
+        sim = Simulator(soc.circuit)
+        bus = BusDriver(sim)
+        if with_hwpe:
+            bus.write(hwpe + hwpe_regs.REG_SRC, pub)
+            bus.write(hwpe + hwpe_regs.REG_DST, pub + 4)
+            bus.write(hwpe + hwpe_regs.REG_LEN, 15)
+            bus.write(hwpe + hwpe_regs.REG_CTRL, 1 | (hwpe_regs.OP_XOR << 1))
+        stalls = 0
+        for i in range(8):
+            __, s = bus.read_stalls(pub + i)
+            stalls += s
+        return stalls
+
+    assert run(with_hwpe=True) > run(with_hwpe=False)
+
+
+def test_round_robin_pointer_changes_on_grant(soc):
+    sim = Simulator(soc.circuit)
+    bus = BusDriver(sim)
+    pub = soc.word_addr("pub_ram")
+    before = sim.peek("soc.xbar.rr_pub_ram")
+    bus.write(pub, 1)
+    after = sim.peek("soc.xbar.rr_pub_ram")
+    assert after == 0  # master 0 (CPU port) granted last
+
+
+def test_fixed_priority_arbitration_builds():
+    soc = build_soc(FORMAL_TINY.replace(arbitration="fixed"))
+    sim = Simulator(soc.circuit)
+    bus = BusDriver(sim)
+    base = soc.word_addr("pub_ram")
+    bus.write(base, 7)
+    assert bus.read(base) == 7
+
+
+def test_soc_without_timer_builds():
+    soc = build_soc(FORMAL_TINY.replace(include_timer=False))
+    assert not soc.address_map.has("timer")
+    assert soc.timer is None
+
+
+def test_soc_without_hwpe_builds():
+    soc = build_soc(FORMAL_TINY.replace(include_hwpe=False))
+    assert soc.hwpe is None
+    # Threat model then only lists the DMA as a potential spy.
+    assert len(soc.threat_model.spy_master_ports) == 1

@@ -1,0 +1,71 @@
+"""Tests for structural analysis: fan-in cones and influence closure."""
+
+from repro.rtl import (
+    Circuit,
+    fanin_inputs,
+    fanin_regs,
+    influence_closure,
+    mux,
+)
+
+
+def chain_circuit():
+    # a -> r1 -> r2 -> r3, with r4 independent.
+    c = Circuit("chain")
+    a = c.add_input("a", 4)
+    r1 = c.add_reg("r1", 4)
+    r2 = c.add_reg("r2", 4)
+    r3 = c.add_reg("r3", 4)
+    r4 = c.add_reg("r4", 4)
+    c.set_next(r1, a)
+    c.set_next(r2, r1 + 1)
+    c.set_next(r3, r2 ^ r2)
+    c.set_next(r4, r4 + 1)
+    return c
+
+
+def test_fanin_regs_and_inputs():
+    c = chain_circuit()
+    r2_next = c.regs["r2"].next
+    assert fanin_regs([r2_next]) == {"r1"}
+    assert fanin_inputs([c.regs["r1"].next]) == {"a"}
+    assert fanin_inputs([r2_next]) == set()
+
+
+def test_fanin_includes_behavioural_memories():
+    c = Circuit()
+    mem = c.add_memory("m", 4, 8)
+    addr = c.add_input("addr", 2)
+    net = c.add_net("out", c.mem_read(mem, addr))
+    assert fanin_inputs([net]) == {"addr", "m"}
+
+
+def test_influence_closure_follows_chain():
+    c = chain_circuit()
+    influenced = influence_closure(c, {"a"})
+    assert {"r1", "r2", "r3"} <= influenced
+    assert "r4" not in influenced
+
+
+def test_influence_closure_from_register_seed():
+    c = chain_circuit()
+    influenced = influence_closure(c, {"r2"})
+    assert "r3" in influenced
+    assert "r1" not in influenced
+
+
+def test_influence_closure_overapproximates_upec():
+    """The closure is the cheap structural over-approximation of what
+    UPEC-SSC decides exactly: anything UPEC finds influenced must also
+    be structurally reachable."""
+    c = Circuit("cmp")
+    v = c.add_input("v", 1)
+    buf = c.scope("s").reg("buf", 1, kind="interconnect")
+    out = c.scope("s").reg("out", 1, kind="ip")
+    dead = c.scope("s").reg("dead", 1, kind="ip")
+    c.set_next(buf, v)
+    c.set_next(out, buf)
+    c.set_next(dead, dead)
+    influenced = influence_closure(c, {"v"})
+    assert {"s.buf", "s.out"} <= influenced
+    assert "s.dead" not in influenced

@@ -1,0 +1,110 @@
+"""Unit tests for the ThreatModel specification layer."""
+
+import pytest
+
+from repro.rtl import Circuit, RegisterFileMemory
+from repro.sim import evaluate
+from repro.upec import ThreatModel, VictimPort
+
+
+def make_circuit():
+    c = Circuit("tm")
+    c.add_input("v_valid", 1)
+    c.add_input("v_addr", 8)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 8)
+    c.add_input("victim_page", 5)
+    scope = c.scope("soc")
+    mem = RegisterFileMemory(scope, "ram", 8, 8, accessible=True)
+    mem.tie_off()
+    return c
+
+
+def make_tm(c=None, **kwargs):
+    c = c or make_circuit()
+    defaults = dict(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=3,
+        secret_arrays={"soc.ram": 16},
+    )
+    defaults.update(kwargs)
+    return ThreatModel(**defaults)
+
+
+def test_valid_construction_and_widths():
+    tm = make_tm()
+    assert tm.addr_width == 8
+    assert tm.page_input.width == 5
+    assert tm.victim_page in tm.stable_input_names
+
+
+def test_missing_victim_port_input_rejected():
+    c = make_circuit()
+    with pytest.raises(ValueError, match="nope"):
+        make_tm(c, victim_port=VictimPort("nope", "v_addr", "v_we", "v_wdata"))
+
+
+def test_missing_page_input_rejected():
+    c = make_circuit()
+    with pytest.raises(ValueError, match="bogus_page"):
+        make_tm(c, victim_page="bogus_page")
+
+
+def test_unknown_secret_array_rejected():
+    c = make_circuit()
+    with pytest.raises(ValueError, match="ghost"):
+        make_tm(c, secret_arrays={"ghost": 0})
+
+
+def test_in_protected_range_semantics():
+    tm = make_tm()
+    addr = tm.circuit.inputs["v_addr"]
+    expr = tm.in_protected_range(addr)
+    # Page size 8: address 0x23 is page 4.
+    assert evaluate(expr, inputs={"v_addr": 0x23, "victim_page": 4}) == 1
+    assert evaluate(expr, inputs={"v_addr": 0x23, "victim_page": 5}) == 0
+
+
+def test_in_protected_range_width_checked():
+    tm = make_tm()
+    bad = tm.circuit.inputs["v_valid"]
+    with pytest.raises(ValueError):
+        tm.in_protected_range(bad)
+
+
+def test_word_is_secret_guard():
+    tm = make_tm()
+    # Array base 16, page bits 3: word 3 -> address 19 -> page 2.
+    guard = tm.word_is_secret("soc.ram", 3)
+    assert evaluate(guard, inputs={"victim_page": 2}) == 1
+    assert evaluate(guard, inputs={"victim_page": 3}) == 0
+
+
+def test_spy_isolation_constraints():
+    c = make_circuit()
+    spy_valid = c.add_net("spy_valid", c.inputs["v_we"])
+    spy_addr = c.add_net("spy_addr", c.inputs["v_addr"])
+    tm = make_tm(c, spy_master_ports=[("spy_valid", "spy_addr")])
+    (constraint,) = tm.spy_isolation_constraints()
+    # valid & in-victim-page violates the constraint.
+    env = {"v_we": 1, "v_addr": 0x23, "victim_page": 4,
+           "v_valid": 0, "v_wdata": 0}
+    assert evaluate(constraint, inputs=env) == 0
+    env["victim_page"] = 5
+    assert evaluate(constraint, inputs=env) == 1
+    env["v_we"] = 0
+    env["victim_page"] = 4
+    assert evaluate(constraint, inputs=env) == 1
+
+
+def test_spy_port_unknown_name():
+    tm = make_tm(spy_master_ports=[("missing", "also_missing")])
+    with pytest.raises(KeyError):
+        tm.spy_isolation_constraints()
+
+
+def test_victim_port_fields_order():
+    port = VictimPort("a", "b", "c", "d")
+    assert port.fields() == ["a", "b", "c", "d"]

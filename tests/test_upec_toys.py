@@ -1,0 +1,299 @@
+"""End-to-end UPEC-SSC tests on small hand-built designs.
+
+Each toy isolates one mechanism of the method:
+
+* direct influence on persistent IP state  -> vulnerable, 1 iteration;
+* independent IP state                     -> secure, immediately;
+* transient interconnect buffer            -> secure after removal;
+* transient buffer feeding persistent IP   -> vulnerable after removal;
+* victim writing its own (symbolic) region -> secure (guards work);
+* arbiter contention with a spying DMA     -> vulnerable (the paper's
+  channel in miniature), and secure again after the private-port fix.
+"""
+
+import pytest
+
+from repro.rtl import Circuit, RegisterFileMemory, mux
+from repro.upec import (
+    StateClassifier,
+    ThreatModel,
+    UnclassifiedStateError,
+    VictimPort,
+    upec_ssc,
+    upec_ssc_unrolled,
+)
+
+ADDR_W = 4
+PAGE_BITS = 2  # pages of 4 words; page index width = 2
+
+
+def base_circuit(name: str) -> tuple[Circuit, dict]:
+    """Circuit with the cut victim interface and symbolic page input."""
+    c = Circuit(name)
+    sig = {
+        "v_valid": c.add_input("v_valid", 1),
+        "v_addr": c.add_input("v_addr", ADDR_W),
+        "v_we": c.add_input("v_we", 1),
+        "v_wdata": c.add_input("v_wdata", 4),
+        "page": c.add_input("victim_page", ADDR_W - PAGE_BITS),
+    }
+    return c, sig
+
+
+def make_threat_model(c: Circuit, **kwargs) -> ThreatModel:
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort(
+            valid="v_valid", addr="v_addr", write="v_we", wdata="v_wdata"
+        ),
+        victim_page="victim_page",
+        page_bits=PAGE_BITS,
+        **kwargs,
+    )
+
+
+def test_direct_leak_to_persistent_ip_register():
+    # A bus-activity counter in an IP: counts every victim request.
+    c, sig = base_circuit("leaky")
+    ip = c.scope("soc").child("spy")
+    count = ip.reg("count", 4, kind="ip")
+    c.set_next(count, mux(sig["v_valid"], count + 1, count))
+    result = upec_ssc(make_threat_model(c))
+    assert result.vulnerable
+    assert result.leaking == {"soc.spy.count"}
+    assert len(result.iterations) == 1
+    # The two instances must show a diverging access pattern.
+    cex = result.counterexample
+    assert cex.trace_a.value(0, "v_valid") != cex.trace_b.value(0, "v_valid")
+
+
+def test_independent_ip_state_is_secure():
+    c, sig = base_circuit("independent")
+    ip = c.scope("soc").child("timer")
+    count = ip.reg("count", 4, kind="ip")
+    c.set_next(count, count + 1)
+    result = upec_ssc(make_threat_model(c))
+    assert result.secure
+    assert len(result.iterations) == 1
+    assert "soc.timer.count" in result.final_s
+
+
+def test_transient_interconnect_buffer_is_secure():
+    # A skid buffer latches the victim address each request: it diverges,
+    # but is overwritten every transaction and feeds nothing persistent.
+    c, sig = base_circuit("skid")
+    xbar = c.scope("soc").child("xbar")
+    buf = xbar.reg("addr_buf", ADDR_W, kind="interconnect")
+    c.set_next(buf, mux(sig["v_valid"], sig["v_addr"], buf))
+    result = upec_ssc(make_threat_model(c))
+    assert result.secure
+    assert len(result.iterations) == 2
+    assert result.iterations[0].removed == {"soc.xbar.addr_buf"}
+    assert "soc.xbar.addr_buf" not in result.final_s
+
+
+def test_transient_buffer_feeding_persistent_ip_is_vulnerable():
+    # Same skid buffer, but an IP register accumulates it: divergence
+    # propagates to persistent state one iteration later.
+    c, sig = base_circuit("chain")
+    soc = c.scope("soc")
+    buf = soc.child("xbar").reg("addr_buf", ADDR_W, kind="interconnect")
+    c.set_next(buf, mux(sig["v_valid"], sig["v_addr"], buf))
+    acc = soc.child("dma").reg("acc", ADDR_W, kind="ip")
+    c.set_next(acc, acc ^ buf)
+    result = upec_ssc(make_threat_model(c))
+    assert result.vulnerable
+    assert result.leaking == {"soc.dma.acc"}
+    assert len(result.iterations) == 2
+    assert result.iterations[0].removed == {"soc.xbar.addr_buf"}
+
+
+def test_victim_writing_own_region_is_secure():
+    # Memory written only through the victim port: protected writes land
+    # in guarded (victim) words, non-protected writes are equal.
+    c, sig = base_circuit("ownmem")
+    soc = c.scope("soc")
+    mem = RegisterFileMemory(soc, "ram", 16, 4, accessible=True)
+    mem.write(sig["v_valid"] & sig["v_we"], sig["v_addr"], sig["v_wdata"])
+    tm = make_threat_model(c, secret_arrays={"soc.ram": 0})
+    result = upec_ssc(tm)
+    assert result.secure
+
+
+def contention_circuit(private_fix: bool) -> tuple[Circuit, ThreatModel]:
+    """A miniature of the paper's channel: a DMA-style spy that writes
+    sequential public-memory words whenever it wins the shared port.
+
+    The 16-word address space has a public device (words 0-7, pages 0-1)
+    and a private device (words 8-15, pages 2-3) with its own port.  In
+    the vulnerable build, *any* victim access steals the shared port from
+    the spy.  With ``private_fix`` only public accesses contend, and the
+    victim page is constrained into the private device — the
+    countermeasure of Sec. 4.2 in miniature.
+    """
+    c, sig = base_circuit("contention")
+    soc = c.scope("soc")
+    pub = RegisterFileMemory(soc, "pub_ram", 8, 4, accessible=True)
+    priv = RegisterFileMemory(soc, "priv_ram", 8, 4, accessible=True)
+    spy = soc.child("dma")
+    ptr = spy.reg("ptr", 3, kind="ip")
+    enabled = spy.reg("enabled", 1, kind="ip")
+    c.set_next(enabled, enabled)
+
+    addr_is_priv = sig["v_addr"][ADDR_W - 1]
+    if private_fix:
+        # Private-device accesses use the dedicated port: no contention.
+        contends = sig["v_valid"] & ~addr_is_priv
+    else:
+        contends = sig["v_valid"]
+    spy_grant = enabled & ~contends
+    from repro.rtl import cat, const
+
+    spy_addr = cat(const(0, 1), ptr)  # spy only ever addresses public words
+    c.add_net("soc.dma.req_valid", enabled)
+    c.add_net("soc.dma.req_addr", spy_addr)
+    c.set_next(ptr, mux(spy_grant, ptr + 1, ptr))
+
+    # Public port: victim public writes win over the spy.
+    victim_write = sig["v_valid"] & sig["v_we"]
+    victim_pub_write = victim_write & ~addr_is_priv
+    pub.write(
+        victim_pub_write | spy_grant,
+        mux(victim_pub_write, sig["v_addr"][2:0], ptr),
+        mux(victim_pub_write, sig["v_wdata"], cat(const(1, 1), ptr)),
+    )
+    # Private port: reachable by the victim interface only.
+    priv.write(victim_write & addr_is_priv, sig["v_addr"][2:0], sig["v_wdata"])
+
+    tm = make_threat_model(
+        c,
+        secret_arrays={"soc.pub_ram": 0, "soc.priv_ram": 8},
+        spy_master_ports=[("soc.dma.req_valid", "soc.dma.req_addr")],
+    )
+    if private_fix:
+        # Countermeasure: the security-critical region is mapped into the
+        # private pages (firmware constraint on the symbolic page).
+        tm.victim_page_constraint = sig["page"][PAGE_BITS - 1].eq(1)
+    return c, tm
+
+
+def test_contention_spy_channel_is_vulnerable():
+    c, tm = contention_circuit(private_fix=False)
+    result = upec_ssc(tm)
+    assert result.vulnerable
+    # The leak reaches the spy's progress pointer and/or the primed words.
+    assert any(
+        name == "soc.dma.ptr" or name.startswith("soc.ram[")
+        for name in result.leaking
+    )
+
+
+def test_contention_spy_channel_fixed_is_secure():
+    c, tm = contention_circuit(private_fix=True)
+    result = upec_ssc(tm)
+    assert result.secure
+
+
+def test_contention_vulnerable_design_unrolled_trace():
+    c, tm = contention_circuit(private_fix=False)
+    result = upec_ssc_unrolled(tm, max_depth=4)
+    assert result.vulnerable
+    cex = result.counterexample
+    # The explicit trace shows the spy pointer diverging over the window.
+    ptr_a = [cex.trace_a.value(t, "soc.dma.ptr") for t in range(cex.frame + 1)]
+    ptr_b = [cex.trace_b.value(t, "soc.dma.ptr") for t in range(cex.frame + 1)]
+    assert ptr_a[0] == ptr_b[0]
+    assert ptr_a[-1] != ptr_b[-1]
+
+
+def test_unrolled_secure_design_reports_secure():
+    c, tm = contention_circuit(private_fix=True)
+    result = upec_ssc_unrolled(tm, max_depth=4)
+    assert result.verdict == "secure"
+    assert result.inductive_result is not None
+    assert result.inductive_result.secure
+
+
+def test_unrolled_without_final_induction_reports_hold():
+    c, tm = contention_circuit(private_fix=True)
+    result = upec_ssc_unrolled(tm, max_depth=4, inductive_final=False)
+    assert result.verdict == "hold"
+
+
+def test_unclassified_state_raises():
+    c, sig = base_circuit("unknown")
+    weird = c.scope("soc").child("misc").reg("latch", 4, kind="other")
+    c.set_next(weird, mux(sig["v_valid"], sig["v_addr"], weird))
+    with pytest.raises(UnclassifiedStateError, match="soc.misc.latch"):
+        upec_ssc(make_threat_model(c))
+
+
+def test_manual_annotation_resolves_unclassified():
+    c, sig = base_circuit("annotated")
+    weird = c.scope("soc").child("misc").reg("latch", 4, kind="other")
+    c.set_next(weird, mux(sig["v_valid"], sig["v_addr"], weird))
+    tm = make_threat_model(c)
+    classifier = StateClassifier(tm)
+    classifier.annotate("soc.misc.latch", persistent=False)
+    assert upec_ssc(tm, classifier=classifier).secure
+    classifier2 = StateClassifier(tm)
+    classifier2.annotate("soc.misc.latch", persistent=True)
+    assert upec_ssc(tm, classifier=classifier2).vulnerable
+
+
+def test_explicit_persistent_metadata_wins():
+    # interconnect-kind register explicitly marked persistent.
+    c, sig = base_circuit("explicit")
+    xbar = c.scope("soc").child("xbar")
+    buf = xbar.reg("sticky", ADDR_W, kind="interconnect", persistent=True)
+    c.set_next(buf, mux(sig["v_valid"], sig["v_addr"], buf))
+    result = upec_ssc(make_threat_model(c))
+    assert result.vulnerable
+    assert result.leaking == {"soc.xbar.sticky"}
+
+
+def test_spy_isolation_assumption_blocks_trivial_leak():
+    # The spy writes a fixed word; without the isolation assumption the
+    # solver could place the victim page over the spy's own region and
+    # report nonsense.  With it, the design is secure because the spy's
+    # behaviour never depends on the victim.
+    c, sig = base_circuit("isolation")
+    soc = c.scope("soc")
+    mem = RegisterFileMemory(soc, "ram", 16, 4, accessible=True)
+    from repro.rtl import const
+
+    tick = soc.child("dma").reg("tick", 1, kind="ip")
+    c.set_next(tick, ~tick)
+    c.add_net("soc.dma.req_valid", tick)
+    addr = c.add_net("soc.dma.req_addr", mux(tick, const(3, ADDR_W), const(2, ADDR_W)))
+    mem.write(tick, addr, mux(tick, const(9, 4), const(0, 4)))
+    tm = make_threat_model(
+        c,
+        secret_arrays={"soc.ram": 0},
+        spy_master_ports=[("soc.dma.req_valid", "soc.dma.req_addr")],
+    )
+    assert upec_ssc(tm).secure
+
+
+def test_victim_page_constraint_restricts_allocation():
+    # A spy counting accesses to page 0 only: vulnerable in general, but
+    # secure when the victim region is constrained to other pages.
+    c, sig = base_circuit("pagecount")
+    spy = c.scope("soc").child("snoop")
+    count = spy.reg("count", 4, kind="ip")
+    hit = sig["v_valid"] & sig["v_addr"][ADDR_W - 1 : PAGE_BITS].eq(0)
+    c.set_next(count, mux(hit, count + 1, count))
+    tm = make_threat_model(c)
+    assert upec_ssc(tm).vulnerable
+    tm2 = make_threat_model(c)
+    tm2.victim_page_constraint = sig["page"].ne(0)
+    assert upec_ssc(tm2).secure
+
+
+def test_iteration_records_have_stats():
+    c, tm = contention_circuit(private_fix=False)
+    result = upec_ssc(tm)
+    rec = result.iterations[0]
+    assert rec.stats.aig_nodes > 0
+    assert rec.s_size > 0
+    assert result.total_solve_seconds() >= 0.0
