@@ -1,12 +1,24 @@
 """Infrastructure micro-benchmarks (not paper experiments).
 
-Performance baselines for the three engines everything else stands on:
-the CDCL SAT solver, the compiled cycle-accurate simulator, and the
-2-safety miter construction.  Useful for tracking regressions when
-extending the library.
+Performance baselines for the engines everything else stands on: the
+CDCL SAT solver, the compiled cycle-accurate simulator, AIG
+construction, the 2-safety miter build, and — the headline — the
+incremental verification sessions versus per-iteration rebuilds.
+
+The session benchmarks double as the semantics anchor: the incremental
+path must return **bit-identical** verdicts, ``final_s`` and leaking
+sets to the per-iteration-rebuild path, and on the multi-iteration
+fixed-point run (the countermeasure proof) it must be at least twice
+as fast.  The vulnerable detections converge in a single canonical
+closure check — severalfold faster in absolute terms than the seed's
+4-6 rebuild/solve iterations — so there the two modes coincide and the
+benchmarks track absolute cost plus equivalence.
 """
 
-from repro import ATTACK_DEMO, FORMAL_TINY, build_soc
+import time
+
+from repro import ATTACK_DEMO, FORMAL_TINY, build_soc, upec_ssc, upec_ssc_unrolled
+from repro.aig import Aig
 from repro.sat import Solver
 from repro.sim import Simulator
 from repro.upec import StateClassifier, UpecMiter
@@ -45,15 +57,136 @@ def test_simulator_throughput(benchmark):
     benchmark(run_block)
 
 
+def test_aig_construction_throughput(benchmark):
+    """Strash-table throughput: ripple adders, cold then fully cached.
+
+    Guards the hot-path layout of :class:`Aig` (``__slots__``, packed
+    integer strash keys): one round builds 64 chained 32-bit adders,
+    then rebuilds them so every ``and_`` call is a strash hit.
+    """
+
+    def build():
+        aig = Aig()
+        xs = aig.input_vec("x", 32)
+        ys = aig.input_vec("y", 32)
+        for _round in range(2):  # second round: pure strash lookups
+            vec = xs
+            for _ in range(64):
+                out, carry = [], 0
+                for a, b in zip(vec, ys):
+                    s = aig.xor_(aig.xor_(a, b), carry)
+                    carry = aig.or_(aig.and_(a, b),
+                                    aig.and_(aig.xor_(a, b), carry))
+                    out.append(s)
+                vec = out
+        return aig.num_ands()
+
+    ands = benchmark(build)
+    assert ands > 10_000
+
+
 def test_miter_build_time(benchmark):
     """Construction cost of one 2-safety unrolled property instance."""
     soc = build_soc(FORMAL_TINY)
     classifier = StateClassifier(soc.threat_model)
-    miter = UpecMiter(soc.threat_model, classifier)
     s = classifier.s_not_victim()
 
     def build():
-        return miter._build([s, s], 1)["aig"].num_nodes()
+        miter = UpecMiter(soc.threat_model, classifier)
+        return miter.build([s, s]).aig.num_nodes()
 
     nodes = benchmark(build)
     assert nodes > 1000
+
+
+def _identical(a, b):
+    assert a.verdict == b.verdict
+    assert a.leaking == b.leaking
+    assert a.final_s == b.final_s
+    assert [rec.removed for rec in a.iterations] == \
+        [rec.removed for rec in b.iterations]
+
+
+def test_alg1_incremental_vs_rebuild(benchmark):
+    """Full Algorithm 1 on FORMAL_TINY with the Sec. 4.2 countermeasure:
+    one incremental session versus per-iteration rebuilds.
+
+    The countermeasure configuration is the run with a real fixed-point
+    trajectory (several iterations ending in the expensive inductive
+    UNSAT proof), which is exactly where learned-clause retention pays:
+    the session must be >= 2x faster than rebuilding the miter every
+    iteration, with bit-identical verdict, final_s and leaking set.
+    """
+    tm_session = build_soc(FORMAL_TINY.replace(secure=True)).threat_model
+    tm_rebuild = build_soc(FORMAL_TINY.replace(secure=True)).threat_model
+
+    session_start = time.perf_counter()
+    incremental = benchmark.pedantic(
+        upec_ssc, args=(tm_session,), kwargs={"record_trace": False},
+        rounds=1, iterations=1)
+    session_seconds = time.perf_counter() - session_start
+
+    rebuild_start = time.perf_counter()
+    rebuild = upec_ssc(tm_rebuild, record_trace=False, incremental=False)
+    rebuild_seconds = time.perf_counter() - rebuild_start
+
+    _identical(incremental, rebuild)
+    assert incremental.secure
+    benchmark.extra_info["session_seconds"] = round(session_seconds, 3)
+    benchmark.extra_info["rebuild_seconds"] = round(rebuild_seconds, 3)
+    benchmark.extra_info["speedup_vs_rebuild"] = round(
+        rebuild_seconds / session_seconds, 2)
+    assert rebuild_seconds >= 2.0 * session_seconds
+
+
+def test_alg1_vulnerable_detection_time(benchmark):
+    """Detection wall-clock on the vulnerable FORMAL_TINY (E3 config).
+
+    The canonical closure check converges in a single iteration here
+    (the seed needed 4-6 rebuild/solve rounds for the same verdict), so
+    this benchmark tracks the absolute cost of one full detection and
+    the session/rebuild equivalence on the vulnerable path.
+    """
+    tm_session = build_soc(FORMAL_TINY).threat_model
+    tm_rebuild = build_soc(FORMAL_TINY).threat_model
+
+    incremental = benchmark.pedantic(
+        upec_ssc, args=(tm_session,), kwargs={"record_trace": False},
+        rounds=1, iterations=1)
+    rebuild = upec_ssc(tm_rebuild, record_trace=False, incremental=False)
+    _identical(incremental, rebuild)
+    assert incremental.vulnerable
+    benchmark.extra_info["iterations"] = len(incremental.iterations)
+    benchmark.extra_info["leaking"] = len(incremental.leaking)
+
+
+def test_alg2_incremental_vs_rebuild(benchmark):
+    """Algorithm 2 at k=1 on the E4 configuration: session vs rebuilds.
+
+    With closure checks Algorithm 2 reaches its vulnerable verdict at
+    k=1 in a single check (the seed looped 6 rebuild iterations at
+    ~2.5-3.3 s each, see benchmarks/results/e4 history), so session and
+    rebuild are equivalent here by construction; the benchmark asserts
+    the bit-identity and tracks the absolute detection cost.
+    """
+    tm_session = build_soc(FORMAL_TINY).threat_model
+    tm_rebuild = build_soc(FORMAL_TINY).threat_model
+
+    session_start = time.perf_counter()
+    incremental = benchmark.pedantic(
+        upec_ssc_unrolled, args=(tm_session,),
+        kwargs={"max_depth": 3, "record_trace": False},
+        rounds=1, iterations=1)
+    session_seconds = time.perf_counter() - session_start
+
+    rebuild_start = time.perf_counter()
+    rebuild = upec_ssc_unrolled(tm_rebuild, max_depth=3, record_trace=False,
+                                incremental=False)
+    rebuild_seconds = time.perf_counter() - rebuild_start
+
+    assert incremental.verdict == rebuild.verdict == "vulnerable"
+    assert incremental.leaking == rebuild.leaking
+    assert incremental.reached_depth == rebuild.reached_depth == 1
+    benchmark.extra_info["session_seconds"] = round(session_seconds, 3)
+    benchmark.extra_info["rebuild_seconds"] = round(rebuild_seconds, 3)
+    benchmark.extra_info["iterations"] = len(incremental.iterations)

@@ -24,7 +24,16 @@ TRUE = 1
 
 
 class Aig:
-    """A structurally hashed and-inverter graph."""
+    """A structurally hashed and-inverter graph.
+
+    Node storage is flat parallel arrays behind ``__slots__`` and the
+    strash table is keyed by a single packed integer — ``and_`` is the
+    hottest call in every formal flow (millions of lookups per unrolled
+    miter), so per-node allocation is kept to the two fanin appends.
+    """
+
+    __slots__ = ("_fanin0", "_fanin1", "_is_input", "_names", "_strash",
+                 "_n_inputs")
 
     def __init__(self):
         # Parallel arrays of fanin literals; index 0 is the constant node.
@@ -32,7 +41,11 @@ class Aig:
         self._fanin1: list[int] = [0]
         self._is_input: list[bool] = [False]
         self._names: dict[int, str] = {}
-        self._strash: dict[tuple[int, int], int] = {}
+        # Strash key: (a << 40) | b with a <= b; literals stay far below
+        # 2**40 (a trillion-node graph would exhaust memory first), so
+        # the packing is collision-free and hashes as a plain int.
+        self._strash: dict[int, int] = {}
+        self._n_inputs = 0
 
     # -- construction -----------------------------------------------------
 
@@ -42,6 +55,7 @@ class Aig:
         self._fanin0.append(0)
         self._fanin1.append(0)
         self._is_input.append(True)
+        self._n_inputs += 1
         if name is not None:
             self._names[node] = name
         return 2 * node
@@ -57,7 +71,7 @@ class Aig:
             return a
         if a > b:
             a, b = b, a
-        key = (a, b)
+        key = (a << 40) | b
         node = self._strash.get(key)
         if node is None:
             node = len(self._fanin0)
@@ -144,9 +158,13 @@ class Aig:
         """Total node count, including the constant and inputs."""
         return len(self._fanin0)
 
+    def num_inputs(self) -> int:
+        """Count of primary inputs."""
+        return self._n_inputs
+
     def num_ands(self) -> int:
-        """Count of AND gates."""
-        return len(self._fanin0) - 1 - sum(self._is_input)
+        """Count of AND gates (O(1): inputs are counted at creation)."""
+        return len(self._fanin0) - 1 - self._n_inputs
 
     def is_input(self, node: int) -> bool:
         """Whether node index ``node`` is a primary input."""

@@ -25,6 +25,8 @@ class BitBlaster:
             register reads.
     """
 
+    __slots__ = ("aig", "leaves", "_cache")
+
     def __init__(self, aig: Aig, leaves: dict[tuple[str, str], list[int]]):
         self.aig = aig
         self.leaves = leaves

@@ -18,6 +18,8 @@ __all__ = ["CnfEncoder"]
 class CnfEncoder:
     """Incremental Tseitin encoder from an :class:`Aig` into a solver."""
 
+    __slots__ = ("aig", "solver", "_var_of", "_true_var")
+
     def __init__(self, aig: Aig, solver: Solver):
         self.aig = aig
         self.solver = solver
@@ -89,10 +91,23 @@ class CnfEncoder:
         return self.values([aig_lit])[0]
 
     def values(self, aig_lits: list[int]) -> list[bool]:
-        """Model values for several AIG literals (one cone traversal)."""
+        """Model values for several AIG literals (one cone traversal).
+
+        Literals whose nodes are Tseitin-encoded read straight from the
+        model; the cone walk only happens when some queried node lies
+        outside the encoded region and must be completed consistently.
+        """
         aig = self.aig
         solver = self.solver
         var_of = self._var_of
+        if all(lit <= 1 or (lit >> 1) in var_of for lit in aig_lits):
+            out = []
+            for lit in aig_lits:
+                if lit <= 1:
+                    out.append(lit == TRUE)
+                else:
+                    out.append(solver.value(var_of[lit >> 1]) ^ bool(lit & 1))
+            return out
         node_val: dict[int, bool] = {0: False}
         for node in aig.cone_nodes(aig_lits):
             var = var_of.get(node)

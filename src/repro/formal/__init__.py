@@ -1,18 +1,22 @@
-"""Formal engines: symbolic unrolling, IPC, BMC, k-induction."""
+"""Formal engines: symbolic unrolling, sessions, IPC, BMC, k-induction."""
 
-from .bmc import BmcResult, bmc
-from .induction import InductionResult, prove_invariant
+from .bmc import BmcResult, BmcSession, bmc
+from .induction import InductionResult, find_induction_depth, prove_invariant
 from .ipc import IpcCheck, IpcResult
+from .session import UnrollSession
 from .trace import Trace, decode_vec
 from .unroller import Frame, Unroller
 
 __all__ = [
     "BmcResult",
+    "BmcSession",
     "bmc",
     "InductionResult",
+    "find_induction_depth",
     "prove_invariant",
     "IpcCheck",
     "IpcResult",
+    "UnrollSession",
     "Trace",
     "decode_vec",
     "Frame",

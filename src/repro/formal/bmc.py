@@ -1,10 +1,19 @@
-"""Bounded model checking from the reset state.
+"""Bounded model checking from the reset state, incrementally.
 
 BMC complements IPC in this library: it uses a *concrete* starting state
 (the reset values), so counterexamples are guaranteed reachable, at the
 price of bounded validity.  The paper contrasts the two in Sec. 3.2; we
 use BMC mainly to sanity-check designs and to falsify candidate
 invariants before attempting induction.
+
+:class:`BmcSession` checks cycle by cycle on one persistent
+:class:`~repro.formal.session.UnrollSession`: deepening extends the
+encoded unrolling prefix instead of re-encoding from cycle 0, learned
+clauses carry across cycles (and across calls when the session is
+reused, e.g. by a k-induction search), and the reported failing cycle
+is the *earliest* cycle at which the property can fail — a canonical
+answer, unlike a single monolithic solve whose model happens to pick
+some violating cycle.
 """
 
 from __future__ import annotations
@@ -13,10 +22,10 @@ from dataclasses import dataclass
 
 from ..rtl.circuit import Circuit
 from ..rtl.expr import Expr
-from .ipc import IpcCheck
+from .session import UnrollSession
 from .trace import Trace
 
-__all__ = ["BmcResult", "bmc"]
+__all__ = ["BmcResult", "BmcSession", "bmc"]
 
 
 @dataclass
@@ -31,6 +40,48 @@ class BmcResult:
         return self.holds
 
 
+class BmcSession:
+    """Incremental BMC of one property over a deepening window.
+
+    ``assumptions`` are 1-bit input constraints applied at every cycle.
+    The session may be deepened repeatedly — each :meth:`check_through`
+    call continues from the deepest cycle already verified.
+    """
+
+    def __init__(self, circuit: Circuit, prop: Expr,
+                 assumptions: list[Expr] | None = None):
+        self.session = UnrollSession(circuit, from_reset=True)
+        self.prop = prop
+        self.assumptions = list(assumptions or [])
+        self._assumed_through = -1
+        self._checked_through = -1
+
+    def _extend(self, cycle: int) -> None:
+        self.session.ensure_depth(cycle)
+        while self._assumed_through < cycle:
+            self._assumed_through += 1
+            for expr in self.assumptions:
+                self.session.assume(self._assumed_through, expr)
+
+    def holds_at(self, cycle: int) -> bool:
+        """Whether the property holds at exactly ``cycle`` from reset."""
+        self._extend(cycle)
+        bit = self.session.bit(cycle, self.prop)
+        goal = self.session.goal_any_false([bit])
+        return not self.session.solve([goal]).sat
+
+    def check_through(self, depth: int, record_trace: bool = True) -> BmcResult:
+        """Check every unchecked cycle up to ``depth``, earliest first."""
+        while self._checked_through < depth:
+            cycle = self._checked_through + 1
+            if not self.holds_at(cycle):
+                trace = self.session.decode_trace(cycle) if record_trace \
+                    else None
+                return BmcResult(holds=False, failing_cycle=cycle, trace=trace)
+            self._checked_through = cycle
+        return BmcResult(holds=True)
+
+
 def bmc(
     circuit: Circuit,
     prop: Expr,
@@ -42,14 +93,4 @@ def bmc(
     ``assumptions`` are 1-bit input constraints applied at every cycle.
     Returns the earliest failing cycle with a full trace, or holds.
     """
-    check = IpcCheck(circuit, depth=depth, from_reset=True)
-    for expr in assumptions or []:
-        check.assume_during(0, depth, expr, label="env")
-    for cycle in range(depth + 1):
-        check.prove_at(cycle, prop, label=f"prop@{cycle}")
-    result = check.run()
-    if result.holds:
-        return BmcResult(holds=True)
-    assert result.failed_obligations
-    first = min(cycle for cycle, _ in result.failed_obligations)
-    return BmcResult(holds=False, failing_cycle=first, trace=result.trace)
+    return BmcSession(circuit, prop, assumptions).check_through(depth)

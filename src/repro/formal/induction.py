@@ -11,6 +11,13 @@ themselves be proven — this module does so by k-induction:
 
 A 1-inductive invariant is exactly what the UPEC-SSC procedure may
 assume at cycle ``t`` of its window.
+
+Both phases run on persistent sessions.  :func:`find_induction_depth`
+searches for the smallest sufficient ``k`` by *deepening*: the base
+BMC session extends its unrolling prefix cycle by cycle, and the step
+session re-uses one symbolic unrolling whose induction hypotheses are
+switched per ``k`` through activation literals — no re-encoding from
+cycle 0, all learned clauses retained.
 """
 
 from __future__ import annotations
@@ -19,11 +26,12 @@ from dataclasses import dataclass
 
 from ..rtl.circuit import Circuit
 from ..rtl.expr import Expr, all_of
-from .bmc import bmc
+from .bmc import BmcSession, bmc
 from .ipc import IpcCheck
+from .session import UnrollSession
 from .trace import Trace
 
-__all__ = ["InductionResult", "prove_invariant"]
+__all__ = ["InductionResult", "prove_invariant", "find_induction_depth"]
 
 
 @dataclass
@@ -33,6 +41,7 @@ class InductionResult:
     proved: bool
     failed_phase: str | None = None  # "base" or "step"
     trace: Trace | None = None
+    k: int | None = None  # depth at which the proof succeeded
 
     def __bool__(self) -> bool:
         return self.proved
@@ -66,5 +75,53 @@ def prove_invariant(
     step.prove_at(k, inv, label="inv-step")
     result = step.run()
     if result.holds:
-        return InductionResult(proved=True)
+        return InductionResult(proved=True, k=k)
     return InductionResult(proved=False, failed_phase="step", trace=result.trace)
+
+
+def find_induction_depth(
+    circuit: Circuit,
+    invariants: Expr | list[Expr],
+    max_k: int = 8,
+    assumptions: list[Expr] | None = None,
+) -> InductionResult:
+    """Smallest ``k`` whose k-induction proves the invariant(s).
+
+    Deepens incrementally: the base phase extends one BMC session's
+    unrolling prefix (each new ``k`` checks exactly one new cycle), and
+    the step phase extends one symbolic session whose per-cycle
+    induction hypotheses are enabled through activation literals.  A
+    base failure is a real reachable violation, so the search aborts
+    immediately; a step failure merely means "not k-inductive yet" and
+    the search deepens.
+
+    Returns a proved result with the successful ``k``, or the last step
+    failure at ``max_k``.
+    """
+    if max_k < 1:
+        raise ValueError("max_k must be >= 1")
+    inv = all_of(invariants) if isinstance(invariants, list) else invariants
+    env = list(assumptions or [])
+    base = BmcSession(circuit, inv, assumptions=env)
+    step = UnrollSession(circuit, from_reset=False)
+    env_assumed = -1
+    for k in range(1, max_k + 1):
+        base_result = base.check_through(k - 1)
+        if not base_result.holds:
+            return InductionResult(
+                proved=False, failed_phase="base", trace=base_result.trace
+            )
+        step.ensure_depth(k)
+        while env_assumed < k:
+            env_assumed += 1
+            for expr in env:
+                step.assume(env_assumed, expr)
+        hypotheses = [step.assumption(c, inv) for c in range(k)]
+        goal = step.goal_any_false([step.bit(k, inv)])
+        if not step.solve(hypotheses + [goal]).sat:
+            return InductionResult(proved=True, k=k)
+    # Only the deepest failure can be returned, and its model is still
+    # loaded (the max_k step solve was the last solver call): decode once.
+    return InductionResult(
+        proved=False, failed_phase="step", trace=step.decode_trace(max_k)
+    )

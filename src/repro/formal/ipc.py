@@ -9,20 +9,21 @@ cycles.
 
 :class:`IpcCheck` is the single-instance harness (used for invariant
 proofs and as a general user-facing API); the 2-safety UPEC miter builds
-on :class:`~repro.formal.unroller.Unroller` directly.
+on :class:`~repro.formal.unroller.Unroller` directly.  The harness is
+backed by a persistent :class:`~repro.formal.session.UnrollSession`:
+``run`` may be called repeatedly while assumptions and obligations are
+added — each call is an incremental ``solve(assumptions)`` on the same
+encoding, reusing all learned clauses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..aig.aig import Aig
-from ..aig.cnf import CnfEncoder
 from ..rtl.circuit import Circuit
 from ..rtl.expr import Expr
-from ..sat.solver import Solver
-from .trace import Trace, decode_vec
-from .unroller import Unroller
+from .session import UnrollSession
+from .trace import Trace
 
 __all__ = ["IpcCheck", "IpcResult"]
 
@@ -61,18 +62,21 @@ class IpcCheck:
             raise ValueError("depth must be >= 0")
         self.circuit = circuit
         self.depth = depth
-        self.aig = Aig()
-        self.unroller = Unroller(circuit, self.aig)
-        initial = None
-        if from_reset:
-            initial = {
-                name: self.aig.const_vec(info.reset, info.width)
-                for name, info in circuit.regs.items()
-            }
-        self.unroller.begin(initial)
-        self.unroller.unroll(depth)
+        self.session = UnrollSession(circuit, from_reset=from_reset)
+        self.session.ensure_depth(depth)
         self._assumes: list[tuple[int, Expr, str]] = []
+        self._assumed = 0  # prefix of _assumes already encoded as clauses
         self._proves: list[tuple[int, Expr, str]] = []
+
+    @property
+    def aig(self):
+        """The session's AIG (exposed for compatibility/inspection)."""
+        return self.session.aig
+
+    @property
+    def unroller(self):
+        """The session's unroller (exposed for compatibility/inspection)."""
+        return self.session.unroller
 
     # -- property construction ------------------------------------------------
 
@@ -98,34 +102,30 @@ class IpcCheck:
     # -- solving ------------------------------------------------------------------
 
     def run(self, record_trace: bool = True) -> IpcResult:
-        """Check the property; returns holds or a counterexample trace."""
+        """Check the property; returns holds or a counterexample trace.
+
+        Incremental: repeated calls (after adding further assumptions or
+        obligations) reuse the session's encoding and learned clauses.
+        """
         if not self._proves:
             raise ValueError("no proof obligations; call prove_at() first")
-        solver = Solver()
-        encoder = CnfEncoder(self.aig, solver)
-        for cycle, expr, _ in self._assumes:
-            encoder.assume_true(self.unroller.bit_at(cycle, expr))
-        # Violation: some obligation fails.
+        session = self.session
+        while self._assumed < len(self._assumes):
+            cycle, expr, _ = self._assumes[self._assumed]
+            session.assume(cycle, expr)
+            self._assumed += 1
         obligation_bits = [
-            (cycle, label, self.unroller.bit_at(cycle, expr))
+            (cycle, label, session.bit(cycle, expr))
             for cycle, expr, label in self._proves
         ]
-        violation = self.aig.or_many(bit ^ 1 for _, _, bit in obligation_bits)
-        encoder.assume_true(violation)
-        if not solver.solve():
+        # Violation goal: some obligation fails.
+        goal = session.goal_any_false([bit for _, _, bit in obligation_bits])
+        if not session.solve([goal]).sat:
             return IpcResult(holds=True)
         failed = [
             (cycle, label)
             for cycle, label, bit in obligation_bits
-            if not encoder.value(bit)
+            if not session.holds_value(bit)
         ]
-        trace = self._extract_trace(encoder) if record_trace else None
+        trace = session.decode_trace(self.depth) if record_trace else None
         return IpcResult(holds=False, trace=trace, failed_obligations=failed)
-
-    def _extract_trace(self, encoder: CnfEncoder) -> Trace:
-        trace = Trace(self.depth)
-        for t, frame in enumerate(self.unroller.frames):
-            for table in (frame.regs, frame.inputs, frame.nets):
-                for name, vec in table.items():
-                    trace.record(t, name, decode_vec(encoder, vec))
-        return trace

@@ -1,0 +1,98 @@
+"""Persistent solver sessions over incrementally deepened unrollings.
+
+The single-instance analogue of the UPEC miter session: one AIG, one
+CNF encoder and one incremental SAT solver serve a whole sequence of
+bounded queries over the same circuit.  Deepening the time window
+(``ensure_depth``) extends the existing unrolling prefix — nothing is
+re-encoded from cycle 0 — and per-query proof goals ride on scratch
+activation literals, so BMC deepening loops and k-induction searches
+reuse every learned clause.
+"""
+
+from __future__ import annotations
+
+from ..aig.aig import Aig
+from ..aig.cnf import CnfEncoder
+from ..rtl.circuit import Circuit
+from ..rtl.expr import Expr
+from ..sat.session import IncrementalSession, SolveStats
+from .trace import Trace, decode_unrolled_trace
+from .unroller import Unroller
+
+__all__ = ["UnrollSession"]
+
+
+class UnrollSession:
+    """Incremental unrolling of one circuit instance into one solver.
+
+    Args:
+        circuit: the design under verification.
+        from_reset: bind cycle 0 to the reset state (BMC mode) instead
+            of a symbolic starting state (IPC mode).
+    """
+
+    def __init__(self, circuit: Circuit, from_reset: bool = False):
+        circuit.validate()
+        self.circuit = circuit
+        self.from_reset = from_reset
+        self.aig = Aig()
+        self.sat = IncrementalSession()
+        self.solver = self.sat.solver
+        self.encoder = CnfEncoder(self.aig, self.solver)
+        self.unroller = Unroller(circuit, self.aig)
+        initial = None
+        if from_reset:
+            initial = {
+                name: self.aig.const_vec(info.reset, info.width)
+                for name, info in circuit.regs.items()
+            }
+        self.unroller.begin(initial)
+        self.depth = 0
+
+    def ensure_depth(self, depth: int) -> None:
+        """Extend the unrolling so cycles 0..depth exist (prefix reused)."""
+        if depth > self.depth:
+            self.unroller.unroll(depth)
+            self.depth = depth
+
+    # -- constraints and goals ---------------------------------------------
+
+    def bit(self, cycle: int, expr: Expr) -> int:
+        """AIG literal of a 1-bit expression at ``cycle``."""
+        self.ensure_depth(cycle)
+        return self.unroller.bit_at(cycle, expr)
+
+    def assume(self, cycle: int, expr: Expr) -> None:
+        """Permanently constrain a 1-bit expression to hold at ``cycle``."""
+        self.encoder.assume_true(self.bit(cycle, expr))
+
+    def assumption(self, cycle: int, expr: Expr) -> int:
+        """Activation literal asserting ``expr`` at ``cycle`` on demand.
+
+        The clause is installed once per distinct (cycle, expression)
+        cone; the returned variable is passed to :meth:`solve` to switch
+        the constraint on for one query.
+        """
+        lit = self.bit(cycle, expr)
+        return self.sat.assert_under(("at", lit), self.encoder.lit(lit))
+
+    def goal_any_false(self, bits: list[int]) -> int:
+        """Scratch goal: at least one of the AIG literals is violated."""
+        return self.sat.scratch_goal(
+            [self.encoder.lit(bit ^ 1) for bit in bits]
+        )
+
+    def solve(self, assumptions: list[int]) -> SolveStats:
+        """Solve under assumption variables, with per-call cost deltas."""
+        return self.sat.solve(assumptions)
+
+    # -- model access -------------------------------------------------------
+
+    def holds_value(self, bit: int) -> bool:
+        """Model value of an AIG literal after a SAT answer."""
+        return self.encoder.value(bit)
+
+    def decode_trace(self, through: int | None = None) -> Trace:
+        """Decode the last model into a per-cycle trace (0..``through``)."""
+        last = self.depth if through is None else through
+        return decode_unrolled_trace(self.encoder, self.unroller, last)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..aig.cnf import CnfEncoder
 
-__all__ = ["Trace", "decode_vec"]
+__all__ = ["Trace", "decode_vec", "decode_unrolled_trace"]
 
 
 def decode_vec(encoder: CnfEncoder, vec: list[int]) -> int:
@@ -21,6 +21,21 @@ def decode_vec(encoder: CnfEncoder, vec: list[int]) -> int:
         if encoder.value(lit):
             word |= 1 << i
     return word
+
+
+def decode_unrolled_trace(encoder: CnfEncoder, unroller, depth: int) -> "Trace":
+    """Decode frames 0..``depth`` of an unrolling into a :class:`Trace`.
+
+    Shared by every checker (IPC/BMC sessions, the UPEC miter): records
+    all registers, inputs and nets of each frame from the last SAT model.
+    """
+    trace = Trace(depth)
+    for t in range(depth + 1):
+        frame = unroller.frame(t)
+        for table in (frame.regs, frame.inputs, frame.nets):
+            for name, vec in table.items():
+                trace.record(t, name, decode_vec(encoder, vec))
+    return trace
 
 
 class Trace:

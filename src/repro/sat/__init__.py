@@ -1,7 +1,8 @@
-"""SAT solving: CDCL solver and DIMACS I/O."""
+"""SAT solving: CDCL solver, incremental sessions, DIMACS I/O."""
 
 from .dimacs import parse_dimacs, solver_from_dimacs, write_dimacs
+from .session import IncrementalSession, SolveStats
 from .solver import SAT, UNSAT, Solver
 
-__all__ = ["Solver", "SAT", "UNSAT", "parse_dimacs", "solver_from_dimacs",
-           "write_dimacs"]
+__all__ = ["Solver", "SAT", "UNSAT", "IncrementalSession", "SolveStats",
+           "parse_dimacs", "solver_from_dimacs", "write_dimacs"]

@@ -1,0 +1,142 @@
+"""Incremental solving sessions over one persistent :class:`Solver`.
+
+The fixed-point loops of UPEC-SSC (Algorithms 1 and 2) and the deepening
+loops of BMC / k-induction ask long sequences of closely related
+queries.  Rebuilding a solver per query throws away every learned
+clause; the incremental-SAT tradition (MiniSat's ``solve(assumps)``)
+instead keeps one solver alive and distinguishes queries purely through
+assumption literals.  :class:`IncrementalSession` packages that pattern:
+
+* **named activation groups** — constraint clauses guarded by a
+  registered activation literal, enabled per call by listing the group
+  name in ``assume``;
+* **scratch goals** — one-shot guarded clauses (e.g. "some variable in
+  the current S diverges") whose activation literal is used for a single
+  call and then abandoned;
+* **per-call statistics** — wall-clock and solver-counter deltas plus
+  the size of the retained learned-clause pool, so callers can report
+  how much reuse the session actually delivered.
+
+Abandoned activation literals cost nothing: their guarded clauses are
+satisfied by leaving the literal unassigned or false.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from .solver import Solver
+
+__all__ = ["IncrementalSession", "SolveStats"]
+
+
+@dataclass
+class SolveStats:
+    """Cost deltas of one ``solve`` call on a session."""
+
+    sat: bool = False
+    seconds: float = 0.0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    #: learned clauses alive when the call started — the reuse pool
+    #: carried over from every earlier query of the session.
+    retained_learned: int = 0
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+    def add(self, other: "SolveStats") -> None:
+        """Accumulate another call's deltas into this record."""
+        self.sat = other.sat
+        self.seconds += other.seconds
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.restarts += other.restarts
+        self.learned += other.learned
+        self.retained_learned = max(self.retained_learned,
+                                    other.retained_learned)
+
+
+class IncrementalSession:
+    """A persistent solver with named activation groups and scratch goals."""
+
+    def __init__(self, solver: Solver | None = None):
+        self.solver = solver if solver is not None else Solver()
+        self._scratch_counter = 0
+        self.solve_calls = 0
+
+    # -- clause management --------------------------------------------------
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a permanent clause (valid for every later query)."""
+        return self.solver.add_clause(lits)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Add several permanent clauses."""
+        return self.solver.add_clauses(clauses)
+
+    def activation(self, name: Hashable) -> int:
+        """Activation variable registered under ``name`` (see Solver)."""
+        return self.solver.activation(name)
+
+    def has_activation(self, name: Hashable) -> bool:
+        """Whether the named activation group exists already."""
+        return self.solver.has_activation(name)
+
+    def add_guarded(self, name: Hashable, lits: Iterable[int]) -> int:
+        """Add a clause active only when group ``name`` is assumed."""
+        return self.solver.add_guarded(name, lits)
+
+    def assert_under(self, name: Hashable, lit: int) -> int:
+        """Guard the unit clause ``lit`` behind group ``name``.
+
+        The first call per group installs the clause; later calls only
+        return the activation variable — callers may therefore invoke
+        this once per query without duplicating clauses.
+        """
+        if self.solver.has_activation(name):
+            return self.solver.activation(name)
+        return self.solver.add_guarded(name, [lit])
+
+    def scratch_goal(self, lits: Sequence[int]) -> int:
+        """One-shot guarded clause; returns its fresh activation variable.
+
+        Used for per-query proof goals: assume the returned variable in
+        exactly one ``solve`` call and then forget it.
+        """
+        self._scratch_counter += 1
+        name = ("scratch", self._scratch_counter)
+        return self.solver.add_guarded(name, lits)
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SolveStats:
+        """Solve under the given assumption literals, with cost deltas."""
+        solver = self.solver
+        before = dict(solver.stats)
+        retained = solver.retained_learned()
+        start = time.perf_counter()
+        sat = solver.solve(assumptions)
+        seconds = time.perf_counter() - start
+        after = solver.stats
+        self.solve_calls += 1
+        return SolveStats(
+            sat=sat,
+            seconds=seconds,
+            conflicts=after["conflicts"] - before["conflicts"],
+            decisions=after["decisions"] - before["decisions"],
+            propagations=after["propagations"] - before["propagations"],
+            restarts=after["restarts"] - before["restarts"],
+            learned=after["learned"] - before["learned"],
+            retained_learned=retained,
+        )
+
+    def value(self, lit: int) -> bool:
+        """Model value of a DIMACS literal after a SAT answer."""
+        return self.solver.value(lit)

@@ -12,7 +12,11 @@ paper.  Implements the standard modern architecture:
 * activity-driven learned-clause database reduction,
 * incremental solving under assumptions (MiniSat ``solve(assumps)``
   semantics): clauses may be added between calls and learned clauses are
-  kept, which is what makes the iterative Algorithm 1 loop cheap.
+  kept, which is what makes the iterative Algorithm 1 loop cheap,
+* named activation literals: clauses guarded by a registered literal
+  that is enabled per ``solve`` call via the assumptions — the hook the
+  incremental verification sessions (:mod:`repro.sat.session`) use to
+  switch constraint groups on and off without ever deleting clauses.
 
 Literals use DIMACS conventions externally (non-zero ints, sign =
 polarity); internally literals are encoded as ``2*var + neg``.
@@ -21,7 +25,7 @@ polarity); internally literals are encoded as ``2*var + neg``.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Sequence
+from typing import Hashable, Iterable, Sequence
 
 __all__ = ["Solver", "SAT", "UNSAT"]
 
@@ -65,6 +69,7 @@ class Solver:
         self._order: list[tuple[float, int]] = []  # heap of (-activity, var)
         self._model: list[int] = [0]  # copy of assignments at last SAT answer
         self._ok = True  # False once the clause set is trivially UNSAT
+        self._activations: dict[Hashable, int] = {}
         # Statistics, exposed for the benchmark harness.
         self.stats = {
             "conflicts": 0,
@@ -138,6 +143,39 @@ class Solver:
         for clause in clauses:
             result = self.add_clause(clause) and result
         return result
+
+    # -- named activation literals ------------------------------------------
+
+    def activation(self, name: Hashable) -> int:
+        """Variable of the activation literal registered under ``name``.
+
+        Allocated on first use.  Clauses added through
+        :meth:`add_guarded` are satisfied for free unless the activation
+        literal is passed as a positive assumption to :meth:`solve` —
+        this is how one clause database serves many property variants.
+        """
+        var = self._activations.get(name)
+        if var is None:
+            var = self.new_var()
+            self._activations[name] = var
+        return var
+
+    def has_activation(self, name: Hashable) -> bool:
+        """Whether an activation literal named ``name`` exists already."""
+        return name in self._activations
+
+    def add_guarded(self, name: Hashable, lits: Iterable[int]) -> int:
+        """Add ``lits`` as a clause active only under activation ``name``.
+
+        Returns the activation variable to pass as an assumption.
+        """
+        var = self.activation(name)
+        self.add_clause([-var, *lits])
+        return var
+
+    def retained_learned(self) -> int:
+        """Learned clauses currently alive (the incremental-reuse pool)."""
+        return len(self._learned)
 
     def _attach(self, clause: list[int]) -> None:
         self._watches[clause[0] ^ 1].append(clause)

@@ -14,7 +14,7 @@ System Side Channels.  Public entry points:
 
 from .classify import StateClassifier, UnclassifiedStateError
 from .diagnose import Diagnosis, diagnose
-from .miter import CheckStats, MiterCounterexample, UpecMiter
+from .miter import CheckStats, MiterCounterexample, MiterSession, UpecMiter
 from .replay import ReplayReport, replay_counterexample
 from .report import format_counterexample, format_iterations, format_result
 from .ssc import IterationRecord, SscResult, upec_ssc
@@ -30,6 +30,7 @@ __all__ = [
     "replay_counterexample",
     "CheckStats",
     "MiterCounterexample",
+    "MiterSession",
     "UpecMiter",
     "format_counterexample",
     "format_iterations",

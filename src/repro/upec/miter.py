@@ -16,8 +16,31 @@ over a bounded window with a shared symbolic starting state:
   instances during ``t..t+1`` except that *non-protected* accesses must
   be identical; from ``t+2`` on the interfaces are fully equal (the
   paper's Fig. 3/4 macros);
-* the proof obligation is ``State_Equivalence(S')`` at the final cycle;
-  a SAT answer yields the diverging set ``S_cex``.
+* the proof obligation is ``State_Equivalence(S')`` at the final cycle.
+
+Incremental architecture
+------------------------
+
+The Algorithm 1/2 loops only ever *shrink* the assumption set ``S``
+between iterations, so this module keeps one :class:`MiterSession` alive
+across all checks of a run instead of rebuilding AIG + CNF + solver per
+iteration:
+
+* instance A is unrolled **once** per depth against stable frame-0
+  variables; when a variable leaves ``S`` only instance B's cones
+  downstream of that register are re-derived (structural hashing hands
+  every unchanged cone back), and the persistent CNF encoder emits
+  clauses for new nodes only;
+* intermediate-frame equalities and per-check proof goals sit behind
+  :class:`~repro.sat.session.IncrementalSession` activation literals, so
+  ``check(S)`` is a pure ``solve(assumptions)`` call and every learned
+  clause survives into the next iteration;
+* :meth:`MiterSession.check` computes the **can-diverge closure**: the
+  set of state variables that can differ at the prove cycle under the
+  current assumptions.  That set is a semantic property of the design —
+  independent of solver heuristics, clause reuse, or encoding — which is
+  what makes the incremental session and a from-scratch rebuild return
+  bit-identical verdicts, ``final_s`` and leaking sets.
 """
 
 from __future__ import annotations
@@ -28,18 +51,27 @@ from dataclasses import dataclass, field
 from ..aig.aig import Aig
 from ..aig.bitblast import BitBlaster
 from ..aig.cnf import CnfEncoder
-from ..formal.trace import Trace, decode_vec
+from ..formal.trace import Trace, decode_unrolled_trace, decode_vec
 from ..formal.unroller import Unroller
-from ..sat.solver import Solver
-from .classify import StateClassifier
+from ..sat.session import IncrementalSession
+from .classify import StateClassifier, UnclassifiedStateError
 from .threat_model import ThreatModel
 
-__all__ = ["MiterCounterexample", "CheckStats", "UpecMiter"]
+__all__ = ["MiterCounterexample", "CheckStats", "MiterSession", "UpecMiter"]
 
 
 @dataclass
 class CheckStats:
-    """Cost metrics of one property check (one Alg. 1/2 iteration)."""
+    """Cost metrics of one property check (one Alg. 1/2 iteration).
+
+    ``encode_seconds`` covers AIG construction and CNF emission (zero
+    when a warm session had everything encoded already);
+    ``solve_seconds`` is pure SAT search.  ``build_seconds`` is kept as
+    a legacy alias of ``encode_seconds``.  ``learned_kept`` counts the
+    learned clauses retained from earlier checks of the same session —
+    the incremental-reuse pool — and ``sat_calls`` the solver queries
+    issued for the closure computation.
+    """
 
     aig_nodes: int = 0
     cnf_vars: int = 0
@@ -47,6 +79,9 @@ class CheckStats:
     decisions: int = 0
     build_seconds: float = 0.0
     solve_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    sat_calls: int = 0
+    learned_kept: int = 0
 
 
 @dataclass
@@ -54,11 +89,14 @@ class MiterCounterexample:
     """A violation of the UPEC-SSC property.
 
     Attributes:
-        diff_names: state variables differing at the prove cycle (S_cex).
+        diff_names: the can-diverge closure at the prove cycle — every
+            state variable (within the checked phase, persistent or
+            transient) that *can* differ there under the current
+            assumptions.  Canonical: independent of solver state.
         frame: the prove cycle (t+k).
         trace_a / trace_b: concrete per-cycle signal values of the two
-            instances, decoded from the SAT model.
-        victim_page: concrete protected page index chosen by the solver.
+            instances for one witness model.
+        victim_page: concrete protected page index in the witness model.
         stats: solver cost metrics.
     """
 
@@ -74,22 +112,280 @@ class MiterCounterexample:
         return self.trace_a.differing_signals(self.trace_b)
 
 
-class UpecMiter:
-    """Builds and checks UPEC-SSC property instances.
+class MiterSession:
+    """A persistent, incrementally extended encoding of the 2-safety miter.
 
-    A fresh miter is constructed per check: shrinking ``S`` changes which
-    variables are unified, and structural hashing then does the heavy
-    lifting.  (The ablation in benchmarks/E10 compares this against an
-    assumption-based incremental encoding.)
+    One session serves every ``check`` of an Algorithm 1/2 run: the
+    unrolling depth may grow between calls and the frame-0 equality set
+    ``S`` may shrink; both are handled incrementally on one AIG, one CNF
+    encoder and one solver.
+
+    Internals: every register has a stable frame-0 vector for instance A
+    (``A:name@0``) and a stable fresh vector for instance B
+    (``B:name@0``).  While ``name`` is in ``S``, instance B is unrolled
+    over A's vector (structural collapse — the classic UPEC trick);
+    once it leaves ``S``, B's cones downstream of the register are
+    re-derived over the fresh vector.  Strashing returns all unaffected
+    cones unchanged, so the persistent CNF encoder emits only the delta.
     """
 
-    def __init__(self, threat_model: ThreatModel, classifier: StateClassifier | None = None):
+    def __init__(self, threat_model: ThreatModel,
+                 classifier: StateClassifier | None = None):
         self.tm = threat_model
         self.classifier = classifier or StateClassifier(threat_model)
         self.circuit = threat_model.circuit
         self.circuit.validate()
+        self.aig = Aig()
+        self.sat = IncrementalSession()
+        self.solver = self.sat.solver
+        self.encoder = CnfEncoder(self.aig, self.solver)
+        circuit, aig, tm = self.circuit, self.aig, self.tm
+        self._victim_fields = set(tm.victim_port.fields())
+        # Symbolic constants: shared between instances and across frames.
+        self._stable_vecs = {
+            name: aig.input_vec(f"const:{name}", circuit.inputs[name].width)
+            for name in tm.stable_input_names
+        }
+        self.page_vec = self._stable_vecs[tm.victim_page]
+        self._guard_blaster = BitBlaster(
+            aig, {("in", tm.victim_page): self.page_vec}
+        )
+        self._guard_of: dict[str, int] = {}
+        # Stable frame-0 state vectors; B's fresh side is allocated on
+        # first need (when a register leaves S, or for guarded words).
+        self._vec_a0 = {
+            name: aig.input_vec(f"A:{name}@0", info.width)
+            for name, info in circuit.regs.items()
+        }
+        self._vec_b0: dict[str, list[int]] = {}
+        # Shared primary-input vectors, stable across re-binds: keyed by
+        # (frame, name); victim-port fields are per instance.
+        self._input_vecs: dict[tuple, list[int]] = {}
+        self._per_frame_exprs = (
+            tm.spy_isolation_constraints() + list(tm.firmware_constraints)
+        )
+        self.unroller_a: Unroller | None = None
+        self.unroller_b: Unroller | None = None
+        self.depth = -1
+        self._s0: frozenset[str] | None = None
+        self.epochs = 0  # re-binds of instance B (S-set changes)
 
-    # -- public API -------------------------------------------------------------
+    # -- construction internals --------------------------------------------
+
+    def _provider(self, instance: str):
+        stable, victim = self._stable_vecs, self._victim_fields
+        inputs, aig = self._input_vecs, self.aig
+
+        def provider(frame_idx: int, name: str, width: int):
+            if name in stable:
+                return stable[name]
+            key = (instance if name in victim else "shared", frame_idx, name)
+            vec = inputs.get(key)
+            if vec is None:
+                vec = aig.input_vec(f"{key[0]}:{name}@{frame_idx}", width)
+                inputs[key] = vec
+            return vec
+
+        return provider
+
+    def _guard_lit(self, name: str) -> int:
+        lit = self._guard_of.get(name)
+        if lit is None:
+            info = self.classifier.conditional_guard_info(name)
+            assert info is not None
+            array, index = info
+            lit = self._guard_blaster.bit(self.tm.word_is_secret(array, index))
+            self._guard_of[name] = lit
+        return lit
+
+    def _b0_fresh(self, name: str) -> list[int]:
+        vec = self._vec_b0.get(name)
+        if vec is None:
+            vec = self.aig.input_vec(
+                f"B:{name}@0", self.circuit.regs[name].width
+            )
+            self._vec_b0[name] = vec
+        return vec
+
+    def ensure(self, s0: frozenset[str], depth: int) -> None:
+        """Bind frame-0 equality set ``s0`` and unroll through ``depth``.
+
+        Instance A extends monotonically; instance B is re-derived when
+        ``s0`` changes (strashing dedups every cone not downstream of a
+        changed register).  Only unconditionally valid constraints are
+        asserted here (frame-0 invariants and the victim-page constraint
+        over the stable instance-A cone); everything whose validity is
+        scoped to a frame range or to the current instance-B binding is
+        switched on per check through activation literals — a stale
+        epoch's or a deeper frame's constraint must never prune a model
+        of a later, differently scoped check.
+        """
+        deepen = depth > self.depth
+        rebind = s0 != self._s0
+        if not deepen and not rebind:
+            return
+        aig, tm, encoder = self.aig, self.tm, self.encoder
+        first = self.depth < 0
+        self.depth = max(depth, self.depth)
+        if self.unroller_a is None:
+            self.unroller_a = Unroller(
+                self.circuit, aig, prefix="A", input_provider=self._provider("A")
+            )
+            self.unroller_a.begin(dict(self._vec_a0))
+        self.unroller_a.unroll(self.depth)
+        if rebind:
+            init_b: dict[str, list[int]] = {}
+            for name in self.circuit.regs:
+                if name not in s0:
+                    init_b[name] = self._b0_fresh(name)
+                elif self.classifier.conditional_guard_info(name) is None:
+                    init_b[name] = self._vec_a0[name]
+                else:
+                    init_b[name] = aig.mux_vec(
+                        self._guard_lit(name),
+                        self._b0_fresh(name),
+                        self._vec_a0[name],
+                    )
+            self.unroller_b = Unroller(
+                self.circuit, aig, prefix="B", input_provider=self._provider("B")
+            )
+            self.unroller_b.begin(init_b)
+            self._s0 = frozenset(s0)
+            self.epochs += 1
+        self.unroller_b.unroll(self.depth)
+        if first:
+            # Frame-0, instance-A-cone facts hold for every later check
+            # regardless of depth or S binding: safe as permanent units.
+            for expr in tm.invariants:
+                encoder.assume_true(self.unroller_a.bit_at(0, expr))
+            if tm.victim_page_constraint is not None:
+                encoder.assume_true(
+                    self.unroller_a.bit_at(0, tm.victim_page_constraint)
+                )
+
+    def _assume_lit(self, lit: int) -> int | None:
+        """Activation variable asserting an AIG literal on demand.
+
+        Installed once per distinct literal; constant-true literals need
+        no clause at all.  Because the activation is keyed by the
+        literal itself, a re-bound instance B (whose cones strash to new
+        literals) automatically gets fresh, independently switched
+        constraints while stale epochs' clauses stay dormant.
+        """
+        if lit == 1:  # constant TRUE
+            return None
+        return self.sat.assert_under(("lit", lit), self.encoder.lit(lit))
+
+    def _scoped_assumptions(self, depth: int) -> list[int]:
+        """Activation literals for every frame-/epoch-scoped constraint
+        of a check at ``depth``: Victim_Task_Executing() per frame, the
+        spy-isolation/firmware assumptions per frame and instance, and
+        instance B's frame-0 invariants (instance A's are permanent)."""
+        acts: list[int] = []
+        for f in range(depth + 1):
+            acts.append(
+                self._assume_lit(self._victim_constraint(f, free_window=f <= 1))
+            )
+            for unroller in (self.unroller_a, self.unroller_b):
+                for expr in self._per_frame_exprs:
+                    acts.append(self._assume_lit(unroller.bit_at(f, expr)))
+        for expr in self.tm.invariants:
+            acts.append(self._assume_lit(self.unroller_b.bit_at(0, expr)))
+        return [a for a in acts if a is not None]
+
+    def _victim_constraint(self, frame: int, free_window: bool) -> int:
+        tm, aig = self.tm, self.aig
+        port = tm.victim_port
+        fa = self.unroller_a.frame(frame).inputs
+        fb = self.unroller_b.frame(frame).inputs
+        all_equal = aig.and_many(
+            aig.equal_vec(fa[name], fb[name]) for name in port.fields()
+        )
+        if not free_window:
+            return all_equal
+        page_bits = tm.page_bits
+
+        def nonprot(frame_inputs: dict[str, list[int]]) -> int:
+            valid = frame_inputs[port.valid][0]
+            addr = frame_inputs[port.addr]
+            in_page = aig.equal_vec(addr[page_bits:], self.page_vec)
+            return aig.and_(valid, in_page ^ 1)
+
+        either_nonprot = aig.or_(nonprot(fa), nonprot(fb))
+        return aig.implies_(either_nonprot, all_equal)
+
+    def equal_lit(self, name: str, frame: int) -> int:
+        """AIG literal: ``name`` equal between instances at ``frame``.
+
+        Victim-range words are allowed to differ: equality is only
+        required when the word lies outside the protected page.
+        """
+        vec_a = self.unroller_a.frame(frame).regs[name]
+        vec_b = self.unroller_b.frame(frame).regs[name]
+        equal = self.aig.equal_vec(vec_a, vec_b)
+        if self.classifier.conditional_guard_info(name) is not None:
+            equal = self.aig.or_(self._guard_lit(name), equal)
+        return equal
+
+    def diff_lit(self, name: str, frame: int) -> int:
+        """AIG literal: ``name`` differs (outside the victim range)."""
+        return self.equal_lit(name, frame) ^ 1
+
+    # -- checking -----------------------------------------------------------
+
+    def _assumptions(self, s_frames: list[set[str]]) -> list[int]:
+        """Full assumption set of one check: the frame-/epoch-scoped
+        constraints plus the intermediate State_Equivalence(S[i])."""
+        base = self._scoped_assumptions(len(s_frames) - 1)
+        for f in range(1, len(s_frames) - 1):
+            for name in sorted(s_frames[f]):
+                act = self._assume_lit(self.equal_lit(name, f))
+                if act is not None:
+                    base.append(act)
+        return base
+
+    def _partition(self, names: set[str]) -> tuple[list, list, list]:
+        """Sorted (persistent, transient, unclassified) split of ``names``."""
+        pers: list[str] = []
+        trans: list[str] = []
+        unknown: list[str] = []
+        for name in sorted(names):
+            try:
+                (pers if self.classifier.in_s_pers(name) else trans).append(name)
+            except UnclassifiedStateError:
+                unknown.append(name)
+        return pers, trans, unknown
+
+    def _closure(self, names: list[str], base: list[int], depth: int,
+                 stats: CheckStats) -> list[str]:
+        """All of ``names`` that can diverge at ``depth`` under ``base``.
+
+        Enumerate models of "some remaining name differs" until UNSAT;
+        every query reuses the session's learned clauses.  The result is
+        the full satisfiability closure, so it does not depend on which
+        model the solver happens to find first.
+        """
+        enc = self.encoder
+        remaining = list(names)
+        found: list[str] = []
+        while remaining:
+            diffs = [self.diff_lit(n, depth) for n in remaining]
+            t0 = time.perf_counter()
+            goal = self.sat.scratch_goal([enc.lit(d) for d in diffs])
+            stats.encode_seconds += time.perf_counter() - t0
+            result = self.sat.solve(base + [goal])
+            stats.sat_calls += 1
+            stats.solve_seconds += result.seconds
+            stats.conflicts += result.conflicts
+            stats.decisions += result.decisions
+            if not result.sat:
+                break
+            values = enc.values(diffs)
+            newly = [n for n, v in zip(remaining, values) if v]
+            found.extend(newly)
+            newset = set(newly)
+            remaining = [n for n in remaining if n not in newset]
+        return found
 
     def check(
         self,
@@ -105,34 +401,106 @@ class UpecMiter:
         With ``len(s_frames) == 2`` this is exactly the 2-cycle property
         of Fig. 3.
 
-        Returns None if the property holds, else the counterexample.
+        Returns None if the property holds.  Otherwise the
+        counterexample's ``diff_names`` is the *can-diverge closure*:
+        if any persistent state variable can diverge, the closure over
+        the persistent candidates (the full leaking set); otherwise the
+        closure over the transient ones (peeled off ``S`` by the
+        Algorithm 1/2 loops).  Either set is canonical — a semantic
+        property of the design, so two sessions (or a session and a
+        from-scratch rebuild) return identical results.
+
+        Raises:
+            UnclassifiedStateError: a state variable with no S_pers
+                classification can diverge ("requires closer inspection"
+                per Sec. 3.4 — annotate it and re-run).
         """
         if len(s_frames) < 2:
             raise ValueError("need at least [S@t, S@t+1]")
         depth = len(s_frames) - 1
-        build_start = time.perf_counter()
-        ctx = self._build(s_frames, depth)
-        stats = CheckStats(
-            aig_nodes=ctx["aig"].num_nodes(),
-            build_seconds=time.perf_counter() - build_start,
-        )
-        solve_start = time.perf_counter()
-        sat = ctx["solver"].solve()
-        stats.solve_seconds = time.perf_counter() - solve_start
-        stats.cnf_vars = ctx["solver"].n_vars
-        stats.conflicts = ctx["solver"].stats["conflicts"]
-        stats.decisions = ctx["solver"].stats["decisions"]
-        if not sat:
+        stats = CheckStats(learned_kept=self.solver.retained_learned())
+        encode_start = time.perf_counter()
+        self.ensure(frozenset(s_frames[0]), depth)
+        base = self._assumptions(s_frames)
+        stats.encode_seconds = time.perf_counter() - encode_start
+        pers, trans, unknown = self._partition(s_frames[depth])
+        if unknown:
+            diverging = self._closure(unknown, base, depth, stats)
+            if diverging:
+                self.classifier.in_s_pers(diverging[0])  # raises
+        diff_names = self._closure(pers, base, depth, stats)
+        if not diff_names:
+            diff_names = self._closure(trans, base, depth, stats)
+        stats.aig_nodes = self.aig.num_nodes()
+        stats.cnf_vars = self.solver.n_vars
+        stats.build_seconds = stats.encode_seconds
+        if not diff_names:
             return None
-        encoder: CnfEncoder = ctx["encoder"]
-        diff_names = {
-            name for name, lit in ctx["diff_lits"].items() if encoder.value(lit)
-        }
+        if not record_trace:
+            # The closure's last SAT model is still loaded; no need for a
+            # dedicated witness solve when no trace is decoded.
+            return self._package(set(diff_names), depth, False, stats)
+        return self._witness(diff_names, base, depth, record_trace, stats)
+
+    def probe(
+        self,
+        s_frames: list[set[str]],
+        record_trace: bool = False,
+    ) -> MiterCounterexample | None:
+        """Single-solve cost probe: one model of "some variable differs".
+
+        This is the seed implementation's per-iteration query — *not*
+        canonical (``diff_names`` depends on which model the solver
+        finds), so algorithm loops use :meth:`check`; ablation
+        benchmarks (E10) use this to measure the cost of one property
+        instance at a given depth.
+        """
+        if len(s_frames) < 2:
+            raise ValueError("need at least [S@t, S@t+1]")
+        depth = len(s_frames) - 1
+        stats = CheckStats(learned_kept=self.solver.retained_learned())
+        encode_start = time.perf_counter()
+        self.ensure(frozenset(s_frames[0]), depth)
+        base = self._assumptions(s_frames)
+        names = sorted(s_frames[depth])
+        diffs = [self.diff_lit(n, depth) for n in names]
+        goal = self.sat.scratch_goal([self.encoder.lit(d) for d in diffs])
+        stats.encode_seconds = time.perf_counter() - encode_start
+        stats.build_seconds = stats.encode_seconds
+        result = self.sat.solve(base + [goal])
+        stats.sat_calls = 1
+        stats.solve_seconds = result.seconds
+        stats.conflicts = result.conflicts
+        stats.decisions = result.decisions
+        stats.aig_nodes = self.aig.num_nodes()
+        stats.cnf_vars = self.solver.n_vars
+        if not result.sat:
+            return None
+        values = self.encoder.values(diffs)
+        diff_names = {n for n, v in zip(names, values) if v}
+        return self._package(diff_names, depth, record_trace, stats)
+
+    def _witness(self, diff_names: list[str], base: list[int], depth: int,
+                 record_trace: bool, stats: CheckStats) -> MiterCounterexample:
+        """Solve once more for a concrete model showing the first
+        (alphabetically) diverging variable, and decode it."""
+        target = self.encoder.lit(self.diff_lit(min(diff_names), depth))
+        goal = self.sat.scratch_goal([target])
+        result = self.sat.solve(base + [goal])
+        stats.sat_calls += 1
+        stats.solve_seconds += result.seconds
+        stats.conflicts += result.conflicts
+        stats.decisions += result.decisions
+        assert result.sat, "witness re-solve of a satisfiable diff failed"
+        return self._package(set(diff_names), depth, record_trace, stats)
+
+    def _package(self, diff_names: set[str], depth: int,
+                 record_trace: bool, stats: CheckStats) -> MiterCounterexample:
         trace_a = trace_b = Trace(depth)
         if record_trace:
-            trace_a = self._extract_trace(encoder, ctx["unroller_a"], depth)
-            trace_b = self._extract_trace(encoder, ctx["unroller_b"], depth)
-        victim_page = decode_vec(encoder, ctx["page_vec"])
+            trace_a = decode_unrolled_trace(self.encoder, self.unroller_a, depth)
+            trace_b = decode_unrolled_trace(self.encoder, self.unroller_b, depth)
+        victim_page = decode_vec(self.encoder, self.page_vec)
         return MiterCounterexample(
             diff_names=diff_names,
             frame=depth,
@@ -142,183 +510,69 @@ class UpecMiter:
             stats=stats,
         )
 
-    # -- construction ---------------------------------------------------------------
 
-    def _build(self, s_frames: list[set[str]], depth: int) -> dict:
-        tm = self.tm
-        circuit = self.circuit
-        aig = Aig()
-        victim_fields = set(tm.victim_port.fields())
+class UpecMiter:
+    """Builds and checks UPEC-SSC property instances.
 
-        # Symbolic constants: shared between instances and across frames.
-        stable_vecs = {
-            name: aig.input_vec(f"const:{name}", circuit.inputs[name].width)
-            for name in tm.stable_input_names
-        }
-        page_vec = stable_vecs[tm.victim_page]
+    By default one incremental :class:`MiterSession` is shared by every
+    ``check`` call (Algorithm 1/2 iterations reuse learned clauses and
+    the encoded prefix).  With ``incremental=False`` each check builds a
+    fresh session — the per-iteration-rebuild baseline; both modes
+    return bit-identical results because ``check`` computes the
+    canonical can-diverge closure.
+    """
 
-        # True primary inputs: shared between instances, fresh per frame.
-        shared_inputs: dict[tuple[int, str], list[int]] = {}
+    def __init__(self, threat_model: ThreatModel,
+                 classifier: StateClassifier | None = None,
+                 incremental: bool = True):
+        self.tm = threat_model
+        self.classifier = classifier or StateClassifier(threat_model)
+        self.circuit = threat_model.circuit
+        self.circuit.validate()
+        self.incremental = incremental
+        self._session: MiterSession | None = None
 
-        def make_provider(tag: str):
-            def provider(frame_idx: int, name: str, width: int):
-                if name in stable_vecs:
-                    return stable_vecs[name]
-                if name in victim_fields:
-                    return None  # per-instance fresh (constrained below)
-                key = (frame_idx, name)
-                vec = shared_inputs.get(key)
-                if vec is None:
-                    vec = aig.input_vec(f"{name}@{frame_idx}", width)
-                    shared_inputs[key] = vec
-                return vec
+    # -- public API -------------------------------------------------------------
 
-            return provider
+    def session(self) -> MiterSession:
+        """The persistent session (created on first use).
 
-        # Guard literals for conditionally secret words.
-        guard_blaster = BitBlaster(
-            aig, {("in", tm.victim_page): page_vec}
-        )
-        guard_of: dict[str, int] = {}
+        In non-incremental mode a fresh session is returned per call.
+        """
+        if not self.incremental:
+            return MiterSession(self.tm, self.classifier)
+        if self._session is None:
+            self._session = MiterSession(self.tm, self.classifier)
+        return self._session
 
-        def guard_lit(name: str) -> int:
-            lit = guard_of.get(name)
-            if lit is None:
-                info = self.classifier.conditional_guard_info(name)
-                assert info is not None
-                array, index = info
-                lit = guard_blaster.bit(tm.word_is_secret(array, index))
-                guard_of[name] = lit
-            return lit
+    def build(self, s_frames: list[set[str]],
+              depth: int | None = None) -> MiterSession:
+        """Construct (or extend) the miter encoding for ``s_frames``.
 
-        # Initial (cycle t) state binding implementing State_Equivalence(S[0]).
-        init_a: dict[str, list[int]] = {}
-        init_b: dict[str, list[int]] = {}
-        s0 = s_frames[0]
-        for name, info in circuit.regs.items():
-            if name not in s0:
-                continue  # both instances get independent fresh vectors
-            if self.classifier.conditional_guard_info(name) is None:
-                shared = aig.input_vec(f"S:{name}@0", info.width)
-                init_a[name] = shared
-                init_b[name] = shared
-            else:
-                vec_a = aig.input_vec(f"A:{name}@0", info.width)
-                fresh_b = aig.input_vec(f"B:{name}@0", info.width)
-                init_a[name] = vec_a
-                init_b[name] = aig.mux_vec(guard_lit(name), fresh_b, vec_a)
+        Public replacement for the old private ``_build``: returns the
+        session with frame-0 binding ``s_frames[0]`` unrolled through
+        ``depth`` (default ``len(s_frames) - 1``), without solving.
+        """
+        if depth is None:
+            if len(s_frames) < 2:
+                raise ValueError("need at least [S@t, S@t+1]")
+            depth = len(s_frames) - 1
+        session = self.session()
+        session.ensure(frozenset(s_frames[0]), depth)
+        return session
 
-        unroller_a = Unroller(circuit, aig, prefix="A", input_provider=make_provider("A"))
-        unroller_b = Unroller(circuit, aig, prefix="B", input_provider=make_provider("B"))
-        unroller_a.begin(init_a)
-        unroller_b.begin(init_b)
-        unroller_a.unroll(depth)
-        unroller_b.unroll(depth)
-
-        solver = Solver()
-        encoder = CnfEncoder(aig, solver)
-
-        # Victim_Task_Executing(): divergence only through protected accesses,
-        # and only during t..t+1; equal interfaces afterwards.
-        for f in range(depth + 1):
-            constraint = self._victim_constraint(
-                aig, unroller_a, unroller_b, page_vec, f, free_window=f <= 1
-            )
-            encoder.assume_true(constraint)
-
-        # Threat-model isolation + firmware constraints, each frame & instance.
-        per_frame_exprs = (
-            tm.spy_isolation_constraints() + list(tm.firmware_constraints)
-        )
-        for unroller in (unroller_a, unroller_b):
-            for f in range(depth + 1):
-                for expr in per_frame_exprs:
-                    encoder.assume_true(unroller.bit_at(f, expr))
-            for expr in tm.invariants:
-                encoder.assume_true(unroller.bit_at(0, expr))
-        if tm.victim_page_constraint is not None:
-            encoder.assume_true(unroller_a.bit_at(0, tm.victim_page_constraint))
-
-        # Intermediate State_Equivalence(S[i]) assumptions (Alg. 2 stages
-        # 1..k-1 were proven in earlier unrollings, so they may be assumed).
-        for f in range(1, depth):
-            for name in s_frames[f]:
-                encoder.assume_true(
-                    self._equal_lit(aig, unroller_a, unroller_b, name, f, guard_lit)
-                )
-
-        # Proof obligation: State_Equivalence(S[k]) at t+k; the violation
-        # goal is "some variable in S[k] differs (and is not victim memory)".
-        diff_lits: dict[str, int] = {}
-        for name in s_frames[depth]:
-            equal = self._equal_lit(aig, unroller_a, unroller_b, name, depth, guard_lit)
-            diff_lits[name] = equal ^ 1
-        encoder.assume_true(aig.or_many(diff_lits.values()))
-
-        return {
-            "aig": aig,
-            "solver": solver,
-            "encoder": encoder,
-            "unroller_a": unroller_a,
-            "unroller_b": unroller_b,
-            "diff_lits": diff_lits,
-            "page_vec": page_vec,
-        }
-
-    def _victim_constraint(
+    def check(
         self,
-        aig: Aig,
-        unroller_a: Unroller,
-        unroller_b: Unroller,
-        page_vec: list[int],
-        frame: int,
-        free_window: bool,
-    ) -> int:
-        tm = self.tm
-        port = tm.victim_port
-        fa = unroller_a.frame(frame).inputs
-        fb = unroller_b.frame(frame).inputs
-        all_equal = aig.and_many(
-            aig.equal_vec(fa[name], fb[name]) for name in port.fields()
-        )
-        if not free_window:
-            return all_equal
-        page_bits = tm.page_bits
+        s_frames: list[set[str]],
+        record_trace: bool = True,
+    ) -> MiterCounterexample | None:
+        """Canonical closure check; see :meth:`MiterSession.check`."""
+        return self.session().check(s_frames, record_trace=record_trace)
 
-        def nonprot(frame_inputs: dict[str, list[int]]) -> int:
-            valid = frame_inputs[port.valid][0]
-            addr = frame_inputs[port.addr]
-            in_page = aig.equal_vec(addr[page_bits:], page_vec)
-            return aig.and_(valid, in_page ^ 1)
-
-        either_nonprot = aig.or_(nonprot(fa), nonprot(fb))
-        return aig.implies_(either_nonprot, all_equal)
-
-    def _equal_lit(
+    def probe(
         self,
-        aig: Aig,
-        unroller_a: Unroller,
-        unroller_b: Unroller,
-        name: str,
-        frame: int,
-        guard_lit,
-    ) -> int:
-        vec_a = unroller_a.frame(frame).regs[name]
-        vec_b = unroller_b.frame(frame).regs[name]
-        equal = aig.equal_vec(vec_a, vec_b)
-        if self.classifier.conditional_guard_info(name) is not None:
-            # Victim-range words are allowed to differ: equality is only
-            # required when the word lies outside the protected page.
-            equal = aig.or_(guard_lit(name), equal)
-        return equal
-
-    def _extract_trace(
-        self, encoder: CnfEncoder, unroller: Unroller, depth: int
-    ) -> Trace:
-        trace = Trace(depth)
-        for t in range(depth + 1):
-            frame = unroller.frame(t)
-            for table in (frame.regs, frame.inputs, frame.nets):
-                for name, vec in table.items():
-                    trace.record(t, name, decode_vec(encoder, vec))
-        return trace
+        s_frames: list[set[str]],
+        record_trace: bool = False,
+    ) -> MiterCounterexample | None:
+        """Single-solve cost probe; see :meth:`MiterSession.probe`."""
+        return self.session().probe(s_frames, record_trace=record_trace)

@@ -17,18 +17,25 @@ __all__ = ["format_iterations", "format_counterexample", "format_result"]
 
 
 def format_iterations(iterations: list[IterationRecord]) -> str:
-    """Render the Algorithm 1/2 iteration history as a text table."""
+    """Render the Algorithm 1/2 iteration history as a text table.
+
+    ``encode[s]`` vs ``solve[s]`` separates AIG/CNF construction from
+    SAT search; ``reuse`` is the learned-clause pool retained from
+    earlier checks of the same incremental session (0 = cold solver).
+    """
     header = (
         f"{'iter':>4} {'k':>2} {'|S|':>6} {'#diff':>6} {'removed':>8} "
-        f"{'pers-hit':>8} {'solve[s]':>9} {'conflicts':>9}"
+        f"{'pers-hit':>8} {'encode[s]':>9} {'solve[s]':>9} {'calls':>5} "
+        f"{'conflicts':>9} {'reuse':>6}"
     )
     lines = [header, "-" * len(header)]
     for rec in iterations:
         lines.append(
             f"{rec.index:>4} {rec.unroll_depth:>2} {rec.s_size:>6} "
             f"{len(rec.diff_names):>6} {len(rec.removed):>8} "
-            f"{len(rec.persistent_hits):>8} {rec.stats.solve_seconds:>9.3f} "
-            f"{rec.stats.conflicts:>9}"
+            f"{len(rec.persistent_hits):>8} {rec.stats.encode_seconds:>9.3f} "
+            f"{rec.stats.solve_seconds:>9.3f} {rec.stats.sat_calls:>5} "
+            f"{rec.stats.conflicts:>9} {rec.stats.learned_kept:>6}"
         )
     return "\n".join(lines)
 
@@ -71,6 +78,16 @@ def format_result(
         lines.append(f"unrolled depth reached: k = {result.reached_depth}")
     lines.append("")
     lines.append(format_iterations(result.iterations))
+    stats = [rec.stats for rec in result.iterations]
+    if stats:
+        encode = sum(s.encode_seconds for s in stats)
+        solve = sum(s.solve_seconds for s in stats)
+        reused = max(s.learned_kept for s in stats)
+        lines.append(
+            f"totals: encode {encode:.3f} s, solve {solve:.3f} s, "
+            f"{sum(s.sat_calls for s in stats)} solver calls, "
+            f"up to {reused} learned clauses reused across checks"
+        )
     if result.leaking:
         lines.append("")
         lines.append("persistent state reached by victim-dependent information:")

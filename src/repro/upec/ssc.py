@@ -13,6 +13,15 @@ equal between the two miter instances:
 5. otherwise remove ``S_cex`` from ``S`` (those variables may carry
    victim information, but cannot hold it across a context switch) and
    repeat.
+
+The whole loop drives **one** incremental
+:class:`~repro.upec.miter.MiterSession`: the miter is encoded once,
+every iteration is a ``solve(assumptions)`` call reusing the learned
+clauses of its predecessors, and ``check`` returns the canonical
+can-diverge closure, so the loop removes *every* divergence-capable
+transient variable per iteration and converges in a handful of steps.
+The trajectory (verdict, ``final_s``, leaking set) is identical to a
+per-iteration rebuild (``incremental=False``) by construction.
 """
 
 from __future__ import annotations
@@ -65,6 +74,10 @@ class SscResult:
         """Aggregate SAT time across all iterations."""
         return sum(r.stats.solve_seconds for r in self.iterations)
 
+    def total_encode_seconds(self) -> float:
+        """Aggregate AIG/CNF encoding time across all iterations."""
+        return sum(r.stats.encode_seconds for r in self.iterations)
+
 
 def upec_ssc(
     threat_model: ThreatModel,
@@ -72,6 +85,8 @@ def upec_ssc(
     initial_s: set[str] | None = None,
     max_iterations: int = 1000,
     record_trace: bool = True,
+    incremental: bool = True,
+    miter: UpecMiter | None = None,
 ) -> SscResult:
     """Run Algorithm 1 on a design.
 
@@ -84,13 +99,20 @@ def upec_ssc(
             ``S`` shrinks strictly in every non-terminal iteration.
         record_trace: decode full counterexample traces (disable to save
             time in sweeps).
+        incremental: drive one persistent miter session (default); with
+            False every iteration rebuilds from scratch — the ablation
+            baseline, bit-identical in results but slower.
+        miter: reuse an existing miter/session (Algorithm 2 passes its
+            own so the final inductive proof keeps the learned clauses).
 
     Returns:
         The verdict with per-iteration statistics; on ``vulnerable`` the
         counterexample and the leaking persistent variables are included.
     """
-    classifier = classifier or StateClassifier(threat_model)
-    miter = UpecMiter(threat_model, classifier)
+    classifier = classifier or (miter.classifier if miter is not None
+                                else StateClassifier(threat_model))
+    if miter is None:
+        miter = UpecMiter(threat_model, classifier, incremental=incremental)
     s = set(initial_s) if initial_s is not None else classifier.s_not_victim()
     iterations: list[IterationRecord] = []
     for index in range(1, max_iterations + 1):

@@ -10,6 +10,12 @@ delayed HWPE access of the new BUSted variant (k = 2, Sec. 4.1).
 Termination of the unrolling returns ``hold`` — *not* ``secure``: a
 final inductive proof (Algorithm 1 seeded with ``S[k]``) is still
 required, because influence could resume at a later cycle.
+
+The whole procedure — every iteration at every depth ``k``, plus the
+final inductive Algorithm 1 run — drives **one** incremental
+:class:`~repro.upec.miter.MiterSession`: deepening the unrolling
+extends the encoded prefix in place and each iteration is a
+``solve(assumptions)`` call reusing all previously learned clauses.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ def upec_ssc_unrolled(
     max_iterations: int = 1000,
     inductive_final: bool = True,
     record_trace: bool = True,
+    incremental: bool = True,
 ) -> UnrolledResult:
     """Run Algorithm 2 on a design.
 
@@ -64,6 +71,8 @@ def upec_ssc_unrolled(
             ``S <- S[k]`` to upgrade the verdict to ``secure`` (the
             paper's required "additional inductive proof").
         record_trace: decode full counterexample traces.
+        incremental: share one miter session across all depths and the
+            final inductive proof (default); False rebuilds per check.
 
     Returns:
         Verdict plus the evolved ``S[]`` vector and per-iteration records;
@@ -71,7 +80,7 @@ def upec_ssc_unrolled(
         signal explicitly.
     """
     classifier = classifier or StateClassifier(threat_model)
-    miter = UpecMiter(threat_model, classifier)
+    miter = UpecMiter(threat_model, classifier, incremental=incremental)
     s_not_victim = classifier.s_not_victim()
     s_frames: list[set[str]] = [set(s_not_victim), set(s_not_victim)]
     k = 1
@@ -88,6 +97,7 @@ def upec_ssc_unrolled(
                         classifier,
                         initial_s=set(s_frames[k]),
                         record_trace=record_trace,
+                        miter=miter,
                     )
                     verdict = inductive.verdict
                     if inductive.vulnerable:

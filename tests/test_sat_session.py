@@ -1,0 +1,114 @@
+"""Tests for named activation literals and incremental sessions."""
+
+import pytest
+
+from repro.sat import IncrementalSession, Solver
+
+
+def test_activation_literal_registry():
+    solver = Solver()
+    a = solver.activation("grp")
+    assert solver.activation("grp") == a  # stable per name
+    assert solver.activation(("other", 1)) != a
+    assert solver.has_activation("grp")
+    assert not solver.has_activation("missing")
+
+
+def test_guarded_clause_enabled_by_assumption():
+    solver = Solver()
+    x = solver.new_var()
+    act = solver.add_guarded("force-x", [x])
+    # Without the assumption the guard is free: !x is satisfiable.
+    assert solver.solve([-x]) is True
+    # Under the activation the guarded unit fires.
+    assert solver.solve([act]) is True
+    assert solver.value(x) is True
+    assert solver.solve([act, -x]) is False
+    # The group can be switched off again afterwards.
+    assert solver.solve([-x]) is True
+
+
+def test_guarded_groups_are_independent():
+    solver = Solver()
+    x, y = solver.new_var(), solver.new_var()
+    ax = solver.add_guarded("x", [x])
+    ay = solver.add_guarded("y", [y])
+    assert solver.solve([ax, -y]) is True
+    assert solver.solve([ay, -x]) is True
+    assert solver.solve([ax, ay]) is True
+    assert solver.value(x) and solver.value(y)
+
+
+def test_session_scratch_goals_are_one_shot():
+    session = IncrementalSession()
+    solver = session.solver
+    x = solver.new_var()
+    g1 = session.scratch_goal([x])
+    g2 = session.scratch_goal([-x])
+    assert g1 != g2
+    assert session.solve([g1]).sat and session.value(x)
+    assert session.solve([g2]).sat and not session.value(x)
+    assert not session.solve([g1, g2]).sat
+
+
+def test_assert_under_installs_once():
+    session = IncrementalSession()
+    x = session.solver.new_var()
+    a1 = session.assert_under(("eq", 7), x)
+    clauses_before = session.solver._clause_count()
+    a2 = session.assert_under(("eq", 7), x)
+    assert a1 == a2
+    assert session.solver._clause_count() == clauses_before
+
+
+def test_solve_stats_deltas_and_retention():
+    session = IncrementalSession()
+    solver = session.solver
+
+    def var(p, h, holes=4):
+        return p * holes + h + 1
+
+    # PHP(5,4): UNSAT, forces real conflict work.
+    pigeons, holes = 5, 4
+    for p in range(pigeons):
+        session.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                session.add_clauses([[-var(p1, h), -var(p2, h)]])
+    first = session.solve()
+    assert not first.sat
+    assert first.conflicts > 0
+    assert first.seconds >= 0.0
+    assert first.retained_learned == 0  # cold start
+    assert session.solve_calls == 1
+
+
+def test_retained_learned_grows_across_calls():
+    session = IncrementalSession()
+    solver = session.solver
+    n = 12
+    vars_ = [solver.new_var() for _ in range(n)]
+    # Random-ish xor-like chains that require search but stay SAT.
+    for i in range(n - 2):
+        session.add_clause([vars_[i], vars_[i + 1], vars_[i + 2]])
+        session.add_clause([-vars_[i], -vars_[i + 1], vars_[i + 2]])
+    g = session.scratch_goal([vars_[0]])
+    first = session.solve([g])
+    assert first.sat
+    second = session.solve([session.scratch_goal([-vars_[0]])])
+    assert second.sat
+    # The pool metric reflects whatever the first call learned.
+    assert second.retained_learned == solver.retained_learned() >= 0
+
+
+def test_solve_stats_bool_and_add():
+    from repro.sat.session import SolveStats
+
+    total = SolveStats()
+    total.add(SolveStats(sat=True, seconds=0.5, conflicts=3, retained_learned=7))
+    total.add(SolveStats(sat=False, seconds=0.25, conflicts=2, retained_learned=4))
+    assert not total  # latest outcome
+    assert total.seconds == pytest.approx(0.75)
+    assert total.conflicts == 5
+    assert total.retained_learned == 7

@@ -1,0 +1,321 @@
+"""Semantics anchor: incremental sessions == from-scratch rebuilds.
+
+The incremental miter session reuses one AIG/CNF/solver across every
+Algorithm 1/2 iteration; the rebuild mode constructs everything fresh
+per check.  Because ``check`` returns the canonical can-diverge closure
+(a satisfiability property, independent of solver state), both modes
+must return **identical** verdicts, iteration trajectories, ``final_s``
+and leaking sets — on the hand-built toys and on random small circuits.
+Same spirit as the interpret-vs-compile simulator cross-check.
+"""
+
+import random
+
+import pytest
+
+from repro.rtl import Circuit, const, mux
+from repro.upec import (
+    MiterSession,
+    StateClassifier,
+    ThreatModel,
+    UpecMiter,
+    VictimPort,
+    upec_ssc,
+    upec_ssc_unrolled,
+)
+
+ADDR_W = 4
+PAGE_BITS = 2
+
+
+def base_circuit(name: str) -> tuple[Circuit, dict]:
+    c = Circuit(name)
+    sig = {
+        "v_valid": c.add_input("v_valid", 1),
+        "v_addr": c.add_input("v_addr", ADDR_W),
+        "v_we": c.add_input("v_we", 1),
+        "v_wdata": c.add_input("v_wdata", 4),
+        "page": c.add_input("victim_page", ADDR_W - PAGE_BITS),
+        "noise": c.add_input("noise", 4),
+    }
+    return c, sig
+
+
+def make_tm(c: Circuit, **kwargs) -> ThreatModel:
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=PAGE_BITS,
+        **kwargs,
+    )
+
+
+def both_modes(tm, algorithm="ssc", **kwargs):
+    if algorithm == "ssc":
+        run = upec_ssc
+    else:
+        run = upec_ssc_unrolled
+    incremental = run(tm, incremental=True, **kwargs)
+    rebuild = run(tm, incremental=False, **kwargs)
+    return incremental, rebuild
+
+
+def assert_identical(incremental, rebuild):
+    assert incremental.verdict == rebuild.verdict
+    assert incremental.leaking == rebuild.leaking
+    assert getattr(incremental, "final_s", None) == \
+        getattr(rebuild, "final_s", None)
+    assert len(incremental.iterations) == len(rebuild.iterations)
+    for a, b in zip(incremental.iterations, rebuild.iterations):
+        assert a.diff_names == b.diff_names
+        assert a.removed == b.removed
+        assert a.persistent_hits == b.persistent_hits
+        assert a.s_size == b.s_size
+        assert a.unroll_depth == b.unroll_depth
+
+
+# ---------------------------------------------------------------------------
+# Hand-built toys
+# ---------------------------------------------------------------------------
+
+
+def toy_chain():
+    # Transient buffer feeding a persistent accumulator: two iterations.
+    c, sig = base_circuit("chain")
+    soc = c.scope("soc")
+    buf = soc.child("xbar").reg("addr_buf", ADDR_W, kind="interconnect")
+    c.set_next(buf, mux(sig["v_valid"], sig["v_addr"], buf))
+    acc = soc.child("dma").reg("acc", ADDR_W, kind="ip")
+    c.set_next(acc, acc ^ buf)
+    return make_tm(c)
+
+
+def toy_fanout():
+    # One injection point feeding several transient stages and two
+    # persistent sinks with different latencies.
+    c, sig = base_circuit("fanout")
+    soc = c.scope("soc")
+    d1 = soc.child("pipe").reg("d1", 1, kind="interconnect")
+    d2 = soc.child("pipe").reg("d2", 1, kind="interconnect")
+    c.set_next(d1, sig["v_valid"])
+    c.set_next(d2, d1)
+    fast = soc.child("ipa").reg("fast", 4, kind="ip")
+    c.set_next(fast, mux(d1, fast + 1, fast))
+    slow = soc.child("ipb").reg("slow", 4, kind="ip")
+    c.set_next(slow, mux(d2, slow ^ 5, slow))
+    return make_tm(c)
+
+
+def toy_secure():
+    # Independent state only: secure after peeling the skid buffer.
+    c, sig = base_circuit("secure")
+    soc = c.scope("soc")
+    buf = soc.child("xbar").reg("buf", ADDR_W, kind="interconnect")
+    c.set_next(buf, mux(sig["v_valid"], sig["v_addr"], buf))
+    tick = soc.child("timer").reg("tick", 4, kind="ip")
+    c.set_next(tick, tick + 1)
+    echo = soc.child("io").reg("echo", 4, kind="ip")
+    c.set_next(echo, sig["noise"])
+    return make_tm(c)
+
+
+@pytest.mark.parametrize("factory", [toy_chain, toy_fanout, toy_secure])
+def test_toys_identical_across_modes(factory):
+    incremental, rebuild = both_modes(factory())
+    assert_identical(incremental, rebuild)
+
+
+@pytest.mark.parametrize("factory", [toy_chain, toy_fanout, toy_secure])
+def test_toys_identical_across_modes_unrolled(factory):
+    incremental, rebuild = both_modes(factory(), algorithm="unrolled",
+                                      max_depth=3)
+    assert_identical(incremental, rebuild)
+    assert incremental.reached_depth == rebuild.reached_depth
+
+
+# ---------------------------------------------------------------------------
+# Random small circuits
+# ---------------------------------------------------------------------------
+
+
+def random_circuit(seed: int):
+    rng = random.Random(seed)
+    c, sig = base_circuit(f"rand{seed}")
+    soc = c.scope("soc")
+    n_regs = rng.randint(2, 4)
+    regs = []
+    for i in range(n_regs):
+        kind = rng.choice(["ip", "interconnect"])
+        owner = soc.child(f"u{i}")
+        regs.append(owner.reg(f"r{i}", 4, kind=kind))
+    taps = [sig["v_addr"], sig["v_wdata"], sig["noise"]]
+    bits = [sig["v_valid"], sig["v_we"]]
+    for reg in regs:
+        kind_roll = rng.randrange(5)
+        other = rng.choice(regs)
+        word = rng.choice(taps + regs)
+        bit = rng.choice(bits + [reg[0], other[rng.randrange(4)]])
+        if kind_roll == 0:
+            nxt = reg + 1
+        elif kind_roll == 1:
+            nxt = reg ^ other
+        elif kind_roll == 2:
+            nxt = mux(bit, word, reg)
+        elif kind_roll == 3:
+            nxt = mux(bit, reg + 1, reg)
+        else:
+            nxt = (reg & other) | (word ^ const(rng.randrange(16), 4))
+        c.set_next(reg, nxt)
+    return make_tm(c)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_circuits_identical_across_modes(seed):
+    tm = random_circuit(seed)
+    incremental, rebuild = both_modes(tm)
+    assert_identical(incremental, rebuild)
+
+
+# ---------------------------------------------------------------------------
+# Session mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_session_is_shared_across_checks():
+    tm = toy_chain()
+    miter = UpecMiter(tm)
+    first = miter.session()
+    assert miter.session() is first
+    result = upec_ssc(tm, miter=miter)
+    assert result.vulnerable
+    # All iterations ran on the one persistent session.
+    assert miter.session() is first
+
+
+def test_rebuild_mode_returns_fresh_sessions():
+    tm = toy_chain()
+    miter = UpecMiter(tm, incremental=False)
+    assert miter.session() is not miter.session()
+
+
+def test_session_reuses_learned_clauses():
+    # The arbitration toy forces real conflict work; a follow-up check
+    # on the same session must start with the retained clause pool.
+    c, sig = base_circuit("contend")
+    soc = c.scope("soc")
+    from repro.rtl import cat
+
+    ptr = soc.child("dma").reg("ptr", 3, kind="ip")
+    enabled = soc.child("dma").reg("enabled", 1, kind="ip")
+    c.set_next(enabled, enabled)
+    grant = enabled & ~sig["v_valid"]
+    c.set_next(ptr, mux(grant, ptr + 1, ptr))
+    mixer = soc.child("alu").reg("mix", 4, kind="ip")
+    c.set_next(mixer, (mixer + cat(const(0, 1), ptr)) ^ sig["noise"])
+    tm = make_tm(c)
+    miter = UpecMiter(tm)
+    classifier = miter.classifier
+    s = classifier.s_not_victim()
+    first = miter.check([s, s])
+    assert first is not None
+    if miter.session().solver.retained_learned() == 0:
+        pytest.skip("design solved by propagation alone")
+    second = miter.check([s, s])
+    assert second.stats.learned_kept > 0
+
+
+def test_session_extends_depth_in_place():
+    tm = toy_fanout()
+    classifier = StateClassifier(tm)
+    session = MiterSession(tm, classifier)
+    s = classifier.s_not_victim()
+    assert session.check([s, s]) is not None
+    nodes_d1 = session.aig.num_nodes()
+    epochs_d1 = session.epochs
+    # Deepening extends the same AIG; no rebind of instance B happens
+    # while the frame-0 set is unchanged.
+    assert session.check([s, s, s]) is not None
+    assert session.aig.num_nodes() > nodes_d1
+    assert session.epochs == epochs_d1
+
+
+def test_check_stats_split_encode_vs_solve():
+    tm = toy_chain()
+    result = upec_ssc(tm)
+    rec = result.iterations[0]
+    assert rec.stats.encode_seconds >= 0.0
+    assert rec.stats.solve_seconds > 0.0
+    assert rec.stats.sat_calls >= 2  # closure = at least SAT + exhaustion
+    assert rec.stats.build_seconds == rec.stats.encode_seconds
+
+
+def spy_toy():
+    # A spy master port whose valid/addr nets are register functions:
+    # the spy-isolation assumption then has state in its cone, which is
+    # what makes constraint scoping (per frame, per epoch) observable.
+    c, sig = base_circuit("spytoy")
+    soc = c.scope("soc")
+    from repro.rtl import RegisterFileMemory, cat, const
+
+    mem = RegisterFileMemory(soc, "ram", 16, 4, accessible=True)
+    buf = soc.child("xbar").reg("buf", 1, kind="interconnect")
+    c.set_next(buf, sig["v_valid"])
+    ptr = soc.child("dma").reg("ptr", 2, kind="ip")
+    c.set_next(ptr, mux(buf, ptr + 1, ptr))
+    c.add_net("soc.dma.req_valid", buf)
+    c.add_net("soc.dma.req_addr", cat(const(0, 2), ptr))
+    mem.write(buf, cat(const(0, 2), ptr), cat(const(0, 2), ptr))
+    return make_tm(
+        c,
+        secret_arrays={"soc.ram": 0},
+        spy_master_ports=[("soc.dma.req_valid", "soc.dma.req_addr")],
+    )
+
+
+def test_deeper_session_does_not_leak_constraints_into_shallow_checks():
+    # A depth-2 check must not leave frame-2 constraints (victim-interface
+    # equality, spy isolation) active for a later depth-1 check on the
+    # same session: the shallow result must match a fresh session's.
+    tm = spy_toy()
+    classifier = StateClassifier(tm)
+    shared = MiterSession(tm, classifier)
+    s = classifier.s_not_victim()
+    shared.check([s, s, s], record_trace=False)  # deepen to k=2 first
+    deep_then_shallow = shared.check([s, s], record_trace=False)
+    fresh = MiterSession(tm, classifier).check([s, s], record_trace=False)
+    assert (deep_then_shallow is None) == (fresh is None)
+    if fresh is not None:
+        assert deep_then_shallow.diff_names == fresh.diff_names
+
+
+def test_rebound_session_does_not_keep_stale_epoch_constraints():
+    # After S shrinks, the previous instance-B binding's isolation and
+    # invariant clauses must not constrain the new encoding: the check
+    # at the shrunk S must match a fresh session's.
+    tm = spy_toy()
+    classifier = StateClassifier(tm)
+    shared = MiterSession(tm, classifier)
+    s = classifier.s_not_victim()
+    first = shared.check([s, s], record_trace=False)
+    assert first is not None
+    shrunk = s - first.diff_names
+    rebound = shared.check([shrunk, shrunk], record_trace=False)
+    fresh = MiterSession(tm, classifier).check(
+        [shrunk, shrunk], record_trace=False)
+    assert (rebound is None) == (fresh is None)
+    if fresh is not None:
+        assert rebound.diff_names == fresh.diff_names
+    assert shared.epochs == 2
+
+
+def test_public_build_exposes_encoding():
+    tm = toy_chain()
+    classifier = StateClassifier(tm)
+    miter = UpecMiter(tm, classifier)
+    s = classifier.s_not_victim()
+    session = miter.build([s, s])
+    assert session.aig.num_nodes() > 0
+    assert session.depth == 1
+    # build() is idempotent and extends on demand.
+    assert miter.build([s, s, s]).depth == 2
