@@ -18,11 +18,12 @@ Four knobs the paper's sections motivate:
 import time
 
 from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc
+from repro.campaign.grids import paper_variant
 from repro.upec import UpecMiter
 
 
 def test_e10a_invariants_ablation(once, emit):
-    soc = build_soc(FORMAL_TINY.replace(secure=True))
+    soc = build_soc(paper_variant("secured"))
     tm = soc.threat_model
     with_inv = once(upec_ssc, tm)
     saved = list(tm.invariants)
@@ -46,7 +47,7 @@ def test_e10a_invariants_ablation(once, emit):
 
 
 def test_e10b_unroll_depth_cost(once, emit):
-    soc = build_soc(FORMAL_TINY)
+    soc = build_soc(paper_variant("baseline"))
     classifier = StateClassifier(soc.threat_model)
     s = classifier.s_not_victim()
 
@@ -86,8 +87,8 @@ def test_e10b_unroll_depth_cost(once, emit):
 
 
 def test_e10d_incremental_ablation(once, emit):
-    soc_inc = build_soc(FORMAL_TINY.replace(secure=True))
-    soc_reb = build_soc(FORMAL_TINY.replace(secure=True))
+    soc_inc = build_soc(paper_variant("secured"))
+    soc_reb = build_soc(paper_variant("secured"))
 
     def run_both():
         start = time.perf_counter()

@@ -7,12 +7,13 @@ device words).  Reported: verdict, iteration history, per-iteration
 solver cost (the paper reports sub-minute iterations on OneSpin).
 """
 
-from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc
+from repro import StateClassifier, build_soc, upec_ssc
+from repro.campaign.grids import paper_variant
 from repro.upec.report import format_iterations
 
 
 def test_e3_alg1_vulnerable(once, emit):
-    soc = build_soc(FORMAL_TINY)
+    soc = build_soc(paper_variant("baseline"))
     classifier = StateClassifier(soc.threat_model)
     result = once(upec_ssc, soc.threat_model, classifier=classifier)
     leak_lines = "\n".join(

@@ -7,12 +7,13 @@ the explicit multi-cycle counterexample and report the unrolling depth
 and iteration costs.
 """
 
-from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc_unrolled
+from repro import StateClassifier, build_soc, upec_ssc_unrolled
+from repro.campaign.grids import paper_variant
 from repro.upec.report import format_counterexample, format_iterations
 
 
 def test_e4_alg2_unrolled(once, emit):
-    soc = build_soc(FORMAL_TINY)
+    soc = build_soc(paper_variant("baseline"))
     classifier = StateClassifier(soc.threat_model)
     result = once(
         upec_ssc_unrolled, soc.threat_model, classifier=classifier,

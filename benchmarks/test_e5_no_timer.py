@@ -10,17 +10,18 @@ vulnerable by UPEC-SSC and (b) still empirically leaky in simulation
 via the HWPE's overwrite progress.
 """
 
-from repro import ATTACK_DEMO, FORMAL_TINY, build_soc, upec_ssc
+from repro import ATTACK_DEMO, build_soc, upec_ssc
 from repro.attacks import analyze_channel, hwpe_attack_sweep
+from repro.campaign.grids import paper_variant
 
 
 def test_e5_no_timer(once, emit):
     # Formal side: remove the timer IP entirely.
-    formal_soc = build_soc(FORMAL_TINY.replace(include_timer=False))
+    formal_soc = build_soc(paper_variant("no_timer"))
     result = once(upec_ssc, formal_soc.threat_model)
 
     # Empirical side: the HWPE attack on a timer-less SoC.
-    demo_soc = build_soc(ATTACK_DEMO.replace(include_timer=False))
+    demo_soc = build_soc(paper_variant("no_timer", base=ATTACK_DEMO))
     report = analyze_channel(
         hwpe_attack_sweep(demo_soc, max_accesses=16, recording_cycles=60)
     )

@@ -13,13 +13,14 @@ buffers from S.  Absolute runtimes are not comparable (pure-Python SAT
 vs OneSpin, scaled design) and are reported as measured.
 """
 
-from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc
+from repro import StateClassifier, build_soc, upec_ssc
+from repro.campaign.grids import paper_variant
 from repro.soc.invariants import verify_soc_invariants
 from repro.upec.report import format_iterations
 
 
 def test_e6_countermeasure(once, emit):
-    soc = build_soc(FORMAL_TINY.replace(secure=True))
+    soc = build_soc(paper_variant("secured"))
     invariants = verify_soc_invariants(soc)
     classifier = StateClassifier(soc.threat_model)
     result = once(upec_ssc, soc.threat_model, classifier=classifier)

@@ -11,7 +11,8 @@ UPEC-SSC separates the designs.
 
 import time
 
-from repro import FORMAL_TINY, build_soc, upec_ssc
+from repro import build_soc, upec_ssc
+from repro.campaign.grids import paper_variant
 from repro.ift import bounded_ift_check
 
 
@@ -21,8 +22,8 @@ def test_e8_ift_baseline(once, emit):
 
     def run_all():
         for label, cfg in (
-            ("vulnerable", FORMAL_TINY),
-            ("secured", FORMAL_TINY.replace(secure=True)),
+            ("vulnerable", paper_variant("baseline")),
+            ("secured", paper_variant("secured")),
         ):
             soc = build_soc(cfg)
             region = "priv_ram" if cfg.secure else "pub_ram"

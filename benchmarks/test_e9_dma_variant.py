@@ -6,15 +6,16 @@ Bognar et al. and the Fig. 1 example), and UPEC-SSC still detects it.
 Empirically, the DMA+timer attack confirms the channel in simulation.
 """
 
-from repro import ATTACK_DEMO, FORMAL_TINY, build_soc, upec_ssc
+from repro import ATTACK_DEMO, build_soc, upec_ssc
 from repro.attacks import analyze_channel, dma_timer_attack_sweep
+from repro.campaign.grids import paper_variant
 
 
 def test_e9_dma_variant(once, emit):
-    formal_soc = build_soc(FORMAL_TINY.replace(include_hwpe=False))
+    formal_soc = build_soc(paper_variant("no_hwpe"))
     result = once(upec_ssc, formal_soc.threat_model)
 
-    demo_soc = build_soc(ATTACK_DEMO.replace(include_hwpe=False))
+    demo_soc = build_soc(paper_variant("no_hwpe", base=ATTACK_DEMO))
     report = analyze_channel(
         dma_timer_attack_sweep(demo_soc, max_accesses=8, recording_cycles=96)
     )

@@ -28,6 +28,7 @@ Quickstart::
     assert upec_ssc(fixed.threat_model).secure
 """
 
+from .campaign import CampaignSpec, paper_spec, run_campaign
 from .soc import (
     ATTACK_DEMO,
     FORMAL_SMALL,
@@ -35,6 +36,8 @@ from .soc import (
     SIM_DEFAULT,
     SocConfig,
     build_soc,
+    expand_variants,
+    named_config,
 )
 from .upec import (
     SscResult,
@@ -47,7 +50,7 @@ from .upec import (
     upec_ssc_unrolled,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ATTACK_DEMO",
@@ -56,6 +59,11 @@ __all__ = [
     "SIM_DEFAULT",
     "SocConfig",
     "build_soc",
+    "expand_variants",
+    "named_config",
+    "CampaignSpec",
+    "paper_spec",
+    "run_campaign",
     "SscResult",
     "StateClassifier",
     "ThreatModel",

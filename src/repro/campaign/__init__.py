@@ -1,0 +1,49 @@
+"""Declarative parallel verification campaigns.
+
+The paper's workflow is a *campaign*: Algorithm 1/2 verdicts across SoC
+design variants, threat models and unrolling depths.  This subsystem
+makes that loop declarative and parallel:
+
+* :class:`CampaignSpec` — a JSON-serializable grid of jobs
+  (variants × threat models × algorithms × depths);
+* :class:`Job` / :class:`JobResult` — serializable work units and
+  outcomes (worker IPC and the campaign JSON artifact);
+* :func:`run_campaign` — serial or multi-process execution with
+  deterministic hint sharing, per-job timeouts and result streaming;
+* :mod:`repro.campaign.grids` — the paper's experiment grid, defined
+  once for benchmarks, examples and spec files;
+* ``python -m repro.campaign <spec.json>`` — run a spec file end to
+  end, emitting the text verdict matrix and a JSON artifact.
+"""
+
+from .grids import (
+    PAPER_VARIANT_LABELS,
+    PAPER_VARIANTS,
+    paper_spec,
+    paper_variant,
+    smoke_spec,
+)
+from .runner import (
+    CampaignResult,
+    JobResult,
+    register_builder,
+    run_campaign,
+    run_job,
+)
+from .spec import ALGORITHMS, CampaignSpec, Job
+
+__all__ = [
+    "ALGORITHMS",
+    "CampaignSpec",
+    "Job",
+    "JobResult",
+    "CampaignResult",
+    "PAPER_VARIANTS",
+    "PAPER_VARIANT_LABELS",
+    "paper_spec",
+    "paper_variant",
+    "smoke_spec",
+    "register_builder",
+    "run_campaign",
+    "run_job",
+]

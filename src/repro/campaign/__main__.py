@@ -1,0 +1,126 @@
+"""Run a verification campaign from the command line.
+
+Usage::
+
+    python -m repro.campaign examples/specs/paper.json --workers 2
+    python -m repro.campaign paper          # built-in paper grid
+    python -m repro.campaign smoke --json smoke_report.json
+
+Streams one line per completed job, prints the verdict matrix, and
+writes the full JSON artifact (spec + per-job results + summary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from ..upec.report import campaign_summary, format_campaign, format_job_line
+from .grids import paper_spec, smoke_spec
+from .runner import run_campaign
+from .spec import CampaignSpec
+
+#: Built-in specs addressable by name instead of a file path.
+BUILTIN_SPECS = {
+    "paper": paper_spec,
+    "smoke": smoke_spec,
+}
+
+
+def load_spec(ref: str) -> CampaignSpec:
+    """A built-in spec name or a JSON spec file path."""
+    if ref in BUILTIN_SPECS:
+        return BUILTIN_SPECS[ref]()
+    return CampaignSpec.from_file(ref)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run a declarative verification campaign.",
+    )
+    parser.add_argument(
+        "spec",
+        help=("campaign spec: a JSON file path or a built-in name "
+              f"({', '.join(sorted(BUILTIN_SPECS))})"),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help=("worker processes (default 1); 0 runs in-process serially "
+              "(no per-job timeouts)"),
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help=("JSON artifact path (default: <campaign name>_report.json "
+              "in the working directory)"),
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job timeout, overriding the spec",
+    )
+    parser.add_argument(
+        "--hints", choices=("off", "first", "chain"), default=None,
+        help="hint-cache policy, overriding the spec",
+    )
+    parser.add_argument(
+        "--traces", action="store_true",
+        help="decode counterexample traces into the artifact",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job streaming lines",
+    )
+    args = parser.parse_args(argv)
+
+    spec = load_spec(args.spec)
+    if args.timeout is not None:
+        spec.timeout_seconds = args.timeout
+    if args.hints is not None:
+        spec.hints = args.hints
+    if args.traces:
+        spec.record_traces = True
+
+    jobs = spec.expand()
+    print(f"campaign {spec.name!r}: {len(jobs)} jobs, "
+          f"{args.workers} worker(s), hints={spec.hints}")
+
+    def stream(result) -> None:
+        if not args.quiet:
+            print(format_job_line(result), flush=True)
+
+    campaign = run_campaign(spec, workers=args.workers, on_result=stream)
+
+    print()
+    print(format_campaign(
+        campaign.results,
+        title=f"campaign {spec.name!r} "
+              f"({campaign.wall_seconds:.1f} s wall, "
+              f"{args.workers} worker(s))",
+    ))
+
+    artifact = {
+        "spec": spec.to_dict(),
+        "summary": campaign_summary(campaign.results),
+        "campaign": campaign.to_dict(),
+    }
+    json_path = pathlib.Path(
+        args.json if args.json else f"{spec.name}_report.json"
+    )
+    json_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"\nJSON artifact: {json_path}")
+
+    failed = [r for r in campaign.results if r.verdict in ("error", "timeout")]
+    if failed:
+        print(f"{len(failed)} job(s) failed:", file=sys.stderr)
+        for r in failed:
+            print(f"  [{r.job.index}] {r.job.label()}: {r.verdict}"
+                  + (f" — {r.error.splitlines()[-1]}" if r.error else ""),
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

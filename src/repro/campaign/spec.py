@@ -1,0 +1,317 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` describes the paper's workflow as data: a grid
+of SoC design variants × threat-model overrides × verification
+algorithms × depths.  :meth:`CampaignSpec.expand` turns the grid into a
+deterministic list of serializable :class:`Job` records — the unit of
+work the executor (:mod:`repro.campaign.runner`) hands to worker
+processes.  Specs round-trip through JSON so a whole experiment table
+(e.g. the paper's Sec. 4 variant table) is one file under version
+control.
+
+Hints
+-----
+
+Completed jobs feed a shared *hint cache*: the transient state variables
+an Algorithm 1/2 run removed from ``S``, and the ``k`` a k-induction
+search proved at.  Related jobs — same algorithm, threat model and depth
+on another design variant — can seed their initial assumption sets from
+those hints.  Hint flow is part of the expansion, not the scheduler:
+``Job.seed_from`` names the donor jobs, and the executor never starts a
+job before its donors finished, so serial and parallel runs see exactly
+the same hints and return bit-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from ..soc.config import SocConfig, expand_variants, named_config
+
+__all__ = ["ALGORITHMS", "THREAT_TOGGLES", "Job", "CampaignSpec"]
+
+#: The verification algorithms a job may run.
+ALGORITHMS = ("alg1", "alg2", "bmc", "k-induction", "ift-baseline")
+
+#: Algorithms whose property is fixed at two cycles: the depth axis does
+#: not apply, so the grid emits exactly one job per (variant, threat).
+DEPTH_FREE = frozenset({"alg1"})
+
+#: Threat-model aspects a named override may strip (value must be
+#: ``False``): run the same design under a weakened threat model.
+THREAT_TOGGLES = frozenset({
+    "invariants",
+    "firmware_constraints",
+    "spy_isolation",
+    "victim_page_constraint",
+})
+
+HINT_POLICIES = ("off", "first", "chain")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One expanded cell of the campaign grid, fully serializable.
+
+    ``design`` describes how the worker obtains a threat model:
+
+    * ``{"kind": "soc", "base": <named config>, "overrides": {...}}`` —
+      build the Pulpissimo-style SoC from a named base configuration
+      with field overrides;
+    * ``{"kind": "builder", "ref": "<registered or pkg.mod:fn>",
+      "args": {...}}`` — call a design-builder function returning a
+      :class:`~repro.upec.ThreatModel` (or an object exposing one).
+
+    ``seed_from`` lists donor job indices whose hint payloads may seed
+    this job's initial assumption set; the executor guarantees donors
+    complete first, in serial and parallel runs alike.
+    """
+
+    index: int
+    campaign: str
+    variant: str
+    variant_id: str
+    design: dict
+    threat: str
+    threat_overrides: dict
+    algorithm: str
+    depth: int
+    seed_from: tuple[int, ...] = ()
+    timeout_seconds: float | None = None
+    record_trace: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "campaign": self.campaign,
+            "variant": self.variant,
+            "variant_id": self.variant_id,
+            "design": self.design,
+            "threat": self.threat,
+            "threat_overrides": self.threat_overrides,
+            "algorithm": self.algorithm,
+            "depth": self.depth,
+            "seed_from": list(self.seed_from),
+            "timeout_seconds": self.timeout_seconds,
+            "record_trace": self.record_trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        return cls(
+            index=data["index"],
+            campaign=data["campaign"],
+            variant=data["variant"],
+            variant_id=data["variant_id"],
+            design=data["design"],
+            threat=data["threat"],
+            threat_overrides=data["threat_overrides"],
+            algorithm=data["algorithm"],
+            depth=data["depth"],
+            seed_from=tuple(data.get("seed_from", ())),
+            timeout_seconds=data.get("timeout_seconds"),
+            record_trace=data.get("record_trace", False),
+        )
+
+    def label(self) -> str:
+        """Short display label: ``variant/threat alg@depth``."""
+        threat = "" if self.threat == "default" else f"/{self.threat}"
+        depth = "" if self.algorithm in DEPTH_FREE else f"@k{self.depth}"
+        return f"{self.variant}{threat} {self.algorithm}{depth}"
+
+
+def _normalized_algorithms(entries) -> list[tuple[str, list[int] | None]]:
+    """``algorithms`` entries as (name, explicit depths or None)."""
+    out: list[tuple[str, list[int] | None]] = []
+    for entry in entries:
+        if isinstance(entry, str):
+            name, depths = entry, None
+        else:
+            name = entry["algorithm"]
+            depths = [int(d) for d in entry["depths"]] \
+                if "depths" in entry else None
+        if name not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {name!r}; known: {', '.join(ALGORITHMS)}"
+            )
+        out.append((name, depths))
+    return out
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative grid of verification jobs.
+
+    Attributes:
+        name: campaign name (report/artifact headers).
+        base: named base :class:`SocConfig` for ``variants`` given as
+            field-override mappings.
+        base_overrides: overrides applied to ``base`` before the
+            per-variant overrides (e.g. shrink every variant at once).
+        variants: ordered mapping of variant name to either a
+            ``SocConfig`` override mapping or a design-builder spec
+            ``{"builder": ref, "args": {...}}``.
+        threat_models: ordered mapping of threat-model name to toggles
+            from :data:`THREAT_TOGGLES` (``{}`` = the full threat model).
+        algorithms: list of algorithm names, or
+            ``{"algorithm": name, "depths": [...]}`` entries overriding
+            the shared depth axis per algorithm.
+        depths: shared depth axis for depth-sensitive algorithms.
+        hints: hint-cache policy: ``"off"`` (no sharing), ``"first"``
+            (the first variant of each (algorithm, threat, depth) group
+            seeds all others — maximal parallelism), or ``"chain"``
+            (every job seeds from all earlier jobs of its group —
+            maximal reuse, serializes the group).
+        timeout_seconds: per-job wall-clock budget (enforced by the
+            process executor; in-process serial runs cannot preempt).
+        record_traces: decode counterexample traces into results
+            (enlarges the JSON artifact considerably).
+    """
+
+    name: str = "campaign"
+    base: str = "FORMAL_TINY"
+    base_overrides: dict = field(default_factory=dict)
+    variants: dict = field(default_factory=lambda: {"baseline": {}})
+    threat_models: dict = field(default_factory=lambda: {"default": {}})
+    algorithms: list = field(default_factory=lambda: ["alg1"])
+    depths: list = field(default_factory=lambda: [3])
+    hints: str = "first"
+    timeout_seconds: float | None = None
+    record_traces: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hints not in HINT_POLICIES:
+            raise ValueError(
+                f"unknown hint policy {self.hints!r}; "
+                f"known: {', '.join(HINT_POLICIES)}"
+            )
+        for threat, toggles in self.threat_models.items():
+            unknown = set(toggles) - THREAT_TOGGLES
+            if unknown:
+                raise ValueError(
+                    f"threat model {threat!r} strips unknown aspects: "
+                    f"{', '.join(sorted(unknown))}"
+                )
+        _normalized_algorithms(self.algorithms)  # validates names
+
+    # -- expansion -----------------------------------------------------------
+
+    def resolve_variant(self, name: str) -> SocConfig | None:
+        """The concrete config of a SoC variant (None for builders)."""
+        overrides = self.variants[name]
+        if "builder" in overrides:
+            return None
+        base = named_config(self.base).replace(**self.base_overrides)
+        [(_, config)] = expand_variants(base, {name: overrides})
+        return config
+
+    def expand(self) -> list[Job]:
+        """The deterministic job list of this grid.
+
+        Variant-major ordering (variant → threat → algorithm → depth),
+        indices 0..n-1.  ``seed_from`` links jobs of the same
+        (algorithm, threat, depth) group across variants according to
+        the hint policy.
+        """
+        jobs: list[Job] = []
+        groups: dict[tuple, list[int]] = {}
+        for variant, overrides in self.variants.items():
+            if "builder" in overrides:
+                design = {
+                    "kind": "builder",
+                    "ref": overrides["builder"],
+                    "args": dict(overrides.get("args", {})),
+                }
+                args = ",".join(
+                    f"{k}={v}" for k, v in sorted(design["args"].items())
+                )
+                variant_id = f"builder:{design['ref']}({args})"
+            else:
+                config = self.resolve_variant(variant)
+                design = {
+                    "kind": "soc",
+                    "base": self.base,
+                    "overrides": {**self.base_overrides, **overrides},
+                }
+                variant_id = config.variant_id()
+            for threat, toggles in self.threat_models.items():
+                for algorithm, explicit in \
+                        _normalized_algorithms(self.algorithms):
+                    if explicit is not None:
+                        depths = explicit
+                    elif algorithm in DEPTH_FREE:
+                        depths = [1]
+                    else:
+                        depths = [int(d) for d in self.depths]
+                    for depth in depths:
+                        group = (algorithm, threat, depth)
+                        earlier = groups.setdefault(group, [])
+                        if self.hints == "off" or not earlier:
+                            seed_from: tuple[int, ...] = ()
+                        elif self.hints == "first":
+                            seed_from = (earlier[0],)
+                        else:  # chain
+                            seed_from = tuple(earlier)
+                        index = len(jobs)
+                        jobs.append(Job(
+                            index=index,
+                            campaign=self.name,
+                            variant=variant,
+                            variant_id=variant_id,
+                            design=design,
+                            threat=threat,
+                            threat_overrides=dict(toggles),
+                            algorithm=algorithm,
+                            depth=depth,
+                            seed_from=seed_from,
+                            timeout_seconds=self.timeout_seconds,
+                            record_trace=self.record_traces,
+                        ))
+                        earlier.append(index)
+        return jobs
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "base": self.base,
+            "base_overrides": dict(self.base_overrides),
+            "variants": {k: dict(v) for k, v in self.variants.items()},
+            "threat_models": {
+                k: dict(v) for k, v in self.threat_models.items()
+            },
+            "algorithms": list(self.algorithms),
+            "depths": list(self.depths),
+            "hints": self.hints,
+            "timeout_seconds": self.timeout_seconds,
+            "record_traces": self.record_traces,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        known = {
+            "name", "base", "base_overrides", "variants", "threat_models",
+            "algorithms", "depths", "hints", "timeout_seconds",
+            "record_traces",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown campaign spec keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(**{k: v for k, v in data.items()})
+
+    @classmethod
+    def from_file(cls, path) -> "CampaignSpec":
+        """Load a spec from a JSON file."""
+        text = pathlib.Path(path).read_text()
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the spec as formatted JSON."""
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n"
+        )

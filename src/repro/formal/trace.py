@@ -50,6 +50,17 @@ class Trace:
         """Store one signal value at one cycle."""
         self.cycles[cycle][name] = value
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used for worker IPC / artifacts)."""
+        return {"depth": self.depth, "cycles": [dict(c) for c in self.cycles]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        trace = cls(data["depth"])
+        trace.cycles = [dict(c) for c in data["cycles"]]
+        return trace
+
     def value(self, cycle: int, name: str) -> int:
         """Read back a recorded value."""
         return self.cycles[cycle][name]

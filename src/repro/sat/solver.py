@@ -51,9 +51,21 @@ class Solver:
 
     def __init__(self):
         self.n_vars = 0
-        # Indexed by internal literal (2v / 2v+1): lists of clause refs.
-        self._watches: list[list[list[int]]] = [[], []]
+        # Indexed by internal literal (2v / 2v+1): lists of watcher pairs
+        # [blocker_lit, clause].  The blocker is some other literal of the
+        # clause (usually the second watch); when it is already true the
+        # clause is satisfied and propagation skips it without touching
+        # the clause object at all (MiniSat's "blocker" optimisation —
+        # most visited clauses in the UNSAT-heavy closure tails are
+        # satisfied, so this removes the bulk of the cache traffic of
+        # ``_propagate``).
+        self._watches: list[list[list]] = [[], []]
         self._assign: list[int] = [0]  # per var: 0 unassigned, 1 true, -1 false
+        # Per internal literal: True iff that literal is assigned true.
+        # Kept in lock-step with ``_assign`` so the propagation hot loop
+        # (blocker checks, watch search) is a single list index instead
+        # of a shift + compare pair.
+        self._lit_true: list[bool] = [False, False]
         self._level: list[int] = [0]
         self._reason: list[list[int] | None] = [None]
         self._activity: list[float] = [0.0]
@@ -67,6 +79,17 @@ class Solver:
         self._learned: list[list[int]] = []
         self._cla_activity: dict[int, float] = {}
         self._order: list[tuple[float, int]] = []  # heap of (-activity, var)
+        # Number of live heap entries per variable that carry its
+        # *current* activity (bumps push a fresh entry and strictly grow
+        # the activity, turning older entries stale).  The counter lets
+        # ``_backtrack`` skip re-pushing variables whose current-priority
+        # entry is still in the heap instead of flooding it with
+        # duplicates (the former scheme pushed one entry per unassign —
+        # tens of stale pops per branching decision on the UNSAT-heavy
+        # tails), while branching order stays exactly the same: whenever
+        # a variable is unassigned, an entry at its current activity is
+        # live, and that entry outranks all of its stale ones.
+        self._in_heap: list[int] = [0]
         self._model: list[int] = [0]  # copy of assignments at last SAT answer
         self._ok = True  # False once the clause set is trivially UNSAT
         self._activations: dict[Hashable, int] = {}
@@ -85,12 +108,15 @@ class Solver:
         """Allocate a fresh variable; returns its (positive) DIMACS index."""
         self.n_vars += 1
         self._assign.append(0)
+        self._lit_true.append(False)
+        self._lit_true.append(False)
         self._level.append(0)
         self._reason.append(None)
         self._activity.append(0.0)
         self._polarity.append(False)
         self._watches.append([])
         self._watches.append([])
+        self._in_heap.append(1)
         heapq.heappush(self._order, (0.0, self.n_vars))
         return self.n_vars
 
@@ -178,8 +204,9 @@ class Solver:
         return len(self._learned)
 
     def _attach(self, clause: list[int]) -> None:
-        self._watches[clause[0] ^ 1].append(clause)
-        self._watches[clause[1] ^ 1].append(clause)
+        # Each watcher's blocker is the clause's other watched literal.
+        self._watches[clause[0] ^ 1].append([clause[1], clause])
+        self._watches[clause[1] ^ 1].append([clause[0], clause])
 
     # -- assignment primitives ------------------------------------------------
 
@@ -198,6 +225,7 @@ class Solver:
             return False
         var = lit >> 1
         self._assign[var] = -1 if lit & 1 else 1
+        self._lit_true[lit] = True
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._polarity[var] = not (lit & 1)
@@ -207,7 +235,7 @@ class Solver:
     def _propagate(self) -> list[int] | None:
         """Unit propagation; returns a conflicting clause or None."""
         watches = self._watches
-        assign = self._assign
+        lit_true = self._lit_true
         trail = self._trail
         while self._qhead < len(trail):
             lit = trail[self._qhead]
@@ -215,48 +243,64 @@ class Solver:
             self.stats["propagations"] += 1
             watch_list = watches[lit]
             i = 0
-            j = 0
+            j = -1  # -1: no watcher relocated yet, list is still compact
             n = len(watch_list)
             while i < n:
-                clause = watch_list[i]
+                watcher = watch_list[i]
                 i += 1
+                # Blocker check: if the cached other literal is already
+                # true the clause is satisfied — keep the watcher as is
+                # without ever dereferencing the clause.
+                if lit_true[watcher[0]]:
+                    if j >= 0:
+                        watch_list[j] = watcher
+                        j += 1
+                    continue
+                clause = watcher[1]
                 # Make sure the false literal is at position 1.
                 if clause[0] == lit ^ 1:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                v0 = assign[first >> 1]
-                if (v0 == 1 and not first & 1) or (v0 == -1 and first & 1):
-                    watch_list[j] = clause
-                    j += 1
+                if lit_true[first]:
+                    watcher[0] = first
+                    if j >= 0:
+                        watch_list[j] = watcher
+                        j += 1
                     continue
-                # Look for a new literal to watch.
+                # Look for a new literal to watch (non-false).
                 found = False
                 for k in range(2, len(clause)):
                     lk = clause[k]
-                    vk = assign[lk >> 1]
-                    if vk == 0 or (vk == 1 and not lk & 1) or (vk == -1 and lk & 1):
+                    if not lit_true[lk ^ 1]:
                         clause[1], clause[k] = clause[k], clause[1]
-                        watches[clause[1] ^ 1].append(clause)
+                        watches[clause[1] ^ 1].append([clause[0], clause])
                         found = True
                         break
                 if found:
+                    # First relocation: start compacting from this slot.
+                    if j < 0:
+                        j = i - 1
                     continue
-                watch_list[j] = clause
-                j += 1
+                watcher[0] = first
+                if j >= 0:
+                    watch_list[j] = watcher
+                    j += 1
                 # Clause is unit or conflicting.
-                if v0 == 0:
+                if not lit_true[first ^ 1]:
                     if not self._enqueue(first, clause):  # pragma: no cover
                         raise AssertionError("enqueue of unit literal failed")
                 else:
                     # Conflict: copy the remaining watchers and report.
-                    while i < n:
-                        watch_list[j] = watch_list[i]
-                        j += 1
-                        i += 1
-                    del watch_list[j:]
+                    if j >= 0:
+                        while i < n:
+                            watch_list[j] = watch_list[i]
+                            j += 1
+                            i += 1
+                        del watch_list[j:]
                     self._qhead = len(trail)
                     return clause
-            del watch_list[j:]
+            if j >= 0:
+                del watch_list[j:]
         return None
 
     # -- conflict analysis ------------------------------------------------------
@@ -318,7 +362,15 @@ class Solver:
                 if self._assign[v] == 0
             ]
             heapq.heapify(self._order)
+            in_heap = self._in_heap
+            for v in range(1, self.n_vars + 1):
+                in_heap[v] = 0
+            for __, v in self._order:
+                in_heap[v] = 1
         else:
+            # The bump made every older entry of ``var`` stale; exactly
+            # one entry (this push) now carries the current activity.
+            self._in_heap[var] = 1
             heapq.heappush(self._order, (-self._activity[var], var))
 
     def _backtrack(self, level: int) -> None:
@@ -326,13 +378,23 @@ class Solver:
             return
         limit = self._trail_lim[level]
         assign = self._assign
+        lit_true = self._lit_true
         activity = self._activity
         order = self._order
+        in_heap = self._in_heap
+        reason = self._reason
+        heappush = heapq.heappush
         for lit in reversed(self._trail[limit:]):
             var = lit >> 1
             assign[var] = 0
-            self._reason[var] = None
-            heapq.heappush(order, (-activity[var], var))
+            lit_true[lit] = False
+            reason[var] = None
+            # An entry pushed by an earlier bump still carries the
+            # current activity (activities only grow, bumps always
+            # push); only re-insert variables with no live entry.
+            if not in_heap[var]:
+                in_heap[var] = 1
+                heappush(order, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -357,7 +419,7 @@ class Solver:
             return
         self._learned = kept
         for lists in self._watches:
-            lists[:] = [c for c in lists if id(c) not in dropped]
+            lists[:] = [w for w in lists if id(w[1]) not in dropped]
         for cid in dropped:
             self._cla_activity.pop(cid, None)
 
@@ -450,8 +512,13 @@ class Solver:
         """
         order = self._order
         assign = self._assign
+        in_heap = self._in_heap
+        activity = self._activity
+        heappop = heapq.heappop
         while order:
-            __, var = heapq.heappop(order)
+            key, var = heappop(order)
+            if -key == activity[var]:
+                in_heap[var] -= 1
             if assign[var] == 0:
                 return 2 * var + (0 if self._polarity[var] else 1)
         return 0

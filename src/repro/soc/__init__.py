@@ -6,7 +6,16 @@ the CPU and come with a ready :class:`~repro.upec.ThreatModel`.
 """
 
 from .address_map import AddressMap, build_address_map
-from .config import ATTACK_DEMO, FORMAL_SMALL, FORMAL_TINY, SIM_DEFAULT, SocConfig
+from .config import (
+    ATTACK_DEMO,
+    BASE_CONFIGS,
+    FORMAL_SMALL,
+    FORMAL_TINY,
+    SIM_DEFAULT,
+    SocConfig,
+    expand_variants,
+    named_config,
+)
 from .crossbar import Crossbar, SlaveRegion
 from .dma import Dma
 from .firmware import config_word_is_legal, private_region_constraints
@@ -23,10 +32,13 @@ __all__ = [
     "AddressMap",
     "build_address_map",
     "ATTACK_DEMO",
+    "BASE_CONFIGS",
     "FORMAL_SMALL",
     "FORMAL_TINY",
     "SIM_DEFAULT",
     "SocConfig",
+    "expand_variants",
+    "named_config",
     "Crossbar",
     "SlaveRegion",
     "Dma",

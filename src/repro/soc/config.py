@@ -15,10 +15,12 @@ is one such page.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Mapping
 
 __all__ = ["SocConfig", "FORMAL_TINY", "FORMAL_SMALL", "ATTACK_DEMO",
-           "SIM_DEFAULT"]
+           "SIM_DEFAULT", "BASE_CONFIGS", "named_config", "expand_variants"]
 
 
 @dataclass
@@ -100,6 +102,39 @@ class SocConfig:
 
         return replace(self, **kwargs)
 
+    def variant_id(self) -> str:
+        """Stable, human-readable identity of this configuration.
+
+        The canonical ``field=value`` list of every field that differs
+        from the dataclass defaults, in declaration order — identical
+        configs always produce identical ids, so the string is usable as
+        a cache / report key across processes and runs.
+        """
+        parts = []
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name}={value}")
+        return ",".join(parts) or "default"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (all fields)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SocConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected so a stale spec file fails loudly.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(
+                f"unknown SocConfig fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**dict(data))
+
 
 #: Smallest formal configuration: used by unit tests.
 FORMAL_TINY = SocConfig(
@@ -151,3 +186,39 @@ SIM_DEFAULT = SocConfig(
     dma_counter_bits=8,
     hwpe_counter_bits=8,
 )
+
+#: Named base configurations addressable from serialized campaign specs.
+BASE_CONFIGS: dict[str, SocConfig] = {
+    "FORMAL_TINY": FORMAL_TINY,
+    "FORMAL_SMALL": FORMAL_SMALL,
+    "ATTACK_DEMO": ATTACK_DEMO,
+    "SIM_DEFAULT": SIM_DEFAULT,
+}
+
+
+def named_config(name: str) -> SocConfig:
+    """Resolve a base configuration by its exported name."""
+    try:
+        return BASE_CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown base config {name!r}; "
+            f"known: {', '.join(sorted(BASE_CONFIGS))}"
+        ) from None
+
+
+def expand_variants(
+    base: SocConfig,
+    variants: Mapping[str, Mapping[str, object]],
+) -> list[tuple[str, SocConfig]]:
+    """Expand named field-override sets into concrete configurations.
+
+    ``variants`` maps a variant name to the ``SocConfig`` fields it
+    overrides on ``base`` (an empty mapping is the base itself).  The
+    result preserves the mapping's insertion order, so a campaign grid
+    expands deterministically.
+    """
+    out: list[tuple[str, SocConfig]] = []
+    for name, overrides in variants.items():
+        out.append((name, base.replace(**dict(overrides))))
+    return out

@@ -45,6 +45,7 @@ iteration:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -83,6 +84,28 @@ class CheckStats:
     sat_calls: int = 0
     learned_kept: int = 0
 
+    def add(self, other: "CheckStats") -> None:
+        """Accumulate another check's costs (campaign/job rollups)."""
+        self.aig_nodes = max(self.aig_nodes, other.aig_nodes)
+        self.cnf_vars = max(self.cnf_vars, other.cnf_vars)
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.build_seconds += other.build_seconds
+        self.solve_seconds += other.solve_seconds
+        self.encode_seconds += other.encode_seconds
+        self.sat_calls += other.sat_calls
+        self.learned_kept = max(self.learned_kept, other.learned_kept)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (worker IPC / campaign artifacts)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckStats":
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
 
 @dataclass
 class MiterCounterexample:
@@ -110,6 +133,29 @@ class MiterCounterexample:
     def differing_signals(self) -> list[str]:
         """All signals (state or interface) differing anywhere in the window."""
         return self.trace_a.differing_signals(self.trace_b)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (worker IPC / campaign artifacts)."""
+        return {
+            "diff_names": sorted(self.diff_names),
+            "frame": self.frame,
+            "trace_a": self.trace_a.to_dict(),
+            "trace_b": self.trace_b.to_dict(),
+            "victim_page": self.victim_page,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MiterCounterexample":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            diff_names=set(data["diff_names"]),
+            frame=data["frame"],
+            trace_a=Trace.from_dict(data["trace_a"]),
+            trace_b=Trace.from_dict(data["trace_b"]),
+            victim_page=data["victim_page"],
+            stats=CheckStats.from_dict(data["stats"]),
+        )
 
 
 class MiterSession:

@@ -9,11 +9,18 @@ through exactly such a counterexample).
 from __future__ import annotations
 
 from .classify import StateClassifier
-from .miter import MiterCounterexample
+from .miter import CheckStats, MiterCounterexample
 from .ssc import IterationRecord, SscResult
 from .unrolled import UnrolledResult
 
-__all__ = ["format_iterations", "format_counterexample", "format_result"]
+__all__ = [
+    "format_iterations",
+    "format_counterexample",
+    "format_result",
+    "format_job_line",
+    "format_campaign",
+    "campaign_summary",
+]
 
 
 def format_iterations(iterations: list[IterationRecord]) -> str:
@@ -99,3 +106,159 @@ def format_result(
         lines.append("")
         lines.append(format_counterexample(cex, classifier))
     return "\n".join(lines)
+
+
+# -- campaign-level aggregation ---------------------------------------------
+#
+# These functions take the job results of a campaign run
+# (:class:`repro.campaign.runner.JobResult` — duck-typed here so the
+# report layer stays below the campaign subsystem): objects with ``job``
+# (variant / threat / algorithm / depth / label()), ``verdict``,
+# ``seconds``, ``stats`` (:class:`CheckStats`) and ``detail``.
+
+
+def _columns(results) -> list[tuple[str, int]]:
+    """Ordered (algorithm, depth) column axis of a campaign."""
+    seen: list[tuple[str, int]] = []
+    for r in results:
+        key = (r.job.algorithm, r.job.depth)
+        if key not in seen:
+            seen.append(key)
+    return seen
+
+
+def _column_name(algorithm: str, depth: int, columns) -> str:
+    """Column caption: the depth qualifier appears only when the
+    campaign actually ran the algorithm at several depths (shared by the
+    text matrix and the JSON summary so their keys line up)."""
+    depths = {d for a, d in columns if a == algorithm}
+    return f"{algorithm}@k{depth}" if len(depths) > 1 else algorithm
+
+
+def _row_name(variant: str, threat: str) -> str:
+    return variant if threat == "default" else f"{variant}/{threat}"
+
+
+def _job_iterations(result) -> int | None:
+    detail = result.detail.get("result") if result.detail else None
+    if detail and "iterations" in detail:
+        return len(detail["iterations"])
+    return None
+
+
+def format_job_line(result) -> str:
+    """One streaming progress line for a completed campaign job."""
+    extras = []
+    iterations = _job_iterations(result)
+    if iterations is not None:
+        extras.append(f"{iterations} iters")
+    if result.seeded:
+        extras.append(f"seeded({len(result.seeded)})")
+    if result.reran_unseeded:
+        extras.append("reran-unseeded")
+    suffix = f"  [{', '.join(extras)}]" if extras else ""
+    return (
+        f"[{result.job.index:>3}] {result.job.label():<36} "
+        f"{result.verdict.upper():<12} {result.seconds:>7.1f}s{suffix}"
+    )
+
+
+def format_campaign(results, title: str | None = None) -> str:
+    """Render a campaign's verdict matrix and cost rollups.
+
+    Rows are (variant, threat model) combinations, columns the
+    (algorithm, depth) axis; each cell shows the verdict (plus the
+    Algorithm 1/2 iteration count).  Totals aggregate wall-clock and
+    :class:`CheckStats` across all jobs.
+    """
+    results = list(results)
+    columns = _columns(results)
+    rows: list[tuple[str, str]] = []
+    for r in results:
+        key = (r.job.variant, r.job.threat)
+        if key not in rows:
+            rows.append(key)
+
+    cells: dict[tuple, str] = {}
+    for r in results:
+        text = r.verdict.upper()
+        iterations = _job_iterations(r)
+        if iterations is not None and r.verdict not in ("timeout", "error"):
+            text += f" ({iterations})"
+        cells[(r.job.variant, r.job.threat,
+               r.job.algorithm, r.job.depth)] = text
+
+    headers = [_column_name(a, d, columns) for a, d in columns]
+    row_width = max([len(_row_name(*row)) for row in rows] + [len("variant")])
+    col_widths = [
+        max([len(h)] + [
+            len(cells.get((v, t, a, d), "-"))
+            for v, t in rows
+        ])
+        for h, (a, d) in zip(headers, columns)
+    ]
+    lines = []
+    if title:
+        lines += [title, "=" * len(title), ""]
+    header_line = f"{'variant':<{row_width}}  " + "  ".join(
+        f"{h:<{w}}" for h, w in zip(headers, col_widths)
+    )
+    lines += [header_line, "-" * len(header_line)]
+    for v, t in rows:
+        row_cells = "  ".join(
+            f"{cells.get((v, t, a, d), '-'):<{w}}"
+            for (a, d), w in zip(columns, col_widths)
+        )
+        lines.append(f"{_row_name(v, t):<{row_width}}  {row_cells}")
+
+    totals = CheckStats()
+    for r in results:
+        totals.add(r.stats)
+    lines += [
+        "",
+        f"jobs: {len(results)}  "
+        f"wall {sum(r.seconds for r in results):.1f} s job-serial  "
+        f"(encode {totals.encode_seconds:.1f} s, "
+        f"solve {totals.solve_seconds:.1f} s, "
+        f"{totals.sat_calls} solver calls, "
+        f"{totals.conflicts} conflicts)",
+    ]
+    leaking: dict[str, set] = {}
+    for r in results:
+        detail = r.detail.get("result") if r.detail else None
+        if detail and detail.get("leaking"):
+            leaking.setdefault(
+                _row_name(r.job.variant, r.job.threat), set()
+            ).update(detail["leaking"])
+    if leaking:
+        lines.append("")
+        lines.append("leaking persistent state:")
+        for row, names in leaking.items():
+            shown = ", ".join(sorted(names)[:4])
+            more = f" (+{len(names) - 4} more)" if len(names) > 4 else ""
+            lines.append(f"  {row}: {shown}{more}")
+    return "\n".join(lines)
+
+
+def campaign_summary(results) -> dict:
+    """JSON-ready rollup of a campaign (verdict matrix + totals)."""
+    results = list(results)
+    totals = CheckStats()
+    for r in results:
+        totals.add(r.stats)
+    columns = _columns(results)
+    matrix: dict[str, dict[str, str]] = {}
+    for r in results:
+        row = _row_name(r.job.variant, r.job.threat)
+        column = _column_name(r.job.algorithm, r.job.depth, columns)
+        matrix.setdefault(row, {})[column] = r.verdict
+    return {
+        "jobs": len(results),
+        "verdict_matrix": matrix,
+        "job_seconds_total": sum(r.seconds for r in results),
+        "stats": totals.to_dict(),
+        "verdict_counts": {
+            verdict: sum(1 for r in results if r.verdict == verdict)
+            for verdict in sorted({r.verdict for r in results})
+        },
+    }

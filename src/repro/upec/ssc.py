@@ -28,11 +28,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .classify import StateClassifier
+from .classify import StateClassifier, UnclassifiedStateError
 from .miter import CheckStats, MiterCounterexample, UpecMiter
 from .threat_model import ThreatModel
 
-__all__ = ["IterationRecord", "SscResult", "upec_ssc"]
+__all__ = ["IterationRecord", "SscResult", "seedable_removals", "upec_ssc"]
+
+
+def seedable_removals(
+    classifier: StateClassifier, s: set[str], seed_removed: set[str]
+) -> set[str]:
+    """The subset of ``seed_removed`` that may soundly be dropped from ``s``.
+
+    A hint from a related configuration may only strip variables that (a)
+    exist in this design's starting set and (b) are classified *transient*
+    here — removing a transient variable weakens the assumptions, so a
+    ``secure`` fixed point remains sound; persistent or unclassified names
+    are kept so the vulnerability test is never diluted.
+    """
+    dropped: set[str] = set()
+    for name in set(seed_removed) & s:
+        try:
+            if not classifier.in_s_pers(name):
+                dropped.add(name)
+        except UnclassifiedStateError:
+            continue
+    return dropped
 
 
 @dataclass
@@ -46,6 +67,31 @@ class IterationRecord:
     persistent_hits: set[str]
     stats: CheckStats
     unroll_depth: int = 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (worker IPC / campaign artifacts)."""
+        return {
+            "index": self.index,
+            "s_size": self.s_size,
+            "diff_names": sorted(self.diff_names),
+            "removed": sorted(self.removed),
+            "persistent_hits": sorted(self.persistent_hits),
+            "stats": self.stats.to_dict(),
+            "unroll_depth": self.unroll_depth,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IterationRecord":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            index=data["index"],
+            s_size=data["s_size"],
+            diff_names=set(data["diff_names"]),
+            removed=set(data["removed"]),
+            persistent_hits=set(data["persistent_hits"]),
+            stats=CheckStats.from_dict(data["stats"]),
+            unroll_depth=data.get("unroll_depth", 1),
+        )
 
 
 @dataclass
@@ -61,6 +107,9 @@ class SscResult:
     final_s: set[str] = field(default_factory=set)
     leaking: set[str] = field(default_factory=set)
     counterexample: MiterCounterexample | None = None
+    #: Names dropped from the starting set by an injected seed (see
+    #: ``seed_removed`` of :func:`upec_ssc`); empty for unseeded runs.
+    seeded_removed: set[str] = field(default_factory=set)
 
     @property
     def secure(self) -> bool:
@@ -78,6 +127,50 @@ class SscResult:
         """Aggregate AIG/CNF encoding time across all iterations."""
         return sum(r.stats.encode_seconds for r in self.iterations)
 
+    def removed_transients(self) -> set[str]:
+        """Union of all transient removals — the hint a later related
+        run can seed its starting set with."""
+        out = set(self.seeded_removed)
+        for rec in self.iterations:
+            out |= rec.removed
+        return out
+
+    def rollup_stats(self) -> CheckStats:
+        """All iterations' costs folded into one :class:`CheckStats`."""
+        total = CheckStats()
+        for rec in self.iterations:
+            total.add(rec.stats)
+        return total
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (worker IPC / campaign artifacts)."""
+        return {
+            "verdict": self.verdict,
+            "iterations": [rec.to_dict() for rec in self.iterations],
+            "final_s": sorted(self.final_s),
+            "leaking": sorted(self.leaking),
+            "counterexample": (
+                self.counterexample.to_dict() if self.counterexample else None
+            ),
+            "seeded_removed": sorted(self.seeded_removed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SscResult":
+        """Rebuild from :meth:`to_dict` output."""
+        cex = data.get("counterexample")
+        return cls(
+            verdict=data["verdict"],
+            iterations=[IterationRecord.from_dict(r)
+                        for r in data["iterations"]],
+            final_s=set(data["final_s"]),
+            leaking=set(data["leaking"]),
+            counterexample=(
+                MiterCounterexample.from_dict(cex) if cex else None
+            ),
+            seeded_removed=set(data.get("seeded_removed", ())),
+        )
+
 
 def upec_ssc(
     threat_model: ThreatModel,
@@ -87,6 +180,7 @@ def upec_ssc(
     record_trace: bool = True,
     incremental: bool = True,
     miter: UpecMiter | None = None,
+    seed_removed: set[str] | None = None,
 ) -> SscResult:
     """Run Algorithm 1 on a design.
 
@@ -104,6 +198,11 @@ def upec_ssc(
             baseline, bit-identical in results but slower.
         miter: reuse an existing miter/session (Algorithm 2 passes its
             own so the final inductive proof keeps the learned clauses).
+        seed_removed: a hint from a related run (campaign hint cache):
+            names to drop from the starting set up front, filtered
+            through :func:`seedable_removals` so only locally transient
+            variables are stripped.  The dropped names are recorded on
+            the result as ``seeded_removed``.
 
     Returns:
         The verdict with per-iteration statistics; on ``vulnerable`` the
@@ -114,6 +213,10 @@ def upec_ssc(
     if miter is None:
         miter = UpecMiter(threat_model, classifier, incremental=incremental)
     s = set(initial_s) if initial_s is not None else classifier.s_not_victim()
+    seeded: set[str] = set()
+    if seed_removed:
+        seeded = seedable_removals(classifier, s, seed_removed)
+        s -= seeded
     iterations: list[IterationRecord] = []
     for index in range(1, max_iterations + 1):
         cex = miter.check([s, s], record_trace=record_trace)
@@ -132,7 +235,8 @@ def upec_ssc(
                     stats=CheckStats(),
                 )
             )
-            return SscResult(verdict="secure", iterations=iterations, final_s=s)
+            return SscResult(verdict="secure", iterations=iterations,
+                             final_s=s, seeded_removed=seeded)
         persistent, transient = classifier.split_by_persistence(cex.diff_names)
         iterations.append(
             IterationRecord(
@@ -151,6 +255,7 @@ def upec_ssc(
                 final_s=s,
                 leaking=persistent,
                 counterexample=cex,
+                seeded_removed=seeded,
             )
         s -= transient
     raise RuntimeError(

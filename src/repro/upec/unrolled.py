@@ -23,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .classify import StateClassifier
-from .miter import MiterCounterexample, UpecMiter
-from .ssc import IterationRecord, SscResult, upec_ssc
+from .miter import CheckStats, MiterCounterexample, UpecMiter
+from .ssc import IterationRecord, SscResult, seedable_removals, upec_ssc
 from .threat_model import ThreatModel
 
 __all__ = ["UnrolledResult", "upec_ssc_unrolled"]
@@ -45,10 +45,66 @@ class UnrolledResult:
     leaking: set[str] = field(default_factory=set)
     counterexample: MiterCounterexample | None = None
     inductive_result: SscResult | None = None
+    #: Names dropped from the starting frames by an injected seed (see
+    #: ``seed_removed`` of :func:`upec_ssc_unrolled`).
+    seeded_removed: set[str] = field(default_factory=set)
 
     @property
     def vulnerable(self) -> bool:
         return self.verdict == "vulnerable"
+
+    def removed_transients(self) -> set[str]:
+        """Union of all transient removals across frames (campaign hint)."""
+        out = set(self.seeded_removed)
+        for rec in self.iterations:
+            out |= rec.removed
+        return out
+
+    def rollup_stats(self) -> CheckStats:
+        """All iterations' costs folded into one :class:`CheckStats`."""
+        total = CheckStats()
+        for rec in self.iterations:
+            total.add(rec.stats)
+        return total
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (worker IPC / campaign artifacts)."""
+        return {
+            "verdict": self.verdict,
+            "reached_depth": self.reached_depth,
+            "iterations": [rec.to_dict() for rec in self.iterations],
+            "s_frames": [sorted(frame) for frame in self.s_frames],
+            "leaking": sorted(self.leaking),
+            "counterexample": (
+                self.counterexample.to_dict() if self.counterexample else None
+            ),
+            "inductive_result": (
+                self.inductive_result.to_dict()
+                if self.inductive_result else None
+            ),
+            "seeded_removed": sorted(self.seeded_removed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UnrolledResult":
+        """Rebuild from :meth:`to_dict` output."""
+        cex = data.get("counterexample")
+        inductive = data.get("inductive_result")
+        return cls(
+            verdict=data["verdict"],
+            reached_depth=data["reached_depth"],
+            iterations=[IterationRecord.from_dict(r)
+                        for r in data["iterations"]],
+            s_frames=[set(frame) for frame in data["s_frames"]],
+            leaking=set(data["leaking"]),
+            counterexample=(
+                MiterCounterexample.from_dict(cex) if cex else None
+            ),
+            inductive_result=(
+                SscResult.from_dict(inductive) if inductive else None
+            ),
+            seeded_removed=set(data.get("seeded_removed", ())),
+        )
 
 
 def upec_ssc_unrolled(
@@ -59,6 +115,8 @@ def upec_ssc_unrolled(
     inductive_final: bool = True,
     record_trace: bool = True,
     incremental: bool = True,
+    initial_s: set[str] | None = None,
+    seed_removed: set[str] | None = None,
 ) -> UnrolledResult:
     """Run Algorithm 2 on a design.
 
@@ -73,6 +131,12 @@ def upec_ssc_unrolled(
         record_trace: decode full counterexample traces.
         incremental: share one miter session across all depths and the
             final inductive proof (default); False rebuilds per check.
+        initial_s: override the starting frame sets (defaults to
+            ``S_not_victim``).
+        seed_removed: a hint from a related run (campaign hint cache):
+            names to drop from the starting frames up front, filtered
+            through :func:`repro.upec.ssc.seedable_removals` so only
+            locally transient variables are stripped.
 
     Returns:
         Verdict plus the evolved ``S[]`` vector and per-iteration records;
@@ -81,8 +145,13 @@ def upec_ssc_unrolled(
     """
     classifier = classifier or StateClassifier(threat_model)
     miter = UpecMiter(threat_model, classifier, incremental=incremental)
-    s_not_victim = classifier.s_not_victim()
-    s_frames: list[set[str]] = [set(s_not_victim), set(s_not_victim)]
+    s_start = (set(initial_s) if initial_s is not None
+               else classifier.s_not_victim())
+    seeded: set[str] = set()
+    if seed_removed:
+        seeded = seedable_removals(classifier, s_start, seed_removed)
+        s_start -= seeded
+    s_frames: list[set[str]] = [set(s_start), set(s_start)]
     k = 1
     iterations: list[IterationRecord] = []
     for index in range(1, max_iterations + 1):
@@ -109,6 +178,7 @@ def upec_ssc_unrolled(
                             leaking=inductive.leaking,
                             counterexample=inductive.counterexample,
                             inductive_result=inductive,
+                            seeded_removed=seeded,
                         )
                 return UnrolledResult(
                     verdict=verdict,
@@ -116,6 +186,7 @@ def upec_ssc_unrolled(
                     iterations=iterations,
                     s_frames=s_frames,
                     inductive_result=inductive,
+                    seeded_removed=seeded,
                 )
             if k + 1 > max_depth:
                 return UnrolledResult(
@@ -123,6 +194,7 @@ def upec_ssc_unrolled(
                     reached_depth=k,
                     iterations=iterations,
                     s_frames=s_frames,
+                    seeded_removed=seeded,
                 )
             k += 1
             s_frames.append(set(s_frames[k - 1]))
@@ -147,6 +219,7 @@ def upec_ssc_unrolled(
                 s_frames=s_frames,
                 leaking=persistent,
                 counterexample=cex,
+                seeded_removed=seeded,
             )
         s_frames[k] -= transient
     raise RuntimeError(

@@ -1,0 +1,315 @@
+"""The campaign subsystem: expansion, execution, determinism, hints.
+
+The heart of the contract is determinism: a parallel run (2+ workers,
+fork-based worker processes) must produce **bit-identical** verdicts,
+``final_s`` and leaking sets to the in-process serial run — on the
+hand-built toy designs and on the FORMAL_TINY paper grid — because hint
+flow is fixed by the spec expansion (``Job.seed_from``), not by
+scheduling order.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Job,
+    JobResult,
+    PAPER_VARIANTS,
+    paper_spec,
+    register_builder,
+    run_campaign,
+    run_job,
+    smoke_spec,
+)
+from repro.rtl import Circuit, mux
+from repro.upec import ThreatModel, VictimPort
+
+ADDR_W = 4
+PAGE_BITS = 2
+
+
+# -- toy design builders (registered; forked workers inherit them) ----------
+
+
+def toy_design(kind: str = "secure") -> ThreatModel:
+    c = Circuit(f"toy-{kind}")
+    v_valid = c.add_input("v_valid", 1)
+    v_addr = c.add_input("v_addr", ADDR_W)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 4)
+    c.add_input("victim_page", ADDR_W - PAGE_BITS)
+    soc = c.scope("soc")
+    # A transient skid buffer in every toy: secure designs converge after
+    # removing it, so hint donors have a non-empty removed set.
+    buf = soc.child("xbar").reg("addr_buf", ADDR_W, kind="interconnect")
+    c.set_next(buf, mux(v_valid, v_addr, buf))
+    if kind == "vulnerable":
+        count = soc.child("spy").reg("count", 4, kind="ip")
+        c.set_next(count, mux(v_valid, count + 1, count))
+    elif kind == "secure-extra":
+        tick = soc.child("timer").reg("tick", 2, kind="ip")
+        c.set_next(tick, tick + 1)
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=PAGE_BITS,
+    )
+
+
+def slow_design(sleep_seconds: float = 5.0) -> ThreatModel:
+    time.sleep(sleep_seconds)
+    return toy_design("secure")
+
+
+register_builder("toy", toy_design)
+register_builder("slow-toy", slow_design)
+
+
+def toy_spec(hints: str = "first", algorithms=("alg1",)) -> CampaignSpec:
+    return CampaignSpec(
+        name="toys",
+        variants={
+            "secure": {"builder": "toy", "args": {"kind": "secure"}},
+            "secure_extra": {"builder": "toy",
+                             "args": {"kind": "secure-extra"}},
+            "vulnerable": {"builder": "toy",
+                           "args": {"kind": "vulnerable"}},
+        },
+        algorithms=list(algorithms),
+        depths=[3],
+        hints=hints,
+    )
+
+
+def by_index(campaign):
+    return {r.job.index: r for r in campaign.results}
+
+
+def assert_bit_identical(serial, parallel):
+    assert len(serial.results) == len(parallel.results)
+    for a, b in zip(serial.results, parallel.results):
+        assert a.job == b.job
+        assert a.verdict == b.verdict, a.job.label()
+        assert a.seeded == b.seeded, a.job.label()
+        assert a.reran_unseeded == b.reran_unseeded
+        da = a.detail.get("result")
+        db = b.detail.get("result")
+        assert (da is None) == (db is None)
+        if da:
+            assert da.get("final_s") == db.get("final_s"), a.job.label()
+            assert da.get("leaking") == db.get("leaking"), a.job.label()
+            assert [(i["s_size"], i["removed"], i["persistent_hits"])
+                    for i in da["iterations"]] == \
+                   [(i["s_size"], i["removed"], i["persistent_hits"])
+                    for i in db["iterations"]], a.job.label()
+
+
+# -- spec expansion ---------------------------------------------------------
+
+
+def test_expand_is_deterministic_and_ordered():
+    spec = paper_spec(algorithms=["alg1", "alg2"], depths=[2])
+    jobs_a, jobs_b = spec.expand(), spec.expand()
+    assert [j.to_dict() for j in jobs_a] == [j.to_dict() for j in jobs_b]
+    assert [j.index for j in jobs_a] == list(range(len(jobs_a)))
+    # variant-major: all of baseline's jobs precede no_timer's.
+    variants = [j.variant for j in jobs_a]
+    assert variants == sorted(
+        variants, key=list(PAPER_VARIANTS).index
+    )
+    # donors always precede their consumers.
+    for job in jobs_a:
+        assert all(d < job.index for d in job.seed_from)
+
+
+def test_expand_hint_policies():
+    first = toy_spec(hints="first").expand()
+    chain = toy_spec(hints="chain").expand()
+    off = toy_spec(hints="off").expand()
+    assert [j.seed_from for j in first] == [(), (0,), (0,)]
+    assert [j.seed_from for j in chain] == [(), (0,), (0, 1)]
+    assert [j.seed_from for j in off] == [(), (), ()]
+
+
+def test_depth_free_algorithms_collapse_depth_axis():
+    spec = paper_spec(algorithms=["alg1", "alg2"], depths=[2, 3])
+    jobs = spec.expand()
+    alg1 = [j for j in jobs if j.algorithm == "alg1"]
+    alg2 = [j for j in jobs if j.algorithm == "alg2"]
+    assert len(alg1) == len(PAPER_VARIANTS)  # one per variant
+    assert len(alg2) == 2 * len(PAPER_VARIANTS)  # both depths
+
+
+def test_spec_and_job_json_roundtrip(tmp_path):
+    spec = toy_spec(hints="chain")
+    path = tmp_path / "spec.json"
+    spec.save(path)
+    back = CampaignSpec.from_file(path)
+    assert back.to_dict() == spec.to_dict()
+    assert [j.to_dict() for j in back.expand()] == \
+        [j.to_dict() for j in spec.expand()]
+    job = spec.expand()[1]
+    assert Job.from_dict(json.loads(json.dumps(job.to_dict()))) == job
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="hint policy"):
+        CampaignSpec(hints="sometimes")
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        CampaignSpec(algorithms=["alg3"])
+    with pytest.raises(ValueError, match="strips unknown"):
+        CampaignSpec(threat_models={"weird": {"gravity": False}})
+    with pytest.raises(ValueError, match="unknown campaign spec keys"):
+        CampaignSpec.from_dict({"surprise": 1})
+
+
+# -- single-job execution ---------------------------------------------------
+
+
+def test_run_job_error_is_captured():
+    spec = CampaignSpec(
+        name="boom",
+        variants={"bad": {"builder": "no.such.module:fn"}},
+    )
+    result = run_job(spec.expand()[0])
+    assert result.verdict == "error"
+    assert "No module named" in result.error
+
+
+def test_job_result_json_roundtrip():
+    result = run_job(toy_spec().expand()[0])
+    assert result.verdict == "secure"
+    back = JobResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert back.job == result.job
+    assert back.verdict == result.verdict
+    assert back.detail == result.detail
+    assert back.stats == result.stats
+    assert back.hint == result.hint
+
+
+# -- hints ------------------------------------------------------------------
+
+
+def test_hints_seed_related_secure_runs():
+    spec = toy_spec(hints="first")
+    campaign = run_campaign(spec, workers=0)
+    donor, seeded, vulnerable = campaign.results
+    # The donor converges in 2 iterations, removing the skid buffer.
+    assert donor.verdict == "secure"
+    assert donor.hint["removed"] == ["soc.xbar.addr_buf"]
+    assert donor.seeded == []
+    # The related variant starts with the buffer already stripped and
+    # reaches the fixed point in a single iteration.
+    assert seeded.verdict == "secure"
+    assert seeded.seeded == ["soc.xbar.addr_buf"]
+    iterations = seeded.detail["result"]["iterations"]
+    assert len(iterations) == 1
+    # The vulnerable variant ignores the (transient-only) seed verdict-
+    # wise: a seeded vulnerability is re-confirmed from a clean start.
+    assert vulnerable.verdict == "vulnerable"
+    assert vulnerable.reran_unseeded
+    assert vulnerable.detail["result"]["seeded_removed"] == []
+
+
+def test_hint_verdicts_match_unhinted_runs():
+    hinted = run_campaign(toy_spec(hints="chain"), workers=0)
+    unhinted = run_campaign(toy_spec(hints="off"), workers=0)
+    for h, u in zip(hinted.results, unhinted.results):
+        assert h.verdict == u.verdict
+        assert h.detail["result"]["leaking"] == \
+            u.detail["result"]["leaking"]
+
+
+# -- parallel == serial -----------------------------------------------------
+
+
+def test_parallel_matches_serial_on_toys():
+    spec = toy_spec(hints="first", algorithms=["alg1", "alg2"])
+    serial = run_campaign(spec, workers=0)
+    parallel = run_campaign(spec, workers=3)
+    assert_bit_identical(serial, parallel)
+    verdicts = serial.verdicts()
+    assert verdicts["secure alg1"] == "secure"
+    assert verdicts["vulnerable alg1"] == "vulnerable"
+    assert verdicts["vulnerable alg2@k3"] == "vulnerable"
+
+
+def test_parallel_matches_serial_on_formal_tiny_grid():
+    # The paper's 4-variant Algorithm 1 table (without the IFT column,
+    # which test_spec_files_match_grids covers via the shipped spec).
+    spec = paper_spec(algorithms=["alg1"])
+    serial = run_campaign(spec, workers=0)
+    parallel = run_campaign(spec, workers=2)
+    assert_bit_identical(serial, parallel)
+    verdicts = serial.verdicts()
+    assert verdicts["baseline alg1"] == "vulnerable"
+    assert verdicts["no_timer alg1"] == "vulnerable"
+    assert verdicts["no_hwpe alg1"] == "vulnerable"
+    assert verdicts["secured alg1"] == "secure"
+    secured = next(r for r in serial.results
+                   if r.job.label() == "secured alg1")
+    iterations = secured.detail["result"]["iterations"]
+    assert len(iterations) == 3  # paper: secure after 3
+
+
+def test_spec_files_match_grids():
+    # The shipped spec files are frozen copies of the grid definitions;
+    # this guards the "experiment grid defined exactly once" invariant.
+    import pathlib
+
+    specs = pathlib.Path(__file__).parent.parent / "examples" / "specs"
+    assert CampaignSpec.from_file(specs / "paper.json").to_dict() == \
+        paper_spec().to_dict()
+    assert CampaignSpec.from_file(specs / "smoke.json").to_dict() == \
+        smoke_spec().to_dict()
+
+
+def test_serial_rejects_misordered_explicit_job_list():
+    jobs = toy_spec(hints="first").expand()
+    reordered = [jobs[1], jobs[0], jobs[2]]  # consumer before its donor
+    with pytest.raises(RuntimeError, match="donors"):
+        run_campaign(reordered, workers=0)
+
+
+def test_reran_unseeded_job_accumulates_both_runs_stats():
+    spec = toy_spec(hints="first")
+    campaign = run_campaign(spec, workers=0)
+    vulnerable = campaign.results[2]
+    assert vulnerable.reran_unseeded
+    # The job's rollup covers the discarded seeded attempt *and* the
+    # confirming unseeded run, so it exceeds the unseeded run alone.
+    unhinted = run_campaign(toy_spec(hints="off"), workers=0).results[2]
+    assert vulnerable.stats.sat_calls > unhinted.stats.sat_calls
+
+
+def test_streaming_and_ordering():
+    spec = toy_spec()
+    streamed = []
+    campaign = run_campaign(spec, workers=2,
+                            on_result=lambda r: streamed.append(r.job.index))
+    assert sorted(streamed) == [0, 1, 2]
+    assert [r.job.index for r in campaign.results] == [0, 1, 2]
+    assert campaign.wall_seconds > 0
+
+
+def test_per_job_timeout_kills_worker():
+    spec = CampaignSpec(
+        name="timeouts",
+        variants={
+            "slow": {"builder": "slow-toy", "args": {"sleep_seconds": 30}},
+            "fast": {"builder": "toy", "args": {"kind": "secure"}},
+        },
+        algorithms=["alg1"],
+        hints="off",
+        timeout_seconds=1.0,
+    )
+    start = time.monotonic()
+    campaign = run_campaign(spec, workers=2)
+    assert time.monotonic() - start < 20
+    results = by_index(campaign)
+    assert results[0].verdict == "timeout"
+    assert results[1].verdict == "secure"

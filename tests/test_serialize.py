@@ -1,0 +1,149 @@
+"""JSON round-trips for result records (worker IPC / campaign artifacts).
+
+Every record a campaign worker ships to the parent — and everything the
+campaign JSON artifact embeds — must survive
+``from_dict(json.loads(json.dumps(to_dict())))`` unchanged.  The tests
+exercise real results from the toy designs, so nested structures
+(iteration records, counterexamples with traces, inductive sub-results)
+are covered with live data rather than hand-built minima.
+"""
+
+import json
+
+from repro.formal import Trace
+from repro.rtl import Circuit, mux
+from repro.soc.config import FORMAL_TINY, SocConfig
+from repro.upec import (
+    CheckStats,
+    IterationRecord,
+    MiterCounterexample,
+    SscResult,
+    ThreatModel,
+    UnrolledResult,
+    VictimPort,
+    upec_ssc,
+    upec_ssc_unrolled,
+)
+
+ADDR_W = 4
+PAGE_BITS = 2
+
+
+def roundtrip(obj):
+    """to_dict -> JSON text -> from_dict on the object's own class."""
+    data = json.loads(json.dumps(obj.to_dict()))
+    return type(obj).from_dict(data)
+
+
+def make_tm(kind: str) -> ThreatModel:
+    """A toy design: 'vulnerable' (spy counter) or 'secure' (skid buffer)."""
+    c = Circuit(kind)
+    v_valid = c.add_input("v_valid", 1)
+    v_addr = c.add_input("v_addr", ADDR_W)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 4)
+    c.add_input("victim_page", ADDR_W - PAGE_BITS)
+    soc = c.scope("soc")
+    if kind == "vulnerable":
+        count = soc.child("spy").reg("count", 4, kind="ip")
+        c.set_next(count, mux(v_valid, count + 1, count))
+    else:
+        buf = soc.child("xbar").reg("addr_buf", ADDR_W, kind="interconnect")
+        c.set_next(buf, mux(v_valid, v_addr, buf))
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=PAGE_BITS,
+    )
+
+
+def assert_ssc_equal(a: SscResult, b: SscResult) -> None:
+    assert a.verdict == b.verdict
+    assert a.final_s == b.final_s
+    assert a.leaking == b.leaking
+    assert a.seeded_removed == b.seeded_removed
+    assert len(a.iterations) == len(b.iterations)
+    for x, y in zip(a.iterations, b.iterations):
+        assert x.to_dict() == y.to_dict()
+    assert (a.counterexample is None) == (b.counterexample is None)
+    if a.counterexample:
+        assert a.counterexample.to_dict() == b.counterexample.to_dict()
+
+
+def test_check_stats_roundtrip():
+    stats = CheckStats(aig_nodes=10, cnf_vars=20, conflicts=3,
+                       solve_seconds=0.5, encode_seconds=0.25, sat_calls=2,
+                       learned_kept=7)
+    assert roundtrip(stats) == stats
+    # Unknown keys from a newer writer are tolerated.
+    assert CheckStats.from_dict({"conflicts": 1, "new_field": 9}).conflicts == 1
+
+
+def test_trace_roundtrip():
+    trace = Trace(2)
+    trace.record(0, "soc.x", 1)
+    trace.record(2, "soc.y", 0xff)
+    back = roundtrip(trace)
+    assert back.depth == 2
+    assert back.cycles == trace.cycles
+
+
+def test_iteration_record_roundtrip():
+    rec = IterationRecord(
+        index=2, s_size=9, diff_names={"soc.b", "soc.a"},
+        removed={"soc.a"}, persistent_hits=set(),
+        stats=CheckStats(conflicts=4), unroll_depth=3,
+    )
+    back = roundtrip(rec)
+    assert back.diff_names == rec.diff_names
+    assert back.removed == rec.removed
+    assert back.stats == rec.stats
+    assert back.unroll_depth == 3
+
+
+def test_vulnerable_ssc_result_roundtrip():
+    result = upec_ssc(make_tm("vulnerable"))
+    assert result.vulnerable and result.counterexample is not None
+    back = roundtrip(result)
+    assert_ssc_equal(result, back)
+    # The embedded counterexample traces survive value-exactly.
+    cex, bex = result.counterexample, back.counterexample
+    assert bex.victim_page == cex.victim_page
+    assert bex.trace_a.cycles == cex.trace_a.cycles
+    assert bex.differing_signals() == cex.differing_signals()
+
+
+def test_secure_ssc_result_roundtrip():
+    result = upec_ssc(make_tm("secure"))
+    assert result.secure and result.counterexample is None
+    assert_ssc_equal(result, roundtrip(result))
+
+
+def test_unrolled_result_roundtrip():
+    result = upec_ssc_unrolled(make_tm("secure"), max_depth=3)
+    assert result.verdict == "secure"
+    assert result.inductive_result is not None
+    back = roundtrip(result)
+    assert back.verdict == result.verdict
+    assert back.reached_depth == result.reached_depth
+    assert [sorted(f) for f in back.s_frames] == \
+        [sorted(f) for f in result.s_frames]
+    assert_ssc_equal(result.inductive_result, back.inductive_result)
+
+
+def test_soc_config_roundtrip_and_variant_id():
+    assert SocConfig.from_dict(
+        json.loads(json.dumps(FORMAL_TINY.to_dict()))
+    ) == FORMAL_TINY
+    assert SocConfig().variant_id() == "default"
+    a = FORMAL_TINY.replace(secure=True)
+    b = FORMAL_TINY.replace(secure=True)
+    assert a.variant_id() == b.variant_id()
+    assert a.variant_id() != FORMAL_TINY.variant_id()
+    try:
+        SocConfig.from_dict({"no_such_field": 1})
+    except ValueError as err:
+        assert "no_such_field" in str(err)
+    else:
+        raise AssertionError("unknown field accepted")
