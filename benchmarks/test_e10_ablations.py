@@ -17,7 +17,8 @@ Four knobs the paper's sections motivate:
 
 import time
 
-from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc
+from repro import FORMAL_TINY, StateClassifier, build_soc
+from repro.upec import upec_ssc
 from repro.campaign.grids import paper_variant
 from repro.upec import UpecMiter
 

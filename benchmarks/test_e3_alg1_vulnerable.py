@@ -5,30 +5,36 @@ with ``S_cex`` intersecting ``S_pers`` — victim-dependent information
 reaches persistent, attacker-readable state (IP registers / memory
 device words).  Reported: verdict, iteration history, per-iteration
 solver cost (the paper reports sub-minute iterations on OneSpin).
+
+Runs through the unified API: one :class:`repro.verify.Verifier` call,
+the iteration history recovered from the verdict's native result.
 """
 
-from repro import StateClassifier, build_soc, upec_ssc
 from repro.campaign.grids import paper_variant
 from repro.upec.report import format_iterations
+from repro.verify import VULNERABLE, Verifier
 
 
 def test_e3_alg1_vulnerable(once, emit):
-    soc = build_soc(paper_variant("baseline"))
-    classifier = StateClassifier(soc.threat_model)
-    result = once(upec_ssc, soc.threat_model, classifier=classifier)
+    verifier = Verifier(paper_variant("baseline"))
+    verdict = once(verifier.verify, "alg1")
+    result = verdict.result_object()
+    classifier = verifier.classifier
     leak_lines = "\n".join(
-        "  " + classifier.describe(name) for name in sorted(result.leaking)
+        "  " + classifier.describe(name) for name in sorted(verdict.leaking)
     )
     emit(
         "e3_alg1_vulnerable",
-        f"verdict: {result.verdict.upper()}\n\n"
+        f"verdict: {verdict.status} (native: {verdict.raw_verdict})\n"
+        f"design: {verdict.provenance['design_fingerprint'] or 'default'}\n\n"
         + format_iterations(result.iterations)
         + "\n\npersistent state reached (S_cex intersect S_pers):\n"
         + leak_lines
         + f"\n\nconcrete victim page in cex: "
           f"{result.counterexample.victim_page:#x}",
     )
-    assert result.vulnerable
-    assert all(classifier.in_s_pers(n) for n in result.leaking)
+    assert verdict.status == VULNERABLE and result.vulnerable
+    assert verdict.leaking == result.leaking
+    assert all(classifier.in_s_pers(n) for n in verdict.leaking)
     # Detection cost stays in the paper's "below one minute" regime.
-    assert result.total_solve_seconds() < 60
+    assert verdict.stats.solve_seconds < 60

@@ -4,31 +4,29 @@ Sec. 4.1: the new BUSted variant was exposed with the unrolled
 procedure, "unrolled for 2 clock cycles to observe the delay of the
 HWPE memory access", with sub-minute proof iterations.  We regenerate
 the explicit multi-cycle counterexample and report the unrolling depth
-and iteration costs.
+and iteration costs — through the unified API (``method="alg2"``), the
+typed result rebuilt from the verdict for the trace rendering.
 """
 
-from repro import StateClassifier, build_soc, upec_ssc_unrolled
 from repro.campaign.grids import paper_variant
 from repro.upec.report import format_counterexample, format_iterations
+from repro.verify import VULNERABLE, Verifier
 
 
 def test_e4_alg2_unrolled(once, emit):
-    soc = build_soc(paper_variant("baseline"))
-    classifier = StateClassifier(soc.threat_model)
-    result = once(
-        upec_ssc_unrolled, soc.threat_model, classifier=classifier,
-        max_depth=3,
-    )
+    verifier = Verifier(paper_variant("baseline"))
+    verdict = once(verifier.verify, "alg2", depth=3)
+    result = verdict.result_object()
     emit(
         "e4_alg2_unrolled",
-        f"verdict: {result.verdict.upper()} at unrolling depth "
+        f"verdict: {verdict.status} at unrolling depth "
         f"k = {result.reached_depth} (paper: k = 2)\n\n"
         + format_iterations(result.iterations)
         + "\n\n"
-        + format_counterexample(result.counterexample, classifier,
+        + format_counterexample(result.counterexample, verifier.classifier,
                                 max_signals=16),
     )
-    assert result.vulnerable
+    assert verdict.status == VULNERABLE and result.vulnerable
     # The paper found the HWPE-delay scenario within 2 unrolled cycles.
     assert result.reached_depth <= 2
-    assert sum(r.stats.solve_seconds for r in result.iterations) < 60
+    assert verdict.stats.solve_seconds < 60

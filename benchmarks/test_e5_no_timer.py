@@ -6,19 +6,21 @@ cheap and popular countermeasure against timing attacks, where access
 to system timers is denied to untrusted tasks."
 
 Both sides reproduced: the timer-less SoC is (a) still proven
-vulnerable by UPEC-SSC and (b) still empirically leaky in simulation
-via the HWPE's overwrite progress.
+vulnerable through the unified API and (b) still empirically leaky in
+simulation via the HWPE's overwrite progress.
 """
 
-from repro import ATTACK_DEMO, build_soc, upec_ssc
+from repro import ATTACK_DEMO, build_soc
 from repro.attacks import analyze_channel, hwpe_attack_sweep
 from repro.campaign.grids import paper_variant
+from repro.verify import VULNERABLE, verify
 
 
 def test_e5_no_timer(once, emit):
     # Formal side: remove the timer IP entirely.
-    formal_soc = build_soc(paper_variant("no_timer"))
-    result = once(upec_ssc, formal_soc.threat_model)
+    verdict = once(verify, design=paper_variant("no_timer"), method="alg1",
+                   use_cache=False)
+    iterations = verdict.detail["result"]["iterations"]
 
     # Empirical side: the HWPE attack on a timer-less SoC.
     demo_soc = build_soc(paper_variant("no_timer", base=ATTACK_DEMO))
@@ -28,12 +30,12 @@ def test_e5_no_timer(once, emit):
     emit(
         "e5_no_timer",
         "SoC variant: no timer IP (timer-denial countermeasure applied)\n\n"
-        f"UPEC-SSC verdict: {result.verdict.upper()} "
-        f"({len(result.iterations)} iterations)\n"
-        f"leaking state: {', '.join(sorted(result.leaking)[:4])}\n\n"
+        f"UPEC-SSC verdict: {verdict.status} "
+        f"({len(iterations)} iterations)\n"
+        f"leaking state: {', '.join(sorted(verdict.leaking)[:4])}\n\n"
         "Empirical channel via HWPE overwrite progress:\n"
         + report.format_table(),
     )
-    assert result.vulnerable
-    assert all("timer" not in name for name in result.leaking)
+    assert verdict.status == VULNERABLE
+    assert all("timer" not in name for name in verdict.leaking)
     assert report.leaks

@@ -10,25 +10,29 @@ device, DMA/HWPE excluded by firmware constraints, reachability
 invariants proven by 1-induction) reaches the secure fixed point after
 a handful of iterations that strip only transient interconnect/pipeline
 buffers from S.  Absolute runtimes are not comparable (pure-Python SAT
-vs OneSpin, scaled design) and are reported as measured.
+vs OneSpin, scaled design) and are reported as measured.  The proof
+runs through the unified API; the invariants themselves are re-proven
+with ``method="k-induction"`` on the same handle.
 """
 
-from repro import StateClassifier, build_soc, upec_ssc
 from repro.campaign.grids import paper_variant
-from repro.soc.invariants import verify_soc_invariants
 from repro.upec.report import format_iterations
+from repro.verify import SECURE, Verifier
 
 
 def test_e6_countermeasure(once, emit):
-    soc = build_soc(paper_variant("secured"))
-    invariants = verify_soc_invariants(soc)
-    classifier = StateClassifier(soc.threat_model)
-    result = once(upec_ssc, soc.threat_model, classifier=classifier)
+    verifier = Verifier(paper_variant("secured"))
+    invariants = verifier.verify(method="k-induction", depth=1,
+                                 record_trace=False)
+    verdict = once(verifier.verify, "alg1")
+    result = verdict.result_object()
+    classifier = verifier.classifier
     removed = sorted(set().union(*(r.removed for r in result.iterations)))
     emit(
         "e6_countermeasure",
-        f"reachability invariants proven (1-induction): {invariants.proved}\n"
-        f"verdict: {result.verdict.upper()} after {len(result.iterations)} "
+        f"reachability invariants proven (1-induction): "
+        f"{invariants.raw_verdict == 'proved'}\n"
+        f"verdict: {verdict.status} after {len(result.iterations)} "
         "iterations (paper: secure after 3)\n\n"
         + format_iterations(result.iterations)
         + "\n\ntransient state removed from S before the fixed point:\n"
@@ -36,7 +40,7 @@ def test_e6_countermeasure(once, emit):
         + f"\n\ntotal solver time: {result.total_solve_seconds():.1f} s "
           "(paper iterations: 58 s .. 2 h 52 min on OneSpin/i9-13900K)",
     )
-    assert invariants.proved
-    assert result.secure
+    assert invariants.status == SECURE and invariants.raw_verdict == "proved"
+    assert verdict.status == SECURE and result.secure
     # Only transient (non-S_pers) state may be stripped on the way.
     assert all(not classifier.in_s_pers(name) for name in removed)

@@ -2,18 +2,21 @@
 
 The method's coverage is not specific to the HWPE: with the accelerator
 removed, the DMA alone still carries a contention channel (the attack of
-Bognar et al. and the Fig. 1 example), and UPEC-SSC still detects it.
-Empirically, the DMA+timer attack confirms the channel in simulation.
+Bognar et al. and the Fig. 1 example), and UPEC-SSC — asked through the
+unified API — still detects it.  Empirically, the DMA+timer attack
+confirms the channel in simulation.
 """
 
-from repro import ATTACK_DEMO, build_soc, upec_ssc
+from repro import ATTACK_DEMO, build_soc
 from repro.attacks import analyze_channel, dma_timer_attack_sweep
 from repro.campaign.grids import paper_variant
+from repro.verify import VULNERABLE, verify
 
 
 def test_e9_dma_variant(once, emit):
-    formal_soc = build_soc(paper_variant("no_hwpe"))
-    result = once(upec_ssc, formal_soc.threat_model)
+    verdict = once(verify, design=paper_variant("no_hwpe"), method="alg1",
+                   use_cache=False)
+    iterations = verdict.detail["result"]["iterations"]
 
     demo_soc = build_soc(paper_variant("no_hwpe", base=ATTACK_DEMO))
     report = analyze_channel(
@@ -22,10 +25,10 @@ def test_e9_dma_variant(once, emit):
     emit(
         "e9_dma_variant",
         "SoC variant: DMA only (no HWPE accelerator)\n\n"
-        f"UPEC-SSC verdict: {result.verdict.upper()} "
-        f"({len(result.iterations)} iterations)\n"
-        f"leaking state: {', '.join(sorted(result.leaking)[:4])}\n\n"
+        f"UPEC-SSC verdict: {verdict.status} "
+        f"({len(iterations)} iterations)\n"
+        f"leaking state: {', '.join(sorted(verdict.leaking)[:4])}\n\n"
         "Empirical DMA+timer channel:\n" + report.format_table(),
     )
-    assert result.vulnerable
+    assert verdict.status == VULNERABLE
     assert report.leaks

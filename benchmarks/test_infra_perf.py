@@ -17,11 +17,11 @@ benchmarks track absolute cost plus equivalence.
 
 import time
 
-from repro import ATTACK_DEMO, FORMAL_TINY, build_soc, upec_ssc, upec_ssc_unrolled
+from repro import ATTACK_DEMO, FORMAL_TINY, build_soc
 from repro.aig import Aig
 from repro.sat import Solver
 from repro.sim import Simulator
-from repro.upec import StateClassifier, UpecMiter
+from repro.upec import StateClassifier, UpecMiter, upec_ssc, upec_ssc_unrolled
 
 
 def test_sat_solver_php(benchmark):
@@ -43,6 +43,49 @@ def test_sat_solver_php(benchmark):
         return solver.solve()
 
     assert benchmark(solve) is False
+
+
+def test_vsids_indexed_heap_vs_lazy(benchmark):
+    """The fully indexed decrease-key VSIDS heap vs the lazy default.
+
+    Same PHP(7,6) instance under both branching-order bookkeepings: the
+    search trajectories must coincide exactly (same decisions and
+    conflicts — the indexed heap is behind the same branching order),
+    and the benchmark records the per-mode runtimes.  See
+    ``benchmarks/results/vsids_indexed_heap.txt`` for the FORMAL_TINY
+    measurements that keep the lazy scheme the default.
+    """
+    pigeons, holes = 7, 6
+
+    def build(indexed):
+        solver = Solver(indexed_vsids=indexed)
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        return solver
+
+    def run_both():
+        stats = []
+        for indexed in (False, True):
+            solver = build(indexed)
+            start = time.perf_counter()
+            assert solver.solve() is False
+            stats.append((time.perf_counter() - start,
+                          solver.stats["decisions"],
+                          solver.stats["conflicts"]))
+        return stats
+
+    (lazy_s, lazy_d, lazy_c), (idx_s, idx_d, idx_c) = benchmark(run_both)
+    assert (lazy_d, lazy_c) == (idx_d, idx_c)  # identical branching
+    benchmark.extra_info["lazy_seconds"] = round(lazy_s, 3)
+    benchmark.extra_info["indexed_seconds"] = round(idx_s, 3)
 
 
 def test_simulator_throughput(benchmark):

@@ -1,38 +1,41 @@
 #!/usr/bin/env python3
 """Quickstart: detect an MCU-wide timing side channel, fix it, prove it.
 
-Builds the Pulpissimo-style SoC of the paper's case study (Sec. 4),
-runs UPEC-SSC Algorithm 1 on it (vulnerable), then applies the
-countermeasure of Sec. 4.2 and proves the fixed SoC secure.
+One API for everything: build a :class:`repro.verify.Verifier` on the
+Pulpissimo-style SoC of the paper's case study (Sec. 4), ask it
+``method="alg1"`` (vulnerable), then apply the countermeasure of
+Sec. 4.2 and re-ask — the invariants proof and the security proof are
+the same call with a different ``method=``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import FORMAL_TINY, StateClassifier, build_soc, format_result, upec_ssc
-from repro.soc.invariants import verify_soc_invariants
+from repro import FORMAL_TINY
+from repro.upec.report import format_verdict
+from repro.verify import SECURE, VULNERABLE, Verifier
 
 
 def main() -> None:
     print("=" * 72)
     print("UPEC-SSC on the baseline (vulnerable) SoC")
     print("=" * 72)
-    soc = build_soc(FORMAL_TINY)
-    classifier = StateClassifier(soc.threat_model)
-    result = upec_ssc(soc.threat_model, classifier=classifier)
-    print(format_result(result, classifier))
-    assert result.vulnerable, "the baseline SoC must be vulnerable"
+    baseline = Verifier(FORMAL_TINY)
+    verdict = baseline.verify(method="alg1")
+    print(format_verdict(verdict, baseline.classifier))
+    assert verdict.status == VULNERABLE, "the baseline SoC must be vulnerable"
 
     print()
     print("=" * 72)
     print("Applying the countermeasure (Sec. 4.2) and re-proving")
     print("=" * 72)
-    fixed = build_soc(FORMAL_TINY.replace(secure=True))
-    invariants = verify_soc_invariants(fixed)
-    print(f"reachability invariants proven by 1-induction: {invariants.proved}")
-    classifier = StateClassifier(fixed.threat_model)
-    result = upec_ssc(fixed.threat_model, classifier=classifier)
-    print(format_result(result, classifier))
-    assert result.secure, "the countermeasure must close the channel"
+    fixed = Verifier(FORMAL_TINY.replace(secure=True))
+    invariants = fixed.verify(method="k-induction", depth=1,
+                              record_trace=False)
+    print(f"reachability invariants proven by 1-induction: "
+          f"{invariants.raw_verdict == 'proved'}")
+    verdict = fixed.verify(method="alg1")
+    print(format_verdict(verdict, fixed.classifier))
+    assert verdict.status == SECURE, "the countermeasure must close the channel"
     print()
     print("Done: vulnerability detected, countermeasure formally verified.")
 

@@ -3,21 +3,24 @@
 
 What a verification engineer adopting UPEC-SSC would run: the paper's
 variant grid (one declarative :class:`repro.campaign.CampaignSpec`) is
-fanned out across worker processes — every variant checked with
-Algorithm 1 and contrasted against the IFT baseline — then the
-vulnerable baseline is debugged with Algorithm 2's explicit
-counterexample trace.
+fanned out across a pluggable executor — fork pool here; swap in
+``SpawnPoolExecutor`` or ``TcpExecutor([...])`` without touching the
+spec — every variant checked with Algorithm 1 and contrasted against
+the IFT baseline, then the vulnerable baseline is debugged with
+Algorithm 2's explicit counterexample trace through the unified
+:mod:`repro.verify` API.
 
 Run:  python examples/verification_campaign.py
 """
 
-from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc_unrolled
-from repro.campaign import paper_spec, run_campaign
+from repro import FORMAL_TINY
+from repro.campaign import ForkPoolExecutor, paper_spec, run_campaign
 from repro.upec.report import (
     format_campaign,
     format_counterexample,
     format_job_line,
 )
+from repro.verify import VerdictCache, Verifier
 
 WORKERS = 2
 
@@ -25,15 +28,19 @@ WORKERS = 2
 def main() -> None:
     spec = paper_spec()  # Sec. 4 variant table + the Sec. 5 IFT contrast
     jobs = spec.expand()
-    print(f"campaign {spec.name!r}: {len(jobs)} jobs on {WORKERS} workers")
+    print(f"campaign {spec.name!r}: {len(jobs)} jobs on a "
+          f"{WORKERS}-worker fork pool")
     campaign = run_campaign(
-        spec, workers=WORKERS,
+        spec,
+        executor=ForkPoolExecutor(WORKERS),
+        cache=VerdictCache(),  # content-addressed: repeats are free
         on_result=lambda r: print(format_job_line(r), flush=True),
     )
     print()
     print(format_campaign(
         campaign.results,
-        title=f"paper variant table ({campaign.wall_seconds:.1f} s wall)",
+        title=f"paper variant table ({campaign.wall_seconds:.1f} s wall, "
+              f"executor={campaign.executor})",
     ))
 
     verdicts = campaign.verdicts()
@@ -50,16 +57,15 @@ def main() -> None:
     print("=" * 72)
     print("Debugging the baseline with Algorithm 2 (explicit counterexample)")
     print("=" * 72)
-    soc = build_soc(FORMAL_TINY)
-    classifier = StateClassifier(soc.threat_model)
-    unrolled = upec_ssc_unrolled(
-        soc.threat_model, classifier=classifier, max_depth=3
-    )
-    assert unrolled.vulnerable
-    print(f"vulnerability exposed at unrolling depth k = {unrolled.reached_depth}")
+    verifier = Verifier(FORMAL_TINY)
+    verdict = verifier.verify(method="alg2", depth=3)
+    unrolled = verdict.result_object()
+    assert verdict.vulnerable
+    print(f"vulnerability exposed at unrolling depth "
+          f"k = {unrolled.reached_depth}")
     print()
-    print(format_counterexample(unrolled.counterexample, classifier,
-                                max_signals=12))
+    print(format_counterexample(unrolled.counterexample,
+                                verifier.classifier, max_signals=12))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,11 @@ with every substrate it needs:
 * :mod:`repro.formal` — symbolic unrolling, IPC, BMC, k-induction;
 * :mod:`repro.upec` — the paper's contribution: the 2-safety miter,
   Algorithm 1 and Algorithm 2, state classification, reports;
+* :mod:`repro.verify` — the unified public API: one
+  :class:`VerificationRequest` in, one :class:`Verdict` out, for every
+  method (alg1, alg2, bmc, k-induction, ift-baseline);
+* :mod:`repro.campaign` — declarative grids on pluggable executors
+  (serial / fork / spawn / TCP workers);
 * :mod:`repro.soc` — a Pulpissimo-style MCU SoC case study (CPU, DMA,
   HWPE accelerator, timer, UART, GPIO, SPI, two memories, crossbar);
 * :mod:`repro.sim` — a cycle-accurate simulator and testbench tools;
@@ -18,15 +23,21 @@ with every substrate it needs:
 
 Quickstart::
 
-    from repro import build_soc, FORMAL_TINY, upec_ssc
+    from repro import FORMAL_TINY, verify
 
-    soc = build_soc(FORMAL_TINY)                 # vulnerable SoC
-    result = upec_ssc(soc.threat_model)
-    assert result.vulnerable
+    verdict = verify(design=FORMAL_TINY)            # Algorithm 1
+    assert verdict.vulnerable and verdict.leaking
 
-    fixed = build_soc(FORMAL_TINY.replace(secure=True))
-    assert upec_ssc(fixed.threat_model).secure
+    fixed = verify(design=FORMAL_TINY.replace(secure=True))
+    assert fixed.secure
+
+The pre-redesign entry points (``upec_ssc``, ``upec_ssc_unrolled``,
+``bmc``, ``find_induction_depth``, ``bounded_ift_check``) remain
+importable from this namespace as deprecated shims; they forward to
+the same engines :func:`verify` drives.
 """
+
+import warnings as _warnings
 
 from .campaign import CampaignSpec, paper_spec, run_campaign
 from .soc import (
@@ -46,11 +57,59 @@ from .upec import (
     UnrolledResult,
     VictimPort,
     format_result,
-    upec_ssc,
-    upec_ssc_unrolled,
+)
+from .verify import (
+    VerdictCache,
+    VerificationRequest,
+    Verdict,
+    Verifier,
+    verify,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Legacy entry points: top-level name -> (module, attribute, replacement).
+#: Accessing one emits a DeprecationWarning and forwards to the original
+#: implementation, which :func:`repro.verify.verify` drives internally.
+_DEPRECATED_ENTRY_POINTS = {
+    "upec_ssc": (
+        "repro.upec.ssc", "upec_ssc",
+        'repro.verify.verify(design=..., method="alg1")',
+    ),
+    "upec_ssc_unrolled": (
+        "repro.upec.unrolled", "upec_ssc_unrolled",
+        'repro.verify.verify(design=..., method="alg2")',
+    ),
+    "bmc": (
+        "repro.formal.bmc", "bmc",
+        'repro.verify.verify(design=..., method="bmc")',
+    ),
+    "find_induction_depth": (
+        "repro.formal.induction", "find_induction_depth",
+        'repro.verify.verify(design=..., method="k-induction")',
+    ),
+    "bounded_ift_check": (
+        "repro.ift.engine", "bounded_ift_check",
+        'repro.verify.verify(design=..., method="ift-baseline")',
+    ),
+}
+
+
+def __getattr__(name: str):
+    entry = _DEPRECATED_ENTRY_POINTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr, replacement = entry
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} (or import the "
+        f"implementation from {module_name})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
 
 __all__ = [
     "ATTACK_DEMO",
@@ -70,7 +129,16 @@ __all__ = [
     "UnrolledResult",
     "VictimPort",
     "format_result",
+    "VerificationRequest",
+    "Verdict",
+    "VerdictCache",
+    "Verifier",
+    "verify",
+    # deprecated shims (emit DeprecationWarning on access):
     "upec_ssc",
     "upec_ssc_unrolled",
+    "bmc",
+    "find_induction_depth",
+    "bounded_ift_check",
     "__version__",
 ]

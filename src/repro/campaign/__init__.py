@@ -8,14 +8,32 @@ makes that loop declarative and parallel:
   (variants × threat models × algorithms × depths);
 * :class:`Job` / :class:`JobResult` — serializable work units and
   outcomes (worker IPC and the campaign JSON artifact);
-* :func:`run_campaign` — serial or multi-process execution with
-  deterministic hint sharing, per-job timeouts and result streaming;
+* :func:`run_campaign` — the deterministic scheduler (hint flow follows
+  ``Job.seed_from``, never scheduling order) over a pluggable
+  :class:`Executor`: :class:`SerialExecutor` (in-process reference),
+  :class:`ForkPoolExecutor` / :class:`SpawnPoolExecutor` (process
+  pools with per-job timeouts), or :class:`TcpExecutor`
+  (``python -m repro.verify worker`` endpoints — cross-host);
 * :mod:`repro.campaign.grids` — the paper's experiment grid, defined
   once for benchmarks, examples and spec files;
 * ``python -m repro.campaign <spec.json>`` — run a spec file end to
   end, emitting the text verdict matrix and a JSON artifact.
+
+Jobs execute through :mod:`repro.verify` (one engine for campaign jobs
+and one-shot ``verify()`` calls) and may be answered from its
+content-addressed verdict cache.
 """
 
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ForkPoolExecutor,
+    JobFuture,
+    SerialExecutor,
+    SpawnPoolExecutor,
+    TcpExecutor,
+    make_executor,
+)
 from .grids import (
     PAPER_VARIANT_LABELS,
     PAPER_VARIANTS,
@@ -27,6 +45,7 @@ from .runner import (
     CampaignResult,
     JobResult,
     register_builder,
+    request_from_job,
     run_campaign,
     run_job,
 )
@@ -38,12 +57,21 @@ __all__ = [
     "Job",
     "JobResult",
     "CampaignResult",
+    "Executor",
+    "JobFuture",
+    "SerialExecutor",
+    "ForkPoolExecutor",
+    "SpawnPoolExecutor",
+    "TcpExecutor",
+    "EXECUTOR_NAMES",
+    "make_executor",
     "PAPER_VARIANTS",
     "PAPER_VARIANT_LABELS",
     "paper_spec",
     "paper_variant",
     "smoke_spec",
     "register_builder",
+    "request_from_job",
     "run_campaign",
     "run_job",
 ]

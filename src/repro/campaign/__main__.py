@@ -5,9 +5,16 @@ Usage::
     python -m repro.campaign examples/specs/paper.json --workers 2
     python -m repro.campaign paper          # built-in paper grid
     python -m repro.campaign smoke --json smoke_report.json
+    python -m repro.campaign smoke --executor spawn --workers 2
+    python -m repro.campaign smoke --executor tcp \\
+        --connect 127.0.0.1:7321 --connect 127.0.0.1:7322
 
 Streams one line per completed job, prints the verdict matrix, and
 writes the full JSON artifact (spec + per-job results + summary).
+Solved jobs are answered from the content-addressed verdict cache when
+``--cache-dir`` names a persistent store (``--no-cache`` disables
+caching entirely).  Malformed specs, unknown names and unreadable files
+exit with a single-line diagnostic, not a traceback.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ import pathlib
 import sys
 
 from ..upec.report import campaign_summary, format_campaign, format_job_line
+from ..verify.cache import VerdictCache
+from .executors import EXECUTOR_NAMES, make_executor
 from .grids import paper_spec, smoke_spec
 from .runner import run_campaign
 from .spec import CampaignSpec
@@ -52,6 +61,16 @@ def main(argv=None) -> int:
               "(no per-job timeouts)"),
     )
     parser.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help=("execution strategy (default: serial when --workers 0, "
+              "else fork)"),
+    )
+    parser.add_argument(
+        "--connect", action="append", metavar="HOST:PORT", default=None,
+        help=("TCP worker endpoint for --executor tcp (repeatable; "
+              "start workers with 'python -m repro.verify worker')"),
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help=("JSON artifact path (default: <campaign name>_report.json "
               "in the working directory)"),
@@ -65,6 +84,15 @@ def main(argv=None) -> int:
         help="hint-cache policy, overriding the spec",
     )
     parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed verdict cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help=("persistent verdict cache directory (default: in-memory "
+              "for this run only)"),
+    )
+    parser.add_argument(
         "--traces", action="store_true",
         help="decode counterexample traces into the artifact",
     )
@@ -74,7 +102,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    spec = load_spec(args.spec)
+    try:
+        spec = load_spec(args.spec)
+    except FileNotFoundError:
+        print(f"error: spec file not found: {args.spec}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed JSON in spec {args.spec}: {exc}",
+              file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"error: invalid campaign spec {args.spec}: {exc}",
+              file=sys.stderr)
+        return 2
+
     if args.timeout is not None:
         spec.timeout_seconds = args.timeout
     if args.hints is not None:
@@ -82,21 +126,39 @@ def main(argv=None) -> int:
     if args.traces:
         spec.record_traces = True
 
-    jobs = spec.expand()
+    executor_name = args.executor or ("serial" if args.workers <= 0
+                                      else "fork")
+    try:
+        jobs = spec.expand()
+        executor = make_executor(
+            executor_name, workers=max(args.workers, 1),
+            connect=args.connect or (),
+        )
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else VerdictCache(args.cache_dir)
+
     print(f"campaign {spec.name!r}: {len(jobs)} jobs, "
-          f"{args.workers} worker(s), hints={spec.hints}")
+          f"executor={executor.name}, {args.workers} worker(s), "
+          f"hints={spec.hints}"
+          + (", cache off" if cache is None else ""))
 
     def stream(result) -> None:
         if not args.quiet:
             print(format_job_line(result), flush=True)
 
-    campaign = run_campaign(spec, workers=args.workers, on_result=stream)
+    campaign = run_campaign(jobs, workers=args.workers,
+                            on_result=stream, executor=executor,
+                            cache=cache)
 
     print()
     print(format_campaign(
         campaign.results,
         title=f"campaign {spec.name!r} "
               f"({campaign.wall_seconds:.1f} s wall, "
+              f"executor={campaign.executor}, "
               f"{args.workers} worker(s))",
     ))
 

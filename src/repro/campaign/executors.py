@@ -1,0 +1,479 @@
+"""Pluggable campaign executors.
+
+:func:`~repro.campaign.runner.run_campaign` is a *scheduler*: it decides
+which job may start (hint donors first) and in what order results are
+folded back.  **How** a job runs is an :class:`Executor`'s business:
+
+* :class:`SerialExecutor` — in the calling process, one at a time: the
+  reference mode.  No per-job timeout enforcement (nothing to kill).
+* :class:`ForkPoolExecutor` — one forked process per job, at most
+  ``workers`` alive at a time, per-job timeouts by termination.
+  Registered design builders are inherited.  POSIX only.
+* :class:`SpawnPoolExecutor` — identical contract on the ``spawn``
+  start method: fresh interpreters, so it works on Windows and under
+  threads; designs must be serializable or importable
+  (``"pkg.mod:fn"``), in-process ``register_builder`` names are not.
+* :class:`TcpExecutor` — ships jobs to ``python -m repro.verify
+  worker`` processes over the length-prefixed JSON protocol
+  (:mod:`repro.verify.protocol`): the first cross-host transport.
+
+All four observe the same contract — ``submit(job, hints) -> JobFuture``,
+``drain(block) -> completed futures`` — and the scheduler's hint flow
+follows ``Job.seed_from``, never scheduling order, so every executor
+produces bit-identical campaign results.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..verify.protocol import parse_address, recv_frame, send_frame
+from .spec import Job
+
+__all__ = [
+    "JobFuture",
+    "Executor",
+    "SerialExecutor",
+    "ForkPoolExecutor",
+    "SpawnPoolExecutor",
+    "TcpExecutor",
+    "EXECUTOR_NAMES",
+    "make_executor",
+]
+
+
+class JobFuture:
+    """A completion handle for one submitted job."""
+
+    __slots__ = ("job", "_result")
+
+    def __init__(self, job: Job):
+        self.job = job
+        self._result = None
+
+    def done(self) -> bool:
+        return self._result is not None
+
+    def result(self):
+        """The :class:`~repro.campaign.runner.JobResult` (once done)."""
+        if self._result is None:
+            raise RuntimeError(f"job {self.job.index} has not completed")
+        return self._result
+
+    def _finish(self, result) -> None:
+        self._result = result
+
+
+class Executor:
+    """The execution-strategy protocol ``run_campaign`` drives.
+
+    Implementations own worker lifecycle and per-job timeout
+    enforcement; they never decide scheduling (donor ordering is the
+    scheduler's contract).
+    """
+
+    #: Display name (campaign artifacts record which transport ran).
+    name = "executor"
+
+    def capacity(self) -> int:
+        """Concurrent worker slots (0 = in-process, no real workers)."""
+        raise NotImplementedError
+
+    def has_slot(self) -> bool:
+        """Whether ``submit`` may be called right now."""
+        raise NotImplementedError
+
+    def submit(self, job: Job, hints) -> JobFuture:
+        """Start one job with its donor hint payloads."""
+        raise NotImplementedError
+
+    def drain(self, block: bool = True) -> list[JobFuture]:
+        """Completed futures since the last call.
+
+        With ``block=True`` and jobs in flight, waits until at least
+        one future completes (or times out a job); returns ``[]`` only
+        when nothing is in flight.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _timeout_result(job: Job):
+    from .runner import JobResult
+
+    return JobResult(
+        job=job, verdict="timeout",
+        seconds=job.timeout_seconds or 0.0,
+        error=f"terminated after {job.timeout_seconds:.1f}s budget",
+    )
+
+
+def _worker_death_result(job: Job, reason: str):
+    from .runner import JobResult
+
+    return JobResult(job=job, verdict="error", error=reason)
+
+
+class SerialExecutor(Executor):
+    """In-process reference executor: ``submit`` runs the job inline.
+
+    Futures come back from ``submit`` already completed (the scheduler
+    consumes ``done()`` futures on the spot — which is what lets a
+    verdict-cache entry written by job *n* answer job *n+1* within the
+    same serial run); ``drain`` therefore never has anything to report.
+    """
+
+    name = "serial"
+
+    def capacity(self) -> int:
+        return 0  # in-process: no worker processes at all
+
+    def has_slot(self) -> bool:
+        return True
+
+    def submit(self, job: Job, hints) -> JobFuture:
+        from .runner import run_job
+
+        future = JobFuture(job)
+        future._finish(run_job(job, hints))
+        return future
+
+    def drain(self, block: bool = True) -> list[JobFuture]:
+        return []
+
+
+def _process_job_main(job_data: dict, hints, conn) -> None:
+    """Worker-process entry: run one job, ship the result, exit.
+
+    Module-level so the ``spawn`` start method can import it by
+    reference from a fresh interpreter.
+    """
+    from .runner import run_job
+
+    job = Job.from_dict(job_data)
+    result = run_job(job, hints)
+    conn.send(result.to_dict())
+    conn.close()
+
+
+class _ProcessPoolExecutor(Executor):
+    """One process per job on a multiprocessing start method."""
+
+    start_method: str | None = None
+
+    def __init__(self, workers: int = 1):
+        import multiprocessing
+
+        if workers < 1:
+            raise ValueError("process pools need at least one worker slot")
+        self.workers = workers
+        try:
+            self._ctx = multiprocessing.get_context(self.start_method)
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context()
+        self._running: dict = {}  # receiver conn -> (future, process, deadline)
+
+    def capacity(self) -> int:
+        return self.workers
+
+    def has_slot(self) -> bool:
+        return len(self._running) < self.workers
+
+    def submit(self, job: Job, hints) -> JobFuture:
+        if not self.has_slot():
+            raise RuntimeError("no free worker slot; call drain() first")
+        receiver, sender = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_process_job_main,
+            args=(job.to_dict(), hints, sender),
+            daemon=True,
+        )
+        process.start()
+        sender.close()
+        deadline = (
+            time.monotonic() + job.timeout_seconds
+            if job.timeout_seconds else None
+        )
+        future = JobFuture(job)
+        self._running[receiver] = (future, process, deadline)
+        return future
+
+    def drain(self, block: bool = True) -> list[JobFuture]:
+        from multiprocessing.connection import wait as conn_wait
+
+        from .runner import JobResult
+
+        completed: list[JobFuture] = []
+        while True:
+            if not self._running:
+                return completed
+            deadlines = [d for (_, _, d) in self._running.values()
+                         if d is not None]
+            if not block:
+                timeout = 0.0
+            elif deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+            else:
+                timeout = None
+            ready = conn_wait(list(self._running), timeout=timeout)
+            for conn in ready:
+                future, process, _ = self._running.pop(conn)
+                try:
+                    payload = conn.recv()
+                    result = JobResult.from_dict(payload)
+                except (EOFError, OSError) as exc:
+                    # The worker died before (or while) shipping a
+                    # result; a mid-message death raises OSError, a
+                    # clean one EOFError — neither may kill the
+                    # campaign.
+                    result = _worker_death_result(
+                        future.job,
+                        f"worker exited with code {process.exitcode}"
+                        + (f" ({exc})" if isinstance(exc, OSError) else ""),
+                    )
+                conn.close()
+                process.join()
+                future._finish(result)
+                completed.append(future)
+            if not ready:
+                now = time.monotonic()
+                for conn, (future, process, deadline) in \
+                        list(self._running.items()):
+                    if deadline is not None and now >= deadline:
+                        process.terminate()
+                        process.join()
+                        conn.close()
+                        del self._running[conn]
+                        future._finish(_timeout_result(future.job))
+                        completed.append(future)
+            if completed or not block:
+                return completed
+
+    def close(self) -> None:
+        for conn, (future, process, _) in list(self._running.items()):
+            process.terminate()
+            process.join()
+            conn.close()
+        self._running.clear()
+
+
+class ForkPoolExecutor(_ProcessPoolExecutor):
+    """Today's default: forked workers inherit builder registrations."""
+
+    name = "fork"
+    start_method = "fork"
+
+
+class SpawnPoolExecutor(_ProcessPoolExecutor):
+    """Fresh-interpreter workers (the Windows-compatible pool)."""
+
+    name = "spawn"
+    start_method = "spawn"
+
+
+class _WorkerConn:
+    """One TCP worker endpoint: its socket, state and in-flight job."""
+
+    #: Seconds to wait before re-attempting a failed endpoint — a dead
+    #: worker must not stall the scheduler loop with a blocking connect
+    #: per ``has_slot`` call.
+    RETRY_BACKOFF = 10.0
+
+    __slots__ = ("address", "sock", "future", "deadline", "retry_at")
+
+    def __init__(self, address: tuple[str, int]):
+        self.address = address
+        self.sock: socket.socket | None = None
+        self.future: JobFuture | None = None
+        self.deadline: float | None = None
+        self.retry_at = 0.0  # monotonic time before which not to redial
+
+    @property
+    def busy(self) -> bool:
+        return self.future is not None
+
+    def connect(self, timeout: float) -> bool:
+        if self.sock is not None:
+            return True
+        if time.monotonic() < self.retry_at:
+            return False
+        try:
+            self.sock = socket.create_connection(self.address,
+                                                 timeout=timeout)
+            self.sock.settimeout(None)
+            self.retry_at = 0.0
+            return True
+        except OSError:
+            self.sock = None
+            self.retry_at = time.monotonic() + self.RETRY_BACKOFF
+            return False
+
+    def drop(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            finally:
+                self.sock = None
+        self.future = None
+        self.deadline = None
+
+
+class TcpExecutor(Executor):
+    """Ship jobs to remote ``python -m repro.verify worker`` processes.
+
+    Args:
+        addresses: worker endpoints, as ``"host:port"`` strings or
+            ``(host, port)`` tuples.  Capacity equals the number of
+            live workers (each runs one job at a time).
+        connect_timeout: per-attempt TCP connect budget; unreachable
+            workers are retried on later submits, and a campaign only
+            fails when *no* worker is reachable.
+    """
+
+    name = "tcp"
+
+    def __init__(self, addresses, connect_timeout: float = 5.0):
+        if not addresses:
+            raise ValueError("TcpExecutor needs at least one worker address")
+        self._conns = [
+            _WorkerConn(parse_address(a) if isinstance(a, str) else tuple(a))
+            for a in addresses
+        ]
+        self.connect_timeout = connect_timeout
+        self._done_early: list[JobFuture] = []
+
+    def capacity(self) -> int:
+        return len(self._conns)
+
+    def _idle_conn(self) -> _WorkerConn | None:
+        # Prefer endpoints that are already connected; only then dial
+        # unconnected ones (each failed dial backs the endpoint off so
+        # a dead worker costs at most one connect() per backoff window,
+        # not one per scheduler scan).
+        for conn in self._conns:
+            if not conn.busy and conn.sock is not None:
+                return conn
+        for conn in self._conns:
+            if not conn.busy and conn.connect(self.connect_timeout):
+                return conn
+        return None
+
+    def has_slot(self) -> bool:
+        return self._idle_conn() is not None
+
+    def submit(self, job: Job, hints) -> JobFuture:
+        conn = self._idle_conn()
+        if conn is None:
+            raise RuntimeError(
+                "no reachable idle TCP worker; call drain() first "
+                f"(endpoints: {[c.address for c in self._conns]})"
+            )
+        future = JobFuture(job)
+        try:
+            send_frame(conn.sock, {
+                "op": "job", "job": job.to_dict(), "hints": list(hints or ()),
+            })
+        except OSError as exc:
+            conn.drop()
+            future._finish(_worker_death_result(
+                job, f"send to worker {conn.address} failed: {exc}"))
+            self._done_early.append(future)
+            return future
+        conn.future = future
+        conn.deadline = (
+            time.monotonic() + job.timeout_seconds
+            if job.timeout_seconds else None
+        )
+        return future
+
+    def _receive(self, conn: _WorkerConn) -> None:
+        from .runner import JobResult
+
+        future = conn.future
+        try:
+            frame = recv_frame(conn.sock)
+        except (OSError, ValueError, ConnectionError) as exc:
+            conn.drop()
+            future._finish(_worker_death_result(
+                future.job, f"worker {conn.address} failed mid-job: {exc}"))
+            return
+        if frame is None or frame.get("op") != "result":
+            message = (frame or {}).get("message", "connection closed")
+            conn.drop()
+            future._finish(_worker_death_result(
+                future.job, f"worker {conn.address}: {message}"))
+            return
+        future._finish(JobResult.from_dict(frame["result"]))
+        conn.future = None
+        conn.deadline = None
+
+    def drain(self, block: bool = True) -> list[JobFuture]:
+        import select
+
+        completed: list[JobFuture] = self._done_early
+        self._done_early = []
+        while True:
+            busy = [c for c in self._conns if c.busy]
+            if not busy:
+                return completed
+            deadlines = [c.deadline for c in busy if c.deadline is not None]
+            if not block:
+                timeout = 0.0
+            elif deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+            else:
+                timeout = None
+            readable, _, _ = select.select(
+                [c.sock for c in busy], [], [], timeout
+            )
+            ready = {id(s) for s in readable}
+            for conn in busy:
+                if conn.sock is not None and id(conn.sock) in ready:
+                    future = conn.future
+                    self._receive(conn)
+                    completed.append(future)
+            if not readable:
+                now = time.monotonic()
+                for conn in busy:
+                    if conn.deadline is not None and now >= conn.deadline:
+                        # The worker is stuck past the job budget: drop
+                        # the connection (the worker finishes eventually
+                        # and recycles itself on the failed send).
+                        future = conn.future
+                        conn.drop()
+                        future._finish(_timeout_result(future.job))
+                        completed.append(future)
+            if completed or not block:
+                return completed
+
+    def close(self) -> None:
+        for conn in self._conns:
+            conn.drop()
+
+
+#: CLI-addressable executor names.
+EXECUTOR_NAMES = ("serial", "fork", "spawn", "tcp")
+
+
+def make_executor(name: str, workers: int = 1, connect=()) -> Executor:
+    """Build an executor from CLI-style parameters."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "fork":
+        return ForkPoolExecutor(workers)
+    if name == "spawn":
+        return SpawnPoolExecutor(workers)
+    if name == "tcp":
+        return TcpExecutor(list(connect))
+    raise ValueError(
+        f"unknown executor {name!r}; known: {', '.join(EXECUTOR_NAMES)}"
+    )

@@ -1,90 +1,68 @@
-"""Campaign execution: one job, or a whole grid across processes.
+"""Campaign scheduling: one job, or a whole grid on any executor.
 
 :func:`run_job` executes a single :class:`~repro.campaign.spec.Job` in
-the current process and returns a fully serializable
-:class:`JobResult`.  :func:`run_campaign` drives a job list either
-in-process (``workers=0``, the serial reference) or across
-``multiprocessing`` worker processes (one process per job, at most
-``workers`` alive at a time) with per-job timeouts and result
-streaming.
+the current process — since the API redesign it is a thin adapter over
+:func:`repro.verify.engine.execute`, so campaign jobs and one-shot
+:func:`repro.verify.verify` calls share one code path and agree bit for
+bit.  :func:`run_campaign` drives a job list through a pluggable
+:class:`~repro.campaign.executors.Executor` (serial, fork pool, spawn
+pool, or TCP workers) with per-job timeouts and result streaming.
 
 Determinism: a job never starts before the donor jobs in its
 ``seed_from`` finished, so the hints it sees are a function of the spec
-alone — serial and parallel runs produce bit-identical verdicts,
-``final_s`` and leaking sets.  Hinted runs stay *exact*: seeds only
-strip locally-transient variables (sound for ``secure``), and a seeded
-run that finds a vulnerability is re-run unseeded so a weakened
-assumption set can never manufacture a verdict.
+alone — every executor produces bit-identical verdicts, ``final_s`` and
+leaking sets.  Hinted runs stay *exact*: seeds only strip
+locally-transient variables (sound for ``secure``), and a seeded run
+that finds a vulnerability is re-run unseeded so a weakened assumption
+set can never manufacture a verdict.
+
+A :class:`~repro.verify.cache.VerdictCache` may be attached: jobs whose
+content key (design fingerprint, threat overrides, method, depth,
+hints) is already solved are answered from the cache without occupying
+a worker, marked ``cached`` in the results.
 """
 
 from __future__ import annotations
 
-import importlib
 import time
 import traceback
 from dataclasses import dataclass, field
 
-from ..formal.induction import find_induction_depth
-from ..ift import bounded_ift_check
-from ..rtl.expr import all_of
-from ..soc.config import SocConfig, named_config
-from ..soc.invariants import spy_response_invariants
-from ..soc.pulpissimo import build_soc
-from ..upec.classify import StateClassifier
 from ..upec.miter import CheckStats
-from ..upec.ssc import upec_ssc
-from ..upec.threat_model import ThreatModel
-from ..upec.unrolled import upec_ssc_unrolled
+from ..verify.cache import VerdictCache, cache_key
+from ..verify.engine import execute
+from ..verify.request import (
+    VerificationRequest,
+    design_fingerprint,
+    register_builder,
+)
+from ..verify.verdict import Verdict, unify_verdict
+from .executors import Executor, ForkPoolExecutor, SerialExecutor
 from .spec import CampaignSpec, Job
 
 __all__ = [
     "JobResult",
     "CampaignResult",
     "register_builder",
+    "request_from_job",
     "run_job",
     "run_campaign",
 ]
-
-#: Process-local design builders addressable from job specs by name.
-#: Forked workers inherit registrations; under a spawn start method use
-#: importable ``"pkg.mod:fn"`` references instead.
-_BUILDERS: dict[str, object] = {}
-
-
-def register_builder(name: str, builder) -> None:
-    """Register a design builder callable under ``name``.
-
-    The builder is called with the job's ``args`` mapping as keyword
-    arguments and must return a :class:`~repro.upec.ThreatModel` or an
-    object exposing one as ``.threat_model`` (e.g. a built SoC).
-    """
-    _BUILDERS[name] = builder
-
-
-def _resolve_builder(ref: str):
-    if ref in _BUILDERS:
-        return _BUILDERS[ref]
-    if ":" in ref:
-        module_name, attr = ref.split(":", 1)
-        module = importlib.import_module(module_name)
-        return getattr(module, attr)
-    raise ValueError(
-        f"unknown design builder {ref!r} (not registered, not a "
-        f"'pkg.mod:fn' reference)"
-    )
 
 
 @dataclass
 class JobResult:
     """Outcome of one campaign job, JSON-ready end to end.
 
-    ``verdict`` is algorithm-specific (``secure``/``vulnerable``/
-    ``hold`` for Algorithms 1/2, ``holds``/``violated`` for BMC,
-    ``proved``/``unproved`` for k-induction, ``flow``/``no-flow`` for
-    the IFT baseline) plus the executor-level ``timeout`` and
-    ``error``.  ``detail`` carries the full algorithm result as a dict
-    (:meth:`SscResult.to_dict` etc.); ``hint`` is the payload later
-    jobs may seed from.
+    ``verdict`` is the method's native verdict string (``secure``/
+    ``vulnerable``/``hold`` for Algorithms 1/2, ``holds``/``violated``
+    for BMC, ``proved``/``unproved`` for k-induction, ``flow``/
+    ``no-flow`` for the IFT baseline) plus the executor-level
+    ``timeout`` and ``error``; :meth:`to_verdict` lifts it into the
+    unified :class:`~repro.verify.verdict.Verdict` model.  ``detail``
+    carries the full algorithm result as a dict; ``hint`` is the
+    payload later jobs may seed from; ``cached`` marks results answered
+    from a verdict cache rather than a fresh run.
     """
 
     job: Job
@@ -96,6 +74,7 @@ class JobResult:
     reran_unseeded: bool = False
     hint: dict | None = None
     error: str | None = None
+    cached: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -108,6 +87,7 @@ class JobResult:
             "reran_unseeded": self.reran_unseeded,
             "hint": self.hint,
             "error": self.error,
+            "cached": self.cached,
         }
 
     @classmethod
@@ -122,70 +102,51 @@ class JobResult:
             reran_unseeded=data.get("reran_unseeded", False),
             hint=data.get("hint"),
             error=data.get("error"),
+            cached=data.get("cached", False),
+        )
+
+    def to_verdict(self) -> Verdict:
+        """This result as a unified :class:`Verdict` (report layer)."""
+        job = self.job
+        leaking: set[str] = set()
+        inner = self.detail.get("result") if self.detail else None
+        if inner and inner.get("leaking"):
+            leaking = set(inner["leaking"])
+        elif self.detail.get("tainted_sinks"):
+            leaking = set(self.detail["tainted_sinks"])
+        return Verdict(
+            status=unify_verdict(job.algorithm, self.verdict, self.detail),
+            method=job.algorithm,
+            raw_verdict=self.verdict,
+            provenance={
+                "design_fingerprint": job.variant_id,
+                "method": job.algorithm,
+                "depth": job.depth,
+                "campaign": job.campaign,
+                "job_index": job.index,
+            },
+            leaking=leaking,
+            stats=self.stats,
+            detail=self.detail,
+            seeded=list(self.seeded),
+            reran_unseeded=self.reran_unseeded,
+            hint=self.hint,
+            seconds=self.seconds,
+            error=self.error,
+            cached=self.cached,
         )
 
 
-def _build_design(job: Job):
-    """Resolve a job's design: (threat_model, soc or None)."""
-    design = job.design
-    if design["kind"] == "soc":
-        if "config" in design:
-            config = SocConfig.from_dict(design["config"])
-        else:
-            config = named_config(design["base"]).replace(
-                **design.get("overrides", {})
-            )
-        soc = build_soc(config)
-        return soc.threat_model, soc
-    if design["kind"] == "builder":
-        builder = _resolve_builder(design["ref"])
-        built = builder(**design.get("args", {}))
-        tm = built if isinstance(built, ThreatModel) \
-            else built.threat_model
-        return tm, None
-    raise ValueError(f"unknown design kind {design['kind']!r}")
-
-
-def _apply_threat_overrides(tm: ThreatModel, overrides: dict) -> None:
-    """Strip the named aspects from a freshly built threat model."""
-    for aspect, value in overrides.items():
-        if value is not False:
-            raise ValueError(
-                f"threat override {aspect!r} must be false (strip); "
-                f"got {value!r}"
-            )
-        if aspect == "invariants":
-            tm.invariants = []
-        elif aspect == "firmware_constraints":
-            tm.firmware_constraints = []
-        elif aspect == "spy_isolation":
-            tm.spy_master_ports = []
-        elif aspect == "victim_page_constraint":
-            tm.victim_page_constraint = None
-        else:  # pragma: no cover - spec validation rejects these
-            raise ValueError(f"unknown threat override {aspect!r}")
-
-
-def _merge_hints(hints) -> tuple[set[str], int | None]:
-    """Fold donor payloads into (seed_removed, best induction k)."""
-    removed: set[str] = set()
-    induction_k: int | None = None
-    for hint in hints or ():
-        if not hint:
-            continue
-        removed.update(hint.get("removed", ()))
-        k = hint.get("induction_k")
-        if k is not None:
-            induction_k = k if induction_k is None else max(induction_k, k)
-    return removed, induction_k
-
-
-def _ift_victim_page(tm: ThreatModel, soc) -> int | None:
-    """Concrete protected page for the non-relational baseline."""
-    if soc is None:
-        return None
-    region = "priv_ram" if soc.config.secure else "pub_ram"
-    return soc.address_map.pages_of(region, soc.config.page_bits).start
+def request_from_job(job: Job) -> VerificationRequest:
+    """The unified request a campaign job stands for."""
+    return VerificationRequest(
+        design=job.design,
+        method=job.algorithm,
+        depth=job.depth,
+        threat_overrides=dict(job.threat_overrides),
+        record_trace=job.record_trace,
+        label=job.label(),
+    )
 
 
 def run_job(job: Job, hints=None) -> JobResult:
@@ -196,7 +157,7 @@ def run_job(job: Job, hints=None) -> JobResult:
     """
     start = time.perf_counter()
     try:
-        result = _run_job_inner(job, hints)
+        verdict = execute(request_from_job(job), hints)
     except Exception:  # noqa: BLE001 - a job must never kill the campaign
         return JobResult(
             job=job,
@@ -204,116 +165,19 @@ def run_job(job: Job, hints=None) -> JobResult:
             seconds=time.perf_counter() - start,
             error=traceback.format_exc(limit=8),
         )
-    result.seconds = time.perf_counter() - start
-    return result
+    return JobResult(
+        job=job,
+        verdict=verdict.raw_verdict,
+        seconds=time.perf_counter() - start,
+        stats=verdict.stats,
+        detail=verdict.detail,
+        seeded=list(verdict.seeded),
+        reran_unseeded=verdict.reran_unseeded,
+        hint=verdict.hint,
+    )
 
 
-def _run_job_inner(job: Job, hints) -> JobResult:
-    tm, soc = _build_design(job)
-    _apply_threat_overrides(tm, job.threat_overrides)
-    seed_removed, seed_k = _merge_hints(hints)
-    algorithm = job.algorithm
-
-    if algorithm in ("alg1", "alg2"):
-        classifier = StateClassifier(tm)
-
-        def run(seed: set[str] | None):
-            if algorithm == "alg1":
-                return upec_ssc(
-                    tm, classifier,
-                    record_trace=job.record_trace,
-                    seed_removed=seed,
-                )
-            return upec_ssc_unrolled(
-                tm, classifier,
-                max_depth=job.depth,
-                record_trace=job.record_trace,
-                seed_removed=seed,
-            )
-
-        result = run(seed_removed or None)
-        reran = False
-        stats = result.rollup_stats()
-        if result.seeded_removed and result.vulnerable:
-            # Exactness guard: a seeded run weakened the assumption
-            # set, so confirm any vulnerability from a clean start.
-            # The discarded seeded attempt's solver work still counts
-            # toward the job's cost rollup.
-            result = run(None)
-            reran = True
-            stats.add(result.rollup_stats())
-        return JobResult(
-            job=job,
-            verdict=result.verdict,
-            stats=stats,
-            detail={"result": result.to_dict()},
-            seeded=sorted(result.seeded_removed),
-            reran_unseeded=reran,
-            hint={"removed": sorted(result.removed_transients())},
-        )
-
-    if algorithm in ("bmc", "k-induction"):
-        if soc is None:
-            raise ValueError(
-                f"{algorithm} campaign jobs need a SoC design (the "
-                f"property is the SoC's reachability invariants)"
-            )
-        invariants = spy_response_invariants(soc)
-        assumptions = list(tm.firmware_constraints)
-        if not invariants:
-            verdict = "holds" if algorithm == "bmc" else "proved"
-            return JobResult(
-                job=job, verdict=verdict,
-                detail={"note": "no invariants apply to this variant"},
-                hint={"induction_k": 0} if algorithm != "bmc" else None,
-            )
-        if algorithm == "bmc":
-            from ..formal.bmc import bmc
-
-            check = bmc(soc.circuit, all_of(invariants), depth=job.depth,
-                        assumptions=assumptions)
-            detail: dict = {"failing_cycle": check.failing_cycle}
-            if job.record_trace and check.trace is not None:
-                detail["trace"] = check.trace.to_dict()
-            return JobResult(
-                job=job,
-                verdict="holds" if check.holds else "violated",
-                detail=detail,
-            )
-        max_k = max(job.depth, seed_k or 0)
-        proof = find_induction_depth(
-            soc.circuit, invariants, max_k=max_k, assumptions=assumptions
-        )
-        return JobResult(
-            job=job,
-            verdict="proved" if proof.proved else "unproved",
-            detail={
-                "k": proof.k,
-                "failed_phase": proof.failed_phase,
-                "seeded_max_k": max_k if seed_k else None,
-            },
-            hint={"induction_k": proof.k} if proof.proved else None,
-        )
-
-    if algorithm == "ift-baseline":
-        classifier = StateClassifier(tm)
-        ift = bounded_ift_check(
-            tm, classifier, depth=job.depth,
-            victim_page=_ift_victim_page(tm, soc),
-        )
-        return JobResult(
-            job=job,
-            verdict="flow" if ift.flows else "no-flow",
-            stats=CheckStats(aig_nodes=ift.aig_nodes,
-                             solve_seconds=ift.solve_seconds, sat_calls=1),
-            detail={"tainted_sinks": sorted(ift.tainted_sinks),
-                    "depth": ift.depth},
-        )
-
-    raise ValueError(f"unknown algorithm {algorithm!r}")
-
-
-# -- the executor -----------------------------------------------------------
+# -- the scheduler -----------------------------------------------------------
 
 
 @dataclass
@@ -324,6 +188,7 @@ class CampaignResult:
     results: list[JobResult] = field(default_factory=list)
     wall_seconds: float = 0.0
     workers: int = 0
+    executor: str = "serial"
 
     def verdicts(self) -> dict[str, str]:
         """``job label -> verdict`` (quick-look summary)."""
@@ -334,16 +199,9 @@ class CampaignResult:
             "name": self.name,
             "wall_seconds": self.wall_seconds,
             "workers": self.workers,
+            "executor": self.executor,
             "results": [r.to_dict() for r in self.results],
         }
-
-
-def _worker_main(job_data: dict, hints, conn) -> None:
-    """Worker-process entry: run one job, ship the result, exit."""
-    job = Job.from_dict(job_data)
-    result = run_job(job, hints)
-    conn.send(result.to_dict())
-    conn.close()
 
 
 def _gather_hints(job: Job, done: dict[int, JobResult]) -> list[dict]:
@@ -355,145 +213,153 @@ def _gather_hints(job: Job, done: dict[int, JobResult]) -> list[dict]:
     return out
 
 
+def _complete(future, cache, keys, finish) -> None:
+    """Fold one finished future into the campaign (cache + callback)."""
+    result = future.result()
+    key = keys.get(result.job.index)
+    if (cache is not None and key is not None
+            and result.verdict not in ("timeout", "error")):
+        cache.put(key, result.to_dict())
+    finish(result)
+
+
+def _job_cache_key(job: Job, hints) -> str | None:
+    """Content key of a job under the hints in effect (None = uncacheable)."""
+    try:
+        fingerprint = design_fingerprint(job.design)
+    except (TypeError, ValueError):
+        return None
+    return cache_key(
+        fingerprint,
+        job.threat_overrides,
+        job.algorithm,
+        job.depth,
+        record_trace=job.record_trace,
+        hints=hints,
+    )
+
+
 def run_campaign(
     spec: CampaignSpec | list[Job],
     workers: int = 1,
     on_result=None,
+    executor: Executor | None = None,
+    cache: VerdictCache | None = None,
 ) -> CampaignResult:
     """Run a campaign spec (or pre-expanded job list).
 
     Args:
         spec: the declarative grid, or an explicit job list.
-        workers: 0 = in-process serial execution (the reference mode —
-            no fork overhead, but per-job timeouts cannot be enforced);
-            >= 1 = one worker process per job, at most ``workers``
-            concurrently, per-job timeouts enforced by termination.
+        workers: worker count for the default executors: 0 = in-process
+            :class:`SerialExecutor` (the reference mode — no fork
+            overhead, but per-job timeouts cannot be enforced); >= 1 =
+            :class:`ForkPoolExecutor` with that many worker slots.
+            Ignored when ``executor`` is given.
         on_result: callback invoked with each :class:`JobResult` as it
             completes (completion order; the returned list is always in
             job-index order).
+        executor: an explicit :class:`Executor` instance (spawn pool,
+            TCP workers, ...); it is closed when the campaign finishes.
+        cache: a :class:`VerdictCache` — solved jobs are answered from
+            it without occupying a worker, and fresh non-error results
+            populate it.
 
     Returns:
-        The ordered results plus wall-clock and worker count.
+        The ordered results plus wall-clock, worker count and the
+        executor name.
     """
     if isinstance(spec, CampaignSpec):
         name, jobs = spec.name, spec.expand()
     else:
         jobs = list(spec)
         name = jobs[0].campaign if jobs else "campaign"
+
+    # The donor-ordering contract up front: a consumer must appear
+    # after every donor it seeds from (a malformed explicit job list
+    # fails loudly, not silently unseeded).  Spec expansion guarantees
+    # this, so the scheduler below never stalls.
+    seen: set[int] = set()
+    for job in jobs:
+        missing = [d for d in job.seed_from if d not in seen]
+        if missing:
+            raise RuntimeError(
+                f"job {job.index} ({job.label()}) depends on "
+                f"donors {missing} that have not run yet"
+            )
+        seen.add(job.index)
+
+    if executor is None:
+        executor = SerialExecutor() if workers <= 0 \
+            else ForkPoolExecutor(workers)
+
     start = time.perf_counter()
     done: dict[int, JobResult] = {}
+    keys: dict[int, str | None] = {}
 
-    if workers <= 0:
-        for job in jobs:
-            # Same donor-ordering contract as the parallel scheduler:
-            # a consumer must never run before its hint donors (a
-            # malformed explicit job list fails loudly, not silently
-            # unseeded).
-            missing = [d for d in job.seed_from if d not in done]
-            if missing:
+    def finish(result: JobResult) -> None:
+        done[result.job.index] = result
+        if on_result:
+            on_result(result)
+
+    with executor:
+        pending = list(jobs)
+        inflight = 0
+        while pending or inflight:
+            launched = True
+            while launched and pending:
+                launched = False
+                for i, job in enumerate(pending):
+                    if not all(d in done for d in job.seed_from):
+                        continue
+                    hints = _gather_hints(job, done)
+                    key = _job_cache_key(job, hints) \
+                        if cache is not None else None
+                    if key is not None:
+                        payload = cache.get(key)
+                        if payload is not None:
+                            result = JobResult.from_dict(payload)
+                            # The stored payload embeds the *donor* run's
+                            # Job record; an overlapping grid's hit may
+                            # carry a different index/campaign.  Rebind
+                            # to the current job (the content key proves
+                            # the verification question is identical).
+                            result.job = job
+                            result.cached = True
+                            finish(result)
+                            del pending[i]
+                            launched = True
+                            break
+                    if not executor.has_slot():
+                        continue
+                    keys[job.index] = key
+                    future = executor.submit(job, hints)
+                    del pending[i]
+                    launched = True
+                    if future.done():
+                        # Synchronous executors complete on submit;
+                        # consuming here (not at drain) lets the cache
+                        # entry answer the very next job of the scan.
+                        _complete(future, cache, keys, finish)
+                    else:
+                        inflight += 1
+                    break
+            if not pending and not inflight:
+                break
+            if inflight == 0:
+                # Donor order is validated, so the only way to get here
+                # is an executor with no usable capacity at all.
                 raise RuntimeError(
-                    f"job {job.index} ({job.label()}) depends on "
-                    f"donors {missing} that have not run yet"
+                    f"campaign stalled: executor {executor.name!r} has no "
+                    f"usable worker slots and {len(pending)} job(s) remain"
                 )
-            result = run_job(job, _gather_hints(job, done))
-            done[job.index] = result
-            if on_result:
-                on_result(result)
-    else:
-        _run_parallel(jobs, workers, done, on_result)
+            for future in executor.drain(block=True):
+                inflight -= 1
+                _complete(future, cache, keys, finish)
 
     return CampaignResult(
         name=name,
         results=[done[job.index] for job in jobs],
         wall_seconds=time.perf_counter() - start,
-        workers=workers,
+        workers=executor.capacity(),
+        executor=executor.name,
     )
-
-
-def _run_parallel(jobs, workers, done, on_result) -> None:
-    import multiprocessing
-    from multiprocessing.connection import wait as conn_wait
-
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        ctx = multiprocessing.get_context()
-
-    pending = list(jobs)
-    running: dict = {}  # conn -> (job, process, deadline)
-
-    def finish(job: Job, result: JobResult) -> None:
-        done[job.index] = result
-        if on_result:
-            on_result(result)
-
-    while pending or running:
-        # Launch every ready job while worker slots are free.  Ready =
-        # all hint donors finished; expansion guarantees donors precede
-        # their consumers, so progress is always possible.
-        launched = True
-        while launched and len(running) < workers:
-            launched = False
-            for i, job in enumerate(pending):
-                if all(d in done for d in job.seed_from):
-                    del pending[i]
-                    hints = _gather_hints(job, done)
-                    receiver, sender = ctx.Pipe(duplex=False)
-                    process = ctx.Process(
-                        target=_worker_main,
-                        args=(job.to_dict(), hints, sender),
-                        daemon=True,
-                    )
-                    process.start()
-                    sender.close()
-                    deadline = (
-                        time.monotonic() + job.timeout_seconds
-                        if job.timeout_seconds else None
-                    )
-                    running[receiver] = (job, process, deadline)
-                    launched = True
-                    break
-
-        if not running:
-            if pending:  # pragma: no cover - expansion orders donors first
-                raise RuntimeError(
-                    "campaign scheduler stalled: pending jobs with "
-                    "unfinished donors but no running workers"
-                )
-            break
-
-        deadlines = [d for (_, _, d) in running.values() if d is not None]
-        timeout = None
-        if deadlines:
-            timeout = max(0.0, min(deadlines) - time.monotonic())
-        ready = conn_wait(list(running), timeout=timeout)
-
-        for conn in ready:
-            job, process, _ = running.pop(conn)
-            try:
-                payload = conn.recv()
-                result = JobResult.from_dict(payload)
-            except EOFError:
-                # The worker died before shipping a result.
-                result = JobResult(
-                    job=job, verdict="error",
-                    error=f"worker exited with code {process.exitcode}",
-                )
-            conn.close()
-            process.join()
-            finish(job, result)
-
-        if not ready:
-            now = time.monotonic()
-            for conn, (job, process, deadline) in list(running.items()):
-                if deadline is not None and now >= deadline:
-                    process.terminate()
-                    process.join()
-                    conn.close()
-                    del running[conn]
-                    finish(job, JobResult(
-                        job=job, verdict="timeout",
-                        seconds=job.timeout_seconds or 0.0,
-                        error=(f"terminated after "
-                               f"{job.timeout_seconds:.1f}s budget"),
-                    ))

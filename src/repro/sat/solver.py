@@ -29,6 +29,126 @@ from typing import Hashable, Iterable, Sequence
 
 __all__ = ["Solver", "SAT", "UNSAT"]
 
+
+class _VarOrder:
+    """Fully indexed binary max-heap over variable activities.
+
+    One entry per variable, a position index for O(log n) *increase-key*
+    (VSIDS bumps only ever raise activities), no stale entries — the
+    ROADMAP's last open solver-kernel item, available through
+    ``Solver(indexed_vsids=True)``.  The ordering key is identical to
+    the default lazy ``heapq`` scheme (higher activity first, ties to
+    the smaller variable index), so the branching order is *exactly*
+    the same; only the bookkeeping differs.
+
+    Measured on FORMAL_TINY Algorithm 1 (see
+    ``benchmarks/results/vsids_indexed_heap.txt``) the indexed heap
+    loses to the lazy scheme: its sifts run in pure Python while
+    ``heapq``'s push/pop are C, and with the duplicate-suppression the
+    lazy heap already carries few stale entries.  It therefore stays
+    opt-in — correct, canonical, and the honest answer to whether the
+    indexed heap pays off in this kernel.
+
+    The heap may contain *assigned* variables (assignment does not
+    remove entries); :meth:`pop` discards them lazily, and backtracking
+    re-inserts unassigned variables that were popped.
+    """
+
+    __slots__ = ("activity", "heap", "pos")
+
+    def __init__(self, activity: list[float]):
+        self.activity = activity  # shared with the solver (1-indexed)
+        self.heap: list[int] = []  # variable indices, heap-ordered
+        self.pos: list[int] = [-1]  # var -> heap index, -1 = not in heap
+
+    def _sift_up(self, i: int) -> None:
+        # Comparisons are inlined (not factored into a helper): these
+        # two sifts are the branching hot path and a Python-level call
+        # per comparison costs more than the comparison itself.
+        heap, pos, act = self.heap, self.pos, self.activity
+        var = heap[i]
+        av = act[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            other = heap[parent]
+            ao = act[other]
+            if av < ao or (av == ao and var > other):
+                break
+            heap[i] = other
+            pos[other] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap, pos, act = self.heap, self.pos, self.activity
+        size = len(heap)
+        var = heap[i]
+        av = act[var]
+        while True:
+            child = 2 * i + 1
+            if child >= size:
+                break
+            cv = heap[child]
+            ac = act[cv]
+            right = child + 1
+            if right < size:
+                rv = heap[right]
+                ar = act[rv]
+                if ar > ac or (ar == ac and rv < cv):
+                    child = right
+                    cv = rv
+                    ac = ar
+            if av > ac or (av == ac and var < cv):
+                break
+            heap[i] = cv
+            pos[cv] = i
+            i = child
+        heap[i] = var
+        pos[var] = i
+
+    def grow(self) -> None:
+        """Track one more variable (still outside the heap)."""
+        self.pos.append(-1)
+
+    def __contains__(self, var: int) -> bool:
+        return self.pos[var] >= 0
+
+    def insert(self, var: int) -> None:
+        """Add ``var`` if absent (at its current activity)."""
+        if self.pos[var] < 0:
+            self.heap.append(var)
+            self._sift_up(len(self.heap) - 1)
+
+    def update(self, var: int) -> None:
+        """Re-position ``var`` after its activity increased."""
+        i = self.pos[var]
+        if i > 0:
+            self._sift_up(i)
+
+    def pop(self) -> int:
+        """Remove and return the top variable (0 when empty)."""
+        heap = self.heap
+        if not heap:
+            return 0
+        top = heap[0]
+        self.pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            self._sift_down(0)
+        return top
+
+    def rebuild(self) -> None:
+        """Restore heap order after a global activity rescale.
+
+        Uniform scaling preserves relative order exactly in the absence
+        of rounding; sift every slot bottom-up to repair the rare cases
+        where rounding reordered near-equal activities.
+        """
+        for i in range((len(self.heap) >> 1) - 1, -1, -1):
+            self._sift_down(i)
+
 SAT = True
 UNSAT = False
 
@@ -47,9 +167,16 @@ def _luby(x: int) -> int:
 
 
 class Solver:
-    """Incremental CDCL SAT solver."""
+    """Incremental CDCL SAT solver.
 
-    def __init__(self):
+    ``indexed_vsids`` selects the branching-order bookkeeping: False
+    (default) uses the lazy duplicate-suppressed ``heapq`` scheme, True
+    the fully indexed decrease-key heap (:class:`_VarOrder`).  Both
+    produce bit-identical branching orders; the default is the one that
+    measures faster (see ``benchmarks/results/vsids_indexed_heap.txt``).
+    """
+
+    def __init__(self, indexed_vsids: bool = False):
         self.n_vars = 0
         # Indexed by internal literal (2v / 2v+1): lists of watcher pairs
         # [blocker_lit, clause].  The blocker is some other literal of the
@@ -78,17 +205,16 @@ class Solver:
         self._cla_inc = 1.0
         self._learned: list[list[int]] = []
         self._cla_activity: dict[int, float] = {}
-        self._order: list[tuple[float, int]] = []  # heap of (-activity, var)
-        # Number of live heap entries per variable that carry its
-        # *current* activity (bumps push a fresh entry and strictly grow
-        # the activity, turning older entries stale).  The counter lets
-        # ``_backtrack`` skip re-pushing variables whose current-priority
-        # entry is still in the heap instead of flooding it with
-        # duplicates (the former scheme pushed one entry per unassign —
-        # tens of stale pops per branching decision on the UNSAT-heavy
-        # tails), while branching order stays exactly the same: whenever
-        # a variable is unassigned, an entry at its current activity is
-        # live, and that entry outranks all of its stale ones.
+        self._indexed = indexed_vsids
+        # Fully indexed heap (one entry per variable, true increase-key,
+        # no stale entries) or the lazy heapq scheme of (-activity, var)
+        # tuples with a live-entry counter per variable.  Identical
+        # branching order either way.
+        self._indexed_order = _VarOrder(self._activity) if indexed_vsids \
+            else None
+        self._order: list[tuple[float, int]] = []  # lazy heap (unused
+        # when indexed); one live-current-priority entry per unassigned
+        # variable plus stale leftovers skipped on pop.
         self._in_heap: list[int] = [0]
         self._model: list[int] = [0]  # copy of assignments at last SAT answer
         self._ok = True  # False once the clause set is trivially UNSAT
@@ -116,8 +242,12 @@ class Solver:
         self._polarity.append(False)
         self._watches.append([])
         self._watches.append([])
-        self._in_heap.append(1)
-        heapq.heappush(self._order, (0.0, self.n_vars))
+        if self._indexed:
+            self._indexed_order.grow()
+            self._indexed_order.insert(self.n_vars)
+        else:
+            self._in_heap.append(1)
+            heapq.heappush(self._order, (0.0, self.n_vars))
         return self.n_vars
 
     def ensure_vars(self, n: int) -> None:
@@ -356,17 +486,27 @@ class Solver:
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
             # Rescaling invalidates heap priorities; rebuild (rare).
-            self._order = [
-                (-self._activity[v], v)
-                for v in range(1, self.n_vars + 1)
-                if self._assign[v] == 0
-            ]
-            heapq.heapify(self._order)
-            in_heap = self._in_heap
-            for v in range(1, self.n_vars + 1):
-                in_heap[v] = 0
-            for __, v in self._order:
-                in_heap[v] = 1
+            if self._indexed:
+                # Uniform rescaling preserves relative priorities;
+                # repair in place against rounding artefacts.
+                self._indexed_order.rebuild()
+            else:
+                self._order = [
+                    (-self._activity[v], v)
+                    for v in range(1, self.n_vars + 1)
+                    if self._assign[v] == 0
+                ]
+                heapq.heapify(self._order)
+                in_heap = self._in_heap
+                for v in range(1, self.n_vars + 1):
+                    in_heap[v] = 0
+                for __, v in self._order:
+                    in_heap[v] = 1
+        elif self._indexed:
+            # True increase-key: the entry moves, no duplicate is
+            # pushed.  A bumped variable that is assigned and already
+            # popped re-enters at its new activity on backtrack.
+            self._indexed_order.update(var)
         else:
             # The bump made every older entry of ``var`` stale; exactly
             # one entry (this push) now carries the current activity.
@@ -379,22 +519,35 @@ class Solver:
         limit = self._trail_lim[level]
         assign = self._assign
         lit_true = self._lit_true
-        activity = self._activity
-        order = self._order
-        in_heap = self._in_heap
         reason = self._reason
-        heappush = heapq.heappush
-        for lit in reversed(self._trail[limit:]):
-            var = lit >> 1
-            assign[var] = 0
-            lit_true[lit] = False
-            reason[var] = None
-            # An entry pushed by an earlier bump still carries the
-            # current activity (activities only grow, bumps always
-            # push); only re-insert variables with no live entry.
-            if not in_heap[var]:
-                in_heap[var] = 1
-                heappush(order, (-activity[var], var))
+        if self._indexed:
+            order = self._indexed_order
+            pos = order.pos
+            for lit in reversed(self._trail[limit:]):
+                var = lit >> 1
+                assign[var] = 0
+                lit_true[lit] = False
+                reason[var] = None
+                # Re-insert variables whose entry was consumed by a
+                # branch decision; everything else kept its entry.
+                if pos[var] < 0:
+                    order.insert(var)
+        else:
+            activity = self._activity
+            order = self._order
+            in_heap = self._in_heap
+            heappush = heapq.heappush
+            for lit in reversed(self._trail[limit:]):
+                var = lit >> 1
+                assign[var] = 0
+                lit_true[lit] = False
+                reason[var] = None
+                # An entry pushed by an earlier bump still carries the
+                # current activity (activities only grow, bumps always
+                # push); only re-insert variables with no live entry.
+                if not in_heap[var]:
+                    in_heap[var] = 1
+                    heappush(order, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -507,11 +660,22 @@ class Solver:
     def _pick_branch(self) -> int:
         """Pick the unassigned variable with highest activity (0 if none).
 
-        The heap may contain stale entries (assigned vars, outdated
-        activities); they are skipped or superseded by fresher pushes.
+        Indexed mode: entries are unique and carry current activities;
+        assigned variables left in the heap are discarded lazily (they
+        re-enter on backtrack).  Lazy mode: the heap may contain stale
+        entries (assigned vars, outdated activities); they are skipped
+        or superseded by fresher pushes.  Same selection either way.
         """
-        order = self._order
         assign = self._assign
+        if self._indexed:
+            order = self._indexed_order
+            while True:
+                var = order.pop()
+                if var == 0:
+                    return 0
+                if assign[var] == 0:
+                    return 2 * var + (0 if self._polarity[var] else 1)
+        order = self._order
         in_heap = self._in_heap
         activity = self._activity
         heappop = heapq.heappop

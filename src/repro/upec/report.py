@@ -17,6 +17,7 @@ __all__ = [
     "format_iterations",
     "format_counterexample",
     "format_result",
+    "format_verdict",
     "format_job_line",
     "format_campaign",
     "campaign_summary",
@@ -105,6 +106,56 @@ def format_result(
     if cex is not None:
         lines.append("")
         lines.append(format_counterexample(cex, classifier))
+    return "\n".join(lines)
+
+
+def format_verdict(verdict, classifier: StateClassifier | None = None) -> str:
+    """Render a unified :class:`repro.verify.Verdict`.
+
+    Shows the unified status with its provenance line (design
+    fingerprint, method, depth), the method's native verdict, cost
+    totals, the leaking set, and — for Algorithm 1/2 — the iteration
+    table and counterexample the legacy reports showed.
+    """
+    p = verdict.provenance
+    lines = [
+        f"verdict: {verdict.status}"
+        + (f"  (native: {verdict.raw_verdict})"
+           if verdict.raw_verdict.upper() != verdict.status else "")
+        + ("  [cached]" if verdict.cached else ""),
+        f"method: {verdict.method}"
+        + (f" @ depth {p['depth']}" if p.get("depth") is not None else ""),
+    ]
+    if p.get("design_fingerprint"):
+        lines.append(f"design: {p['design_fingerprint']}")
+    stats = verdict.stats
+    lines.append(
+        f"cost: {verdict.seconds:.1f} s wall "
+        f"(encode {stats.encode_seconds:.1f} s, "
+        f"solve {stats.solve_seconds:.1f} s, "
+        f"{stats.sat_calls} solver calls)"
+    )
+    if verdict.seeded:
+        lines.append(f"seeded: {len(verdict.seeded)} name(s)"
+                     + (" — reran unseeded to confirm"
+                        if verdict.reran_unseeded else ""))
+    if verdict.leaking:
+        lines.append("")
+        lines.append("victim-dependent information reaches:")
+        for name in sorted(verdict.leaking):
+            description = classifier.describe(name) if classifier else name
+            lines.append(f"  {description}")
+    result = verdict.result_object()
+    if result is not None:
+        lines.append("")
+        lines.append(format_iterations(result.iterations))
+        if result.counterexample is not None:
+            lines.append("")
+            lines.append(format_counterexample(result.counterexample,
+                                               classifier))
+    elif verdict.error:
+        lines.append("")
+        lines.append(f"error: {verdict.error.splitlines()[-1]}")
     return "\n".join(lines)
 
 

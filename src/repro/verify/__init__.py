@@ -1,0 +1,68 @@
+"""repro.verify — the unified verification API.
+
+One question, one entry point, one result model: every verification
+method of this reproduction (Algorithm 1, Algorithm 2, BMC,
+k-induction, the IFT baseline) is asked through a
+:class:`VerificationRequest` and answers with a unified
+:class:`Verdict` (status ``SECURE``/``VULNERABLE``/``UNKNOWN``/
+``TIMEOUT``, leaking set, counterexample, cost rollup, provenance).
+
+* :func:`verify` — one-shot calls, backed by a process-global
+  content-addressed :class:`VerdictCache`;
+* :class:`Verifier` — a session-reusing handle (design built once,
+  warm incremental miter across calls);
+* ``python -m repro.verify run`` — the same from the command line;
+* ``python -m repro.verify worker`` — a TCP worker serving campaign
+  jobs over the length-prefixed JSON protocol
+  (:mod:`repro.verify.protocol`), the cross-host transport behind
+  :class:`repro.campaign.executors.TcpExecutor`.
+
+The legacy entry points (``repro.upec_ssc``, ``repro.upec_ssc_unrolled``,
+``repro.bmc``, ``repro.find_induction_depth``,
+``repro.bounded_ift_check``) remain as deprecated shims forwarding to
+the same engine.
+"""
+
+from .api import Verifier, default_cache, set_default_cache, verify
+from .cache import VerdictCache, cache_key
+from .engine import execute
+from .request import (
+    DESIGN_KINDS,
+    METHODS,
+    VerificationRequest,
+    design_fingerprint,
+    register_builder,
+)
+from .verdict import (
+    SECURE,
+    STATUSES,
+    TIMEOUT,
+    UNKNOWN,
+    VULNERABLE,
+    Verdict,
+    threat_model_hash,
+    unify_verdict,
+)
+
+__all__ = [
+    "METHODS",
+    "DESIGN_KINDS",
+    "STATUSES",
+    "SECURE",
+    "VULNERABLE",
+    "UNKNOWN",
+    "TIMEOUT",
+    "VerificationRequest",
+    "Verdict",
+    "VerdictCache",
+    "Verifier",
+    "verify",
+    "execute",
+    "cache_key",
+    "design_fingerprint",
+    "threat_model_hash",
+    "unify_verdict",
+    "register_builder",
+    "default_cache",
+    "set_default_cache",
+]

@@ -1,0 +1,159 @@
+"""The unified verification CLI.
+
+One-shot verification::
+
+    python -m repro.verify run --design FORMAL_TINY --method alg1
+    python -m repro.verify run --design FORMAL_TINY --set secure=true \\
+        --method alg2 --depth 3 --json verdict.json
+
+Start a TCP worker (the cross-host campaign transport)::
+
+    python -m repro.verify worker --port 7321
+    python -m repro.campaign smoke --executor tcp --connect 127.0.0.1:7321
+
+Errors (unknown designs/methods, bad overrides) print a single-line
+diagnostic and exit nonzero instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from .request import METHODS
+
+_TRUE = {"true", "yes", "on", "1"}
+_FALSE = {"false", "no", "off", "0"}
+
+
+def _coerce(value: str):
+    low = value.lower()
+    if low in _TRUE:
+        return True
+    if low in _FALSE:
+        return False
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+def _parse_overrides(entries) -> dict:
+    out = {}
+    for entry in entries or ():
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"bad --set {entry!r}; expected field=value"
+            )
+        out[key] = _coerce(value)
+    return out
+
+
+def _run(args) -> int:
+    from ..soc.config import BASE_CONFIGS, named_config
+    from ..upec.report import format_verdict
+    from .api import verify
+    from .cache import VerdictCache
+    from .request import VerificationRequest
+
+    overrides = _parse_overrides(args.set)
+    if args.design in BASE_CONFIGS:
+        design = named_config(args.design).replace(**overrides)
+    else:
+        if overrides:
+            raise ValueError(
+                "--set only applies to named SoC base configs"
+            )
+        design = args.design
+    request = VerificationRequest(
+        design=design,
+        method=args.method,
+        depth=args.depth,
+        threat_overrides={name: False for name in args.threat_strip or ()},
+        record_trace=not args.no_trace,
+        use_cache=not args.no_cache,
+    )
+    cache = VerdictCache(args.cache_dir) if args.cache_dir else None
+    verdict = verify(request, cache=cache)
+    print(format_verdict(verdict))
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(verdict.to_dict(), indent=2) + "\n")
+        print(f"\nJSON verdict: {path}")
+    return 0 if verdict.status == "SECURE" or args.any_status else 1
+
+
+def _worker(args) -> int:
+    from .worker import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        quiet=args.quiet,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Unified verification API: one-shot runs and "
+                    "TCP campaign workers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="answer one verification request")
+    run.add_argument(
+        "--design", required=True,
+        help="named base config (e.g. FORMAL_TINY) or a 'pkg.mod:fn' "
+             "design-builder reference",
+    )
+    run.add_argument(
+        "--set", action="append", metavar="FIELD=VALUE",
+        help="SocConfig field override (repeatable; named configs only)",
+    )
+    run.add_argument("--method", choices=METHODS, default="alg1")
+    run.add_argument("--depth", type=int, default=3)
+    run.add_argument(
+        "--threat-strip", action="append", metavar="ASPECT",
+        help="threat-model aspect to strip (repeatable)",
+    )
+    run.add_argument("--no-trace", action="store_true",
+                     help="skip counterexample trace decoding")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the verdict cache")
+    run.add_argument("--cache-dir", metavar="PATH", default=None,
+                     help="persistent verdict cache directory")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write the verdict as JSON")
+    run.add_argument(
+        "--any-status", action="store_true",
+        help="exit 0 regardless of status (default: nonzero unless SECURE)",
+    )
+    run.set_defaults(func=_run)
+
+    worker = sub.add_parser(
+        "worker", help="serve campaign jobs over TCP (length-prefixed JSON)"
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0,
+                        help="bind port (0 = OS-assigned, announced on "
+                             "stdout)")
+    worker.add_argument("--max-connections", type=int, default=None,
+                        help="exit after serving N connections")
+    worker.add_argument("--quiet", action="store_true")
+    worker.set_defaults(func=_worker)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""`verify()` and `Verifier` — the public face of the unified API.
+
+One-shot::
+
+    from repro.verify import verify
+
+    verdict = verify("FORMAL_TINY", method="alg1")
+    assert verdict.vulnerable and verdict.leaking
+
+Session-reusing::
+
+    from repro.verify import Verifier
+
+    v = Verifier(FORMAL_TINY.replace(secure=True))
+    assert v.verify(method="alg1").secure       # builds the miter
+    assert v.verify(method="alg1").secure       # reuses the warm session
+
+``verify()`` consults a process-global content-addressed
+:class:`~repro.verify.cache.VerdictCache` (opt out per call with
+``use_cache=False`` or globally by replacing :func:`default_cache`'s
+target), so asking the same question twice costs one SAT run.
+"""
+
+from __future__ import annotations
+
+from ..upec.classify import StateClassifier
+from ..upec.miter import UpecMiter
+from .cache import VerdictCache, cache_key
+from .engine import execute
+from .request import VerificationRequest
+from .verdict import Verdict
+
+__all__ = ["verify", "Verifier", "default_cache", "set_default_cache"]
+
+#: Process-global verdict cache used by :func:`verify` (in-memory).
+_DEFAULT_CACHE = VerdictCache()
+
+
+def default_cache() -> VerdictCache:
+    """The process-global verdict cache :func:`verify` consults."""
+    return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: VerdictCache | None) -> VerdictCache:
+    """Replace the process-global cache (e.g. with a disk-backed one).
+
+    Passing None installs a fresh empty in-memory cache.  Returns the
+    newly installed cache.
+    """
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache if cache is not None else VerdictCache()
+    return _DEFAULT_CACHE
+
+
+def _request_key(request: VerificationRequest, hints=None) -> str | None:
+    """The cache key of a request, or None when it is not cacheable."""
+    if not request.serializable or not request.use_cache:
+        return None
+    return cache_key(
+        request.fingerprint(),
+        request.threat_overrides,
+        request.method,
+        request.depth,
+        record_trace=request.record_trace,
+        hints=list(hints or ()),
+        extra={
+            "max_iterations": request.max_iterations,
+            "seed_removed": list(request.seed_removed),
+            "induction_k": request.induction_k,
+        },
+    )
+
+
+def verify(request=None, *, cache: VerdictCache | None = None, **kwargs) -> Verdict:
+    """Answer one verification question.
+
+    Accepts either a prebuilt
+    :class:`~repro.verify.request.VerificationRequest` or the request's
+    fields as keyword arguments (``design=..., method=..., depth=...``).
+
+    Args:
+        request: the request, or None to build one from ``kwargs``.
+        cache: verdict cache to consult/populate; defaults to the
+            process-global cache.  The request's ``use_cache`` field
+            (and non-serializable designs) opt out per call.
+
+    Returns:
+        The unified :class:`Verdict`; cache hits come back with
+        ``cached=True`` and are otherwise bit-identical to the original
+        run.
+    """
+    if request is None:
+        request = VerificationRequest(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a request or keyword fields, not both")
+    cache = cache if cache is not None else _DEFAULT_CACHE
+    key = _request_key(request)
+    if key is not None:
+        payload = cache.get(key)
+        if payload is not None:
+            verdict = Verdict.from_dict(payload)
+            verdict.cached = True
+            return verdict
+    verdict = execute(request)
+    if key is not None:
+        cache.put(key, verdict.to_dict())
+    return verdict
+
+
+class Verifier:
+    """A session-reusing handle on one design.
+
+    Builds the design (and its :class:`StateClassifier`) once, then
+    answers any number of questions against it.  Consecutive ``alg1``
+    calls share one warm :class:`~repro.upec.miter.UpecMiter` — the
+    persistent :class:`~repro.upec.miter.MiterSession` underneath keeps
+    its learned clauses, so re-proving after a threat-model experiment
+    or asking with different hints is much cheaper than a cold start.
+    The miter session is canonical: warm answers are bit-identical to
+    cold ones.
+
+    Attributes:
+        threat_model: the built (and override-stripped) threat model.
+        soc: the built SoC when the design was a SoC config, else None.
+        classifier: the shared S_pers/S_not_victim classifier.
+        history: every verdict this handle produced, in call order.
+    """
+
+    def __init__(self, design, threat_overrides: dict | None = None,
+                 cache: VerdictCache | None = None):
+        self._design = design
+        self._threat_overrides = dict(threat_overrides or {})
+        self._template = VerificationRequest(
+            design=design, threat_overrides=self._threat_overrides
+        )
+        self.threat_model, self.soc = self._template.resolve()
+        self.classifier = StateClassifier(self.threat_model)
+        self.cache = cache
+        self._miter: UpecMiter | None = None
+        self.history: list[Verdict] = []
+
+    def fingerprint(self) -> str:
+        """The design's content fingerprint."""
+        return self._template.fingerprint()
+
+    def request(self, method: str = "alg1", **kwargs) -> VerificationRequest:
+        """A request against this handle's design."""
+        return VerificationRequest(
+            design=self._design,
+            method=method,
+            threat_overrides=dict(self._threat_overrides),
+            **kwargs,
+        )
+
+    def verify(self, method: str = "alg1", **kwargs) -> Verdict:
+        """Answer one question against the prebuilt design.
+
+        Keyword arguments are :class:`VerificationRequest` fields
+        (``depth``, ``record_trace``, ``seed_removed``, ...).
+        """
+        request = self.request(method=method, **kwargs)
+        key = _request_key(request) if self.cache is not None else None
+        if key is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                verdict = Verdict.from_dict(payload)
+                verdict.cached = True
+                self.history.append(verdict)
+                return verdict
+        miter = None
+        if method == "alg1":
+            if self._miter is None:
+                self._miter = UpecMiter(self.threat_model, self.classifier)
+            miter = self._miter
+        verdict = execute(
+            request,
+            prebuilt=(self.threat_model, self.soc, self.classifier),
+            miter=miter,
+        )
+        if key is not None:
+            self.cache.put(key, verdict.to_dict())
+        self.history.append(verdict)
+        return verdict

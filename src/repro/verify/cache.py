@@ -1,0 +1,108 @@
+"""Content-addressed verdict cache.
+
+A verdict is a pure function of the *question*: the design's content
+fingerprint (:meth:`SocConfig.variant_id` for SoC designs), the
+threat-model overrides, the method, the depth and the exact hint
+payloads in effect.  :class:`VerdictCache` keys stored verdict payloads
+by a SHA-256 over that tuple, so repeated ``verify()`` calls and
+overlapping campaign grids skip solved jobs — in memory within a
+process, and across processes/runs when constructed with a directory
+path.
+
+The key includes the hints (and ``record_trace``) so a cached answer is
+**bit-identical** to the run it replaces — not merely verdict-equal:
+seeded runs record different ``seeded``/iteration trajectories than
+unseeded ones, and those differences are part of the contract the
+campaign determinism tests check.
+
+Raw in-memory :class:`~repro.upec.ThreatModel` designs have no stable
+content fingerprint and are therefore never cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+__all__ = ["VerdictCache", "cache_key"]
+
+
+def cache_key(
+    design_fingerprint: str,
+    threat_overrides,
+    method: str,
+    depth: int,
+    record_trace: bool = False,
+    hints=None,
+    extra=None,
+) -> str:
+    """The content address of one verification question."""
+    payload = {
+        "design": design_fingerprint,
+        "threat": dict(threat_overrides or {}),
+        "method": method,
+        "depth": depth,
+        "record_trace": record_trace,
+        "hints": list(hints or ()),
+        "extra": extra,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class VerdictCache:
+    """Maps content keys to JSON verdict payloads.
+
+    In-memory always; additionally persistent when ``path`` names a
+    directory (created on first write, one ``<key>.json`` file per
+    entry, sharded by the key's first two hex chars).
+    """
+
+    def __init__(self, path: str | pathlib.Path | None = None):
+        self._memory: dict[str, dict] = {}
+        self._path = pathlib.Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> pathlib.Path:
+        return self._path / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or None."""
+        payload = self._memory.get(key)
+        if payload is None and self._path is not None:
+            entry = self._entry_path(key)
+            try:
+                payload = json.loads(entry.read_text())
+            except (OSError, ValueError):
+                payload = None
+            else:
+                self._memory[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store a JSON-ready payload under ``key``."""
+        self._memory[key] = payload
+        if self._path is not None:
+            entry = self._entry_path(key)
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(entry)
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (the on-disk store is untouched)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self._path is not None and self._entry_path(key).exists()
+        )

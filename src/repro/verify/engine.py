@@ -1,0 +1,224 @@
+"""Method dispatch of the unified verification API.
+
+:func:`execute` answers one :class:`~repro.verify.request.VerificationRequest`
+by driving the appropriate engine — Algorithm 1/2 on a persistent
+:class:`~repro.upec.miter.MiterSession`, BMC / k-induction on
+:class:`~repro.formal.session.UnrollSession`-backed sessions, or the
+IFT baseline — and adapting the native result into a unified
+:class:`~repro.verify.verdict.Verdict`.  The campaign runner's
+:func:`~repro.campaign.runner.run_job` is a thin wrapper over this
+function, so one-shot ``verify()`` calls and campaign jobs are
+guaranteed to agree bit for bit.
+
+Hint semantics are identical to the campaign hint cache: donor payloads
+only ever *weaken* assumption sets soundly (transient removals filtered
+through :func:`~repro.upec.ssc.seedable_removals`), and a seeded run
+that finds a vulnerability is re-run unseeded so a weakened assumption
+set can never manufacture a verdict.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..rtl.expr import all_of
+from ..upec.classify import StateClassifier
+from ..upec.miter import CheckStats, UpecMiter
+from ..upec.ssc import upec_ssc
+from ..upec.threat_model import ThreatModel
+from ..upec.unrolled import upec_ssc_unrolled
+from .request import VerificationRequest
+from .verdict import Verdict, threat_model_hash, unify_verdict
+
+__all__ = ["execute", "merge_hints"]
+
+
+def merge_hints(hints) -> tuple[set[str], int | None]:
+    """Fold donor payloads into (seed_removed, best induction k)."""
+    removed: set[str] = set()
+    induction_k: int | None = None
+    for hint in hints or ():
+        if not hint:
+            continue
+        removed.update(hint.get("removed", ()))
+        k = hint.get("induction_k")
+        if k is not None:
+            induction_k = k if induction_k is None else max(induction_k, k)
+    return removed, induction_k
+
+
+def _ift_victim_page(tm: ThreatModel, soc) -> int | None:
+    """Concrete protected page for the non-relational baseline."""
+    if soc is None:
+        return None
+    region = "priv_ram" if soc.config.secure else "pub_ram"
+    return soc.address_map.pages_of(region, soc.config.page_bits).start
+
+
+def _provenance(request: VerificationRequest) -> dict:
+    # Deferred: ``repro`` imports this package during initialization.
+    from .. import __version__
+
+    return {
+        "design_fingerprint": request.fingerprint(),
+        "threat_hash": threat_model_hash(request.threat_overrides),
+        "method": request.method,
+        "depth": request.depth,
+        "version": __version__,
+    }
+
+
+def execute(
+    request: VerificationRequest,
+    hints=None,
+    *,
+    prebuilt=None,
+    miter: UpecMiter | None = None,
+) -> Verdict:
+    """Answer a verification request.
+
+    Args:
+        request: the question (design, method, depth, overrides, hints).
+        hints: donor hint payloads (campaign hint cache), merged with the
+            request's explicit ``seed_removed`` / ``induction_k``.
+        prebuilt: a ``(threat_model, soc, classifier)`` triple to reuse
+            instead of building the design (the :class:`Verifier`
+            session handle passes its own).
+        miter: a warm :class:`UpecMiter` to drive for ``alg1`` (session
+            reuse across calls; learned clauses carry over).
+
+    Returns:
+        The unified verdict.  Raises on invalid requests; executor-level
+        ``timeout``/``error`` outcomes are produced by the campaign
+        executors, not here.
+    """
+    start = time.perf_counter()
+    verdict = _execute_inner(request, hints, prebuilt, miter)
+    verdict.seconds = time.perf_counter() - start
+    return verdict
+
+
+def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
+    if prebuilt is not None:
+        tm, soc, classifier = prebuilt
+    else:
+        tm, soc = request.resolve()
+        classifier = None
+    seed_removed, seed_k = merge_hints(hints)
+    seed_removed |= set(request.seed_removed)
+    if request.induction_k is not None:
+        seed_k = max(seed_k or 0, request.induction_k)
+    method = request.method
+    provenance = _provenance(request)
+
+    def verdict(raw, **kw) -> Verdict:
+        return Verdict(
+            status=unify_verdict(method, raw, kw.get("detail")),
+            method=method,
+            raw_verdict=raw,
+            provenance=provenance,
+            **kw,
+        )
+
+    if method in ("alg1", "alg2"):
+        classifier = classifier or StateClassifier(tm)
+
+        def run(seed: set[str] | None):
+            if method == "alg1":
+                return upec_ssc(
+                    tm, classifier,
+                    max_iterations=request.max_iterations,
+                    record_trace=request.record_trace,
+                    miter=miter,
+                    seed_removed=seed,
+                )
+            return upec_ssc_unrolled(
+                tm, classifier,
+                max_depth=request.depth,
+                max_iterations=request.max_iterations,
+                record_trace=request.record_trace,
+                seed_removed=seed,
+            )
+
+        result = run(seed_removed or None)
+        reran = False
+        stats = result.rollup_stats()
+        if result.seeded_removed and result.vulnerable:
+            # Exactness guard: a seeded run weakened the assumption
+            # set, so confirm any vulnerability from a clean start.
+            # The discarded seeded attempt's solver work still counts
+            # toward the rollup.
+            result = run(None)
+            reran = True
+            stats.add(result.rollup_stats())
+        return verdict(
+            result.verdict,
+            leaking=set(result.leaking),
+            stats=stats,
+            detail={"result": result.to_dict()},
+            seeded=sorted(result.seeded_removed),
+            reran_unseeded=reran,
+            hint={"removed": sorted(result.removed_transients())},
+        )
+
+    if method in ("bmc", "k-induction"):
+        if soc is None:
+            raise ValueError(
+                f"{method} requests need a SoC design (the property is "
+                f"the SoC's reachability invariants)"
+            )
+        from ..soc.invariants import spy_response_invariants
+
+        invariants = spy_response_invariants(soc)
+        assumptions = list(tm.firmware_constraints)
+        if not invariants:
+            raw = "holds" if method == "bmc" else "proved"
+            return verdict(
+                raw,
+                detail={"note": "no invariants apply to this variant"},
+                hint={"induction_k": 0} if method != "bmc" else None,
+            )
+        if method == "bmc":
+            from ..formal.bmc import bmc
+
+            check = bmc(soc.circuit, all_of(invariants), depth=request.depth,
+                        assumptions=assumptions)
+            detail: dict = {"failing_cycle": check.failing_cycle}
+            if request.record_trace and check.trace is not None:
+                detail["trace"] = check.trace.to_dict()
+            return verdict("holds" if check.holds else "violated",
+                           detail=detail)
+        from ..formal.induction import find_induction_depth
+
+        max_k = max(request.depth, seed_k or 0)
+        proof = find_induction_depth(
+            soc.circuit, invariants, max_k=max_k, assumptions=assumptions
+        )
+        return verdict(
+            "proved" if proof.proved else "unproved",
+            detail={
+                "k": proof.k,
+                "failed_phase": proof.failed_phase,
+                "seeded_max_k": max_k if seed_k else None,
+            },
+            hint={"induction_k": proof.k} if proof.proved else None,
+        )
+
+    if method == "ift-baseline":
+        from ..ift import bounded_ift_check
+
+        classifier = classifier or StateClassifier(tm)
+        ift = bounded_ift_check(
+            tm, classifier, depth=request.depth,
+            victim_page=_ift_victim_page(tm, soc),
+        )
+        return verdict(
+            "flow" if ift.flows else "no-flow",
+            leaking=set(ift.tainted_sinks),
+            stats=CheckStats(aig_nodes=ift.aig_nodes,
+                             solve_seconds=ift.solve_seconds, sat_calls=1),
+            detail={"tainted_sinks": sorted(ift.tainted_sinks),
+                    "depth": ift.depth},
+        )
+
+    raise ValueError(f"unknown method {method!r}")  # pragma: no cover

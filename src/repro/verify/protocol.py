@@ -1,0 +1,85 @@
+"""Length-prefixed JSON wire protocol of the verification worker.
+
+Every message is one *frame*: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  The JSON object carries an
+``"op"`` discriminator:
+
+========== =============================================== ==========
+op         payload                                         direction
+========== =============================================== ==========
+``job``    ``{"job": Job.to_dict(), "hints": [hint, ...]}`` client → worker
+``result`` ``{"result": JobResult.to_dict()}``              worker → client
+``ping``   ``{}``                                           client → worker
+``pong``   ``{}``                                           worker → client
+``shutdown`` ``{}`` — worker closes the connection and exits client → worker
+``error``  ``{"message": str}`` — protocol-level failure     worker → client
+========== =============================================== ==========
+
+A worker processes one job at a time per connection; hint payloads
+travel with the job (the scheduling side owns the hint cache), so
+workers are stateless and any worker can run any job.  Frames are
+capped at :data:`MAX_FRAME` bytes to fail fast on corrupt prefixes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+__all__ = ["MAX_FRAME", "PROTOCOL_VERSION", "send_frame", "recv_frame",
+           "parse_address"]
+
+#: Protocol revision, carried in worker hello lines / error messages.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON payload (64 MiB — traces are big).
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Serialize ``payload`` and send it as one frame."""
+    blob = json.dumps(payload, separators=(",", ":")).encode()
+    if len(blob) > MAX_FRAME:
+        raise ValueError(f"frame of {len(blob)} bytes exceeds MAX_FRAME")
+    sock.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Receive one frame; None on a cleanly closed connection.
+
+    Raises ``ConnectionError`` on a mid-frame disconnect and
+    ``ValueError`` on an over-long or non-JSON frame.
+    """
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME")
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        raise ConnectionError("connection closed mid-frame")
+    return json.loads(blob.decode())
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (host defaults to loopback)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad worker address {text!r}; expected host:port")
+    return host or "127.0.0.1", int(port)

@@ -1,0 +1,274 @@
+"""The typed request of the unified verification API.
+
+A :class:`VerificationRequest` names everything one verification run
+needs: the *design* (a named base configuration, a concrete
+:class:`~repro.soc.config.SocConfig`, a design-builder reference, a
+Job-style design spec dict, or a raw in-memory
+:class:`~repro.upec.ThreatModel`), the *threat-model overrides* to
+strip, the *method* (one of :data:`METHODS`), the unrolling/bound
+*depth* and per-run limits/hints.  Requests round-trip through JSON
+(except when the design is a raw in-memory object), so the same record
+drives one-shot :func:`repro.verify.verify` calls, campaign jobs and
+the TCP worker wire protocol.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..soc.config import BASE_CONFIGS, SocConfig, named_config
+from ..upec.threat_model import ThreatModel
+
+__all__ = [
+    "METHODS",
+    "DESIGN_KINDS",
+    "VerificationRequest",
+    "normalize_design",
+    "design_fingerprint",
+    "build_design",
+    "apply_threat_overrides",
+    "register_builder",
+]
+
+#: The verification methods the unified API dispatches on.
+METHODS = ("alg1", "alg2", "bmc", "k-induction", "ift-baseline")
+
+#: Serializable design-spec kinds (the ``design`` dict's ``"kind"``).
+DESIGN_KINDS = ("soc", "builder")
+
+#: Process-local design builders addressable from requests/jobs by name.
+#: Forked workers inherit registrations; spawn-based pools and TCP
+#: workers run in fresh interpreters, so cross-process designs must use
+#: importable ``"pkg.mod:fn"`` references instead.
+_BUILDERS: dict[str, object] = {}
+
+
+def register_builder(name: str, builder) -> None:
+    """Register a design builder callable under ``name``.
+
+    The builder is called with the design spec's ``args`` mapping as
+    keyword arguments and must return a
+    :class:`~repro.upec.ThreatModel` or an object exposing one as
+    ``.threat_model`` (e.g. a built SoC).
+    """
+    _BUILDERS[name] = builder
+
+
+def _resolve_builder(ref: str):
+    if ref in _BUILDERS:
+        return _BUILDERS[ref]
+    if ":" in ref:
+        module_name, attr = ref.split(":", 1)
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    raise ValueError(
+        f"unknown design builder {ref!r} (not registered, not a "
+        f"'pkg.mod:fn' reference)"
+    )
+
+
+def normalize_design(design) -> dict | ThreatModel:
+    """Canonicalize a design reference.
+
+    Returns either a serializable design-spec dict (``{"kind": "soc" |
+    "builder", ...}``) or the raw :class:`ThreatModel` that was passed
+    in (in-memory only: such requests cannot be serialized or cached).
+    """
+    if isinstance(design, ThreatModel):
+        return design
+    if isinstance(design, SocConfig):
+        return {"kind": "soc", "config": design.to_dict()}
+    if isinstance(design, str):
+        if design in BASE_CONFIGS:
+            return {"kind": "soc", "base": design, "overrides": {}}
+        if ":" in design:
+            return {"kind": "builder", "ref": design, "args": {}}
+        raise ValueError(
+            f"unknown design {design!r}: not a named base config "
+            f"({', '.join(sorted(BASE_CONFIGS))}) and not a "
+            f"'pkg.mod:fn' builder reference"
+        )
+    if isinstance(design, Mapping):
+        spec = dict(design)
+        kind = spec.get("kind")
+        if kind not in DESIGN_KINDS:
+            raise ValueError(
+                f"unknown design kind {kind!r}; known: "
+                f"{', '.join(DESIGN_KINDS)}"
+            )
+        return spec
+    raise TypeError(
+        f"cannot interpret {type(design).__name__!r} as a design: pass a "
+        f"SocConfig, a named base config, a 'pkg.mod:fn' builder "
+        f"reference, a design spec dict or a ThreatModel"
+    )
+
+
+def resolve_design_config(design: Mapping) -> SocConfig | None:
+    """The concrete :class:`SocConfig` of a ``"soc"`` design spec."""
+    if design.get("kind") != "soc":
+        return None
+    if "config" in design:
+        return SocConfig.from_dict(design["config"])
+    return named_config(design["base"]).replace(**design.get("overrides", {}))
+
+
+def design_fingerprint(design) -> str:
+    """Stable content identity of a design reference.
+
+    * ``"soc"`` specs fingerprint as the config's
+      :meth:`~repro.soc.config.SocConfig.variant_id` — identical
+      configurations produce identical fingerprints regardless of how
+      they were spelled (named base + overrides vs. full config dump);
+    * ``"builder"`` specs fingerprint as ``builder:ref(sorted args)``;
+    * raw :class:`ThreatModel` objects fingerprint as
+      ``object:<circuit name>@<id>`` — unique per object, never stable
+      across processes, hence never cacheable.
+    """
+    if isinstance(design, ThreatModel):
+        return f"object:{design.circuit.name}@{id(design):#x}"
+    spec = normalize_design(design)
+    if spec["kind"] == "soc":
+        return resolve_design_config(spec).variant_id()
+    args = ",".join(f"{k}={v}" for k, v in sorted(spec.get("args", {}).items()))
+    return f"builder:{spec['ref']}({args})"
+
+
+def build_design(design):
+    """Build a design reference: ``(threat_model, soc or None)``."""
+    if isinstance(design, ThreatModel):
+        return design, None
+    spec = normalize_design(design)
+    if spec["kind"] == "soc":
+        from ..soc.pulpissimo import build_soc
+
+        soc = build_soc(resolve_design_config(spec))
+        return soc.threat_model, soc
+    builder = _resolve_builder(spec["ref"])
+    built = builder(**spec.get("args", {}))
+    tm = built if isinstance(built, ThreatModel) else built.threat_model
+    return tm, None
+
+
+def apply_threat_overrides(tm: ThreatModel, overrides: Mapping) -> None:
+    """Strip the named aspects from a freshly built threat model."""
+    for aspect, value in overrides.items():
+        if value is not False:
+            raise ValueError(
+                f"threat override {aspect!r} must be false (strip); "
+                f"got {value!r}"
+            )
+        if aspect == "invariants":
+            tm.invariants = []
+        elif aspect == "firmware_constraints":
+            tm.firmware_constraints = []
+        elif aspect == "spy_isolation":
+            tm.spy_master_ports = []
+        elif aspect == "victim_page_constraint":
+            tm.victim_page_constraint = None
+        else:
+            raise ValueError(f"unknown threat override {aspect!r}")
+
+
+@dataclass
+class VerificationRequest:
+    """One verification question, fully specified.
+
+    Attributes:
+        design: what to verify — anything :func:`normalize_design`
+            accepts (named config, ``SocConfig``, builder ref, design
+            spec dict, or an in-memory ``ThreatModel``).
+        method: verification method, one of :data:`METHODS`.
+        depth: unrolling / bound depth for depth-sensitive methods
+            (Algorithm 2's ``max_depth``, BMC's bound, k-induction's
+            ``max_k``, the IFT window); ignored by ``alg1``.
+        threat_overrides: threat-model aspects to strip (values must be
+            ``False``), as in campaign specs.
+        record_trace: decode counterexample traces into the result.
+        max_iterations: safety bound of the Algorithm 1/2 loops.
+        seed_removed: explicit hint — state names to drop from the
+            starting assumption set (filtered for local soundness like
+            campaign hints).
+        induction_k: explicit hint — raise the k-induction search bound
+            to at least this ``k``.
+        use_cache: consult/populate the verdict cache (when one is in
+            effect and the design is fingerprint-stable).
+        label: free-form display label carried into the verdict.
+    """
+
+    design: object
+    method: str = "alg1"
+    depth: int = 3
+    threat_overrides: dict = field(default_factory=dict)
+    record_trace: bool = True
+    max_iterations: int = 1000
+    seed_removed: tuple = ()
+    induction_k: int | None = None
+    use_cache: bool = True
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; known: {', '.join(METHODS)}"
+            )
+        if not isinstance(self.design, ThreatModel):
+            self.design = normalize_design(self.design)
+        self.seed_removed = tuple(sorted(self.seed_removed))
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def serializable(self) -> bool:
+        """Whether this request round-trips through JSON (no raw objects)."""
+        return not isinstance(self.design, ThreatModel)
+
+    def fingerprint(self) -> str:
+        """The design's content fingerprint (see :func:`design_fingerprint`)."""
+        return design_fingerprint(self.design)
+
+    def resolve(self):
+        """Build the design and apply overrides: ``(tm, soc)``."""
+        tm, soc = build_design(self.design)
+        apply_threat_overrides(tm, self.threat_overrides)
+        return tm, soc
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        if not self.serializable:
+            raise TypeError(
+                "a request holding a raw ThreatModel cannot be serialized; "
+                "use a named config, SocConfig or builder reference"
+            )
+        return {
+            "design": dict(self.design),
+            "method": self.method,
+            "depth": self.depth,
+            "threat_overrides": dict(self.threat_overrides),
+            "record_trace": self.record_trace,
+            "max_iterations": self.max_iterations,
+            "seed_removed": list(self.seed_removed),
+            "induction_k": self.induction_k,
+            "use_cache": self.use_cache,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "VerificationRequest":
+        known = {
+            "design", "method", "depth", "threat_overrides", "record_trace",
+            "max_iterations", "seed_removed", "induction_k", "use_cache",
+            "label",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown request keys: {', '.join(sorted(unknown))}"
+            )
+        data = dict(data)
+        if "seed_removed" in data:
+            data["seed_removed"] = tuple(data["seed_removed"])
+        return cls(**data)

@@ -1,0 +1,202 @@
+"""The first-class verdict model of the unified verification API.
+
+Every verification method — Algorithm 1/2, BMC, k-induction, the IFT
+baseline — historically returned its own result dataclass with its own
+verdict vocabulary (``secure``/``hold``, ``holds``/``violated``,
+``proved``/``unproved``, ``flow``/``no-flow``).  :class:`Verdict`
+adapts all of them into one model:
+
+* a unified ``status`` in :data:`STATUSES` —
+
+  - ``SECURE``: the method's positive answer (exhaustive for Alg. 1/2
+    and k-induction, *bounded* for BMC/IFT — the provenance records
+    which method and depth produced it);
+  - ``VULNERABLE``: a real violation (Alg. 1/2 leak, BMC failure,
+    k-induction *base*-phase failure, IFT flow);
+  - ``UNKNOWN``: inconclusive (Alg. 2 ``hold`` without the final
+    inductive proof, k-induction step failure at ``max_k``, executor
+    errors);
+  - ``TIMEOUT``: the executor killed the run before it answered;
+
+* the method's native answer as ``raw_verdict`` (lossless);
+* the ``leaking`` set (persistent leak targets / tainted sinks);
+* the counterexample and full method result under ``detail``;
+* a :class:`~repro.upec.miter.CheckStats` cost rollup;
+* provenance: design fingerprint, threat-model hash, method, depth,
+  package version — the content address of the question answered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..upec.miter import CheckStats
+
+__all__ = [
+    "SECURE",
+    "VULNERABLE",
+    "UNKNOWN",
+    "TIMEOUT",
+    "STATUSES",
+    "Verdict",
+    "unify_verdict",
+    "threat_model_hash",
+]
+
+SECURE = "SECURE"
+VULNERABLE = "VULNERABLE"
+UNKNOWN = "UNKNOWN"
+TIMEOUT = "TIMEOUT"
+
+#: The unified status vocabulary, in "best to worst" display order.
+STATUSES = (SECURE, VULNERABLE, UNKNOWN, TIMEOUT)
+
+#: Native verdict string → unified status, per method.  k-induction's
+#: ``unproved`` is context-dependent (see :func:`unify_verdict`).
+_RAW_TO_STATUS = {
+    "alg1": {"secure": SECURE, "vulnerable": VULNERABLE},
+    "alg2": {"secure": SECURE, "vulnerable": VULNERABLE, "hold": UNKNOWN},
+    "bmc": {"holds": SECURE, "violated": VULNERABLE},
+    "k-induction": {"proved": SECURE, "unproved": UNKNOWN},
+    "ift-baseline": {"flow": VULNERABLE, "no-flow": SECURE},
+}
+
+
+def unify_verdict(method: str, raw: str, detail: Mapping | None = None) -> str:
+    """Map a method's native verdict string to a unified status.
+
+    The executor-level ``timeout`` and ``error`` outcomes map to
+    ``TIMEOUT`` and ``UNKNOWN`` for every method.  A k-induction
+    ``unproved`` whose base phase failed is a *real* reachable
+    violation and maps to ``VULNERABLE``; a step failure merely means
+    "not k-inductive within the bound" (``UNKNOWN``).
+    """
+    if raw == "timeout":
+        return TIMEOUT
+    if raw == "error":
+        return UNKNOWN
+    if method == "k-induction" and raw == "unproved" \
+            and detail and detail.get("failed_phase") == "base":
+        return VULNERABLE
+    try:
+        return _RAW_TO_STATUS[method][raw]
+    except KeyError:
+        raise ValueError(
+            f"cannot unify verdict {raw!r} of method {method!r}"
+        ) from None
+
+
+def threat_model_hash(threat_overrides: Mapping) -> str:
+    """Short content hash of a threat-model override mapping."""
+    payload = json.dumps(dict(threat_overrides), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class Verdict:
+    """The unified outcome of one verification run, JSON-ready.
+
+    ``detail`` preserves the method's full native result in its legacy
+    dict shape (``{"result": SscResult.to_dict()}`` for Alg. 1/2, the
+    failing-cycle / proof-depth dicts for BMC / k-induction, the
+    tainted-sink dict for IFT), so nothing the old entry points
+    reported is lost in adaptation.
+    """
+
+    status: str
+    method: str
+    raw_verdict: str
+    provenance: dict = field(default_factory=dict)
+    leaking: set[str] = field(default_factory=set)
+    stats: CheckStats = field(default_factory=CheckStats)
+    detail: dict = field(default_factory=dict)
+    seeded: list[str] = field(default_factory=list)
+    reran_unseeded: bool = False
+    hint: dict | None = None
+    seconds: float = 0.0
+    error: str | None = None
+    cached: bool = False
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"unknown status {self.status!r}; known: {', '.join(STATUSES)}"
+            )
+
+    @property
+    def secure(self) -> bool:
+        return self.status == SECURE
+
+    @property
+    def vulnerable(self) -> bool:
+        return self.status == VULNERABLE
+
+    @property
+    def counterexample(self) -> dict | None:
+        """The counterexample dict, when the method produced one."""
+        inner = self.detail.get("result")
+        if inner and inner.get("counterexample"):
+            return inner["counterexample"]
+        if self.detail.get("trace"):
+            return {"trace": self.detail["trace"]}
+        return None
+
+    def result_object(self):
+        """The method's typed result, rebuilt from ``detail``.
+
+        Returns an :class:`~repro.upec.ssc.SscResult` for ``alg1``, an
+        :class:`~repro.upec.unrolled.UnrolledResult` for ``alg2``, or
+        ``None`` for the other methods (their detail dicts are flat).
+        """
+        inner = self.detail.get("result")
+        if inner is None:
+            return None
+        if self.method == "alg1":
+            from ..upec.ssc import SscResult
+
+            return SscResult.from_dict(inner)
+        if self.method == "alg2":
+            from ..upec.unrolled import UnrolledResult
+
+            return UnrolledResult.from_dict(inner)
+        return None
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "method": self.method,
+            "raw_verdict": self.raw_verdict,
+            "provenance": dict(self.provenance),
+            "leaking": sorted(self.leaking),
+            "stats": self.stats.to_dict(),
+            "detail": self.detail,
+            "seeded": list(self.seeded),
+            "reran_unseeded": self.reran_unseeded,
+            "hint": self.hint,
+            "seconds": self.seconds,
+            "error": self.error,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Verdict":
+        return cls(
+            status=data["status"],
+            method=data["method"],
+            raw_verdict=data["raw_verdict"],
+            provenance=dict(data.get("provenance", {})),
+            leaking=set(data.get("leaking", ())),
+            stats=CheckStats.from_dict(data.get("stats", {})),
+            detail=dict(data.get("detail", {})),
+            seeded=list(data.get("seeded", ())),
+            reran_unseeded=data.get("reran_unseeded", False),
+            hint=data.get("hint"),
+            seconds=data.get("seconds", 0.0),
+            error=data.get("error"),
+            cached=data.get("cached", False),
+        )

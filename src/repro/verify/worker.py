@@ -1,0 +1,143 @@
+"""The TCP verification worker (``python -m repro.verify worker``).
+
+A worker binds one listening socket, announces itself on stdout as
+``worker listening on HOST:PORT`` (machine-parsable — the CI transport
+smoke job and the test suite scrape it), then serves connections
+sequentially: one job frame in, one result frame out (see
+:mod:`repro.verify.protocol`).  Jobs arrive as serialized
+:class:`~repro.campaign.spec.Job` records with their hint payloads and
+are executed with the exact same :func:`~repro.campaign.runner.run_job`
+code path as local executors, so a TCP campaign is bit-identical to a
+serial one.
+
+Workers are stateless and single-tenant by design: run one worker
+process per core (or per host) and hand the ``host:port`` list to
+:class:`~repro.campaign.executors.TcpExecutor`.  Designs referenced as
+``"pkg.mod:fn"`` builders must be importable on the worker host;
+in-process ``register_builder`` registrations do not travel.
+"""
+
+from __future__ import annotations
+
+import socket
+import traceback
+
+from .protocol import PROTOCOL_VERSION, recv_frame, send_frame
+
+__all__ = ["serve"]
+
+
+def _handle_connection(conn: socket.socket, log) -> bool:
+    """Serve one connection; returns False when asked to shut down.
+
+    Client-side failures (a dropped connection — e.g. the executor
+    timed this job out and hung up — or an unsendable frame) terminate
+    the *connection*, never the worker: the worker recycles to
+    ``accept`` and stays available to the pool.
+    """
+    # Deferred import: the campaign runner itself imports repro.verify.
+    from ..campaign.runner import run_job
+    from ..campaign.spec import Job
+
+    def reply(payload: dict) -> bool:
+        """Send one frame; False (connection over) on a gone client."""
+        try:
+            send_frame(conn, payload)
+            return True
+        except ValueError as exc:
+            # Frame over MAX_FRAME: report instead of dying.
+            try:
+                send_frame(conn, {"op": "error",
+                                  "message": f"unsendable result: {exc}"})
+                return True
+            except OSError:
+                return False
+        except OSError as exc:
+            log(f"client gone before delivery: {exc}")
+            return False
+
+    while True:
+        try:
+            frame = recv_frame(conn)
+        except (ConnectionError, ValueError, OSError) as exc:
+            log(f"connection dropped: {exc}")
+            return True
+        if frame is None:
+            return True
+        op = frame.get("op")
+        if op == "ping":
+            if not reply({"op": "pong", "version": PROTOCOL_VERSION}):
+                return True
+        elif op == "shutdown":
+            log("shutdown requested")
+            return False
+        elif op == "job":
+            try:
+                job = Job.from_dict(frame["job"])
+            except Exception:
+                if not reply({
+                    "op": "error",
+                    "message": "malformed job: "
+                               + traceback.format_exc(limit=2),
+                }):
+                    return True
+                continue
+            log(f"job {job.index}: {job.label()}")
+            result = run_job(job, frame.get("hints"))
+            if not reply({"op": "result", "result": result.to_dict()}):
+                return True
+            log(f"job {job.index}: {result.verdict} "
+                f"({result.seconds:.1f} s)")
+        else:
+            if not reply({
+                "op": "error",
+                "message": f"unknown op {op!r} "
+                           f"(protocol v{PROTOCOL_VERSION})",
+            }):
+                return True
+
+
+def serve(host: str = "127.0.0.1", port: int = 0,
+          max_connections: int | None = None, quiet: bool = False) -> int:
+    """Run a worker until shut down; returns the process exit code.
+
+    Args:
+        host: bind address (default loopback; bind 0.0.0.0 explicitly
+            for cross-host campaigns).
+        port: bind port; 0 lets the OS pick one (announced on stdout).
+        max_connections: exit after serving this many connections
+            (None = serve forever until a ``shutdown`` op).
+        quiet: suppress per-job log lines (the hello line always prints).
+    """
+    def log(message: str) -> None:
+        if not quiet:
+            print(f"[worker] {message}", flush=True)
+
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind((host, port))
+    server.listen(8)
+    bound_host, bound_port = server.getsockname()[:2]
+    print(f"worker listening on {bound_host}:{bound_port}", flush=True)
+
+    served = 0
+    try:
+        while max_connections is None or served < max_connections:
+            conn, peer = server.accept()
+            served += 1
+            log(f"connection from {peer[0]}:{peer[1]}")
+            try:
+                keep_going = _handle_connection(conn, log)
+            except Exception:  # noqa: BLE001 - worker must stay up
+                log("connection handler failed:\n"
+                    + traceback.format_exc(limit=4))
+                keep_going = True
+            finally:
+                conn.close()
+            if not keep_going:
+                break
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        log("interrupted")
+    finally:
+        server.close()
+    return 0

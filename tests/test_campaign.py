@@ -313,3 +313,87 @@ def test_per_job_timeout_kills_worker():
     results = by_index(campaign)
     assert results[0].verdict == "timeout"
     assert results[1].verdict == "secure"
+
+
+# -- CLI error paths ---------------------------------------------------------
+
+
+def _cli(argv):
+    from repro.campaign.__main__ import main
+
+    return main(argv)
+
+
+def _single_error_line(capsys) -> str:
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("error:"), err
+    assert len(err.splitlines()) == 1, err
+    return err
+
+
+def test_cli_missing_spec_file(capsys):
+    assert _cli(["/no/such/spec.json"]) == 2
+    assert "not found" in _single_error_line(capsys)
+
+
+def test_cli_malformed_spec_json(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json!")
+    assert _cli([str(bad)]) == 2
+    assert "malformed JSON" in _single_error_line(capsys)
+
+
+def test_cli_unknown_algorithm_in_spec(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({"name": "x", "algorithms": ["alg99"]}))
+    assert _cli([str(spec)]) == 2
+    assert "unknown algorithm" in _single_error_line(capsys)
+
+
+def test_cli_unknown_spec_keys(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({"name": "x", "surprise": 1}))
+    assert _cli([str(spec)]) == 2
+    assert "unknown campaign spec keys" in _single_error_line(capsys)
+
+
+def test_cli_unknown_base_config(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "name": "x", "base": "NO_SUCH_BASE",
+        "variants": {"baseline": {}},
+    }))
+    assert _cli([str(spec)]) == 2
+    assert "unknown base config" in _single_error_line(capsys)
+
+
+def test_cli_unknown_variant_field(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "name": "x",
+        "variants": {"weird": {"no_such_field": 1}},
+    }))
+    assert _cli([str(spec)]) == 2
+    assert "no_such_field" in _single_error_line(capsys)
+
+
+def test_cli_tcp_executor_requires_connect(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({"name": "x"}))
+    assert _cli([str(spec), "--executor", "tcp"]) == 2
+    assert "worker address" in _single_error_line(capsys)
+
+
+def test_cli_runs_toy_spec_through_serial_executor(tmp_path, capsys):
+    spec_path = tmp_path / "toys.json"
+    toy_spec().save(spec_path)
+    code = _cli([str(spec_path), "--workers", "0", "--executor", "serial",
+                 "--no-cache", "--quiet",
+                 "--json", str(tmp_path / "report.json")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "executor=serial" in out
+    report = json.loads((tmp_path / "report.json").read_text())
+    assert report["campaign"]["executor"] == "serial"
+    assert report["summary"]["verdict_matrix"]["vulnerable"]["alg1"] == \
+        "vulnerable"

@@ -68,7 +68,8 @@ def test_upec_verdicts_are_deterministic():
     """Two fresh builds of the same design must produce identical
     verdicts, iteration structure, and leaking sets — the solver and the
     miter construction are fully deterministic."""
-    from repro import FORMAL_TINY, build_soc, upec_ssc
+    from repro import FORMAL_TINY, build_soc
+    from repro.upec import upec_ssc
 
     runs = []
     for _ in range(2):

@@ -7,7 +7,8 @@ independently implemented cycle-accurate simulator.
 
 import pytest
 
-from repro import FORMAL_TINY, StateClassifier, build_soc, upec_ssc, upec_ssc_unrolled
+from repro import FORMAL_TINY, StateClassifier, build_soc
+from repro.upec import upec_ssc, upec_ssc_unrolled
 from repro.upec import diagnose, replay_counterexample
 from repro.upec.diagnose import Diagnosis
 

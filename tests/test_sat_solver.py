@@ -245,3 +245,39 @@ def test_solver_statistics_populated():
         s.add_clause([-i, -(i + 1)])
     assert s.solve() is True
     assert s.stats["decisions"] > 0
+
+
+def test_indexed_vsids_heap_matches_lazy_branching_order():
+    # The fully indexed decrease-key heap (Solver(indexed_vsids=True))
+    # must branch exactly like the default lazy heapq scheme: same
+    # decisions, same conflicts, same models, on SAT and UNSAT formulas.
+    import random
+
+    rng = random.Random(1234)
+    for _ in range(25):
+        n = rng.randint(15, 45)
+        clauses = []
+        for _ in range(int(n * 4.1)):
+            lits = rng.sample(range(1, n + 1), min(3, n))
+            clauses.append([v if rng.random() < 0.5 else -v for v in lits])
+        outcomes = []
+        for indexed in (False, True):
+            s = Solver(indexed_vsids=indexed)
+            s.add_clauses(clauses)
+            sat = s.solve()
+            outcomes.append((sat, s.stats["decisions"],
+                             s.stats["conflicts"],
+                             s.model() if sat else None))
+        assert outcomes[0] == outcomes[1]
+
+
+def test_indexed_vsids_heap_incremental_assumptions():
+    for indexed in (False, True):
+        s = Solver(indexed_vsids=indexed)
+        a = s.add_guarded("grp", [1, 2])
+        s.add_clause([-1, 3])
+        assert s.solve([a]) is True
+        s.add_clause([-3])
+        s.add_clause([-2])
+        assert s.solve([a]) is False
+        assert s.solve([]) is True  # group disabled: satisfiable again

@@ -1,0 +1,517 @@
+"""The unified verification API.
+
+Acceptance contract of the redesign:
+
+* ``repro.verify.verify()`` produces identical verdicts / leaking sets
+  to the legacy entry points for all five methods on FORMAL_TINY;
+* the smoke campaign returns bit-identical results across the Serial,
+  ForkPool, SpawnPool and Tcp executors;
+* ``Verdict`` JSON round-trips for every method;
+* the legacy top-level entry points are deprecation shims that forward
+  to the original implementations;
+* the content-addressed verdict cache answers repeated questions
+  without re-solving, bit-identically.
+"""
+
+import json
+import os
+import pathlib
+import socket
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import FORMAL_TINY, build_soc
+from repro.campaign import (
+    ForkPoolExecutor,
+    SerialExecutor,
+    SpawnPoolExecutor,
+    TcpExecutor,
+    run_campaign,
+    smoke_spec,
+)
+from repro.rtl import Circuit, mux
+from repro.rtl.expr import all_of
+from repro.soc.invariants import spy_response_invariants
+from repro.upec import ThreatModel, VictimPort
+from repro.verify import (
+    SECURE,
+    VULNERABLE,
+    VerdictCache,
+    VerificationRequest,
+    Verdict,
+    Verifier,
+    design_fingerprint,
+    unify_verdict,
+    verify,
+)
+from repro.verify.protocol import parse_address, recv_frame, send_frame
+
+# -- shared fixtures ---------------------------------------------------------
+
+#: method -> request kwargs on the FORMAL_TINY baseline.
+METHOD_REQUESTS = {
+    "alg1": {"depth": 1},
+    "alg2": {"depth": 3},
+    "bmc": {"depth": 2},
+    "k-induction": {"depth": 3},
+    "ift-baseline": {"depth": 2},
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_verdicts():
+    """One verify() verdict per method on the FORMAL_TINY baseline."""
+    out = {}
+    for method, kwargs in METHOD_REQUESTS.items():
+        out[method] = verify(VerificationRequest(
+            design=FORMAL_TINY, method=method, record_trace=False,
+            use_cache=False, **kwargs,
+        ))
+    return out
+
+
+def toy_threat_model(kind: str = "secure") -> ThreatModel:
+    c = Circuit(f"verify-toy-{kind}")
+    v_valid = c.add_input("v_valid", 1)
+    v_addr = c.add_input("v_addr", 4)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 4)
+    c.add_input("victim_page", 2)
+    soc = c.scope("soc")
+    buf = soc.child("xbar").reg("addr_buf", 4, kind="interconnect")
+    c.set_next(buf, mux(v_valid, v_addr, buf))
+    if kind == "vulnerable":
+        count = soc.child("spy").reg("count", 4, kind="ip")
+        c.set_next(count, mux(v_valid, count + 1, count))
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=2,
+    )
+
+
+# -- cross-check against the legacy entry points -----------------------------
+
+
+def test_verify_alg1_matches_legacy(tiny_verdicts):
+    from repro.upec.ssc import upec_ssc
+
+    soc = build_soc(FORMAL_TINY)
+    legacy = upec_ssc(soc.threat_model, record_trace=False)
+    verdict = tiny_verdicts["alg1"]
+    assert verdict.status == VULNERABLE
+    assert verdict.raw_verdict == legacy.verdict
+    assert verdict.leaking == legacy.leaking
+    inner = verdict.detail["result"]
+    assert inner["final_s"] == sorted(legacy.final_s)
+    assert [(i["s_size"], i["removed"]) for i in inner["iterations"]] == \
+        [(i.s_size, sorted(i.removed)) for i in legacy.iterations]
+
+
+def test_verify_alg2_matches_legacy(tiny_verdicts):
+    from repro.upec.unrolled import upec_ssc_unrolled
+
+    soc = build_soc(FORMAL_TINY)
+    legacy = upec_ssc_unrolled(soc.threat_model, max_depth=3,
+                              record_trace=False)
+    verdict = tiny_verdicts["alg2"]
+    assert verdict.status == VULNERABLE
+    assert verdict.raw_verdict == legacy.verdict
+    assert verdict.leaking == legacy.leaking
+    inner = verdict.detail["result"]
+    assert inner["reached_depth"] == legacy.reached_depth
+    assert inner["s_frames"] == [sorted(f) for f in legacy.s_frames]
+
+
+def test_verify_bmc_matches_legacy(tiny_verdicts):
+    from repro.formal.bmc import bmc
+
+    soc = build_soc(FORMAL_TINY)
+    legacy = bmc(soc.circuit, all_of(spy_response_invariants(soc)), depth=2,
+                 assumptions=list(soc.threat_model.firmware_constraints))
+    verdict = tiny_verdicts["bmc"]
+    assert verdict.raw_verdict == ("holds" if legacy.holds else "violated")
+    assert verdict.detail["failing_cycle"] == legacy.failing_cycle
+
+
+def test_verify_k_induction_matches_legacy(tiny_verdicts):
+    from repro.formal.induction import find_induction_depth
+
+    soc = build_soc(FORMAL_TINY)
+    legacy = find_induction_depth(
+        soc.circuit, spy_response_invariants(soc), max_k=3,
+        assumptions=list(soc.threat_model.firmware_constraints),
+    )
+    verdict = tiny_verdicts["k-induction"]
+    assert verdict.raw_verdict == ("proved" if legacy.proved else "unproved")
+    assert verdict.detail["k"] == legacy.k
+    assert verdict.detail["failed_phase"] == legacy.failed_phase
+
+
+def test_verify_ift_matches_legacy(tiny_verdicts):
+    from repro.ift import bounded_ift_check
+
+    soc = build_soc(FORMAL_TINY)
+    page = soc.address_map.pages_of("pub_ram",
+                                    soc.config.page_bits).start
+    legacy = bounded_ift_check(soc.threat_model, depth=2, victim_page=page)
+    verdict = tiny_verdicts["ift-baseline"]
+    assert verdict.raw_verdict == ("flow" if legacy.flows else "no-flow")
+    assert verdict.leaking == legacy.tainted_sinks
+    assert verdict.detail["tainted_sinks"] == sorted(legacy.tainted_sinks)
+
+
+# -- the unified verdict model -----------------------------------------------
+
+
+def test_verdict_json_roundtrip_every_method(tiny_verdicts):
+    for method, verdict in tiny_verdicts.items():
+        wire = json.loads(json.dumps(verdict.to_dict()))
+        back = Verdict.from_dict(wire)
+        assert back.to_dict() == verdict.to_dict(), method
+        assert back.status == verdict.status
+        assert back.leaking == verdict.leaking
+        assert back.stats == verdict.stats
+
+
+def test_verdict_provenance(tiny_verdicts):
+    for method, verdict in tiny_verdicts.items():
+        p = verdict.provenance
+        assert p["design_fingerprint"] == FORMAL_TINY.variant_id()
+        assert p["method"] == method
+        assert p["version"] == repro.__version__
+
+
+def test_unified_status_mapping():
+    assert unify_verdict("alg1", "secure") == "SECURE"
+    assert unify_verdict("alg2", "hold") == "UNKNOWN"
+    assert unify_verdict("bmc", "violated") == "VULNERABLE"
+    assert unify_verdict("ift-baseline", "flow") == "VULNERABLE"
+    # A k-induction base-phase failure is a real reachable violation.
+    assert unify_verdict("k-induction", "unproved",
+                         {"failed_phase": "step"}) == "UNKNOWN"
+    assert unify_verdict("k-induction", "unproved",
+                         {"failed_phase": "base"}) == "VULNERABLE"
+    assert unify_verdict("alg1", "timeout") == "TIMEOUT"
+    assert unify_verdict("alg1", "error") == "UNKNOWN"
+    with pytest.raises(ValueError, match="cannot unify"):
+        unify_verdict("alg1", "holds")
+
+
+def test_request_validation_and_roundtrip():
+    with pytest.raises(ValueError, match="unknown method"):
+        VerificationRequest(design=FORMAL_TINY, method="alg3")
+    with pytest.raises(ValueError, match="unknown design"):
+        VerificationRequest(design="NO_SUCH_CONFIG")
+    request = VerificationRequest(design="FORMAL_TINY", method="bmc",
+                                  depth=2, seed_removed=("b", "a"))
+    wire = json.loads(json.dumps(request.to_dict()))
+    assert VerificationRequest.from_dict(wire).to_dict() == request.to_dict()
+    # A raw in-memory threat model cannot travel.
+    raw = VerificationRequest(design=toy_threat_model(), method="alg1")
+    assert not raw.serializable
+    with pytest.raises(TypeError, match="cannot be serialized"):
+        raw.to_dict()
+
+
+# -- deprecation shims -------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,module,attr", [
+    ("upec_ssc", "repro.upec.ssc", "upec_ssc"),
+    ("upec_ssc_unrolled", "repro.upec.unrolled", "upec_ssc_unrolled"),
+    ("bmc", "repro.formal.bmc", "bmc"),
+    ("find_induction_depth", "repro.formal.induction",
+     "find_induction_depth"),
+    ("bounded_ift_check", "repro.ift.engine", "bounded_ift_check"),
+])
+def test_legacy_entry_points_are_deprecated_shims(name, module, attr):
+    import importlib
+
+    with pytest.warns(DeprecationWarning, match=f"repro.{name} is deprecated"):
+        shim = getattr(repro, name)
+    assert shim is getattr(importlib.import_module(module), attr)
+
+
+def test_deprecated_shim_forwards_calls():
+    tm = toy_threat_model("vulnerable")
+    with pytest.warns(DeprecationWarning):
+        legacy = repro.upec_ssc(tm, record_trace=False)
+    fresh = verify(design=toy_threat_model("vulnerable"), method="alg1",
+                   record_trace=False)
+    assert fresh.raw_verdict == legacy.verdict == "vulnerable"
+    assert fresh.leaking == legacy.leaking
+
+
+# -- Verifier (session reuse) ------------------------------------------------
+
+
+def test_verifier_reuses_one_session_bit_identically():
+    verifier = Verifier(toy_threat_model("secure"))
+    first = verifier.verify(method="alg1", record_trace=False)
+    second = verifier.verify(method="alg1", record_trace=False)
+    assert first.status == second.status == SECURE
+    assert first.detail["result"]["final_s"] == \
+        second.detail["result"]["final_s"]
+    assert verifier._miter is not None  # the warm session survived
+    assert len(verifier.history) == 2
+    # The warm second run reuses learned clauses from the first.
+    assert second.stats.learned_kept >= first.stats.learned_kept
+
+
+def test_verifier_fingerprint_and_soc_designs():
+    verifier = Verifier(FORMAL_TINY, threat_overrides={"invariants": False})
+    assert verifier.fingerprint() == FORMAL_TINY.variant_id()
+    assert verifier.threat_model.invariants == []
+    assert verifier.soc is not None
+
+
+# -- the content-addressed verdict cache -------------------------------------
+
+
+def test_verify_cache_hits_are_bit_identical():
+    cache = VerdictCache()
+    request = VerificationRequest(design=FORMAL_TINY, method="bmc", depth=1,
+                                  record_trace=False)
+    cold = verify(request, cache=cache)
+    warm = verify(request, cache=cache)
+    assert not cold.cached and warm.cached
+    a, b = cold.to_dict(), warm.to_dict()
+    assert a.pop("cached") is False and b.pop("cached") is True
+    assert a == b
+    # A different depth is a different content address.
+    other = verify(VerificationRequest(design=FORMAL_TINY, method="bmc",
+                                       depth=2, record_trace=False),
+                   cache=cache)
+    assert not other.cached
+
+
+def test_cache_is_persistent_on_disk(tmp_path):
+    key_payload = {"hello": [1, 2, 3]}
+    cache = VerdictCache(tmp_path / "store")
+    cache.put("ab" * 32, key_payload)
+    fresh = VerdictCache(tmp_path / "store")
+    assert fresh.get("ab" * 32) == key_payload
+    assert fresh.get("cd" * 32) is None
+    assert fresh.hits == 1 and fresh.misses == 1
+
+
+def test_raw_designs_are_never_cached():
+    cache = VerdictCache()
+    verdict = verify(
+        VerificationRequest(design=toy_threat_model(), method="alg1",
+                            record_trace=False),
+        cache=cache,
+    )
+    assert not verdict.cached
+    assert len(cache) == 0
+
+
+def test_campaign_cache_skips_solved_jobs():
+    cache = VerdictCache()
+    spec = smoke_spec()
+    cold = run_campaign(spec, workers=0, cache=cache)
+    warm = run_campaign(spec, workers=0, cache=cache)
+    assert [r.cached for r in cold.results] == [False] * 3
+    assert [r.cached for r in warm.results] == [True] * 3
+    assert cold.verdicts() == warm.verdicts()
+    for a, b in zip(cold.results, warm.results):
+        assert a.detail == b.detail and a.seeded == b.seeded
+
+
+def test_cache_hit_rebinds_result_to_current_job():
+    # Two variants with identical content (same design fingerprint /
+    # method / depth) collapse to one verification: the second job is
+    # answered from the cache with its *own* Job record, not the
+    # donor's (an overlapping grid's donor has a different index).
+    from repro.campaign import CampaignSpec
+
+    cache = VerdictCache()
+    spec = CampaignSpec(
+        name="overlap",
+        variants={"first": {}, "twin": {}},  # identical configs
+        algorithms=[{"algorithm": "bmc", "depths": [1]}],
+        hints="off",
+    )
+    campaign = run_campaign(spec, workers=0, cache=cache)
+    first, twin = campaign.results
+    assert not first.cached and twin.cached
+    assert twin.job.index == 1 and twin.job.variant == "twin"
+    assert twin.verdict == first.verdict == "holds"
+
+
+# -- executor equivalence (the redesign's acceptance bar) --------------------
+
+
+def _worker_env():
+    src = pathlib.Path(repro.__file__).parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = "0"
+    return env
+
+
+def _spawn_tcp_workers(count: int):
+    workers = []
+    addresses = []
+    for _ in range(count):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.verify", "worker",
+             "--port", "0", "--quiet"],
+            stdout=subprocess.PIPE, text=True, env=_worker_env(),
+        )
+        line = proc.stdout.readline().strip()
+        assert line.startswith("worker listening on "), line
+        addresses.append(line.split()[-1])
+        workers.append(proc)
+    return workers, addresses
+
+
+def _assert_bit_identical(reference, other, executor_name):
+    assert len(reference.results) == len(other.results)
+    for a, b in zip(reference.results, other.results):
+        label = f"{executor_name}: {a.job.label()}"
+        assert a.job == b.job, label
+        assert a.verdict == b.verdict, label
+        assert a.seeded == b.seeded, label
+        assert a.reran_unseeded == b.reran_unseeded, label
+        da = a.detail.get("result")
+        db = b.detail.get("result")
+        assert (da is None) == (db is None), label
+        if da:
+            assert da.get("final_s") == db.get("final_s"), label
+            assert da.get("leaking") == db.get("leaking"), label
+            assert [(i["s_size"], i["removed"], i["persistent_hits"])
+                    for i in da["iterations"]] == \
+                   [(i["s_size"], i["removed"], i["persistent_hits"])
+                    for i in db["iterations"]], label
+        else:
+            stripped_a = {k: v for k, v in a.detail.items() if k != "trace"}
+            stripped_b = {k: v for k, v in b.detail.items() if k != "trace"}
+            assert stripped_a == stripped_b, label
+
+
+def test_smoke_campaign_bit_identical_across_all_executors():
+    spec = smoke_spec()
+    serial = run_campaign(spec, executor=SerialExecutor())
+    assert serial.executor == "serial"
+    assert serial.verdicts() == {
+        "baseline alg1": "vulnerable",
+        "baseline bmc@k2": "holds",
+        "baseline ift-baseline@k2": "flow",
+    }
+
+    fork = run_campaign(spec, executor=ForkPoolExecutor(2))
+    _assert_bit_identical(serial, fork, "fork")
+    assert fork.executor == "fork"
+
+    spawn = run_campaign(spec, executor=SpawnPoolExecutor(2))
+    _assert_bit_identical(serial, spawn, "spawn")
+    assert spawn.executor == "spawn"
+
+    workers, addresses = _spawn_tcp_workers(2)
+    try:
+        tcp = run_campaign(spec, executor=TcpExecutor(addresses))
+    finally:
+        for proc in workers:
+            proc.terminate()
+            proc.wait()
+    _assert_bit_identical(serial, tcp, "tcp")
+    assert tcp.executor == "tcp"
+
+
+# -- the worker wire protocol ------------------------------------------------
+
+
+def test_worker_protocol_ping_job_shutdown():
+    workers, addresses = _spawn_tcp_workers(1)
+    (proc,), (address,) = workers, addresses
+    try:
+        sock = socket.create_connection(parse_address(address), timeout=10)
+        send_frame(sock, {"op": "ping"})
+        pong = recv_frame(sock)
+        assert pong["op"] == "pong" and pong["version"] == 1
+        send_frame(sock, {"op": "nonsense"})
+        error = recv_frame(sock)
+        assert error["op"] == "error" and "unknown op" in error["message"]
+        job = smoke_spec().expand()[1]  # the cheap bmc job
+        send_frame(sock, {"op": "job", "job": job.to_dict(), "hints": []})
+        frame = recv_frame(sock)
+        assert frame["op"] == "result"
+        assert frame["result"]["verdict"] == "holds"
+        send_frame(sock, {"op": "shutdown"})
+        sock.close()
+        assert proc.wait(timeout=10) == 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait()
+
+
+def test_worker_survives_dropped_client():
+    # A client that hangs up mid-job (the TcpExecutor's timeout path)
+    # must cost the connection, not the worker: the result send fails,
+    # the worker recycles to accept() and serves the next client.
+    workers, addresses = _spawn_tcp_workers(1)
+    (proc,), (address,) = workers, addresses
+    try:
+        job = smoke_spec().expand()[1]  # the cheap bmc job
+        first = socket.create_connection(parse_address(address), timeout=10)
+        send_frame(first, {"op": "job", "job": job.to_dict(), "hints": []})
+        first.close()  # hang up before reading the result
+        second = socket.create_connection(parse_address(address), timeout=30)
+        second.settimeout(30)  # worker replies after finishing the job
+        send_frame(second, {"op": "ping"})
+        assert recv_frame(second)["op"] == "pong"
+        send_frame(second, {"op": "shutdown"})
+        second.close()
+        assert proc.wait(timeout=10) == 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait()
+
+
+def test_parse_address():
+    assert parse_address("10.0.0.1:7321") == ("10.0.0.1", 7321)
+    assert parse_address(":7321") == ("127.0.0.1", 7321)
+    with pytest.raises(ValueError, match="bad worker address"):
+        parse_address("no-port")
+
+
+# -- one-shot CLI ------------------------------------------------------------
+
+
+def test_verify_run_cli_unknown_design(capsys):
+    from repro.verify.__main__ import main
+
+    assert main(["run", "--design", "NO_SUCH"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+
+
+def test_verify_run_cli_toy_secure(tmp_path, capsys):
+    from repro.verify.__main__ import main
+
+    out = tmp_path / "verdict.json"
+    code = main([
+        "run", "--design", f"{__name__}:toy_threat_model",
+        "--method", "alg1", "--no-trace", "--no-cache",
+        "--json", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["status"] == "SECURE"
+    assert "verdict: SECURE" in capsys.readouterr().out
+
+
+def test_design_fingerprints_are_content_addressed():
+    spelled_out = FORMAL_TINY
+    via_overrides = {"kind": "soc", "base": "FORMAL_TINY", "overrides": {}}
+    assert design_fingerprint(spelled_out) == \
+        design_fingerprint(via_overrides)
+    assert design_fingerprint("pkg.mod:fn") == "builder:pkg.mod:fn()"
