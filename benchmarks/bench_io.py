@@ -1,0 +1,89 @@
+"""Machine-readable benchmark artifacts.
+
+Every benchmark that reports a runtime also emits a
+``BENCH_<name>.json`` record under ``benchmarks/results/`` so the
+repo's perf trajectory is diffable across PRs (the text narratives are
+for humans; these are for tooling and CI).  One record per benchmark:
+
+.. code-block:: json
+
+    {
+      "name": "e6_countermeasure",
+      "method": "alg1",
+      "variant": "secured",
+      "depth": 1,
+      "encode_s": 0.4,
+      "preprocess_s": 0.1,
+      "solve_s": 4.9,
+      "wall_s": 5.6,
+      "peak_clauses": 48211,
+      "peak_vars": 15834,
+      "extra": {"iterations": 4}
+    }
+
+``record_bench`` accepts a :class:`repro.upec.miter.CheckStats` (or the
+individual fields) and writes atomically, so partially written
+artifacts never land in ``results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_bench(
+    name: str,
+    *,
+    method: str,
+    variant: str,
+    depth: int,
+    wall_s: float,
+    stats=None,
+    encode_s: float | None = None,
+    preprocess_s: float | None = None,
+    solve_s: float | None = None,
+    peak_clauses: int | None = None,
+    peak_vars: int | None = None,
+    extra: dict | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` into ``benchmarks/results/``.
+
+    ``stats`` may be a :class:`repro.upec.miter.CheckStats`; explicit
+    keyword fields override what it provides.
+    """
+    if stats is not None:
+        encode_s = stats.encode_seconds if encode_s is None else encode_s
+        preprocess_s = (stats.preprocess_s if preprocess_s is None
+                        else preprocess_s)
+        solve_s = stats.solve_seconds if solve_s is None else solve_s
+        peak_vars = stats.cnf_vars if peak_vars is None else peak_vars
+    record = {
+        "name": name,
+        "method": method,
+        "variant": variant,
+        "depth": depth,
+        "encode_s": round(encode_s or 0.0, 3),
+        "preprocess_s": round(preprocess_s or 0.0, 3),
+        "solve_s": round(solve_s or 0.0, 3),
+        "wall_s": round(wall_s, 3),
+        "peak_clauses": peak_clauses,
+        "peak_vars": peak_vars,
+        "extra": extra or {},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_bench(name: str) -> dict | None:
+    """Read a previously recorded ``BENCH_<name>.json`` (None if absent)."""
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

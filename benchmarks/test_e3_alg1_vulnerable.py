@@ -10,6 +10,10 @@ Runs through the unified API: one :class:`repro.verify.Verifier` call,
 the iteration history recovered from the verdict's native result.
 """
 
+import time
+
+from bench_io import record_bench
+
 from repro.campaign.grids import paper_variant
 from repro.upec.report import format_iterations
 from repro.verify import VULNERABLE, Verifier
@@ -17,7 +21,9 @@ from repro.verify import VULNERABLE, Verifier
 
 def test_e3_alg1_vulnerable(once, emit):
     verifier = Verifier(paper_variant("baseline"))
+    start = time.perf_counter()
     verdict = once(verifier.verify, "alg1")
+    wall = time.perf_counter() - start
     result = verdict.result_object()
     classifier = verifier.classifier
     leak_lines = "\n".join(
@@ -32,6 +38,17 @@ def test_e3_alg1_vulnerable(once, emit):
         + leak_lines
         + f"\n\nconcrete victim page in cex: "
           f"{result.counterexample.victim_page:#x}",
+    )
+    record_bench(
+        "e3_alg1_vulnerable",
+        method="alg1",
+        variant="baseline",
+        depth=1,
+        wall_s=wall,
+        stats=verdict.stats,
+        extra={"verdict": verdict.raw_verdict,
+               "iterations": len(result.iterations),
+               "leaking": len(verdict.leaking)},
     )
     assert verdict.status == VULNERABLE and result.vulnerable
     assert verdict.leaking == result.leaking

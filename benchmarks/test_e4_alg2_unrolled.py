@@ -8,6 +8,10 @@ and iteration costs — through the unified API (``method="alg2"``), the
 typed result rebuilt from the verdict for the trace rendering.
 """
 
+import time
+
+from bench_io import record_bench
+
 from repro.campaign.grids import paper_variant
 from repro.upec.report import format_counterexample, format_iterations
 from repro.verify import VULNERABLE, Verifier
@@ -15,8 +19,20 @@ from repro.verify import VULNERABLE, Verifier
 
 def test_e4_alg2_unrolled(once, emit):
     verifier = Verifier(paper_variant("baseline"))
+    start = time.perf_counter()
     verdict = once(verifier.verify, "alg2", depth=3)
+    wall = time.perf_counter() - start
     result = verdict.result_object()
+    record_bench(
+        "e4_alg2_unrolled",
+        method="alg2",
+        variant="baseline",
+        depth=result.reached_depth,
+        wall_s=wall,
+        stats=verdict.stats,
+        extra={"verdict": verdict.raw_verdict,
+               "iterations": len(result.iterations)},
+    )
     emit(
         "e4_alg2_unrolled",
         f"verdict: {verdict.status} at unrolling depth "

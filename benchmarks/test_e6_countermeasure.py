@@ -15,6 +15,10 @@ runs through the unified API; the invariants themselves are re-proven
 with ``method="k-induction"`` on the same handle.
 """
 
+import time
+
+from bench_io import record_bench
+
 from repro.campaign.grids import paper_variant
 from repro.upec.report import format_iterations
 from repro.verify import SECURE, Verifier
@@ -24,7 +28,9 @@ def test_e6_countermeasure(once, emit):
     verifier = Verifier(paper_variant("secured"))
     invariants = verifier.verify(method="k-induction", depth=1,
                                  record_trace=False)
+    start = time.perf_counter()
     verdict = once(verifier.verify, "alg1")
+    wall = time.perf_counter() - start
     result = verdict.result_object()
     classifier = verifier.classifier
     removed = sorted(set().union(*(r.removed for r in result.iterations)))
@@ -39,6 +45,16 @@ def test_e6_countermeasure(once, emit):
         + "\n".join("  " + classifier.describe(n) for n in removed)
         + f"\n\ntotal solver time: {result.total_solve_seconds():.1f} s "
           "(paper iterations: 58 s .. 2 h 52 min on OneSpin/i9-13900K)",
+    )
+    record_bench(
+        "e6_countermeasure",
+        method="alg1",
+        variant="secured",
+        depth=1,
+        wall_s=wall,
+        stats=verdict.stats,
+        extra={"verdict": verdict.raw_verdict,
+               "iterations": len(result.iterations)},
     )
     assert invariants.status == SECURE and invariants.raw_verdict == "proved"
     assert verdict.status == SECURE and result.secure

@@ -17,6 +17,8 @@ benchmarks track absolute cost plus equivalence.
 
 import time
 
+from bench_io import record_bench
+
 from repro import ATTACK_DEMO, FORMAL_TINY, build_soc
 from repro.aig import Aig
 from repro.sat import Solver
@@ -179,6 +181,15 @@ def test_alg1_incremental_vs_rebuild(benchmark):
     benchmark.extra_info["rebuild_seconds"] = round(rebuild_seconds, 3)
     benchmark.extra_info["speedup_vs_rebuild"] = round(
         rebuild_seconds / session_seconds, 2)
+    record_bench(
+        "infra_alg1_countermeasure",
+        method="alg1",
+        variant="secured",
+        depth=1,
+        wall_s=session_seconds,
+        stats=incremental.rollup_stats(),
+        extra={"rebuild_wall_s": round(rebuild_seconds, 3)},
+    )
     assert rebuild_seconds >= 2.0 * session_seconds
 
 
@@ -201,6 +212,17 @@ def test_alg1_vulnerable_detection_time(benchmark):
     assert incremental.vulnerable
     benchmark.extra_info["iterations"] = len(incremental.iterations)
     benchmark.extra_info["leaking"] = len(incremental.leaking)
+    record_bench(
+        "infra_alg1_vulnerable",
+        method="alg1",
+        variant="baseline",
+        depth=1,
+        wall_s=sum(r.stats.solve_seconds + r.stats.encode_seconds
+                   + r.stats.preprocess_s for r in incremental.iterations),
+        stats=incremental.rollup_stats(),
+        extra={"iterations": len(incremental.iterations),
+               "leaking": len(incremental.leaking)},
+    )
 
 
 def test_alg2_incremental_vs_rebuild(benchmark):

@@ -1,0 +1,154 @@
+"""The preprocessing & pruning pipeline (PR 4) — before/after evidence.
+
+Three stages sit between miter/unroller construction and the SAT
+kernel: cone-of-influence reduction (intermediate-frame substitution of
+the unrolled obligations, register-cone restriction for BMC-style
+sessions), SatELite-style CNF simplification, and 64-way bitwise
+simulation pruning of closure candidates.
+
+The headline is the ROADMAP's open item: **Algorithm 2 on the secured
+SoC at k = 2**.  The PR 3 code needed ~8 minutes per run (measured
+488.5 s on the development box: 419 s of CDCL search in the k = 2
+closure alone, because instance B's frame-2 cones shared nothing with
+instance A's).  With the substitution reduction the same verdict
+trajectory completes in seconds.  Regenerate the slow baseline with
+``REPRO_BENCH_NO_PREPROCESS_BASELINE=1`` (expect ~8 minutes).
+
+The Algorithm 1 A/B runs double as the verdict-equivalence anchor: the
+pipeline must return bit-identical trajectories (verdict, leaking set,
+per-iteration removals) to the ``preprocess=False`` path.
+"""
+
+import os
+import time
+
+from bench_io import record_bench
+
+from repro import FORMAL_TINY, build_soc
+from repro.campaign.grids import paper_variant
+from repro.upec import upec_ssc, upec_ssc_unrolled
+from repro.upec.report import format_iterations
+
+#: PR 3 wall-clock of the run below (preprocess off), measured once on
+#: the development box; the acceptance bar is >= 5x faster than this.
+PR3_SECURED_ALG2_K2_SECONDS = 488.5
+
+
+def _trajectory(result):
+    return (result.verdict, sorted(result.leaking),
+            [sorted(rec.removed) for rec in result.iterations])
+
+
+def test_secured_alg2_k2_pipeline(once, emit):
+    """The ROADMAP cliff: secured-SoC Algorithm 2 through k = 2."""
+    tm = build_soc(paper_variant("secured")).threat_model
+    start = time.perf_counter()
+    result = once(upec_ssc_unrolled, tm, max_depth=2, record_trace=False,
+                  inductive_final=False)
+    wall = time.perf_counter() - start
+    stats = result.rollup_stats()
+
+    baseline_line = (
+        f"PR 3 baseline (preprocess off): {PR3_SECURED_ALG2_K2_SECONDS:.1f} s"
+        " (recorded; regenerate with REPRO_BENCH_NO_PREPROCESS_BASELINE=1)"
+    )
+    if os.environ.get("REPRO_BENCH_NO_PREPROCESS_BASELINE"):
+        tm_off = build_soc(paper_variant("secured")).threat_model
+        t0 = time.perf_counter()
+        off = upec_ssc_unrolled(tm_off, max_depth=2, record_trace=False,
+                                inductive_final=False, preprocess=False)
+        off_wall = time.perf_counter() - t0
+        assert _trajectory(off) == _trajectory(result)
+        baseline_line = f"preprocess off (measured now): {off_wall:.1f} s"
+
+    emit(
+        "preprocess_pipeline",
+        f"secured SoC, Algorithm 2, k = 2 (inductive final proof "
+        f"deferred)\n"
+        f"verdict: {result.verdict} at depth {result.reached_depth}\n\n"
+        + format_iterations(result.iterations)
+        + f"\n\npipeline on: {wall:.1f} s wall "
+          f"(encode {stats.encode_seconds:.1f} s, preprocess "
+          f"{stats.preprocess_s:.1f} s, solve {stats.solve_seconds:.1f} s, "
+          f"{stats.sat_calls} SAT calls, "
+          f"{stats.candidates_pruned_by_sim} candidates answered by "
+          f"simulation)\n"
+        + baseline_line
+        + f"\nspeedup vs recorded PR 3 baseline: "
+          f"{PR3_SECURED_ALG2_K2_SECONDS / wall:.1f}x",
+    )
+    record_bench(
+        "secured_alg2_k2",
+        method="alg2",
+        variant="secured",
+        depth=2,
+        wall_s=wall,
+        stats=stats,
+        extra={
+            "iterations": len(result.iterations),
+            "verdict": result.verdict,
+            "pr3_baseline_s": PR3_SECURED_ALG2_K2_SECONDS,
+            "candidates_pruned_by_sim": stats.candidates_pruned_by_sim,
+        },
+    )
+    assert result.verdict == "hold" and result.reached_depth == 2
+    # The acceptance bar: at least 5x faster than the PR 3 baseline.
+    assert wall * 5.0 <= PR3_SECURED_ALG2_K2_SECONDS
+
+
+def test_alg1_pipeline_ab(once, emit):
+    """Algorithm 1 A/B (pipeline on vs off) on both key variants.
+
+    Equivalence is asserted on the full trajectory; the table records
+    the cost split so the perf trajectory of the default path is
+    machine-readable (BENCH_alg1_*.json).
+    """
+    rows = []
+    records = {}
+
+    def run_all():
+        for label, cfg in (("baseline", FORMAL_TINY),
+                           ("secured", FORMAL_TINY.replace(secure=True))):
+            t0 = time.perf_counter()
+            on = upec_ssc(build_soc(cfg).threat_model, record_trace=False)
+            on_wall = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            off = upec_ssc(build_soc(cfg).threat_model, record_trace=False,
+                           preprocess=False)
+            off_wall = time.perf_counter() - t0
+            assert _trajectory(on) == _trajectory(off)
+            stats = on.rollup_stats()
+            rows.append(
+                f"{label:<10} {on.verdict:<11} {on_wall:>7.2f} "
+                f"{off_wall:>8.2f} {stats.sat_calls:>6} "
+                f"{stats.candidates_pruned_by_sim:>7} "
+                f"{stats.preprocess_s:>8.2f}"
+            )
+            records[label] = (on, on_wall, off_wall, stats)
+
+    once(run_all)
+    header = (
+        f"{'variant':<10} {'verdict':<11} {'on[s]':>7} {'off[s]':>8} "
+        f"{'calls':>6} {'pruned':>7} {'prep[s]':>8}"
+    )
+    emit(
+        "preprocess_alg1_ab",
+        "Algorithm 1, pipeline on vs off (bit-identical trajectories)\n\n"
+        + header + "\n" + "-" * len(header) + "\n" + "\n".join(rows),
+    )
+    for label, (on, on_wall, off_wall, stats) in records.items():
+        record_bench(
+            f"alg1_{label}",
+            method="alg1",
+            variant=label,
+            depth=1,
+            wall_s=on_wall,
+            stats=stats,
+            extra={
+                "verdict": on.verdict,
+                "no_preprocess_wall_s": round(off_wall, 3),
+                "candidates_pruned_by_sim": stats.candidates_pruned_by_sim,
+            },
+        )
+    assert records["baseline"][0].vulnerable
+    assert records["secured"][0].secure

@@ -59,6 +59,7 @@ from .upec import (
     format_result,
 )
 from .verify import (
+    PreprocessConfig,
     VerdictCache,
     VerificationRequest,
     Verdict,
@@ -129,6 +130,7 @@ __all__ = [
     "UnrolledResult",
     "VictimPort",
     "format_result",
+    "PreprocessConfig",
     "VerificationRequest",
     "Verdict",
     "VerdictCache",

@@ -1,9 +1,21 @@
-"""And-Inverter Graph layer: strashed AIG, Tseitin CNF, bit-blasting."""
+"""And-Inverter Graph layer: strashed AIG, Tseitin CNF, bit-blasting,
+cone-of-influence reduction and bitwise-parallel simulation."""
 
 from .aig import FALSE, TRUE, Aig
 from .bitblast import BitBlaster
+from .bitsim import (
+    BitSim,
+    constant_candidates,
+    equivalence_candidates,
+    prove_constant,
+    prove_equivalent,
+)
 from .cnf import CnfEncoder
+from .coi import ConeStats, CoiReduction, cone_stats, extract, reg_coi
 from .sim import random_patterns, simulate_patterns
 
 __all__ = ["Aig", "FALSE", "TRUE", "BitBlaster", "CnfEncoder",
+           "BitSim", "constant_candidates", "equivalence_candidates",
+           "prove_constant", "prove_equivalent",
+           "ConeStats", "CoiReduction", "cone_stats", "extract", "reg_coi",
            "random_patterns", "simulate_patterns"]

@@ -1,0 +1,273 @@
+"""64-way bitwise-parallel random simulation over AIG cones.
+
+One Python integer carries one lane per bit, so a single pass over a
+cone evaluates 64 random stimuli at once — the classic ATPG/SAT-sweep
+trick.  Three consumers:
+
+* **can-diverge pre-filtering** (the Algorithm 1/2 refinement loops):
+  a closure candidate whose difference literal is already 1 in some
+  lane that satisfies every environment assumption provably *can*
+  diverge — its SAT model-enumeration call is skipped entirely and the
+  lane doubles as a concrete witness (see
+  :meth:`~repro.upec.miter.MiterSession.check`).
+* **constant / equivalence candidate detection**: nodes with an all-0 /
+  all-1 signature, or signature-equal node pairs, are candidates for
+  merging; :func:`prove_constant` / :func:`prove_equivalent` confirm a
+  candidate with a small cone-local SAT query (simulation alone is
+  never trusted), so merges stay exact.
+* the test suite's cross-checks of the bit-blaster.
+
+Environment constraints (page-range restrictions, firmware assumptions,
+input-equality macros) would reject almost every uniformly random lane,
+so the simulator supports two repair mechanisms: **aliases** bind one
+input's lanes to another literal's (how the miter enforces the
+from-cycle-2 interface-equality macro structurally), and
+:meth:`BitSim.satisfy` runs greedy per-cone rejection resampling —
+re-drawing only the failed lanes of only the failing constraint's free
+inputs, locking each satisfied cone's inputs before moving on.  Any
+lane that survives *all* constraints is a genuine behaviour of the
+constrained system; lanes that cannot be repaired are simply excluded
+from the valid mask, so observations stay sound either way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from ..sat.solver import Solver
+from .aig import FALSE, TRUE, Aig
+from .cnf import CnfEncoder
+
+__all__ = [
+    "BitSim",
+    "constant_candidates",
+    "equivalence_candidates",
+    "prove_constant",
+    "prove_equivalent",
+]
+
+
+class BitSim:
+    """Lane-parallel random simulation with memoized node words.
+
+    Args:
+        aig: the graph (may keep growing; new nodes simulate on demand).
+        num_patterns: lanes per word (64 fits one machine word of the
+            int representation; more lanes simply widen the ints).
+        seed: RNG seed — fixed by default so runs are reproducible.
+    """
+
+    def __init__(self, aig: Aig, num_patterns: int = 64, seed: int = 1):
+        self.aig = aig
+        self.num_patterns = num_patterns
+        self.mask = (1 << num_patterns) - 1
+        self._rng = random.Random(seed)
+        #: input node -> packed word (random lanes drawn on first touch).
+        self._inputs: dict[int, int] = {}
+        #: input node -> source literal whose lanes it mirrors.
+        self._alias: dict[int, int] = {}
+        #: AND node -> packed word (cleared when inputs are resampled).
+        self._gates: dict[int, int] = {0: 0}
+
+    def _input_word(self, node: int) -> int:
+        src = self._alias.get(node)
+        if src is not None:
+            return self.word(src)
+        word = self._inputs.get(node)
+        if word is None:
+            word = self._rng.getrandbits(self.num_patterns)
+            self._inputs[node] = word
+        return word
+
+    def alias(self, node: int, src_lit: int) -> None:
+        """Bind an input node's lanes to another literal's (e.g. to make
+        an input-equality macro hold by construction).  Survives
+        resampling: the binding is by reference, not by value."""
+        self._alias[node] = src_lit
+        self._gates = {0: 0}
+
+    def word(self, lit: int) -> int:
+        """Packed lane values of an AIG literal (cone simulated on demand)."""
+        if lit == TRUE:
+            return self.mask
+        if lit == FALSE:
+            return 0
+        node = lit >> 1
+        aig = self.aig
+        if aig.is_input(node):
+            value = self._input_word(node)
+        else:
+            gates = self._gates
+            value = gates.get(node)
+            if value is None:
+                mask = self.mask
+                is_input = aig.is_input
+                for n in aig.cone_nodes([lit]):
+                    if is_input(n):
+                        continue
+                    if n in gates:
+                        continue
+                    f0, f1 = aig.fanins(n)
+                    n0, n1 = f0 >> 1, f1 >> 1
+                    v0 = gates[n0] if n0 in gates else (
+                        self._input_word(n0) if is_input(n0) else gates[n0]
+                    )
+                    v1 = gates[n1] if n1 in gates else (
+                        self._input_word(n1) if is_input(n1) else gates[n1]
+                    )
+                    if f0 & 1:
+                        v0 ^= mask
+                    if f1 & 1:
+                        v1 ^= mask
+                    gates[n] = v0 & v1
+                value = gates[node]
+        return value ^ (self.mask if lit & 1 else 0)
+
+    def words(self, lits: Iterable[int]) -> list[int]:
+        """Packed lane values for several literals."""
+        return [self.word(lit) for lit in lits]
+
+    def valid_lanes(self, constraint_lits: Iterable[int]) -> int:
+        """Lane mask where *every* constraint literal evaluates to 1.
+
+        A lane surviving all constraints is a genuine behaviour of the
+        constrained system — observations made in it are sound
+        witnesses, not heuristics.  Returns 0 as soon as the mask dies.
+        """
+        mask = self.mask
+        for lit in constraint_lits:
+            mask &= self.word(lit)
+            if not mask:
+                return 0
+        return mask
+
+    def satisfy(self, constraint_lits: Iterable[int], rounds: int = 8) -> int:
+        """Steer the lanes toward satisfying all constraints; return the
+        valid-lane mask.
+
+        Greedy per-cone rejection resampling: constraints are processed
+        in order; for each, the lanes where it fails redraw only the
+        free (not yet locked, not aliased) inputs of its own cone, up to
+        ``rounds`` times, then the cone's inputs are locked.  The final
+        mask is re-verified against the full constraint list, so a
+        nonzero return is exact regardless of how the search went.
+        """
+        lits = list(constraint_lits)
+        if any(lit == FALSE for lit in lits):
+            return 0
+        aig = self.aig
+        locked: set[int] = set()
+        for lit in lits:
+            if lit == TRUE:
+                continue
+            dead = ~self.word(lit) & self.mask
+            if not dead:
+                locked.update(
+                    n for n in aig.cone_nodes([lit]) if aig.is_input(n)
+                )
+                continue
+            cone_inputs = [
+                n for n in aig.cone_nodes([lit]) if aig.is_input(n)
+            ]
+            free = [n for n in cone_inputs
+                    if n not in locked and n not in self._alias]
+            for _ in range(rounds):
+                if not dead or not free:
+                    break
+                for node in free:
+                    old = self._input_word(node)
+                    fresh = self._rng.getrandbits(self.num_patterns)
+                    self._inputs[node] = (old & ~dead) | (fresh & dead)
+                self._gates = {0: 0}
+                dead = ~self.word(lit) & self.mask
+            locked.update(cone_inputs)
+        return self.valid_lanes(lits)
+
+    def reseed(self, base_values: dict[int, bool],
+               jitter: Iterable[int]) -> None:
+        """Rebase every lane on a known-good assignment, then randomize
+        the ``jitter`` inputs in lanes 1 and up (lane 0 keeps the exact
+        base assignment, so at least one lane stays valid).
+
+        Used for model-guided exploration: a SAT model satisfies every
+        constraint, and its neighborhood — same protected page, same
+        starting state, different interface stimuli — is dense in
+        further constrained behaviours, unlike uniform random space.
+        Aliased inputs keep following their source.
+        """
+        mask = self.mask
+        inputs = self._inputs
+        for node, value in base_values.items():
+            if node not in self._alias:
+                inputs[node] = mask if value else 0
+        for node in jitter:
+            if node in self._alias:
+                continue
+            base = inputs.get(node, 0) & 1
+            fresh = self._rng.getrandbits(self.num_patterns)
+            inputs[node] = base | (fresh & mask & ~1)
+        self._gates = {0: 0}
+
+    def lane_value(self, lit: int, lane: int) -> bool:
+        """Value of a literal in one lane."""
+        return bool((self.word(lit) >> lane) & 1)
+
+
+# -- candidate detection + exact proof ---------------------------------------
+
+
+def constant_candidates(sim: BitSim, lits: Iterable[int]) -> dict[int, int]:
+    """Literals whose signature is all-0 or all-1 (candidates only)."""
+    out: dict[int, int] = {}
+    for lit in lits:
+        if lit <= 1:
+            continue
+        word = sim.word(lit)
+        if word == 0:
+            out[lit] = 0
+        elif word == sim.mask:
+            out[lit] = 1
+    return out
+
+
+def equivalence_candidates(
+    sim: BitSim, lits: Iterable[int]
+) -> list[list[int]]:
+    """Groups of literals sharing a signature (complement-normalized).
+
+    Each group lists literals whose lane words coincide — candidates
+    for node merging.  A literal whose complement matches a group's
+    signature joins as its complement, so XOR-reassociated duplicates
+    are found too.
+    """
+    groups: dict[int, list[int]] = {}
+    for lit in lits:
+        if lit <= 1:
+            continue
+        word = sim.word(lit)
+        if word & 1:  # normalize: lane-0 value False
+            groups.setdefault(word ^ sim.mask, []).append(lit ^ 1)
+        else:
+            groups.setdefault(word, []).append(lit)
+    return [group for group in groups.values() if len(group) > 1]
+
+
+def prove_constant(aig: Aig, lit: int, value: int) -> bool:
+    """Exact cone-local check that ``lit`` always evaluates to ``value``."""
+    solver = Solver()
+    encoder = CnfEncoder(aig, solver)
+    goal = encoder.lit(lit if value == 0 else lit ^ 1)
+    solver.add_clause([goal])
+    return not solver.solve()
+
+
+def prove_equivalent(aig: Aig, a: int, b: int) -> bool:
+    """Exact cone-local check that two literals are equivalent."""
+    if a == b:
+        return True
+    solver = Solver()
+    encoder = CnfEncoder(aig, solver)
+    goal = encoder.lit(aig.xor_(a, b))
+    solver.add_clause([goal])
+    return not solver.solve()

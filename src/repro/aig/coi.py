@@ -1,0 +1,150 @@
+"""Cone-of-influence reduction.
+
+Two levels of the same idea — logic that cannot influence the outputs
+being proven is dead weight the SAT kernel should never see:
+
+* **AIG level** — :func:`extract` copies only the transitive fanin cone
+  of a set of root literals into a fresh graph (out-of-cone AND nodes
+  vanish), returning the old→new literal map.  :func:`cone_stats`
+  reports the reduction without building anything.
+* **Circuit level** — :func:`reg_coi` computes the set of registers in
+  the transitive fanin of property/assumption expressions through the
+  next-state relations.  Unrolled sessions
+  (:class:`~repro.formal.session.UnrollSession`) pass that set to the
+  :class:`~repro.formal.unroller.Unroller` so out-of-cone registers
+  ("latches" in AIG parlance) are not bit-blasted frame after frame —
+  deepening happens against the reduced cone, and because the CNF
+  encoder is cone-lazy too, the kernel never hears of them.
+
+Both reductions are exact: dropped logic is unreferenced by every
+constraint and goal, so SAT/UNSAT answers and model values of in-cone
+literals are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..rtl.circuit import Circuit
+from ..rtl.expr import Expr, Input, MemRead, RegRead, iter_nodes
+from .aig import FALSE, TRUE, Aig
+
+__all__ = ["ConeStats", "CoiReduction", "cone_stats", "extract", "reg_coi"]
+
+
+@dataclass
+class ConeStats:
+    """Size of a cone relative to its graph."""
+
+    total_nodes: int
+    cone_nodes: int
+    cone_inputs: int
+    cone_ands: int
+
+    @property
+    def dropped_nodes(self) -> int:
+        return self.total_nodes - self.cone_nodes
+
+
+def cone_stats(aig: Aig, roots: Iterable[int]) -> ConeStats:
+    """Measure the transitive fanin cone of ``roots`` (constant excluded)."""
+    nodes = aig.cone_nodes(list(roots))
+    inputs = sum(1 for n in nodes if aig.is_input(n))
+    return ConeStats(
+        total_nodes=aig.num_nodes(),
+        cone_nodes=len(nodes) + 1,  # + constant node
+        cone_inputs=inputs,
+        cone_ands=len(nodes) - inputs,
+    )
+
+
+@dataclass
+class CoiReduction:
+    """A cone copied into a fresh graph.
+
+    Attributes:
+        aig: the reduced graph (cone nodes only).
+        lit_map: old literal -> new literal for every in-cone literal
+            (both polarities); :meth:`map` answers for any root.
+        stats: reduction bookkeeping.
+    """
+
+    aig: Aig
+    lit_map: dict[int, int]
+    stats: ConeStats
+
+    def map(self, old_lit: int) -> int:
+        """The reduced-graph literal of an in-cone original literal."""
+        if old_lit <= 1:
+            return old_lit
+        return self.lit_map[old_lit]
+
+
+def extract(aig: Aig, roots: Iterable[int]) -> CoiReduction:
+    """Copy the cone of ``roots`` into a fresh :class:`Aig`.
+
+    Input nodes keep their debug names.  Out-of-cone nodes (AND gates
+    and inputs alike) have no counterpart in the reduced graph.
+    """
+    roots = list(roots)
+    reduced = Aig()
+    node_map: dict[int, int] = {0: 0}
+    for node in aig.cone_nodes(roots):
+        if aig.is_input(node):
+            new_lit = reduced.new_input(aig.name_of(node))
+            node_map[node] = new_lit >> 1
+        else:
+            f0, f1 = aig.fanins(node)
+            a = (node_map[f0 >> 1] << 1) | (f0 & 1)
+            b = (node_map[f1 >> 1] << 1) | (f1 & 1)
+            new_lit = reduced.and_(a, b)
+            node_map[node] = new_lit >> 1
+    lit_map: dict[int, int] = {}
+    for old, new in node_map.items():
+        lit_map[2 * old] = 2 * new
+        lit_map[2 * old + 1] = 2 * new + 1
+    lit_map[TRUE] = TRUE
+    lit_map[FALSE] = FALSE
+    inputs = sum(1 for n in node_map if n and aig.is_input(n))
+    stats = ConeStats(
+        total_nodes=aig.num_nodes(),
+        cone_nodes=len(node_map),
+        cone_inputs=inputs,
+        cone_ands=len(node_map) - 1 - inputs,
+    )
+    return CoiReduction(aig=reduced, lit_map=lit_map, stats=stats)
+
+
+def _direct_regs(exprs: Iterable[Expr]) -> set[str]:
+    """Register names read anywhere in the given expression trees."""
+    out: set[str] = set()
+    for node in iter_nodes(exprs):
+        if isinstance(node, RegRead):
+            out.add(node.name)
+        elif isinstance(node, (MemRead, Input)):
+            continue
+    return out
+
+
+def reg_coi(circuit: Circuit, exprs: Iterable[Expr]) -> set[str]:
+    """Registers in the transitive fanin of ``exprs``.
+
+    The closure runs through next-state functions: a register is in the
+    cone when the property reads it, or when an in-cone register's next
+    state depends on it.  Registers outside the returned set can never
+    influence the property at any unrolling depth.
+    """
+    deps: dict[str, set[str]] = {}
+    for name, info in circuit.regs.items():
+        deps[name] = _direct_regs([info.next]) if info.next is not None \
+            else set()
+    frontier = _direct_regs(exprs) & set(circuit.regs)
+    cone: set[str] = set()
+    while frontier:
+        name = frontier.pop()
+        if name in cone:
+            continue
+        cone.add(name)
+        frontier |= deps.get(name, set()) - cone
+    return cone

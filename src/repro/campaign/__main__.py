@@ -93,6 +93,12 @@ def main(argv=None) -> int:
               "for this run only)"),
     )
     parser.add_argument(
+        "--no-preprocess", action="store_true",
+        help=("disable the preprocessing/pruning pipeline (COI "
+              "reduction, CNF simplification, simulation pruning); "
+              "verdicts are identical, only slower"),
+    )
+    parser.add_argument(
         "--traces", action="store_true",
         help="decode counterexample traces into the artifact",
     )
@@ -125,6 +131,8 @@ def main(argv=None) -> int:
         spec.hints = args.hints
     if args.traces:
         spec.record_traces = True
+    if args.no_preprocess:
+        spec.preprocess = False
 
     executor_name = args.executor or ("serial" if args.workers <= 0
                                       else "fork")

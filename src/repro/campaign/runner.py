@@ -28,6 +28,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from ..sat.preprocess import PreprocessConfig
 from ..upec.miter import CheckStats
 from ..verify.cache import VerdictCache, cache_key
 from ..verify.engine import execute
@@ -124,6 +125,7 @@ class JobResult:
                 "depth": job.depth,
                 "campaign": job.campaign,
                 "job_index": job.index,
+                "cache_hit": self.cached,
             },
             leaking=leaking,
             stats=self.stats,
@@ -145,6 +147,7 @@ def request_from_job(job: Job) -> VerificationRequest:
         depth=job.depth,
         threat_overrides=dict(job.threat_overrides),
         record_trace=job.record_trace,
+        preprocess=job.preprocess,
         label=job.label(),
     )
 
@@ -236,6 +239,10 @@ def _job_cache_key(job: Job, hints) -> str | None:
         job.depth,
         record_trace=job.record_trace,
         hints=hints,
+        # Canonicalized: ``True`` and ``{"enabled": True}`` spell the
+        # same pipeline and must share a content address.
+        extra={"preprocess": PreprocessConfig.coerce(job.preprocess)
+               .to_dict()},
     )
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..soc.config import SocConfig, expand_variants, named_config
 
@@ -81,6 +82,10 @@ class Job:
     seed_from: tuple[int, ...] = ()
     timeout_seconds: float | None = None
     record_trace: bool = False
+    #: Reduction-pipeline selection (bool or a PreprocessConfig field
+    #: dict); verdicts are identical either way, so campaigns default
+    #: to preprocessing on and ``--no-preprocess`` is the escape hatch.
+    preprocess: bool = True
 
     def to_dict(self) -> dict:
         return {
@@ -96,6 +101,7 @@ class Job:
             "seed_from": list(self.seed_from),
             "timeout_seconds": self.timeout_seconds,
             "record_trace": self.record_trace,
+            "preprocess": self.preprocess,
         }
 
     @classmethod
@@ -113,6 +119,7 @@ class Job:
             seed_from=tuple(data.get("seed_from", ())),
             timeout_seconds=data.get("timeout_seconds"),
             record_trace=data.get("record_trace", False),
+            preprocess=data.get("preprocess", True),
         )
 
     def label(self) -> str:
@@ -168,6 +175,10 @@ class CampaignSpec:
             process executor; in-process serial runs cannot preempt).
         record_traces: decode counterexample traces into results
             (enlarges the JSON artifact considerably).
+        preprocess: reduction-pipeline selection for every job — True
+            (default), False (the ``--no-preprocess`` escape hatch), or
+            a :class:`~repro.sat.preprocess.PreprocessConfig` field
+            dict.  Verdicts are identical either way.
     """
 
     name: str = "campaign"
@@ -180,8 +191,16 @@ class CampaignSpec:
     hints: str = "first"
     timeout_seconds: float | None = None
     record_traces: bool = False
+    preprocess: object = True
 
     def __post_init__(self) -> None:
+        from ..sat.preprocess import PreprocessConfig
+
+        # Validate, and normalize config objects to their JSON form so
+        # specs/jobs stay serializable end to end (bools pass through).
+        coerced = PreprocessConfig.coerce(self.preprocess)
+        if not isinstance(self.preprocess, (bool, Mapping)):
+            self.preprocess = coerced.to_dict()
         if self.hints not in HINT_POLICIES:
             raise ValueError(
                 f"unknown hint policy {self.hints!r}; "
@@ -268,6 +287,7 @@ class CampaignSpec:
                             seed_from=seed_from,
                             timeout_seconds=self.timeout_seconds,
                             record_trace=self.record_traces,
+                            preprocess=self.preprocess,
                         ))
                         earlier.append(index)
         return jobs
@@ -288,6 +308,7 @@ class CampaignSpec:
             "hints": self.hints,
             "timeout_seconds": self.timeout_seconds,
             "record_traces": self.record_traces,
+            "preprocess": self.preprocess,
         }
 
     @classmethod
@@ -295,7 +316,7 @@ class CampaignSpec:
         known = {
             "name", "base", "base_overrides", "variants", "threat_models",
             "algorithms", "depths", "hints", "timeout_seconds",
-            "record_traces",
+            "record_traces", "preprocess",
         }
         unknown = set(data) - known
         if unknown:

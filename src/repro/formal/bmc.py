@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..rtl.circuit import Circuit
 from ..rtl.expr import Expr
+from ..sat.preprocess import PreprocessConfig
 from .session import UnrollSession
 from .trace import Trace
 
@@ -49,8 +50,13 @@ class BmcSession:
     """
 
     def __init__(self, circuit: Circuit, prop: Expr,
-                 assumptions: list[Expr] | None = None):
-        self.session = UnrollSession(circuit, from_reset=True)
+                 assumptions: list[Expr] | None = None,
+                 preprocess=None):
+        config = PreprocessConfig.coerce(preprocess)
+        coi_of = ([prop] + list(assumptions or [])
+                  if config.coi_enabled else None)
+        self.session = UnrollSession(circuit, from_reset=True,
+                                     coi_of=coi_of)
         self.prop = prop
         self.assumptions = list(assumptions or [])
         self._assumed_through = -1
@@ -87,10 +93,14 @@ def bmc(
     prop: Expr,
     depth: int,
     assumptions: list[Expr] | None = None,
+    preprocess=None,
 ) -> BmcResult:
     """Check that ``prop`` (1-bit) holds at every cycle 0..depth from reset.
 
     ``assumptions`` are 1-bit input constraints applied at every cycle.
+    ``preprocess`` selects the reduction pipeline (cone-of-influence
+    restricted unrolling); answers and traces are identical either way.
     Returns the earliest failing cycle with a full trace, or holds.
     """
-    return BmcSession(circuit, prop, assumptions).check_through(depth)
+    return BmcSession(circuit, prop, assumptions,
+                      preprocess=preprocess).check_through(depth)

@@ -84,6 +84,7 @@ def find_induction_depth(
     invariants: Expr | list[Expr],
     max_k: int = 8,
     assumptions: list[Expr] | None = None,
+    preprocess=None,
 ) -> InductionResult:
     """Smallest ``k`` whose k-induction proves the invariant(s).
 
@@ -100,10 +101,14 @@ def find_induction_depth(
     """
     if max_k < 1:
         raise ValueError("max_k must be >= 1")
+    from ..sat.preprocess import PreprocessConfig
+
+    config = PreprocessConfig.coerce(preprocess)
     inv = all_of(invariants) if isinstance(invariants, list) else invariants
     env = list(assumptions or [])
-    base = BmcSession(circuit, inv, assumptions=env)
-    step = UnrollSession(circuit, from_reset=False)
+    base = BmcSession(circuit, inv, assumptions=env, preprocess=config)
+    step = UnrollSession(circuit, from_reset=False,
+                         coi_of=[inv] + env if config.coi_enabled else None)
     env_assumed = -1
     for k in range(1, max_k + 1):
         base_result = base.check_through(k - 1)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..aig.aig import Aig
 from ..aig.cnf import CnfEncoder
+from ..aig.coi import reg_coi
 from ..rtl.circuit import Circuit
 from ..rtl.expr import Expr
 from ..sat.session import IncrementalSession, SolveStats
@@ -29,17 +30,27 @@ class UnrollSession:
         circuit: the design under verification.
         from_reset: bind cycle 0 to the reset state (BMC mode) instead
             of a symbolic starting state (IPC mode).
+        coi_of: cone-of-influence roots — when given, only registers in
+            the transitive fanin of these expressions (through the
+            next-state relations) are unrolled eagerly; out-of-cone
+            state materializes lazily if something references it, so
+            deepening happens against the reduced cone.  Decoded traces
+            are unchanged (out-of-cone signals build on decode).
     """
 
-    def __init__(self, circuit: Circuit, from_reset: bool = False):
+    def __init__(self, circuit: Circuit, from_reset: bool = False,
+                 coi_of: list[Expr] | None = None):
         circuit.validate()
         self.circuit = circuit
         self.from_reset = from_reset
+        self.active_regs = (reg_coi(circuit, coi_of)
+                            if coi_of is not None else None)
         self.aig = Aig()
         self.sat = IncrementalSession()
         self.solver = self.sat.solver
         self.encoder = CnfEncoder(self.aig, self.solver)
-        self.unroller = Unroller(circuit, self.aig)
+        self.unroller = Unroller(circuit, self.aig,
+                                 active_regs=self.active_regs)
         initial = None
         if from_reset:
             initial = {

@@ -28,6 +28,67 @@ __all__ = ["Frame", "Unroller"]
 InputProvider = Callable[[int, str, int], "list[int] | None"]
 
 
+class _LazySignals(dict):
+    """Signal vectors computed on first access.
+
+    Cone-of-influence mode leaves out-of-cone registers and nets
+    unbuilt; anything actually referenced (a proof macro, a decoded
+    counterexample trace) is bit-blasted on demand against the source
+    frame's blaster, so laziness is invisible to consumers — iterating
+    materializes everything first and decoded traces stay exact.
+    """
+
+    def __init__(self, compute, names):
+        super().__init__()
+        self._compute = compute
+        self._names = names
+
+    def __missing__(self, name):
+        if name not in self._names:
+            raise KeyError(name)
+        vec = self._compute(name)
+        dict.__setitem__(self, name, vec)
+        return vec
+
+    def __contains__(self, name):
+        return dict.__contains__(self, name) or name in self._names
+
+    def materialize(self) -> None:
+        for name in self._names:
+            self[name]
+
+    def items(self):
+        self.materialize()
+        return dict.items(self)
+
+    def keys(self):
+        self.materialize()
+        return dict.keys(self)
+
+    def values(self):
+        self.materialize()
+        return dict.values(self)
+
+    def __iter__(self):
+        self.materialize()
+        return dict.__iter__(self)
+
+
+class _LazyLeaves(dict):
+    """Blaster leaf environment resolving from a frame on demand."""
+
+    def __init__(self, frame: "Frame"):
+        super().__init__()
+        self._frame = frame
+
+    def __missing__(self, key):
+        kind, name = key
+        table = self._frame.regs if kind == "reg" else self._frame.inputs
+        vec = table[name]
+        dict.__setitem__(self, key, vec)
+        return vec
+
+
 class Frame:
     """One time step of an unrolled design: all signal vectors at cycle t."""
 
@@ -54,6 +115,10 @@ class Unroller:
         prefix: debug name prefix for fresh variables (e.g. ``"i1"``).
         input_provider: optional callback to bind primary inputs per frame
             (return None to allocate fresh variables).
+        active_regs: cone-of-influence restriction — only these
+            registers' next-state functions are bit-blasted eagerly per
+            frame; everything else materializes lazily if referenced
+            (see :func:`repro.aig.coi.reg_coi`).  None = all registers.
     """
 
     def __init__(
@@ -62,6 +127,7 @@ class Unroller:
         aig: Aig,
         prefix: str = "",
         input_provider: InputProvider | None = None,
+        active_regs: "set[str] | None" = None,
     ):
         circuit.validate()
         if circuit.memories:
@@ -74,6 +140,7 @@ class Unroller:
         self.aig = aig
         self.prefix = prefix
         self.input_provider = input_provider
+        self.active_regs = active_regs
         self.frames: list[Frame] = []
 
     # -- initial state ----------------------------------------------------
@@ -169,20 +236,33 @@ class Unroller:
     def _blaster(self, frame: Frame) -> BitBlaster:
         blaster = getattr(frame, "_blaster", None)
         if blaster is None:
-            leaves: dict[tuple[str, str], list[int]] = {}
-            for name, vec in frame.regs.items():
-                leaves[("reg", name)] = vec
-            for name, vec in frame.inputs.items():
-                leaves[("in", name)] = vec
-            blaster = BitBlaster(self.aig, leaves)
+            blaster = BitBlaster(self.aig, _LazyLeaves(frame))
             frame._blaster = blaster
         return blaster
 
     def _evaluate_combinational(self, frame: Frame) -> None:
         blaster = self._blaster(frame)
-        for name, expr in self.circuit.nets.items():
-            frame.nets[name] = blaster.vec(expr)
-        frame.next_regs = {
-            name: blaster.vec(info.next)
-            for name, info in self.circuit.regs.items()
-        }
+        active = self.active_regs
+        if active is None:
+            for name, expr in self.circuit.nets.items():
+                frame.nets[name] = blaster.vec(expr)
+            frame.next_regs = {
+                name: blaster.vec(info.next)
+                for name, info in self.circuit.regs.items()
+            }
+            return
+        # Cone-of-influence mode: bit-blast only the in-cone registers'
+        # next-state functions; nets and out-of-cone registers build on
+        # demand (e.g. when a counterexample trace is decoded).
+        frame.nets = _LazySignals(
+            lambda name: blaster.vec(self.circuit.nets[name]),
+            self.circuit.nets,
+        )
+        next_regs = _LazySignals(
+            lambda name: blaster.vec(self.circuit.regs[name].next),
+            self.circuit.regs,
+        )
+        for name in self.circuit.regs:
+            if name in active:
+                next_regs[name]
+        frame.next_regs = next_regs

@@ -1,8 +1,16 @@
-"""SAT solving: CDCL solver, incremental sessions, DIMACS I/O."""
+"""SAT solving: CDCL solver, incremental sessions, preprocessing, DIMACS I/O."""
 
 from .dimacs import parse_dimacs, solver_from_dimacs, write_dimacs
+from .preprocess import (
+    CnfSimplifier,
+    PreprocessConfig,
+    SimplifyingSolver,
+    SimplifyStats,
+)
 from .session import IncrementalSession, SolveStats
 from .solver import SAT, UNSAT, Solver
 
 __all__ = ["Solver", "SAT", "UNSAT", "IncrementalSession", "SolveStats",
+           "PreprocessConfig", "CnfSimplifier", "SimplifyingSolver",
+           "SimplifyStats",
            "parse_dimacs", "solver_from_dimacs", "write_dimacs"]

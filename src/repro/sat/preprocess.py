@@ -1,0 +1,547 @@
+"""SatELite-style CNF preprocessing: BVE, subsumption, self-subsumption.
+
+The reduction layer between clause generation and CDCL search.  The
+pure-Python kernel pays per clause *visited*, so shrinking the formula
+before search is the highest-leverage optimisation available without
+leaving Python — exactly the observation behind SatELite (Eén &
+Biere, SAT 2005), whose pipeline this module reproduces:
+
+* **top-level unit propagation** — units (e.g. environment constraints
+  asserted as facts) are substituted through the whole formula;
+* **subsumption** — a clause implied literal-for-literal by a smaller
+  one is dropped (64-bit signatures filter candidate pairs);
+* **self-subsuming resolution** — ``(a | x)`` against ``(a | b | !x)``
+  strengthens the latter to ``(a | b)``;
+* **bounded variable elimination (BVE)** — a variable whose resolvent
+  set is no larger than the clauses it replaces is resolved away; the
+  removed clauses go onto a reconstruction stack so any model of the
+  simplified formula extends to a model of the original (counterexample
+  traces stay exact).
+
+**Frozen variables** are never eliminated: incremental sessions freeze
+activation literals, assumption variables and any variable the caller
+must still be able to constrain or read (e.g. the diff outputs of a
+closure query) — clauses added after simplification may mention frozen
+variables only.
+
+:class:`PreprocessConfig` is the knob record the whole pipeline (this
+module, :mod:`repro.aig.coi` cone reduction and :mod:`repro.aig.bitsim`
+simulation pruning) is driven by; it rides on
+:class:`repro.verify.VerificationRequest` and campaign jobs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .solver import Solver
+
+__all__ = [
+    "PreprocessConfig",
+    "SimplifyStats",
+    "CnfSimplifier",
+    "SimplifyingSolver",
+]
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Which reductions run between problem construction and SAT search.
+
+    Attributes:
+        enabled: master switch; False turns every stage off regardless
+            of the per-stage flags (the ``--no-preprocess`` escape
+            hatch).
+        coi: cone-of-influence reduction — register-level cone
+            restriction for unrolled sessions and the intermediate-frame
+            substitution that collapses the deep miter obligations.
+        cnf: SatELite-style clause simplification (this module) on
+            one-shot encodes.
+        cnf_min_clauses: smallest formula the CNF pass engages on —
+            pure-Python BVE costs real time, and measured on the small
+            formal configurations it loses to just solving (see
+            ``benchmarks/results/preprocess_pipeline.txt``); the
+            threshold keeps the pass an asset instead of a tax.
+        bitsim_patterns: lanes of bitwise-parallel random simulation
+            used to pre-filter can-diverge candidates (0 disables).
+        bitsim_seed: RNG seed of the simulation patterns (fixed so runs
+            are reproducible).
+        bve_clause_limit: longest resolvent bounded variable
+            elimination may introduce.
+        bve_grow: how many clauses an elimination may *add* net
+            (SatELite's classic setting is 0: never grow).
+    """
+
+    enabled: bool = True
+    coi: bool = True
+    cnf: bool = True
+    cnf_min_clauses: int = 25000
+    bitsim_patterns: int = 64
+    bitsim_seed: int = 1
+    bve_clause_limit: int = 16
+    bve_grow: int = 0
+
+    # -- effective switches (master switch folded in) -----------------------
+
+    @property
+    def coi_enabled(self) -> bool:
+        return self.enabled and self.coi
+
+    @property
+    def cnf_enabled(self) -> bool:
+        return self.enabled and self.cnf
+
+    @property
+    def bitsim_enabled(self) -> bool:
+        return self.enabled and self.bitsim_patterns > 0
+
+    def provenance(self) -> dict:
+        """The "which reductions ran" record verdicts carry."""
+        return {
+            "coi": self.coi_enabled,
+            "cnf": self.cnf_enabled,
+            "bitsim": self.bitsim_patterns if self.bitsim_enabled else 0,
+        }
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        # Field-driven so a new knob can never be silently dropped from
+        # serialization (and hence from the verdict-cache content key).
+        return {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PreprocessConfig":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown preprocess keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def coerce(cls, value) -> "PreprocessConfig":
+        """Normalize ``True``/``False``/dict/config into a config."""
+        if value is None or value is True:
+            return cls()
+        if value is False:
+            return cls(enabled=False)
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise TypeError(
+            f"cannot interpret {type(value).__name__!r} as a "
+            f"PreprocessConfig (pass a bool, dict or config)"
+        )
+
+    @classmethod
+    def off(cls) -> "PreprocessConfig":
+        return cls(enabled=False)
+
+
+@dataclass
+class SimplifyStats:
+    """What one simplification pass achieved, and what it cost."""
+
+    seconds: float = 0.0
+    vars_eliminated: int = 0
+    clauses_subsumed: int = 0
+    literals_strengthened: int = 0
+    units_fixed: int = 0
+    clauses_in: int = 0
+    clauses_out: int = 0
+
+
+def _signature(clause: Sequence[int]) -> int:
+    """64-bit literal-set signature (Bloom filter for subset tests)."""
+    sig = 0
+    for lit in clause:
+        sig |= 1 << (lit & 63)
+    return sig
+
+
+class CnfSimplifier:
+    """One-shot simplifier over a clause list, with model reconstruction.
+
+    Usage::
+
+        simp = CnfSimplifier(n_vars, clauses, frozen=[...])
+        stats = simp.simplify()
+        # load simp.clauses() into a solver; on SAT:
+        assign = [0] + [1 if solver.value(v) else -1 for v in range(1, n+1)]
+        simp.extend_model(assign)   # fills eliminated variables in place
+
+    The simplified formula is equisatisfiable with the input, and any
+    model of it extends (via :meth:`extend_model`) to a model of the
+    input — so decoded counterexample traces remain exact.
+    """
+
+    def __init__(
+        self,
+        n_vars: int,
+        clauses: Iterable[Sequence[int]],
+        frozen: Iterable[int] = (),
+        config: PreprocessConfig | None = None,
+    ):
+        self.n_vars = n_vars
+        self.config = config or PreprocessConfig()
+        self.frozen = {abs(v) for v in frozen}
+        #: var -> 1/-1 for top-level units discovered during simplification.
+        self.fixed: dict[int, int] = {}
+        #: reverse-order stack of (var, saved clauses) for reconstruction.
+        self._eliminated: list[tuple[int, list[list[int]]]] = []
+        self._clauses: list[list[int] | None] = []
+        self._sigs: list[int] = []
+        self._occ: dict[int, list[int]] = {}
+        self.unsat = False
+        self._units: list[int] = []
+        for clause in clauses:
+            self._add(list(clause))
+
+    # -- clause bookkeeping --------------------------------------------------
+
+    def _add(self, clause: list[int]) -> int | None:
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in clause:
+            if -lit in seen:
+                return None  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.unsat = True
+            return None
+        idx = len(self._clauses)
+        self._clauses.append(out)
+        self._sigs.append(_signature(out))
+        for lit in out:
+            self._occ.setdefault(lit, []).append(idx)
+        if len(out) == 1:
+            self._units.append(out[0])
+        return idx
+
+    def _remove(self, idx: int) -> None:
+        clause = self._clauses[idx]
+        if clause is None:
+            return
+        self._clauses[idx] = None
+        for lit in clause:
+            occ = self._occ.get(lit)
+            if occ is not None:
+                try:
+                    occ.remove(idx)
+                except ValueError:
+                    pass
+
+    def _live(self, lit: int) -> list[int]:
+        return [i for i in self._occ.get(lit, ()) if self._clauses[i] is not None]
+
+    # -- unit propagation ----------------------------------------------------
+
+    def _propagate_units(self, stats: SimplifyStats) -> None:
+        while self._units and not self.unsat:
+            unit = self._units.pop()
+            var, value = abs(unit), (1 if unit > 0 else -1)
+            prior = self.fixed.get(var)
+            if prior is not None:
+                if prior != value:
+                    self.unsat = True
+                continue
+            self.fixed[var] = value
+            stats.units_fixed += 1
+            for idx in self._live(unit):
+                self._remove(idx)  # satisfied
+            for idx in self._live(-unit):
+                clause = self._clauses[idx]
+                self._remove(idx)
+                rest = [lit for lit in clause if lit != -unit]
+                self._add(rest)
+
+    # -- subsumption ---------------------------------------------------------
+
+    def _subsumes(self, small: list[int], big: list[int]) -> bool:
+        big_set = set(big)
+        return all(lit in big_set for lit in small)
+
+    def _subsumption_pass(self, stats: SimplifyStats) -> bool:
+        """Forward subsumption + self-subsuming resolution, one sweep."""
+        changed = False
+        for idx in range(len(self._clauses)):
+            clause = self._clauses[idx]
+            if clause is None:
+                continue
+            sig = self._sigs[idx]
+            # Scan the shortest occurrence list among the clause's
+            # literals: every clause containing the whole of ``clause``
+            # must appear there.
+            best = min(clause, key=lambda lit: len(self._occ.get(lit, ())))
+            for other_idx in list(self._occ.get(best, ())):
+                other = self._clauses[other_idx]
+                if other is None or other_idx == idx:
+                    continue
+                if len(other) < len(clause):
+                    continue
+                if sig & ~self._sigs[other_idx]:
+                    continue
+                if self._subsumes(clause, other):
+                    self._remove(other_idx)
+                    stats.clauses_subsumed += 1
+                    changed = True
+            # Self-subsuming resolution: clause with one literal
+            # flipped subsumes ``other`` -> drop the flipped literal
+            # from ``other``.
+            for pivot in clause:
+                rest = [lit for lit in clause if lit != pivot]
+                rest_sig = _signature(rest) | (1 << ((-pivot) & 63))
+                for other_idx in list(self._occ.get(-pivot, ())):
+                    other = self._clauses[other_idx]
+                    if other is None:
+                        continue
+                    if len(other) < len(clause):
+                        continue
+                    if rest_sig & ~self._sigs[other_idx]:
+                        continue
+                    other_set = set(other)
+                    if -pivot in other_set and all(
+                        lit in other_set for lit in rest
+                    ):
+                        self._remove(other_idx)
+                        strengthened = [l for l in other if l != -pivot]
+                        self._add(strengthened)
+                        stats.literals_strengthened += 1
+                        changed = True
+        return changed
+
+    # -- bounded variable elimination ---------------------------------------
+
+    def _try_eliminate(self, var: int, stats: SimplifyStats) -> bool:
+        pos = self._live(var)
+        neg = self._live(-var)
+        if not pos and not neg:
+            return False
+        limit = self.config.bve_clause_limit
+        budget = len(pos) + len(neg) + self.config.bve_grow
+        resolvents: list[list[int]] = []
+        for pi in pos:
+            pc = self._clauses[pi]
+            for ni in neg:
+                nc = self._clauses[ni]
+                seen = {lit for lit in pc if lit != var}
+                resolvent = list(seen)
+                tautology = False
+                for lit in nc:
+                    if lit == -var:
+                        continue
+                    if -lit in seen:
+                        tautology = True
+                        break
+                    if lit not in seen:
+                        seen.add(lit)
+                        resolvent.append(lit)
+                if tautology:
+                    continue
+                if len(resolvent) > limit:
+                    return False
+                resolvents.append(resolvent)
+                if len(resolvents) > budget:
+                    return False
+        saved = [list(self._clauses[i]) for i in pos]
+        saved += [list(self._clauses[i]) for i in neg]
+        for idx in pos + neg:
+            self._remove(idx)
+        for resolvent in resolvents:
+            self._add(resolvent)
+        self._eliminated.append((var, saved))
+        stats.vars_eliminated += 1
+        return True
+
+    def _bve_pass(self, stats: SimplifyStats) -> bool:
+        changed = False
+        candidates = [
+            v for v in range(1, self.n_vars + 1)
+            if v not in self.frozen and v not in self.fixed
+        ]
+        candidates.sort(
+            key=lambda v: len(self._occ.get(v, ())) + len(self._occ.get(-v, ()))
+        )
+        for var in candidates:
+            if self.unsat:
+                break
+            if var in self.fixed:
+                continue
+            if self._try_eliminate(var, stats):
+                changed = True
+                self._propagate_units(stats)
+        return changed
+
+    # -- driver --------------------------------------------------------------
+
+    def simplify(self, max_rounds: int = 3) -> SimplifyStats:
+        """Run unit propagation, subsumption and BVE to (near) fixpoint."""
+        stats = SimplifyStats(
+            clauses_in=sum(1 for c in self._clauses if c is not None)
+        )
+        start = time.perf_counter()
+        self._propagate_units(stats)
+        for _ in range(max_rounds):
+            if self.unsat:
+                break
+            changed = self._subsumption_pass(stats)
+            changed = self._bve_pass(stats) or changed
+            self._propagate_units(stats)
+            if not changed:
+                break
+        stats.seconds = time.perf_counter() - start
+        stats.clauses_out = sum(1 for c in self._clauses if c is not None)
+        return stats
+
+    def clauses(self) -> list[list[int]]:
+        """The live simplified clauses (units for fixed vars included)."""
+        out = [list(c) for c in self._clauses if c is not None]
+        out.extend([v * value] for v, value in self.fixed.items())
+        return out
+
+    def eliminated_vars(self) -> set[int]:
+        """Variables removed by BVE (callers must not constrain them)."""
+        return {var for var, _ in self._eliminated}
+
+    # -- model reconstruction ------------------------------------------------
+
+    def extend_model(self, assign: list[int]) -> None:
+        """Fill eliminated variables into ``assign`` (index = var, 1/-1/0).
+
+        ``assign`` must hold the simplified formula's model; after the
+        call it satisfies every original clause.  Unassigned variables
+        are treated as false (matching :meth:`Solver.value`).
+        """
+        for var, value in self.fixed.items():
+            assign[var] = value
+        for var, saved in reversed(self._eliminated):
+            value = -1
+            for clause in saved:
+                if var not in clause:
+                    continue
+                others_false = all(
+                    (assign[abs(lit)] or -1) != (1 if lit > 0 else -1)
+                    for lit in clause if lit != var
+                )
+                if others_false:
+                    value = 1
+                    break
+            assign[var] = value
+
+
+class SimplifyingSolver:
+    """A clause sink that simplifies once, then solves on an inner kernel.
+
+    Duck-types the :class:`~repro.sat.solver.Solver` surface the
+    one-shot flows use (``new_var`` / ``ensure_vars`` / ``add_clause`` /
+    ``solve`` / ``value`` / ``stats``): clauses are buffered until the
+    first ``solve``, simplified with the variables in ``frozen`` (plus
+    any assumption variables) protected, and the SAT model is extended
+    back over the eliminated variables so ``value`` answers for *every*
+    variable — decoded traces are exact.
+    """
+
+    def __init__(self, config: PreprocessConfig | None = None,
+                 frozen: Iterable[int] = ()):
+        self.config = config or PreprocessConfig()
+        self.inner = Solver()
+        self.n_vars = 0
+        self._buffer: list[list[int]] = []
+        self._frozen = {abs(v) for v in frozen}
+        self._simplifier: CnfSimplifier | None = None
+        self.simplify_stats: SimplifyStats | None = None
+        self._model: list[int] = []
+
+    # -- Solver surface ------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        return self.inner.stats
+
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def ensure_vars(self, n: int) -> None:
+        if n > self.n_vars:
+            self.n_vars = n
+
+    def freeze(self, lits: Iterable[int]) -> None:
+        """Protect variables from elimination (callable before solve)."""
+        self._frozen.update(abs(lit) for lit in lits)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        clause = list(lits)
+        for lit in clause:
+            self.ensure_vars(abs(lit))
+        if self._buffer is None:
+            # Post-simplification additions must not mention eliminated
+            # variables; freezing beforehand is the caller's contract.
+            return self.inner.add_clause(clause)
+        self._buffer.append(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        if self._simplifier is None and self._buffer is not None:
+            if len(self._buffer) < self.config.cnf_min_clauses:
+                # Too small for pure-Python BVE to pay for itself:
+                # load the clauses untouched.
+                self.inner.ensure_vars(self.n_vars)
+                self.inner.add_clauses(self._buffer)
+                self._buffer = None
+            else:
+                frozen = self._frozen | {abs(a) for a in assumptions}
+                self._simplifier = CnfSimplifier(
+                    self.n_vars, self._buffer, frozen=frozen,
+                    config=self.config,
+                )
+                self._buffer = None
+                self.simplify_stats = self._simplifier.simplify()
+                self.inner.ensure_vars(self.n_vars)
+                if self._simplifier.unsat:
+                    self.inner.add_clause([])
+                else:
+                    self.inner.add_clauses(self._simplifier.clauses())
+        if self._simplifier is not None and assumptions:
+            # An assumption over an eliminated variable would be
+            # unconstrained in the simplified formula — a silent wrong
+            # answer.  Freeze such variables before the first solve.
+            eliminated = self._simplifier.eliminated_vars()
+            bad = sorted(abs(a) for a in assumptions if abs(a) in eliminated)
+            if bad:
+                raise RuntimeError(
+                    f"assumptions mention eliminated variable(s) "
+                    f"{bad}; freeze them before the first solve"
+                )
+        sat = self.inner.solve(assumptions)
+        if sat and self._simplifier is not None:
+            assign = [0] * (self.n_vars + 1)
+            for var in range(1, self.n_vars + 1):
+                assign[var] = 1 if self.inner.value(var) else -1
+            self._simplifier.extend_model(assign)
+            self._model = assign
+        return sat
+
+    def value(self, ext_lit: int) -> bool:
+        if self._simplifier is None:
+            return self.inner.value(ext_lit)
+        var = abs(ext_lit)
+        if var >= len(self._model):
+            return False
+        v = self._model[var]
+        return (v == 1) if ext_lit > 0 else (v == -1)

@@ -467,6 +467,30 @@ class Solver:
             reason = self._reason[lit >> 1]
             seen[lit >> 1] = False
         learned[0] = lit ^ 1
+        # Local conflict-clause minimization (MiniSat's basic ccmin):
+        # drop any literal whose reason clause is entirely covered by
+        # the other learned literals (or level-0 facts) — it is implied
+        # and adds nothing.  Shorter learned clauses propagate more and
+        # cost less to visit, which compounds over a run.
+        if len(learned) > 2:
+            # ``seen`` already marks exactly the learned clause's
+            # variables (everything else was resolved away), so it
+            # doubles as the coverage set for free.
+            level = self._level
+            reasons = self._reason
+            kept = [learned[0]]
+            for q in learned[1:]:
+                var = q >> 1
+                reason = reasons[var]
+                if reason is None:
+                    kept.append(q)
+                    continue
+                for other in reason:
+                    ov = other >> 1
+                    if ov != var and not seen[ov] and level[ov] > 0:
+                        kept.append(q)
+                        break
+            learned = kept
         # Minimal backjump level = max level among the other literals.
         if len(learned) == 1:
             back_level = 0

@@ -41,6 +41,19 @@ iteration:
   independent of solver heuristics, clause reuse, or encoding — which is
   what makes the incremental session and a from-scratch rebuild return
   bit-identical verdicts, ``final_s`` and leaking sets.
+
+Preprocessing & pruning
+-----------------------
+
+A :class:`~repro.sat.preprocess.PreprocessConfig` (on by default)
+selects the reductions that run between encoding and SAT search:
+intermediate-frame substitution collapses the deep (k >= 2) obligations
+onto instance A's cones (:meth:`MiterSession._reduced_final_regs` — the
+fix for the secured-SoC Algorithm 2 cliff), and 64-lane bitwise
+simulation (:class:`~repro.aig.bitsim.BitSim`) answers closure
+candidates whose divergence a constraint-satisfying lane already
+witnesses, skipping their SAT calls.  Because the closure is canonical,
+the verdict trajectory is identical with preprocessing on or off.
 """
 
 from __future__ import annotations
@@ -49,11 +62,13 @@ import dataclasses
 import time
 from dataclasses import dataclass, field
 
-from ..aig.aig import Aig
+from ..aig.aig import FALSE, Aig
 from ..aig.bitblast import BitBlaster
+from ..aig.bitsim import BitSim
 from ..aig.cnf import CnfEncoder
 from ..formal.trace import Trace, decode_unrolled_trace, decode_vec
 from ..formal.unroller import Unroller
+from ..sat.preprocess import PreprocessConfig
 from ..sat.session import IncrementalSession
 from .classify import StateClassifier, UnclassifiedStateError
 from .threat_model import ThreatModel
@@ -72,6 +87,14 @@ class CheckStats:
     learned clauses retained from earlier checks of the same session —
     the incremental-reuse pool — and ``sat_calls`` the solver queries
     issued for the closure computation.
+
+    The preprocessing pipeline reports into its own bucket:
+    ``preprocess_s`` is time spent in reductions (obligation cone
+    substitution, CNF simplification, bitwise simulation),
+    ``vars_eliminated`` / ``clauses_subsumed`` what the SatELite-style
+    pass removed, and ``candidates_pruned_by_sim`` how many closure
+    candidates skipped their SAT call because a simulated lane already
+    witnessed their divergence.
     """
 
     aig_nodes: int = 0
@@ -83,6 +106,10 @@ class CheckStats:
     encode_seconds: float = 0.0
     sat_calls: int = 0
     learned_kept: int = 0
+    preprocess_s: float = 0.0
+    vars_eliminated: int = 0
+    clauses_subsumed: int = 0
+    candidates_pruned_by_sim: int = 0
 
     def add(self, other: "CheckStats") -> None:
         """Accumulate another check's costs (campaign/job rollups)."""
@@ -95,6 +122,10 @@ class CheckStats:
         self.encode_seconds += other.encode_seconds
         self.sat_calls += other.sat_calls
         self.learned_kept = max(self.learned_kept, other.learned_kept)
+        self.preprocess_s += other.preprocess_s
+        self.vars_eliminated += other.vars_eliminated
+        self.clauses_subsumed += other.clauses_subsumed
+        self.candidates_pruned_by_sim += other.candidates_pruned_by_sim
 
     def to_dict(self) -> dict:
         """JSON-ready representation (worker IPC / campaign artifacts)."""
@@ -158,6 +189,54 @@ class MiterCounterexample:
         )
 
 
+class _SimPruner:
+    """The simulation side of one closure check.
+
+    Holds the session's :class:`BitSim`, the check's full constraint
+    list (permanent facts + assumptions) and the current valid-lane
+    mask.  ``prune`` returns candidates a valid lane already proves
+    divergent; ``refresh_from_model`` re-centers every lane on the
+    solver's latest model (which satisfies all constraints by
+    construction) with the divergence-driving inputs re-randomized.
+    """
+
+    __slots__ = ("session", "sim", "constraints", "mask", "witness_page")
+
+    def __init__(self, session: "MiterSession", sim: BitSim,
+                 constraints: list[int], mask: int):
+        self.session = session
+        self.sim = sim
+        self.constraints = constraints
+        self.mask = mask
+        self.witness_page: int | None = None
+
+    def prune(self, diffs: dict[str, int]) -> list[str]:
+        """Names whose diff literal is 1 in some valid lane (sound
+        can-diverge witnesses; their SAT calls are skipped)."""
+        if not self.mask:
+            return []
+        sim = self.sim
+        found: list[str] = []
+        for name, diff in diffs.items():
+            word = sim.word(diff) & self.mask
+            if word:
+                found.append(name)
+                if self.witness_page is None:
+                    lane = (word & -word).bit_length() - 1
+                    self.witness_page = sum(
+                        sim.lane_value(bit, lane) << i
+                        for i, bit in enumerate(self.session.page_vec)
+                    )
+        return found
+
+    def refresh_from_model(self) -> None:
+        """Rebase the lanes on the solver's current model."""
+        session = self.session
+        self.sim.reseed(session._model_input_values(),
+                        session._jitter_inputs())
+        self.mask = self.sim.valid_lanes(self.constraints)
+
+
 class MiterSession:
     """A persistent, incrementally extended encoding of the 2-safety miter.
 
@@ -176,9 +255,11 @@ class MiterSession:
     """
 
     def __init__(self, threat_model: ThreatModel,
-                 classifier: StateClassifier | None = None):
+                 classifier: StateClassifier | None = None,
+                 preprocess: PreprocessConfig | None = None):
         self.tm = threat_model
         self.classifier = classifier or StateClassifier(threat_model)
+        self.preprocess = PreprocessConfig.coerce(preprocess)
         self.circuit = threat_model.circuit
         self.circuit.validate()
         self.aig = Aig()
@@ -215,6 +296,18 @@ class MiterSession:
         self.depth = -1
         self._s0: frozenset[str] | None = None
         self.epochs = 0  # re-binds of instance B (S-set changes)
+        # Preprocessing state: permanently asserted frame-0 facts (the
+        # simulation pruner must respect them when judging lane
+        # validity), the memoized lane simulator, and the cache of
+        # substituted final-frame register vectors (the reduced deep
+        # obligations), keyed by B-binding epoch + intermediate frames.
+        self._permanent_lits: list[int] = []
+        self._bitsim: BitSim | None = None
+        self._sim_bound_through = 1
+        self._sim_hopeless: set[tuple] = set()
+        self._reduced_cache: dict[tuple, dict[str, list[int]]] = {}
+        self._model_loaded = True
+        self._sim_page: int | None = None
 
     # -- construction internals --------------------------------------------
 
@@ -298,16 +391,21 @@ class MiterSession:
             self.unroller_b.begin(init_b)
             self._s0 = frozenset(s0)
             self.epochs += 1
+            # Reduced obligations are keyed by epoch; entries from the
+            # superseded binding can never be hit again.
+            self._reduced_cache.clear()
         self.unroller_b.unroll(self.depth)
         if first:
             # Frame-0, instance-A-cone facts hold for every later check
             # regardless of depth or S binding: safe as permanent units.
             for expr in tm.invariants:
-                encoder.assume_true(self.unroller_a.bit_at(0, expr))
+                lit = self.unroller_a.bit_at(0, expr)
+                self._permanent_lits.append(lit)
+                encoder.assume_true(lit)
             if tm.victim_page_constraint is not None:
-                encoder.assume_true(
-                    self.unroller_a.bit_at(0, tm.victim_page_constraint)
-                )
+                lit = self.unroller_a.bit_at(0, tm.victim_page_constraint)
+                self._permanent_lits.append(lit)
+                encoder.assume_true(lit)
 
     def _assume_lit(self, lit: int) -> int | None:
         """Activation variable asserting an AIG literal on demand.
@@ -322,22 +420,20 @@ class MiterSession:
             return None
         return self.sat.assert_under(("lit", lit), self.encoder.lit(lit))
 
-    def _scoped_assumptions(self, depth: int) -> list[int]:
-        """Activation literals for every frame-/epoch-scoped constraint
-        of a check at ``depth``: Victim_Task_Executing() per frame, the
+    def _scoped_lits(self, depth: int) -> list[int]:
+        """AIG literals of every frame-/epoch-scoped constraint of a
+        check at ``depth``: Victim_Task_Executing() per frame, the
         spy-isolation/firmware assumptions per frame and instance, and
         instance B's frame-0 invariants (instance A's are permanent)."""
-        acts: list[int] = []
+        lits: list[int] = []
         for f in range(depth + 1):
-            acts.append(
-                self._assume_lit(self._victim_constraint(f, free_window=f <= 1))
-            )
+            lits.append(self._victim_constraint(f, free_window=f <= 1))
             for unroller in (self.unroller_a, self.unroller_b):
                 for expr in self._per_frame_exprs:
-                    acts.append(self._assume_lit(unroller.bit_at(f, expr)))
+                    lits.append(unroller.bit_at(f, expr))
         for expr in self.tm.invariants:
-            acts.append(self._assume_lit(self.unroller_b.bit_at(0, expr)))
-        return [a for a in acts if a is not None]
+            lits.append(self.unroller_b.bit_at(0, expr))
+        return lits
 
     def _victim_constraint(self, frame: int, free_window: bool) -> int:
         tm, aig = self.tm, self.aig
@@ -377,18 +473,199 @@ class MiterSession:
         """AIG literal: ``name`` differs (outside the victim range)."""
         return self.equal_lit(name, frame) ^ 1
 
+    # -- preprocessing: obligation cone reduction ---------------------------
+
+    def _offset_provider(self, instance: str, offset: int):
+        """Input provider mapping a segment's local frames to global
+        ones, so substituted re-unrollings bind the *same* input
+        vectors as the session's instance-B frames."""
+        inner = self._provider(instance)
+
+        def provider(frame_idx: int, name: str, width: int):
+            return inner(frame_idx + offset, name, width)
+
+        return provider
+
+    def _reduced_final_regs(
+        self, s_frames: list[set[str]], depth: int
+    ) -> dict[str, list[int]]:
+        """Instance B's final-frame registers with the intermediate
+        State_Equivalence(S[f]) assumptions substituted structurally.
+
+        An assumed equality ``B@f[name] == A@f[name]`` licenses
+        replacing B's vector with A's in every cone evaluated *after*
+        frame ``f`` (for guarded victim words the replacement is
+        ``guard ? B : A`` — equal exactly when the word is public).
+        Re-unrolling the remaining frames over the substituted state
+        lets structural hashing collapse instance B's deep cones onto
+        instance A's, so the difference cone of the proof obligation at
+        ``t+k`` shrinks to the logic genuinely reachable from the
+        divergence window — the cone-of-influence reduction that turns
+        the k >= 2 closure queries from minutes into seconds.  Sound
+        because the equalities remain asserted as assumptions: every
+        model of the reduced obligation is a model of the original and
+        vice versa, so the canonical can-diverge closure is unchanged.
+        """
+        key = (self.epochs, depth,
+               tuple(frozenset(s) for s in s_frames[1:depth]))
+        cached = self._reduced_cache.get(key)
+        if cached is not None:
+            return cached
+        aig = self.aig
+        all_regs = set(self.circuit.regs)
+        current = dict(self.unroller_b.frame(1).regs)
+        for f in range(1, depth):
+            subst: dict[str, list[int]] = {}
+            for name, vec in current.items():
+                if name in s_frames[f]:
+                    vec_a = self.unroller_a.frame(f).regs[name]
+                    if self.classifier.conditional_guard_info(name) is None:
+                        subst[name] = vec_a
+                    else:
+                        subst[name] = aig.mux_vec(
+                            self._guard_lit(name), vec, vec_a
+                        )
+                else:
+                    subst[name] = vec
+            # Only the next-state functions of the substituted frame are
+            # needed; active_regs keeps the segment's nets lazy (never
+            # built) and frame(0).next_regs avoids evaluating a whole
+            # follow-on frame that nothing reads.
+            segment = Unroller(
+                self.circuit, aig, prefix="B",
+                input_provider=self._offset_provider("B", f),
+                active_regs=all_regs,
+            )
+            segment.begin(subst)
+            current = dict(segment.frame(0).next_regs)
+        self._reduced_cache[key] = current
+        return current
+
+    def _diff_factory(self, s_frames: list[set[str]], depth: int,
+                      stats: CheckStats):
+        """``name -> AIG diff literal`` for the final frame — against the
+        substituted (reduced) obligation when COI preprocessing is on
+        and the window is deep enough to have intermediate frames."""
+        if depth < 2 or not self.preprocess.coi_enabled:
+            return lambda name: self.diff_lit(name, depth)
+        t0 = time.perf_counter()
+        final = self._reduced_final_regs(s_frames, depth)
+        stats.preprocess_s += time.perf_counter() - t0
+        aig, classifier = self.aig, self.classifier
+
+        def diff(name: str) -> int:
+            vec_a = self.unroller_a.frame(depth).regs[name]
+            equal = aig.equal_vec(vec_a, final[name])
+            if classifier.conditional_guard_info(name) is not None:
+                equal = aig.or_(self._guard_lit(name), equal)
+            return equal ^ 1
+
+        return diff
+
+    # -- preprocessing: bitwise simulation pruning --------------------------
+
+    def _input_nodes(self) -> list[int]:
+        """All input node indices of the session AIG (cached per size)."""
+        n = self.aig.num_nodes()
+        cached = getattr(self, "_input_nodes_cache", None)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        is_input = self.aig.is_input
+        nodes = [node for node in range(1, n) if is_input(node)]
+        self._input_nodes_cache = (n, nodes)
+        return nodes
+
+    def _model_input_values(self) -> dict[int, bool]:
+        """Every input node's value under the solver's latest model
+        (unencoded inputs complete to False, as trace decoding does)."""
+        nodes = self._input_nodes()
+        values = self.encoder.values([2 * node for node in nodes])
+        return dict(zip(nodes, values))
+
+    def _jitter_inputs(self) -> list[int]:
+        """The divergence-driving inputs model-guided lanes randomize:
+        everything — symbolic starting state included, because most
+        closure candidates only diverge from specific start states —
+        except the symbolic constants (the protected page must stay
+        where the model put it) and the page-index bits of the victim
+        addresses (so accesses keep hitting — or deliberately missing —
+        the protected page exactly as the model's did, instead of
+        scattering over the address space where a page hit is a coin
+        flip per lane)."""
+        skip: set[int] = set()
+        for vec in self._stable_vecs.values():
+            skip.update(lit >> 1 for lit in vec)
+        addr = self.tm.victim_port.addr
+        page_bits = self.tm.page_bits
+        for (kind, _frame, name), vec in self._input_vecs.items():
+            if name == addr:
+                skip.update(lit >> 1 for lit in vec[page_bits:])
+        return [node for node in self._input_nodes() if node not in skip]
+
+    def _sim_context(self, base_lits: list[int], depth: int,
+                     stats: CheckStats) -> "_SimPruner | None":
+        """The simulation pruner for this check, or None.
+
+        A lane is valid when every permanent fact and every assumption
+        of the check simulates to 1 — such a lane is a real behaviour
+        of the constrained miter, so a difference observed in it is a
+        sound can-diverge witness.  Victim-port inputs of instance B
+        are aliased to instance A's from frame 2 on (the window where
+        the interfaces are constrained equal) so random stimuli do not
+        trivially violate the equality macro; the remaining constraints
+        are met by greedy per-cone lane repair up front and by
+        re-centering on the solver's models as the closure progresses.
+        """
+        if not self.preprocess.bitsim_enabled:
+            return None
+        key = (self.epochs, depth)
+        t0 = time.perf_counter()
+        if self._bitsim is None:
+            self._bitsim = BitSim(
+                self.aig,
+                num_patterns=self.preprocess.bitsim_patterns,
+                seed=self.preprocess.bitsim_seed,
+            )
+        sim = self._bitsim
+        fields = self.tm.victim_port.fields()
+        for f in range(self._sim_bound_through + 1, depth + 1):
+            fa = self.unroller_a.frame(f).inputs
+            fb = self.unroller_b.frame(f).inputs
+            for name in fields:
+                for la, lb in zip(fa[name], fb[name]):
+                    sim.alias(lb >> 1, la)
+        self._sim_bound_through = max(self._sim_bound_through, depth)
+        constraints = self._permanent_lits + base_lits
+        mask = 0
+        if key not in self._sim_hopeless:
+            mask = sim.valid_lanes(constraints)
+            if not mask:
+                mask = sim.satisfy(constraints)
+            if not mask:
+                # Random lanes cannot meet this binding's constraints;
+                # skip the repair search in later iterations (model
+                # re-centering still works from the first SAT answer).
+                self._sim_hopeless.add(key)
+        stats.preprocess_s += time.perf_counter() - t0
+        return _SimPruner(self, sim, constraints, mask)
+
     # -- checking -----------------------------------------------------------
 
-    def _assumptions(self, s_frames: list[set[str]]) -> list[int]:
+    def _assumptions(self, s_frames: list[set[str]]) -> tuple[list[int], list[int]]:
         """Full assumption set of one check: the frame-/epoch-scoped
-        constraints plus the intermediate State_Equivalence(S[i])."""
-        base = self._scoped_assumptions(len(s_frames) - 1)
+        constraints plus the intermediate State_Equivalence(S[i]).
+
+        Returns ``(activation variables, AIG literals)`` — the former
+        switch the constraints on for the SAT query, the latter let the
+        simulation pruner judge which random lanes are genuine
+        behaviours of the constrained system.
+        """
+        lits = self._scoped_lits(len(s_frames) - 1)
         for f in range(1, len(s_frames) - 1):
             for name in sorted(s_frames[f]):
-                act = self._assume_lit(self.equal_lit(name, f))
-                if act is not None:
-                    base.append(act)
-        return base
+                lits.append(self.equal_lit(name, f))
+        acts = [self._assume_lit(lit) for lit in lits]
+        return [a for a in acts if a is not None], lits
 
     def _partition(self, names: set[str]) -> tuple[list, list, list]:
         """Sorted (persistent, transient, unclassified) split of ``names``."""
@@ -402,20 +679,58 @@ class MiterSession:
                 unknown.append(name)
         return pers, trans, unknown
 
-    def _closure(self, names: list[str], base: list[int], depth: int,
-                 stats: CheckStats) -> list[str]:
-        """All of ``names`` that can diverge at ``depth`` under ``base``.
+    def _closure(self, names: list[str], base: list[int], diff_of,
+                 sim_ctx, stats: CheckStats) -> list[str]:
+        """All of ``names`` that can diverge at the prove cycle under
+        ``base``.
 
         Enumerate models of "some remaining name differs" until UNSAT;
         every query reuses the session's learned clauses.  The result is
         the full satisfiability closure, so it does not depend on which
-        model the solver happens to find first.
+        model the solver happens to find first — nor on how much of it
+        the preprocessing shortcuts below resolve without the solver:
+
+        * a candidate whose diff literal is structurally FALSE (its
+          reduced cones collapsed onto instance A's) can never diverge
+          and skips the query entirely;
+        * a candidate already distinguished by a valid simulation lane
+          provably can diverge and goes straight to the found set
+          (``candidates_pruned_by_sim``).
         """
         enc = self.encoder
-        remaining = list(names)
+        shortcut = self.preprocess.enabled
+        remaining: list[str] = []
         found: list[str] = []
+        diffs_of_name: dict[str, int] = {}
+        sim_dry = 0
+        for n in names:
+            d = diff_of(n)
+            if shortcut and d == FALSE:
+                continue  # structurally equal: can never diverge
+            diffs_of_name[n] = d
+            remaining.append(n)
+
+        def sim_prune() -> bool:
+            """One simulation sweep over the survivors; returns whether
+            it answered anything (found/remaining/stats updated)."""
+            nonlocal remaining
+            t0 = time.perf_counter()
+            pruned = sim_ctx.prune(
+                {n: diffs_of_name[n] for n in remaining}
+            )
+            stats.preprocess_s += time.perf_counter() - t0
+            if not pruned:
+                return False
+            found.extend(pruned)
+            stats.candidates_pruned_by_sim += len(pruned)
+            pruned_set = set(pruned)
+            remaining = [n for n in remaining if n not in pruned_set]
+            return True
+
+        if sim_ctx is not None and remaining:
+            sim_prune()
         while remaining:
-            diffs = [self.diff_lit(n, depth) for n in remaining]
+            diffs = [diffs_of_name[n] for n in remaining]
             t0 = time.perf_counter()
             goal = self.sat.scratch_goal([enc.lit(d) for d in diffs])
             stats.encode_seconds += time.perf_counter() - t0
@@ -426,11 +741,23 @@ class MiterSession:
             stats.decisions += result.decisions
             if not result.sat:
                 break
+            self._model_loaded = True
             values = enc.values(diffs)
             newly = [n for n, v in zip(remaining, values) if v]
             found.extend(newly)
             newset = set(newly)
             remaining = [n for n in remaining if n not in newset]
+            if sim_ctx is not None and remaining and sim_dry < 2:
+                # Model-guided exploration: re-center the lanes on the
+                # model just found and sweep the survivors — divergences
+                # adjacent to a real behaviour are far denser there than
+                # in uniform random space.  Refreshing costs a graph
+                # re-simulation, so it stops once two consecutive
+                # models' neighbourhoods answered nothing.
+                t0 = time.perf_counter()
+                sim_ctx.refresh_from_model()
+                stats.preprocess_s += time.perf_counter() - t0
+                sim_dry = 0 if sim_prune() else sim_dry + 1
         return found
 
     def check(
@@ -467,26 +794,36 @@ class MiterSession:
         stats = CheckStats(learned_kept=self.solver.retained_learned())
         encode_start = time.perf_counter()
         self.ensure(frozenset(s_frames[0]), depth)
-        base = self._assumptions(s_frames)
-        stats.encode_seconds = time.perf_counter() - encode_start
+        base, base_lits = self._assumptions(s_frames)
+        diff_of = self._diff_factory(s_frames, depth, stats)
+        stats.encode_seconds = (time.perf_counter() - encode_start
+                                - stats.preprocess_s)
+        sim_ctx = self._sim_context(base_lits, depth, stats)
+        self._model_loaded = False
+        self._sim_page = None
         pers, trans, unknown = self._partition(s_frames[depth])
         if unknown:
-            diverging = self._closure(unknown, base, depth, stats)
+            diverging = self._closure(unknown, base, diff_of, sim_ctx, stats)
             if diverging:
                 self.classifier.in_s_pers(diverging[0])  # raises
-        diff_names = self._closure(pers, base, depth, stats)
+        diff_names = self._closure(pers, base, diff_of, sim_ctx, stats)
         if not diff_names:
-            diff_names = self._closure(trans, base, depth, stats)
+            diff_names = self._closure(trans, base, diff_of, sim_ctx, stats)
+        if sim_ctx is not None:
+            self._sim_page = sim_ctx.witness_page
         stats.aig_nodes = self.aig.num_nodes()
         stats.cnf_vars = self.solver.n_vars
         stats.build_seconds = stats.encode_seconds
         if not diff_names:
             return None
         if not record_trace:
-            # The closure's last SAT model is still loaded; no need for a
-            # dedicated witness solve when no trace is decoded.
+            # The closure's last SAT model is still loaded (or, when
+            # simulation pruning answered every candidate, a witness
+            # lane stands in for it); no dedicated witness solve is
+            # needed when no trace is decoded.
             return self._package(set(diff_names), depth, False, stats)
-        return self._witness(diff_names, base, depth, record_trace, stats)
+        return self._witness(diff_names, base, diff_of, depth,
+                             record_trace, stats)
 
     def probe(
         self,
@@ -507,7 +844,7 @@ class MiterSession:
         stats = CheckStats(learned_kept=self.solver.retained_learned())
         encode_start = time.perf_counter()
         self.ensure(frozenset(s_frames[0]), depth)
-        base = self._assumptions(s_frames)
+        base, _ = self._assumptions(s_frames)
         names = sorted(s_frames[depth])
         diffs = [self.diff_lit(n, depth) for n in names]
         goal = self.sat.scratch_goal([self.encoder.lit(d) for d in diffs])
@@ -522,15 +859,18 @@ class MiterSession:
         stats.cnf_vars = self.solver.n_vars
         if not result.sat:
             return None
+        self._model_loaded = True
+        self._sim_page = None
         values = self.encoder.values(diffs)
         diff_names = {n for n, v in zip(names, values) if v}
         return self._package(diff_names, depth, record_trace, stats)
 
-    def _witness(self, diff_names: list[str], base: list[int], depth: int,
-                 record_trace: bool, stats: CheckStats) -> MiterCounterexample:
+    def _witness(self, diff_names: list[str], base: list[int], diff_of,
+                 depth: int, record_trace: bool,
+                 stats: CheckStats) -> MiterCounterexample:
         """Solve once more for a concrete model showing the first
         (alphabetically) diverging variable, and decode it."""
-        target = self.encoder.lit(self.diff_lit(min(diff_names), depth))
+        target = self.encoder.lit(diff_of(min(diff_names)))
         goal = self.sat.scratch_goal([target])
         result = self.sat.solve(base + [goal])
         stats.sat_calls += 1
@@ -538,6 +878,7 @@ class MiterSession:
         stats.conflicts += result.conflicts
         stats.decisions += result.decisions
         assert result.sat, "witness re-solve of a satisfiable diff failed"
+        self._model_loaded = True
         return self._package(set(diff_names), depth, record_trace, stats)
 
     def _package(self, diff_names: set[str], depth: int,
@@ -546,7 +887,13 @@ class MiterSession:
         if record_trace:
             trace_a = decode_unrolled_trace(self.encoder, self.unroller_a, depth)
             trace_b = decode_unrolled_trace(self.encoder, self.unroller_b, depth)
-        victim_page = decode_vec(self.encoder, self.page_vec)
+        if not self._model_loaded and self._sim_page is not None:
+            # Simulation pruning answered every candidate without a SAT
+            # call: the witness lane was a genuine constrained
+            # behaviour, so its protected page stands in for the model.
+            victim_page = self._sim_page
+        else:
+            victim_page = decode_vec(self.encoder, self.page_vec)
         return MiterCounterexample(
             diff_names=diff_names,
             frame=depth,
@@ -570,9 +917,11 @@ class UpecMiter:
 
     def __init__(self, threat_model: ThreatModel,
                  classifier: StateClassifier | None = None,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 preprocess: PreprocessConfig | None = None):
         self.tm = threat_model
         self.classifier = classifier or StateClassifier(threat_model)
+        self.preprocess = PreprocessConfig.coerce(preprocess)
         self.circuit = threat_model.circuit
         self.circuit.validate()
         self.incremental = incremental
@@ -586,9 +935,11 @@ class UpecMiter:
         In non-incremental mode a fresh session is returned per call.
         """
         if not self.incremental:
-            return MiterSession(self.tm, self.classifier)
+            return MiterSession(self.tm, self.classifier,
+                                preprocess=self.preprocess)
         if self._session is None:
-            self._session = MiterSession(self.tm, self.classifier)
+            self._session = MiterSession(self.tm, self.classifier,
+                                         preprocess=self.preprocess)
         return self._session
 
     def build(self, s_frames: list[set[str]],

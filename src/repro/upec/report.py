@@ -132,9 +132,22 @@ def format_verdict(verdict, classifier: StateClassifier | None = None) -> str:
     lines.append(
         f"cost: {verdict.seconds:.1f} s wall "
         f"(encode {stats.encode_seconds:.1f} s, "
+        f"preprocess {stats.preprocess_s:.1f} s, "
         f"solve {stats.solve_seconds:.1f} s, "
         f"{stats.sat_calls} solver calls)"
     )
+    reductions = []
+    if stats.candidates_pruned_by_sim:
+        reductions.append(
+            f"{stats.candidates_pruned_by_sim} candidate(s) answered by "
+            f"simulation"
+        )
+    if stats.vars_eliminated:
+        reductions.append(f"{stats.vars_eliminated} variables eliminated")
+    if stats.clauses_subsumed:
+        reductions.append(f"{stats.clauses_subsumed} clauses subsumed")
+    if reductions:
+        lines.append("reductions: " + ", ".join(reductions))
     if verdict.seeded:
         lines.append(f"seeded: {len(verdict.seeded)} name(s)"
                      + (" — reran unseeded to confirm"
@@ -200,6 +213,8 @@ def _job_iterations(result) -> int | None:
 def format_job_line(result) -> str:
     """One streaming progress line for a completed campaign job."""
     extras = []
+    if getattr(result, "cached", False):
+        extras.append("cached")
     iterations = _job_iterations(result)
     if iterations is not None:
         extras.append(f"{iterations} iters")
@@ -207,6 +222,8 @@ def format_job_line(result) -> str:
         extras.append(f"seeded({len(result.seeded)})")
     if result.reran_unseeded:
         extras.append("reran-unseeded")
+    if result.stats.candidates_pruned_by_sim:
+        extras.append(f"sim-pruned({result.stats.candidates_pruned_by_sim})")
     suffix = f"  [{', '.join(extras)}]" if extras else ""
     return (
         f"[{result.job.index:>3}] {result.job.label():<36} "

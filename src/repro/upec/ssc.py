@@ -181,6 +181,7 @@ def upec_ssc(
     incremental: bool = True,
     miter: UpecMiter | None = None,
     seed_removed: set[str] | None = None,
+    preprocess=None,
 ) -> SscResult:
     """Run Algorithm 1 on a design.
 
@@ -203,6 +204,11 @@ def upec_ssc(
             through :func:`seedable_removals` so only locally transient
             variables are stripped.  The dropped names are recorded on
             the result as ``seeded_removed``.
+        preprocess: a :class:`~repro.sat.preprocess.PreprocessConfig`
+            (or bool/dict) selecting the reduction pipeline the miter
+            session runs between encoding and SAT search; the verdict
+            trajectory is identical either way.  Ignored when an
+            existing ``miter`` is passed (its configuration wins).
 
     Returns:
         The verdict with per-iteration statistics; on ``vulnerable`` the
@@ -211,7 +217,8 @@ def upec_ssc(
     classifier = classifier or (miter.classifier if miter is not None
                                 else StateClassifier(threat_model))
     if miter is None:
-        miter = UpecMiter(threat_model, classifier, incremental=incremental)
+        miter = UpecMiter(threat_model, classifier, incremental=incremental,
+                          preprocess=preprocess)
     s = set(initial_s) if initial_s is not None else classifier.s_not_victim()
     seeded: set[str] = set()
     if seed_removed:

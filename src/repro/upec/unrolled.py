@@ -117,6 +117,7 @@ def upec_ssc_unrolled(
     incremental: bool = True,
     initial_s: set[str] | None = None,
     seed_removed: set[str] | None = None,
+    preprocess=None,
 ) -> UnrolledResult:
     """Run Algorithm 2 on a design.
 
@@ -137,6 +138,11 @@ def upec_ssc_unrolled(
             names to drop from the starting frames up front, filtered
             through :func:`repro.upec.ssc.seedable_removals` so only
             locally transient variables are stripped.
+        preprocess: a :class:`~repro.sat.preprocess.PreprocessConfig`
+            (or bool/dict) selecting the reduction pipeline — most
+            importantly the intermediate-frame substitution that keeps
+            the k >= 2 obligations small.  The verdict trajectory is
+            identical with preprocessing on or off.
 
     Returns:
         Verdict plus the evolved ``S[]`` vector and per-iteration records;
@@ -144,7 +150,8 @@ def upec_ssc_unrolled(
         signal explicitly.
     """
     classifier = classifier or StateClassifier(threat_model)
-    miter = UpecMiter(threat_model, classifier, incremental=incremental)
+    miter = UpecMiter(threat_model, classifier, incremental=incremental,
+                      preprocess=preprocess)
     s_start = (set(initial_s) if initial_s is not None
                else classifier.s_not_victim())
     seeded: set[str] = set()

@@ -23,6 +23,7 @@ The legacy entry points (``repro.upec_ssc``, ``repro.upec_ssc_unrolled``,
 the same engine.
 """
 
+from ..sat.preprocess import PreprocessConfig
 from .api import Verifier, default_cache, set_default_cache, verify
 from .cache import VerdictCache, cache_key
 from .engine import execute
@@ -52,6 +53,7 @@ __all__ = [
     "VULNERABLE",
     "UNKNOWN",
     "TIMEOUT",
+    "PreprocessConfig",
     "VerificationRequest",
     "Verdict",
     "VerdictCache",

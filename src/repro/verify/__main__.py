@@ -75,6 +75,7 @@ def _run(args) -> int:
         threat_overrides={name: False for name in args.threat_strip or ()},
         record_trace=not args.no_trace,
         use_cache=not args.no_cache,
+        preprocess=not args.no_preprocess,
     )
     cache = VerdictCache(args.cache_dir) if args.cache_dir else None
     verdict = verify(request, cache=cache)
@@ -123,6 +124,9 @@ def main(argv=None) -> int:
     )
     run.add_argument("--no-trace", action="store_true",
                      help="skip counterexample trace decoding")
+    run.add_argument("--no-preprocess", action="store_true",
+                     help=("disable the preprocessing/pruning pipeline "
+                           "(verdict-identical, only slower)"))
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the verdict cache")
     run.add_argument("--cache-dir", metavar="PATH", default=None,

@@ -67,6 +67,10 @@ def _request_key(request: VerificationRequest, hints=None) -> str | None:
             "max_iterations": request.max_iterations,
             "seed_removed": list(request.seed_removed),
             "induction_k": request.induction_k,
+            # Stats/detail differ between pipeline settings even though
+            # verdicts do not, and cached payloads replay bit-for-bit —
+            # so the setting is part of the content address.
+            "preprocess": request.preprocess.to_dict(),
         },
     )
 
@@ -100,6 +104,7 @@ def verify(request=None, *, cache: VerdictCache | None = None, **kwargs) -> Verd
         if payload is not None:
             verdict = Verdict.from_dict(payload)
             verdict.cached = True
+            verdict.provenance["cache_hit"] = True
             return verdict
     verdict = execute(request)
     if key is not None:
@@ -165,12 +170,15 @@ class Verifier:
             if payload is not None:
                 verdict = Verdict.from_dict(payload)
                 verdict.cached = True
+                verdict.provenance["cache_hit"] = True
                 self.history.append(verdict)
                 return verdict
         miter = None
         if method == "alg1":
-            if self._miter is None:
-                self._miter = UpecMiter(self.threat_model, self.classifier)
+            if self._miter is None \
+                    or self._miter.preprocess != request.preprocess:
+                self._miter = UpecMiter(self.threat_model, self.classifier,
+                                        preprocess=request.preprocess)
             miter = self._miter
         verdict = execute(
             request,

@@ -65,6 +65,12 @@ def _provenance(request: VerificationRequest) -> dict:
         "method": request.method,
         "depth": request.depth,
         "version": __version__,
+        # Which reductions ran (the pipeline never changes verdicts,
+        # but cost profiles are only comparable within one setting).
+        "preprocess": request.preprocess.provenance(),
+        # Overwritten to True when a cached payload answers the
+        # question (campaign reports distinguish solved vs replayed).
+        "cache_hit": False,
     }
 
 
@@ -131,6 +137,7 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
                     record_trace=request.record_trace,
                     miter=miter,
                     seed_removed=seed,
+                    preprocess=request.preprocess,
                 )
             return upec_ssc_unrolled(
                 tm, classifier,
@@ -138,6 +145,7 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
                 max_iterations=request.max_iterations,
                 record_trace=request.record_trace,
                 seed_removed=seed,
+                preprocess=request.preprocess,
             )
 
         result = run(seed_removed or None)
@@ -182,7 +190,8 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
             from ..formal.bmc import bmc
 
             check = bmc(soc.circuit, all_of(invariants), depth=request.depth,
-                        assumptions=assumptions)
+                        assumptions=assumptions,
+                        preprocess=request.preprocess)
             detail: dict = {"failing_cycle": check.failing_cycle}
             if request.record_trace and check.trace is not None:
                 detail["trace"] = check.trace.to_dict()
@@ -192,7 +201,8 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
 
         max_k = max(request.depth, seed_k or 0)
         proof = find_induction_depth(
-            soc.circuit, invariants, max_k=max_k, assumptions=assumptions
+            soc.circuit, invariants, max_k=max_k, assumptions=assumptions,
+            preprocess=request.preprocess,
         )
         return verdict(
             "proved" if proof.proved else "unproved",
@@ -211,12 +221,16 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
         ift = bounded_ift_check(
             tm, classifier, depth=request.depth,
             victim_page=_ift_victim_page(tm, soc),
+            preprocess=request.preprocess,
         )
         return verdict(
             "flow" if ift.flows else "no-flow",
             leaking=set(ift.tainted_sinks),
             stats=CheckStats(aig_nodes=ift.aig_nodes,
-                             solve_seconds=ift.solve_seconds, sat_calls=1),
+                             solve_seconds=ift.solve_seconds, sat_calls=1,
+                             preprocess_s=ift.preprocess_s,
+                             vars_eliminated=ift.vars_eliminated,
+                             clauses_subsumed=ift.clauses_subsumed),
             detail={"tainted_sinks": sorted(ift.tainted_sinks),
                     "depth": ift.depth},
         )

@@ -18,6 +18,7 @@ import importlib
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..sat.preprocess import PreprocessConfig
 from ..soc.config import BASE_CONFIGS, SocConfig, named_config
 from ..upec.threat_model import ThreatModel
 
@@ -195,6 +196,12 @@ class VerificationRequest:
             to at least this ``k``.
         use_cache: consult/populate the verdict cache (when one is in
             effect and the design is fingerprint-stable).
+        preprocess: the reduction pipeline configuration
+            (:class:`~repro.sat.preprocess.PreprocessConfig`, a dict of
+            its fields, or a bool).  Defaults to everything on; the
+            verdict — status, leaking set, counterexample validity — is
+            identical with preprocessing on or off, only the cost
+            profile changes.
         label: free-form display label carried into the verdict.
     """
 
@@ -207,6 +214,7 @@ class VerificationRequest:
     seed_removed: tuple = ()
     induction_k: int | None = None
     use_cache: bool = True
+    preprocess: PreprocessConfig | None = None
     label: str | None = None
 
     def __post_init__(self) -> None:
@@ -217,6 +225,7 @@ class VerificationRequest:
         if not isinstance(self.design, ThreatModel):
             self.design = normalize_design(self.design)
         self.seed_removed = tuple(sorted(self.seed_removed))
+        self.preprocess = PreprocessConfig.coerce(self.preprocess)
 
     # -- identity ------------------------------------------------------------
 
@@ -253,6 +262,7 @@ class VerificationRequest:
             "seed_removed": list(self.seed_removed),
             "induction_k": self.induction_k,
             "use_cache": self.use_cache,
+            "preprocess": self.preprocess.to_dict(),
             "label": self.label,
         }
 
@@ -261,7 +271,7 @@ class VerificationRequest:
         known = {
             "design", "method", "depth", "threat_overrides", "record_trace",
             "max_iterations", "seed_removed", "induction_k", "use_cache",
-            "label",
+            "preprocess", "label",
         }
         unknown = set(data) - known
         if unknown:

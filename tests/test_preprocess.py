@@ -1,0 +1,414 @@
+"""The preprocessing & pruning pipeline.
+
+Property tests pin the exactness contracts of every stage:
+
+* :class:`~repro.sat.preprocess.CnfSimplifier` — bounded variable
+  elimination + subsumption + self-subsuming resolution preserve
+  SAT/UNSAT on random CNFs, and reconstructed models satisfy the
+  *original* formula (frozen variables survive untouched);
+* :mod:`repro.aig.coi` — cone extraction preserves evaluation semantics
+  and satisfiability of the roots; register COI is a sound dependency
+  closure;
+* :mod:`repro.aig.bitsim` — lane simulation agrees with
+  :meth:`Aig.evaluate`, candidate detection never lies once proven, and
+  constraint-repaired lanes genuinely satisfy the constraints;
+* end-to-end — every verification method returns identical verdicts,
+  leaking sets and counterexample shapes with the pipeline on and off,
+  on the FORMAL_TINY baseline and the DMA-only (no-HWPE) variant.
+"""
+
+import random
+
+import pytest
+
+from repro import FORMAL_TINY
+from repro.aig import (
+    Aig,
+    BitSim,
+    cone_stats,
+    constant_candidates,
+    equivalence_candidates,
+    extract,
+    prove_constant,
+    prove_equivalent,
+    reg_coi,
+)
+from repro.aig.cnf import CnfEncoder
+from repro.rtl import Circuit, mux
+from repro.sat import CnfSimplifier, PreprocessConfig, SimplifyingSolver, Solver
+from repro.verify import VerificationRequest, verify
+
+# -- CNF simplification ------------------------------------------------------
+
+
+def random_cnf(rng, max_vars=14, max_clauses=60):
+    n = rng.randint(4, max_vars)
+    clauses = [
+        [rng.choice([-1, 1]) * rng.randint(1, n)
+         for _ in range(rng.randint(1, 4))]
+        for _ in range(rng.randint(4, max_clauses))
+    ]
+    return n, clauses
+
+
+def test_simplifier_preserves_sat_unsat_and_models():
+    rng = random.Random(11)
+    for _ in range(150):
+        n, clauses = random_cnf(rng)
+        reference = Solver()
+        reference.ensure_vars(n)
+        reference.add_clauses(clauses)
+        expected = reference.solve()
+
+        simplified = SimplifyingSolver(
+            PreprocessConfig(cnf_min_clauses=0)
+        )
+        simplified.ensure_vars(n)
+        simplified.add_clauses(clauses)
+        assert simplified.solve() == expected
+        if expected:
+            for clause in clauses:
+                assert any(simplified.value(lit) for lit in clause)
+
+
+def test_simplifier_respects_assumptions():
+    rng = random.Random(12)
+    for _ in range(80):
+        n, clauses = random_cnf(rng)
+        assumptions = [rng.choice([-1, 1]) * rng.randint(1, n)
+                       for _ in range(rng.randint(0, 3))]
+        reference = Solver()
+        reference.ensure_vars(n)
+        reference.add_clauses(clauses)
+        expected = reference.solve(assumptions)
+        simplified = SimplifyingSolver(PreprocessConfig(cnf_min_clauses=0))
+        simplified.ensure_vars(n)
+        simplified.add_clauses(clauses)
+        assert simplified.solve(assumptions) == expected
+
+
+def test_simplifier_frozen_variables_survive():
+    # x1 is the AND of x2/x3; frozen variables are never eliminated, so
+    # clauses added after simplification may still constrain them.
+    clauses = [[-1, 2], [-1, 3], [1, -2, -3]]
+    for goal in ([1], [-1]):
+        solver = SimplifyingSolver(
+            PreprocessConfig(cnf_min_clauses=0), frozen=[1]
+        )
+        solver.ensure_vars(3)
+        solver.add_clauses(clauses)
+        assert solver.solve() is True       # triggers simplification
+        assert solver.add_clause(goal)      # frozen: still addressable
+        assert solver.solve() is True
+        assert solver.value(goal[0])
+        for clause in clauses:              # reconstructed model is exact
+            assert any(solver.value(lit) for lit in clause)
+
+
+def test_simplifier_reports_reductions():
+    # (a | b) subsumes (a | b | c); BVE removes the pure definition d.
+    simp = CnfSimplifier(
+        4,
+        [[1, 2], [1, 2, 3], [-4, 1], [4, -1]],
+    )
+    stats = simp.simplify()
+    assert stats.clauses_subsumed >= 1
+    assert stats.vars_eliminated >= 1
+    assert stats.clauses_out < stats.clauses_in
+
+
+def test_simplifying_solver_skips_small_formulas_by_default():
+    solver = SimplifyingSolver()  # default threshold: 25k clauses
+    solver.add_clause([1, 2])
+    solver.add_clause([-1])
+    assert solver.solve() is True
+    assert solver.simplify_stats is None  # pass skipped, clauses loaded raw
+    assert solver.value(2)
+
+
+def test_preprocess_config_round_trips_every_field():
+    config = PreprocessConfig(cnf_min_clauses=7, bitsim_patterns=32,
+                              bve_grow=2, coi=False)
+    assert PreprocessConfig.from_dict(config.to_dict()) == config
+    # Every dataclass field serializes (a new knob must never silently
+    # fall out of the verdict cache's content address).
+    assert set(config.to_dict()) == set(PreprocessConfig.__dataclass_fields__)
+
+
+def test_simplifying_solver_rejects_eliminated_assumptions():
+    # x4 is a pure definition and gets eliminated; assuming it later
+    # must fail loudly instead of answering from an unconstrained var.
+    solver = SimplifyingSolver(PreprocessConfig(cnf_min_clauses=0))
+    solver.ensure_vars(4)
+    solver.add_clauses([[1, 2], [-4, 1], [4, -1], [2, 3]])
+    assert solver.solve() is True
+    if 4 in solver._simplifier.eliminated_vars():
+        with pytest.raises(RuntimeError, match="eliminated"):
+            solver.solve([4])
+
+
+def test_campaign_spec_normalizes_preprocess_config():
+    import json as json_mod
+
+    from repro.campaign import CampaignSpec
+
+    spec = CampaignSpec(preprocess=PreprocessConfig(bitsim_patterns=128))
+    json_mod.dumps(spec.to_dict())  # serializable end to end
+    job = spec.expand()[0]
+    json_mod.dumps(job.to_dict())
+    assert job.preprocess["bitsim_patterns"] == 128
+
+
+# -- AIG cone-of-influence ---------------------------------------------------
+
+
+def random_aig(rng, n_inputs=8, n_gates=40):
+    aig = Aig()
+    lits = [aig.new_input(f"i{k}") for k in range(n_inputs)]
+    for _ in range(n_gates):
+        a = rng.choice(lits) ^ rng.randint(0, 1)
+        b = rng.choice(lits) ^ rng.randint(0, 1)
+        op = rng.choice(("and", "or", "xor"))
+        lits.append(getattr(aig, f"{op}_")(a, b))
+    return aig, lits
+
+
+def test_coi_extract_preserves_semantics():
+    rng = random.Random(21)
+    for _ in range(25):
+        aig, lits = random_aig(rng)
+        roots = [rng.choice(lits) ^ rng.randint(0, 1) for _ in range(3)]
+        reduction = extract(aig, roots)
+        assert reduction.aig.num_nodes() <= aig.num_nodes()
+        # Random joint evaluations agree through the literal map.
+        inputs = [n for n in range(1, aig.num_nodes()) if aig.is_input(n)]
+        for _ in range(10):
+            values = {n: rng.randint(0, 1) for n in inputs}
+            got = aig.evaluate(roots, values)
+            mapped = {
+                reduction.map(2 * n) >> 1: v for n, v in values.items()
+                if 2 * n in reduction.lit_map
+            }
+            reduced = reduction.aig.evaluate(
+                [reduction.map(r) for r in roots], mapped
+            )
+            assert [v & 1 for v in got] == [v & 1 for v in reduced]
+
+
+def test_coi_extract_preserves_satisfiability():
+    rng = random.Random(22)
+    for _ in range(15):
+        aig, lits = random_aig(rng)
+        root = rng.choice(lits)
+        for target in (root, root ^ 1):
+            solver_full = Solver()
+            enc_full = CnfEncoder(aig, solver_full)
+            solver_full.add_clause([enc_full.lit(target)])
+            reduction = extract(aig, [target])
+            solver_red = Solver()
+            enc_red = CnfEncoder(reduction.aig, solver_red)
+            solver_red.add_clause([enc_red.lit(reduction.map(target))])
+            assert solver_full.solve() == solver_red.solve()
+
+
+def test_cone_stats_counts():
+    aig = Aig()
+    a, b, c = (aig.new_input(x) for x in "abc")
+    used = aig.and_(a, b)
+    aig.and_(used, c)  # second gate, also in graph
+    aig.and_(aig.new_input("d"), aig.new_input("e"))  # out-of-cone gate
+    stats = cone_stats(aig, [used])
+    assert stats.cone_ands == 1
+    assert stats.cone_inputs == 2
+    assert stats.dropped_nodes > 0
+
+
+def test_reg_coi_closure():
+    c = Circuit("coi-toy")
+    x = c.add_input("x", 1)
+    scope = c.scope("top")
+    a = scope.reg("a", 1)
+    b = scope.reg("b", 1)
+    isolated = scope.reg("isolated", 1)
+    c.set_next(a, mux(x, b, a))   # a depends on b
+    c.set_next(b, b)
+    c.set_next(isolated, isolated)
+    cone = reg_coi(c, [a])
+    assert a.name in cone and b.name in cone
+    assert isolated.name not in cone
+
+
+# -- bitwise-parallel simulation ---------------------------------------------
+
+
+def test_bitsim_matches_evaluate():
+    rng = random.Random(31)
+    aig, lits = random_aig(rng)
+    sim = BitSim(aig, num_patterns=64, seed=5)
+    roots = lits[-6:]
+    words = sim.words(roots)
+    inputs = [n for n in range(1, aig.num_nodes()) if aig.is_input(n)]
+    for lane in (0, 13, 63):
+        values = {n: (sim.word(2 * n) >> lane) & 1 for n in inputs}
+        expected = [v & 1 for v in aig.evaluate(roots, values)]
+        got = [(w >> lane) & 1 for w in words]
+        assert got == expected
+
+
+def test_bitsim_candidates_and_proofs():
+    aig = Aig()
+    a = aig.new_input("a")
+    b = aig.new_input("b")
+    assert aig.and_(a, a ^ 1) == 0         # structural collapse to FALSE
+    # Semantically constant but structurally non-trivial: the full
+    # minterm cover of (a, b) is TRUE, yet strashing keeps the nodes.
+    cover = aig.or_many([
+        aig.and_(a, b), aig.and_(a, b ^ 1),
+        aig.and_(a ^ 1, b), aig.and_(a ^ 1, b ^ 1),
+    ])
+    assert cover != 1
+    # Same function, different structure: a ^ b vs (a|b) & !(a&b).
+    xor1 = aig.xor_(a, b)
+    xor2 = aig.and_(aig.or_(a, b), aig.and_(a, b) ^ 1)
+    sim = BitSim(aig, seed=3)
+    consts = constant_candidates(sim, [cover, xor1])
+    assert consts.get(cover) == 1
+    assert prove_constant(aig, cover, 1)
+    assert not prove_constant(aig, xor1, 1)
+    groups = equivalence_candidates(sim, [xor1, xor2, a])
+    assert any(
+        {xor1, xor2} <= set(g) or {xor1 ^ 1, xor2 ^ 1} <= set(g)
+        for g in groups
+    )
+    assert prove_equivalent(aig, xor1, xor2)
+    assert not prove_equivalent(aig, a, b)
+
+
+def test_bitsim_satisfy_mask_is_exact():
+    rng = random.Random(41)
+    aig, lits = random_aig(rng, n_inputs=10, n_gates=60)
+    constraints = [rng.choice(lits) for _ in range(4)]
+    sim = BitSim(aig, seed=7)
+    mask = sim.satisfy(constraints)
+    for lit in constraints:
+        word = sim.word(lit)
+        assert word & mask == mask  # every surviving lane satisfies it
+
+
+def test_bitsim_alias_and_reseed():
+    aig = Aig()
+    a = aig.new_input("a")
+    b = aig.new_input("b")
+    eq = aig.eq_(a, b)
+    sim = BitSim(aig, seed=9)
+    sim.alias(b >> 1, a)
+    assert sim.word(eq) == sim.mask  # aliased: equality holds in all lanes
+    # Reseeding keeps lane 0 on the base assignment and aliases intact.
+    sim.reseed({a >> 1: True}, jitter=[a >> 1, b >> 1])
+    assert sim.word(a) & 1
+    assert sim.word(eq) == sim.mask
+
+
+# -- deep unrolling: the intermediate-frame substitution ---------------------
+
+
+def delayed_threat_model(vulnerable: bool):
+    """A BUSted-shaped toy: the victim access is latched one cycle
+    before it reaches persistent state, so Algorithm 2 needs k = 2 —
+    exactly the window where the reduced (substituted) obligation is
+    used."""
+    from repro.upec import ThreatModel, VictimPort
+
+    c = Circuit(f"preproc-delayed-{vulnerable}")
+    v_valid = c.add_input("v_valid", 1)
+    c.add_input("v_addr", 4)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 4)
+    c.add_input("victim_page", 2)
+    soc = c.scope("soc")
+    stage = soc.child("xbar").reg("stage", 1, kind="interconnect")
+    c.set_next(stage, v_valid)
+    if vulnerable:
+        count = soc.child("spy").reg("count", 4, kind="ip")
+        c.set_next(count, mux(stage, count + 1, count))
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=2,
+    )
+
+
+@pytest.mark.parametrize("vulnerable", [True, False])
+def test_deep_unrolling_substitution_is_verdict_identical(vulnerable):
+    from repro.upec.unrolled import upec_ssc_unrolled
+
+    on = upec_ssc_unrolled(delayed_threat_model(vulnerable), max_depth=4)
+    off = upec_ssc_unrolled(delayed_threat_model(vulnerable), max_depth=4,
+                            preprocess=False)
+    assert on.verdict == off.verdict
+    assert on.reached_depth == off.reached_depth == 2  # substitution ran
+    assert on.leaking == off.leaking
+    assert [(r.unroll_depth, sorted(r.removed)) for r in on.iterations] == \
+        [(r.unroll_depth, sorted(r.removed)) for r in off.iterations]
+    if vulnerable:
+        assert on.verdict == "vulnerable"
+        cex_on, cex_off = on.counterexample, off.counterexample
+        assert cex_on.frame == cex_off.frame == 2
+        assert cex_on.diff_names == cex_off.diff_names == {"soc.spy.count"}
+        # The decoded trace is a real behaviour: the counter genuinely
+        # diverges at the prove cycle (model reconstruction is exact).
+        assert cex_on.trace_a.value(2, "soc.spy.count") != \
+            cex_on.trace_b.value(2, "soc.spy.count")
+    else:
+        assert on.verdict == "secure"
+
+
+# -- end-to-end: verdict equivalence across all methods ----------------------
+
+DMA_VARIANT = FORMAL_TINY.replace(include_hwpe=False)
+
+METHOD_KWARGS = {
+    "alg1": {"depth": 1},
+    "alg2": {"depth": 3},
+    "bmc": {"depth": 2},
+    "k-induction": {"depth": 3},
+    "ift-baseline": {"depth": 2},
+}
+
+
+@pytest.mark.parametrize("config_name,config",
+                         [("baseline", FORMAL_TINY), ("dma", DMA_VARIANT)])
+@pytest.mark.parametrize("method", sorted(METHOD_KWARGS))
+def test_methods_verdict_identical_with_and_without_preprocess(
+    config_name, config, method
+):
+    kwargs = METHOD_KWARGS[method]
+    on = verify(VerificationRequest(
+        design=config, method=method, record_trace=True, use_cache=False,
+        **kwargs,
+    ))
+    off = verify(VerificationRequest(
+        design=config, method=method, record_trace=True, use_cache=False,
+        preprocess=False, **kwargs,
+    ))
+    assert on.status == off.status
+    assert on.raw_verdict == off.raw_verdict
+    assert on.leaking == off.leaking
+    # Counterexample presence must agree; when both decode traces the
+    # diverging-state sets coincide (the closure is canonical).
+    assert (on.counterexample is None) == (off.counterexample is None)
+    inner_on = on.detail.get("result")
+    inner_off = off.detail.get("result")
+    if inner_on and inner_off:
+        assert inner_on.get("final_s") == inner_off.get("final_s")
+        assert ([i["removed"] for i in inner_on.get("iterations", [])]
+                == [i["removed"] for i in inner_off.get("iterations", [])])
+        cex_on = inner_on.get("counterexample")
+        cex_off = inner_off.get("counterexample")
+        if cex_on and cex_off:
+            assert cex_on["diff_names"] == cex_off["diff_names"]
+            assert cex_on["frame"] == cex_off["frame"]
+    # Provenance records which reductions ran.
+    assert on.provenance["preprocess"]["coi"] is True
+    assert off.provenance["preprocess"]["coi"] is False

@@ -242,12 +242,29 @@ def test_session_extends_depth_in_place():
 
 def test_check_stats_split_encode_vs_solve():
     tm = toy_chain()
-    result = upec_ssc(tm)
+    result = upec_ssc(tm, preprocess=False)
     rec = result.iterations[0]
     assert rec.stats.encode_seconds >= 0.0
     assert rec.stats.solve_seconds > 0.0
     assert rec.stats.sat_calls >= 2  # closure = at least SAT + exhaustion
     assert rec.stats.build_seconds == rec.stats.encode_seconds
+    assert rec.stats.preprocess_s == 0.0
+    assert rec.stats.candidates_pruned_by_sim == 0
+
+
+def test_check_stats_preprocessed_path():
+    # With the pipeline on, simulation may answer closure candidates
+    # without SAT calls — but the witness solve still runs (the
+    # counterexample trace is decoded from a real model) and the
+    # preprocessing time lands in its own bucket.
+    tm = toy_chain()
+    result = upec_ssc(tm)
+    rec = result.iterations[0]
+    assert rec.stats.sat_calls >= 1
+    assert rec.stats.preprocess_s >= 0.0
+    baseline = upec_ssc(toy_chain(), preprocess=False)
+    assert result.verdict == baseline.verdict
+    assert result.leaking == baseline.leaking
 
 
 def spy_toy():

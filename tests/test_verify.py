@@ -282,6 +282,10 @@ def test_verify_cache_hits_are_bit_identical():
     assert not cold.cached and warm.cached
     a, b = cold.to_dict(), warm.to_dict()
     assert a.pop("cached") is False and b.pop("cached") is True
+    # ``cache_hit`` in provenance is the one sanctioned difference: it
+    # lets campaign reports tell a solved job from a replayed one.
+    assert a["provenance"].pop("cache_hit") is False
+    assert b["provenance"].pop("cache_hit") is True
     assert a == b
     # A different depth is a different content address.
     other = verify(VerificationRequest(design=FORMAL_TINY, method="bmc",
