@@ -1,0 +1,54 @@
+"""Repair-loop smoke benchmark: FORMAL_TINY baseline to SECURE.
+
+The CI ``repair-smoke`` job runs this module: the closed repair loop on
+the vulnerable FORMAL_TINY baseline must reach a SECURE final verdict,
+and the full trajectory (patch → verdict → cost) is published as
+``BENCH_repair_smoke.json`` via the shared :mod:`bench_io` helper so
+the repair loop's cost is diffable across PRs.
+"""
+
+import time
+
+from bench_io import record_bench
+
+from repro.repair import RepairRequest, repair
+
+
+def test_repair_smoke_secures_formal_tiny(capsys):
+    start = time.perf_counter()
+    report = repair(RepairRequest(design="FORMAL_TINY"))
+    wall = time.perf_counter() - start
+
+    assert report.base.status == "VULNERABLE"
+    assert report.secured, (
+        f"repair smoke failed: final status {report.final_status}"
+    )
+    assert report.replay and report.replay["ok"]
+
+    stats = report.base.stats
+    for attempt in report.attempts:
+        stats.add(attempt.verdict.stats)
+    path = record_bench(
+        "repair_smoke",
+        method="repair",
+        variant="baseline",
+        depth=1,
+        wall_s=wall,
+        stats=stats,
+        extra={
+            "attempts": len(report.attempts),
+            "winning_patch": report.recommendation["added"],
+            "trajectory": [
+                {
+                    "patch": list(a.added),
+                    "verdict": a.verdict.status,
+                    "seconds": round(a.verdict.seconds, 3),
+                }
+                for a in report.attempts
+            ],
+        },
+    )
+    with capsys.disabled():
+        print()
+        print(report.format_report())
+        print(f"\nperf record: {path}")

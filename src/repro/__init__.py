@@ -13,8 +13,10 @@ with every substrate it needs:
 * :mod:`repro.verify` — the unified public API: one
   :class:`VerificationRequest` in, one :class:`Verdict` out, for every
   method (alg1, alg2, bmc, k-induction, ift-baseline);
+* :mod:`repro.repair` — the closed repair loop: leak localization,
+  parameterized countermeasure transforms, re-verification to SECURE;
 * :mod:`repro.campaign` — declarative grids on pluggable executors
-  (serial / fork / spawn / TCP workers);
+  (serial / fork / spawn / TCP workers), including repair-mode runs;
 * :mod:`repro.soc` — a Pulpissimo-style MCU SoC case study (CPU, DMA,
   HWPE accelerator, timer, UART, GPIO, SPI, two memories, crossbar);
 * :mod:`repro.sim` — a cycle-accurate simulator and testbench tools;
@@ -40,6 +42,7 @@ the same engines :func:`verify` drives.
 import warnings as _warnings
 
 from .campaign import CampaignSpec, paper_spec, run_campaign
+from .repair import RepairReport, RepairRequest, repair
 from .soc import (
     ATTACK_DEMO,
     FORMAL_SMALL,
@@ -67,7 +70,7 @@ from .verify import (
     verify,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Legacy entry points: top-level name -> (module, attribute, replacement).
 #: Accessing one emits a DeprecationWarning and forwards to the original
@@ -136,6 +139,9 @@ __all__ = [
     "VerdictCache",
     "Verifier",
     "verify",
+    "RepairReport",
+    "RepairRequest",
+    "repair",
     # deprecated shims (emit DeprecationWarning on access):
     "upec_ssc",
     "upec_ssc_unrolled",

@@ -41,6 +41,7 @@ from .grids import (
     paper_variant,
     smoke_spec,
 )
+from .repair import repairable_jobs, run_repair_campaign
 from .runner import (
     CampaignResult,
     JobResult,
@@ -71,7 +72,9 @@ __all__ = [
     "paper_variant",
     "smoke_spec",
     "register_builder",
+    "repairable_jobs",
     "request_from_job",
     "run_campaign",
     "run_job",
+    "run_repair_campaign",
 ]

@@ -25,6 +25,8 @@ import pathlib
 import sys
 
 from ..upec.report import campaign_summary, format_campaign, format_job_line
+from ..verify.__main__ import add_preprocess_arguments, \
+    parse_preprocess_arguments
 from ..verify.cache import VerdictCache
 from .executors import EXECUTOR_NAMES, make_executor
 from .grids import paper_spec, smoke_spec
@@ -92,12 +94,7 @@ def main(argv=None) -> int:
         help=("persistent verdict cache directory (default: in-memory "
               "for this run only)"),
     )
-    parser.add_argument(
-        "--no-preprocess", action="store_true",
-        help=("disable the preprocessing/pruning pipeline (COI "
-              "reduction, CNF simplification, simulation pruning); "
-              "verdicts are identical, only slower"),
-    )
+    add_preprocess_arguments(parser)
     parser.add_argument(
         "--traces", action="store_true",
         help="decode counterexample traces into the artifact",
@@ -131,8 +128,13 @@ def main(argv=None) -> int:
         spec.hints = args.hints
     if args.traces:
         spec.record_traces = True
-    if args.no_preprocess:
-        spec.preprocess = False
+    try:
+        preprocess = parse_preprocess_arguments(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if preprocess is not None:
+        spec.preprocess = preprocess.to_dict()
 
     executor_name = args.executor or ("serial" if args.workers <= 0
                                       else "fork")

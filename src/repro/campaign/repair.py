@@ -1,0 +1,89 @@
+"""Repair-mode campaigns: secure every vulnerable cell of a grid.
+
+Runs (or accepts) a campaign's verification results, then drives the
+closed repair loop (:func:`repro.repair.repair`) on every vulnerable
+Algorithm 1/2 cell that names a SoC design.  Each cell's
+patch → verdict trajectory comes back as a
+:class:`~repro.repair.RepairReport`; the report layer renders them
+with :func:`repro.upec.report.format_repair_campaign`.
+
+Patched designs carry their countermeasures in ``SocConfig`` — each
+gets a distinct ``variant_id()``, so the verdict cache shared with the
+original campaign never confuses patched and unpatched cells.
+"""
+
+from __future__ import annotations
+
+from ..repair.engine import RepairRequest, repair
+from ..verify.request import resolve_design_config
+from .runner import run_campaign
+from .spec import CampaignSpec
+
+__all__ = ["repairable_jobs", "run_repair_campaign"]
+
+#: Verdicts the repair loop acts on, per method.
+_REPAIRABLE = {"alg1": "vulnerable", "alg2": "vulnerable"}
+
+
+def repairable_jobs(results) -> list:
+    """The vulnerable Algorithm 1/2 SoC cells of a result list."""
+    out = []
+    for result in results:
+        job = result.job
+        if _REPAIRABLE.get(job.algorithm) != result.verdict:
+            continue
+        if resolve_design_config(job.design) is None:
+            continue  # builder designs cannot be patched
+        out.append(result)
+    return out
+
+
+def run_repair_campaign(
+    spec: CampaignSpec,
+    max_candidates: int = 6,
+    allow: tuple = (),
+    preprocess=None,
+    cache=None,
+    workers: int = 0,
+    on_result=None,
+    on_cell=None,
+) -> list:
+    """Verify a grid, then repair every vulnerable cell.
+
+    Args:
+        spec: the campaign grid to verify and repair.
+        max_candidates / allow / preprocess: forwarded to every
+            :class:`~repro.repair.RepairRequest`.
+        cache: verdict cache shared by the verification campaign and
+            all repair verifications.  Patched-design re-verifications
+            that recur across cells are answered from it; each cell's
+            *base* verdict is re-established with traces recorded
+            (replay and divergence localization need them), which is a
+            different content key from the campaign's traceless run.
+        workers: campaign worker processes (0 = in-process serial).
+        on_result: streamed verification :class:`JobResult` callback.
+        on_cell: called with ``(label, RepairReport)`` per repaired cell.
+
+    Returns:
+        ``[(job label, RepairReport), ...]`` in job-index order.
+    """
+    campaign = run_campaign(spec, workers=workers, on_result=on_result,
+                            cache=cache)
+    cells = []
+    for result in repairable_jobs(campaign.results):
+        job = result.job
+        request = RepairRequest(
+            design=job.design,
+            method=job.algorithm,
+            depth=job.depth,
+            threat_overrides=dict(job.threat_overrides),
+            max_candidates=max_candidates,
+            allow=allow,
+            preprocess=preprocess if preprocess is not None
+            else job.preprocess,
+        )
+        report = repair(request, cache=cache)
+        cells.append((job.label(), report))
+        if on_cell:
+            on_cell(job.label(), report)
+    return cells

@@ -1,0 +1,44 @@
+"""repro.repair — the closed repair loop: diagnose, patch, re-verify.
+
+The paper closes with "a UPEC-SCC driven design methodology leading to
+new and less conservative countermeasures" (Sec. 4.2 / conclusion); Wu
+& Schaumont's program-repair work shows the right loop shape —
+detect, localize, patch, re-verify — and this package ports that loop
+to the hardware layer:
+
+1. a VULNERABLE :class:`~repro.verify.Verdict` comes in (and its
+   counterexample is concretely validated on the simulator via
+   :meth:`~repro.verify.Verdict.replay`);
+2. the :class:`LeakLocalizer` ranks implicated fabric elements by
+   structural distance from the victim interface and by how many
+   leaking state bits each element's fanout cone covers;
+3. the countermeasure registry proposes parameterized structural
+   transforms (:mod:`repro.soc.countermeasures`) against the
+   highest-ranked elements — interface blackboxing of any initiator,
+   fixed-slot TDM crossbar arbitration, constant-latency read shims;
+4. each patched design — a first-class :class:`~repro.soc.SocConfig`
+   with its own ``variant_id()`` and verdict-cache address — is
+   re-verified through :func:`repro.verify.verify` until SECURE or the
+   candidates are exhausted.
+
+The trajectory (patch → verdict → cost) lands in a
+:class:`RepairReport` with a cheapest-secure recommendation.  Entry
+points: :func:`repair` (also re-exported from :mod:`repro.verify`),
+``python -m repro.repair`` on the command line, and
+:func:`repro.campaign.repair.run_repair_campaign` for whole grids.
+"""
+
+from .countermeasures import TRANSFORM_COSTS, propose_countermeasures
+from .engine import RepairAttempt, RepairReport, RepairRequest, repair
+from .localize import ImplicatedElement, LeakLocalizer
+
+__all__ = [
+    "ImplicatedElement",
+    "LeakLocalizer",
+    "TRANSFORM_COSTS",
+    "propose_countermeasures",
+    "RepairAttempt",
+    "RepairReport",
+    "RepairRequest",
+    "repair",
+]

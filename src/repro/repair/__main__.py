@@ -1,0 +1,165 @@
+"""The repair CLI: diagnose → synthesize countermeasure → re-verify.
+
+Repair one design::
+
+    python -m repro.repair run --design FORMAL_TINY
+    python -m repro.repair run --design FORMAL_TINY --set include_hwpe=false \\
+        --allow block_initiator --json repair.json
+
+Secure every vulnerable cell of a campaign grid::
+
+    python -m repro.repair campaign paper
+    python -m repro.repair campaign examples/specs/paper.json --json out.json
+
+Errors (unknown designs/transforms, bad overrides) print a single-line
+``error:`` diagnostic and exit 2, like the other CLIs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from ..verify.__main__ import _parse_overrides, add_preprocess_arguments, \
+    parse_preprocess_arguments
+
+
+def _run(args) -> int:
+    from ..soc.config import BASE_CONFIGS, named_config
+    from ..upec.report import format_repair_report
+    from ..verify.cache import VerdictCache
+    from .engine import RepairRequest, repair
+
+    if args.design not in BASE_CONFIGS:
+        raise ValueError(
+            f"unknown design {args.design!r}; repair needs a named SoC "
+            f"base config ({', '.join(sorted(BASE_CONFIGS))})"
+        )
+    design = named_config(args.design).replace(**_parse_overrides(args.set))
+    request = RepairRequest(
+        design=design,
+        method=args.method,
+        depth=args.depth,
+        threat_overrides={name: False for name in args.threat_strip or ()},
+        max_candidates=args.max_candidates,
+        allow=tuple(args.allow or ()),
+        try_all=args.try_all,
+        replay=not args.no_replay,
+        use_cache=not args.no_cache,
+        preprocess=parse_preprocess_arguments(args),
+    )
+    cache = VerdictCache(args.cache_dir) if args.cache_dir else None
+
+    def stream(attempt) -> None:
+        print(f"  patch {'+'.join(attempt.added):<44} "
+              f"{attempt.verdict.status}", flush=True)
+
+    print(f"repairing {args.design} ({request.method})...")
+    report = repair(request, cache=cache, on_attempt=stream)
+    print()
+    print(format_repair_report(report))
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"\nJSON report: {path}")
+    return 0 if report.secured else 1
+
+
+def _campaign(args) -> int:
+    from ..campaign.__main__ import load_spec
+    from ..campaign.repair import run_repair_campaign
+    from ..upec.report import format_repair_campaign
+    from ..verify.cache import VerdictCache
+
+    spec = load_spec(args.spec)
+    preprocess = parse_preprocess_arguments(args)
+
+    def stream(label, report) -> None:
+        patch = "+".join(report.recommendation["added"]) \
+            if report.recommendation else "-"
+        print(f"  {label:<36} {report.final_status:<10} {patch}", flush=True)
+
+    print(f"repair campaign {spec.name!r}: securing every vulnerable cell")
+    cells = run_repair_campaign(
+        spec,
+        max_candidates=args.max_candidates,
+        allow=tuple(args.allow or ()),
+        preprocess=preprocess,
+        cache=VerdictCache(args.cache_dir),
+        on_cell=stream,
+    )
+    print()
+    print(format_repair_campaign(cells))
+    if args.json:
+        path = pathlib.Path(args.json)
+        payload = {
+            "spec": spec.to_dict(),
+            "cells": [
+                {"label": label, "report": report.to_dict()}
+                for label, report in cells
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nJSON artifact: {path}")
+    return 0 if all(report.secured for _, report in cells) else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.repair",
+        description="Closed-loop repair: diagnose a timing side channel, "
+                    "apply countermeasure transforms, re-verify to SECURE.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="repair one SoC design")
+    run.add_argument("--design", required=True,
+                     help="named base config (e.g. FORMAL_TINY)")
+    run.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                     help="SocConfig field override (repeatable)")
+    run.add_argument("--method", choices=("alg1", "alg2"), default="alg1")
+    run.add_argument("--depth", type=int, default=3)
+    run.add_argument("--threat-strip", action="append", metavar="ASPECT",
+                     help="threat-model aspect to strip (repeatable)")
+    run.add_argument("--allow", action="append", metavar="TRANSFORM",
+                     help="restrict the registry to these transform names "
+                          "(repeatable)")
+    run.add_argument("--max-candidates", type=int, default=6)
+    run.add_argument("--try-all", action="store_true",
+                     help="verify every candidate instead of stopping at "
+                          "the first SECURE patch")
+    run.add_argument("--no-replay", action="store_true",
+                     help="skip concrete counterexample replay")
+    run.add_argument("--no-cache", action="store_true")
+    run.add_argument("--cache-dir", metavar="PATH", default=None)
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write the repair report as JSON")
+    add_preprocess_arguments(run)
+    run.set_defaults(func=_run)
+
+    campaign = sub.add_parser(
+        "campaign", help="repair every vulnerable cell of a campaign grid"
+    )
+    campaign.add_argument(
+        "spec", help="campaign spec: JSON file path or built-in name")
+    campaign.add_argument("--allow", action="append", metavar="TRANSFORM")
+    campaign.add_argument("--max-candidates", type=int, default=6)
+    campaign.add_argument("--cache-dir", metavar="PATH", default=None,
+                          help="persistent verdict cache directory "
+                               "(default: in-memory for this run)")
+    campaign.add_argument("--json", metavar="PATH", default=None)
+    add_preprocess_arguments(campaign)
+    campaign.set_defaults(func=_campaign)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

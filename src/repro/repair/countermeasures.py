@@ -1,0 +1,146 @@
+"""Countermeasure selection: from a ranked leak to patch candidates.
+
+The application side of a transform lives in
+:mod:`repro.soc.countermeasures` (structural rewrites keyed by spec
+strings on ``SocConfig.countermeasures``); this module is the
+*selection* side — mapping the :class:`~repro.repair.localize`
+ranking onto the transforms that act on the implicated elements, and
+ordering the resulting patch candidates for the repair loop.
+
+Each transform carries a static conservatism **cost** — how much
+functionality/performance the patch sacrifices — used two ways: as the
+tie-breaker when two candidates explain the leak equally well (try the
+less conservative patch first), and for the "cheapest secure"
+recommendation of a finished :class:`~repro.repair.RepairReport`:
+
+===================  ====  =================================================
+transform            cost  sacrifice
+===================  ====  =================================================
+``const_latency``     1    extra read latency on one device
+``tdm_arbitration``   2    fabric utilization (one master per slot)
+``block_initiator``   3    the whole engine's bus mastership (DMA-stop)
+===================  ====  =================================================
+"""
+
+from __future__ import annotations
+
+from ..soc.address_map import build_address_map
+from ..soc.config import SocConfig
+from ..soc.countermeasures import BLOCKABLE_INITIATORS, blocked_initiators
+from .localize import ImplicatedElement
+
+__all__ = ["TRANSFORM_COSTS", "candidate_cost", "propose_countermeasures",
+           "suggest"]
+
+#: Static conservatism cost per transform (higher = more conservative).
+TRANSFORM_COSTS = {
+    "const_latency": 1,
+    "tdm_arbitration": 2,
+    "block_initiator": 3,
+}
+
+
+def candidate_cost(specs) -> int:
+    """Total conservatism cost of one patch candidate."""
+    return sum(TRANSFORM_COSTS[spec.partition(":")[0]] for spec in specs)
+
+
+def _owner_tail(owner: str) -> str:
+    return owner.rsplit(".", 1)[-1]
+
+
+def _transform_for(element: ImplicatedElement) -> str | None:
+    """The transform acting on one implicated element, if any."""
+    tail = _owner_tail(element.owner)
+    if tail == "xbar":
+        return "tdm_arbitration"
+    if tail in BLOCKABLE_INITIATORS:
+        return f"block_initiator:{tail}"
+    return None
+
+
+def propose_countermeasures(
+    cfg: SocConfig,
+    ranking: list[ImplicatedElement],
+    leaking: set[str],
+    max_candidates: int | None = None,
+) -> list[tuple[str, ...]]:
+    """Ordered patch candidates for one diagnosed leak.
+
+    Each candidate is a tuple of spec strings to *add* to the design's
+    ``countermeasures``.  Candidates are scored by the best localizer
+    score among the elements their transform acts on, then ordered by
+    (score desc, cost asc, name) — the patch that best explains the
+    leak and sacrifices the least comes first.  A combined
+    block-every-initiator candidate closes the list as the conservative
+    last resort.  Transforms already applied to ``cfg`` are never
+    re-proposed.
+    """
+    applied = set(cfg.countermeasures)
+    amap = build_address_map(cfg)
+    scores: dict[tuple[str, ...], float] = {}
+
+    def consider(candidate: tuple[str, ...], score: float) -> None:
+        if any(spec in applied for spec in candidate):
+            return
+        scores[candidate] = max(scores.get(candidate, 0.0), score)
+
+    present = [ip for ip in BLOCKABLE_INITIATORS
+               if getattr(cfg, f"include_{ip}")]
+    spies = [ip for ip in present if ip not in blocked_initiators(cfg)]
+
+    for element in ranking:
+        transform = _transform_for(element)
+        if transform == "tdm_arbitration" and present:
+            consider(("tdm_arbitration",), element.score)
+        elif transform and transform.partition(":")[2] in spies:
+            consider((transform,), element.score)
+        else:
+            # A device owner: shim its response path when the device is
+            # slower than the rest of the fabric.
+            region = _owner_tail(element.owner)
+            if amap.has(region) and amap.region(region).latency < max(
+                    r.latency for r in amap.regions):
+                consider((f"const_latency:{region}",), element.score)
+
+    # Conservative last resort: stop every remaining spy initiator.
+    if len(spies) > 1:
+        consider(tuple(f"block_initiator:{ip}" for ip in spies), 0.0)
+
+    ordered = sorted(
+        scores,
+        key=lambda cand: (-scores[cand], candidate_cost(cand), cand),
+    )
+    return ordered[:max_candidates] if max_candidates else ordered
+
+
+def suggest(ranking: list[ImplicatedElement]) -> list[str]:
+    """Human-readable countermeasure suggestions from a ranking.
+
+    Works from the ranking alone (no :class:`SocConfig` needed), so the
+    diagnosis report covers raw threat models too; the repair loop uses
+    :func:`propose_countermeasures` for the applicable machine-checked
+    candidates instead.
+    """
+    out: list[str] = []
+    seen: set[str] = set()
+    for element in ranking:
+        transform = _transform_for(element)
+        if transform is None or transform in seen:
+            continue
+        seen.add(transform)
+        if transform == "tdm_arbitration":
+            out.append(
+                "replace the shared-fabric priority arbitration with "
+                "fixed-slot TDM (countermeasure 'tdm_arbitration'): the "
+                f"arbitration state {element.name} covers "
+                f"{element.coverage} leaking variable(s)"
+            )
+        else:
+            ip = transform.partition(":")[2]
+            out.append(
+                f"stop / blackbox the {ip.upper()} initiator interface "
+                f"(countermeasure {transform!r}) — its engine state is on "
+                f"the victim-to-leak path at distance {element.distance}"
+            )
+    return out

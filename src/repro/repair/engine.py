@@ -1,0 +1,320 @@
+"""The closed repair loop: diagnose → synthesize countermeasure → re-verify.
+
+:func:`repair` takes a design, establishes (or accepts) a VULNERABLE
+verdict, concretely validates the counterexample on the simulator,
+localizes the leak, and then walks the ranked countermeasure
+candidates: each patch is a first-class
+:class:`~repro.soc.SocConfig` (distinct ``variant_id()``, hence its own
+verdict-cache address) re-verified through :func:`repro.verify.verify`
+until SECURE or the candidates are exhausted.  The full
+patch → verdict → cost trajectory lands in a :class:`RepairReport`
+with a cheapest-secure recommendation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..sat.preprocess import PreprocessConfig
+from ..soc.config import SocConfig
+from ..upec.classify import StateClassifier
+from ..upec.diagnose import diagnose
+from ..verify.api import verify
+from ..verify.request import (
+    VerificationRequest,
+    normalize_design,
+    resolve_design_config,
+)
+from ..verify.verdict import SECURE, VULNERABLE, Verdict
+from .countermeasures import (
+    TRANSFORM_COSTS,
+    candidate_cost,
+    propose_countermeasures,
+)
+from .localize import ImplicatedElement, LeakLocalizer
+
+__all__ = ["RepairRequest", "RepairAttempt", "RepairReport", "repair"]
+
+#: Methods the repair loop can drive (it needs a leaking set and a
+#: counterexample, which only the UPEC-SSC algorithms produce).
+REPAIR_METHODS = ("alg1", "alg2")
+
+
+@dataclass
+class RepairRequest:
+    """One repair question, fully specified.
+
+    Attributes:
+        design: the SoC design to repair — a named base config, a
+            :class:`SocConfig`, or a ``{"kind": "soc", ...}`` spec dict
+            (builder references and raw threat models cannot be patched:
+            countermeasures are config transforms).
+        method: verification method driving the loop (:data:`REPAIR_METHODS`).
+        depth: unrolling depth for ``alg2``.
+        threat_overrides: threat-model aspects to strip, as in
+            verification requests.
+        max_candidates: at most this many patch candidates are tried.
+        allow: transform-name allowlist (e.g. ``("block_initiator",)``)
+            restricting the registry; empty means every transform.
+        try_all: keep verifying after the first SECURE patch so the
+            recommendation can compare several secure candidates.
+        replay: concretely validate the pre-patch counterexample on the
+            cycle-accurate simulator before patching.
+        use_cache: consult/populate the verdict cache for every
+            verification the loop runs.
+        preprocess: reduction-pipeline selection (as in
+            :class:`VerificationRequest`).
+    """
+
+    design: object
+    method: str = "alg1"
+    depth: int = 3
+    threat_overrides: dict = field(default_factory=dict)
+    max_candidates: int = 6
+    allow: tuple = ()
+    try_all: bool = False
+    replay: bool = True
+    use_cache: bool = True
+    preprocess: PreprocessConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in REPAIR_METHODS:
+            raise ValueError(
+                f"repair drives {' or '.join(REPAIR_METHODS)}, "
+                f"not {self.method!r}"
+            )
+        self.allow = tuple(self.allow)
+        unknown = set(self.allow) - set(TRANSFORM_COSTS)
+        if unknown:
+            raise ValueError(
+                f"unknown transform(s) in allow: "
+                f"{', '.join(sorted(unknown))}; known: "
+                f"{', '.join(sorted(TRANSFORM_COSTS))}"
+            )
+        self.preprocess = PreprocessConfig.coerce(self.preprocess)
+        spec = normalize_design(self.design)
+        if not isinstance(spec, Mapping) or spec.get("kind") != "soc":
+            raise ValueError(
+                "repair requires a SoC design (countermeasures are "
+                "SocConfig transforms); builder references and raw "
+                "threat models cannot be patched"
+            )
+        self.design = spec
+
+    @property
+    def config(self) -> SocConfig:
+        """The concrete base configuration under repair."""
+        return resolve_design_config(self.design)
+
+    def verification_request(
+        self, config: SocConfig, record_trace: bool
+    ) -> VerificationRequest:
+        """The verification question for one (patched) configuration."""
+        return VerificationRequest(
+            design=config,
+            method=self.method,
+            depth=self.depth,
+            threat_overrides=dict(self.threat_overrides),
+            record_trace=record_trace,
+            use_cache=self.use_cache,
+            preprocess=self.preprocess,
+        )
+
+
+@dataclass
+class RepairAttempt:
+    """One step of the trajectory: a patch and its re-verification."""
+
+    added: tuple[str, ...]
+    countermeasures: tuple[str, ...]
+    variant_id: str
+    verdict: Verdict
+    cost: int
+
+    @property
+    def secure(self) -> bool:
+        return self.verdict.status == SECURE
+
+    def to_dict(self) -> dict:
+        return {
+            "added": list(self.added),
+            "countermeasures": list(self.countermeasures),
+            "variant_id": self.variant_id,
+            "verdict": self.verdict.to_dict(),
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RepairAttempt":
+        return cls(
+            added=tuple(data["added"]),
+            countermeasures=tuple(data["countermeasures"]),
+            variant_id=data["variant_id"],
+            verdict=Verdict.from_dict(data["verdict"]),
+            cost=data["cost"],
+        )
+
+
+@dataclass
+class RepairReport:
+    """The full trajectory of one repair run, JSON-ready.
+
+    ``secured`` means some patched design proved SECURE;
+    ``recommendation`` is then the cheapest such patch (static
+    conservatism cost, wall-clock as tie-breaker).  ``base`` preserves
+    the pre-patch verdict including its provenance, so the report is a
+    self-contained artifact: which design, which method/depth, which
+    countermeasures, which proof.
+    """
+
+    base: Verdict
+    diagnosis: dict = field(default_factory=dict)
+    replay: dict | None = None
+    attempts: list[RepairAttempt] = field(default_factory=list)
+    final_status: str = VULNERABLE
+    recommendation: dict | None = None
+    seconds: float = 0.0
+    provenance: dict = field(default_factory=dict)
+
+    @property
+    def secured(self) -> bool:
+        return self.final_status == SECURE
+
+    def secure_attempts(self) -> list[RepairAttempt]:
+        return [a for a in self.attempts if a.secure]
+
+    def to_dict(self) -> dict:
+        return {
+            "base": self.base.to_dict(),
+            "diagnosis": self.diagnosis,
+            "replay": self.replay,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "final_status": self.final_status,
+            "recommendation": self.recommendation,
+            "seconds": self.seconds,
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RepairReport":
+        return cls(
+            base=Verdict.from_dict(data["base"]),
+            diagnosis=dict(data.get("diagnosis", {})),
+            replay=data.get("replay"),
+            attempts=[RepairAttempt.from_dict(a)
+                      for a in data.get("attempts", ())],
+            final_status=data["final_status"],
+            recommendation=data.get("recommendation"),
+            seconds=data.get("seconds", 0.0),
+            provenance=dict(data.get("provenance", {})),
+        )
+
+    def format_report(self) -> str:
+        """Human-readable trajectory rendering."""
+        from ..upec.report import format_repair_report
+
+        return format_repair_report(self)
+
+
+def repair(request: RepairRequest | None = None, *, cache=None,
+           on_attempt=None, **kwargs) -> RepairReport:
+    """Run the closed repair loop on one design.
+
+    Accepts a prebuilt :class:`RepairRequest` or its fields as keyword
+    arguments.  ``on_attempt`` is called with each
+    :class:`RepairAttempt` as it completes (progress streaming);
+    ``cache`` is forwarded to every :func:`repro.verify.verify` call.
+
+    Returns the :class:`RepairReport`; never raises on a merely
+    unrepairable design (``final_status`` stays VULNERABLE), only on
+    invalid requests.
+    """
+    if request is None:
+        request = RepairRequest(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a request or keyword fields, not both")
+    start = time.perf_counter()
+    cfg = request.config
+    base = verify(request.verification_request(cfg, record_trace=True),
+                  cache=cache)
+    from .. import __version__
+
+    report = RepairReport(
+        base=base,
+        final_status=base.status,
+        provenance={
+            "design_fingerprint": cfg.variant_id(),
+            "method": request.method,
+            "depth": request.depth,
+            "allow": list(request.allow),
+            "version": __version__,
+        },
+    )
+    if base.status != VULNERABLE:
+        report.seconds = time.perf_counter() - start
+        return report
+
+    # One concrete build serves replay and localization.
+    tm, _soc = request.verification_request(cfg, record_trace=True).resolve()
+    classifier = StateClassifier(tm)
+    result = base.result_object()
+    if request.replay and result is not None \
+            and result.counterexample is not None:
+        # Every pre-patch counterexample is concretely validated on the
+        # cycle-accurate simulator before a patch is synthesized from it.
+        replayed = base.replay(circuit=tm.circuit)
+        report.replay = {
+            "ok": replayed.ok,
+            "cycles_checked": replayed.cycles_checked,
+            "mismatches": len(replayed.mismatches),
+        }
+
+    diag = diagnose(result, classifier)
+    report.diagnosis = {
+        "implicated": sorted(diag.implicated_resources),
+        "top_suggestion": diag.top_suggestion(),
+        "ranking": diag.ranking,
+        "earliest_divergence": diag.earliest_divergence,
+    }
+    ranking = [ImplicatedElement.from_dict(d) for d in diag.ranking]
+    candidates = propose_countermeasures(cfg, ranking, set(base.leaking))
+    if request.allow:
+        candidates = [
+            cand for cand in candidates
+            if all(spec.partition(":")[0] in request.allow for spec in cand)
+        ]
+    for added in candidates[:request.max_candidates]:
+        patched = cfg.replace(
+            countermeasures=tuple(cfg.countermeasures) + added
+        )
+        verdict = verify(
+            request.verification_request(patched, record_trace=False),
+            cache=cache,
+        )
+        attempt = RepairAttempt(
+            added=added,
+            countermeasures=patched.countermeasures,
+            variant_id=patched.variant_id(),
+            verdict=verdict,
+            cost=candidate_cost(added),
+        )
+        report.attempts.append(attempt)
+        if on_attempt:
+            on_attempt(attempt)
+        if attempt.secure and not request.try_all:
+            break
+
+    secure = report.secure_attempts()
+    if secure:
+        best = min(secure, key=lambda a: (a.cost, a.verdict.seconds))
+        report.final_status = SECURE
+        report.recommendation = {
+            "countermeasures": list(best.countermeasures),
+            "added": list(best.added),
+            "variant_id": best.variant_id,
+            "cost": best.cost,
+        }
+    report.seconds = time.perf_counter() - start
+    return report

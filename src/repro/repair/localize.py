@@ -1,0 +1,129 @@
+"""Leak localization: rank the fabric elements behind a leak.
+
+The diagnosis layer of the repair loop.  Given the leaking persistent
+state of a VULNERABLE verdict, every register on a structural path from
+the victim interface is scored along the two axes Sec. 3.4's structural
+analysis provides:
+
+* **distance** — BFS level from the victim-interface inputs over the
+  one-cycle register dependency graph (an element the victim drives
+  directly scores higher than one three hops away);
+* **coverage** — how many of the leaking state variables lie in the
+  element's sequential fanout cone (an arbiter pointer whose cone
+  covers every leaking counter outranks a buffer that only reaches
+  one).
+
+``score = coverage_fraction / distance`` — the element closest to the
+victim that can still explain the whole leak ranks first.  The ranking
+drives both the human diagnosis report (:mod:`repro.upec.diagnose`)
+and countermeasure selection (:mod:`repro.repair.countermeasures`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.structure import fanout_cone, fanout_map, structural_distances
+from ..upec.classify import StateClassifier
+
+__all__ = ["ImplicatedElement", "LeakLocalizer"]
+
+
+@dataclass(frozen=True)
+class ImplicatedElement:
+    """One ranked suspect: a register on the victim-to-leak path."""
+
+    name: str
+    owner: str
+    kind: str
+    distance: int
+    coverage: int
+    score: float
+
+    def describe(self) -> str:
+        """``name (owner)`` — the rendering reports use."""
+        return f"{self.name} ({self.owner})"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "owner": self.owner,
+            "kind": self.kind,
+            "distance": self.distance,
+            "coverage": self.coverage,
+            "score": round(self.score, 4),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ImplicatedElement":
+        return cls(
+            name=data["name"],
+            owner=data["owner"],
+            kind=data["kind"],
+            distance=data["distance"],
+            coverage=data["coverage"],
+            score=data["score"],
+        )
+
+
+class LeakLocalizer:
+    """Scores every register between the victim interface and a leak.
+
+    Built once per design (the distance map and fanout map are
+    leak-independent); :meth:`rank` is then cheap per verdict.
+    """
+
+    def __init__(self, classifier: StateClassifier):
+        self.classifier = classifier
+        self.circuit = classifier.circuit
+        tm = classifier.tm
+        sources = set(tm.victim_port.fields()) | {tm.victim_page}
+        self._fanout = fanout_map(self.circuit)
+        self._distances = structural_distances(self.circuit, sources)
+        self._cones: dict[str, set[str]] = {}
+
+    def cone(self, name: str) -> set[str]:
+        """The sequential fanout cone of one register (memoized)."""
+        if name not in self._cones:
+            self._cones[name] = fanout_cone(
+                self.circuit, {name}, fanout=self._fanout
+            )
+        return self._cones[name]
+
+    def rank(self, leaking: set[str]) -> list[ImplicatedElement]:
+        """Rank the implicated elements of one leaking set.
+
+        An element is implicated when the victim interface reaches it
+        (finite distance) and its fanout cone covers at least one
+        leaking variable.  The leaking variables themselves are included
+        (they trivially cover themselves) so a leak with no intermediary
+        still localizes.  Deterministic: ties break on (distance, name).
+        """
+        if not leaking:
+            return []
+        out: list[ImplicatedElement] = []
+        total = len(leaking)
+        for name, distance in self._distances.items():
+            if distance <= 0 or name not in self.circuit.regs:
+                continue
+            coverage = len(self.cone(name) & leaking)
+            if not coverage:
+                continue
+            meta = self.circuit.regs[name].meta
+            out.append(ImplicatedElement(
+                name=name,
+                owner=meta.owner,
+                kind=meta.kind,
+                distance=distance,
+                coverage=coverage,
+                score=(coverage / total) / distance,
+            ))
+        out.sort(key=lambda e: (-e.score, e.distance, e.name))
+        return out
+
+    def implicated_interconnect(
+        self, ranking: list[ImplicatedElement], limit: int | None = None
+    ) -> list[ImplicatedElement]:
+        """The shared-fabric subset of a ranking (arbitration state)."""
+        picked = [e for e in ranking if e.kind == "interconnect"]
+        return picked if limit is None else picked[:limit]

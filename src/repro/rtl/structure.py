@@ -14,7 +14,8 @@ from .circuit import Circuit
 from .expr import Expr, Input, MemRead, RegRead, topo_sort
 
 __all__ = ["StateSummary", "state_summary", "fanin_regs", "fanin_inputs",
-           "influence_closure"]
+           "register_dependencies", "fanout_map", "fanout_cone",
+           "structural_distances", "influence_closure"]
 
 
 @dataclass
@@ -74,6 +75,77 @@ def fanin_inputs(roots: list[Expr]) -> set[str]:
     return names
 
 
+def register_dependencies(circuit: Circuit) -> dict[str, set[str]]:
+    """One-cycle dependency map: register -> regs/inputs its next reads."""
+    depends: dict[str, set[str]] = {}
+    for name, info in circuit.regs.items():
+        assert info.next is not None, f"register {name} undriven"
+        depends[name] = fanin_regs([info.next]) | fanin_inputs([info.next])
+    return depends
+
+
+def fanout_map(circuit: Circuit) -> dict[str, set[str]]:
+    """Reverse dependency map: reg/input name -> registers reading it."""
+    out: dict[str, set[str]] = {}
+    for name, deps in register_dependencies(circuit).items():
+        for dep in deps:
+            out.setdefault(dep, set()).add(name)
+    return out
+
+
+def fanout_cone(
+    circuit: Circuit,
+    seeds: set[str],
+    fanout: dict[str, set[str]] | None = None,
+) -> set[str]:
+    """Registers transitively reachable (over any number of cycles) from
+    the registers/inputs named in ``seeds``, seeds included when they are
+    registers.
+
+    The sequential forward cone — "which state could this element's
+    value ever touch".  Pass a precomputed :func:`fanout_map` when
+    querying many seeds on one circuit.
+    """
+    fanout = fanout if fanout is not None else fanout_map(circuit)
+    frontier = set(seeds)
+    cone = {s for s in seeds if s in circuit.regs}
+    while frontier:
+        name = frontier.pop()
+        for reader in fanout.get(name, ()):
+            if reader not in cone:
+                cone.add(reader)
+                frontier.add(reader)
+    return cone
+
+
+def structural_distances(
+    circuit: Circuit, sources: set[str]
+) -> dict[str, int]:
+    """BFS level of every register from a set of source regs/inputs.
+
+    Distance 1 means the register reads a source directly in its
+    next-state function; unreachable registers are absent from the
+    result.  This is the "structural distance from the victim interface"
+    axis of leak localization.
+    """
+    fanout = fanout_map(circuit)
+    distances: dict[str, int] = {
+        s: 0 for s in sources if s in circuit.regs
+    }
+    frontier = set(sources)
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier: set[str] = set()
+        for name in frontier:
+            for reader in fanout.get(name, ()):
+                if reader not in distances:
+                    distances[reader] = level
+                    next_frontier.add(reader)
+        frontier = next_frontier
+    return distances
+
+
 def influence_closure(circuit: Circuit, seeds: set[str]) -> set[str]:
     """Registers transitively influenceable (over any number of cycles) by
     the registers/inputs named in ``seeds``.
@@ -82,18 +154,4 @@ def influence_closure(circuit: Circuit, seeds: set[str]) -> set[str]:
     dependency graph — useful for sanity-checking which state a victim
     interface could ever touch, before running the exact UPEC-SSC proof.
     """
-    # Build the one-cycle dependency map: reg -> set of regs/inputs it reads.
-    depends: dict[str, set[str]] = {}
-    for name, info in circuit.regs.items():
-        assert info.next is not None, f"register {name} undriven"
-        deps = fanin_regs([info.next]) | fanin_inputs([info.next])
-        depends[name] = deps
-    influenced = set(seeds)
-    changed = True
-    while changed:
-        changed = False
-        for name, deps in depends.items():
-            if name not in influenced and deps & influenced:
-                influenced.add(name)
-                changed = True
-    return influenced - set(seeds) | ({s for s in seeds if s in circuit.regs})
+    return fanout_cone(circuit, set(seeds))

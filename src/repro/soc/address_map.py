@@ -95,4 +95,21 @@ def build_address_map(cfg: SocConfig) -> AddressMap:
         add("gpio", block)
     if cfg.include_spi:
         add("spi", block)
+
+    # Constant-latency shims: a patched region answers with the slowest
+    # device's latency.  Raising the region's declared latency here keeps
+    # the crossbar's response routing aligned with the padded device
+    # (build_soc adds the matching register stages on the response path).
+    from .countermeasures import const_latency_regions
+
+    shimmed = const_latency_regions(cfg)
+    if shimmed:
+        target = max(r.latency for r in amap.regions)
+        for name in sorted(shimmed):
+            if not amap.has(name):
+                raise ValueError(
+                    f"countermeasure 'const_latency:{name}' names a region "
+                    f"absent from this configuration"
+                )
+            amap.region(name).latency = target
     return amap

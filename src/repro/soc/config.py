@@ -46,8 +46,15 @@ class SocConfig:
             constrained to private pages.
         rom_words: simulation-only instruction ROM size.
         dma_counter_bits / hwpe_counter_bits: width of transfer counters.
-        arbitration: per-slave policy, ``"rr"`` (round-robin) or
-            ``"fixed"`` (master index priority).
+        arbitration: per-slave policy, ``"rr"`` (round-robin),
+            ``"fixed"`` (master index priority) or ``"tdm"``
+            (fixed-slot time-division arbitration).
+        countermeasures: structural countermeasure transforms applied
+            during :func:`~repro.soc.pulpissimo.build_soc` (spec strings
+            understood by :mod:`repro.soc.countermeasures`, e.g.
+            ``"tdm_arbitration"`` or ``"block_initiator:dma"``).
+            Canonicalized (sorted, deduplicated) so patched designs get
+            stable, distinct ``variant_id()`` cache addresses.
     """
 
     data_width: int = 8
@@ -68,10 +75,14 @@ class SocConfig:
     hwpe_counter_bits: int = 4
     arbitration: str = "rr"
     priv_mem_latency: int = 2
+    countermeasures: tuple = ()
 
     def __post_init__(self) -> None:
-        if self.arbitration not in ("rr", "fixed"):
+        if self.arbitration not in ("rr", "fixed", "tdm"):
             raise ValueError(f"unknown arbitration policy {self.arbitration!r}")
+        from .countermeasures import normalize_countermeasures
+
+        self.countermeasures = normalize_countermeasures(self.countermeasures)
         if self.page_bits < 1:
             raise ValueError("page_bits must be >= 1")
         page = self.page_size
@@ -114,8 +125,47 @@ class SocConfig:
         for f in dataclasses.fields(self):
             value = getattr(self, f.name)
             if value != f.default:
+                if f.name == "countermeasures":
+                    value = "+".join(value)
                 parts.append(f"{f.name}={value}")
         return ",".join(parts) or "default"
+
+    @classmethod
+    def from_variant_id(cls, variant_id: str) -> "SocConfig":
+        """Rebuild a configuration from its :meth:`variant_id` string.
+
+        The inverse of :meth:`variant_id` — what lets a
+        :class:`~repro.verify.Verdict` rebuild the design it talks about
+        from its provenance fingerprint alone (e.g. for counterexample
+        replay).  Only SoC fingerprints parse; builder/raw fingerprints
+        raise :class:`ValueError`.
+        """
+        if variant_id == "default":
+            return cls()
+        by_name = {f.name: f for f in dataclasses.fields(cls)}
+        overrides: dict[str, object] = {}
+        for part in variant_id.split(","):
+            name, sep, raw = part.partition("=")
+            if not sep or name not in by_name:
+                raise ValueError(
+                    f"cannot parse variant id {variant_id!r}: "
+                    f"bad field assignment {part!r}"
+                )
+            if name == "countermeasures":
+                overrides[name] = tuple(raw.split("+")) if raw else ()
+            elif by_name[name].type == "bool" or isinstance(
+                    by_name[name].default, bool):
+                if raw not in ("True", "False"):
+                    raise ValueError(
+                        f"cannot parse variant id {variant_id!r}: "
+                        f"field {name!r} expects True/False, got {raw!r}"
+                    )
+                overrides[name] = raw == "True"
+            elif isinstance(by_name[name].default, int):
+                overrides[name] = int(raw)
+            else:
+                overrides[name] = raw
+        return cls(**overrides)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (all fields)."""

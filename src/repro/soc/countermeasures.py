@@ -1,0 +1,161 @@
+"""Parameterized countermeasure transforms at the SoC/RTL layer.
+
+The paper closes by proposing a "UPEC-SCC driven design methodology
+leading to new and less conservative countermeasures" (Sec. 4.2).  This
+module is the *application* side of that methodology: a small registry
+of structural transforms a :class:`~repro.soc.config.SocConfig` can
+carry in its ``countermeasures`` field, applied during
+:func:`~repro.soc.pulpissimo.build_soc` so a patched design is a
+first-class configuration — with its own
+:meth:`~repro.soc.config.SocConfig.variant_id`, hence its own verdict
+cache address and campaign grid cell.
+
+Spec grammar (one string per countermeasure)::
+
+    block_initiator:<ip>        # dma | hwpe — the paper's DMA-stop /
+                                # interface blackboxing, generalized to
+                                # any non-CPU initiator: the engine's
+                                # request-valid is structurally tied off,
+                                # so it can never contend on the fabric.
+    tdm_arbitration             # fixed-slot (TDM) crossbar arbitration
+                                # replacing rr/fixed priority: each
+                                # master owns a time slot, so one
+                                # master's grant never depends on another
+                                # master's (possibly victim-modulated)
+                                # request stream.
+    const_latency:<region>      # constant-latency read shim: pad the
+                                # region's response path to the slowest
+                                # device's latency, removing device-
+                                # latency modulation of master progress.
+
+The selection side — which transform to try first against a diagnosed
+leak — lives in :mod:`repro.repair.countermeasures`; this module only
+knows how to *parse* and *apply*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.circuit import Scope
+from ..rtl.expr import mux
+from .obi import ObiResponse
+
+__all__ = [
+    "COUNTERMEASURE_NAMES",
+    "Countermeasure",
+    "parse_countermeasure",
+    "normalize_countermeasures",
+    "blocked_initiators",
+    "effective_arbitration",
+    "const_latency_regions",
+    "pad_response",
+]
+
+#: Initiators :data:`block_initiator` may name (non-CPU bus masters).
+BLOCKABLE_INITIATORS = ("dma", "hwpe")
+
+#: Transform names the registry knows (the parameter grammar of each is
+#: validated by :func:`parse_countermeasure`).
+COUNTERMEASURE_NAMES = ("block_initiator", "tdm_arbitration", "const_latency")
+
+
+@dataclass(frozen=True)
+class Countermeasure:
+    """One parsed countermeasure: transform name plus its parameter."""
+
+    name: str
+    param: str | None = None
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string (parse → spec round-trips)."""
+        return self.name if self.param is None else f"{self.name}:{self.param}"
+
+
+def parse_countermeasure(spec: str) -> Countermeasure:
+    """Parse and validate one countermeasure spec string."""
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"countermeasure spec must be a non-empty string, "
+                         f"got {spec!r}")
+    name, sep, param = spec.partition(":")
+    param = param if sep else None
+    if name == "block_initiator":
+        if param not in BLOCKABLE_INITIATORS:
+            raise ValueError(
+                f"block_initiator needs an initiator parameter "
+                f"({', '.join(BLOCKABLE_INITIATORS)}); got {spec!r}"
+            )
+    elif name == "tdm_arbitration":
+        if param is not None:
+            raise ValueError(f"tdm_arbitration takes no parameter; got {spec!r}")
+    elif name == "const_latency":
+        if not param:
+            raise ValueError(
+                f"const_latency needs a slave region parameter; got {spec!r}"
+            )
+    else:
+        raise ValueError(
+            f"unknown countermeasure {name!r}; known: "
+            f"{', '.join(COUNTERMEASURE_NAMES)}"
+        )
+    return Countermeasure(name=name, param=param)
+
+
+def normalize_countermeasures(specs) -> tuple[str, ...]:
+    """Validate and canonicalize a countermeasure collection.
+
+    Sorted and deduplicated, so two configurations carrying the same set
+    of patches — in any order, however spelled — share one
+    ``variant_id()`` and hence one verdict-cache address.
+    """
+    if isinstance(specs, str):
+        raise TypeError(
+            "countermeasures must be a sequence of spec strings, not a "
+            "bare string"
+        )
+    return tuple(sorted({parse_countermeasure(s).spec for s in specs}))
+
+
+# -- application hooks (consumed by build_soc and the address map) -----------
+
+
+def _parsed(cfg) -> list[Countermeasure]:
+    return [parse_countermeasure(s) for s in cfg.countermeasures]
+
+
+def blocked_initiators(cfg) -> set[str]:
+    """Initiators whose request interface is tied off by a countermeasure."""
+    return {cm.param for cm in _parsed(cfg) if cm.name == "block_initiator"}
+
+
+def effective_arbitration(cfg) -> str:
+    """The arbitration policy after countermeasures (``tdm`` overrides)."""
+    if any(cm.name == "tdm_arbitration" for cm in _parsed(cfg)):
+        return "tdm"
+    return cfg.arbitration
+
+
+def const_latency_regions(cfg) -> set[str]:
+    """Region names whose response path gets the constant-latency shim."""
+    return {cm.param for cm in _parsed(cfg) if cm.name == "const_latency"}
+
+
+def pad_response(scope: Scope, name: str, resp: ObiResponse,
+                 extra: int) -> ObiResponse:
+    """Delay a slave response by ``extra`` register stages.
+
+    The shim stages are transient interconnect buffers (overwritten by
+    every transaction, outside ``S_pers`` per Sec. 3.4), mirroring the
+    private memory's guarded-RAM pipeline in :mod:`repro.soc.sram`.
+    """
+    circuit = scope.circuit
+    rvalid, rdata = resp.rvalid, resp.rdata
+    for stage in range(extra):
+        valid_q = scope.reg(f"{name}_clat_v{stage}", 1, kind="interconnect")
+        data_q = scope.reg(f"{name}_clat_d{stage}", rdata.width,
+                           kind="interconnect", persistent=False)
+        circuit.set_next(valid_q, rvalid)
+        circuit.set_next(data_q, mux(rvalid, rdata, data_q))
+        rvalid, rdata = valid_q, data_q
+    return ObiResponse(gnt=resp.gnt, rvalid=rvalid, rdata=rdata)

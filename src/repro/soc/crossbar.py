@@ -14,7 +14,11 @@ substitution is recorded in DESIGN.md.
 
 Arbitration is round-robin (pointer register per slave, classified as
 ``interconnect`` state: overwritten on every transaction, hence outside
-``S_pers`` per Sec. 3.4 of the paper) or fixed priority.
+``S_pers`` per Sec. 3.4 of the paper), fixed priority, or fixed-slot
+TDM — the contention-free countermeasure policy: each master owns a
+rotating time slot, so whether master ``m`` is granted depends only on
+the free-running slot counter and ``m``'s own request, never on the
+other masters' (possibly victim-modulated) traffic.
 """
 
 from __future__ import annotations
@@ -127,10 +131,24 @@ class Crossbar:
 
         # Response routing: a per-slave shift pipeline of grant vectors,
         # one stage per cycle of slave latency, so the response is matched
-        # to the master granted ``latency`` cycles earlier.
+        # to the master granted ``latency`` cycles earlier.  Under TDM the
+        # pipeline registers the *read* grant (grant & ~we): a master's
+        # response-valid is then a function of its own traffic and the
+        # free-running slot counter only, never of another master's
+        # request stream — the response side of the contention-free
+        # arbitration countermeasure.
+        self.tdm = arbitration == "tdm"
+        #: Per slave: the flag vectors of every pipeline stage, stage 0
+        #: being the combinational grant (used by the TDM data chains).
+        self._resp_stages: list[list[list[Expr]]] = []
         self._resp_master: list[list[Expr]] = []
         for s, region in enumerate(regions):
-            stage_in = [self._grant[m][s] for m in range(self.num_masters)]
+            if self.tdm:
+                stage_in = [self._grant[m][s] & ~masters[m].we
+                            for m in range(self.num_masters)]
+            else:
+                stage_in = [self._grant[m][s] for m in range(self.num_masters)]
+            stages = [stage_in]
             for stage in range(region.latency):
                 row = []
                 for m in range(self.num_masters):
@@ -139,10 +157,11 @@ class Crossbar:
                         f"resp_{region.name}{suffix}_m{m}", 1,
                         kind="interconnect",
                     )
-                    circuit.set_next(flag, stage_in[m])
+                    circuit.set_next(flag, stages[-1][m])
                     row.append(flag)
-                stage_in = row
-            self._resp_master.append(stage_in)
+                stages.append(row)
+            self._resp_stages.append(stages)
+            self._resp_master.append(stages[-1])
 
     # -- arbitration -----------------------------------------------------------
 
@@ -163,6 +182,26 @@ class Crossbar:
                 grants.append(req & ~blocked)
                 blocked = blocked | req
             return grants, None
+        if arbitration == "tdm":
+            # Fixed-slot TDM: a free-running slot counter per slave; the
+            # master whose index matches the slot is granted iff it
+            # requests.  No grant ever reads another master's request,
+            # so fabric timing carries no cross-master information.  The
+            # final slot absorbs out-of-range encodings (the symbolic
+            # IPC start state includes them) so the counter re-enters
+            # the rotation from any state.
+            slot_bits = max(1, (n - 1).bit_length())
+            slot = scope.reg(f"tdm_{slave_name}", slot_bits,
+                             kind="interconnect")
+            grants = []
+            for m in range(n):
+                slot_is_m = slot.eq(m) if m < n - 1 else slot.uge(n - 1)
+                grants.append(slot_is_m & requests[m])
+            last = slot.uge(n - 1)
+            scope.circuit.set_next(
+                slot, mux(last, Const(0, slot_bits), slot + 1)
+            )
+            return grants, slot
         # Round-robin: the pointer names the master granted last; priority
         # starts one past it.  The pointer is interconnect state.
         ptr_bits = max(1, (n - 1).bit_length())
@@ -200,21 +239,68 @@ class Crossbar:
         """Combinational grant back to ``master`` (any slave granted it)."""
         return any_of(self._grant[master][s] for s in range(self.num_slaves))
 
-    def connect_slaves(self, responses: list[ObiResponse]) -> list[ObiResponse]:
-        """Route slave responses back to masters; returns per-master bundles."""
+    def connect_slaves(
+        self,
+        responses: list[ObiResponse],
+        combinational: set[int] | None = None,
+    ) -> list[ObiResponse]:
+        """Route slave responses back to masters; returns per-master bundles.
+
+        ``combinational`` names slave indices whose response is
+        unregistered (TDM mode only): the crossbar builds a dedicated
+        per-master data pipeline of the region's latency for each, so no
+        response register is ever shared between masters — the data a
+        spy engine receives cannot be modulated by another master's
+        (possibly victim-dependent) traffic, not even from an
+        unreachable symbolic start state.
+        """
         if len(responses) != self.num_slaves:
             raise ValueError(
                 f"expected {self.num_slaves} slave responses, got {len(responses)}"
             )
+        combinational = set(combinational or ())
+        if combinational and not self.tdm:
+            raise ValueError(
+                "combinational slave responses require TDM arbitration"
+            )
+        circuit = self.scope.circuit
         data_width = self.masters[0].wdata.width
+        # Per-master data chains for combinational slaves: stage k holds
+        # the word read k cycles after the grant, advanced by the
+        # matching stage of the read-grant flag pipeline.
+        chained: dict[int, list[Expr]] = {}
+        for s in sorted(combinational):
+            region = self.regions[s]
+            per_master: list[Expr] = []
+            for m in range(self.num_masters):
+                data = responses[s].rdata
+                for stage in range(region.latency):
+                    suffix = f"_s{stage}" if region.latency > 1 else ""
+                    buf = self.scope.reg(
+                        f"rdata_{region.name}{suffix}_m{m}", data_width,
+                        kind="interconnect", persistent=False,
+                    )
+                    circuit.set_next(
+                        buf, mux(self._resp_stages[s][stage][m], data, buf)
+                    )
+                    data = buf
+                per_master.append(data)
+            chained[s] = per_master
         out: list[ObiResponse] = []
         for m in range(self.num_masters):
             rvalid = Const(0, 1)
             rdata = Const(0, data_width)
             for s, resp in enumerate(responses):
-                mine = resp.rvalid & self._resp_master[s][m]
+                if self.tdm:
+                    # The registered read grant IS the response valid:
+                    # devices always grant and answer reads after
+                    # exactly ``latency`` cycles.
+                    mine = self._resp_master[s][m]
+                else:
+                    mine = resp.rvalid & self._resp_master[s][m]
                 rvalid = rvalid | mine
-                rdata = mux(mine, resp.rdata, rdata)
+                source = chained[s][m] if s in chained else resp.rdata
+                rdata = mux(mine, source, rdata)
             out.append(
                 ObiResponse(gnt=self.grant_to(m), rvalid=rvalid, rdata=rdata)
             )

@@ -20,7 +20,11 @@ from __future__ import annotations
 from ..formal.induction import InductionResult, prove_invariant
 from ..rtl.expr import Expr
 
-__all__ = ["spy_response_invariants", "verify_soc_invariants"]
+__all__ = [
+    "spy_response_invariants",
+    "blocked_initiator_invariants",
+    "verify_soc_invariants",
+]
 
 
 def spy_response_invariants(soc) -> list[Expr]:
@@ -48,6 +52,41 @@ def spy_response_invariants(soc) -> list[Expr]:
     return out
 
 
+def blocked_initiator_invariants(soc) -> list[Expr]:
+    """No response ever routed to a blocked initiator, on any slave.
+
+    The ``block_initiator`` countermeasure ties the engine's
+    request-valid off, so it is never granted and every one of its
+    response-routing flags is always 0 — each pin is 1-inductive with no
+    assumptions at all (the grant is structurally constant false).
+    Without them, the symbolic IPC start state could claim a phantom
+    in-flight response for the blocked engine and route
+    victim-modulated device buffers into its persistent state.
+    """
+    from .countermeasures import blocked_initiators
+
+    circuit = soc.circuit
+    blocked = blocked_initiators(soc.config)
+    out: list[Expr] = []
+    if not blocked:
+        return out
+    master_index = 1  # master 0 is the CPU / victim interface
+    for ip in ("dma", "hwpe"):
+        if getattr(soc, ip) is None:
+            continue
+        if ip in blocked:
+            for region in soc.address_map.regions:
+                for stage in range(region.latency):
+                    suffix = f"_s{stage}" if region.latency > 1 else ""
+                    reg = circuit.regs.get(
+                        f"soc.xbar.resp_{region.name}{suffix}_m{master_index}"
+                    )
+                    if reg is not None:
+                        out.append(reg.read.eq(0))
+        master_index += 1
+    return out
+
+
 def verify_soc_invariants(soc, k: int = 1) -> InductionResult:
     """Prove the SoC invariants by k-induction under firmware constraints.
 
@@ -56,7 +95,8 @@ def verify_soc_invariants(soc, k: int = 1) -> InductionResult:
     UPEC-SSC miter may assume them at cycle ``t``.
     """
     tm = soc.threat_model
-    invariants = spy_response_invariants(soc)
+    invariants = spy_response_invariants(soc) \
+        + blocked_initiator_invariants(soc)
     if not invariants:
         return InductionResult(proved=True)
     return prove_invariant(

@@ -17,10 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..rtl.circuit import Circuit
-from ..rtl.expr import Expr, implies
+from ..rtl.expr import Const, Expr, implies
 from ..upec.threat_model import ThreatModel, VictimPort
 from .address_map import AddressMap, build_address_map
 from .config import SocConfig
+from .countermeasures import (
+    blocked_initiators,
+    const_latency_regions,
+    effective_arbitration,
+    pad_response,
+)
 from .crossbar import Crossbar
 from .cpu.core import SimpleRv32Core
 from .dma import Dma
@@ -93,30 +99,59 @@ def build_soc(cfg: SocConfig) -> Soc:
             )
         )
         circuit.add_input(VICTIM_PAGE, cfg.page_index_width)
+    blocked = blocked_initiators(cfg)
+
+    def initiator_request(ip, name: str) -> ObiRequest:
+        # block_initiator: the paper's DMA-stop / interface blackboxing,
+        # generalized — the engine keeps its registers (the attacker can
+        # still program it) but its request-valid is structurally tied
+        # off, so it can never issue fabric traffic.
+        req = ip.request
+        if name not in blocked:
+            return req
+        return ObiRequest(valid=Const(0, 1), addr=req.addr,
+                          we=req.we, wdata=req.wdata)
+
     if cfg.include_dma:
         soc.dma = Dma(soc_scope, "dma", cfg.addr_width, cfg.data_width,
                       cfg.dma_counter_bits)
-        masters.append(soc.dma.request)
+        masters.append(initiator_request(soc.dma, "dma"))
     if cfg.include_hwpe:
         soc.hwpe = Hwpe(soc_scope, "hwpe", cfg.addr_width, cfg.data_width,
                         cfg.hwpe_counter_bits)
-        masters.append(soc.hwpe.request)
+        masters.append(initiator_request(soc.hwpe, "hwpe"))
+    missing = blocked - {"dma" if cfg.include_dma else None,
+                         "hwpe" if cfg.include_hwpe else None}
+    if missing:
+        raise ValueError(
+            f"countermeasure blocks absent initiator(s): "
+            f"{', '.join(sorted(missing))}"
+        )
 
     # -- crossbar ------------------------------------------------------------
     xbar = Crossbar(soc_scope.child("xbar"), masters, amap.regions,
-                    cfg.arbitration)
+                    effective_arbitration(cfg))
 
     # -- slaves ----------------------------------------------------------------
     behavioural = cfg.include_cpu
+    # Region latencies come from the address map so a constant-latency
+    # shim (countermeasure) and the crossbar's response routing always
+    # agree on the cycle the data returns.  Under TDM the crossbar owns
+    # the whole memory response pipeline (per master, so nothing in the
+    # read path is shared between masters) and the devices answer
+    # combinationally.
+    tdm = xbar.tdm
     pub = Sram(
         soc_scope, "pub_ram", cfg.pub_mem_words, cfg.data_width,
         base=amap.base("pub_ram"), behavioural=behavioural,
-        accessible=True, pipeline_stages=1,
+        accessible=True,
+        pipeline_stages=0 if tdm else amap.region("pub_ram").latency,
     )
     priv = Sram(
         soc_scope, "priv_ram", cfg.priv_mem_words, cfg.data_width,
         base=amap.base("priv_ram"), behavioural=behavioural,
-        accessible=True, pipeline_stages=cfg.priv_mem_latency,
+        accessible=True,
+        pipeline_stages=0 if tdm else amap.region("priv_ram").latency,
     )
     responses: list[ObiResponse | None] = [None] * len(amap.regions)
     responses[amap.index_of("pub_ram")] = pub.connect(
@@ -142,8 +177,23 @@ def build_soc(cfg: SocConfig) -> Soc:
         soc.spi = Spi(soc_scope, "spi", cfg.data_width)
         responses[amap.index_of("spi")] = soc.spi.slave_response
 
+    # Constant-latency shims on non-memory regions: pad the device's
+    # 1-cycle registered response up to the region's declared latency
+    # (the memories already build their pipeline from the same number).
+    for name in sorted(const_latency_regions(cfg)):
+        if name in ("pub_ram", "priv_ram"):
+            continue
+        idx = amap.index_of(name)
+        extra = amap.regions[idx].latency - 1
+        if responses[idx] is not None and extra > 0:
+            responses[idx] = pad_response(
+                soc_scope.child(f"{name}_shim"), name, responses[idx], extra
+            )
+
     # -- response routing and master/slave next-state closure --------------------
-    master_responses = xbar.connect_slaves(responses)
+    combinational = {amap.index_of("pub_ram"), amap.index_of("priv_ram")} \
+        if tdm else set()
+    master_responses = xbar.connect_slaves(responses, combinational)
     # Probe nets: the CPU-side bus handshake (testbenches and traces).
     circuit.add_net("soc.cpu_gnt", master_responses[0].gnt)
     circuit.add_net("soc.cpu_rvalid", master_responses[0].rvalid)
@@ -219,6 +269,13 @@ def _build_threat_model(soc: Soc) -> ThreatModel:
     tm.victim_page_constraint = in_memory_device
     if cfg.secure:
         _apply_countermeasure(soc, tm)
+    if blocked_initiators(cfg):
+        from .invariants import blocked_initiator_invariants
+
+        # Provable with no assumptions (the blocked engine's grant is
+        # structurally false); excludes phantom in-flight responses the
+        # symbolic start state could otherwise claim for it.
+        tm.invariants.extend(blocked_initiator_invariants(soc))
     return tm
 
 

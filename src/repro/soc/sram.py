@@ -37,7 +37,10 @@ class Sram:
         accessible: S_pers annotation for the stored words (True for the
             public memory: the attacker task can read it back in the
             retrieval phase).
-        pipeline_stages: response latency in cycles (1 = classic OBI SRAM).
+        pipeline_stages: response latency in cycles (1 = classic OBI
+            SRAM).  0 returns a *combinational* response — used by the
+            TDM crossbar countermeasure, whose per-master response
+            pipelines replace the device-shared one.
         init: optional initial memory image.
     """
 
@@ -53,8 +56,8 @@ class Sram:
         pipeline_stages: int = 1,
         init: list[int] | None = None,
     ):
-        if pipeline_stages < 1:
-            raise ValueError("pipeline_stages must be >= 1")
+        if pipeline_stages < 0:
+            raise ValueError("pipeline_stages must be >= 0")
         self.scope = scope.child(name)
         self.name = name
         self.words = words

@@ -2,23 +2,25 @@
 
 The paper closes with "our future work will explore a UPEC-SCC driven
 design methodology leading to new and less conservative
-countermeasures".  This module is a first step in that direction: it
-post-processes a ``vulnerable`` verdict into an actionable report —
+countermeasures".  This module is the human-facing half of that loop:
+it post-processes a ``vulnerable`` verdict into an actionable report —
 
 * which persistent state received victim-dependent information,
 * where the divergence was injected (earliest differing signals in the
   explicit trace),
-* which shared resources (arbitrated slaves) are implicated on the
-  structural path from the victim interface to the leak,
-* and the candidate countermeasures, mirroring Sec. 4.2.
+* which fabric elements are implicated, *ranked* by the
+  :class:`~repro.repair.localize.LeakLocalizer` (structural distance
+  from the victim interface x leaking-state coverage of each element's
+  fanout cone),
+* and the candidate countermeasures — the same registry of structural
+  transforms :func:`repro.repair.repair` applies and re-verifies
+  automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..rtl.circuit import Circuit
-from ..rtl.structure import fanin_regs
 from .classify import StateClassifier
 from .miter import MiterCounterexample
 from .ssc import SscResult
@@ -34,6 +36,20 @@ class Diagnosis:
     earliest_divergence: list[str]
     implicated_resources: set[str]
     suggestions: list[str] = field(default_factory=list)
+    #: Localizer output, best suspect first (serialized element dicts).
+    ranking: list[dict] = field(default_factory=list)
+
+    def top_suggestion(self) -> str | None:
+        """The first candidate countermeasure, if any."""
+        return self.suggestions[0] if self.suggestions else None
+
+    def summary(self) -> dict:
+        """Compact JSON-ready digest carried in campaign job details."""
+        return {
+            "implicated": sorted(self.implicated_resources),
+            "top_suggestion": self.top_suggestion(),
+            "ranking": self.ranking[:3],
+        }
 
     def format_report(self) -> str:
         """Render the diagnosis as a human-readable report."""
@@ -46,15 +62,35 @@ class Diagnosis:
         for name in self.earliest_divergence:
             lines.append(f"  {name}")
         lines.append("")
-        if self.implicated_resources:
-            lines.append("shared resources on the propagation path:")
-            for name in sorted(self.implicated_resources):
-                lines.append(f"  {name}")
+        if self.ranking:
+            lines.append("implicated fabric elements "
+                         "(coverage/distance ranking):")
+            for element in self.ranking[:6]:
+                lines.append(
+                    f"  {element['name']} ({element['owner']}): "
+                    f"covers {element['coverage']} leaking var(s) at "
+                    f"distance {element['distance']} "
+                    f"[score {element['score']:.3f}]"
+                )
             lines.append("")
         lines.append("candidate countermeasures:")
         for i, text in enumerate(self.suggestions, start=1):
             lines.append(f"  {i}. {text}")
         return "\n".join(lines)
+
+
+def _earliest_divergence(cex: MiterCounterexample) -> list[str]:
+    """Signals at the smallest cycle where the two traces disagree."""
+    earliest: list[str] = []
+    for t in range(cex.frame + 1):
+        for name in sorted(cex.trace_a.cycles[t]):
+            a = cex.trace_a.cycles[t].get(name)
+            b = cex.trace_b.cycles[t].get(name)
+            if a != b:
+                earliest.append(f"{name} (cycle t+{t}: {a:#x} vs {b:#x})")
+        if earliest:
+            break
+    return earliest
 
 
 def diagnose(
@@ -69,59 +105,38 @@ def diagnose(
         classifier: the state classifier used for the run.
 
     Returns:
-        A :class:`Diagnosis` with the implicated resources and suggested
-        fixes.
+        A :class:`Diagnosis` with the ranked implicated elements and
+        suggested fixes.
     """
     if not result.vulnerable or result.counterexample is None:
         raise ValueError("diagnosis requires a vulnerable result with a "
                          "counterexample")
-    circuit: Circuit = classifier.circuit
-    cex: MiterCounterexample = result.counterexample
+    # Deferred: repro.repair sits above this package in the import
+    # hierarchy (its engine drives repro.verify, which imports us).
+    from ..repair.countermeasures import suggest
+    from ..repair.localize import LeakLocalizer
 
-    # Earliest diverging signals: smallest cycle where A and B disagree.
-    earliest: list[str] = []
-    for t in range(cex.frame + 1):
-        for name in sorted(cex.trace_a.cycles[t]):
-            a = cex.trace_a.cycles[t].get(name)
-            b = cex.trace_b.cycles[t].get(name)
-            if a != b:
-                earliest.append(f"{name} (cycle t+{t}: {a:#x} vs {b:#x})")
-        if earliest:
-            break
+    localizer = LeakLocalizer(classifier)
+    ranking = localizer.rank(set(result.leaking))
+    implicated = {
+        e.describe() for e in localizer.implicated_interconnect(ranking, 6)
+    }
 
-    # Shared resources: arbitration state in the sequential fan-in of the
-    # leaking registers (one step is enough: grant decisions feed the
-    # spy's state directly).
-    implicated: set[str] = set()
-    frontier = set(result.leaking)
-    seen: set[str] = set()
-    for _ in range(3):  # bounded backward walk over register dependencies
-        next_frontier: set[str] = set()
-        for name in frontier:
-            if name in seen or name not in circuit.regs:
-                continue
-            seen.add(name)
-            info = circuit.regs[name]
-            deps = fanin_regs([info.next]) if info.next is not None else set()
-            for dep in deps:
-                meta = circuit.regs[dep].meta
-                if meta.kind == "interconnect":
-                    implicated.add(f"{dep} ({meta.owner})")
-                next_frontier.add(dep)
-        frontier = next_frontier
-
-    suggestions = [
+    suggestions = suggest(ranking)
+    suggestions.append(
         "map the victim's security-critical region into a memory device "
         "with a dedicated (non-shared) interconnect path, and constrain "
-        "the symbolic victim page accordingly (Sec. 4.2)",
+        "the symbolic victim page accordingly (Sec. 4.2)"
+    )
+    suggestions.append(
         "restrict the implicated spying IPs' legal configurations so they "
         "cannot address that device; compile the restrictions as firmware "
-        "constraints and re-run UPEC-SSC to prove the fix",
-    ]
+        "constraints and re-run UPEC-SSC to prove the fix"
+    )
     leak_kinds = {
-        circuit.regs[name].meta.kind
+        classifier.circuit.regs[name].meta.kind
         for name in result.leaking
-        if name in circuit.regs
+        if name in classifier.circuit.regs
     }
     if "memory" in leak_kinds:
         suggestions.append(
@@ -131,7 +146,8 @@ def diagnose(
         )
     return Diagnosis(
         leaking=set(result.leaking),
-        earliest_divergence=earliest,
+        earliest_divergence=_earliest_divergence(result.counterexample),
         implicated_resources=implicated,
         suggestions=suggestions,
+        ranking=[e.to_dict() for e in ranking],
     )

@@ -21,6 +21,9 @@ __all__ = [
     "format_job_line",
     "format_campaign",
     "campaign_summary",
+    "format_diagnosis_line",
+    "format_repair_report",
+    "format_repair_campaign",
 ]
 
 
@@ -305,7 +308,38 @@ def format_campaign(results, title: str | None = None) -> str:
             shown = ", ".join(sorted(names)[:4])
             more = f" (+{len(names) - 4} more)" if len(names) > 4 else ""
             lines.append(f"  {row}: {shown}{more}")
+    diagnosed = [
+        (r, line) for r in results
+        if (line := format_diagnosis_line(r)) is not None
+    ]
+    if diagnosed:
+        lines.append("")
+        lines.append("diagnosis of vulnerable cells:")
+        for r, line in diagnosed:
+            lines.append(f"  {r.job.label()}: {line}")
     return "\n".join(lines)
+
+
+def format_diagnosis_line(result) -> str | None:
+    """One-line diagnosis digest of a vulnerable job (None when absent).
+
+    Renders the ``diagnosis`` summary the engine attaches to vulnerable
+    Algorithm 1/2 runs: the implicated fabric elements and the top
+    countermeasure suggestion.
+    """
+    diagnosis = result.detail.get("diagnosis") if result.detail else None
+    if not diagnosis:
+        return None
+    implicated = diagnosis.get("implicated") or []
+    shown = ", ".join(implicated[:3]) or "no shared fabric element"
+    more = f" (+{len(implicated) - 3} more)" if len(implicated) > 3 else ""
+    suggestion = diagnosis.get("top_suggestion")
+    hint = ""
+    if suggestion:
+        if len(suggestion) > 72:
+            suggestion = suggestion[:69].rstrip() + "..."
+        hint = f" — {suggestion}"
+    return f"implicates {shown}{more}{hint}"
 
 
 def campaign_summary(results) -> dict:
@@ -316,11 +350,18 @@ def campaign_summary(results) -> dict:
         totals.add(r.stats)
     columns = _columns(results)
     matrix: dict[str, dict[str, str]] = {}
+    diagnoses: dict[str, dict[str, dict]] = {}
     for r in results:
         row = _row_name(r.job.variant, r.job.threat)
         column = _column_name(r.job.algorithm, r.job.depth, columns)
         matrix.setdefault(row, {})[column] = r.verdict
-    return {
+        diagnosis = r.detail.get("diagnosis") if r.detail else None
+        if diagnosis:
+            diagnoses.setdefault(row, {})[column] = {
+                "implicated": diagnosis.get("implicated", []),
+                "top_suggestion": diagnosis.get("top_suggestion"),
+            }
+    summary = {
         "jobs": len(results),
         "verdict_matrix": matrix,
         "job_seconds_total": sum(r.seconds for r in results),
@@ -330,3 +371,87 @@ def campaign_summary(results) -> dict:
             for verdict in sorted({r.verdict for r in results})
         },
     }
+    if diagnoses:
+        summary["diagnoses"] = diagnoses
+    return summary
+
+
+# -- repair trajectories ------------------------------------------------------
+
+
+def format_repair_report(report) -> str:
+    """Render a :class:`repro.repair.RepairReport` trajectory."""
+    base = report.base
+    p = report.provenance
+    lines = [
+        f"repair: {report.final_status}"
+        + (f" via {'+'.join(report.recommendation['added'])}"
+           if report.recommendation else ""),
+        f"design: {p.get('design_fingerprint', '?')}",
+        f"method: {p.get('method', base.method)}"
+        + (f" @ depth {p['depth']}" if p.get("depth") is not None else ""),
+        f"base verdict: {base.status} "
+        f"({len(base.leaking)} leaking variable(s), {base.seconds:.1f} s)",
+    ]
+    if report.replay is not None:
+        ok = "consistent" if report.replay.get("ok") else \
+            f"{report.replay.get('mismatches')} MISMATCH(ES)"
+        lines.append(
+            f"counterexample replay: {ok} over "
+            f"{report.replay.get('cycles_checked')} cycle(s)"
+        )
+    implicated = report.diagnosis.get("implicated") or []
+    if implicated:
+        lines.append("implicated: " + ", ".join(implicated[:4]))
+    if report.attempts:
+        lines.append("")
+        header = (f"{'#':>2} {'patch':<44} {'verdict':<12} "
+                  f"{'cost':>4} {'seconds':>8}")
+        lines += [header, "-" * len(header)]
+        for i, attempt in enumerate(report.attempts, start=1):
+            lines.append(
+                f"{i:>2} {'+'.join(attempt.added):<44} "
+                f"{attempt.verdict.status:<12} {attempt.cost:>4} "
+                f"{attempt.verdict.seconds:>8.1f}"
+            )
+    else:
+        lines.append("no applicable patch candidates")
+    if report.recommendation:
+        lines.append("")
+        lines.append(
+            f"recommended (cheapest secure): "
+            f"{'+'.join(report.recommendation['added'])} "
+            f"(cost {report.recommendation['cost']}) -> "
+            f"{report.recommendation['variant_id']}"
+        )
+    elif report.attempts:
+        lines.append("")
+        lines.append("no candidate reached SECURE — candidates exhausted")
+    lines.append(f"total: {report.seconds:.1f} s")
+    return "\n".join(lines)
+
+
+def format_repair_campaign(cells) -> str:
+    """Render the repair outcomes of a grid's vulnerable cells.
+
+    ``cells`` are (label, RepairReport) pairs — see
+    :func:`repro.campaign.repair.run_repair_campaign`.
+    """
+    cells = list(cells)
+    if not cells:
+        return "no vulnerable cells to repair"
+    width = max(len(label) for label, _ in cells)
+    lines = [f"{'cell':<{width}}  {'result':<10} {'winning patch':<40} "
+             f"{'attempts':>8}"]
+    lines.append("-" * len(lines[0]))
+    for label, report in cells:
+        patch = "+".join(report.recommendation["added"]) \
+            if report.recommendation else "-"
+        lines.append(
+            f"{label:<{width}}  {report.final_status:<10} {patch:<40} "
+            f"{len(report.attempts):>8}"
+        )
+    secured = sum(1 for _, r in cells if r.secured)
+    lines.append("")
+    lines.append(f"secured {secured}/{len(cells)} vulnerable cell(s)")
+    return "\n".join(lines)

@@ -9,6 +9,10 @@ k-induction, the IFT baseline) is asked through a
 
 * :func:`verify` — one-shot calls, backed by a process-global
   content-addressed :class:`VerdictCache`;
+* :func:`repair` — the closed repair loop on top of :func:`verify`
+  (diagnose → countermeasure transform → re-verify until SECURE), with
+  :class:`RepairRequest`/:class:`RepairReport` models — implemented in
+  :mod:`repro.repair` and re-exported here;
 * :class:`Verifier` — a session-reusing handle (design built once,
   warm incremental miter across calls);
 * ``python -m repro.verify run`` — the same from the command line;
@@ -45,9 +49,25 @@ from .verdict import (
     unify_verdict,
 )
 
+#: Repair entry points re-exported lazily: :mod:`repro.repair` imports
+#: this package, so a module-level import here would be circular.
+_REPAIR_EXPORTS = ("repair", "RepairRequest", "RepairReport")
+
+
+def __getattr__(name: str):
+    if name in _REPAIR_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module("repro.repair"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "METHODS",
     "DESIGN_KINDS",
+    "repair",
+    "RepairRequest",
+    "RepairReport",
     "STATUSES",
     "SECURE",
     "VULNERABLE",

@@ -52,6 +52,64 @@ def _parse_overrides(entries) -> dict:
     return out
 
 
+def add_preprocess_arguments(parser) -> None:
+    """The reduction-pipeline knobs shared by the verify/campaign/repair
+    CLIs (``PreprocessConfig`` fields exposed as flags)."""
+    parser.add_argument(
+        "--no-preprocess", action="store_true",
+        help=("disable the preprocessing/pruning pipeline "
+              "(verdict-identical, only slower)"))
+    from ..sat.preprocess import PreprocessConfig
+
+    parser.add_argument(
+        "--cnf-min-clauses", metavar="N", default=None,
+        help=("smallest formula the SatELite-style CNF simplification "
+              f"engages on (default: {PreprocessConfig.cnf_min_clauses})"))
+    parser.add_argument(
+        "--sim-prune", metavar="on|off", default=None,
+        help=("64-lane bitwise simulation pruning of can-diverge "
+              "candidates (default: on)"))
+
+
+def parse_preprocess_arguments(args):
+    """Build a :class:`PreprocessConfig` from the shared CLI flags.
+
+    Returns None when no flag was given (callers keep their defaults);
+    raises :class:`ValueError` on unknown values — rendered by the CLIs
+    as the usual single-line ``error:`` exit-2 diagnostic.
+    """
+    from ..sat.preprocess import PreprocessConfig
+
+    overrides: dict = {}
+    if args.cnf_min_clauses is not None:
+        try:
+            overrides["cnf_min_clauses"] = int(args.cnf_min_clauses)
+        except ValueError:
+            raise ValueError(
+                f"bad --cnf-min-clauses value {args.cnf_min_clauses!r}: "
+                f"expected an integer"
+            ) from None
+        if overrides["cnf_min_clauses"] < 0:
+            raise ValueError(
+                f"bad --cnf-min-clauses value {args.cnf_min_clauses!r}: "
+                f"must be >= 0"
+            )
+    if args.sim_prune is not None:
+        value = args.sim_prune.lower()
+        if value not in ("on", "off"):
+            raise ValueError(
+                f"bad --sim-prune value {args.sim_prune!r}: "
+                f"expected 'on' or 'off'"
+            )
+        # An explicit setting either way, so "on" also overrides a
+        # campaign spec that disabled pruning.
+        overrides["bitsim_patterns"] = \
+            0 if value == "off" else PreprocessConfig.bitsim_patterns
+    if not overrides and not args.no_preprocess:
+        return None
+    return PreprocessConfig(enabled=not args.no_preprocess, **overrides)
+
+
 def _run(args) -> int:
     from ..soc.config import BASE_CONFIGS, named_config
     from ..upec.report import format_verdict
@@ -75,7 +133,7 @@ def _run(args) -> int:
         threat_overrides={name: False for name in args.threat_strip or ()},
         record_trace=not args.no_trace,
         use_cache=not args.no_cache,
-        preprocess=not args.no_preprocess,
+        preprocess=parse_preprocess_arguments(args),
     )
     cache = VerdictCache(args.cache_dir) if args.cache_dir else None
     verdict = verify(request, cache=cache)
@@ -124,9 +182,7 @@ def main(argv=None) -> int:
     )
     run.add_argument("--no-trace", action="store_true",
                      help="skip counterexample trace decoding")
-    run.add_argument("--no-preprocess", action="store_true",
-                     help=("disable the preprocessing/pruning pipeline "
-                           "(verdict-identical, only slower)"))
+    add_preprocess_arguments(run)
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the verdict cache")
     run.add_argument("--cache-dir", metavar="PATH", default=None,

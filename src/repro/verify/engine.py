@@ -159,11 +159,21 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
             result = run(None)
             reran = True
             stats.add(result.rollup_stats())
+        detail = {"result": result.to_dict()}
+        if result.vulnerable and result.counterexample is not None:
+            try:
+                from ..upec.diagnose import diagnose
+
+                detail["diagnosis"] = diagnose(result, classifier).summary()
+            except Exception:  # noqa: BLE001
+                # Diagnosis is best-effort decoration: an exotic design
+                # it cannot localize must never break the verdict.
+                pass
         return verdict(
             result.verdict,
             leaking=set(result.leaking),
             stats=stats,
-            detail={"result": result.to_dict()},
+            detail=detail,
             seeded=sorted(result.seeded_removed),
             reran_unseeded=reran,
             hint={"removed": sorted(result.removed_transients())},

@@ -144,6 +144,50 @@ class Verdict:
             return {"trace": self.detail["trace"]}
         return None
 
+    def replay(self, circuit=None):
+        """Re-execute this verdict's counterexample on the simulator.
+
+        Closes the loop between the two independent semantics in the
+        repository: the pair of traces decoded from the SAT model is
+        replayed cycle by cycle on the concrete RTL
+        (:func:`repro.upec.replay.replay_counterexample`).  When
+        ``circuit`` is omitted the design is rebuilt from the
+        provenance fingerprint
+        (:meth:`repro.soc.SocConfig.from_variant_id`), so a verdict
+        deserialized from a campaign artifact replays standalone.
+
+        Returns a :class:`~repro.upec.replay.ReplayReport`; raises
+        :class:`ValueError` when the verdict has no replayable
+        counterexample (secure verdicts, non-UPEC methods, runs with
+        ``record_trace=False``) or when the design cannot be rebuilt
+        (builder/raw fingerprints need an explicit ``circuit``).
+        """
+        if self.method not in ("alg1", "alg2"):
+            raise ValueError(
+                f"only alg1/alg2 verdicts carry replayable 2-safety "
+                f"counterexamples, not {self.method!r}"
+            )
+        result = self.result_object()
+        if result is None or result.counterexample is None:
+            raise ValueError("verdict has no counterexample to replay")
+        if circuit is None:
+            fingerprint = self.provenance.get("design_fingerprint", "")
+            if not fingerprint or fingerprint.startswith(("builder:",
+                                                          "object:")):
+                raise ValueError(
+                    f"cannot rebuild design from fingerprint "
+                    f"{fingerprint!r}; pass the circuit explicitly"
+                )
+            from ..soc.config import SocConfig
+            from ..soc.pulpissimo import build_soc
+
+            circuit = build_soc(
+                SocConfig.from_variant_id(fingerprint)
+            ).circuit
+        from ..upec.replay import replay_counterexample
+
+        return replay_counterexample(circuit, result.counterexample)
+
     def result_object(self):
         """The method's typed result, rebuilt from ``detail``.
 

@@ -1,0 +1,115 @@
+"""The legacy entry-point shims: exactly one warning, identical results.
+
+Each pre-redesign top-level entry point (``repro.upec_ssc``,
+``repro.upec_ssc_unrolled``, ``repro.bmc``, ``repro.find_induction_depth``,
+``repro.bounded_ift_check``) must emit exactly one
+:class:`DeprecationWarning` per access and return results equal to what
+the unified :func:`repro.verify.verify` path reports for the same
+question.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import FORMAL_TINY
+from repro.verify import VerificationRequest, verify
+
+ENTRY_POINTS = (
+    "upec_ssc",
+    "upec_ssc_unrolled",
+    "bmc",
+    "find_induction_depth",
+    "bounded_ift_check",
+)
+
+
+def _access(name):
+    """Fetch a shim, returning (callable, emitted DeprecationWarnings)."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = getattr(repro, name)
+    return shim, [w for w in caught if w.category is DeprecationWarning]
+
+
+@pytest.mark.parametrize("name", ENTRY_POINTS)
+def test_shim_emits_exactly_one_deprecation_warning(name):
+    shim, emitted = _access(name)
+    assert callable(shim)
+    assert len(emitted) == 1, [str(w.message) for w in emitted]
+    message = str(emitted[0].message)
+    assert f"repro.{name} is deprecated" in message
+    assert "repro.verify.verify" in message
+    # Every access warns again (no one-shot latch hiding the notice).
+    __, again = _access(name)
+    assert len(again) == 1
+
+
+@pytest.fixture(scope="module")
+def tiny_soc():
+    from repro import build_soc
+
+    return build_soc(FORMAL_TINY)
+
+
+def _verify(method, **kwargs):
+    return verify(VerificationRequest(
+        design=FORMAL_TINY, method=method, record_trace=False,
+        use_cache=False, **kwargs,
+    ))
+
+
+def test_upec_ssc_shim_matches_verify(tiny_soc):
+    shim, __ = _access("upec_ssc")
+    legacy = shim(tiny_soc.threat_model, record_trace=False)
+    unified = _verify("alg1")
+    assert unified.raw_verdict == legacy.verdict
+    assert unified.leaking == legacy.leaking
+    assert unified.detail["result"]["final_s"] == sorted(legacy.final_s)
+
+
+def test_upec_ssc_unrolled_shim_matches_verify(tiny_soc):
+    shim, __ = _access("upec_ssc_unrolled")
+    legacy = shim(tiny_soc.threat_model, max_depth=2, record_trace=False)
+    unified = _verify("alg2", depth=2)
+    assert unified.raw_verdict == legacy.verdict
+    assert unified.leaking == legacy.leaking
+    assert unified.detail["result"]["reached_depth"] == legacy.reached_depth
+
+
+def test_bmc_shim_matches_verify(tiny_soc):
+    from repro.rtl.expr import all_of
+    from repro.soc.invariants import spy_response_invariants
+
+    shim, __ = _access("bmc")
+    legacy = shim(
+        tiny_soc.circuit, all_of(spy_response_invariants(tiny_soc)), depth=1,
+        assumptions=list(tiny_soc.threat_model.firmware_constraints),
+    )
+    unified = _verify("bmc", depth=1)
+    assert unified.raw_verdict == ("holds" if legacy.holds else "violated")
+    assert unified.detail["failing_cycle"] == legacy.failing_cycle
+
+
+def test_find_induction_depth_shim_matches_verify(tiny_soc):
+    from repro.soc.invariants import spy_response_invariants
+
+    shim, __ = _access("find_induction_depth")
+    legacy = shim(
+        tiny_soc.circuit, spy_response_invariants(tiny_soc), max_k=2,
+        assumptions=list(tiny_soc.threat_model.firmware_constraints),
+    )
+    unified = _verify("k-induction", depth=2)
+    assert unified.raw_verdict == ("proved" if legacy.proved else "unproved")
+    assert unified.detail["k"] == legacy.k
+
+
+def test_bounded_ift_check_shim_matches_verify(tiny_soc):
+    shim, __ = _access("bounded_ift_check")
+    page = tiny_soc.address_map.pages_of(
+        "pub_ram", tiny_soc.config.page_bits).start
+    legacy = shim(tiny_soc.threat_model, depth=2, victim_page=page)
+    unified = _verify("ift-baseline", depth=2)
+    assert unified.raw_verdict == ("flow" if legacy.flows else "no-flow")
+    assert unified.leaking == legacy.tainted_sinks

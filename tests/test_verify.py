@@ -519,3 +519,44 @@ def test_design_fingerprints_are_content_addressed():
     assert design_fingerprint(spelled_out) == \
         design_fingerprint(via_overrides)
     assert design_fingerprint("pkg.mod:fn") == "builder:pkg.mod:fn()"
+
+
+def test_verify_cli_preprocess_knob_validation(capsys):
+    from repro.verify.__main__ import main
+
+    for argv in (
+        ["run", "--design", "FORMAL_TINY", "--sim-prune", "sideways"],
+        ["run", "--design", "FORMAL_TINY", "--cnf-min-clauses", "many"],
+        ["run", "--design", "FORMAL_TINY", "--cnf-min-clauses", "-3"],
+    ):
+        assert main(argv) == 2, argv
+        err = capsys.readouterr().err
+        assert err.startswith("error:"), argv
+        assert len(err.strip().splitlines()) == 1, argv
+
+
+def test_verify_cli_preprocess_knobs_reach_the_request(tmp_path):
+    from repro.verify.__main__ import main
+
+    out = tmp_path / "verdict.json"
+    code = main([
+        "run", "--design", "FORMAL_TINY", "--method", "bmc", "--depth", "1",
+        "--no-trace", "--no-cache", "--cnf-min-clauses", "12345",
+        "--sim-prune", "off", "--json", str(out), "--any-status",
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["provenance"]["preprocess"]["bitsim"] == 0
+
+
+def test_campaign_cli_preprocess_knob_validation(capsys):
+    from repro.campaign.__main__ import main
+
+    for argv in (
+        ["smoke", "--sim-prune", "maybe"],
+        ["smoke", "--cnf-min-clauses", "lots"],
+    ):
+        assert main(argv) == 2, argv
+        err = capsys.readouterr().err
+        assert err.startswith("error:"), argv
+        assert len(err.strip().splitlines()) == 1, argv
