@@ -25,7 +25,8 @@ import pathlib
 import sys
 
 from ..upec.report import campaign_summary, format_campaign, format_job_line
-from ..verify.__main__ import add_preprocess_arguments, \
+from ..verify.__main__ import add_backend_arguments, \
+    add_preprocess_arguments, parse_backend_arguments, \
     parse_preprocess_arguments
 from ..verify.cache import VerdictCache
 from .executors import EXECUTOR_NAMES, make_executor
@@ -95,6 +96,7 @@ def main(argv=None) -> int:
               "for this run only)"),
     )
     add_preprocess_arguments(parser)
+    add_backend_arguments(parser)
     parser.add_argument(
         "--traces", action="store_true",
         help="decode counterexample traces into the artifact",
@@ -130,11 +132,16 @@ def main(argv=None) -> int:
         spec.record_traces = True
     try:
         preprocess = parse_preprocess_arguments(args)
+        backend, portfolio = parse_backend_arguments(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if preprocess is not None:
         spec.preprocess = preprocess.to_dict()
+    if backend is not None:
+        spec.backend = backend
+    if portfolio is not None:
+        spec.portfolio = list(portfolio)
 
     executor_name = args.executor or ("serial" if args.workers <= 0
                                       else "fork")

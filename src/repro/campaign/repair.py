@@ -81,6 +81,8 @@ def run_repair_campaign(
             allow=allow,
             preprocess=preprocess if preprocess is not None
             else job.preprocess,
+            backend=job.backend,
+            portfolio=tuple(job.portfolio),
         )
         report = repair(request, cache=cache)
         cells.append((job.label(), report))

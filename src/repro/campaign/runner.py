@@ -148,6 +148,8 @@ def request_from_job(job: Job) -> VerificationRequest:
         threat_overrides=dict(job.threat_overrides),
         record_trace=job.record_trace,
         preprocess=job.preprocess,
+        backend=job.backend,
+        portfolio=tuple(job.portfolio),
         label=job.label(),
     )
 
@@ -240,9 +242,13 @@ def _job_cache_key(job: Job, hints) -> str | None:
         record_trace=job.record_trace,
         hints=hints,
         # Canonicalized: ``True`` and ``{"enabled": True}`` spell the
-        # same pipeline and must share a content address.
+        # same pipeline and must share a content address.  Backend and
+        # portfolio are part of the address too — verdicts agree across
+        # backends but cached payloads replay stats/models bit-for-bit.
         extra={"preprocess": PreprocessConfig.coerce(job.preprocess)
-               .to_dict()},
+               .to_dict(),
+               "backend": job.backend,
+               "portfolio": list(job.portfolio)},
     )
 
 

@@ -86,6 +86,12 @@ class Job:
     #: dict); verdicts are identical either way, so campaigns default
     #: to preprocessing on and ``--no-preprocess`` is the escape hatch.
     preprocess: bool = True
+    #: Solver backend spec string (see :mod:`repro.sat.backends`);
+    #: verdict-identical across backends, part of the job cache key.
+    backend: str = "reference"
+    #: Portfolio lanes to race per obligation ("" = no racing); a tuple
+    #: of backend spec strings.
+    portfolio: tuple = ()
 
     def to_dict(self) -> dict:
         return {
@@ -102,6 +108,8 @@ class Job:
             "timeout_seconds": self.timeout_seconds,
             "record_trace": self.record_trace,
             "preprocess": self.preprocess,
+            "backend": self.backend,
+            "portfolio": list(self.portfolio),
         }
 
     @classmethod
@@ -120,6 +128,8 @@ class Job:
             timeout_seconds=data.get("timeout_seconds"),
             record_trace=data.get("record_trace", False),
             preprocess=data.get("preprocess", True),
+            backend=data.get("backend", "reference"),
+            portfolio=tuple(data.get("portfolio", ())),
         )
 
     def label(self) -> str:
@@ -179,6 +189,11 @@ class CampaignSpec:
             (default), False (the ``--no-preprocess`` escape hatch), or
             a :class:`~repro.sat.preprocess.PreprocessConfig` field
             dict.  Verdicts are identical either way.
+        backend: solver backend spec string applied to every job (see
+            :mod:`repro.sat.backends`); verdict-identical, cache-
+            distinct.
+        portfolio: backend spec strings to race per obligation on every
+            job (empty = no racing).
     """
 
     name: str = "campaign"
@@ -192,6 +207,8 @@ class CampaignSpec:
     timeout_seconds: float | None = None
     record_traces: bool = False
     preprocess: object = True
+    backend: str = "reference"
+    portfolio: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         from ..sat.preprocess import PreprocessConfig
@@ -214,6 +231,12 @@ class CampaignSpec:
                     f"{', '.join(sorted(unknown))}"
                 )
         _normalized_algorithms(self.algorithms)  # validates names
+        from ..sat.backends import parse_backend_spec
+
+        self.backend = parse_backend_spec(self.backend).canonical
+        self.portfolio = [
+            parse_backend_spec(lane).canonical for lane in self.portfolio
+        ]
 
     # -- expansion -----------------------------------------------------------
 
@@ -288,6 +311,8 @@ class CampaignSpec:
                             timeout_seconds=self.timeout_seconds,
                             record_trace=self.record_traces,
                             preprocess=self.preprocess,
+                            backend=self.backend,
+                            portfolio=tuple(self.portfolio),
                         ))
                         earlier.append(index)
         return jobs
@@ -309,6 +334,8 @@ class CampaignSpec:
             "timeout_seconds": self.timeout_seconds,
             "record_traces": self.record_traces,
             "preprocess": self.preprocess,
+            "backend": self.backend,
+            "portfolio": list(self.portfolio),
         }
 
     @classmethod
@@ -316,7 +343,7 @@ class CampaignSpec:
         known = {
             "name", "base", "base_overrides", "variants", "threat_models",
             "algorithms", "depths", "hints", "timeout_seconds",
-            "record_traces", "preprocess",
+            "record_traces", "preprocess", "backend", "portfolio",
         }
         unknown = set(data) - known
         if unknown:

@@ -51,12 +51,12 @@ class BmcSession:
 
     def __init__(self, circuit: Circuit, prop: Expr,
                  assumptions: list[Expr] | None = None,
-                 preprocess=None):
+                 preprocess=None, backend: str | None = None):
         config = PreprocessConfig.coerce(preprocess)
         coi_of = ([prop] + list(assumptions or [])
                   if config.coi_enabled else None)
         self.session = UnrollSession(circuit, from_reset=True,
-                                     coi_of=coi_of)
+                                     coi_of=coi_of, backend=backend)
         self.prop = prop
         self.assumptions = list(assumptions or [])
         self._assumed_through = -1
@@ -94,13 +94,15 @@ def bmc(
     depth: int,
     assumptions: list[Expr] | None = None,
     preprocess=None,
+    backend: str | None = None,
 ) -> BmcResult:
     """Check that ``prop`` (1-bit) holds at every cycle 0..depth from reset.
 
     ``assumptions`` are 1-bit input constraints applied at every cycle.
     ``preprocess`` selects the reduction pipeline (cone-of-influence
-    restricted unrolling); answers and traces are identical either way.
+    restricted unrolling); ``backend`` the solver backend spec — answers
+    and traces are identical either way.
     Returns the earliest failing cycle with a full trace, or holds.
     """
-    return BmcSession(circuit, prop, assumptions,
-                      preprocess=preprocess).check_through(depth)
+    return BmcSession(circuit, prop, assumptions, preprocess=preprocess,
+                      backend=backend).check_through(depth)

@@ -85,6 +85,7 @@ def find_induction_depth(
     max_k: int = 8,
     assumptions: list[Expr] | None = None,
     preprocess=None,
+    backend: str | None = None,
 ) -> InductionResult:
     """Smallest ``k`` whose k-induction proves the invariant(s).
 
@@ -106,9 +107,11 @@ def find_induction_depth(
     config = PreprocessConfig.coerce(preprocess)
     inv = all_of(invariants) if isinstance(invariants, list) else invariants
     env = list(assumptions or [])
-    base = BmcSession(circuit, inv, assumptions=env, preprocess=config)
+    base = BmcSession(circuit, inv, assumptions=env, preprocess=config,
+                      backend=backend)
     step = UnrollSession(circuit, from_reset=False,
-                         coi_of=[inv] + env if config.coi_enabled else None)
+                         coi_of=[inv] + env if config.coi_enabled else None,
+                         backend=backend)
     env_assumed = -1
     for k in range(1, max_k + 1):
         base_result = base.check_through(k - 1)

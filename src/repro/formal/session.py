@@ -36,17 +36,20 @@ class UnrollSession:
             state materializes lazily if something references it, so
             deepening happens against the reduced cone.  Decoded traces
             are unchanged (out-of-cone signals build on decode).
+        backend: solver backend spec string (see
+            :mod:`repro.sat.backends`); default is the reference kernel.
     """
 
     def __init__(self, circuit: Circuit, from_reset: bool = False,
-                 coi_of: list[Expr] | None = None):
+                 coi_of: list[Expr] | None = None,
+                 backend: str | None = None):
         circuit.validate()
         self.circuit = circuit
         self.from_reset = from_reset
         self.active_regs = (reg_coi(circuit, coi_of)
                             if coi_of is not None else None)
         self.aig = Aig()
-        self.sat = IncrementalSession()
+        self.sat = IncrementalSession(backend=backend)
         self.solver = self.sat.solver
         self.encoder = CnfEncoder(self.aig, self.solver)
         self.unroller = Unroller(circuit, self.aig,

@@ -60,6 +60,7 @@ def bounded_ift_check(
     depth: int = 2,
     victim_page: int | None = None,
     preprocess=None,
+    backend: str | None = None,
 ) -> IftResult:
     """Check taint reachability from the victim interface into S_pers.
 
@@ -112,7 +113,14 @@ def bounded_ift_check(
                 if lit > 1 and aig.is_input(lit >> 1):
                     tracker.taint_input(lit)
 
-    solver = SimplifyingSolver(config) if config.cnf_enabled else Solver()
+    if backend is not None and backend != "reference":
+        from ..sat.backends import make_solver
+
+        inner = make_solver(backend)
+    else:
+        inner = Solver()
+    solver = SimplifyingSolver(config, inner=inner) if config.cnf_enabled \
+        else inner
     encoder = CnfEncoder(aig, solver)
 
     # Same environment as the UPEC run: pin the symbolic page, apply the

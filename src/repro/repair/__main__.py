@@ -22,7 +22,8 @@ import json
 import pathlib
 import sys
 
-from ..verify.__main__ import _parse_overrides, add_preprocess_arguments, \
+from ..verify.__main__ import _parse_overrides, add_backend_arguments, \
+    add_preprocess_arguments, parse_backend_arguments, \
     parse_preprocess_arguments
 
 
@@ -38,6 +39,7 @@ def _run(args) -> int:
             f"base config ({', '.join(sorted(BASE_CONFIGS))})"
         )
     design = named_config(args.design).replace(**_parse_overrides(args.set))
+    backend, portfolio = parse_backend_arguments(args)
     request = RepairRequest(
         design=design,
         method=args.method,
@@ -49,6 +51,8 @@ def _run(args) -> int:
         replay=not args.no_replay,
         use_cache=not args.no_cache,
         preprocess=parse_preprocess_arguments(args),
+        backend=backend or "reference",
+        portfolio=portfolio or (),
     )
     cache = VerdictCache(args.cache_dir) if args.cache_dir else None
 
@@ -75,6 +79,11 @@ def _campaign(args) -> int:
 
     spec = load_spec(args.spec)
     preprocess = parse_preprocess_arguments(args)
+    backend, portfolio = parse_backend_arguments(args)
+    if backend is not None:
+        spec.backend = backend
+    if portfolio is not None:
+        spec.portfolio = list(portfolio)
 
     def stream(label, report) -> None:
         patch = "+".join(report.recommendation["added"]) \
@@ -137,6 +146,7 @@ def main(argv=None) -> int:
     run.add_argument("--json", metavar="PATH", default=None,
                      help="write the repair report as JSON")
     add_preprocess_arguments(run)
+    add_backend_arguments(run)
     run.set_defaults(func=_run)
 
     campaign = sub.add_parser(
@@ -151,6 +161,7 @@ def main(argv=None) -> int:
                                "(default: in-memory for this run)")
     campaign.add_argument("--json", metavar="PATH", default=None)
     add_preprocess_arguments(campaign)
+    add_backend_arguments(campaign)
     campaign.set_defaults(func=_campaign)
 
     args = parser.parse_args(argv)

@@ -78,6 +78,8 @@ class RepairRequest:
     replay: bool = True
     use_cache: bool = True
     preprocess: PreprocessConfig | None = None
+    backend: str = "reference"
+    portfolio: tuple = ()
 
     def __post_init__(self) -> None:
         if self.method not in REPAIR_METHODS:
@@ -94,6 +96,12 @@ class RepairRequest:
                 f"{', '.join(sorted(TRANSFORM_COSTS))}"
             )
         self.preprocess = PreprocessConfig.coerce(self.preprocess)
+        from ..sat.backends import parse_backend_spec
+
+        self.backend = parse_backend_spec(self.backend).canonical
+        self.portfolio = tuple(
+            parse_backend_spec(lane).canonical for lane in self.portfolio
+        )
         spec = normalize_design(self.design)
         if not isinstance(spec, Mapping) or spec.get("kind") != "soc":
             raise ValueError(
@@ -120,6 +128,8 @@ class RepairRequest:
             record_trace=record_trace,
             use_cache=self.use_cache,
             preprocess=self.preprocess,
+            backend=self.backend,
+            portfolio=self.portfolio,
         )
 
 

@@ -1,5 +1,15 @@
-"""SAT solving: CDCL solver, incremental sessions, preprocessing, DIMACS I/O."""
+"""SAT solving: CDCL solver, backends, incremental sessions, preprocessing,
+DIMACS I/O."""
 
+from .backends import (
+    BackendSpec,
+    BackendUnavailableError,
+    ExternalSolver,
+    SolverBackend,
+    detect_external,
+    make_solver,
+    parse_backend_spec,
+)
 from .dimacs import parse_dimacs, solver_from_dimacs, write_dimacs
 from .preprocess import (
     CnfSimplifier,
@@ -13,4 +23,7 @@ from .solver import SAT, UNSAT, Solver
 __all__ = ["Solver", "SAT", "UNSAT", "IncrementalSession", "SolveStats",
            "PreprocessConfig", "CnfSimplifier", "SimplifyingSolver",
            "SimplifyStats",
+           "SolverBackend", "BackendSpec", "BackendUnavailableError",
+           "ExternalSolver", "make_solver", "parse_backend_spec",
+           "detect_external",
            "parse_dimacs", "solver_from_dimacs", "write_dimacs"]

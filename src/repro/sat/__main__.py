@@ -1,0 +1,72 @@
+"""Standalone DIMACS solver CLI over the reference kernel.
+
+``python -m repro.sat instance.cnf`` (or ``-`` for stdin) answers with
+the standard SAT-competition conventions — ``s SATISFIABLE`` /
+``s UNSATISFIABLE``, ``v`` model lines, exit code 10/20 — plus a
+``c stats key=value`` comment line the :class:`~repro.sat.backends.
+ExternalSolver` adapter folds back into its counters.  This is the
+``process`` backend lane: the reference kernel behind the external
+-solver subprocess protocol, available on every machine, so the adapter
+and portfolio paths stay testable where no third-party solver is
+installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .dimacs import parse_dimacs
+from .solver import Solver
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sat",
+        description="Solve a DIMACS CNF instance with the reference "
+                    "pure-Python CDCL kernel.",
+    )
+    parser.add_argument("cnf", help="DIMACS CNF file, or '-' for stdin")
+    parser.add_argument("--indexed", action="store_true",
+                        help="use the fully indexed VSIDS heap")
+    parser.add_argument("--restart-base", type=int, default=100,
+                        metavar="N", help="Luby restart scale (default 100)")
+    parser.add_argument("--no-model", action="store_true",
+                        help="suppress the v model lines")
+    args = parser.parse_args(argv)
+
+    if args.cnf == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.cnf, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    num_vars, clauses = parse_dimacs(text)
+    solver = Solver(indexed_vsids=args.indexed,
+                    restart_base=args.restart_base)
+    solver.ensure_vars(num_vars)
+    ok = solver.add_clauses(clauses)
+    sat = solver.solve() if ok else False
+
+    print(f"c repro.sat reference kernel ({num_vars} vars, "
+          f"{len(clauses)} clauses)")
+    if sat:
+        print("s SATISFIABLE")
+        if not args.no_model:
+            model = solver.model()
+            chunks = [model[i:i + 24] for i in range(0, len(model), 24)]
+            if not chunks:
+                chunks = [[]]
+            chunks[-1] = chunks[-1] + [0]
+            for chunk in chunks:
+                print("v " + " ".join(map(str, chunk)))
+    else:
+        print("s UNSATISFIABLE")
+    stats = solver.stats
+    print("c stats " + " ".join(f"{key}={stats[key]}" for key in
+                                ("conflicts", "decisions", "propagations",
+                                 "restarts", "learned")))
+    return 10 if sat else 20
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,478 @@
+"""Pluggable solver backends behind :class:`~repro.sat.session.IncrementalSession`.
+
+Every decision procedure in the repository reaches SAT through one
+surface — the :class:`SolverBackend` protocol: add clauses, register
+named activation literals, solve under assumptions, read the model,
+extract a failed-assumption core, report counter statistics.  The
+pure-Python CDCL kernel (:class:`~repro.sat.solver.Solver`) is the
+always-available *reference* implementation; :class:`ExternalSolver`
+adapts any DIMACS-speaking CDCL solver on PATH (kissat, cadical,
+minisat, or an explicit command) behind the same surface, so the
+verification engines never know which kernel answered.
+
+Backend *spec strings* name a configuration compactly (they ride on
+:class:`~repro.verify.VerificationRequest`, campaign jobs and the
+``--backend`` CLI flags, and are part of the verdict-cache content
+address):
+
+``reference``
+    the pure-Python kernel, default options;
+``reference:indexed``
+    the fully indexed VSIDS heap (opt-in, see
+    ``benchmarks/results/vsids_indexed_heap.txt``);
+``reference:restart_base=50``
+    the Luby restart schedule scaled by 50 instead of 100 — a verdict
+    -preserving diversification knob for portfolio lanes (options
+    combine: ``reference:indexed,restart_base=50``);
+``kissat`` / ``cadical`` / ``minisat``
+    that external solver, resolved on PATH when the solver object is
+    built (:exc:`BackendUnavailableError` if absent);
+``dimacs:<command>``
+    an arbitrary external command; it receives a CNF file path and must
+    answer with the standard ``s SATISFIABLE``/``s UNSATISFIABLE`` and
+    ``v`` model lines (or exit codes 10/20);
+``process``
+    the reference kernel in a subprocess (``python -m repro.sat``) —
+    an external lane that exists on every machine, used by tests and
+    benchmarks so the adapter and portfolio paths are exercised even
+    where no third-party solver is installed;
+``auto``
+    the first of :data:`AUTODETECT_SOLVERS` found on PATH, falling back
+    to ``process``.
+
+External solves are *one-shot*: assumptions are appended as unit
+clauses, the whole formula is re-shipped per call, and the learned
+-clause pool does not carry over — the adapter trades the incremental
+session's reuse for raw kernel speed.  Models are loaded back into the
+adapter so ``value``/``model`` (and hence trace decoding) behave
+exactly like the reference kernel; UNSAT answers report the sound
+over-approximate core (all assumptions).  When a formula went through
+the SatELite-style eliminator first, model reconstruction runs through
+the :class:`~repro.sat.preprocess.CnfSimplifier` elimination stack
+(``SimplifyingSolver(inner=...)``), so counterexamples stay exact on
+the external fast path too.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable, Iterable, Protocol, Sequence, runtime_checkable
+
+from .solver import Solver
+
+__all__ = [
+    "SolverBackend",
+    "BackendSpec",
+    "BackendUnavailableError",
+    "AUTODETECT_SOLVERS",
+    "parse_backend_spec",
+    "make_solver",
+    "detect_external",
+    "ExternalSolver",
+]
+
+#: External solvers ``auto`` probes for, in preference order.
+AUTODETECT_SOLVERS = ("kissat", "cadical", "minisat")
+
+#: Solvers using minisat's two-argument CLI (result written to a file)
+#: instead of the kissat/cadical stdout convention.
+_FILE_STYLE = frozenset({"minisat"})
+
+
+class BackendUnavailableError(ValueError):
+    """The requested backend cannot run here (solver not on PATH)."""
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """The solver surface the incremental sessions drive.
+
+    :class:`~repro.sat.solver.Solver` is the reference implementation;
+    :class:`ExternalSolver` and
+    :class:`~repro.sat.preprocess.SimplifyingSolver` duck-type it.
+    ``stats`` is a mapping with at least the reference kernel's counter
+    keys (conflicts / decisions / propagations / restarts / learned).
+    """
+
+    n_vars: int
+    stats: dict
+
+    def new_var(self) -> int: ...
+    def ensure_vars(self, n: int) -> None: ...
+    def add_clause(self, lits: Iterable[int]) -> bool: ...
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool: ...
+    def activation(self, name: Hashable) -> int: ...
+    def has_activation(self, name: Hashable) -> bool: ...
+    def add_guarded(self, name: Hashable, lits: Iterable[int]) -> int: ...
+    def retained_learned(self) -> int: ...
+    def solve(self, assumptions: Sequence[int] = ()) -> bool: ...
+    def value(self, ext_lit: int) -> bool: ...
+    def model(self) -> list[int]: ...
+    def core(self) -> list[int]: ...
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A parsed backend spec string.
+
+    ``canonical`` is the normalized spell of the spec — the string that
+    goes into cache keys and provenance, so ``"reference"`` and
+    ``"reference:restart_base=100"`` share one content address.
+    """
+
+    kind: str  # "reference" | "external" | "auto"
+    name: str  # display name: reference / kissat / process / dimacs ...
+    command: tuple[str, ...] = ()  # external invocation (empty: resolve late)
+    indexed_vsids: bool = False
+    restart_base: int = 100
+
+    @property
+    def canonical(self) -> str:
+        if self.kind == "reference":
+            options = []
+            if self.indexed_vsids:
+                options.append("indexed")
+            if self.restart_base != 100:
+                options.append(f"restart_base={self.restart_base}")
+            return "reference" + (":" + ",".join(options) if options else "")
+        if self.name == "dimacs":
+            return "dimacs:" + shlex.join(self.command)
+        return self.name
+
+
+def parse_backend_spec(spec: str | BackendSpec) -> BackendSpec:
+    """Parse a backend spec string (syntax only — PATH resolution is
+    :func:`make_solver`'s job, so specs validate identically on hosts
+    where the solver is absent)."""
+    if isinstance(spec, BackendSpec):
+        return spec
+    text = (spec or "reference").strip()
+    head, sep, rest = text.partition(":")
+    if head == "reference":
+        indexed = False
+        restart_base = 100
+        for option in filter(None, (o.strip() for o in rest.split(","))):
+            key, eq, value = option.partition("=")
+            if key == "indexed" and not eq:
+                indexed = True
+            elif key == "restart_base" and eq:
+                try:
+                    restart_base = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"bad restart_base {value!r} in backend spec "
+                        f"{text!r}: expected an integer"
+                    ) from None
+                if restart_base < 1:
+                    raise ValueError(
+                        f"restart_base must be >= 1 in backend spec {text!r}"
+                    )
+            else:
+                raise ValueError(
+                    f"unknown reference-backend option {option!r} in "
+                    f"{text!r}; known: indexed, restart_base=N"
+                )
+        return BackendSpec(kind="reference", name="reference",
+                           indexed_vsids=indexed, restart_base=restart_base)
+    if head == "dimacs":
+        command = tuple(shlex.split(rest))
+        if not command:
+            raise ValueError(
+                f"backend spec {text!r} names no command; expected "
+                f"'dimacs:<command ...>'"
+            )
+        return BackendSpec(kind="external", name="dimacs", command=command)
+    if sep:
+        raise ValueError(
+            f"unknown backend spec {text!r}; options only apply to "
+            f"'reference:' and 'dimacs:'"
+        )
+    if head == "auto":
+        return BackendSpec(kind="auto", name="auto")
+    if head == "process":
+        return BackendSpec(kind="external", name="process")
+    if head in AUTODETECT_SOLVERS:
+        return BackendSpec(kind="external", name=head)
+    raise ValueError(
+        f"unknown backend {text!r}; known: reference[:opts], "
+        f"{', '.join(AUTODETECT_SOLVERS)}, process, dimacs:<command>, auto"
+    )
+
+
+def detect_external() -> str | None:
+    """The first autodetectable external solver on PATH, or None."""
+    for name in AUTODETECT_SOLVERS:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def _process_env() -> dict[str, str]:
+    """Subprocess environment for the ``process`` lane: the lane must
+    import ``repro`` even when the parent found it some other way."""
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+    return env
+
+
+def _resolve_command(spec: BackendSpec) -> tuple[tuple[str, ...], str, str]:
+    """(command, display name, output style) of an external spec."""
+    if spec.name == "process":
+        return (sys.executable, "-m", "repro.sat"), "process", "stdout"
+    if spec.name == "dimacs":
+        if shutil.which(spec.command[0]) is None:
+            raise BackendUnavailableError(
+                f"external solver command {spec.command[0]!r} not on PATH"
+            )
+        return spec.command, "dimacs", "stdout"
+    if shutil.which(spec.name) is None:
+        raise BackendUnavailableError(
+            f"external solver {spec.name!r} not on PATH"
+        )
+    style = "file" if spec.name in _FILE_STYLE else "stdout"
+    return (spec.name,), spec.name, style
+
+
+def make_solver(spec: str | BackendSpec = "reference") -> "SolverBackend":
+    """Build the solver object a backend spec names.
+
+    Raises :exc:`BackendUnavailableError` when an explicitly requested
+    external solver is not installed (``auto`` never raises: it falls
+    back to the ``process`` lane).
+    """
+    parsed = parse_backend_spec(spec)
+    if parsed.kind == "reference":
+        return Solver(indexed_vsids=parsed.indexed_vsids,
+                      restart_base=parsed.restart_base)
+    if parsed.kind == "auto":
+        found = detect_external()
+        parsed = parse_backend_spec(found if found is not None else "process")
+    command, name, style = _resolve_command(parsed)
+    env = _process_env() if name == "process" else None
+    return ExternalSolver(command, name=name, style=style, env=env)
+
+
+class ExternalSolver:
+    """DIMACS/IPASIR-style subprocess adapter for external CDCL solvers.
+
+    Duck-types the :class:`SolverBackend` surface over a one-shot
+    subprocess protocol: every ``solve`` writes the full clause set
+    (assumptions appended as unit clauses) as a DIMACS file, runs the
+    command, and parses the standard answer — ``s SATISFIABLE`` /
+    ``s UNSATISFIABLE`` plus ``v`` model lines for ``stdout``-style
+    solvers (kissat, cadical, ``python -m repro.sat``), or minisat's
+    result-file convention for ``file``-style ones; exit codes 10/20
+    are honoured as a fallback.  SAT models load into the adapter so
+    ``value``/``model`` answer exactly like the reference kernel.  On
+    UNSAT the failed-assumption core is the sound over-approximation
+    (every assumption) — external solvers do not report cores over this
+    protocol.  ``c stats key=value`` comment lines (emitted by the
+    ``process`` lane) accumulate into ``stats``.
+    """
+
+    def __init__(self, command: Sequence[str], name: str = "dimacs",
+                 style: str = "stdout", timeout: float | None = None,
+                 env: dict[str, str] | None = None):
+        if style not in ("stdout", "file"):
+            raise ValueError(f"unknown output style {style!r}")
+        self.command = tuple(command)
+        self.name = name
+        self.style = style
+        self.timeout = timeout
+        self.env = env
+        self.n_vars = 0
+        self.restart_base = 0  # schedule belongs to the external solver
+        self._clauses: list[list[int]] = []
+        self._activations: dict[Hashable, int] = {}
+        self._model: list[int] = [0]
+        self._last_assumptions: list[int] = []
+        self._core: list[int] = []
+        self._ok = True
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "solves": 0,
+        }
+
+    # -- variable / clause management ---------------------------------------
+
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def ensure_vars(self, n: int) -> None:
+        if n > self.n_vars:
+            self.n_vars = n
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        clause = list(lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a DIMACS literal")
+            self.ensure_vars(abs(lit))
+        if not clause:
+            self._ok = False
+            return False
+        self._clauses.append(clause)
+        return self._ok
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    # -- named activation literals (same contract as Solver) ----------------
+
+    def activation(self, name: Hashable) -> int:
+        var = self._activations.get(name)
+        if var is None:
+            var = self.new_var()
+            self._activations[name] = var
+        return var
+
+    def has_activation(self, name: Hashable) -> bool:
+        return name in self._activations
+
+    def add_guarded(self, name: Hashable, lits: Iterable[int]) -> int:
+        var = self.activation(name)
+        self.add_clause([-var, *lits])
+        return var
+
+    def retained_learned(self) -> int:
+        return 0  # one-shot protocol: nothing carries over
+
+    # -- solving ------------------------------------------------------------
+
+    def _dimacs(self, assumptions: Sequence[int]) -> str:
+        lines = [
+            f"p cnf {self.n_vars} {len(self._clauses) + len(assumptions)}"
+        ]
+        for clause in self._clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        for lit in assumptions:
+            lines.append(f"{lit} 0")
+        return "\n".join(lines) + "\n"
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        self._core = []
+        self._last_assumptions = list(assumptions)
+        if not self._ok:
+            self._core = []
+            return False
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        tmp = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cnf", prefix="repro-sat-", delete=False
+        )
+        out_path: Path | None = None
+        try:
+            tmp.write(self._dimacs(assumptions))
+            tmp.close()
+            command = list(self.command) + [tmp.name]
+            if self.style == "file":
+                out_path = Path(tmp.name + ".out")
+                command.append(str(out_path))
+            try:
+                proc = subprocess.run(
+                    command, capture_output=True, text=True,
+                    timeout=self.timeout, env=self.env,
+                )
+            except FileNotFoundError:
+                raise BackendUnavailableError(
+                    f"external solver command {self.command[0]!r} vanished "
+                    f"from PATH"
+                ) from None
+            text = proc.stdout
+            if self.style == "file":
+                text = out_path.read_text() if out_path.exists() else ""
+            sat = self._parse_answer(proc.returncode, text, proc.stderr)
+        finally:
+            Path(tmp.name).unlink(missing_ok=True)
+            if out_path is not None:
+                out_path.unlink(missing_ok=True)
+        self.stats["solves"] += 1
+        if not sat:
+            # Sound over-approximate core: UNSAT under all assumptions.
+            self._core = list(assumptions)
+        return sat
+
+    def _parse_answer(self, returncode: int, text: str, stderr: str) -> bool:
+        sat: bool | None = None
+        model_lits: list[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if line.startswith("c stats "):
+                for token in line[len("c stats "):].split():
+                    key, eq, value = token.partition("=")
+                    if eq and key in self.stats:
+                        try:
+                            self.stats[key] += int(value)
+                        except ValueError:
+                            pass
+                continue
+            if line.startswith(("s ", "S")):
+                upper = line.upper()
+                if "UNSAT" in upper:
+                    sat = False
+                elif "SAT" in upper:
+                    sat = True
+                continue
+            if line.startswith("v "):
+                model_lits.extend(int(t) for t in line[2:].split())
+            elif self.style == "file" and sat is True \
+                    and line and line[0] in "-0123456789":
+                # minisat's result file: model on its own line.
+                model_lits.extend(int(t) for t in line.split())
+        if sat is None:
+            if returncode == 10:
+                sat = True
+            elif returncode == 20:
+                sat = False
+            else:
+                tail = (stderr or text).strip().splitlines()[-3:]
+                raise RuntimeError(
+                    f"external solver {self.name!r} gave no answer "
+                    f"(exit {returncode}): {' | '.join(tail)}"
+                )
+        if sat:
+            model = [0] * (self.n_vars + 1)
+            for lit in model_lits:
+                var = abs(lit)
+                if 0 < var <= self.n_vars:
+                    model[var] = 1 if lit > 0 else -1
+            self._model = model
+        return sat
+
+    # -- model access -------------------------------------------------------
+
+    def value(self, ext_lit: int) -> bool:
+        var = abs(ext_lit)
+        if var >= len(self._model):
+            return False
+        v = self._model[var]
+        return (v == 1) if ext_lit > 0 else (v == -1)
+
+    def model(self) -> list[int]:
+        return [
+            var if self.value(var) else -var
+            for var in range(1, len(self._model))
+        ]
+
+    def core(self) -> list[int]:
+        return list(self._core)

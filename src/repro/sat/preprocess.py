@@ -448,12 +448,18 @@ class SimplifyingSolver:
     any assumption variables) protected, and the SAT model is extended
     back over the eliminated variables so ``value`` answers for *every*
     variable — decoded traces are exact.
+
+    ``inner`` plugs in the kernel that solves the simplified formula —
+    any :class:`~repro.sat.backends.SolverBackend` (e.g. an external
+    DIMACS subprocess adapter); model reconstruction runs through the
+    same elimination stack regardless, so counterexamples from external
+    backends stay exact.
     """
 
     def __init__(self, config: PreprocessConfig | None = None,
-                 frozen: Iterable[int] = ()):
+                 frozen: Iterable[int] = (), inner=None):
         self.config = config or PreprocessConfig()
-        self.inner = Solver()
+        self.inner = inner if inner is not None else Solver()
         self.n_vars = 0
         self._buffer: list[list[int]] = []
         self._frozen = {abs(v) for v in frozen}

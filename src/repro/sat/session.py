@@ -64,10 +64,27 @@ class SolveStats:
 
 
 class IncrementalSession:
-    """A persistent solver with named activation groups and scratch goals."""
+    """A persistent solver with named activation groups and scratch goals.
 
-    def __init__(self, solver: Solver | None = None):
-        self.solver = solver if solver is not None else Solver()
+    Args:
+        solver: an explicit solver object implementing the
+            :class:`~repro.sat.backends.SolverBackend` surface.
+        backend: a backend spec string (see :mod:`repro.sat.backends`)
+            naming which solver to build — ``"reference"`` (default),
+            ``"reference:restart_base=N"``, ``"kissat"``, ``"process"``,
+            ``"auto"``, ...  Ignored when ``solver`` is given.
+    """
+
+    def __init__(self, solver: Solver | None = None,
+                 backend: str | None = None):
+        if solver is not None:
+            self.solver = solver
+        elif backend is not None and backend != "reference":
+            from .backends import make_solver
+
+            self.solver = make_solver(backend)
+        else:
+            self.solver = Solver()
         self._scratch_counter = 0
         self.solve_calls = 0
 

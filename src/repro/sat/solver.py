@@ -174,9 +174,19 @@ class Solver:
     the fully indexed decrease-key heap (:class:`_VarOrder`).  Both
     produce bit-identical branching orders; the default is the one that
     measures faster (see ``benchmarks/results/vsids_indexed_heap.txt``).
+
+    ``restart_base`` scales the Luby restart schedule (the conflict
+    budget of restart *i* is ``restart_base * luby(i)``).  It never
+    affects verdicts — only which model a SAT answer happens to find
+    and how the search cost distributes — which is exactly what makes
+    it a portfolio diversification knob: racing lanes run the same
+    kernel under different schedules (see :mod:`repro.sat.backends`).
     """
 
-    def __init__(self, indexed_vsids: bool = False):
+    def __init__(self, indexed_vsids: bool = False, restart_base: int = 100):
+        if restart_base < 1:
+            raise ValueError(f"restart_base must be >= 1, got {restart_base}")
+        self.restart_base = restart_base
         self.n_vars = 0
         # Indexed by internal literal (2v / 2v+1): lists of watcher pairs
         # [blocker_lit, clause].  The blocker is some other literal of the
@@ -219,6 +229,9 @@ class Solver:
         self._model: list[int] = [0]  # copy of assignments at last SAT answer
         self._ok = True  # False once the clause set is trivially UNSAT
         self._activations: dict[Hashable, int] = {}
+        # Failed-assumption set of the last UNSAT answer (DIMACS
+        # literals, a subset of the assumptions passed to ``solve``).
+        self._core: list[int] = []
         # Statistics, exposed for the benchmark harness.
         self.stats = {
             "conflicts": 0,
@@ -606,8 +619,10 @@ class Solver:
         """Search for a model under the given assumption literals.
 
         Returns True (SAT) or False (UNSAT under assumptions).  On SAT the
-        model is available through :meth:`value`.
+        model is available through :meth:`value`; on UNSAT the
+        failed-assumption subset through :meth:`core`.
         """
+        self._core = []
         if not self._ok:
             return UNSAT
         self._backtrack(0)
@@ -618,7 +633,7 @@ class Solver:
         for a in assumps:
             self.ensure_vars(a >> 1)
         restarts = 0
-        conflict_budget = 100 * _luby(restarts)
+        conflict_budget = self.restart_base * _luby(restarts)
         conflicts_here = 0
         max_learned = max(1000, self._clause_count() // 3)
         while True:
@@ -630,7 +645,11 @@ class Solver:
                     self._ok = False
                     return UNSAT
                 if len(self._trail_lim) <= len(assumps):
-                    # Conflict forced purely by the assumptions.
+                    # Conflict forced purely by the assumptions: every
+                    # decision still on the trail is an assumption, so
+                    # analyzeFinal over the conflict clause yields the
+                    # failed-assumption subset before unwinding.
+                    self._core = self._analyze_final(conflict)
                     self._backtrack(0)
                     return UNSAT
                 learned, back_level = self._analyze(conflict)
@@ -653,7 +672,7 @@ class Solver:
                 # Restart, keeping assumptions intact.
                 self.stats["restarts"] += 1
                 restarts += 1
-                conflict_budget = 100 * _luby(restarts)
+                conflict_budget = self.restart_base * _luby(restarts)
                 conflicts_here = 0
                 self._backtrack(0)
                 continue
@@ -666,6 +685,10 @@ class Solver:
                 lit = assumps[level]
                 value = self._lit_value(lit)
                 if value == -1:
+                    # The assumption itself is falsified by the earlier
+                    # ones: it joins the chain that implied its negation.
+                    self._core = self._analyze_final([lit])
+                    self._core.append(-(lit >> 1) if lit & 1 else lit >> 1)
                     self._backtrack(0)
                     return UNSAT
                 self._trail_lim.append(len(self._trail))
@@ -680,6 +703,47 @@ class Solver:
             self.stats["decisions"] += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(decision, None)
+
+    def _analyze_final(self, seed_lits: Iterable[int]) -> list[int]:
+        """MiniSat's analyzeFinal: the assumptions forcing a conflict.
+
+        ``seed_lits`` are the internal literals of the conflicting
+        clause (or the falsified assumption).  Resolving backwards along
+        the trail, every reached decision is an assumption — the solver
+        only calls this while no branch decision is on the trail — and
+        the collected set is a failed-assumption core: the formula is
+        already UNSAT under these assumptions alone.  Returns DIMACS
+        literals in assumption order.
+        """
+        seen: set[int] = set()
+        for lit in seed_lits:
+            if self._level[lit >> 1] > 0:
+                seen.add(lit >> 1)
+        core: list[int] = []
+        for lit in reversed(self._trail):
+            var = lit >> 1
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self._reason[var]
+            if reason is None:
+                core.append(-var if lit & 1 else var)
+            else:
+                for q in reason:
+                    if (q >> 1) != var and self._level[q >> 1] > 0:
+                        seen.add(q >> 1)
+        core.reverse()
+        return core
+
+    def core(self) -> list[int]:
+        """Failed assumptions of the last UNSAT answer (DIMACS literals).
+
+        A subset of the ``solve`` call's assumptions under which the
+        formula is already unsatisfiable (not guaranteed minimal; empty
+        when the clause set is UNSAT without any assumptions).  Cleared
+        by a SAT answer.
+        """
+        return list(self._core)
 
     def _pick_branch(self) -> int:
         """Pick the unassigned variable with highest activity (0 if none).

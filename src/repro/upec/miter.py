@@ -95,12 +95,19 @@ class CheckStats:
     pass removed, and ``candidates_pruned_by_sim`` how many closure
     candidates skipped their SAT call because a simulated lane already
     witnessed their divergence.
+
+    Portfolio racing (``repro.verify.portfolio``) reports into the last
+    block: ``winner_lane`` is the backend spec of the lane whose answer
+    was used, ``lanes_cancelled`` how many slower lanes were terminated,
+    and ``race_wall_s`` the wall-clock of the whole race (including
+    process spin-up — compare against ``seconds`` of a serial run).
     """
 
     aig_nodes: int = 0
     cnf_vars: int = 0
     conflicts: int = 0
     decisions: int = 0
+    restarts: int = 0
     build_seconds: float = 0.0
     solve_seconds: float = 0.0
     encode_seconds: float = 0.0
@@ -110,6 +117,9 @@ class CheckStats:
     vars_eliminated: int = 0
     clauses_subsumed: int = 0
     candidates_pruned_by_sim: int = 0
+    winner_lane: str = ""
+    lanes_cancelled: int = 0
+    race_wall_s: float = 0.0
 
     def add(self, other: "CheckStats") -> None:
         """Accumulate another check's costs (campaign/job rollups)."""
@@ -117,6 +127,7 @@ class CheckStats:
         self.cnf_vars = max(self.cnf_vars, other.cnf_vars)
         self.conflicts += other.conflicts
         self.decisions += other.decisions
+        self.restarts += other.restarts
         self.build_seconds += other.build_seconds
         self.solve_seconds += other.solve_seconds
         self.encode_seconds += other.encode_seconds
@@ -126,6 +137,9 @@ class CheckStats:
         self.vars_eliminated += other.vars_eliminated
         self.clauses_subsumed += other.clauses_subsumed
         self.candidates_pruned_by_sim += other.candidates_pruned_by_sim
+        self.winner_lane = other.winner_lane or self.winner_lane
+        self.lanes_cancelled += other.lanes_cancelled
+        self.race_wall_s += other.race_wall_s
 
     def to_dict(self) -> dict:
         """JSON-ready representation (worker IPC / campaign artifacts)."""
@@ -256,14 +270,16 @@ class MiterSession:
 
     def __init__(self, threat_model: ThreatModel,
                  classifier: StateClassifier | None = None,
-                 preprocess: PreprocessConfig | None = None):
+                 preprocess: PreprocessConfig | None = None,
+                 backend: str | None = None):
         self.tm = threat_model
         self.classifier = classifier or StateClassifier(threat_model)
         self.preprocess = PreprocessConfig.coerce(preprocess)
+        self.backend = backend or "reference"
         self.circuit = threat_model.circuit
         self.circuit.validate()
         self.aig = Aig()
-        self.sat = IncrementalSession()
+        self.sat = IncrementalSession(backend=backend)
         self.solver = self.sat.solver
         self.encoder = CnfEncoder(self.aig, self.solver)
         circuit, aig, tm = self.circuit, self.aig, self.tm
@@ -739,6 +755,7 @@ class MiterSession:
             stats.solve_seconds += result.seconds
             stats.conflicts += result.conflicts
             stats.decisions += result.decisions
+            stats.restarts += result.restarts
             if not result.sat:
                 break
             self._model_loaded = True
@@ -855,6 +872,7 @@ class MiterSession:
         stats.solve_seconds = result.seconds
         stats.conflicts = result.conflicts
         stats.decisions = result.decisions
+        stats.restarts = result.restarts
         stats.aig_nodes = self.aig.num_nodes()
         stats.cnf_vars = self.solver.n_vars
         if not result.sat:
@@ -877,6 +895,7 @@ class MiterSession:
         stats.solve_seconds += result.seconds
         stats.conflicts += result.conflicts
         stats.decisions += result.decisions
+        stats.restarts += result.restarts
         assert result.sat, "witness re-solve of a satisfiable diff failed"
         self._model_loaded = True
         return self._package(set(diff_names), depth, record_trace, stats)
@@ -918,10 +937,12 @@ class UpecMiter:
     def __init__(self, threat_model: ThreatModel,
                  classifier: StateClassifier | None = None,
                  incremental: bool = True,
-                 preprocess: PreprocessConfig | None = None):
+                 preprocess: PreprocessConfig | None = None,
+                 backend: str | None = None):
         self.tm = threat_model
         self.classifier = classifier or StateClassifier(threat_model)
         self.preprocess = PreprocessConfig.coerce(preprocess)
+        self.backend = backend or "reference"
         self.circuit = threat_model.circuit
         self.circuit.validate()
         self.incremental = incremental
@@ -936,10 +957,12 @@ class UpecMiter:
         """
         if not self.incremental:
             return MiterSession(self.tm, self.classifier,
-                                preprocess=self.preprocess)
+                                preprocess=self.preprocess,
+                                backend=self.backend)
         if self._session is None:
             self._session = MiterSession(self.tm, self.classifier,
-                                         preprocess=self.preprocess)
+                                         preprocess=self.preprocess,
+                                         backend=self.backend)
         return self._session
 
     def build(self, s_frames: list[set[str]],

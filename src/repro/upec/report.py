@@ -151,6 +151,12 @@ def format_verdict(verdict, classifier: StateClassifier | None = None) -> str:
         reductions.append(f"{stats.clauses_subsumed} clauses subsumed")
     if reductions:
         lines.append("reductions: " + ", ".join(reductions))
+    if stats.winner_lane:
+        lines.append(
+            f"portfolio: {stats.winner_lane} won, "
+            f"{stats.lanes_cancelled} lane(s) cancelled "
+            f"({stats.race_wall_s:.1f} s race wall)"
+        )
     if verdict.seeded:
         lines.append(f"seeded: {len(verdict.seeded)} name(s)"
                      + (" — reran unseeded to confirm"
@@ -227,6 +233,9 @@ def format_job_line(result) -> str:
         extras.append("reran-unseeded")
     if result.stats.candidates_pruned_by_sim:
         extras.append(f"sim-pruned({result.stats.candidates_pruned_by_sim})")
+    if result.stats.winner_lane:
+        extras.append(f"portfolio: {result.stats.winner_lane} won, "
+                      f"{result.stats.lanes_cancelled} cancelled")
     suffix = f"  [{', '.join(extras)}]" if extras else ""
     return (
         f"[{result.job.index:>3}] {result.job.label():<36} "

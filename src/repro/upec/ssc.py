@@ -182,6 +182,7 @@ def upec_ssc(
     miter: UpecMiter | None = None,
     seed_removed: set[str] | None = None,
     preprocess=None,
+    backend: str | None = None,
 ) -> SscResult:
     """Run Algorithm 1 on a design.
 
@@ -218,7 +219,7 @@ def upec_ssc(
                                 else StateClassifier(threat_model))
     if miter is None:
         miter = UpecMiter(threat_model, classifier, incremental=incremental,
-                          preprocess=preprocess)
+                          preprocess=preprocess, backend=backend)
     s = set(initial_s) if initial_s is not None else classifier.s_not_victim()
     seeded: set[str] = set()
     if seed_removed:

@@ -118,6 +118,7 @@ def upec_ssc_unrolled(
     initial_s: set[str] | None = None,
     seed_removed: set[str] | None = None,
     preprocess=None,
+    backend: str | None = None,
 ) -> UnrolledResult:
     """Run Algorithm 2 on a design.
 
@@ -151,7 +152,7 @@ def upec_ssc_unrolled(
     """
     classifier = classifier or StateClassifier(threat_model)
     miter = UpecMiter(threat_model, classifier, incremental=incremental,
-                      preprocess=preprocess)
+                      preprocess=preprocess, backend=backend)
     s_start = (set(initial_s) if initial_s is not None
                else classifier.s_not_victim())
     seeded: set[str] = set()

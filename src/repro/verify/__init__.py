@@ -31,6 +31,7 @@ from ..sat.preprocess import PreprocessConfig
 from .api import Verifier, default_cache, set_default_cache, verify
 from .cache import VerdictCache, cache_key
 from .engine import execute
+from .portfolio import PortfolioDisagreement, race
 from .request import (
     DESIGN_KINDS,
     METHODS,
@@ -80,6 +81,8 @@ __all__ = [
     "Verifier",
     "verify",
     "execute",
+    "race",
+    "PortfolioDisagreement",
     "cache_key",
     "design_fingerprint",
     "threat_model_hash",

@@ -110,6 +110,48 @@ def parse_preprocess_arguments(args):
     return PreprocessConfig(enabled=not args.no_preprocess, **overrides)
 
 
+def add_backend_arguments(parser) -> None:
+    """The solver-backend knobs shared by the verify/campaign/repair
+    CLIs (see :mod:`repro.sat.backends` for spec-string syntax)."""
+    parser.add_argument(
+        "--backend", metavar="SPEC", default=None,
+        help=("solver backend spec: reference[:indexed,restart_base=N], "
+              "kissat, cadical, minisat, process, dimacs:<cmd>, or auto "
+              "(default: reference)"))
+    parser.add_argument(
+        "--portfolio", metavar="SPEC[,SPEC...]", default=None,
+        help=("race these backend lanes per obligation, first finisher "
+              "wins (comma-separated specs; commas inside dimacs: "
+              "commands are not supported here — use the API)"))
+
+
+def parse_backend_arguments(args) -> tuple[str | None, tuple | None]:
+    """``(backend, portfolio)`` from the shared CLI flags.
+
+    Returns None for a flag that was not given (callers keep their
+    defaults); validates spec syntax eagerly so bad specs exit with the
+    usual single-line ``error:`` diagnostic instead of failing deep in
+    a worker process.
+    """
+    from ..sat.backends import parse_backend_spec
+
+    backend = None
+    if args.backend is not None:
+        backend = parse_backend_spec(args.backend).canonical
+    portfolio = None
+    if args.portfolio is not None:
+        lanes = [lane.strip() for lane in args.portfolio.split(",")
+                 if lane.strip()]
+        if not lanes:
+            raise ValueError(
+                f"bad --portfolio value {args.portfolio!r}: expected "
+                f"comma-separated backend specs"
+            )
+        portfolio = tuple(parse_backend_spec(lane).canonical
+                          for lane in lanes)
+    return backend, portfolio
+
+
 def _run(args) -> int:
     from ..soc.config import BASE_CONFIGS, named_config
     from ..upec.report import format_verdict
@@ -126,6 +168,7 @@ def _run(args) -> int:
                 "--set only applies to named SoC base configs"
             )
         design = args.design
+    backend, portfolio = parse_backend_arguments(args)
     request = VerificationRequest(
         design=design,
         method=args.method,
@@ -134,6 +177,8 @@ def _run(args) -> int:
         record_trace=not args.no_trace,
         use_cache=not args.no_cache,
         preprocess=parse_preprocess_arguments(args),
+        backend=backend or "reference",
+        portfolio=portfolio or (),
     )
     cache = VerdictCache(args.cache_dir) if args.cache_dir else None
     verdict = verify(request, cache=cache)
@@ -183,6 +228,7 @@ def main(argv=None) -> int:
     run.add_argument("--no-trace", action="store_true",
                      help="skip counterexample trace decoding")
     add_preprocess_arguments(run)
+    add_backend_arguments(run)
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the verdict cache")
     run.add_argument("--cache-dir", metavar="PATH", default=None,

@@ -71,6 +71,11 @@ def _request_key(request: VerificationRequest, hints=None) -> str | None:
             # verdicts do not, and cached payloads replay bit-for-bit —
             # so the setting is part of the content address.
             "preprocess": request.preprocess.to_dict(),
+            # Same argument for solver backends and portfolio racing:
+            # verdicts agree, cost profiles and models don't — verdicts
+            # produced by different backends must never alias.
+            "backend": request.backend,
+            "portfolio": list(request.portfolio),
         },
     )
 
@@ -174,11 +179,13 @@ class Verifier:
                 self.history.append(verdict)
                 return verdict
         miter = None
-        if method == "alg1":
+        if method == "alg1" and not request.portfolio:
             if self._miter is None \
-                    or self._miter.preprocess != request.preprocess:
+                    or self._miter.preprocess != request.preprocess \
+                    or self._miter.backend != request.backend:
                 self._miter = UpecMiter(self.threat_model, self.classifier,
-                                        preprocess=request.preprocess)
+                                        preprocess=request.preprocess,
+                                        backend=request.backend)
             miter = self._miter
         verdict = execute(
             request,

@@ -68,6 +68,9 @@ def _provenance(request: VerificationRequest) -> dict:
         # Which reductions ran (the pipeline never changes verdicts,
         # but cost profiles are only comparable within one setting).
         "preprocess": request.preprocess.provenance(),
+        # Which solver kernel answered (same argument as above —
+        # verdicts are backend-independent, cost profiles are not).
+        "backend": request.backend,
         # Overwritten to True when a cached payload answers the
         # question (campaign reports distinguish solved vs replayed).
         "cache_hit": False,
@@ -98,6 +101,13 @@ def execute(
         ``timeout``/``error`` outcomes are produced by the campaign
         executors, not here.
     """
+    if request.portfolio:
+        # Race one lane per portfolio backend spec; first finisher
+        # wins, losers are cancelled, sampled non-reference winners are
+        # cross-checked against the reference kernel.
+        from .portfolio import race
+
+        return race(request, hints)
     start = time.perf_counter()
     verdict = _execute_inner(request, hints, prebuilt, miter)
     verdict.seconds = time.perf_counter() - start
@@ -138,6 +148,7 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
                     miter=miter,
                     seed_removed=seed,
                     preprocess=request.preprocess,
+                    backend=request.backend,
                 )
             return upec_ssc_unrolled(
                 tm, classifier,
@@ -146,6 +157,7 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
                 record_trace=request.record_trace,
                 seed_removed=seed,
                 preprocess=request.preprocess,
+                backend=request.backend,
             )
 
         result = run(seed_removed or None)
@@ -201,7 +213,8 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
 
             check = bmc(soc.circuit, all_of(invariants), depth=request.depth,
                         assumptions=assumptions,
-                        preprocess=request.preprocess)
+                        preprocess=request.preprocess,
+                        backend=request.backend)
             detail: dict = {"failing_cycle": check.failing_cycle}
             if request.record_trace and check.trace is not None:
                 detail["trace"] = check.trace.to_dict()
@@ -212,7 +225,7 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
         max_k = max(request.depth, seed_k or 0)
         proof = find_induction_depth(
             soc.circuit, invariants, max_k=max_k, assumptions=assumptions,
-            preprocess=request.preprocess,
+            preprocess=request.preprocess, backend=request.backend,
         )
         return verdict(
             "proved" if proof.proved else "unproved",
@@ -231,7 +244,7 @@ def _execute_inner(request, hints, prebuilt, miter) -> Verdict:
         ift = bounded_ift_check(
             tm, classifier, depth=request.depth,
             victim_page=_ift_victim_page(tm, soc),
-            preprocess=request.preprocess,
+            preprocess=request.preprocess, backend=request.backend,
         )
         return verdict(
             "flow" if ift.flows else "no-flow",

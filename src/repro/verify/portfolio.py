@@ -1,0 +1,236 @@
+"""Per-obligation portfolio racing across solver backends.
+
+One verification obligation, N *lanes* — each lane a full
+:func:`~repro.verify.engine.execute` run of the same request pinned to
+a different backend spec (reference kernel under different restart
+scales, an external solver when installed, ...).  The lanes race in
+separate processes under the same fork/Pipe machinery the campaign
+:class:`~repro.campaign.executors._ProcessPoolExecutor` uses; the first
+lane to finish wins, the losers are terminated promptly.  This is the
+standard portfolio trick of production verification stacks: per-
+obligation solver runtimes are heavy-tailed and weakly correlated
+across configurations, so ``min`` over lanes beats any fixed choice —
+*when the obligations are large enough to amortize the process
+spin-up* (see ``benchmarks/results/BENCH_portfolio``-series for the
+measured break-even on this repository's workloads).
+
+Soundness is not delegated to luck:
+
+* the UPEC-SSC closure is canonical — every lane computes the same
+  verdict, leaking set and ``final_s`` regardless of backend, so the
+  race only selects *which equal answer arrives first*;
+* non-reference winners are **cross-checked** against the reference
+  backend on a deterministic sample of obligations (
+  :data:`CROSS_CHECK_RATE`): the reference run must agree bit-exactly
+  on status / raw verdict / leaking set, and a VULNERABLE winner's
+  counterexample must replay on the concrete RTL
+  (:meth:`~repro.verify.verdict.Verdict.replay`).  Disagreement raises
+  :exc:`PortfolioDisagreement` — never a silent wrong answer.
+
+The race's verdict carries ``stats.winner_lane`` /
+``stats.lanes_cancelled`` / ``stats.race_wall_s`` and a
+``provenance["portfolio"]`` record (lanes, winner, cross-check
+outcome), rendered by ``repro.upec.report`` as
+``[portfolio: kissat won, 2 cancelled]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import time
+from multiprocessing.connection import wait as conn_wait
+
+from .request import VerificationRequest
+from .verdict import Verdict
+
+__all__ = ["race", "lane_requests", "PortfolioDisagreement",
+           "CROSS_CHECK_RATE"]
+
+#: Fraction of non-reference race wins cross-checked against the
+#: reference backend (deterministic content-hash sampling, so the same
+#: request is always either checked or not — reproducible campaigns).
+CROSS_CHECK_RATE = 0.25
+
+
+class PortfolioDisagreement(AssertionError):
+    """A race winner's verdict differed from the reference backend's."""
+
+
+def lane_requests(request: VerificationRequest) -> list[VerificationRequest]:
+    """The per-lane requests of a portfolio race.
+
+    Each lane is the same question pinned to one backend spec, with
+    ``portfolio`` cleared (no recursive races) and caching off (the
+    *race* result is what gets cached, under the portfolio's own key).
+    """
+    if not request.portfolio:
+        raise ValueError("request has no portfolio lanes")
+    lanes = []
+    for spec in request.portfolio:
+        lanes.append(dataclasses.replace(
+            request, backend=spec, portfolio=(), use_cache=False,
+        ))
+    return lanes
+
+
+def _lane_main(request: VerificationRequest, hints, conn) -> None:
+    """Child-process entry: run one lane, ship the verdict dict back."""
+    try:
+        from .engine import execute
+
+        verdict = execute(request, hints)
+        conn.send({"ok": verdict.to_dict()})
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        try:
+            conn.send({"error": f"{type(exc).__name__}: {exc}"})
+        except Exception:  # noqa: BLE001
+            pass
+    finally:
+        conn.close()
+
+
+def _should_cross_check(request: VerificationRequest, rate: float) -> bool:
+    """Deterministic sampling: hash the request's content identity."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    try:
+        seed = f"{request.fingerprint()}|{request.method}|{request.depth}"
+    except Exception:  # noqa: BLE001 — raw ThreatModel designs
+        seed = f"object|{request.method}|{request.depth}"
+    digest = hashlib.sha256(seed.encode()).digest()
+    return (int.from_bytes(digest[:4], "big") / 2 ** 32) < rate
+
+
+def _cross_check(request: VerificationRequest, winner: Verdict,
+                 hints) -> dict:
+    """Re-answer on the reference backend; must agree bit-exactly."""
+    from .engine import execute
+
+    reference = dataclasses.replace(
+        request, backend="reference", portfolio=(), use_cache=False,
+    )
+    check = execute(reference, hints)
+    agree = (check.status == winner.status
+             and check.raw_verdict == winner.raw_verdict
+             and check.leaking == winner.leaking)
+    if not agree:
+        raise PortfolioDisagreement(
+            f"portfolio winner disagrees with the reference backend: "
+            f"winner {winner.status}/{winner.raw_verdict} "
+            f"leaking={sorted(winner.leaking)} vs reference "
+            f"{check.status}/{check.raw_verdict} "
+            f"leaking={sorted(check.leaking)}"
+        )
+    outcome = {"agreed": True, "replayed": False}
+    if winner.vulnerable:
+        try:
+            report = winner.replay()
+            if not report.ok:
+                raise PortfolioDisagreement(
+                    "portfolio winner's counterexample does not replay "
+                    "on the concrete RTL"
+                )
+            outcome["replayed"] = True
+        except ValueError:
+            # No replayable trace (record_trace off, builder design):
+            # agreement on status/leaking already checked above.
+            pass
+    return outcome
+
+
+def race(request: VerificationRequest, hints=None, *,
+         cross_check_rate: float | None = None) -> Verdict:
+    """Race the request's portfolio lanes; first finisher wins.
+
+    Falls back to running the first lane inline when process-based
+    parallelism is unavailable or every lane process fails.  The
+    returned verdict is the winner's, decorated with race stats and
+    portfolio provenance, and — for a sampled subset of non-reference
+    winners — cross-checked against the reference backend.
+    """
+    lanes = lane_requests(request)
+    rate = CROSS_CHECK_RATE if cross_check_rate is None else cross_check_rate
+    start = time.perf_counter()
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = None
+    if multiprocessing.current_process().daemon:
+        # Inside a daemonic pool worker (e.g. the campaign fork pool):
+        # children are forbidden, so the race degrades to the first
+        # lane inline.  Campaigns that want real races run with
+        # --workers 0 / --executor serial.
+        ctx = None
+    if ctx is None or len(lanes) == 1:
+        from .engine import execute
+
+        winner = execute(lanes[0], hints)
+        winner_spec = lanes[0].backend
+        cancelled = 0
+        lane_errors: dict[str, str] = {}
+    else:
+        running: dict = {}  # receiver -> (spec, process)
+        for lane in lanes:
+            receiver, sender = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_lane_main, args=(lane, hints, sender), daemon=True,
+            )
+            process.start()
+            sender.close()
+            running[receiver] = (lane.backend, process)
+        winner = None
+        winner_spec = ""
+        lane_errors = {}
+        while running and winner is None:
+            for receiver in conn_wait(list(running)):
+                spec, process = running.pop(receiver)
+                try:
+                    payload = receiver.recv()
+                except EOFError:
+                    payload = {"error": "lane died without an answer"}
+                receiver.close()
+                process.join()
+                if "ok" in payload:
+                    winner = Verdict.from_dict(payload["ok"])
+                    winner_spec = spec
+                    break
+                lane_errors[spec] = payload.get("error", "unknown error")
+        cancelled = len(running)
+        for receiver, (spec, process) in running.items():
+            process.terminate()
+            process.join()
+            receiver.close()
+        if winner is None:
+            # Every lane failed (e.g. all external, none installed):
+            # answer inline on the reference backend instead of dying.
+            from .engine import execute
+
+            winner = execute(dataclasses.replace(
+                request, backend="reference", portfolio=(),
+                use_cache=False,
+            ), hints)
+            winner_spec = "reference (fallback)"
+    race_wall = time.perf_counter() - start
+
+    check_outcome = None
+    if not winner_spec.startswith("reference") \
+            and winner.status in ("SECURE", "VULNERABLE") \
+            and _should_cross_check(request, rate):
+        check_outcome = _cross_check(request, winner, hints)
+
+    winner.stats.winner_lane = winner_spec
+    winner.stats.lanes_cancelled = cancelled
+    winner.stats.race_wall_s = race_wall
+    winner.seconds = race_wall
+    winner.provenance["portfolio"] = {
+        "lanes": [lane.backend for lane in lanes],
+        "winner": winner_spec,
+        "lanes_cancelled": cancelled,
+        "lane_errors": lane_errors,
+        "cross_check": check_outcome,
+    }
+    return winner

@@ -202,6 +202,19 @@ class VerificationRequest:
             verdict — status, leaking set, counterexample validity — is
             identical with preprocessing on or off, only the cost
             profile changes.
+        backend: solver backend spec string (see
+            :mod:`repro.sat.backends`): ``"reference"`` (default, the
+            pure-Python kernel), ``"reference:restart_base=N"``,
+            ``"kissat"`` / ``"cadical"`` / ``"minisat"``, ``"process"``,
+            ``"dimacs:<command>"`` or ``"auto"``.  Verdicts are
+            backend-independent; the backend is still part of the
+            request's cache identity so verdicts produced by different
+            kernels never alias.
+        portfolio: when non-empty, a tuple of backend spec strings to
+            *race* for this one obligation (first finisher wins, losers
+            are cancelled; see :mod:`repro.verify.portfolio`).  The
+            ``backend`` field is ignored during a race except as the
+            cross-check reference.
         label: free-form display label carried into the verdict.
     """
 
@@ -215,6 +228,8 @@ class VerificationRequest:
     induction_k: int | None = None
     use_cache: bool = True
     preprocess: PreprocessConfig | None = None
+    backend: str = "reference"
+    portfolio: tuple = ()
     label: str | None = None
 
     def __post_init__(self) -> None:
@@ -226,6 +241,14 @@ class VerificationRequest:
             self.design = normalize_design(self.design)
         self.seed_removed = tuple(sorted(self.seed_removed))
         self.preprocess = PreprocessConfig.coerce(self.preprocess)
+        # Normalize specs now so equal configurations share one spelling
+        # (and hence one cache address); raises on unknown specs early.
+        from ..sat.backends import parse_backend_spec
+
+        self.backend = parse_backend_spec(self.backend).canonical
+        self.portfolio = tuple(
+            parse_backend_spec(lane).canonical for lane in self.portfolio
+        )
 
     # -- identity ------------------------------------------------------------
 
@@ -263,6 +286,8 @@ class VerificationRequest:
             "induction_k": self.induction_k,
             "use_cache": self.use_cache,
             "preprocess": self.preprocess.to_dict(),
+            "backend": self.backend,
+            "portfolio": list(self.portfolio),
             "label": self.label,
         }
 
@@ -271,7 +296,7 @@ class VerificationRequest:
         known = {
             "design", "method", "depth", "threat_overrides", "record_trace",
             "max_iterations", "seed_removed", "induction_k", "use_cache",
-            "preprocess", "label",
+            "preprocess", "backend", "portfolio", "label",
         }
         unknown = set(data) - known
         if unknown:
@@ -281,4 +306,6 @@ class VerificationRequest:
         data = dict(data)
         if "seed_removed" in data:
             data["seed_removed"] = tuple(data["seed_removed"])
+        if "portfolio" in data:
+            data["portfolio"] = tuple(data["portfolio"])
         return cls(**data)

@@ -1,0 +1,434 @@
+"""Solver backends and portfolio racing.
+
+Covers the :class:`~repro.sat.backends.SolverBackend` surface: spec
+parsing, the reference-kernel variants, the DIMACS subprocess adapter
+(round-trip encode/decode, assumptions, failed-assumption cores), cache
+-address distinctness across backends, the portfolio race machinery and
+its verdict-identity guarantee, and the stats/report plumbing.
+
+External third-party solvers (kissat/cadical/minisat) are exercised
+only when installed; the always-available ``process`` lane — the
+reference kernel behind the same subprocess protocol — keeps every
+adapter path tested on machines without them.
+"""
+
+import random
+import shutil
+
+import pytest
+
+from repro.sat import Solver
+from repro.sat.backends import (
+    AUTODETECT_SOLVERS,
+    BackendUnavailableError,
+    ExternalSolver,
+    detect_external,
+    make_solver,
+    parse_backend_spec,
+)
+from repro.sat.preprocess import PreprocessConfig, SimplifyingSolver
+from repro.sat.session import IncrementalSession
+from repro.upec.miter import CheckStats
+
+HAVE_EXTERNAL = detect_external() is not None
+
+
+def random_cnf(rng, n_vars, n_clauses, width=3):
+    clauses = []
+    for _ in range(n_clauses):
+        size = rng.randint(1, width)
+        lits = rng.sample(range(1, n_vars + 1), size)
+        clauses.append([lit if rng.random() < 0.5 else -lit
+                        for lit in lits])
+    return clauses
+
+
+# -- spec strings ------------------------------------------------------------
+
+
+def test_parse_reference_variants():
+    spec = parse_backend_spec("reference")
+    assert spec.kind == "reference"
+    assert spec.restart_base == 100 and not spec.indexed_vsids
+    assert spec.canonical == "reference"
+
+    spec = parse_backend_spec("reference:indexed,restart_base=50")
+    assert spec.indexed_vsids and spec.restart_base == 50
+    assert spec.canonical == "reference:indexed,restart_base=50"
+
+    # Default-valued options normalize away: one cache address per
+    # configuration regardless of spelling.
+    assert parse_backend_spec("reference:restart_base=100").canonical \
+        == "reference"
+
+
+def test_parse_external_and_dimacs_specs():
+    assert parse_backend_spec("kissat").kind == "external"
+    assert parse_backend_spec("process").name == "process"
+    assert parse_backend_spec("auto").kind == "auto"
+    spec = parse_backend_spec("dimacs:mysolver --opt x")
+    assert spec.command == ("mysolver", "--opt", "x")
+    assert spec.canonical == "dimacs:mysolver --opt x"
+
+
+@pytest.mark.parametrize("bad", [
+    "nonsense", "reference:wat", "reference:restart_base=zero",
+    "reference:restart_base=0", "dimacs:", "kissat:opts",
+])
+def test_bad_specs_raise(bad):
+    with pytest.raises(ValueError):
+        parse_backend_spec(bad)
+
+
+def test_make_solver_reference_variants():
+    solver = make_solver("reference:restart_base=7")
+    assert isinstance(solver, Solver) and solver.restart_base == 7
+    assert make_solver("reference:indexed")._indexed
+
+
+def test_missing_external_raises_unavailable():
+    absent = [name for name in AUTODETECT_SOLVERS
+              if shutil.which(name) is None]
+    if not absent:
+        pytest.skip("every autodetectable solver is installed")
+    with pytest.raises(BackendUnavailableError):
+        make_solver(absent[0])
+
+
+def test_auto_always_resolves():
+    solver = make_solver("auto")
+    if HAVE_EXTERNAL:
+        assert isinstance(solver, ExternalSolver)
+        assert solver.name in AUTODETECT_SOLVERS
+    else:
+        assert isinstance(solver, ExternalSolver)
+        assert solver.name == "process"
+
+
+# -- the DIMACS adapter ------------------------------------------------------
+
+
+def test_process_lane_round_trip_random_cnfs():
+    """Winner verdicts bit-exact vs the reference kernel on random CNFs."""
+    rng = random.Random(20240807)
+    for trial in range(12):
+        n_vars = rng.randint(4, 14)
+        clauses = random_cnf(rng, n_vars, rng.randint(4, 40))
+        ref = Solver()
+        ref.ensure_vars(n_vars)
+        ref.add_clauses(clauses)
+        ext = make_solver("process")
+        ext.ensure_vars(n_vars)
+        ext.add_clauses(clauses)
+        expected = ref.solve()
+        assert ext.solve() is expected, f"trial {trial} diverged"
+        if expected:
+            # The models may differ; both must satisfy every clause.
+            for clause in clauses:
+                assert any(ext.value(lit) for lit in clause)
+            model = ext.model()
+            assert len(model) == ext.n_vars
+            assert all(ext.value(lit) for lit in model)
+
+
+def test_process_lane_assumptions():
+    ext = make_solver("process")
+    a, b, c = ext.new_var(), ext.new_var(), ext.new_var()
+    ext.add_clause([a, b])
+    ext.add_clause([-a, c])
+    assert ext.solve() is True
+    assert ext.solve([-b]) is True
+    assert ext.value(a) and ext.value(c)
+    assert ext.solve([-a, -b]) is False
+    assert ext.solve([c]) is True  # assumption-scoped UNSAT didn't poison
+
+
+def test_process_lane_core_is_all_assumptions():
+    """External solvers report the sound over-approximate core."""
+    ext = make_solver("process")
+    a, b, c = ext.new_var(), ext.new_var(), ext.new_var()
+    ext.add_clause([a, b])
+    assert ext.solve([-a, -b, c]) is False
+    assert sorted(ext.core()) == sorted([-a, -b, c])
+    assert ext.solve() is True
+    assert ext.core() == []
+
+
+def test_reference_core_is_exact_subset():
+    """The reference kernel's analyzeFinal core excludes irrelevant
+    assumptions and is itself UNSAT."""
+    solver = Solver()
+    a, b, c = solver.new_var(), solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    assert solver.solve([-a, -b, c]) is False
+    core = solver.core()
+    assert set(core) <= {-a, -b, c}
+    assert c not in core and -c not in core
+    replay = Solver()
+    replay.ensure_vars(3)
+    replay.add_clause([a, b])
+    assert replay.solve(core) is False
+
+
+def test_reference_core_chain_and_placement_conflict():
+    solver = Solver()
+    v = [solver.new_var() for _ in range(5)]
+    solver.add_clause([-v[0], v[1]])
+    solver.add_clause([-v[1], v[2]])
+    # 1 => 3, assume 1 and -3 (and an irrelevant 5th variable).
+    assert solver.solve([v[0], v[4], -v[2]]) is False
+    core = solver.core()
+    assert v[0] in core and -v[2] in core
+    assert v[4] not in core and -v[4] not in core
+
+
+def test_external_empty_clause_unsat_forever():
+    ext = ExternalSolver(["true"], name="dimacs")
+    ext.new_var()
+    assert ext.add_clause([]) is False
+    assert ext.solve() is False  # no subprocess needed
+
+
+def test_external_guarded_clauses_match_reference():
+    ref, ext = Solver(), make_solver("process")
+    for solver in (ref, ext):
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        g = solver.add_guarded("frame", [-a])
+        assert solver.has_activation("frame")
+        assert solver.solve([g, -b]) is False
+        assert solver.solve([-b]) is True
+
+
+def test_incremental_session_on_process_backend():
+    session = IncrementalSession(backend="process")
+    a, b = session.solver.new_var(), session.solver.new_var()
+    session.add_clause([a, b])
+    goal = session.scratch_goal([-a])
+    stats = session.solve([goal, -b])
+    assert not stats.sat
+    assert session.solve([goal]).sat
+    assert session.value(b)
+
+
+def test_simplifying_solver_external_inner_model_exact():
+    """Model reconstruction through the elimination stack stays exact
+    when the simplified formula is solved by an external backend."""
+    rng = random.Random(99)
+    n_vars, clauses = 12, random_cnf(random.Random(99), 12, 60)
+    config = PreprocessConfig(cnf_min_clauses=1)
+    simp = SimplifyingSolver(config, inner=make_solver("process"))
+    simp.ensure_vars(n_vars)
+    simp.add_clauses(clauses)
+    ref = Solver()
+    ref.ensure_vars(n_vars)
+    ref.add_clauses(clauses)
+    expected = ref.solve()
+    assert simp.solve() is expected
+    if expected:
+        for clause in clauses:
+            assert any(simp.value(lit) for lit in clause)
+
+
+@pytest.mark.skipif(not HAVE_EXTERNAL,
+                    reason="no external CDCL solver installed")
+def test_installed_external_solver_round_trip():
+    name = detect_external()
+    rng = random.Random(7)
+    for _ in range(6):
+        n_vars = rng.randint(4, 12)
+        clauses = random_cnf(rng, n_vars, rng.randint(4, 30))
+        ref = Solver()
+        ref.ensure_vars(n_vars)
+        ref.add_clauses(clauses)
+        ext = make_solver(name)
+        ext.ensure_vars(n_vars)
+        ext.add_clauses(clauses)
+        expected = ref.solve()
+        assert ext.solve() is expected
+        if expected:
+            for clause in clauses:
+                assert any(ext.value(lit) for lit in clause)
+
+
+# -- restart_base is verdict-preserving --------------------------------------
+
+
+def test_restart_base_never_changes_answers():
+    rng = random.Random(13)
+    for _ in range(8):
+        n_vars = rng.randint(5, 12)
+        clauses = random_cnf(rng, n_vars, rng.randint(10, 45))
+        answers = set()
+        for base in (1, 7, 100):
+            solver = Solver(restart_base=base)
+            solver.ensure_vars(n_vars)
+            solver.add_clauses(clauses)
+            answers.add(solver.solve())
+        assert len(answers) == 1
+
+
+def test_restart_base_validation():
+    with pytest.raises(ValueError):
+        Solver(restart_base=0)
+
+
+# -- cache identity (satellite: backends never alias) ------------------------
+
+
+def test_backends_yield_distinct_cache_addresses():
+    from repro.verify.api import _request_key
+    from repro.verify.request import VerificationRequest
+
+    base = dict(design="FORMAL_TINY", method="alg1")
+    key_ref = _request_key(VerificationRequest(**base))
+    key_proc = _request_key(VerificationRequest(**base, backend="process"))
+    key_race = _request_key(VerificationRequest(
+        **base, portfolio=("reference", "process")))
+    assert len({key_ref, key_proc, key_race}) == 3
+
+    # Spelling-insensitive: default options normalize to one address.
+    key_ref2 = _request_key(VerificationRequest(
+        **base, backend="reference:restart_base=100"))
+    assert key_ref2 == key_ref
+
+
+def test_job_cache_key_distinct_per_backend():
+    from repro.campaign.runner import _job_cache_key
+    from repro.campaign.spec import CampaignSpec
+
+    ref_spec = CampaignSpec(name="k")
+    proc_spec = CampaignSpec(name="k", backend="process")
+    key_ref = _job_cache_key(ref_spec.expand()[0], hints=None)
+    key_proc = _job_cache_key(proc_spec.expand()[0], hints=None)
+    assert key_ref and key_proc and key_ref != key_proc
+
+
+# -- stats and report rendering ----------------------------------------------
+
+
+def test_check_stats_portfolio_fields_round_trip():
+    stats = CheckStats(conflicts=3, restarts=2, winner_lane="kissat",
+                       lanes_cancelled=2, race_wall_s=1.5)
+    data = stats.to_dict()
+    back = CheckStats.from_dict(data)
+    assert back == stats
+    # Old payloads without the new fields still deserialize.
+    for key in ("restarts", "winner_lane", "lanes_cancelled", "race_wall_s"):
+        del data[key]
+    old = CheckStats.from_dict(data)
+    assert old.winner_lane == "" and old.restarts == 0
+
+
+def test_check_stats_add_rolls_up_portfolio_fields():
+    total = CheckStats(lanes_cancelled=1, race_wall_s=1.0)
+    total.add(CheckStats(winner_lane="process", lanes_cancelled=2,
+                         race_wall_s=0.5, restarts=4))
+    assert total.winner_lane == "process"
+    assert total.lanes_cancelled == 3
+    assert total.race_wall_s == 1.5
+    assert total.restarts == 4
+
+
+def test_job_line_renders_portfolio_extra():
+    from repro.campaign.runner import JobResult
+    from repro.campaign.spec import CampaignSpec
+    from repro.upec.report import format_job_line
+
+    job = CampaignSpec(name="r").expand()[0]
+    result = JobResult(
+        job=job, verdict="vulnerable", seconds=1.0,
+        stats=CheckStats(winner_lane="kissat", lanes_cancelled=2),
+    )
+    line = format_job_line(result)
+    assert "portfolio: kissat won, 2 cancelled" in line
+
+
+def test_format_verdict_renders_portfolio_line():
+    from repro.upec.report import format_verdict
+    from repro.verify.verdict import Verdict
+
+    verdict = Verdict(status="SECURE", method="alg1", raw_verdict="secure",
+                      stats=CheckStats(winner_lane="process",
+                                       lanes_cancelled=1, race_wall_s=2.0))
+    text = format_verdict(verdict)
+    assert "portfolio: process won, 1 lane(s) cancelled" in text
+
+
+# -- portfolio racing --------------------------------------------------------
+
+
+def test_lane_requests_clear_portfolio_and_cache():
+    from repro.verify.portfolio import lane_requests
+    from repro.verify.request import VerificationRequest
+
+    request = VerificationRequest(
+        design="FORMAL_TINY", portfolio=("reference", "process"))
+    lanes = lane_requests(request)
+    assert [lane.backend for lane in lanes] == ["reference", "process"]
+    assert all(lane.portfolio == () for lane in lanes)
+    assert all(not lane.use_cache for lane in lanes)
+
+
+def test_cross_check_sampling_is_deterministic():
+    from repro.verify.portfolio import _should_cross_check
+    from repro.verify.request import VerificationRequest
+
+    request = VerificationRequest(design="FORMAL_TINY")
+    first = _should_cross_check(request, 0.25)
+    assert all(_should_cross_check(request, 0.25) == first
+               for _ in range(5))
+    assert _should_cross_check(request, 1.0)
+    assert not _should_cross_check(request, 0.0)
+
+
+def test_portfolio_race_verdict_identical_to_serial():
+    """Reference-lane race returns the bit-identical verdict."""
+    from repro.verify.engine import execute
+    from repro.verify.request import VerificationRequest
+
+    base = dict(design="FORMAL_TINY", method="bmc", depth=2,
+                use_cache=False)
+    serial = execute(VerificationRequest(**base))
+    raced = execute(VerificationRequest(
+        **base, portfolio=("reference", "reference:restart_base=50")))
+    assert raced.status == serial.status
+    assert raced.raw_verdict == serial.raw_verdict
+    assert raced.leaking == serial.leaking
+    assert raced.stats.winner_lane in ("reference",
+                                       "reference:restart_base=50")
+    assert raced.stats.lanes_cancelled in (0, 1)
+    assert raced.stats.race_wall_s > 0
+    portfolio = raced.provenance["portfolio"]
+    assert portfolio["winner"] == raced.stats.winner_lane
+    assert portfolio["lanes"] == ["reference", "reference:restart_base=50"]
+
+
+def test_portfolio_external_winner_cross_checks_against_reference():
+    """A single external lane wins by default and must survive the
+    bit-exact reference cross-check."""
+    from repro.verify.portfolio import race
+    from repro.verify.request import VerificationRequest
+
+    request = VerificationRequest(
+        design="FORMAL_TINY", method="bmc", depth=1, use_cache=False,
+        portfolio=("process",))
+    verdict = race(request, cross_check_rate=1.0)
+    assert verdict.status in ("SECURE", "VULNERABLE")
+    assert verdict.stats.winner_lane == "process"
+    check = verdict.provenance["portfolio"]["cross_check"]
+    assert check is not None and check["agreed"]
+
+
+def test_portfolio_all_lanes_failing_falls_back_to_reference():
+    from repro.verify.portfolio import race
+    from repro.verify.request import VerificationRequest
+
+    request = VerificationRequest(
+        design="FORMAL_TINY", method="bmc", depth=1, use_cache=False,
+        portfolio=("dimacs:python", "dimacs:python"))
+    # Lanes run "python <cnf file>" which answers nothing parseable.
+    verdict = race(request)
+    assert verdict.stats.winner_lane == "reference (fallback)"
+    errors = verdict.provenance["portfolio"]["lane_errors"]
+    assert errors  # both lanes reported their failure
