@@ -5,8 +5,12 @@ from .backends import (
     BackendSpec,
     BackendUnavailableError,
     ExternalSolver,
+    IncrementalBackend,
+    IpasirSolver,
+    PipeSolver,
     SolverBackend,
     detect_external,
+    find_ipasir_library,
     make_solver,
     parse_backend_spec,
 )
@@ -23,7 +27,9 @@ from .solver import SAT, UNSAT, Solver
 __all__ = ["Solver", "SAT", "UNSAT", "IncrementalSession", "SolveStats",
            "PreprocessConfig", "CnfSimplifier", "SimplifyingSolver",
            "SimplifyStats",
-           "SolverBackend", "BackendSpec", "BackendUnavailableError",
-           "ExternalSolver", "make_solver", "parse_backend_spec",
-           "detect_external",
+           "SolverBackend", "IncrementalBackend", "BackendSpec",
+           "BackendUnavailableError",
+           "ExternalSolver", "IpasirSolver", "PipeSolver",
+           "make_solver", "parse_backend_spec",
+           "detect_external", "find_ipasir_library",
            "parse_dimacs", "solver_from_dimacs", "write_dimacs"]

@@ -1,14 +1,30 @@
-"""Standalone DIMACS solver CLI over the reference kernel.
+"""Standalone solver CLI over the reference kernel.
 
-``python -m repro.sat instance.cnf`` (or ``-`` for stdin) answers with
-the standard SAT-competition conventions — ``s SATISFIABLE`` /
-``s UNSATISFIABLE``, ``v`` model lines, exit code 10/20 — plus a
-``c stats key=value`` comment line the :class:`~repro.sat.backends.
-ExternalSolver` adapter folds back into its counters.  This is the
-``process`` backend lane: the reference kernel behind the external
--solver subprocess protocol, available on every machine, so the adapter
-and portfolio paths stay testable where no third-party solver is
-installed.
+Two modes:
+
+* **One-shot** — ``python -m repro.sat instance.cnf`` (or ``-`` for
+  stdin) answers with the standard SAT-competition conventions —
+  ``s SATISFIABLE`` / ``s UNSATISFIABLE``, ``v`` model lines, exit code
+  10/20 — plus a ``c stats key=value`` comment line the
+  :class:`~repro.sat.backends.ExternalSolver` adapter folds back into
+  its counters.  This is the ``process`` backend lane: the reference
+  kernel behind the external-solver subprocess protocol, available on
+  every machine, so the adapter and portfolio paths stay testable where
+  no third-party solver is installed.
+
+* **Serve** — ``python -m repro.sat --serve`` keeps one reference
+  kernel alive and speaks the incremental line protocol of the ``pipe``
+  backend (:class:`~repro.sat.backends.PipeSolver`): requests are
+  ``e <n>`` (grow the variable space — the client mirrors its exact
+  allocation order so models stay bit-identical), ``a <lit..> 0`` (add
+  a clause), ``s <lit..> 0`` (solve under assumptions) and ``q``
+  (quit).  Only ``s`` is answered: a status line, then ``v`` model
+  lines (SAT) or one ``f <lit..> 0`` exact failed-assumption core line
+  (UNSAT, the kernel's analyzeFinal set), terminated by a
+  ``c stats ... retained=N`` line with cumulative counters and the live
+  learned-clause pool size.  Clauses ship once and learned clauses
+  persist across ``s`` requests — the incremental tier with zero
+  external dependencies.
 """
 
 from __future__ import annotations
@@ -19,14 +35,83 @@ import sys
 from .dimacs import parse_dimacs
 from .solver import Solver
 
+#: Counter keys reported on every ``c stats`` line, in order.
+_STAT_KEYS = ("conflicts", "decisions", "propagations", "restarts", "learned")
+
+
+def _print_model(solver: Solver, stdout=None) -> None:
+    stdout = stdout if stdout is not None else sys.stdout
+    model = solver.model()
+    chunks = [model[i:i + 24] for i in range(0, len(model), 24)]
+    if not chunks:
+        chunks = [[]]
+    chunks[-1] = chunks[-1] + [0]
+    for chunk in chunks:
+        print("v " + " ".join(map(str, chunk)), file=stdout)
+
+
+def _stats_line(solver: Solver, retained: int | None = None) -> str:
+    stats = solver.stats
+    line = "c stats " + " ".join(f"{key}={stats[key]}" for key in _STAT_KEYS)
+    if retained is not None:
+        line += f" retained={retained}"
+    return line
+
+
+def serve(solver: Solver, stdin=None, stdout=None) -> int:
+    """The ``--serve`` loop: one persistent kernel, line requests."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    print("c repro.sat serve 1", file=stdout, flush=True)
+    for raw in stdin:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        op, _, rest = line.partition(" ")
+        if op == "q":
+            break
+        if op == "e":
+            solver.ensure_vars(int(rest))
+            continue
+        lits = [int(t) for t in rest.split()]
+        if not lits or lits[-1] != 0:
+            print(f"c error {op} request not 0-terminated: {line!r}",
+                  file=stdout, flush=True)
+            return 1
+        lits = lits[:-1]
+        if op == "a":
+            solver.add_clause(lits)
+            continue
+        if op != "s":
+            print(f"c error unknown request {op!r}", file=stdout, flush=True)
+            return 1
+        sat = solver.solve(lits)
+        if sat:
+            print("s SATISFIABLE", file=stdout)
+            _print_model(solver, stdout)
+        else:
+            print("s UNSATISFIABLE", file=stdout)
+            print("f " + " ".join(map(str, solver.core())) + " 0",
+                  file=stdout)
+        print(_stats_line(solver, retained=solver.retained_learned()),
+              file=stdout)
+        stdout.flush()
+    return 0
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sat",
-        description="Solve a DIMACS CNF instance with the reference "
-                    "pure-Python CDCL kernel.",
+        description="Solve DIMACS CNF instances with the reference "
+                    "pure-Python CDCL kernel (one-shot or --serve).",
     )
-    parser.add_argument("cnf", help="DIMACS CNF file, or '-' for stdin")
+    parser.add_argument("cnf", nargs="?", default=None,
+                        help="DIMACS CNF file, or '-' for stdin "
+                             "(omitted with --serve)")
+    parser.add_argument("--serve", action="store_true",
+                        help="speak the persistent incremental line "
+                             "protocol on stdin/stdout (the 'pipe' "
+                             "backend server)")
     parser.add_argument("--indexed", action="store_true",
                         help="use the fully indexed VSIDS heap")
     parser.add_argument("--restart-base", type=int, default=100,
@@ -35,14 +120,21 @@ def main(argv=None) -> int:
                         help="suppress the v model lines")
     args = parser.parse_args(argv)
 
+    solver = Solver(indexed_vsids=args.indexed,
+                    restart_base=args.restart_base)
+    if args.serve:
+        if args.cnf is not None:
+            parser.error("--serve reads requests from stdin; no CNF file")
+        return serve(solver)
+    if args.cnf is None:
+        parser.error("a CNF file (or '-') is required without --serve")
+
     if args.cnf == "-":
         text = sys.stdin.read()
     else:
         with open(args.cnf, "r", encoding="utf-8") as handle:
             text = handle.read()
     num_vars, clauses = parse_dimacs(text)
-    solver = Solver(indexed_vsids=args.indexed,
-                    restart_base=args.restart_base)
     solver.ensure_vars(num_vars)
     ok = solver.add_clauses(clauses)
     sat = solver.solve() if ok else False
@@ -52,19 +144,10 @@ def main(argv=None) -> int:
     if sat:
         print("s SATISFIABLE")
         if not args.no_model:
-            model = solver.model()
-            chunks = [model[i:i + 24] for i in range(0, len(model), 24)]
-            if not chunks:
-                chunks = [[]]
-            chunks[-1] = chunks[-1] + [0]
-            for chunk in chunks:
-                print("v " + " ".join(map(str, chunk)))
+            _print_model(solver)
     else:
         print("s UNSATISFIABLE")
-    stats = solver.stats
-    print("c stats " + " ".join(f"{key}={stats[key]}" for key in
-                                ("conflicts", "decisions", "propagations",
-                                 "restarts", "learned")))
+    print(_stats_line(solver))
     return 10 if sat else 20
 
 

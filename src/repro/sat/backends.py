@@ -36,25 +36,51 @@ address):
     an external lane that exists on every machine, used by tests and
     benchmarks so the adapter and portfolio paths are exercised even
     where no third-party solver is installed;
+``ipasir:<lib>``
+    **incremental**: a ctypes adapter against any IPASIR-compliant
+    shared library (``ipasir:cadical``, ``ipasir:/path/libfoo.so``);
+    ``ipasir`` / ``ipasir:auto`` probes :data:`IPASIR_LIBRARIES` via
+    ``ctypes.util.find_library`` and verifies the ``ipasir_*`` symbols
+    are actually exported (:exc:`BackendUnavailableError` otherwise);
+``pipe`` / ``pipe:<command>``
+    **incremental**: a persistent subprocess speaking the line protocol
+    of ``python -m repro.sat --serve`` (the default command when no
+    ``<command>`` is given) — the reference kernel behind the
+    incremental wire protocol, available on every machine, and
+    bit-identical to in-process reference solving because the client
+    replays its exact variable-allocation and clause stream;
 ``auto``
     the first of :data:`AUTODETECT_SOLVERS` found on PATH, falling back
     to ``process``.
 
-External solves are *one-shot*: assumptions are appended as unit
-clauses, the whole formula is re-shipped per call, and the learned
--clause pool does not carry over — the adapter trades the incremental
-session's reuse for raw kernel speed.  Models are loaded back into the
-adapter so ``value``/``model`` (and hence trace decoding) behave
-exactly like the reference kernel; UNSAT answers report the sound
-over-approximate core (all assumptions).  When a formula went through
-the SatELite-style eliminator first, model reconstruction runs through
-the :class:`~repro.sat.preprocess.CnfSimplifier` elimination stack
+:class:`ExternalSolver` solves are *one-shot*: assumptions are appended
+as unit clauses, the whole formula is re-shipped per call, and the
+learned-clause pool does not carry over — the adapter trades the
+incremental session's reuse for raw kernel speed.  Models are loaded
+back into the adapter so ``value``/``model`` (and hence trace decoding)
+behave exactly like the reference kernel; UNSAT answers report the
+sound over-approximate core (all assumptions), flagged by
+``core_exact = False`` so downstream consumers never mistake the
+padding for a real core.  When a formula went through the SatELite
+-style eliminator first, model reconstruction runs through the
+:class:`~repro.sat.preprocess.CnfSimplifier` elimination stack
 (``SimplifyingSolver(inner=...)``), so counterexamples stay exact on
 the external fast path too.
+
+:class:`IpasirSolver` and :class:`PipeSolver` implement the
+:class:`IncrementalBackend` tier instead: one long-lived solver per
+session, clauses shipped exactly once, assumptions mapped onto the
+native assumption interface, learned clauses surviving across calls,
+and **exact** failed-assumption cores (``ipasir_failed`` / the
+reference kernel's analyzeFinal).  Every backend counts
+``solver_starts`` and ``clauses_shipped`` in ``stats`` so sessions can
+report how much re-shipping the incremental tier actually avoided.
 """
 
 from __future__ import annotations
 
+import ctypes
+import ctypes.util
 import os
 import shlex
 import shutil
@@ -69,17 +95,28 @@ from .solver import Solver
 
 __all__ = [
     "SolverBackend",
+    "IncrementalBackend",
     "BackendSpec",
     "BackendUnavailableError",
     "AUTODETECT_SOLVERS",
+    "IPASIR_LIBRARIES",
     "parse_backend_spec",
     "make_solver",
     "detect_external",
+    "find_ipasir_library",
     "ExternalSolver",
+    "IpasirSolver",
+    "PipeSolver",
 ]
 
 #: External solvers ``auto`` probes for, in preference order.
 AUTODETECT_SOLVERS = ("kissat", "cadical", "minisat")
+
+#: Shared libraries ``ipasir:auto`` probes for, in preference order.
+#: Only libraries actually exporting the ``ipasir_*`` symbols qualify
+#: (e.g. Debian's libpicosat exports ``picosat_*`` only — it is probed
+#: and correctly rejected).
+IPASIR_LIBRARIES = ("cadical", "cryptominisat5", "picosat", "kissat")
 
 #: Solvers using minisat's two-argument CLI (result written to a file)
 #: instead of the kissat/cadical stdout convention.
@@ -118,16 +155,41 @@ class SolverBackend(Protocol):
     def core(self) -> list[int]: ...
 
 
+@runtime_checkable
+class IncrementalBackend(SolverBackend, Protocol):
+    """A :class:`SolverBackend` whose solver persists across calls.
+
+    The MiniSat ``solve(assumptions)`` contract: one long-lived solver,
+    clauses added exactly once (``add_clause``), queries distinguished
+    purely through assumption literals (assume-solve), models read back
+    per literal (``val`` ≙ :meth:`value`) and **exact** failed
+    -assumption cores (``failed`` ≙ :meth:`core`).  Learned clauses
+    survive across calls — closure checks, S-shrink iterations and BMC
+    deepening all reuse the pool.
+
+    ``incremental`` is True; ``core_exact`` tells downstream consumers
+    whether :meth:`core` is the exact failed-assumption set (reference /
+    IPASIR / pipe) or the sound all-assumptions over-approximation of
+    the one-shot adapter (:class:`ExternalSolver`).  The attributes
+    exist on every backend — discriminate on their *values*, not on
+    ``isinstance`` (a runtime protocol only checks presence).
+    """
+
+    incremental: bool
+    core_exact: bool
+
+
 @dataclass(frozen=True)
 class BackendSpec:
     """A parsed backend spec string.
 
     ``canonical`` is the normalized spell of the spec — the string that
     goes into cache keys and provenance, so ``"reference"`` and
-    ``"reference:restart_base=100"`` share one content address.
+    ``"reference:restart_base=100"`` share one content address (and
+    ``"ipasir"`` / ``"ipasir:auto"``, ``"pipe"`` / ``"pipe:"`` likewise).
     """
 
-    kind: str  # "reference" | "external" | "auto"
+    kind: str  # "reference" | "external" | "ipasir" | "pipe" | "auto"
     name: str  # display name: reference / kissat / process / dimacs ...
     command: tuple[str, ...] = ()  # external invocation (empty: resolve late)
     indexed_vsids: bool = False
@@ -142,6 +204,11 @@ class BackendSpec:
             if self.restart_base != 100:
                 options.append(f"restart_base={self.restart_base}")
             return "reference" + (":" + ",".join(options) if options else "")
+        if self.kind == "ipasir":
+            return "ipasir:" + self.command[0]
+        if self.kind == "pipe":
+            return "pipe" + (":" + shlex.join(self.command)
+                             if self.command else "")
         if self.name == "dimacs":
             return "dimacs:" + shlex.join(self.command)
         return self.name
@@ -189,10 +256,21 @@ def parse_backend_spec(spec: str | BackendSpec) -> BackendSpec:
                 f"'dimacs:<command ...>'"
             )
         return BackendSpec(kind="external", name="dimacs", command=command)
+    if head == "ipasir":
+        # "ipasir" / "ipasir:" / "ipasir:auto" all canonicalize to
+        # "ipasir:auto"; anything else is a library name or .so path.
+        library = rest.strip() or "auto"
+        return BackendSpec(kind="ipasir", name="ipasir", command=(library,))
+    if head == "pipe":
+        # "pipe" / "pipe:" is the reference-kernel serve mode
+        # (canonical "pipe"); "pipe:<command>" is a custom server
+        # speaking the same wire protocol.
+        command = tuple(shlex.split(rest))
+        return BackendSpec(kind="pipe", name="pipe", command=command)
     if sep:
         raise ValueError(
             f"unknown backend spec {text!r}; options only apply to "
-            f"'reference:' and 'dimacs:'"
+            f"'reference:', 'dimacs:', 'ipasir:' and 'pipe:'"
         )
     if head == "auto":
         return BackendSpec(kind="auto", name="auto")
@@ -202,7 +280,8 @@ def parse_backend_spec(spec: str | BackendSpec) -> BackendSpec:
         return BackendSpec(kind="external", name=head)
     raise ValueError(
         f"unknown backend {text!r}; known: reference[:opts], "
-        f"{', '.join(AUTODETECT_SOLVERS)}, process, dimacs:<command>, auto"
+        f"{', '.join(AUTODETECT_SOLVERS)}, process, dimacs:<command>, "
+        f"ipasir:<lib>, pipe[:<command>], auto"
     )
 
 
@@ -211,6 +290,47 @@ def detect_external() -> str | None:
     for name in AUTODETECT_SOLVERS:
         if shutil.which(name):
             return name
+    return None
+
+
+def _load_ipasir(candidate: str) -> "ctypes.CDLL | None":
+    """Load ``candidate`` and verify it actually exports IPASIR."""
+    path = candidate
+    if "/" not in candidate and not candidate.endswith(".so") \
+            and "." not in os.path.basename(candidate):
+        # A bare name: resolve via the platform linker, with the
+        # conventional soname as a fallback (find_library needs
+        # binutils on some distros).
+        path = ctypes.util.find_library(candidate) or f"lib{candidate}.so"
+    try:
+        lib = ctypes.CDLL(path)
+    except OSError:
+        return None
+    try:
+        lib.ipasir_init
+        lib.ipasir_add
+        lib.ipasir_assume
+        lib.ipasir_solve
+        lib.ipasir_val
+        lib.ipasir_failed
+        lib.ipasir_release
+    except AttributeError:
+        return None  # a SAT library, but not an IPASIR one
+    return lib
+
+
+def find_ipasir_library(ref: str = "auto") -> str | None:
+    """Resolve an ``ipasir:`` library reference to a loadable candidate.
+
+    ``ref`` is a shared-library path, a bare library name, or ``auto``
+    (probe :data:`IPASIR_LIBRARIES` in order).  Returns the candidate
+    string whose load succeeded *and* exported the ``ipasir_*`` symbols,
+    or None.  Pure probe — no solver state is created.
+    """
+    candidates = IPASIR_LIBRARIES if ref == "auto" else (ref,)
+    for candidate in candidates:
+        if _load_ipasir(candidate) is not None:
+            return candidate
     return None
 
 
@@ -256,6 +376,26 @@ def make_solver(spec: str | BackendSpec = "reference") -> "SolverBackend":
     if parsed.kind == "reference":
         return Solver(indexed_vsids=parsed.indexed_vsids,
                       restart_base=parsed.restart_base)
+    if parsed.kind == "ipasir":
+        found = find_ipasir_library(parsed.command[0])
+        if found is None:
+            raise BackendUnavailableError(
+                f"no IPASIR shared library for {parsed.canonical!r} "
+                f"(probed: "
+                f"{parsed.command[0] if parsed.command[0] != 'auto' else ', '.join(IPASIR_LIBRARIES)})"
+            )
+        return IpasirSolver(found, name=parsed.canonical)
+    if parsed.kind == "pipe":
+        if parsed.command:
+            if shutil.which(parsed.command[0]) is None:
+                raise BackendUnavailableError(
+                    f"pipe server command {parsed.command[0]!r} not on PATH"
+                )
+            return PipeSolver(parsed.command, name=parsed.canonical)
+        return PipeSolver(
+            (sys.executable, "-m", "repro.sat", "--serve"),
+            name="pipe", env=_process_env(),
+        )
     if parsed.kind == "auto":
         found = detect_external()
         parsed = parse_backend_spec(found if found is not None else "process")
@@ -278,9 +418,15 @@ class ExternalSolver:
     ``value``/``model`` answer exactly like the reference kernel.  On
     UNSAT the failed-assumption core is the sound over-approximation
     (every assumption) — external solvers do not report cores over this
-    protocol.  ``c stats key=value`` comment lines (emitted by the
-    ``process`` lane) accumulate into ``stats``.
+    protocol — and ``core_exact`` is False so downstream stats mark the
+    padding (``CheckStats.cores_overapprox``).  ``c stats key=value``
+    comment lines (emitted by the ``process`` lane) accumulate into
+    ``stats``; ``solver_starts`` counts one cold subprocess per solve
+    and ``clauses_shipped`` every clause re-sent to it.
     """
+
+    incremental = False
+    core_exact = False
 
     def __init__(self, command: Sequence[str], name: str = "dimacs",
                  style: str = "stdout", timeout: float | None = None,
@@ -307,6 +453,8 @@ class ExternalSolver:
             "restarts": 0,
             "learned": 0,
             "solves": 0,
+            "solver_starts": 0,
+            "clauses_shipped": 0,
         }
 
     # -- variable / clause management ---------------------------------------
@@ -407,6 +555,8 @@ class ExternalSolver:
             if out_path is not None:
                 out_path.unlink(missing_ok=True)
         self.stats["solves"] += 1
+        self.stats["solver_starts"] += 1  # one cold subprocess per call
+        self.stats["clauses_shipped"] += len(self._clauses) + len(assumptions)
         if not sat:
             # Sound over-approximate core: UNSAT under all assumptions.
             self._core = list(assumptions)
@@ -450,6 +600,465 @@ class ExternalSolver:
                     f"external solver {self.name!r} gave no answer "
                     f"(exit {returncode}): {' | '.join(tail)}"
                 )
+        if sat:
+            model = [0] * (self.n_vars + 1)
+            for lit in model_lits:
+                var = abs(lit)
+                if 0 < var <= self.n_vars:
+                    model[var] = 1 if lit > 0 else -1
+            self._model = model
+        return sat
+
+    # -- model access -------------------------------------------------------
+
+    def value(self, ext_lit: int) -> bool:
+        var = abs(ext_lit)
+        if var >= len(self._model):
+            return False
+        v = self._model[var]
+        return (v == 1) if ext_lit > 0 else (v == -1)
+
+    def model(self) -> list[int]:
+        return [
+            var if self.value(var) else -var
+            for var in range(1, len(self._model))
+        ]
+
+    def core(self) -> list[int]:
+        return list(self._core)
+
+
+class IpasirSolver:
+    """Incremental ctypes adapter for an IPASIR-compliant shared library.
+
+    IPASIR (the Incremental SAT Application Program Interface of the
+    SAT Race / SAT Competition series) is the de-facto C ABI for
+    incremental solvers: ``ipasir_add`` streams clause literals
+    (0-terminated), ``ipasir_assume`` registers one-call assumptions,
+    ``ipasir_solve`` answers 10 (SAT) / 20 (UNSAT) / 0 (interrupted),
+    ``ipasir_val`` reads model literals and ``ipasir_failed`` tests
+    assumption-core membership.  cadical exports it natively from its
+    shared library; any ``lib<solver>.so`` built against the ipasir
+    headers works.
+
+    The adapter keeps the solver handle alive for the lifetime of the
+    object: clauses are shipped exactly once, learned clauses persist
+    inside the native solver across calls, and UNSAT answers report the
+    **exact** failed-assumption core (``core_exact = True``) via
+    ``ipasir_failed`` — replacing the one-shot adapter's all
+    -assumptions over-approximation.  Native solvers expose no portable
+    counter API, so ``conflicts``/``decisions``/... remain zero; the
+    honest cost signal is wall-clock plus ``solver_starts == 1`` /
+    per-clause ``clauses_shipped``.
+    """
+
+    incremental = True
+    core_exact = True
+
+    def __init__(self, library: str, name: str = "ipasir"):
+        lib = _load_ipasir(library)
+        if lib is None:
+            raise BackendUnavailableError(
+                f"{library!r} is not a loadable IPASIR shared library"
+            )
+        lib.ipasir_signature.restype = ctypes.c_char_p
+        lib.ipasir_signature.argtypes = ()
+        lib.ipasir_init.restype = ctypes.c_void_p
+        lib.ipasir_init.argtypes = ()
+        lib.ipasir_release.restype = None
+        lib.ipasir_release.argtypes = (ctypes.c_void_p,)
+        lib.ipasir_add.restype = None
+        lib.ipasir_add.argtypes = (ctypes.c_void_p, ctypes.c_int32)
+        lib.ipasir_assume.restype = None
+        lib.ipasir_assume.argtypes = (ctypes.c_void_p, ctypes.c_int32)
+        lib.ipasir_solve.restype = ctypes.c_int
+        lib.ipasir_solve.argtypes = (ctypes.c_void_p,)
+        lib.ipasir_val.restype = ctypes.c_int32
+        lib.ipasir_val.argtypes = (ctypes.c_void_p, ctypes.c_int32)
+        lib.ipasir_failed.restype = ctypes.c_int
+        lib.ipasir_failed.argtypes = (ctypes.c_void_p, ctypes.c_int32)
+        self._lib = lib
+        self._handle = lib.ipasir_init()
+        try:
+            self.signature = lib.ipasir_signature().decode("ascii", "replace")
+        except Exception:  # noqa: BLE001 — signature is decoration only
+            self.signature = library
+        self.name = name
+        self.library = library
+        self.n_vars = 0
+        self.restart_base = 0  # schedule belongs to the native solver
+        self._activations: dict[Hashable, int] = {}
+        self._model: list[int] = [0]
+        self._core: list[int] = []
+        self._ok = True
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "solves": 0,
+            "solver_starts": 1,
+            "clauses_shipped": 0,
+        }
+
+    def __del__(self):  # pragma: no cover — interpreter-exit ordering
+        try:
+            if getattr(self, "_handle", None):
+                self._lib.ipasir_release(self._handle)
+                self._handle = None
+        except Exception:  # noqa: BLE001
+            pass
+
+    # -- variable / clause management ---------------------------------------
+
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def ensure_vars(self, n: int) -> None:
+        if n > self.n_vars:
+            self.n_vars = n
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        clause = list(lits)
+        add = self._lib.ipasir_add
+        handle = self._handle
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a DIMACS literal")
+            self.ensure_vars(abs(lit))
+            add(handle, lit)
+        add(handle, 0)
+        self.stats["clauses_shipped"] += 1
+        if not clause:
+            self._ok = False
+            return False
+        return self._ok
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    # -- named activation literals (same contract as Solver) ----------------
+
+    def activation(self, name: Hashable) -> int:
+        var = self._activations.get(name)
+        if var is None:
+            var = self.new_var()
+            self._activations[name] = var
+        return var
+
+    def has_activation(self, name: Hashable) -> bool:
+        return name in self._activations
+
+    def add_guarded(self, name: Hashable, lits: Iterable[int]) -> int:
+        var = self.activation(name)
+        self.add_clause([-var, *lits])
+        return var
+
+    def retained_learned(self) -> int:
+        return 0  # retained natively, but IPASIR exposes no count
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        self._core = []
+        assumptions = list(assumptions)
+        assume = self._lib.ipasir_assume
+        handle = self._handle
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+            assume(handle, lit)
+        answer = self._lib.ipasir_solve(handle)
+        self.stats["solves"] += 1
+        if answer == 10:
+            val = self._lib.ipasir_val
+            model = [0] * (self.n_vars + 1)
+            for var in range(1, self.n_vars + 1):
+                v = val(handle, var)
+                if v:
+                    model[var] = 1 if v > 0 else -1
+            self._model = model
+            return True
+        if answer == 20:
+            failed = self._lib.ipasir_failed
+            self._core = [a for a in assumptions if failed(handle, a)]
+            return False
+        raise RuntimeError(
+            f"ipasir solver {self.signature!r} returned {answer} "
+            f"(interrupted?)"
+        )
+
+    # -- model access -------------------------------------------------------
+
+    def value(self, ext_lit: int) -> bool:
+        var = abs(ext_lit)
+        if var >= len(self._model):
+            return False
+        v = self._model[var]
+        return (v == 1) if ext_lit > 0 else (v == -1)
+
+    def model(self) -> list[int]:
+        return [
+            var if self.value(var) else -var
+            for var in range(1, len(self._model))
+        ]
+
+    def core(self) -> list[int]:
+        return list(self._core)
+
+
+class PipeSolver:
+    """Incremental client of a persistent solver-server subprocess.
+
+    The server is ``python -m repro.sat --serve`` by default — the
+    reference kernel behind a line-oriented incremental wire protocol —
+    or any command given by a ``pipe:<command>`` spec that speaks the
+    same protocol.  Requests (one per line, DIMACS literals,
+    0-terminated lists):
+
+    ``e <n>``
+        grow the variable space to ``n`` (no reply);
+    ``a <lit> ... 0``
+        add a permanent clause (no reply);
+    ``s <lit> ... 0``
+        solve under the listed assumptions.  The server answers with
+        ``s SATISFIABLE`` plus ``v`` model lines (0-terminated) or
+        ``s UNSATISFIABLE`` plus one ``f <lit> ... 0`` exact failed
+        -assumption core line, terminated by a ``c stats key=value``
+        line carrying the solver's *cumulative* counters plus
+        ``retained`` (the live learned-clause pool);
+    ``q``
+        shut the server down.
+
+    Bit-identity with in-process reference solving holds because the
+    client mirrors its **entire** variable-allocation order to the
+    server: every ``new_var``/``ensure_vars`` growth becomes an ``e``
+    line in stream order (allocated-but-unconstrained variables enter
+    the VSIDS heap and steer decision order, so skipping them would
+    change models), and clause/assumption streams are forwarded
+    verbatim.  The server therefore performs the exact same call
+    sequence as a local :class:`~repro.sat.solver.Solver` — identical
+    models, cores, and counters.  Clauses are shipped once
+    (``clauses_shipped`` counts them), the subprocess starts once
+    (``solver_starts == 1``), and learned clauses persist server-side
+    across calls (``retained_learned``).
+    """
+
+    incremental = True
+    core_exact = True
+
+    def __init__(self, command: Sequence[str], name: str = "pipe",
+                 env: dict[str, str] | None = None):
+        self.command = tuple(command)
+        self.name = name
+        self.n_vars = 0
+        self.restart_base = 0  # schedule belongs to the server kernel
+        self._activations: dict[Hashable, int] = {}
+        self._model: list[int] = [0]
+        self._core: list[int] = []
+        self._retained = 0
+        self._ok = True
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "solves": 0,
+            "solver_starts": 0,
+            "clauses_shipped": 0,
+        }
+        self._stderr = tempfile.NamedTemporaryFile(
+            mode="w+", prefix="repro-sat-serve-", suffix=".err", delete=False
+        )
+        try:
+            self._proc = subprocess.Popen(
+                self.command, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                stderr=self._stderr, text=True, env=env,
+            )
+        except FileNotFoundError:
+            raise BackendUnavailableError(
+                f"pipe server command {self.command[0]!r} not found"
+            ) from None
+        self.stats["solver_starts"] = 1
+        greeting = self._proc.stdout.readline()
+        if "serve" not in greeting:
+            raise BackendUnavailableError(
+                f"pipe server {self.command[0]!r} sent no serve greeting "
+                f"(got {greeting!r}): {self._die()}"
+            )
+
+    def _die(self) -> str:
+        """Collect the stderr tail of a dead/broken server."""
+        try:
+            self._proc.kill()
+            self._proc.wait(timeout=5)
+        except Exception:  # noqa: BLE001
+            pass
+        try:
+            self._stderr.flush()
+            text = Path(self._stderr.name).read_text()
+            return " | ".join(text.strip().splitlines()[-3:]) or "(no stderr)"
+        except Exception:  # noqa: BLE001
+            return "(stderr unavailable)"
+        finally:
+            self._cleanup_stderr()
+
+    def _cleanup_stderr(self) -> None:
+        try:
+            self._stderr.close()
+            Path(self._stderr.name).unlink(missing_ok=True)
+        except Exception:  # noqa: BLE001
+            pass
+
+    def close(self) -> None:
+        """Shut the server down (idempotent).
+
+        A mid-solve server never reads the quit line, so the grace
+        period is short and the server is killed after it — it is our
+        own child with no state worth a long goodbye.  ``BaseException``
+        (e.g. a portfolio lane cancellation delivered during the wait)
+        still kills the server before propagating.
+        """
+        proc = getattr(self, "_proc", None)
+        if proc is None:
+            return
+        self._proc = None
+        try:
+            if proc.poll() is None:
+                proc.stdin.write("q\n")
+                proc.stdin.flush()
+                try:
+                    proc.wait(timeout=0.5)
+                except subprocess.TimeoutExpired:
+                    pass
+        except BaseException:  # noqa: BLE001
+            proc.kill()
+            raise
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            self._cleanup_stderr()
+
+    def __del__(self):  # pragma: no cover — interpreter-exit ordering
+        try:
+            self.close()
+        except BaseException:  # noqa: BLE001 — __del__ must not raise
+            pass
+
+    def _send(self, line: str) -> None:
+        if self._proc is None or self._proc.poll() is not None:
+            raise RuntimeError(
+                f"pipe server {self.name!r} is gone: {self._die()}"
+            )
+        try:
+            self._proc.stdin.write(line)
+        except (BrokenPipeError, OSError):
+            raise RuntimeError(
+                f"pipe server {self.name!r} closed its stdin: {self._die()}"
+            ) from None
+
+    # -- variable / clause management ---------------------------------------
+
+    def new_var(self) -> int:
+        self.n_vars += 1
+        self._send(f"e {self.n_vars}\n")
+        return self.n_vars
+
+    def ensure_vars(self, n: int) -> None:
+        if n > self.n_vars:
+            self.n_vars = n
+            self._send(f"e {n}\n")
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        clause = list(lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a DIMACS literal")
+            # No ``e`` line: the server's own add_clause grows the
+            # variable space over the same literals in the same order.
+            if abs(lit) > self.n_vars:
+                self.n_vars = abs(lit)
+        self._send("a " + " ".join(map(str, clause)) + " 0\n")
+        self.stats["clauses_shipped"] += 1
+        if not clause:
+            self._ok = False
+            return False
+        return self._ok
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    # -- named activation literals (same contract as Solver) ----------------
+
+    def activation(self, name: Hashable) -> int:
+        var = self._activations.get(name)
+        if var is None:
+            var = self.new_var()
+            self._activations[name] = var
+        return var
+
+    def has_activation(self, name: Hashable) -> bool:
+        return name in self._activations
+
+    def add_guarded(self, name: Hashable, lits: Iterable[int]) -> int:
+        var = self.activation(name)
+        self.add_clause([-var, *lits])
+        return var
+
+    def retained_learned(self) -> int:
+        return self._retained
+
+    # -- solving ------------------------------------------------------------
+
+    def _readline(self) -> str:
+        line = self._proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"pipe server {self.name!r} died mid-answer: {self._die()}"
+            )
+        return line.strip()
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        self._core = []
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        self._send("s " + " ".join(map(str, assumptions)) + " 0\n")
+        self._proc.stdin.flush()
+        sat: bool | None = None
+        model_lits: list[int] = []
+        while True:
+            line = self._readline()
+            if line.startswith("c stats "):
+                for token in line[len("c stats "):].split():
+                    key, eq, value = token.partition("=")
+                    if not eq:
+                        continue
+                    if key == "retained":
+                        self._retained = int(value)
+                    elif key in self.stats:
+                        # Cumulative server counters replace, not add.
+                        self.stats[key] = int(value)
+                break  # the stats line terminates every answer
+            if line.startswith("s "):
+                sat = "UNSAT" not in line.upper()
+            elif line.startswith("v "):
+                model_lits.extend(int(t) for t in line[2:].split())
+            elif line.startswith("f "):
+                self._core = [int(t) for t in line[2:].split() if t != "0"]
+        if sat is None:
+            raise RuntimeError(
+                f"pipe server {self.name!r} answered without a status line"
+            )
+        self.stats["solves"] += 1
         if sat:
             model = [0] * (self.n_vars + 1)
             for lit in model_lits:

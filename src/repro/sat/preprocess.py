@@ -473,6 +473,16 @@ class SimplifyingSolver:
     def stats(self) -> dict:
         return self.inner.stats
 
+    @property
+    def core_exact(self) -> bool:
+        """Whether the inner kernel reports exact failed-assumption cores."""
+        return bool(getattr(self.inner, "core_exact", True))
+
+    @property
+    def incremental(self) -> bool:
+        """Whether the inner kernel persists across solve calls."""
+        return bool(getattr(self.inner, "incremental", True))
+
     def new_var(self) -> int:
         self.n_vars += 1
         return self.n_vars

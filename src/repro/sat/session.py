@@ -46,6 +46,18 @@ class SolveStats:
     #: learned clauses alive when the call started — the reuse pool
     #: carried over from every earlier query of the session.
     retained_learned: int = 0
+    #: cold solver processes started for this call (0 on the reference
+    #: kernel and the incremental external tier after spin-up; 1 per
+    #: call on the one-shot DIMACS adapter).
+    solver_starts: int = 0
+    #: clauses shipped to an external solver for this call (the whole
+    #: formula per call on the one-shot adapter; only the newly added
+    #: clauses on the incremental tier; 0 in-process).
+    clauses_shipped: int = 0
+    #: whether an UNSAT answer's failed-assumption core is exact
+    #: (reference / ipasir / pipe) or the one-shot adapter's sound
+    #: all-assumptions over-approximation.
+    core_exact: bool = True
 
     def __bool__(self) -> bool:
         return self.sat
@@ -61,6 +73,9 @@ class SolveStats:
         self.learned += other.learned
         self.retained_learned = max(self.retained_learned,
                                     other.retained_learned)
+        self.solver_starts += other.solver_starts
+        self.clauses_shipped += other.clauses_shipped
+        self.core_exact = self.core_exact and other.core_exact
 
 
 class IncrementalSession:
@@ -72,7 +87,11 @@ class IncrementalSession:
         backend: a backend spec string (see :mod:`repro.sat.backends`)
             naming which solver to build — ``"reference"`` (default),
             ``"reference:restart_base=N"``, ``"kissat"``, ``"process"``,
-            ``"auto"``, ...  Ignored when ``solver`` is given.
+            ``"ipasir:auto"`` / ``"pipe"`` (the incremental external
+            tier: named activation literals map onto native
+            assumptions and learned clauses survive across the
+            session's calls), ``"auto"``, ...  Ignored when ``solver``
+            is given.
     """
 
     def __init__(self, solver: Solver | None = None,
@@ -87,6 +106,13 @@ class IncrementalSession:
             self.solver = Solver()
         self._scratch_counter = 0
         self.solve_calls = 0
+        # External-tier shipping counters last folded into a SolveStats.
+        # Tracking from zero (not from the solver's current stats)
+        # attributes construction-time costs — the pipe/ipasir spin-up,
+        # clauses encoded before the first query — to the first solve,
+        # where a cost report wants them.
+        self._starts_seen = 0
+        self._shipped_seen = 0
 
     # -- clause management --------------------------------------------------
 
@@ -143,6 +169,16 @@ class IncrementalSession:
         seconds = time.perf_counter() - start
         after = solver.stats
         self.solve_calls += 1
+        # Shipping costs accrue while clauses are *added* (between
+        # solves), so their deltas span from the previous solve's
+        # snapshot, not just the solve call itself.  Keys are absent on
+        # the reference kernel (in-process: nothing ships).
+        starts_now = after.get("solver_starts", 0)
+        shipped_now = after.get("clauses_shipped", 0)
+        starts_delta = starts_now - self._starts_seen
+        shipped_delta = shipped_now - self._shipped_seen
+        self._starts_seen = starts_now
+        self._shipped_seen = shipped_now
         return SolveStats(
             sat=sat,
             seconds=seconds,
@@ -152,6 +188,9 @@ class IncrementalSession:
             restarts=after["restarts"] - before["restarts"],
             learned=after["learned"] - before["learned"],
             retained_learned=retained,
+            solver_starts=starts_delta,
+            clauses_shipped=shipped_delta,
+            core_exact=bool(getattr(solver, "core_exact", True)),
         )
 
     def value(self, lit: int) -> bool:

@@ -183,6 +183,13 @@ class Solver:
     kernel under different schedules (see :mod:`repro.sat.backends`).
     """
 
+    #: Backend-tier markers (see :class:`repro.sat.backends.
+    #: IncrementalBackend`): the reference kernel is the original
+    #: incremental implementation, and :meth:`core` is the exact
+    #: analyzeFinal failed-assumption set.
+    incremental = True
+    core_exact = True
+
     def __init__(self, indexed_vsids: bool = False, restart_base: int = 100):
         if restart_base < 1:
             raise ValueError(f"restart_base must be >= 1, got {restart_base}")

@@ -101,6 +101,17 @@ class CheckStats:
     was used, ``lanes_cancelled`` how many slower lanes were terminated,
     and ``race_wall_s`` the wall-clock of the whole race (including
     process spin-up — compare against ``seconds`` of a serial run).
+
+    External solver backends report shipping costs: ``solver_starts``
+    counts cold solver processes started for this check's queries (one
+    per query on the one-shot DIMACS adapter; zero on the reference
+    kernel and on the incremental ``ipasir:``/``pipe`` tier once warm),
+    ``clauses_shipped`` the clauses sent to an external solver (the
+    whole formula per query when one-shot; only newly added clauses
+    when incremental), and ``cores_overapprox`` how many UNSAT answers
+    carried the one-shot adapter's all-assumptions core padding instead
+    of an exact failed-assumption set — downstream consumers of cores
+    must treat those as unminimized.
     """
 
     aig_nodes: int = 0
@@ -120,6 +131,21 @@ class CheckStats:
     winner_lane: str = ""
     lanes_cancelled: int = 0
     race_wall_s: float = 0.0
+    solver_starts: int = 0
+    clauses_shipped: int = 0
+    cores_overapprox: int = 0
+
+    def count_solve(self, result) -> None:
+        """Fold one session :class:`~repro.sat.session.SolveStats` in."""
+        self.sat_calls += 1
+        self.solve_seconds += result.seconds
+        self.conflicts += result.conflicts
+        self.decisions += result.decisions
+        self.restarts += result.restarts
+        self.solver_starts += result.solver_starts
+        self.clauses_shipped += result.clauses_shipped
+        if not result.sat and not result.core_exact:
+            self.cores_overapprox += 1
 
     def add(self, other: "CheckStats") -> None:
         """Accumulate another check's costs (campaign/job rollups)."""
@@ -140,6 +166,9 @@ class CheckStats:
         self.winner_lane = other.winner_lane or self.winner_lane
         self.lanes_cancelled += other.lanes_cancelled
         self.race_wall_s += other.race_wall_s
+        self.solver_starts += other.solver_starts
+        self.clauses_shipped += other.clauses_shipped
+        self.cores_overapprox += other.cores_overapprox
 
     def to_dict(self) -> dict:
         """JSON-ready representation (worker IPC / campaign artifacts)."""
@@ -751,11 +780,7 @@ class MiterSession:
             goal = self.sat.scratch_goal([enc.lit(d) for d in diffs])
             stats.encode_seconds += time.perf_counter() - t0
             result = self.sat.solve(base + [goal])
-            stats.sat_calls += 1
-            stats.solve_seconds += result.seconds
-            stats.conflicts += result.conflicts
-            stats.decisions += result.decisions
-            stats.restarts += result.restarts
+            stats.count_solve(result)
             if not result.sat:
                 break
             self._model_loaded = True
@@ -868,11 +893,7 @@ class MiterSession:
         stats.encode_seconds = time.perf_counter() - encode_start
         stats.build_seconds = stats.encode_seconds
         result = self.sat.solve(base + [goal])
-        stats.sat_calls = 1
-        stats.solve_seconds = result.seconds
-        stats.conflicts = result.conflicts
-        stats.decisions = result.decisions
-        stats.restarts = result.restarts
+        stats.count_solve(result)
         stats.aig_nodes = self.aig.num_nodes()
         stats.cnf_vars = self.solver.n_vars
         if not result.sat:
@@ -891,11 +912,7 @@ class MiterSession:
         target = self.encoder.lit(diff_of(min(diff_names)))
         goal = self.sat.scratch_goal([target])
         result = self.sat.solve(base + [goal])
-        stats.sat_calls += 1
-        stats.solve_seconds += result.seconds
-        stats.conflicts += result.conflicts
-        stats.decisions += result.decisions
-        stats.restarts += result.restarts
+        stats.count_solve(result)
         assert result.sat, "witness re-solve of a satisfiable diff failed"
         self._model_loaded = True
         return self._package(set(diff_names), depth, record_trace, stats)

@@ -151,6 +151,15 @@ def format_verdict(verdict, classifier: StateClassifier | None = None) -> str:
         reductions.append(f"{stats.clauses_subsumed} clauses subsumed")
     if reductions:
         lines.append("reductions: " + ", ".join(reductions))
+    if stats.solver_starts or stats.clauses_shipped:
+        shipping = (
+            f"external solving: {stats.solver_starts} solver start(s), "
+            f"{stats.clauses_shipped} clause(s) shipped"
+        )
+        if stats.cores_overapprox:
+            shipping += (f", {stats.cores_overapprox} over-approximate "
+                         f"core(s)")
+        lines.append(shipping)
     if stats.winner_lane:
         lines.append(
             f"portfolio: {stats.winner_lane} won, "

@@ -116,7 +116,8 @@ def add_backend_arguments(parser) -> None:
     parser.add_argument(
         "--backend", metavar="SPEC", default=None,
         help=("solver backend spec: reference[:indexed,restart_base=N], "
-              "kissat, cadical, minisat, process, dimacs:<cmd>, or auto "
+              "kissat, cadical, minisat, process, dimacs:<cmd>, "
+              "pipe[:<cmd>], ipasir[:<lib>], or auto "
               "(default: reference)"))
     parser.add_argument(
         "--portfolio", metavar="SPEC[,SPEC...]", default=None,

@@ -162,14 +162,17 @@ class Verifier:
             **kwargs,
         )
 
-    def verify(self, method: str = "alg1", **kwargs) -> Verdict:
+    def verify(self, method: str = "alg1", *, hints=None, **kwargs) -> Verdict:
         """Answer one question against the prebuilt design.
 
         Keyword arguments are :class:`VerificationRequest` fields
-        (``depth``, ``record_trace``, ``seed_removed``, ...).
+        (``depth``, ``record_trace``, ``seed_removed``, ...);
+        ``hints`` takes donor hint payloads exactly like
+        :func:`~repro.verify.engine.execute` (the warm portfolio lanes
+        route campaign hints through here).
         """
         request = self.request(method=method, **kwargs)
-        key = _request_key(request) if self.cache is not None else None
+        key = _request_key(request, hints) if self.cache is not None else None
         if key is not None:
             payload = self.cache.get(key)
             if payload is not None:

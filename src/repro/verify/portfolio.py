@@ -1,18 +1,41 @@
-"""Per-obligation portfolio racing across solver backends.
+"""Per-obligation portfolio racing across solver backends, on warm lanes.
 
-One verification obligation, N *lanes* — each lane a full
-:func:`~repro.verify.engine.execute` run of the same request pinned to
-a different backend spec (reference kernel under different restart
-scales, an external solver when installed, ...).  The lanes race in
-separate processes under the same fork/Pipe machinery the campaign
-:class:`~repro.campaign.executors._ProcessPoolExecutor` uses; the first
-lane to finish wins, the losers are terminated promptly.  This is the
-standard portfolio trick of production verification stacks: per-
-obligation solver runtimes are heavy-tailed and weakly correlated
-across configurations, so ``min`` over lanes beats any fixed choice —
-*when the obligations are large enough to amortize the process
-spin-up* (see ``benchmarks/results/BENCH_portfolio``-series for the
-measured break-even on this repository's workloads).
+One verification obligation, N *lanes* — each lane answers the same
+request pinned to a different backend spec (reference kernel under
+different restart scales, the persistent-pipe incremental tier, an
+IPASIR library when installed, ...).  The first lane to finish wins and
+the losers are cancelled.  This is the standard portfolio trick of
+production verification stacks: per-obligation solver runtimes are
+heavy-tailed and weakly correlated across configurations, so ``min``
+over lanes beats any fixed choice — *when the obligations are large
+enough to amortize the per-race overhead* (see
+``benchmarks/results/BENCH_portfolio``-series and
+``BENCH_incremental`` for the measured break-even on this repository's
+workloads).
+
+Warm lanes
+----------
+
+The first portfolio generation (PR 6) forked a fresh process per lane
+per race, so every obligation paid process spin-up, design build *and*
+a cold solver.  On FORMAL_TINY-sized obligations that overhead swamped
+the race win (a measured ~3.3x loss).  This generation keeps a pool of
+**long-lived lane workers** (:class:`WarmPortfolio`): each worker is a
+forked process that serves one lane spec for the whole run, holding a
+:class:`~repro.verify.api.Verifier` per design — so the built SoC, the
+classifier and (for ``alg1``) the warm
+:class:`~repro.upec.miter.MiterSession` with its learned clauses
+survive across obligations.  Jobs and verdicts travel over duplex
+pipes; cancellation is a ``SIGUSR1`` that raises inside the worker's
+interruptible solve loop, after which the worker conservatively drops
+the interrupted design's session (a mid-flight session is not
+guaranteed canonical) and keeps every other design warm.
+
+Raw in-memory :class:`~repro.upec.ThreatModel` designs cannot travel
+over a pipe; those races fall back to the cold fork-per-race
+implementation.  Inside daemonic pool workers (the campaign fork pool)
+child processes are forbidden and the race degrades to the first lane
+inline — campaigns that want real races run with ``--workers 0``.
 
 Soundness is not delegated to luck:
 
@@ -29,16 +52,21 @@ Soundness is not delegated to luck:
 
 The race's verdict carries ``stats.winner_lane`` /
 ``stats.lanes_cancelled`` / ``stats.race_wall_s`` and a
-``provenance["portfolio"]`` record (lanes, winner, cross-check
-outcome), rendered by ``repro.upec.report`` as
+``provenance["portfolio"]`` record (lanes, winner, mode
+warm/cold/inline, whether the winning lane was already warm,
+cross-check outcome), rendered by ``repro.upec.report`` as
 ``[portfolio: kissat won, 2 cancelled]``.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
+import json
 import multiprocessing
+import os
+import signal
 import time
 from multiprocessing.connection import wait as conn_wait
 
@@ -46,12 +74,16 @@ from .request import VerificationRequest
 from .verdict import Verdict
 
 __all__ = ["race", "lane_requests", "PortfolioDisagreement",
-           "CROSS_CHECK_RATE"]
+           "CROSS_CHECK_RATE", "WarmPortfolio", "shutdown_pools"]
 
 #: Fraction of non-reference race wins cross-checked against the
 #: reference backend (deterministic content-hash sampling, so the same
 #: request is always either checked or not — reproducible campaigns).
 CROSS_CHECK_RATE = 0.25
+
+#: Seconds a pool waits for a previously cancelled lane worker to
+#: acknowledge the cancellation before killing and respawning it.
+CANCEL_ACK_TIMEOUT = 30.0
 
 
 class PortfolioDisagreement(AssertionError):
@@ -75,8 +107,286 @@ def lane_requests(request: VerificationRequest) -> list[VerificationRequest]:
     return lanes
 
 
+# -- warm lane workers --------------------------------------------------------
+
+
+class _LaneCancelled(BaseException):
+    """Raised inside a lane worker when the parent cancels its job.
+
+    A ``BaseException`` so ordinary ``except Exception`` recovery code
+    in the verification stack cannot swallow the cancellation.
+    """
+
+
+def _warm_lane_main(spec: str, conn) -> None:
+    """Long-lived lane worker: serve jobs over ``conn`` until EOF/None.
+
+    One :class:`~repro.verify.api.Verifier` is kept per (design
+    fingerprint, threat overrides) — the built design, classifier and
+    warm alg1 miter session survive across jobs, which is the whole
+    point of the pool.  ``SIGUSR1`` cancels the in-flight job: while a
+    job is *armed* the handler raises :class:`_LaneCancelled` (the
+    pure-Python solve loop is interrupt-recoverable), the worker drops
+    the interrupted design's Verifier, acknowledges, and waits for the
+    next job with every other design still warm.  Outside the armed
+    window (deserializing, shipping the answer) the signal only sets a
+    pending flag, so a partially written pipe message can never happen.
+    """
+    from .api import Verifier
+
+    state = {"armed": False, "pending": False}
+
+    def _on_cancel(signum, frame):
+        if state["armed"]:
+            state["armed"] = False
+            raise _LaneCancelled
+        state["pending"] = True
+
+    signal.signal(signal.SIGUSR1, _on_cancel)
+    verifiers: dict[tuple, Verifier] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        except _LaneCancelled:
+            continue  # stale cancel delivered while idle
+        if message is None:
+            return
+        job = message["job"]
+        state["pending"] = False
+        key = None
+        try:
+            request = VerificationRequest.from_dict(message["request"])
+            key = (request.fingerprint(),
+                   json.dumps(request.threat_overrides, sort_keys=True))
+            was_warm = key in verifiers
+            kwargs = dict(message["request"])
+            kwargs.pop("design")
+            kwargs.pop("threat_overrides", None)
+            method = kwargs.pop("method")
+            state["armed"] = True
+            if state["pending"]:
+                # The cancel raced in before we armed: obey it.
+                state["armed"] = False
+                raise _LaneCancelled
+            verifier = verifiers.get(key)
+            if verifier is None:
+                verifier = Verifier(request.design,
+                                    dict(request.threat_overrides))
+            verdict = verifier.verify(method=method,
+                                      hints=message.get("hints"), **kwargs)
+            state["armed"] = False
+            # Commit only after success — a cancelled/broken build or
+            # solve never enters the warm cache.
+            verifiers[key] = verifier
+            payload = {"job": job, "ok": verdict.to_dict(), "warm": was_warm}
+        except _LaneCancelled:
+            if key is not None:
+                verifiers.pop(key, None)
+            payload = {"job": job, "cancelled": True}
+        except BaseException as exc:  # noqa: BLE001 — report, parent decides
+            state["armed"] = False
+            payload = {"job": job, "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Lane:
+    """Parent-side handle on one warm lane worker."""
+
+    __slots__ = ("spec", "process", "conn", "busy")
+
+    def __init__(self, spec, process, conn):
+        self.spec = spec
+        self.process = process
+        self.conn = conn
+        #: job id whose answer is still owed (a cancelled job's ack is
+        #: drained lazily at the next race), or None when idle.
+        self.busy = None
+
+
+class WarmPortfolio:
+    """A pool of long-lived lane workers aligned with one lanes tuple.
+
+    ``lanes[i]`` always serves ``specs[i]`` — alignment by position, so
+    duplicate specs get independent workers.  Workers are spawned
+    lazily, respawned when they die or miss a cancellation ack, and
+    torn down by :meth:`close` / :func:`shutdown_pools`.
+    """
+
+    def __init__(self, specs, ctx):
+        self.specs = tuple(specs)
+        self.ctx = ctx
+        self.lanes: list[_Lane | None] = [None] * len(self.specs)
+        self.jobs = 0
+        self.respawns = 0
+
+    def _spawn(self, index: int) -> _Lane:
+        parent_conn, child_conn = self.ctx.Pipe()
+        process = self.ctx.Process(
+            target=_warm_lane_main, args=(self.specs[index], child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        lane = _Lane(self.specs[index], process, parent_conn)
+        self.lanes[index] = lane
+        return lane
+
+    def _discard(self, index: int) -> None:
+        lane = self.lanes[index]
+        if lane is None:
+            return
+        try:
+            lane.conn.close()
+        except OSError:
+            pass
+        if lane.process.is_alive():
+            lane.process.terminate()
+        lane.process.join()
+        self.lanes[index] = None
+
+    def _ready(self, index: int) -> _Lane:
+        """A live, drained lane worker for ``specs[index]``."""
+        lane = self.lanes[index]
+        if lane is not None and not lane.process.is_alive():
+            self._discard(index)
+            lane = None
+        if lane is not None and lane.busy is not None:
+            # A cancelled (or still-running) previous job owes an ack;
+            # drain stale messages before reusing the worker.
+            deadline = time.monotonic() + CANCEL_ACK_TIMEOUT
+            while lane is not None and lane.busy is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not lane.process.is_alive():
+                    self.respawns += 1
+                    self._discard(index)
+                    lane = None
+                    break
+                if lane.conn.poll(min(remaining, 0.1)):
+                    try:
+                        stale = lane.conn.recv()
+                    except (EOFError, OSError):
+                        self.respawns += 1
+                        self._discard(index)
+                        lane = None
+                        break
+                    if stale.get("job") == lane.busy:
+                        lane.busy = None
+        if lane is None:
+            lane = self._spawn(index)
+        return lane
+
+    def race(self, lane_reqs, hints):
+        """Race one job across the pool's lanes.
+
+        Returns ``(winner verdict or None, winner spec, lane errors,
+        lanes cancelled, winner-was-warm flag)``.  ``winner is None``
+        means every lane failed; the caller answers inline.
+        """
+        self.jobs += 1
+        job = self.jobs
+        hint_list = list(hints) if hints is not None else None
+        lane_errors: dict[str, str] = {}
+        active: dict = {}  # conn -> (index, lane)
+        for index, lane_request in enumerate(lane_reqs):
+            lane = self._ready(index)
+            try:
+                lane.conn.send({"job": job,
+                                "request": lane_request.to_dict(),
+                                "hints": hint_list})
+            except (BrokenPipeError, OSError):
+                lane_errors[lane.spec] = "lane worker died taking the job"
+                self._discard(index)
+                continue
+            lane.busy = job
+            active[lane.conn] = (index, lane)
+        winner = None
+        winner_spec = ""
+        winner_warm = False
+        while active and winner is None:
+            for conn in conn_wait(list(active)):
+                index, lane = active[conn]
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):
+                    del active[conn]
+                    lane_errors[lane.spec] = "lane died without an answer"
+                    self._discard(index)
+                    continue
+                if payload.get("job") != job:
+                    continue  # stale ack of an earlier cancelled job
+                del active[conn]
+                lane.busy = None
+                if "ok" in payload:
+                    winner = Verdict.from_dict(payload["ok"])
+                    winner_spec = lane.spec
+                    winner_warm = bool(payload.get("warm"))
+                    break
+                if payload.get("cancelled"):
+                    lane_errors[lane.spec] = "lane obeyed a stale cancel"
+                    continue
+                lane_errors[lane.spec] = payload.get("error", "unknown error")
+        cancelled = 0
+        for conn, (index, lane) in active.items():
+            # Losers stay pool members: the cancel raises inside their
+            # solve, they drop the interrupted design and ack; the ack
+            # is drained before their next job.
+            if lane.process.is_alive():
+                os.kill(lane.process.pid, signal.SIGUSR1)
+                cancelled += 1
+        return winner, winner_spec, lane_errors, cancelled, winner_warm
+
+    def close(self) -> None:
+        """Terminate every lane worker."""
+        for index, lane in enumerate(self.lanes):
+            if lane is None:
+                continue
+            try:
+                lane.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            self._discard(index)
+
+
+#: Process-global pools keyed by the race's lanes tuple, so every race
+#: with the same lane list reuses the same warm workers.
+_POOLS: dict[tuple, WarmPortfolio] = {}
+_POOLS_PID = os.getpid()
+
+
+def _pool_for(specs: tuple, ctx) -> WarmPortfolio:
+    global _POOLS, _POOLS_PID
+    if os.getpid() != _POOLS_PID:
+        # A forked child inherited the registry; its lane processes
+        # belong to the parent.  Start fresh in this process.
+        _POOLS = {}
+        _POOLS_PID = os.getpid()
+    pool = _POOLS.get(specs)
+    if pool is None:
+        pool = WarmPortfolio(specs, ctx)
+        _POOLS[specs] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every warm lane worker (atexit hook; also for tests)."""
+    for pool in _POOLS.values():
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# -- cold fallback (raw in-memory designs) ------------------------------------
+
+
 def _lane_main(request: VerificationRequest, hints, conn) -> None:
-    """Child-process entry: run one lane, ship the verdict dict back."""
+    """Cold child-process entry: run one lane, ship the verdict back."""
     try:
         from .engine import execute
 
@@ -89,6 +399,50 @@ def _lane_main(request: VerificationRequest, hints, conn) -> None:
             pass
     finally:
         conn.close()
+
+
+def _race_cold(lanes, hints, ctx):
+    """Fork-per-race portfolio for requests that cannot ship over a pipe.
+
+    Raw :class:`~repro.upec.ThreatModel` designs are process-local; a
+    fork still sees them (copy-on-write), so each race forks fresh lane
+    processes exactly like the first portfolio generation.
+    """
+    running: dict = {}  # receiver -> (spec, process)
+    for lane in lanes:
+        receiver, sender = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_lane_main, args=(lane, hints, sender), daemon=True,
+        )
+        process.start()
+        sender.close()
+        running[receiver] = (lane.backend, process)
+    winner = None
+    winner_spec = ""
+    lane_errors: dict[str, str] = {}
+    while running and winner is None:
+        for receiver in conn_wait(list(running)):
+            spec, process = running.pop(receiver)
+            try:
+                payload = receiver.recv()
+            except EOFError:
+                payload = {"error": "lane died without an answer"}
+            receiver.close()
+            process.join()
+            if "ok" in payload:
+                winner = Verdict.from_dict(payload["ok"])
+                winner_spec = spec
+                break
+            lane_errors[spec] = payload.get("error", "unknown error")
+    cancelled = len(running)
+    for receiver, (spec, process) in running.items():
+        process.terminate()
+        process.join()
+        receiver.close()
+    return winner, winner_spec, lane_errors, cancelled
+
+
+# -- cross-checking -----------------------------------------------------------
 
 
 def _should_cross_check(request: VerificationRequest, rate: float) -> bool:
@@ -142,15 +496,21 @@ def _cross_check(request: VerificationRequest, winner: Verdict,
     return outcome
 
 
+# -- the race -----------------------------------------------------------------
+
+
 def race(request: VerificationRequest, hints=None, *,
          cross_check_rate: float | None = None) -> Verdict:
     """Race the request's portfolio lanes; first finisher wins.
 
-    Falls back to running the first lane inline when process-based
-    parallelism is unavailable or every lane process fails.  The
-    returned verdict is the winner's, decorated with race stats and
-    portfolio provenance, and — for a sampled subset of non-reference
-    winners — cross-checked against the reference backend.
+    Serializable requests race on the warm lane pool (workers and their
+    solver sessions persist across calls); raw in-memory designs race
+    on cold per-race forks; single-lane races and daemonic callers run
+    the first lane inline.  Falls back to an inline reference run when
+    every lane fails.  The returned verdict is the winner's, decorated
+    with race stats and portfolio provenance, and — for a sampled
+    subset of non-reference winners — cross-checked against the
+    reference backend.
     """
     lanes = lane_requests(request)
     rate = CROSS_CHECK_RATE if cross_check_rate is None else cross_check_rate
@@ -165,55 +525,35 @@ def race(request: VerificationRequest, hints=None, *,
         # lane inline.  Campaigns that want real races run with
         # --workers 0 / --executor serial.
         ctx = None
+    winner = None
+    winner_spec = ""
+    winner_warm = False
+    cancelled = 0
+    lane_errors: dict[str, str] = {}
     if ctx is None or len(lanes) == 1:
+        mode = "inline"
         from .engine import execute
 
         winner = execute(lanes[0], hints)
         winner_spec = lanes[0].backend
-        cancelled = 0
-        lane_errors: dict[str, str] = {}
+    elif not request.serializable:
+        mode = "cold"
+        winner, winner_spec, lane_errors, cancelled = _race_cold(
+            lanes, hints, ctx)
     else:
-        running: dict = {}  # receiver -> (spec, process)
-        for lane in lanes:
-            receiver, sender = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_lane_main, args=(lane, hints, sender), daemon=True,
-            )
-            process.start()
-            sender.close()
-            running[receiver] = (lane.backend, process)
-        winner = None
-        winner_spec = ""
-        lane_errors = {}
-        while running and winner is None:
-            for receiver in conn_wait(list(running)):
-                spec, process = running.pop(receiver)
-                try:
-                    payload = receiver.recv()
-                except EOFError:
-                    payload = {"error": "lane died without an answer"}
-                receiver.close()
-                process.join()
-                if "ok" in payload:
-                    winner = Verdict.from_dict(payload["ok"])
-                    winner_spec = spec
-                    break
-                lane_errors[spec] = payload.get("error", "unknown error")
-        cancelled = len(running)
-        for receiver, (spec, process) in running.items():
-            process.terminate()
-            process.join()
-            receiver.close()
-        if winner is None:
-            # Every lane failed (e.g. all external, none installed):
-            # answer inline on the reference backend instead of dying.
-            from .engine import execute
+        mode = "warm"
+        pool = _pool_for(tuple(lane.backend for lane in lanes), ctx)
+        winner, winner_spec, lane_errors, cancelled, winner_warm = \
+            pool.race(lanes, hints)
+    if winner is None and mode != "inline":
+        # Every lane failed (e.g. all external, none installed):
+        # answer inline on the reference backend instead of dying.
+        from .engine import execute
 
-            winner = execute(dataclasses.replace(
-                request, backend="reference", portfolio=(),
-                use_cache=False,
-            ), hints)
-            winner_spec = "reference (fallback)"
+        winner = execute(dataclasses.replace(
+            request, backend="reference", portfolio=(), use_cache=False,
+        ), hints)
+        winner_spec = "reference (fallback)"
     race_wall = time.perf_counter() - start
 
     check_outcome = None
@@ -232,5 +572,7 @@ def race(request: VerificationRequest, hints=None, *,
         "lanes_cancelled": cancelled,
         "lane_errors": lane_errors,
         "cross_check": check_outcome,
+        "mode": mode,
+        "winner_warm": winner_warm,
     }
     return winner

@@ -1,0 +1,480 @@
+"""The incremental external-solving tier: ipasir/pipe backends and warm lanes.
+
+Covers the :class:`~repro.sat.backends.IncrementalBackend` surface —
+spec parsing and cache-address distinctness of ``ipasir:`` / ``pipe:``,
+bit-exact equivalence of the persistent-pipe protocol against the
+in-process reference kernel (models, exact failed-assumption cores,
+every solver counter, the retained learned-clause pool), activation-
+literal release across queries, the shipping/persistence statistics
+(``solver_starts`` / ``clauses_shipped`` / ``cores_overapprox``)
+threaded through :class:`~repro.sat.session.SolveStats` and
+:class:`~repro.upec.miter.CheckStats`, the five-method verdict matrix
+on FORMAL_TINY, and the warm-lane portfolio pool.
+
+The IPASIR ctypes adapter runs only when a compliant shared library is
+installed (``find_ipasir_library``); the ``pipe`` backend — the same
+reference kernel behind the ``python -m repro.sat --serve`` wire
+protocol — keeps the entire incremental adapter path tested with no
+external dependencies at all.
+"""
+
+import random
+
+import pytest
+
+from repro.sat import Solver
+from repro.sat.backends import (
+    BackendUnavailableError,
+    ExternalSolver,
+    IncrementalBackend,
+    IpasirSolver,
+    PipeSolver,
+    find_ipasir_library,
+    make_solver,
+    parse_backend_spec,
+)
+from repro.sat.session import IncrementalSession, SolveStats
+from repro.upec.miter import CheckStats
+
+IPASIR_LIB = find_ipasir_library()
+
+
+def random_clause(rng, n_vars, width=3):
+    lits = rng.sample(range(1, n_vars + 1), rng.randint(1, width))
+    return [lit if rng.random() < 0.5 else -lit for lit in lits]
+
+
+# -- spec strings and cache identity -----------------------------------------
+
+
+def test_parse_incremental_specs_canonicalize():
+    # Every spelling of the autodetect ipasir spec shares one canonical
+    # form, as do the default-server pipe spellings.
+    for spelling in ("ipasir", "ipasir:", "ipasir:auto"):
+        spec = parse_backend_spec(spelling)
+        assert spec.kind == "ipasir"
+        assert spec.canonical == "ipasir:auto"
+    assert parse_backend_spec("ipasir:cadical").canonical == "ipasir:cadical"
+    for spelling in ("pipe", "pipe:"):
+        spec = parse_backend_spec(spelling)
+        assert spec.kind == "pipe"
+        assert spec.canonical == "pipe"
+    assert parse_backend_spec("pipe:mysrv --incremental").canonical \
+        == "pipe:mysrv --incremental"
+
+
+def test_incremental_specs_distinct_cache_addresses():
+    """ipasir/pipe verdicts must never alias other backends' cache slots."""
+    from repro.verify.api import _request_key
+    from repro.verify.request import VerificationRequest
+
+    base = dict(design="FORMAL_TINY", method="alg1")
+    keys = {
+        spec: _request_key(VerificationRequest(**base, backend=spec))
+        for spec in ("reference", "process", "pipe", "ipasir:auto",
+                     "dimacs:python")
+    }
+    assert all(keys.values())
+    assert len(set(keys.values())) == len(keys)
+    # Spelling variants collapse onto the canonical address.
+    assert _request_key(VerificationRequest(**base, backend="ipasir")) \
+        == keys["ipasir:auto"]
+    assert _request_key(VerificationRequest(**base, backend="pipe:")) \
+        == keys["pipe"]
+
+
+def test_backend_tier_markers():
+    """Backends advertise their tier via incremental/core_exact values."""
+    assert Solver.incremental and Solver.core_exact
+    assert PipeSolver.incremental and PipeSolver.core_exact
+    assert IpasirSolver.incremental and IpasirSolver.core_exact
+    assert not ExternalSolver.incremental and not ExternalSolver.core_exact
+
+
+# -- the pipe protocol: bit-exact equivalence ---------------------------------
+
+
+def test_pipe_matches_reference_bit_exactly():
+    """Interleaved adds/guarded clauses/assumption solves agree on
+    everything observable: answers, models, exact cores, every solver
+    counter and the retained learned-clause pool."""
+    rng = random.Random(7)
+    n = 40
+    ref = Solver()
+    pipe = make_solver("pipe")
+    try:
+        assert isinstance(pipe, IncrementalBackend)
+        sat_seen = unsat_seen = 0
+        for round_no in range(12):
+            for _ in range(rng.randint(4, 9)):
+                clause = random_clause(rng, n)
+                # Return values are not compared: the unacknowledged
+                # `a` wire command cannot mirror the reference kernel's
+                # eager root-conflict detection; the solve answers and
+                # counters below are the equivalence that matters.
+                ref.add_clause(list(clause))
+                pipe.add_clause(list(clause))
+            guard = random_clause(rng, n)
+            name = ("grp", round_no)
+            act_ref = ref.add_guarded(name, list(guard))
+            act_pipe = pipe.add_guarded(name, list(guard))
+            assert act_ref == act_pipe
+            assumptions = [act_ref] + random_clause(rng, n, width=2)
+            got_ref = ref.solve(list(assumptions))
+            got_pipe = pipe.solve(list(assumptions))
+            assert got_ref == got_pipe
+            if got_ref:
+                sat_seen += 1
+                for var in range(1, ref.n_vars + 1):
+                    assert ref.value(var) == pipe.value(var)
+            else:
+                unsat_seen += 1
+                assert pipe.core() == ref.core()
+                assert set(pipe.core()) <= set(assumptions)
+            for key in ("conflicts", "decisions", "propagations",
+                        "restarts", "learned"):
+                assert pipe.stats[key] == ref.stats[key], key
+            assert pipe.retained_learned() == ref.retained_learned()
+        # The generator must exercise both answers to mean anything.
+        assert sat_seen and unsat_seen
+    finally:
+        pipe.close()
+
+
+def test_pipe_activation_release():
+    """A group's clauses bind only while its literal is assumed."""
+    pipe = make_solver("pipe")
+    try:
+        for var in (1, 2):
+            pipe.add_clause([var])
+        act = pipe.add_guarded("contra", [-1])
+        assert not pipe.solve([act])
+        assert pipe.core() == [act]  # exact: the guard alone is to blame
+        assert pipe.solve([])        # released: the clause is inert
+        assert pipe.value(1) and pipe.value(2)
+    finally:
+        pipe.close()
+
+
+def test_pipe_shipping_stats():
+    """One spawn per solver lifetime; shipping counts every clause."""
+    pipe = make_solver("pipe")
+    try:
+        assert pipe.stats["solver_starts"] == 1
+        for clause in ([1, 2], [-1, 2], [1, -2]):
+            pipe.add_clause(clause)
+        assert pipe.stats["clauses_shipped"] == 3
+        assert pipe.solve([]) and pipe.solve([-2]) is False
+        assert pipe.stats["solver_starts"] == 1  # still the same server
+    finally:
+        pipe.close()
+
+
+def test_pipe_empty_clause_and_close_idempotent():
+    pipe = make_solver("pipe")
+    assert not pipe.add_clause([])
+    assert not pipe.solve([])
+    pipe.close()
+    pipe.close()  # never raises
+
+
+# -- session-level persistence observability ----------------------------------
+
+
+def _session_formula(session):
+    for clause in ([1, 2, 3], [-1, 2], [-2, 3], [-3, 1], [1, 2]):
+        session.add_clause(clause)
+
+
+def test_session_pipe_deltas_show_persistence():
+    """After spin-up the pipe session never restarts its solver and
+    ships only the trickle of newly added clauses."""
+    session = IncrementalSession(backend="pipe")
+    try:
+        _session_formula(session)
+        first = session.solve([])
+        assert first.sat and first.core_exact
+        assert first.solver_starts == 1      # the spin-up, attributed here
+        assert first.clauses_shipped >= 5
+        session.add_clause([-1, -2, 3])
+        second = session.solve([])
+        assert second.solver_starts == 0     # no restart: same warm server
+        assert second.clauses_shipped == 1   # only the new clause shipped
+    finally:
+        session.solver.close()
+
+
+def test_session_process_deltas_show_reshipping():
+    """The one-shot adapter restarts and re-ships the formula per call
+    and its UNSAT cores are only over-approximate."""
+    session = IncrementalSession(backend="process")
+    _session_formula(session)
+    first = session.solve([])
+    assert first.sat and first.solver_starts == 1
+    shipped_first = first.clauses_shipped
+    assert shipped_first >= 5
+    second = session.solve([])
+    assert second.solver_starts == 1         # cold start, every call
+    assert second.clauses_shipped >= shipped_first
+    kill = session.solver.add_guarded("kill", [-1])
+    keep = session.solver.add_guarded("keep", [1])
+    unsat = session.solve([kill, keep])
+    assert not unsat.sat
+    assert not unsat.core_exact
+
+
+def test_reference_session_ships_nothing():
+    session = IncrementalSession()
+    _session_formula(session)
+    stats = session.solve([])
+    assert stats.sat and stats.core_exact
+    assert stats.solver_starts == 0 and stats.clauses_shipped == 0
+
+
+def test_solve_stats_add_rolls_up_shipping():
+    total = SolveStats(solver_starts=1, clauses_shipped=10)
+    total.add(SolveStats(sat=True, solver_starts=1, clauses_shipped=5,
+                         core_exact=False))
+    assert total.solver_starts == 2
+    assert total.clauses_shipped == 15
+    assert not total.core_exact
+
+
+# -- CheckStats: shipping and over-approximate-core accounting ----------------
+
+
+def test_check_stats_shipping_fields_round_trip():
+    stats = CheckStats(sat_calls=2, solver_starts=3, clauses_shipped=40,
+                       cores_overapprox=1)
+    loaded = CheckStats.from_dict(stats.to_dict())
+    assert loaded.solver_starts == 3
+    assert loaded.clauses_shipped == 40
+    assert loaded.cores_overapprox == 1
+    # Old payloads without the fields still load.
+    old = CheckStats.from_dict({"sat_calls": 1})
+    assert old.solver_starts == 0 and old.cores_overapprox == 0
+
+
+def test_check_stats_count_solve_marks_overapprox_cores():
+    stats = CheckStats()
+    stats.count_solve(SolveStats(sat=False, core_exact=False,
+                                 solver_starts=1, clauses_shipped=7))
+    stats.count_solve(SolveStats(sat=False, core_exact=True))
+    stats.count_solve(SolveStats(sat=True, core_exact=False))  # SAT: no core
+    assert stats.sat_calls == 3
+    assert stats.cores_overapprox == 1
+    assert stats.solver_starts == 1 and stats.clauses_shipped == 7
+    rolled = CheckStats()
+    rolled.add(stats)
+    assert rolled.cores_overapprox == 1
+
+
+def test_report_renders_shipping_line():
+    from repro.upec.report import format_verdict
+    from repro.verify.verdict import Verdict
+
+    verdict = Verdict(
+        status="SECURE", method="alg1", raw_verdict="secure",
+        stats=CheckStats(solver_starts=4, clauses_shipped=123,
+                         cores_overapprox=2))
+    text = format_verdict(verdict)
+    assert "4 solver start(s)" in text
+    assert "123 clause(s) shipped" in text
+    assert "2 over-approximate core(s)" in text
+
+
+# -- the five-method verdict matrix on FORMAL_TINY ----------------------------
+
+
+@pytest.mark.parametrize("method,depth", [
+    ("alg1", 3), ("alg2", 2), ("bmc", 2), ("k-induction", 2),
+    ("ift-baseline", 2),
+])
+def test_pipe_verdict_matrix_matches_reference(method, depth):
+    """Every unified-API method answers bit-identically over the pipe."""
+    from repro.verify.engine import execute
+    from repro.verify.request import VerificationRequest
+
+    results = {}
+    for backend in ("reference", "pipe"):
+        verdict = execute(VerificationRequest(
+            design="FORMAL_TINY", method=method, depth=depth,
+            record_trace=False, use_cache=False, backend=backend))
+        results[backend] = verdict
+    ref, pipe = results["reference"], results["pipe"]
+    assert pipe.status == ref.status
+    assert pipe.raw_verdict == ref.raw_verdict
+    assert pipe.leaking == ref.leaking
+    # Same decision sequence, not just the same conclusion.
+    assert pipe.stats.conflicts == ref.stats.conflicts
+    if method == "alg1":
+        assert pipe.stats.solver_starts == 1
+        assert pipe.stats.cores_overapprox == 0
+        assert ref.stats.solver_starts == 0
+
+
+# -- the IPASIR ctypes adapter ------------------------------------------------
+
+
+def test_find_ipasir_rejects_non_ipasir_library():
+    # libm exists everywhere and exports no ipasir_* symbols.
+    assert find_ipasir_library("m") is None
+
+
+def test_ipasir_unavailable_raises_cleanly():
+    if IPASIR_LIB is not None:
+        pytest.skip("an IPASIR library is installed")
+    with pytest.raises(BackendUnavailableError):
+        make_solver("ipasir:auto")
+
+
+@pytest.mark.skipif(IPASIR_LIB is None, reason="no IPASIR shared library")
+def test_ipasir_matches_reference_answers():
+    """Same answers, satisfying models and sound exact cores as the
+    reference kernel on random incremental sequences."""
+    rng = random.Random(11)
+    n = 30
+    ref = Solver()
+    ipasir = make_solver("ipasir:auto")
+    try:
+        assert isinstance(ipasir, IncrementalBackend)
+        clauses = []
+        sat_seen = unsat_seen = 0
+        for round_no in range(10):
+            for _ in range(rng.randint(3, 7)):
+                clause = random_clause(rng, n)
+                clauses.append(clause)
+                ref.add_clause(list(clause))
+                ipasir.add_clause(list(clause))
+            assumptions = random_clause(rng, n, width=2)
+            got_ref = ref.solve(list(assumptions))
+            got_ipasir = ipasir.solve(list(assumptions))
+            assert got_ref == got_ipasir
+            if got_ipasir:
+                sat_seen += 1
+                model = {var: ipasir.value(var) for var in range(1, n + 1)}
+                for clause in clauses:
+                    assert any(model[abs(lit)] == (lit > 0)
+                               for lit in clause)
+            else:
+                unsat_seen += 1
+                core = ipasir.core()
+                assert set(core) <= set(assumptions)
+                # The exact core must itself be unsatisfiable.
+                replay = Solver()
+                replay.add_clauses([list(c) for c in clauses])
+                assert not replay.solve(core)
+        assert sat_seen and unsat_seen
+        assert ipasir.stats["solver_starts"] == 1
+    finally:
+        ipasir.close()
+
+
+# -- warm portfolio lanes -----------------------------------------------------
+
+
+@pytest.fixture
+def fresh_pools():
+    from repro.verify import portfolio
+
+    portfolio.shutdown_pools()
+    yield portfolio
+    portfolio.shutdown_pools()
+
+
+def _race(portfolio, lanes, **kwargs):
+    from repro.verify.request import VerificationRequest
+
+    request = VerificationRequest(
+        design="FORMAL_TINY", method="alg1", record_trace=False,
+        use_cache=False, portfolio=lanes, **kwargs)
+    return portfolio.race(request, cross_check_rate=0.0)
+
+
+def test_warm_portfolio_reuses_lane_workers(fresh_pools):
+    portfolio = fresh_pools
+    lanes = ("reference", "reference:restart_base=50")
+    first = _race(portfolio, lanes)
+    assert first.provenance["portfolio"]["mode"] == "warm"
+    assert not first.provenance["portfolio"]["winner_warm"]
+    pool = portfolio._POOLS[lanes]
+    pids = [lane.process.pid for lane in pool.lanes if lane is not None]
+    second = _race(portfolio, lanes)
+    assert second.provenance["portfolio"]["mode"] == "warm"
+    assert second.provenance["portfolio"]["winner_warm"]
+    assert second.status == first.status
+    assert second.leaking == first.leaking
+    # Same pool, same worker processes, no kills between races.
+    assert portfolio._POOLS[lanes] is pool
+    assert pool.jobs == 2 and pool.respawns == 0
+    alive = [lane.process.pid for lane in pool.lanes if lane is not None]
+    assert set(alive) <= set(pids)
+
+
+def test_warm_portfolio_duplicate_lanes_get_independent_workers(fresh_pools):
+    portfolio = fresh_pools
+    lanes = ("reference", "reference")
+    verdict = _race(portfolio, lanes)
+    assert verdict.status == "VULNERABLE"
+    pool = portfolio._POOLS[lanes]
+    pids = {lane.process.pid for lane in pool.lanes if lane is not None}
+    assert len(pids) == 2  # position-aligned, never shared
+
+
+def test_warm_portfolio_failing_lanes_fall_back(fresh_pools):
+    portfolio = fresh_pools
+    verdict = _race(portfolio, ("dimacs:python", "dimacs:python"))
+    assert verdict.stats.winner_lane == "reference (fallback)"
+    assert verdict.provenance["portfolio"]["lane_errors"]
+
+
+def _toy_threat_model():
+    """A tiny in-memory vulnerable design (non-serializable request)."""
+    from repro.rtl import Circuit, mux
+    from repro.upec import ThreatModel, VictimPort
+
+    c = Circuit("incremental-toy")
+    v_valid = c.add_input("v_valid", 1)
+    v_addr = c.add_input("v_addr", 4)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 4)
+    c.add_input("victim_page", 2)
+    soc = c.scope("soc")
+    buf = soc.child("xbar").reg("addr_buf", 4, kind="interconnect")
+    c.set_next(buf, mux(v_valid, v_addr, buf))
+    count = soc.child("spy").reg("count", 4, kind="ip")
+    c.set_next(count, mux(v_valid, count + 1, count))
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=2,
+    )
+
+
+def test_raw_design_races_on_cold_forks(fresh_pools):
+    portfolio = fresh_pools
+    from repro.verify.request import VerificationRequest
+
+    request = VerificationRequest(
+        design=_toy_threat_model(), method="alg1",
+        record_trace=False, use_cache=False,
+        portfolio=("reference", "reference:restart_base=50"))
+    verdict = portfolio.race(request, cross_check_rate=0.0)
+    assert verdict.provenance["portfolio"]["mode"] == "cold"
+    assert verdict.status == "VULNERABLE"
+    assert not portfolio._POOLS  # raw designs never build warm pools
+
+
+def test_shutdown_pools_terminates_workers(fresh_pools):
+    portfolio = fresh_pools
+    lanes = ("reference", "reference:restart_base=50")
+    _race(portfolio, lanes)
+    pool = portfolio._POOLS[lanes]
+    workers = [lane.process for lane in pool.lanes if lane is not None]
+    assert workers
+    portfolio.shutdown_pools()
+    assert not portfolio._POOLS
+    for process in workers:
+        process.join(timeout=10)
+        assert not process.is_alive()
