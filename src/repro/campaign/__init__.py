@@ -12,8 +12,10 @@ makes that loop declarative and parallel:
   ``Job.seed_from``, never scheduling order) over a pluggable
   :class:`Executor`: :class:`SerialExecutor` (in-process reference),
   :class:`ForkPoolExecutor` / :class:`SpawnPoolExecutor` (process
-  pools with per-job timeouts), or :class:`TcpExecutor`
-  (``python -m repro.verify worker`` endpoints — cross-host);
+  pools with per-job timeouts), :class:`TcpExecutor`
+  (``python -m repro.verify worker`` endpoints — cross-host), or
+  :class:`FabricExecutor` (a :mod:`repro.fabric` coordinator with
+  dynamic workers and the replicated verdict cache);
 * :mod:`repro.campaign.grids` — the paper's experiment grid, defined
   once for benchmarks, examples and spec files;
 * ``python -m repro.campaign <spec.json>`` — run a spec file end to
@@ -27,6 +29,7 @@ content-addressed verdict cache.
 from .executors import (
     EXECUTOR_NAMES,
     Executor,
+    FabricExecutor,
     ForkPoolExecutor,
     JobFuture,
     SerialExecutor,
@@ -64,6 +67,7 @@ __all__ = [
     "ForkPoolExecutor",
     "SpawnPoolExecutor",
     "TcpExecutor",
+    "FabricExecutor",
     "EXECUTOR_NAMES",
     "make_executor",
     "PAPER_VARIANTS",

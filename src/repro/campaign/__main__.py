@@ -8,6 +8,7 @@ Usage::
     python -m repro.campaign smoke --executor spawn --workers 2
     python -m repro.campaign smoke --executor tcp \\
         --connect 127.0.0.1:7321 --connect 127.0.0.1:7322
+    python -m repro.campaign smoke --executor fabric --connect 127.0.0.1:7400
 
 Streams one line per completed job, prints the verdict matrix, and
 writes the full JSON artifact (spec + per-job results + summary).
@@ -70,8 +71,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--connect", action="append", metavar="HOST:PORT", default=None,
-        help=("TCP worker endpoint for --executor tcp (repeatable; "
-              "start workers with 'python -m repro.verify worker')"),
+        help=("worker endpoint for --executor tcp (repeatable; start "
+              "workers with 'python -m repro.verify worker') or the "
+              "coordinator address for --executor fabric"),
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
+        help=("TCP connect budget per endpoint (default 5); an "
+              "unreachable endpoint fails with a diagnostic instead of "
+              "blocking forever"),
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None,
@@ -150,8 +158,11 @@ def main(argv=None) -> int:
         executor = make_executor(
             executor_name, workers=max(args.workers, 1),
             connect=args.connect or (),
+            connect_timeout=args.connect_timeout,
         )
-    except (ValueError, TypeError) as exc:
+    except (ValueError, TypeError, RuntimeError) as exc:
+        # RuntimeError covers transport construction failures — e.g. a
+        # fabric coordinator that refuses or cannot be reached.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -166,9 +177,15 @@ def main(argv=None) -> int:
         if not args.quiet:
             print(format_job_line(result), flush=True)
 
-    campaign = run_campaign(jobs, workers=args.workers,
-                            on_result=stream, executor=executor,
-                            cache=cache)
+    try:
+        campaign = run_campaign(jobs, workers=args.workers,
+                                on_result=stream, executor=executor,
+                                cache=cache)
+    except RuntimeError as exc:
+        # E.g. every TCP endpoint unreachable: the scheduler reports a
+        # stalled campaign — a one-line diagnostic, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     print()
     print(format_campaign(

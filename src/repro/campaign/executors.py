@@ -16,8 +16,12 @@ folded back.  **How** a job runs is an :class:`Executor`'s business:
 * :class:`TcpExecutor` — ships jobs to ``python -m repro.verify
   worker`` processes over the length-prefixed JSON protocol
   (:mod:`repro.verify.protocol`): the first cross-host transport.
+* :class:`FabricExecutor` — submits jobs to a :mod:`repro.fabric`
+  coordinator, which owns worker registration, dead-worker re-queue,
+  work stealing and the replicated verdict cache; the client holds one
+  socket and a set of tagged in-flight futures.
 
-All four observe the same contract — ``submit(job, hints) -> JobFuture``,
+All five observe the same contract — ``submit(job, hints) -> JobFuture``,
 ``drain(block) -> completed futures`` — and the scheduler's hint flow
 follows ``Job.seed_from``, never scheduling order, so every executor
 produces bit-identical campaign results.
@@ -28,7 +32,13 @@ from __future__ import annotations
 import socket
 import time
 
-from ..verify.protocol import parse_address, recv_frame, send_frame
+from ..verify.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
 from .spec import Job
 
 __all__ = [
@@ -38,6 +48,7 @@ __all__ = [
     "ForkPoolExecutor",
     "SpawnPoolExecutor",
     "TcpExecutor",
+    "FabricExecutor",
     "EXECUTOR_NAMES",
     "make_executor",
 ]
@@ -460,11 +471,150 @@ class TcpExecutor(Executor):
             conn.drop()
 
 
+class FabricExecutor(Executor):
+    """Submit campaign jobs to a :mod:`repro.fabric` coordinator.
+
+    The coordinator owns everything :class:`TcpExecutor` left to the
+    client: worker discovery (dynamic registration), dead-worker
+    re-queue, per-job timeouts, locality-aware stealing and the
+    replicated verdict cache.  This side is deliberately thin — one
+    socket, a ``hello``/``welcome`` handshake, tagged ``submit`` frames
+    out and tagged ``result`` frames back.
+
+    ``has_slot`` is always true: admission control is the
+    coordinator's job (its queue is unbounded), and the campaign
+    scheduler's donor ordering still governs *when* a job may be
+    submitted, so hint seeding survives redistribution untouched.
+
+    Args:
+        connect: the coordinator address (``"host:port"`` or tuple).
+        connect_timeout: TCP connect + handshake budget; an unreachable
+            coordinator raises ``RuntimeError`` at construction (the
+            CLI turns it into a single-line ``error:`` exit 2).
+    """
+
+    name = "fabric"
+
+    def __init__(self, connect, connect_timeout: float = 5.0):
+        address = parse_address(connect) if isinstance(connect, str) \
+            else tuple(connect)
+        self.address = address
+        host, port = address
+        try:
+            self._sock = socket.create_connection(address,
+                                                  timeout=connect_timeout)
+        except OSError as exc:
+            raise RuntimeError(
+                f"cannot reach fabric coordinator {host}:{port}: {exc}"
+            ) from None
+        try:
+            self._sock.settimeout(connect_timeout)
+            send_frame(self._sock, {"op": "hello", "role": "executor",
+                                    "protocol": PROTOCOL_VERSION})
+            welcome = recv_frame(self._sock)
+        except (OSError, ProtocolError) as exc:
+            self._sock.close()
+            raise RuntimeError(
+                f"fabric handshake with {host}:{port} failed: {exc}"
+            ) from None
+        if welcome is None or welcome.get("op") != "welcome":
+            message = (welcome or {}).get("message", "connection closed")
+            self._sock.close()
+            raise RuntimeError(
+                f"fabric coordinator {host}:{port} refused us: {message}")
+        self._sock.settimeout(None)
+        self._workers = int(welcome.get("workers") or 0)
+        self._next_tag = 0
+        self._inflight: dict[int, JobFuture] = {}
+        self._done_early: list[JobFuture] = []
+
+    def capacity(self) -> int:
+        # The worker count at handshake time (display only; workers
+        # registering later still serve this campaign).
+        return self._workers
+
+    def has_slot(self) -> bool:
+        return True
+
+    def submit(self, job: Job, hints) -> JobFuture:
+        future = JobFuture(job)
+        self._next_tag += 1
+        tag = self._next_tag
+        try:
+            send_frame(self._sock, {
+                "op": "submit", "tag": tag,
+                "job": job.to_dict(), "hints": list(hints or ()),
+            })
+        except (OSError, ProtocolError) as exc:
+            future._finish(_worker_death_result(
+                job, f"submit to coordinator {self.address} failed: {exc}"))
+            self._done_early.append(future)
+            return future
+        self._inflight[tag] = future
+        return future
+
+    def _fail_all(self, reason: str) -> list[JobFuture]:
+        failed = []
+        for future in self._inflight.values():
+            future._finish(_worker_death_result(future.job, reason))
+            failed.append(future)
+        self._inflight.clear()
+        return failed
+
+    def drain(self, block: bool = True) -> list[JobFuture]:
+        import select
+
+        from .runner import JobResult
+
+        completed: list[JobFuture] = self._done_early
+        self._done_early = []
+        while True:
+            if not self._inflight:
+                return completed
+            timeout = None if block else 0.0
+            readable, _, _ = select.select([self._sock], [], [], timeout)
+            if readable:
+                try:
+                    frame = recv_frame(self._sock)
+                except (OSError, ProtocolError, ConnectionError) as exc:
+                    return completed + self._fail_all(
+                        f"fabric coordinator {self.address} failed: {exc}")
+                if frame is None:
+                    return completed + self._fail_all(
+                        f"fabric coordinator {self.address} closed the "
+                        f"connection")
+                if frame.get("op") == "result":
+                    future = self._inflight.pop(frame.get("tag"), None)
+                    if future is not None:
+                        result = JobResult.from_dict(frame["result"])
+                        # The coordinator may answer from its replicated
+                        # cache; the payload then embeds the *donor*
+                        # run's Job record.  Rebind to the submitted job
+                        # (the content key proves the question is
+                        # identical) and mark the provenance.
+                        result.job = future.job
+                        if frame.get("source") == "cache":
+                            result.cached = True
+                        future._finish(result)
+                        completed.append(future)
+                # Any other op (status pushes, errors for unknown tags)
+                # is ignorable chatter for an executor.
+            if completed or not block:
+                return completed
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
 #: CLI-addressable executor names.
-EXECUTOR_NAMES = ("serial", "fork", "spawn", "tcp")
+EXECUTOR_NAMES = ("serial", "fork", "spawn", "tcp", "fabric")
 
 
-def make_executor(name: str, workers: int = 1, connect=()) -> Executor:
+def make_executor(name: str, workers: int = 1, connect=(),
+                  connect_timeout: float = 5.0) -> Executor:
     """Build an executor from CLI-style parameters."""
     if name == "serial":
         return SerialExecutor()
@@ -473,7 +623,14 @@ def make_executor(name: str, workers: int = 1, connect=()) -> Executor:
     if name == "spawn":
         return SpawnPoolExecutor(workers)
     if name == "tcp":
-        return TcpExecutor(list(connect))
+        return TcpExecutor(list(connect), connect_timeout=connect_timeout)
+    if name == "fabric":
+        addresses = list(connect)
+        if len(addresses) != 1:
+            raise ValueError(
+                "the fabric executor takes exactly one --connect "
+                "coordinator address")
+        return FabricExecutor(addresses[0], connect_timeout=connect_timeout)
     raise ValueError(
         f"unknown executor {name!r}; known: {', '.join(EXECUTOR_NAMES)}"
     )

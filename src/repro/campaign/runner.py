@@ -47,6 +47,7 @@ __all__ = [
     "register_builder",
     "request_from_job",
     "run_job",
+    "job_cache_key",
     "run_campaign",
 ]
 
@@ -228,7 +229,7 @@ def _complete(future, cache, keys, finish) -> None:
     finish(result)
 
 
-def _job_cache_key(job: Job, hints) -> str | None:
+def job_cache_key(job: Job, hints) -> str | None:
     """Content key of a job under the hints in effect (None = uncacheable)."""
     try:
         fingerprint = design_fingerprint(job.design)
@@ -250,6 +251,11 @@ def _job_cache_key(job: Job, hints) -> str | None:
                "backend": job.backend,
                "portfolio": list(job.portfolio)},
     )
+
+
+#: Historical (pre-fabric) name; the fabric coordinator re-uses the key
+#: as its re-queue idempotency identity, so it became public API.
+_job_cache_key = job_cache_key
 
 
 def run_campaign(

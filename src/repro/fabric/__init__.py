@@ -1,0 +1,79 @@
+"""Verification as a service: the distributed campaign fabric.
+
+``repro.fabric`` turns the PR-3 point-to-point transport into a
+long-running service: a :class:`~repro.fabric.coordinator.Coordinator`
+daemon accepts campaign jobs from any number of clients, schedules them
+over a dynamic pool of workers (heartbeat leases, dead-worker re-queue,
+locality-aware stealing) and replicates the content-addressed verdict
+cache so a job solved anywhere is solved everywhere.
+
+Quick start::
+
+    python -m repro.fabric coordinator --port 7400
+    python -m repro.verify worker --connect 127.0.0.1:7400 --reconnect
+    python -m repro.campaign smoke --executor fabric --connect 127.0.0.1:7400
+    python -m repro.fabric status --connect 127.0.0.1:7400
+
+This module also exposes the two tiny client helpers the CLI and the
+test-suite share: :func:`fetch_status` and :func:`request_shutdown`.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..verify.protocol import (
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from .coordinator import Coordinator
+from .state import JobEntry, JobQueue, LeaseTable, WorkerRecord
+from .worker import WorkerSupervisor, backoff_delay
+
+__all__ = [
+    "Coordinator",
+    "WorkerSupervisor",
+    "backoff_delay",
+    "LeaseTable",
+    "WorkerRecord",
+    "JobQueue",
+    "JobEntry",
+    "fetch_status",
+    "request_shutdown",
+]
+
+
+def _client_op(connect, request: dict, reply_op: str,
+               timeout: float = 10.0) -> dict:
+    address = parse_address(connect) if isinstance(connect, str) \
+        else tuple(connect)
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        send_frame(sock, {"op": "hello", "role": "cli",
+                          "protocol": PROTOCOL_VERSION})
+        welcome = recv_frame(sock)
+        if welcome is None or welcome.get("op") != "welcome":
+            message = (welcome or {}).get("message", "connection closed")
+            raise ConnectionError(
+                f"coordinator {address[0]}:{address[1]} refused us: "
+                f"{message}")
+        send_frame(sock, request)
+        reply = recv_frame(sock)
+        if reply is None or reply.get("op") != reply_op:
+            message = (reply or {}).get("message", "connection closed")
+            raise ConnectionError(
+                f"unexpected {request['op']} reply: {message}")
+        return reply
+
+
+def fetch_status(connect, timeout: float = 10.0) -> dict:
+    """The coordinator's ``status`` payload (see ``Coordinator.status``)."""
+    return _client_op(connect, {"op": "status"}, "status",
+                      timeout)["status"]
+
+
+def request_shutdown(connect, timeout: float = 10.0) -> None:
+    """Ask a coordinator to shut down (it tells its workers first)."""
+    _client_op(connect, {"op": "shutdown"}, "ok", timeout)

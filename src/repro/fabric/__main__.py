@@ -1,0 +1,184 @@
+"""The fabric CLI.
+
+Run a coordinator daemon::
+
+    python -m repro.fabric coordinator --port 7400
+
+Enrol a worker (equivalent to ``python -m repro.verify worker
+--connect``)::
+
+    python -m repro.fabric worker --connect 127.0.0.1:7400 --reconnect
+
+Inspect a running fabric::
+
+    python -m repro.fabric status --connect 127.0.0.1:7400
+
+Run the self-contained acceptance smoke (coordinator + N workers, one
+SIGKILLed mid-campaign, bit-identity vs serial, cached-rerun speedup)::
+
+    python -m repro.fabric smoke --status-json fabric_status.json
+
+Errors print a single-line ``error:`` diagnostic and exit 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+
+
+def _coordinator(args) -> int:
+    from .coordinator import Coordinator
+
+    coordinator = Coordinator(
+        host=args.host, port=args.port,
+        lease_seconds=args.lease_seconds,
+        cache_dir=args.cache_dir,
+        max_frame=args.max_frame,
+        quiet=args.quiet,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: coordinator.shutdown())
+    signal.signal(signal.SIGINT, lambda *_: coordinator.shutdown())
+    return coordinator.serve()
+
+
+def _worker(args) -> int:
+    from .worker import WorkerSupervisor
+
+    supervisor = WorkerSupervisor(
+        args.connect,
+        name=args.name,
+        reconnect=args.reconnect,
+        cache_dir=args.cache_dir,
+        max_frame=args.max_frame,
+        quiet=args.quiet,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: supervisor.stop())
+    return supervisor.run()
+
+
+def _status(args) -> int:
+    from ..upec.report import format_fabric_status
+    from . import fetch_status
+
+    status = fetch_status(args.connect, timeout=args.timeout)
+    if args.json:
+        import pathlib
+
+        pathlib.Path(args.json).write_text(
+            json.dumps(status, indent=2) + "\n")
+        print(f"status JSON: {args.json}")
+    else:
+        print(format_fabric_status(status))
+    return 0
+
+
+def _shutdown(args) -> int:
+    from . import request_shutdown
+
+    request_shutdown(args.connect, timeout=args.timeout)
+    print("coordinator shutting down")
+    return 0
+
+
+def _smoke(args) -> int:
+    from .smoke import run_smoke
+
+    try:
+        run_smoke(
+            workers=args.workers,
+            kill_one=not args.no_kill,
+            status_json=args.status_json,
+            speedup_floor=args.speedup_floor,
+        )
+    except AssertionError as exc:
+        print(f"fabric smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("fabric smoke passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fabric",
+        description="The distributed verification fabric: coordinator, "
+                    "workers, status.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    coordinator = sub.add_parser(
+        "coordinator", help="run the coordinator daemon")
+    coordinator.add_argument("--host", default="127.0.0.1")
+    coordinator.add_argument("--port", type=int, default=0,
+                             help="bind port (0 = OS-assigned, announced "
+                                  "on stdout)")
+    coordinator.add_argument("--lease-seconds", type=float, default=15.0,
+                             metavar="S",
+                             help="worker heartbeat lease (default 15); a "
+                                  "missed lease re-queues the worker's job")
+    coordinator.add_argument("--cache-dir", metavar="PATH", default=None,
+                             help="authoritative verdict-store directory "
+                                  "(default: in-memory)")
+    coordinator.add_argument("--max-frame", type=int, default=None,
+                             metavar="BYTES",
+                             help="per-frame byte cap (default: 64 MiB)")
+    coordinator.add_argument("--quiet", action="store_true")
+    coordinator.set_defaults(func=_coordinator)
+
+    worker = sub.add_parser("worker", help="enrol a worker with a "
+                                           "coordinator")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT")
+    worker.add_argument("--reconnect", action="store_true",
+                        help="re-dial a lost coordinator under exponential "
+                             "backoff + jitter instead of exiting")
+    worker.add_argument("--name", default=None,
+                        help="advertised worker name (default host:pid)")
+    worker.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="local verdict-store tier backing the "
+                             "replicated cache")
+    worker.add_argument("--max-frame", type=int, default=None,
+                        metavar="BYTES")
+    worker.add_argument("--quiet", action="store_true")
+    worker.set_defaults(func=_worker)
+
+    status = sub.add_parser("status", help="fetch and render a "
+                                           "coordinator's counters")
+    status.add_argument("--connect", required=True, metavar="HOST:PORT")
+    status.add_argument("--json", metavar="PATH", default=None,
+                        help="write the raw status payload as JSON instead "
+                             "of rendering it")
+    status.add_argument("--timeout", type=float, default=10.0)
+    status.set_defaults(func=_status)
+
+    shutdown = sub.add_parser("shutdown", help="stop a coordinator (and "
+                                               "its workers)")
+    shutdown.add_argument("--connect", required=True, metavar="HOST:PORT")
+    shutdown.add_argument("--timeout", type=float, default=10.0)
+    shutdown.set_defaults(func=_shutdown)
+
+    smoke = sub.add_parser(
+        "smoke", help="self-contained acceptance smoke (coordinator + "
+                      "workers + SIGKILL + cached rerun)")
+    smoke.add_argument("--workers", type=int, default=2)
+    smoke.add_argument("--no-kill", action="store_true",
+                       help="skip the mid-campaign SIGKILL fault injection")
+    smoke.add_argument("--status-json", metavar="PATH", default=None,
+                       help="write the status-endpoint JSON artifact here")
+    smoke.add_argument("--speedup-floor", type=float, default=5.0,
+                       metavar="X",
+                       help="minimum cached-rerun speedup (default 5)")
+    smoke.set_defaults(func=_smoke)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError, ConnectionError,
+            json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

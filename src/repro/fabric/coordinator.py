@@ -1,0 +1,629 @@
+"""The fabric coordinator: verification as a long-running service.
+
+One single-threaded ``select`` loop owns a listening socket and every
+peer connection.  Peers identify themselves by their first frames:
+
+* **workers** (`python -m repro.fabric worker`) send ``register`` and
+  stay connected — the coordinator leases them, assigns jobs, renews
+  leases on ``heartbeat`` frames and folds ``result`` frames back;
+* **clients** (:class:`repro.campaign.executors.FabricExecutor`, the
+  ``status`` CLI, remote :class:`~repro.verify.cache.VerdictCache`
+  tiers) send ``hello`` and then ``submit``/``status``/``cache_query``/
+  ``cache_push``/``shutdown`` frames.
+
+Op table (on top of the PR-3 ops — see :mod:`repro.verify.protocol`):
+
+============== ================================================= =========
+op             payload                                           direction
+============== ================================================= =========
+``hello``      ``{"protocol": v, "role": str}``                  client → c
+``welcome``    ``{"protocol": v, "workers": n}``                 c → client
+``register``   ``{"protocol": v, "name": str}``                  worker → c
+``registered`` ``{"worker": id, "lease_s": s, "protocol": v}``   c → worker
+``heartbeat``  ``{"worker": id, "state": "idle"|"busy"}``        worker → c
+``lease``      ``{"lease_s": s}``                                c → worker
+``steal``      ``{"worker": id}`` — idle worker asks for work    worker → c
+``job``        ``{"key", "job", "hints"}`` — assignment          c → worker
+``result``     ``{"key", "result", "cache_hit": bool}``          worker → c
+``goodbye``    ``{"worker": id}`` — clean departure              worker → c
+``submit``     ``{"tag": n, "job", "hints"}``                    client → c
+``result``     ``{"tag": n, "result", "source", "worker"}``      c → client
+``status``     ``{}`` → ``{"status": {...}}``                    client → c
+``cache_query````{"key"}`` → ``cache_result {"key","payload"}``  client → c
+``cache_push`` ``{"key","payload"}`` → ``cache_ack {"stored"}``  client → c
+``shutdown``   ``{}`` — stop workers and exit                    client → c
+============== ================================================= =========
+
+Fault tolerance: a worker that misses its lease (SIGKILL, network
+partition) or drops its connection is declared dead — its in-flight
+job is **re-queued** on a surviving worker and its backlog
+redistributed.  Jobs are keyed by their content address (the PR-3
+verdict-cache key), so a presumed-dead worker's late ``result`` (or a
+delivered-twice frame) is folded idempotently: the first result wins
+and anything later only bumps ``duplicate_results``.  Completed
+verdicts land in the coordinator's authoritative
+:class:`~repro.verify.cache.VerdictCache`; a later ``submit`` of the
+same question — from any client, any campaign — is answered from the
+store without occupying a worker.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import time
+import traceback
+
+from ..verify.cache import VerdictCache
+from ..verify.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from .state import JobEntry, JobQueue, LeaseTable, WorkerRecord
+
+__all__ = ["Coordinator"]
+
+#: Seconds a blocking per-frame read may take before the peer is
+#: declared unresponsive (select says readable, so a healthy peer has
+#: already queued the bytes).
+_FRAME_TIMEOUT = 30.0
+
+
+class _Peer:
+    """One connected socket and what we know about it."""
+
+    __slots__ = ("sock", "address", "role", "worker_id")
+
+    def __init__(self, sock: socket.socket, address: str):
+        self.sock = sock
+        self.address = address
+        self.role = "unknown"  # "unknown" | "client" | "worker"
+        self.worker_id: int | None = None
+
+
+class Coordinator:
+    """The campaign-fabric coordinator daemon.
+
+    Args:
+        host: bind address (default loopback; bind 0.0.0.0 explicitly
+            for cross-host fabrics).
+        port: bind port; 0 lets the OS pick one (announced on stdout as
+            ``coordinator listening on HOST:PORT``).
+        lease_seconds: heartbeat lease length; a worker that misses it
+            is declared dead and its in-flight job re-queued.  Workers
+            heartbeat at a third of this.
+        cache_dir: directory for the authoritative verdict store (None
+            = in-memory for this coordinator's lifetime).
+        max_frame: per-frame byte cap (None = protocol default).
+        quiet: suppress per-event log lines (the hello line always
+            prints).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 lease_seconds: float = 15.0,
+                 cache_dir=None, max_frame: int | None = None,
+                 quiet: bool = False):
+        self.host = host
+        self.port = port
+        self.lease_seconds = lease_seconds
+        self.max_frame = max_frame
+        self.quiet = quiet
+        self.cache = VerdictCache(cache_dir)
+        self.leases = LeaseTable(lease_seconds)
+        self.queue = JobQueue()
+        self._server: socket.socket | None = None
+        self._peers: dict[socket.socket, _Peer] = {}
+        self._worker_peers: dict[int, _Peer] = {}
+        self._completed: dict[str, int | None] = {}  # key -> worker id
+        self._expired: set[str] = set()
+        self._running = False
+        self._wake_r, self._wake_w = os.pipe()
+        self._started = time.monotonic()
+        self._uncached_seq = 0
+        # counters
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_coalesced = 0
+        self.jobs_timed_out = 0
+        self.duplicate_results = 0
+        self.late_results = 0
+        self.cache_hits_served = 0
+        self.cache_queries = 0
+        self.cache_query_hits = 0
+        self.cache_pushes = 0
+        self.cache_push_duplicates = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[coordinator] {message}", flush=True)
+
+    def bind(self) -> tuple[str, int]:
+        """Bind the listening socket; returns the bound (host, port)."""
+        if self._server is None:
+            server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            server.bind((self.host, self.port))
+            server.listen(64)
+            self._server = server
+            self.host, self.port = server.getsockname()[:2]
+            print(f"coordinator listening on {self.host}:{self.port}",
+                  flush=True)
+        return self.host, self.port
+
+    def shutdown(self) -> None:
+        """Stop the serve loop (thread-safe: wakes the select)."""
+        self._running = False
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def serve(self) -> int:
+        """Run until :meth:`shutdown` (or a client ``shutdown`` op)."""
+        self.bind()
+        self._running = True
+        try:
+            while self._running:
+                self._tick()
+        finally:
+            self._close_all()
+        return 0
+
+    def _tick(self) -> None:
+        now = time.monotonic()
+        deadlines = [d for d in (self.leases.next_deadline(),
+                                 self.queue.next_deadline())
+                     if d is not None]
+        timeout = max(0.0, min(deadlines) - now) if deadlines else None
+        readable, _, _ = select.select(
+            [self._server, self._wake_r, *self._peers], [], [], timeout)
+        for sock in readable:
+            if sock is self._server:
+                self._accept()
+            elif sock is self._wake_r:
+                os.read(self._wake_r, 4096)
+            else:
+                peer = self._peers.get(sock)
+                if peer is not None:
+                    self._service(peer)
+        now = time.monotonic()
+        for record in self.leases.expired(now):
+            self._worker_died(record.worker_id,
+                              f"missed lease by {now - record.lease_deadline:.1f}s")
+        for entry in self.queue.expired(now):
+            self._expire_entry(entry)
+        self._dispatch()
+
+    def _close_all(self) -> None:
+        for peer in list(self._peers.values()):
+            try:
+                peer.sock.close()
+            except OSError:
+                pass
+        self._peers.clear()
+        self._worker_peers.clear()
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    # -- peer plumbing -------------------------------------------------------
+
+    def _accept(self) -> None:
+        try:
+            conn, peer_addr = self._server.accept()
+        except OSError:
+            return
+        conn.settimeout(_FRAME_TIMEOUT)
+        address = f"{peer_addr[0]}:{peer_addr[1]}"
+        self._peers[conn] = _Peer(conn, address)
+
+    def _send(self, peer: _Peer, payload: dict) -> bool:
+        try:
+            send_frame(peer.sock, payload, max_frame=self.max_frame)
+            return True
+        except (OSError, ProtocolError) as exc:
+            self._drop_peer(peer, f"send failed: {exc}")
+            return False
+
+    def _drop_peer(self, peer: _Peer, reason: str) -> None:
+        if peer.sock not in self._peers:
+            return
+        del self._peers[peer.sock]
+        try:
+            peer.sock.close()
+        except OSError:
+            pass
+        if peer.worker_id is not None:
+            self._worker_gone(peer.worker_id, reason, dead=True)
+        else:
+            self._forget_client(peer)
+
+    def _forget_client(self, peer: _Peer) -> None:
+        """Drop a vanished client's waiters; its jobs keep running
+        (their results still land in the authoritative cache)."""
+        for entry in self.queue.entries.values():
+            entry.waiters = [(p, tag) for p, tag in entry.waiters
+                             if p is not peer]
+
+    def _service(self, peer: _Peer) -> None:
+        try:
+            frame = recv_frame(peer.sock, max_frame=self.max_frame)
+        except ProtocolError as exc:
+            # Bad magic / over-long / non-JSON: one error frame, then
+            # hang up — the stream cannot be resynchronized.
+            self._send(peer, {"op": "error", "message": f"protocol error: "
+                              f"{exc}"})
+            self._drop_peer(peer, f"protocol error: {exc}")
+            return
+        except (OSError, ConnectionError) as exc:
+            self._drop_peer(peer, f"connection lost: {exc}")
+            return
+        if frame is None:
+            self._drop_peer(peer, "connection closed")
+            return
+        try:
+            self._handle(peer, frame)
+        except Exception:  # noqa: BLE001 - the loop must survive any frame
+            detail = traceback.format_exc(limit=4)
+            self._log(f"frame handler failed:\n{detail}")
+            self._send(peer, {"op": "error",
+                              "message": "internal error: "
+                                         + detail.strip().splitlines()[-1]})
+
+    # -- op dispatch ---------------------------------------------------------
+
+    def _handle(self, peer: _Peer, frame: dict) -> None:
+        op = frame.get("op")
+        if op == "hello":
+            self._handle_hello(peer, frame)
+        elif op == "register":
+            self._handle_register(peer, frame)
+        elif op == "heartbeat":
+            self._handle_heartbeat(peer, frame)
+        elif op == "steal":
+            self._dispatch()
+        elif op == "result":
+            self._handle_result(peer, frame)
+        elif op == "goodbye":
+            self._handle_goodbye(peer)
+        elif op == "submit":
+            self._handle_submit(peer, frame)
+        elif op == "status":
+            self._send(peer, {"op": "status", "status": self.status()})
+        elif op == "cache_query":
+            self._handle_cache_query(peer, frame)
+        elif op == "cache_push":
+            self._handle_cache_push(peer, frame)
+        elif op == "ping":
+            self._send(peer, {"op": "pong", "version": PROTOCOL_VERSION})
+        elif op == "shutdown":
+            self._handle_shutdown(peer)
+        else:
+            self._send(peer, {"op": "error",
+                              "message": f"unknown op {op!r} "
+                                         f"(protocol v{PROTOCOL_VERSION})"})
+
+    @staticmethod
+    def _version_ok(frame: dict) -> bool:
+        return frame.get("protocol") == PROTOCOL_VERSION
+
+    def _handle_hello(self, peer: _Peer, frame: dict) -> None:
+        if not self._version_ok(frame):
+            self._send(peer, {
+                "op": "error",
+                "message": f"protocol version mismatch: coordinator speaks "
+                           f"v{PROTOCOL_VERSION}, peer sent "
+                           f"{frame.get('protocol')!r}"})
+            self._drop_peer(peer, "version mismatch")
+            return
+        peer.role = "client"
+        self._send(peer, {"op": "welcome", "protocol": PROTOCOL_VERSION,
+                          "workers": len(self.leases)})
+
+    def _handle_register(self, peer: _Peer, frame: dict) -> None:
+        if not self._version_ok(frame):
+            self._send(peer, {
+                "op": "error",
+                "message": f"protocol version mismatch: coordinator speaks "
+                           f"v{PROTOCOL_VERSION}, worker sent "
+                           f"{frame.get('protocol')!r}"})
+            self._drop_peer(peer, "version mismatch")
+            return
+        if peer.worker_id is not None:
+            # Re-register on the same connection (e.g. after the
+            # coordinator told it "unknown worker"): drop the old lease.
+            self._worker_gone(peer.worker_id, "re-registered", dead=False)
+        now = time.monotonic()
+        record = self.leases.register(
+            name=str(frame.get("name") or f"worker@{peer.address}"),
+            address=peer.address, now=now)
+        self.queue.add_worker(record.worker_id)
+        peer.role = "worker"
+        peer.worker_id = record.worker_id
+        self._worker_peers[record.worker_id] = peer
+        self._log(f"worker {record.worker_id} ({record.name}) registered")
+        if self._send(peer, {"op": "registered",
+                             "worker": record.worker_id,
+                             "lease_s": self.lease_seconds,
+                             "protocol": PROTOCOL_VERSION}):
+            self._dispatch()
+
+    def _handle_heartbeat(self, peer: _Peer, frame: dict) -> None:
+        record = self.leases.renew(frame.get("worker"), time.monotonic())
+        if record is None:
+            self._send(peer, {"op": "error",
+                              "message": f"unknown worker "
+                                         f"{frame.get('worker')!r}; "
+                                         f"re-register"})
+            return
+        self._send(peer, {"op": "lease", "lease_s": self.lease_seconds})
+
+    def _handle_goodbye(self, peer: _Peer) -> None:
+        if peer.worker_id is not None:
+            self._worker_gone(peer.worker_id, "clean departure", dead=False)
+        if peer.sock in self._peers:
+            del self._peers[peer.sock]
+        try:
+            peer.sock.close()
+        except OSError:
+            pass
+
+    def _handle_shutdown(self, peer: _Peer) -> None:
+        self._log("shutdown requested")
+        self._send(peer, {"op": "ok"})
+        for worker_peer in list(self._worker_peers.values()):
+            self._send(worker_peer, {"op": "shutdown"})
+        self._running = False
+
+    # -- workers dying -------------------------------------------------------
+
+    def _worker_gone(self, worker_id: int, reason: str, dead: bool) -> None:
+        record = self.leases.remove(worker_id, dead=dead)
+        peer = self._worker_peers.pop(worker_id, None)
+        if peer is not None:
+            peer.worker_id = None
+            if peer.sock in self._peers and dead:
+                del self._peers[peer.sock]
+                try:
+                    peer.sock.close()
+                except OSError:
+                    pass
+        if record is None:
+            return
+        self._log(f"worker {worker_id} ({record.name}) gone: {reason}")
+        for key in self.queue.drop_worker(worker_id):
+            entry = self.queue.entries.get(key)
+            if entry is not None and entry.state == "queued":
+                self.queue.enqueue(entry, self.leases)
+        if record.inflight_key is not None:
+            entry = self.queue.entries.get(record.inflight_key)
+            if entry is not None and entry.state == "assigned" \
+                    and entry.assigned_to == worker_id:
+                self.queue.requeue(entry.key, self.leases)
+                self._log(f"re-queued job {entry.key[:12]}… "
+                          f"(attempt {entry.requeues + 1})")
+
+    def _worker_died(self, worker_id: int, reason: str) -> None:
+        self._worker_gone(worker_id, reason, dead=True)
+
+    # -- jobs ----------------------------------------------------------------
+
+    def _job_key(self, job: dict, hints) -> tuple[str, bool]:
+        """The idempotency key of a submission: the PR-3 job cache key
+        when the job is cacheable, else a unique throwaway key."""
+        from ..campaign.runner import job_cache_key
+        from ..campaign.spec import Job
+
+        try:
+            key = job_cache_key(Job.from_dict(job), hints)
+        except Exception:  # noqa: BLE001 - malformed jobs stay schedulable
+            key = None
+        if key is not None:
+            return key, True
+        self._uncached_seq += 1
+        return f"uncached:{self._uncached_seq}", False
+
+    def _handle_submit(self, peer: _Peer, frame: dict) -> None:
+        peer.role = "client"
+        tag = frame.get("tag")
+        job = frame.get("job")
+        if not isinstance(job, dict):
+            self._send(peer, {"op": "error", "tag": tag,
+                              "message": "submit carries no job record"})
+            return
+        hints = list(frame.get("hints") or ())
+        self.jobs_submitted += 1
+        key, cacheable = self._job_key(job, hints)
+        if cacheable:
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.cache_hits_served += 1
+                self._send(peer, {"op": "result", "tag": tag, "key": key,
+                                  "result": payload, "source": "cache",
+                                  "worker": self._completed.get(key)})
+                return
+        entry = self.queue.entries.get(key)
+        if entry is not None:
+            # The same question is already in flight (another client,
+            # or a re-submitted frame): one execution serves everyone.
+            entry.waiters.append((peer, tag))
+            self.jobs_coalesced += 1
+            return
+        entry = JobEntry(key=key, job=job, hints=hints,
+                         variant=str(job.get("variant_id") or ""),
+                         cacheable=cacheable,
+                         submitted_at=time.monotonic(),
+                         waiters=[(peer, tag)])
+        self.queue.enqueue(entry, self.leases)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for record in self.leases.idle_workers():
+                peer = self._worker_peers.get(record.worker_id)
+                if peer is None:
+                    continue
+                nxt = self.queue.next_for(record)
+                if nxt is None:
+                    continue
+                entry, stolen = nxt
+                if not self._send(peer, {"op": "job", "key": entry.key,
+                                         "job": entry.job,
+                                         "hints": entry.hints}):
+                    # The send dropped the peer and re-placed the
+                    # worker's work; start the scan over.
+                    self.queue.enqueue(entry, self.leases)
+                    progress = True
+                    break
+                self.queue.assign(entry, record, time.monotonic())
+                self._log(f"job {entry.key[:12]}… → worker "
+                          f"{record.worker_id}"
+                          + (" (stolen)" if stolen else ""))
+                progress = True
+
+    def _deliver(self, entry: JobEntry, payload: dict, source: str,
+                 worker_id: int | None) -> None:
+        for peer, tag in entry.waiters:
+            self._send(peer, {"op": "result", "tag": tag, "key": entry.key,
+                              "result": payload, "source": source,
+                              "worker": worker_id})
+        entry.waiters = []
+
+    def _store(self, entry: JobEntry, payload: dict) -> None:
+        if entry.cacheable and payload.get("verdict") not in ("timeout",
+                                                              "error"):
+            self.cache.put(entry.key, payload)
+
+    def _expire_entry(self, entry: JobEntry) -> None:
+        from ..campaign.executors import _timeout_result
+        from ..campaign.spec import Job
+
+        self.jobs_timed_out += 1
+        payload = _timeout_result(Job.from_dict(entry.job)).to_dict()
+        self._deliver(entry, payload, "timeout", entry.assigned_to)
+        self.queue.finish(entry.key)
+        self._expired.add(entry.key)
+        self._log(f"job {entry.key[:12]}… timed out on worker "
+                  f"{entry.assigned_to}")
+        # The worker is still grinding; it stays busy until its (late)
+        # result arrives and is folded in as cache-only.
+
+    def _handle_result(self, peer: _Peer, frame: dict) -> None:
+        record = self.leases.get(peer.worker_id) \
+            if peer.worker_id is not None else None
+        if record is None:
+            self._send(peer, {"op": "error",
+                              "message": "result from unregistered worker; "
+                                         "re-register"})
+            return
+        key = frame.get("key")
+        payload = frame.get("result")
+        if record.inflight_key == key:
+            record.state = "idle"
+            record.inflight_key = None
+        if key in self._completed:
+            self.duplicate_results += 1
+            record.duplicates += 1
+            self._log(f"duplicate result for {str(key)[:12]}… ignored")
+            self._dispatch()
+            return
+        entry = self.queue.entries.get(key)
+        if entry is None:
+            # Late result for a job already timed out (or a key we
+            # never assigned): keep the verdict — solved anywhere is
+            # solved everywhere — but nobody is waiting.
+            if key in self._expired and isinstance(payload, dict):
+                self.late_results += 1
+                self._expired.discard(key)
+                self._completed[key] = record.worker_id
+                fake = JobEntry(key=key, job=payload.get("job") or {},
+                                hints=[], variant="", cacheable=True,
+                                submitted_at=time.monotonic())
+                self._store(fake, payload)
+            else:
+                self.duplicate_results += 1
+                record.duplicates += 1
+            self._dispatch()
+            return
+        self.queue.finish(key)
+        self._completed[key] = record.worker_id
+        self.jobs_completed += 1
+        record.completed += 1
+        if frame.get("cache_hit"):
+            record.cache_hits += 1
+        if isinstance(payload, dict):
+            self._store(entry, payload)
+            self._deliver(entry, payload, "worker", record.worker_id)
+        self._dispatch()
+
+    # -- the replicated cache ------------------------------------------------
+
+    def _handle_cache_query(self, peer: _Peer, frame: dict) -> None:
+        peer.role = "client"
+        key = frame.get("key")
+        payload = self.cache.get(key) if isinstance(key, str) else None
+        self.cache_queries += 1
+        if payload is not None:
+            self.cache_query_hits += 1
+        self._send(peer, {"op": "cache_result", "key": key,
+                          "payload": payload})
+
+    def _handle_cache_push(self, peer: _Peer, frame: dict) -> None:
+        peer.role = "client"
+        key = frame.get("key")
+        payload = frame.get("payload")
+        stored = False
+        if isinstance(key, str) and isinstance(payload, dict):
+            if key in self.cache:
+                self.cache_push_duplicates += 1
+            else:
+                self.cache.put(key, payload)
+                stored = True
+                self.cache_pushes += 1
+        self._send(peer, {"op": "cache_ack", "key": key, "stored": stored})
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-ready fabric counters (the ``status`` op's payload)."""
+        now = time.monotonic()
+        return {
+            "coordinator": {
+                "protocol": PROTOCOL_VERSION,
+                "address": f"{self.host}:{self.port}",
+                "uptime_s": round(now - self._started, 3),
+                "lease_s": self.lease_seconds,
+                "workers": len(self.leases),
+                "queue_depth": self.queue.depth(),
+                "inflight": self.queue.inflight(),
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_completed": self.jobs_completed,
+                "jobs_coalesced": self.jobs_coalesced,
+                "jobs_requeued": self.queue.requeues,
+                "jobs_timed_out": self.jobs_timed_out,
+                "duplicate_results": self.duplicate_results,
+                "late_results": self.late_results,
+                "steals": self.queue.steals,
+                "dead_workers": self.leases.dead,
+                "departed_workers": self.leases.departed,
+                "cache": {
+                    "entries": len(self.cache),
+                    "hits_served": self.cache_hits_served,
+                    "queries": self.cache_queries,
+                    "query_hits": self.cache_query_hits,
+                    "pushes": self.cache_pushes,
+                    "push_duplicates": self.cache_push_duplicates,
+                },
+            },
+            "workers": {
+                str(w.worker_id): w.status(now)
+                for w in self.leases.workers()
+            },
+        }

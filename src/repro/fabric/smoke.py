@@ -1,0 +1,244 @@
+"""The fabric smoke harness: the ROADMAP acceptance run, scripted.
+
+One call to :func:`run_smoke` stands up a coordinator (in a thread) and
+N worker subprocesses, then proves the fabric's three contracts on the
+CI smoke grid:
+
+1. **Determinism** — the campaign run through
+   :class:`~repro.campaign.executors.FabricExecutor` is bit-identical
+   to :class:`~repro.campaign.executors.SerialExecutor` (verdict
+   matrix, hint-seeded stats, leaking sets), optionally while one
+   worker is SIGKILLed mid-campaign (dead-worker detection + re-queue).
+2. **Replication** — a second identical campaign against the same
+   coordinator is answered from the replicated verdict cache at least
+   ``speedup_floor``× faster, with the ``status`` counters proving the
+   hits were served remotely (``cache.hits_served``).
+3. **Observability** — the ``status`` payload is fetched and written
+   as a JSON artifact.
+
+Shared by the CI ``fabric-smoke`` job (``python -m repro.fabric
+smoke``) and the pytest integration test, so the gate and the local
+test are the same code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from . import fetch_status, request_shutdown
+from .coordinator import Coordinator
+
+__all__ = ["run_smoke", "diff_campaigns", "spawn_fabric_worker"]
+
+
+def diff_campaigns(reference, other) -> list[str]:
+    """Bit-identity mismatches between two campaign runs ([] = equal).
+
+    The comparison mirrors the executor-equivalence acceptance bar:
+    verdicts, hint-seeding behaviour (``seeded``/``reran_unseeded``),
+    the algorithms' ``final_s``/``leaking`` sets and per-iteration
+    trajectories — everything except wall-clock and cache provenance.
+    """
+    problems: list[str] = []
+    if len(reference.results) != len(other.results):
+        return [f"result counts differ: {len(reference.results)} vs "
+                f"{len(other.results)}"]
+    for a, b in zip(reference.results, other.results):
+        label = a.job.label()
+        if a.job != b.job:
+            problems.append(f"{label}: job records differ")
+        if a.verdict != b.verdict:
+            problems.append(f"{label}: verdict {a.verdict!r} vs "
+                            f"{b.verdict!r}")
+        if a.seeded != b.seeded:
+            problems.append(f"{label}: seeded {a.seeded!r} vs {b.seeded!r}")
+        if a.reran_unseeded != b.reran_unseeded:
+            problems.append(f"{label}: reran_unseeded differs")
+        da = (a.detail or {}).get("result")
+        db = (b.detail or {}).get("result")
+        if (da is None) != (db is None):
+            problems.append(f"{label}: detail.result presence differs")
+        elif da:
+            for field in ("final_s", "leaking"):
+                if da.get(field) != db.get(field):
+                    problems.append(f"{label}: {field} differs")
+            trajectory = [(i["s_size"], i["removed"], i["persistent_hits"])
+                          for i in da.get("iterations", ())]
+            other_trajectory = [(i["s_size"], i["removed"],
+                                 i["persistent_hits"])
+                                for i in db.get("iterations", ())]
+            if trajectory != other_trajectory:
+                problems.append(f"{label}: iteration trajectories differ")
+        else:
+            stripped_a = {k: v for k, v in (a.detail or {}).items()
+                          if k != "trace"}
+            stripped_b = {k: v for k, v in (b.detail or {}).items()
+                          if k != "trace"}
+            if stripped_a != stripped_b:
+                problems.append(f"{label}: detail differs")
+    return problems
+
+
+def _subprocess_env() -> dict:
+    import repro
+
+    src = pathlib.Path(repro.__file__).parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env.setdefault("PYTHONHASHSEED", "0")
+    return env
+
+
+def spawn_fabric_worker(address: str, reconnect: bool = True,
+                        name: str | None = None) -> subprocess.Popen:
+    """One ``python -m repro.verify worker --connect`` subprocess."""
+    argv = [sys.executable, "-m", "repro.verify", "worker",
+            "--connect", address, "--quiet"]
+    if reconnect:
+        argv.append("--reconnect")
+    if name:
+        argv += ["--name", name]
+    return subprocess.Popen(argv, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL,
+                            env=_subprocess_env())
+
+
+def _wait_for_workers(address: str, count: int, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            status = fetch_status(address)
+        except (OSError, ConnectionError):
+            status = None
+        if status and status["coordinator"]["workers"] >= count:
+            return
+        time.sleep(0.1)
+    raise RuntimeError(
+        f"{count} worker(s) did not register within {timeout:.0f}s")
+
+
+def run_smoke(workers: int = 2, kill_one: bool = True,
+              status_json: str | None = None,
+              speedup_floor: float = 5.0,
+              lease_seconds: float = 3.0,
+              log=print) -> dict:
+    """Run the fabric acceptance smoke; raises on any failed check.
+
+    Returns a JSON-ready summary (also the artifact content): the
+    verdict matrix, wall-clock of each phase, the speedup of the cached
+    rerun and the final coordinator status.
+    """
+    from ..campaign.executors import FabricExecutor, SerialExecutor
+    from ..campaign.grids import smoke_spec
+    from ..campaign.runner import run_campaign
+
+    coordinator = Coordinator(port=0, lease_seconds=lease_seconds,
+                              quiet=True)
+    host, port = coordinator.bind()
+    address = f"{host}:{port}"
+    thread = threading.Thread(target=coordinator.serve,
+                              name="fabric-coordinator", daemon=True)
+    thread.start()
+    procs: list[subprocess.Popen] = []
+    try:
+        procs = [spawn_fabric_worker(address, name=f"smoke-{i}")
+                 for i in range(workers)]
+        _wait_for_workers(address, workers)
+        log(f"fabric up: coordinator {address}, {workers} worker(s)")
+
+        log("serial reference run…")
+        serial = run_campaign(smoke_spec(), executor=SerialExecutor())
+
+        victim = procs[0] if kill_one and procs else None
+        fired = {"done": False}
+
+        def assassinate(_result) -> None:
+            # SIGKILL one worker the moment the first result lands:
+            # the fabric must detect the death and re-queue its work.
+            if victim is not None and not fired["done"]:
+                fired["done"] = True
+                victim.send_signal(signal.SIGKILL)
+                log(f"SIGKILLed worker pid {victim.pid} mid-campaign")
+
+        log("fabric run…" + (" (with mid-campaign SIGKILL)"
+                             if victim is not None else ""))
+        fabric = run_campaign(
+            smoke_spec(),
+            executor=FabricExecutor(address),
+            on_result=assassinate if victim is not None else None,
+        )
+        problems = diff_campaigns(serial, fabric)
+        if problems:
+            raise AssertionError(
+                "fabric run is not bit-identical to serial:\n  "
+                + "\n  ".join(problems))
+        log(f"verdict matrix identical to serial "
+            f"({fabric.wall_seconds:.2f}s wall)")
+
+        log("cached rerun…")
+        rerun = run_campaign(smoke_spec(), executor=FabricExecutor(address))
+        if rerun.verdicts() != serial.verdicts():
+            raise AssertionError(
+                f"cached rerun verdicts differ: {rerun.verdicts()!r} vs "
+                f"{serial.verdicts()!r}")
+        uncached = [r.job.label() for r in rerun.results if not r.cached]
+        if uncached:
+            raise AssertionError(
+                f"rerun jobs not served from the replicated cache: "
+                f"{uncached}")
+        speedup = fabric.wall_seconds / max(rerun.wall_seconds, 1e-9)
+        if speedup < speedup_floor:
+            raise AssertionError(
+                f"cached rerun speedup {speedup:.1f}x is below the "
+                f"{speedup_floor:.0f}x floor ({fabric.wall_seconds:.2f}s "
+                f"-> {rerun.wall_seconds:.2f}s)")
+        log(f"cached rerun {speedup:.0f}x faster "
+            f"({fabric.wall_seconds:.2f}s -> {rerun.wall_seconds:.3f}s)")
+
+        status = fetch_status(address)
+        hits = status["coordinator"]["cache"]["hits_served"]
+        if hits < len(rerun.results):
+            raise AssertionError(
+                f"status counters show only {hits} remotely-served cache "
+                f"hit(s); expected >= {len(rerun.results)}")
+        if victim is not None and status["coordinator"]["dead_workers"] < 1:
+            raise AssertionError(
+                "status counters show no dead worker despite the SIGKILL")
+
+        summary = {
+            "coordinator": address,
+            "workers": workers,
+            "killed_one": victim is not None,
+            "verdicts": serial.verdicts(),
+            "serial_wall_s": round(serial.wall_seconds, 3),
+            "fabric_wall_s": round(fabric.wall_seconds, 3),
+            "cached_rerun_wall_s": round(rerun.wall_seconds, 3),
+            "cached_speedup": round(speedup, 1),
+            "status": status,
+        }
+        if status_json:
+            path = pathlib.Path(status_json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(summary, indent=2) + "\n")
+            log(f"status artifact: {path}")
+        return summary
+    finally:
+        try:
+            request_shutdown(address)
+        except (OSError, ConnectionError):
+            coordinator.shutdown()
+        thread.join(timeout=10)
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    proc.wait(timeout=5)

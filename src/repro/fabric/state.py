@@ -1,0 +1,319 @@
+"""Coordinator bookkeeping: the lease table and the job queue.
+
+Pure data structures — no sockets, no clocks of their own (callers pass
+``now``), so dead-worker detection, re-queue idempotency and the
+locality-aware stealing policy are unit-testable without a network.
+
+Leases
+------
+
+A worker holds a *lease* that its heartbeats renew.  A worker whose
+lease expires (or whose connection drops) is declared dead: its
+in-flight job is re-queued and its backlog redistributed.  Because jobs
+are keyed by their content address (the PR-3 verdict-cache key), a
+re-queued job that the presumed-dead worker eventually answers anyway
+is folded in **idempotently** — the first result wins, the duplicate
+only bumps a counter.
+
+Scheduling
+----------
+
+Each registered worker owns a backlog (a deque of job keys); jobs are
+*placed* on the worker most likely to have the design warm (same
+``variant_id`` as the worker's last assignment), falling back to the
+shortest backlog.  A worker that runs dry *steals* from the back of the
+longest peer backlog — locality-aware in that a matching-variant entry
+anywhere in the victim's backlog is preferred over its tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["WorkerRecord", "LeaseTable", "JobEntry", "JobQueue"]
+
+
+# -- leases -------------------------------------------------------------------
+
+
+@dataclass
+class WorkerRecord:
+    """One registered worker and its counters."""
+
+    worker_id: int
+    name: str
+    address: str
+    lease_deadline: float
+    registered_at: float
+    state: str = "idle"  # "idle" | "busy"
+    inflight_key: str | None = None
+    last_variant: str | None = None
+    completed: int = 0
+    cache_hits: int = 0
+    steals: int = 0
+    duplicates: int = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.state == "busy"
+
+    def status(self, now: float) -> dict:
+        """JSON-ready per-worker counters for the ``status`` op."""
+        return {
+            "name": self.name,
+            "address": self.address,
+            "state": self.state,
+            "inflight": self.inflight_key,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "steals": self.steals,
+            "duplicates": self.duplicates,
+            "last_variant": self.last_variant,
+            "lease_remaining_s": round(self.lease_deadline - now, 3),
+            "uptime_s": round(now - self.registered_at, 3),
+        }
+
+
+class LeaseTable:
+    """Workers by id, with heartbeat leases."""
+
+    def __init__(self, lease_seconds: float = 15.0):
+        self.lease_seconds = lease_seconds
+        self._workers: dict[int, WorkerRecord] = {}
+        self._next_id = 1
+        self.dead = 0
+        self.departed = 0
+
+    def register(self, name: str, address: str, now: float) -> WorkerRecord:
+        record = WorkerRecord(
+            worker_id=self._next_id,
+            name=name,
+            address=address,
+            lease_deadline=now + self.lease_seconds,
+            registered_at=now,
+        )
+        self._next_id += 1
+        self._workers[record.worker_id] = record
+        return record
+
+    def get(self, worker_id: int) -> WorkerRecord | None:
+        return self._workers.get(worker_id)
+
+    def renew(self, worker_id: int, now: float) -> WorkerRecord | None:
+        record = self._workers.get(worker_id)
+        if record is not None:
+            record.lease_deadline = now + self.lease_seconds
+        return record
+
+    def expired(self, now: float) -> list[WorkerRecord]:
+        """Workers whose lease lapsed (not yet removed)."""
+        return [w for w in self._workers.values()
+                if w.lease_deadline <= now]
+
+    def remove(self, worker_id: int, dead: bool) -> WorkerRecord | None:
+        """Drop a worker; ``dead`` distinguishes crash from goodbye."""
+        record = self._workers.pop(worker_id, None)
+        if record is not None:
+            if dead:
+                self.dead += 1
+            else:
+                self.departed += 1
+        return record
+
+    def workers(self) -> list[WorkerRecord]:
+        return list(self._workers.values())
+
+    def idle_workers(self) -> list[WorkerRecord]:
+        return [w for w in self._workers.values() if not w.busy]
+
+    def next_deadline(self) -> float | None:
+        """The soonest lease expiry (None with no workers)."""
+        if not self._workers:
+            return None
+        return min(w.lease_deadline for w in self._workers.values())
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+
+# -- the job queue ------------------------------------------------------------
+
+
+@dataclass
+class JobEntry:
+    """One submitted job, identified by its content key."""
+
+    key: str
+    job: dict
+    hints: list
+    variant: str
+    cacheable: bool
+    submitted_at: float
+    #: Clients awaiting this job's result, as opaque waiter handles
+    #: (the coordinator uses ``(connection, tag)`` pairs).
+    waiters: list = field(default_factory=list)
+    state: str = "queued"  # "queued" | "assigned" | "done" | "expired"
+    assigned_to: int | None = None
+    deadline: float | None = None
+    requeues: int = 0
+
+    @property
+    def timeout_seconds(self) -> float | None:
+        return self.job.get("timeout_seconds")
+
+
+class JobQueue:
+    """Pending jobs across per-worker backlogs plus an unassigned pool.
+
+    The unassigned pool holds work submitted while no worker is
+    registered; it drains the moment one enrols.
+    """
+
+    def __init__(self):
+        self.entries: dict[str, JobEntry] = {}
+        self._backlogs: dict[int, deque[str]] = {}
+        self._unassigned: deque[str] = deque()
+        self.steals = 0
+        self.requeues = 0
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def add_worker(self, worker_id: int) -> None:
+        self._backlogs.setdefault(worker_id, deque())
+
+    def drop_worker(self, worker_id: int) -> list[str]:
+        """Remove a worker's backlog, returning its queued keys."""
+        backlog = self._backlogs.pop(worker_id, deque())
+        return list(backlog)
+
+    # -- placement -----------------------------------------------------------
+
+    def _target_backlog(self, entry: JobEntry, leases: LeaseTable) -> \
+            deque | None:
+        workers = [w for w in leases.workers()
+                   if w.worker_id in self._backlogs]
+        if not workers:
+            return None
+        # Locality first: a worker whose last assignment shares the
+        # design keeps its caches (disk verdict store, OS page cache,
+        # eventually warm sessions) hot for this variant.
+        matching = [w for w in workers if w.last_variant == entry.variant]
+        pool = matching or workers
+        best = min(pool, key=lambda w: (len(self._backlogs[w.worker_id]),
+                                        w.worker_id))
+        return self._backlogs[best.worker_id]
+
+    def enqueue(self, entry: JobEntry, leases: LeaseTable) -> None:
+        """Track a new entry and place it on the best backlog."""
+        self.entries[entry.key] = entry
+        entry.state = "queued"
+        entry.assigned_to = None
+        backlog = self._target_backlog(entry, leases)
+        if backlog is None:
+            self._unassigned.append(entry.key)
+        else:
+            backlog.append(entry.key)
+
+    def requeue(self, key: str, leases: LeaseTable) -> JobEntry | None:
+        """Put an assigned entry back in the queue (dead worker)."""
+        entry = self.entries.get(key)
+        if entry is None or entry.state != "assigned":
+            return None
+        entry.requeues += 1
+        self.requeues += 1
+        entry.deadline = None
+        self.enqueue(entry, leases)
+        return entry
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _pop_matching(self, backlog: deque, variant: str | None,
+                      from_tail: bool) -> str | None:
+        if not backlog:
+            return None
+        if variant is not None:
+            for key in (reversed(backlog) if from_tail else backlog):
+                entry = self.entries.get(key)
+                if entry is not None and entry.variant == variant:
+                    backlog.remove(key)
+                    return key
+        return backlog.pop() if from_tail else backlog.popleft()
+
+    def next_for(self, worker: WorkerRecord) -> tuple[JobEntry, bool] | None:
+        """The next entry for an idle worker: ``(entry, stolen)``.
+
+        Own backlog first (oldest-first, preferring the worker's warm
+        variant), then the unassigned pool, then a steal from the back
+        of the longest peer backlog.
+        """
+        own = self._backlogs.get(worker.worker_id)
+        key = self._pop_matching(own, worker.last_variant, from_tail=False) \
+            if own is not None else None
+        stolen = False
+        if key is None and self._unassigned:
+            key = self._unassigned.popleft()
+        if key is None:
+            victims = [(wid, backlog)
+                       for wid, backlog in self._backlogs.items()
+                       if wid != worker.worker_id and backlog]
+            if victims:
+                _, backlog = max(victims, key=lambda v: len(v[1]))
+                key = self._pop_matching(backlog, worker.last_variant,
+                                         from_tail=True)
+                stolen = key is not None
+        if key is None:
+            return None
+        entry = self.entries[key]
+        if stolen:
+            self.steals += 1
+            worker.steals += 1
+        return entry, stolen
+
+    def assign(self, entry: JobEntry, worker: WorkerRecord,
+               now: float) -> None:
+        entry.state = "assigned"
+        entry.assigned_to = worker.worker_id
+        timeout = entry.timeout_seconds
+        entry.deadline = (now + timeout) if timeout else None
+        worker.state = "busy"
+        worker.inflight_key = entry.key
+        worker.last_variant = entry.variant
+
+    # -- completion ----------------------------------------------------------
+
+    def finish(self, key: str) -> JobEntry | None:
+        """Mark an entry done and remove it from any backlog."""
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            return None
+        entry.state = "done"
+        for backlog in self._backlogs.values():
+            try:
+                backlog.remove(key)
+            except ValueError:
+                pass
+        try:
+            self._unassigned.remove(key)
+        except ValueError:
+            pass
+        return entry
+
+    # -- introspection -------------------------------------------------------
+
+    def depth(self) -> int:
+        """Queued (not yet assigned) jobs across all backlogs."""
+        return sum(1 for e in self.entries.values() if e.state == "queued")
+
+    def inflight(self) -> int:
+        return sum(1 for e in self.entries.values() if e.state == "assigned")
+
+    def next_deadline(self) -> float | None:
+        deadlines = [e.deadline for e in self.entries.values()
+                     if e.state == "assigned" and e.deadline is not None]
+        return min(deadlines) if deadlines else None
+
+    def expired(self, now: float) -> list[JobEntry]:
+        return [e for e in self.entries.values()
+                if e.state == "assigned" and e.deadline is not None
+                and e.deadline <= now]

@@ -1,0 +1,392 @@
+"""The fabric worker supervisor.
+
+:class:`WorkerSupervisor` owns one connection to a coordinator: it
+registers (``register``/``registered``), heartbeats at a third of the
+granted lease, runs assigned jobs (``job`` → ``result``) and survives
+the coordinator going away — with ``--reconnect`` it re-dials under
+exponential backoff with jitter and re-registers, picking up a fresh
+worker id and whatever work the queue holds.
+
+Layout: the supervisor's main thread owns the socket and a ``select``
+loop over ``[socket, wake_pipe]``; a job runs on a worker thread
+(:func:`repro.campaign.runner.run_job` is CPU-bound but must not block
+heartbeats) and signals completion through the wake pipe, so every
+frame — register, heartbeat, result, goodbye — is sent from exactly one
+thread.
+
+Verdict-cache replication happens here: each worker holds a
+:class:`~repro.verify.cache.VerdictCache` whose remote tier points back
+at the coordinator.  An assigned job is first looked up locally then
+(fetch-on-miss, ``cache_query``) in the coordinator's authoritative
+store; a freshly solved job is written locally and pushed back
+(``cache_push``), so a verdict solved on any host answers every host.
+
+Graceful shutdown (SIGTERM, or a coordinator ``shutdown`` frame):
+finish the in-flight job, send its result, say ``goodbye``, exit 0 —
+never drop a result on the floor.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import select
+import socket
+import threading
+import time
+
+from ..verify.cache import VerdictCache
+from ..verify.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["WorkerSupervisor", "backoff_delay"]
+
+
+def backoff_delay(attempt: int, base: float = 0.5, cap: float = 30.0,
+                  rng=None) -> float:
+    """Reconnect delay before attempt ``attempt`` (1-based).
+
+    Exponential (``base * 2**(attempt-1)``) capped at ``cap``, with
+    multiplicative jitter in ``[0.5, 1.0)`` so a fleet of workers that
+    lost the same coordinator does not re-dial in lockstep.  Pure —
+    pass an ``rng`` with a ``uniform`` method to pin the jitter.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt is 1-based, got {attempt}")
+    delay = min(cap, base * (2.0 ** (attempt - 1)))
+    return delay * (rng or random).uniform(0.5, 1.0)
+
+
+class _JobRun:
+    """One in-flight assignment and the thread grinding on it."""
+
+    __slots__ = ("key", "job", "hints", "cacheable", "thread", "result")
+
+    def __init__(self, key: str, job: dict, hints: list, cacheable: bool):
+        self.key = key
+        self.job = job
+        self.hints = hints
+        self.cacheable = cacheable
+        self.thread: threading.Thread | None = None
+        self.result = None  # JobResult once the thread finished
+
+
+class WorkerSupervisor:
+    """One fabric worker: register, heartbeat, run jobs, reconnect.
+
+    Args:
+        connect: coordinator address (``"host:port"`` or tuple).
+        name: advertised worker name (default ``host:pid``).
+        reconnect: keep re-dialling (exponential backoff + jitter) when
+            the coordinator goes away instead of exiting 1.
+        backoff_base / backoff_max: the backoff schedule, in seconds.
+        cache_dir: directory for the local verdict-store tier (None =
+            memory only); the remote tier always points back at the
+            coordinator.
+        max_frame: per-frame byte cap (None = protocol default).
+        connect_timeout: per-dial TCP budget.
+        quiet: suppress per-job log lines.
+        rng: jitter source (tests pin it).
+    """
+
+    def __init__(self, connect, name: str | None = None,
+                 reconnect: bool = False,
+                 backoff_base: float = 0.5, backoff_max: float = 30.0,
+                 cache_dir=None, max_frame: int | None = None,
+                 connect_timeout: float = 5.0, quiet: bool = False,
+                 rng=None):
+        self.address = parse_address(connect) \
+            if isinstance(connect, str) else tuple(connect)
+        self.name = name or f"{socket.gethostname()}:{os.getpid()}"
+        self.reconnect = reconnect
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.max_frame = max_frame
+        self.connect_timeout = connect_timeout
+        self.quiet = quiet
+        self.rng = rng or random
+        self.cache = VerdictCache(
+            cache_dir,
+            remote=self.address,
+            connect_timeout=connect_timeout,
+        )
+        self.worker_id: int | None = None
+        self.lease_seconds = 15.0
+        self.completed = 0
+        self.cache_hits = 0
+        self.reconnects = 0
+        self._wake_r, self._wake_w = os.pipe()
+        self._stopping = False
+        self._current: _JobRun | None = None
+        self._sock: socket.socket | None = None
+        self._registered_this_dial = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[worker {self.worker_id or '?'}] {message}", flush=True)
+
+    def stop(self) -> None:
+        """Request a graceful drain-and-exit (thread/signal safe)."""
+        self._stopping = True
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def run(self) -> int:
+        """Serve until stopped; the process exit code.
+
+        0 = clean shutdown (SIGTERM drain or coordinator ``shutdown``),
+        1 = connection lost without ``--reconnect``, 2 = fatal protocol
+        mismatch or unreachable coordinator on the first dial.
+        """
+        attempt = 0
+        while True:
+            self._registered_this_dial = False
+            outcome = self._run_once()
+            if outcome == "done":
+                return 0
+            if outcome == "fatal":
+                return 2
+            # outcome == "lost"
+            if self._registered_this_dial:
+                attempt = 0  # a healthy stint resets the backoff schedule
+            if self._stopping:
+                return 0
+            if not self.reconnect:
+                host, port = self.address
+                print(f"error: lost coordinator {host}:{port} "
+                      f"(run with --reconnect to keep retrying)", flush=True)
+                return 1
+            attempt += 1
+            self.reconnects += 1
+            delay = backoff_delay(attempt, self.backoff_base,
+                                  self.backoff_max, self.rng)
+            self._log(f"coordinator away; retrying in {delay:.2f}s "
+                      f"(attempt {attempt})")
+            if self._sleep_interruptibly(delay):
+                return 0
+
+    def _sleep_interruptibly(self, delay: float) -> bool:
+        """Sleep up to ``delay``; True when stop() interrupted it."""
+        deadline = time.monotonic() + delay
+        while not self._stopping:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            readable, _, _ = select.select([self._wake_r], [], [], remaining)
+            if readable:
+                os.read(self._wake_r, 4096)
+        return True
+
+    # -- one connection ------------------------------------------------------
+
+    def _connect_and_register(self) -> str | None:
+        try:
+            sock = socket.create_connection(self.address,
+                                            timeout=self.connect_timeout)
+        except OSError as exc:
+            host, port = self.address
+            self._log(f"cannot reach coordinator {host}:{port}: {exc}")
+            return "lost"
+        sock.settimeout(None)
+        try:
+            send_frame(sock, {"op": "register",
+                              "protocol": PROTOCOL_VERSION,
+                              "name": self.name, "pid": os.getpid()},
+                       max_frame=self.max_frame)
+            reply = recv_frame(sock, max_frame=self.max_frame)
+        except (OSError, ProtocolError):
+            sock.close()
+            return "lost"
+        if reply is None:
+            sock.close()
+            return "lost"
+        if reply.get("op") == "error":
+            print(f"error: coordinator rejected registration: "
+                  f"{reply.get('message')}", flush=True)
+            sock.close()
+            return "fatal"
+        if reply.get("op") != "registered":
+            sock.close()
+            return "lost"
+        self.worker_id = reply.get("worker")
+        self.lease_seconds = float(reply.get("lease_s") or 15.0)
+        self._sock = sock
+        self._registered_this_dial = True
+        host, port = self.address
+        self._log(f"registered with {host}:{port} "
+                  f"(lease {self.lease_seconds:.0f}s)")
+        return None
+
+    def _run_once(self) -> str:
+        failure = self._connect_and_register()
+        if failure is not None:
+            return failure
+        sock = self._sock
+        heartbeat_every = max(0.2, self.lease_seconds / 3.0)
+        next_beat = time.monotonic() + heartbeat_every
+        try:
+            while True:
+                timeout = max(0.0, next_beat - time.monotonic())
+                readable, _, _ = select.select([sock, self._wake_r], [], [],
+                                               timeout)
+                if self._wake_r in readable:
+                    os.read(self._wake_r, 4096)
+                    if not self._flush_finished_job():
+                        return "lost"
+                    if self._stopping:
+                        return self._drain_and_goodbye()
+                if sock in readable:
+                    outcome = self._pump_frame()
+                    if outcome is not None:
+                        return outcome
+                now = time.monotonic()
+                if now >= next_beat:
+                    next_beat = now + heartbeat_every
+                    if not self._send({"op": "heartbeat",
+                                       "worker": self.worker_id,
+                                       "state": "busy" if self._current
+                                       else "idle"}):
+                        return "lost"
+        finally:
+            self._close_socket()
+
+    def _close_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _send(self, payload: dict) -> bool:
+        try:
+            send_frame(self._sock, payload, max_frame=self.max_frame)
+            return True
+        except (OSError, ProtocolError):
+            return False
+
+    def _pump_frame(self) -> str | None:
+        """Handle one coordinator frame; an outcome string ends the
+        connection."""
+        try:
+            frame = recv_frame(self._sock, max_frame=self.max_frame)
+        except (OSError, ProtocolError, ConnectionError):
+            return "lost"
+        if frame is None:
+            return "lost"
+        op = frame.get("op")
+        if op == "job":
+            self._start_job(frame)
+        elif op == "lease":
+            pass  # heartbeat acknowledged
+        elif op == "shutdown":
+            self._log("coordinator asked for shutdown")
+            self._stopping = True
+            return self._drain_and_goodbye()
+        elif op == "error":
+            message = str(frame.get("message") or "")
+            if "re-register" in message:
+                if not self._send({"op": "register",
+                                   "protocol": PROTOCOL_VERSION,
+                                   "name": self.name, "pid": os.getpid()}):
+                    return "lost"
+            else:
+                self._log(f"coordinator error: {message}")
+        elif op == "registered":
+            self.worker_id = frame.get("worker")
+            self.lease_seconds = float(frame.get("lease_s") or
+                                       self.lease_seconds)
+        return None
+
+    # -- jobs ----------------------------------------------------------------
+
+    def _start_job(self, frame: dict) -> None:
+        from ..campaign.runner import run_job
+        from ..campaign.spec import Job
+
+        key = str(frame.get("key"))
+        job = frame.get("job") or {}
+        hints = list(frame.get("hints") or ())
+        cacheable = not key.startswith("uncached:")
+        run = _JobRun(key, job, hints, cacheable)
+        if cacheable:
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.cache_hits += 1
+                self.completed += 1
+                self._log(f"job {key[:12]}… answered from cache")
+                self._send({"op": "result", "key": key, "result": payload,
+                            "cache_hit": True, "worker": self.worker_id})
+                return
+        if self._current is not None:
+            # Should not happen (the coordinator assigns one job per
+            # worker), but never silently drop an assignment.
+            self._send({"op": "error",
+                        "message": f"worker {self.worker_id} is busy with "
+                                   f"{self._current.key}"})
+            return
+        self._current = run
+
+        def grind() -> None:
+            try:
+                run.result = run_job(Job.from_dict(run.job), run.hints)
+            except Exception:  # noqa: BLE001 - run_job already shields; belt
+                from ..campaign.executors import _worker_death_result
+                import traceback
+                run.result = _worker_death_result(
+                    Job.from_dict(run.job),
+                    traceback.format_exc(limit=4))
+            try:
+                os.write(self._wake_w, b"j")
+            except OSError:  # pragma: no cover - supervisor gone
+                pass
+
+        run.thread = threading.Thread(target=grind, daemon=True,
+                                      name=f"fabric-job-{key[:12]}")
+        run.thread.start()
+
+    def _flush_finished_job(self) -> bool:
+        """Send the result of a finished job thread, if any."""
+        run = self._current
+        if run is None or run.result is None:
+            return True
+        self._current = None
+        run.thread.join()
+        payload = run.result.to_dict()
+        self.completed += 1
+        self._log(f"job {run.key[:12]}… finished: {run.result.verdict}")
+        if run.cacheable and run.result.verdict not in ("timeout", "error"):
+            # Local store + cache_push replication to the coordinator.
+            self.cache.put(run.key, payload)
+        return self._send({"op": "result", "key": run.key, "result": payload,
+                           "cache_hit": False, "worker": self.worker_id})
+
+    def _drain_and_goodbye(self) -> str:
+        """Finish the in-flight job, ship its result, leave cleanly."""
+        run = self._current
+        if run is not None and run.thread is not None:
+            self._log("draining in-flight job before exit")
+            run.thread.join()
+            if not self._flush_finished_job():
+                return "lost"
+        self._send({"op": "goodbye", "worker": self.worker_id})
+        self._log("goodbye")
+        return "done"
+
+    def close(self) -> None:
+        self._close_socket()
+        self.cache.close()
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass

@@ -24,6 +24,7 @@ __all__ = [
     "format_diagnosis_line",
     "format_repair_report",
     "format_repair_campaign",
+    "format_fabric_status",
 ]
 
 
@@ -472,4 +473,54 @@ def format_repair_campaign(cells) -> str:
     secured = sum(1 for _, r in cells if r.secured)
     lines.append("")
     lines.append(f"secured {secured}/{len(cells)} vulnerable cell(s)")
+    return "\n".join(lines)
+
+
+def format_fabric_status(status: dict) -> str:
+    """Render a fabric coordinator's ``status`` payload.
+
+    ``status`` is the dict the ``status`` op returns (see
+    :meth:`repro.fabric.coordinator.Coordinator.status`): coordinator
+    counters plus per-worker inflight/completed/cache-hit counters.
+    """
+    c = status.get("coordinator", {})
+    cache = c.get("cache", {})
+    lines = [
+        f"fabric coordinator {c.get('address', '?')} "
+        f"(protocol v{c.get('protocol', '?')}, "
+        f"up {c.get('uptime_s', 0):.0f}s)",
+        f"workers: {c.get('workers', 0)}  "
+        f"queue: {c.get('queue_depth', 0)} queued, "
+        f"{c.get('inflight', 0)} inflight",
+        f"jobs: {c.get('jobs_submitted', 0)} submitted, "
+        f"{c.get('jobs_completed', 0)} completed, "
+        f"{c.get('jobs_coalesced', 0)} coalesced, "
+        f"{c.get('jobs_requeued', 0)} requeued, "
+        f"{c.get('jobs_timed_out', 0)} timed out",
+        f"faults: {c.get('dead_workers', 0)} dead worker(s), "
+        f"{c.get('departed_workers', 0)} departed, "
+        f"{c.get('duplicate_results', 0)} duplicate result(s), "
+        f"{c.get('late_results', 0)} late, "
+        f"{c.get('steals', 0)} steal(s)",
+        f"cache: {cache.get('entries', 0)} entries, "
+        f"{cache.get('hits_served', 0)} hit(s) served on submit, "
+        f"{cache.get('queries', 0)} quer(ies) "
+        f"({cache.get('query_hits', 0)} hit), "
+        f"{cache.get('pushes', 0)} push(es) replicated",
+    ]
+    workers = status.get("workers", {})
+    if workers:
+        lines.append("")
+        header = (f"{'id':>4} {'name':<28} {'state':<6} {'done':>5} "
+                  f"{'cache':>5} {'steal':>5} {'dup':>4} {'lease[s]':>8}")
+        lines += [header, "-" * len(header)]
+        for wid in sorted(workers, key=lambda w: int(w)):
+            w = workers[wid]
+            lines.append(
+                f"{wid:>4} {w.get('name', '?'):<28} "
+                f"{w.get('state', '?'):<6} {w.get('completed', 0):>5} "
+                f"{w.get('cache_hits', 0):>5} {w.get('steals', 0):>5} "
+                f"{w.get('duplicates', 0):>4} "
+                f"{w.get('lease_remaining_s', 0):>8.1f}"
+            )
     return "\n".join(lines)

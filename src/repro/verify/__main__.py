@@ -11,6 +11,12 @@ Start a TCP worker (the cross-host campaign transport)::
     python -m repro.verify worker --port 7321
     python -m repro.campaign smoke --executor tcp --connect 127.0.0.1:7321
 
+Or enrol with a fabric coordinator (dynamic pool, replicated cache)::
+
+    python -m repro.fabric coordinator --port 7400
+    python -m repro.verify worker --connect 127.0.0.1:7400 --reconnect
+    python -m repro.campaign smoke --executor fabric --connect 127.0.0.1:7400
+
 Errors (unknown designs/methods, bad overrides) print a single-line
 diagnostic and exit nonzero instead of a traceback.
 """
@@ -192,6 +198,25 @@ def _run(args) -> int:
 
 
 def _worker(args) -> int:
+    if args.reconnect and not args.connect:
+        raise ValueError("--reconnect needs --connect HOST:PORT (a "
+                         "listening worker has no coordinator to re-dial)")
+    if args.connect:
+        # Fabric mode: enrol with a coordinator instead of listening.
+        import signal
+
+        from ..fabric.worker import WorkerSupervisor
+
+        supervisor = WorkerSupervisor(
+            args.connect,
+            name=args.name,
+            reconnect=args.reconnect,
+            cache_dir=args.cache_dir,
+            max_frame=args.max_frame,
+            quiet=args.quiet,
+        )
+        signal.signal(signal.SIGTERM, lambda *_: supervisor.stop())
+        return supervisor.run()
     from .worker import serve
 
     return serve(
@@ -199,6 +224,7 @@ def _worker(args) -> int:
         port=args.port,
         max_connections=args.max_connections,
         quiet=args.quiet,
+        max_frame=args.max_frame,
     )
 
 
@@ -251,6 +277,22 @@ def main(argv=None) -> int:
                              "stdout)")
     worker.add_argument("--max-connections", type=int, default=None,
                         help="exit after serving N connections")
+    worker.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help=("enrol with a repro.fabric coordinator "
+                              "instead of listening (dynamic registration, "
+                              "heartbeats, replicated verdict cache)"))
+    worker.add_argument("--reconnect", action="store_true",
+                        help=("with --connect: re-dial a lost coordinator "
+                              "under exponential backoff + jitter instead "
+                              "of exiting"))
+    worker.add_argument("--name", default=None,
+                        help="advertised worker name (default host:pid)")
+    worker.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help=("with --connect: local verdict-store tier "
+                              "backing the replicated cache"))
+    worker.add_argument("--max-frame", type=int, default=None,
+                        metavar="BYTES",
+                        help="per-frame byte cap (default: 64 MiB)")
     worker.add_argument("--quiet", action="store_true")
     worker.set_defaults(func=_worker)
 

@@ -6,8 +6,16 @@ threat-model overrides, the method, the depth and the exact hint
 payloads in effect.  :class:`VerdictCache` keys stored verdict payloads
 by a SHA-256 over that tuple, so repeated ``verify()`` calls and
 overlapping campaign grids skip solved jobs — in memory within a
-process, and across processes/runs when constructed with a directory
-path.
+process, across processes/runs when constructed with a directory path,
+and across *hosts* when constructed with a ``remote`` fabric
+coordinator address.
+
+The tiers stack: ``get`` answers from memory, then the disk store,
+then (fetch-on-miss) the remote authoritative store over the
+``cache_query`` op; ``put`` writes every local tier and replicates to
+the remote store with ``cache_push``.  Remote failures are soft — the
+verdict is still correct without replication, so a dead coordinator
+costs a short backoff window, never an exception.
 
 The key includes the hints (and ``record_trace``) so a cached answer is
 **bit-identical** to the run it replaces — not merely verdict-equal:
@@ -24,6 +32,8 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
+import socket
+import time
 
 __all__ = ["VerdictCache", "cache_key"]
 
@@ -51,25 +61,139 @@ def cache_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+class _RemoteTier:
+    """One lazily-dialed connection to a fabric coordinator's store.
+
+    Speaks the ``cache_query``/``cache_push`` ops of
+    :mod:`repro.verify.protocol`.  Every failure drops the connection
+    and opens a backoff window so a dead coordinator costs at most one
+    connect attempt per window, not one per lookup.
+    """
+
+    #: Seconds to wait before re-dialling a failed coordinator.
+    RETRY_BACKOFF = 10.0
+
+    def __init__(self, address, connect_timeout: float = 5.0,
+                 op_timeout: float = 30.0):
+        from .protocol import parse_address
+
+        self.address = parse_address(address) \
+            if isinstance(address, str) else tuple(address)
+        self.connect_timeout = connect_timeout
+        self.op_timeout = op_timeout
+        self._sock: socket.socket | None = None
+        self._retry_at = 0.0
+        self.errors = 0
+
+    def _connect(self) -> socket.socket | None:
+        from .protocol import PROTOCOL_VERSION, recv_frame, send_frame
+
+        if self._sock is not None:
+            return self._sock
+        if time.monotonic() < self._retry_at:
+            return None
+        try:
+            sock = socket.create_connection(self.address,
+                                            timeout=self.connect_timeout)
+            sock.settimeout(self.op_timeout)
+            send_frame(sock, {"op": "hello", "role": "cache",
+                              "protocol": PROTOCOL_VERSION})
+            welcome = recv_frame(sock)
+            if welcome is None or welcome.get("op") != "welcome":
+                raise ConnectionError(
+                    f"unexpected handshake reply: {welcome!r}")
+        except (OSError, ValueError) as exc:
+            self._drop(exc)
+            return None
+        self._sock = sock
+        self._retry_at = 0.0
+        return sock
+
+    def _drop(self, exc) -> None:
+        self.errors += 1
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._retry_at = time.monotonic() + self.RETRY_BACKOFF
+
+    def _roundtrip(self, request: dict, reply_op: str) -> dict | None:
+        from .protocol import recv_frame, send_frame
+
+        sock = self._connect()
+        if sock is None:
+            return None
+        try:
+            send_frame(sock, request)
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    raise ConnectionError("coordinator closed the connection")
+                if frame.get("op") == reply_op:
+                    return frame
+                if frame.get("op") == "error":
+                    raise ConnectionError(frame.get("message", "error"))
+        except (OSError, ValueError) as exc:
+            self._drop(exc)
+            return None
+
+    def query(self, key: str) -> dict | None:
+        frame = self._roundtrip({"op": "cache_query", "key": key},
+                                "cache_result")
+        if frame is None:
+            return None
+        return frame.get("payload")
+
+    def push(self, key: str, payload: dict) -> bool:
+        frame = self._roundtrip(
+            {"op": "cache_push", "key": key, "payload": payload},
+            "cache_ack")
+        return frame is not None
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
 class VerdictCache:
     """Maps content keys to JSON verdict payloads.
 
     In-memory always; additionally persistent when ``path`` names a
     directory (created on first write, one ``<key>.json`` file per
-    entry, sharded by the key's first two hex chars).
+    entry, sharded by the key's first two hex chars); additionally
+    *replicated* when ``remote`` names a fabric coordinator
+    (``"host:port"`` or a ``(host, port)`` tuple) — misses fall through
+    to the coordinator's authoritative store and fresh entries are
+    pushed back, so a verdict solved on any host answers every host.
     """
 
-    def __init__(self, path: str | pathlib.Path | None = None):
+    def __init__(self, path: str | pathlib.Path | None = None,
+                 remote=None, connect_timeout: float = 5.0):
         self._memory: dict[str, dict] = {}
         self._path = pathlib.Path(path) if path is not None else None
+        self._remote = _RemoteTier(remote, connect_timeout) \
+            if remote is not None else None
         self.hits = 0
         self.misses = 0
+        self.remote_hits = 0
+        self.remote_misses = 0
+        self.remote_pushes = 0
+
+    @property
+    def remote_errors(self) -> int:
+        """Soft failures of the remote tier (connect/roundtrip)."""
+        return self._remote.errors if self._remote is not None else 0
 
     def _entry_path(self, key: str) -> pathlib.Path:
         return self._path / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
-        """The stored payload for ``key``, or None."""
+    def _local_get(self, key: str) -> dict | None:
         payload = self._memory.get(key)
         if payload is None and self._path is not None:
             entry = self._entry_path(key)
@@ -79,14 +203,9 @@ class VerdictCache:
                 payload = None
             else:
                 self._memory[key] = payload
-        if payload is None:
-            self.misses += 1
-            return None
-        self.hits += 1
         return payload
 
-    def put(self, key: str, payload: dict) -> None:
-        """Store a JSON-ready payload under ``key``."""
+    def _local_put(self, key: str, payload: dict) -> None:
         self._memory[key] = payload
         if self._path is not None:
             entry = self._entry_path(key)
@@ -95,9 +214,38 @@ class VerdictCache:
             tmp.write_text(json.dumps(payload))
             tmp.replace(entry)
 
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or None (all tiers missed)."""
+        payload = self._local_get(key)
+        if payload is None and self._remote is not None:
+            payload = self._remote.query(key)
+            if payload is not None:
+                # Fetch-on-miss: the remote answer seeds the local
+                # tiers so the next lookup never leaves this host.
+                self._local_put(key, payload)
+                self.remote_hits += 1
+            else:
+                self.remote_misses += 1
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store a JSON-ready payload under ``key`` (all tiers)."""
+        self._local_put(key, payload)
+        if self._remote is not None and self._remote.push(key, payload):
+            self.remote_pushes += 1
+
     def clear(self) -> None:
-        """Drop the in-memory entries (the on-disk store is untouched)."""
+        """Drop the in-memory entries (disk/remote stores untouched)."""
         self._memory.clear()
+
+    def close(self) -> None:
+        """Release the remote-tier connection (idempotent)."""
+        if self._remote is not None:
+            self._remote.close()
 
     def __len__(self) -> int:
         return len(self._memory)

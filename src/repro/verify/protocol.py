@@ -1,8 +1,9 @@
-"""Length-prefixed JSON wire protocol of the verification worker.
+"""Length-prefixed JSON wire protocol of the verification fabric.
 
-Every message is one *frame*: a 4-byte big-endian unsigned length
-followed by that many bytes of UTF-8 JSON.  The JSON object carries an
-``"op"`` discriminator:
+Every message is one *frame*: a 2-byte big-endian magic
+(:data:`FRAME_MAGIC`, ``"RV"``), a 4-byte big-endian unsigned length,
+and that many bytes of UTF-8 JSON.  The JSON object carries an ``"op"``
+discriminator.  The classic worker transport (PR 3) speaks:
 
 ========== =============================================== ==========
 op         payload                                         direction
@@ -10,15 +11,24 @@ op         payload                                         direction
 ``job``    ``{"job": Job.to_dict(), "hints": [hint, ...]}`` client → worker
 ``result`` ``{"result": JobResult.to_dict()}``              worker → client
 ``ping``   ``{}``                                           client → worker
-``pong``   ``{}``                                           worker → client
+``pong``   ``{"version": int}``                             worker → client
 ``shutdown`` ``{}`` — worker closes the connection and exits client → worker
 ``error``  ``{"message": str}`` — protocol-level failure     worker → client
 ========== =============================================== ==========
 
-A worker processes one job at a time per connection; hint payloads
-travel with the job (the scheduling side owns the hint cache), so
-workers are stateless and any worker can run any job.  Frames are
-capped at :data:`MAX_FRAME` bytes to fail fast on corrupt prefixes.
+The fabric coordinator (:mod:`repro.fabric`) extends the op set with
+``hello``/``welcome`` (versioned client handshake), ``register``/
+``registered`` (worker enrolment), ``heartbeat``/``lease``, ``submit``,
+``status``, ``steal``, ``goodbye`` and the verdict-cache replication
+pair ``cache_query``/``cache_push``; see
+:mod:`repro.fabric.coordinator` for the full table.
+
+Framing is hardened to fail fast instead of wedging a peer: a frame
+whose magic is wrong, whose announced length exceeds the (configurable)
+cap, or whose payload is not valid JSON raises :class:`ProtocolError`
+— servers answer with a single ``error`` frame and drop the
+connection, they never die on it.  Handshakes carry
+:data:`PROTOCOL_VERSION` so mismatched peers are rejected up front.
 """
 
 from __future__ import annotations
@@ -27,24 +37,40 @@ import json
 import socket
 import struct
 
-__all__ = ["MAX_FRAME", "PROTOCOL_VERSION", "send_frame", "recv_frame",
-           "parse_address"]
+__all__ = ["FRAME_MAGIC", "MAX_FRAME", "PROTOCOL_VERSION", "ProtocolError",
+           "send_frame", "recv_frame", "parse_address"]
 
-#: Protocol revision, carried in worker hello lines / error messages.
-PROTOCOL_VERSION = 1
+#: Protocol revision, carried in every handshake (``hello``/``welcome``,
+#: ``register``/``registered``, ``pong``).  v2 added the frame magic and
+#: the fabric op set; v1 peers are rejected at the handshake.
+PROTOCOL_VERSION = 2
 
-#: Upper bound on one frame's JSON payload (64 MiB — traces are big).
+#: Two magic bytes (``"RV"``) opening every frame — a peer that speaks
+#: anything else (HTTP, TLS, line noise) is rejected on its first frame
+#: instead of being misread as a multi-gigabyte length prefix.
+FRAME_MAGIC = 0x5256
+
+#: Default upper bound on one frame's JSON payload (64 MiB — traces are
+#: big).  Both :func:`send_frame` and :func:`recv_frame` accept a
+#: ``max_frame`` override; servers expose it as ``--max-frame``.
 MAX_FRAME = 64 * 1024 * 1024
 
-_LEN = struct.Struct(">I")
+_HEADER = struct.Struct(">HI")
 
 
-def send_frame(sock: socket.socket, payload: dict) -> None:
+class ProtocolError(ValueError):
+    """A malformed frame: bad magic, over-long, or non-JSON payload."""
+
+
+def send_frame(sock: socket.socket, payload: dict,
+               max_frame: int | None = None) -> None:
     """Serialize ``payload`` and send it as one frame."""
+    cap = MAX_FRAME if max_frame is None else max_frame
     blob = json.dumps(payload, separators=(",", ":")).encode()
-    if len(blob) > MAX_FRAME:
-        raise ValueError(f"frame of {len(blob)} bytes exceeds MAX_FRAME")
-    sock.sendall(_LEN.pack(len(blob)) + blob)
+    if len(blob) > cap:
+        raise ProtocolError(
+            f"frame of {len(blob)} bytes exceeds the {cap}-byte cap")
+    sock.sendall(_HEADER.pack(FRAME_MAGIC, len(blob)) + blob)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
@@ -59,22 +85,35 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> dict | None:
+def recv_frame(sock: socket.socket,
+               max_frame: int | None = None) -> dict | None:
     """Receive one frame; None on a cleanly closed connection.
 
     Raises ``ConnectionError`` on a mid-frame disconnect and
-    ``ValueError`` on an over-long or non-JSON frame.
+    :class:`ProtocolError` on bad magic, an over-long frame, or a
+    payload that is not valid JSON.  After a :class:`ProtocolError` the
+    stream cannot be resynchronized — close the connection.
     """
-    header = _recv_exact(sock, _LEN.size)
+    cap = MAX_FRAME if max_frame is None else max_frame
+    header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
-    (length,) = _LEN.unpack(header)
-    if length > MAX_FRAME:
-        raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME")
+    magic, length = _HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic:#06x} (expected {FRAME_MAGIC:#06x}; "
+            f"is the peer speaking protocol v{PROTOCOL_VERSION}?)")
+    if length > cap:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {cap}-byte cap")
     blob = _recv_exact(sock, length)
     if blob is None:
         raise ConnectionError("connection closed mid-frame")
-    return json.loads(blob.decode())
+    try:
+        return json.loads(blob.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") \
+            from None
 
 
 def parse_address(text: str) -> tuple[str, int]:

@@ -10,24 +10,40 @@ are executed with the exact same :func:`~repro.campaign.runner.run_job`
 code path as local executors, so a TCP campaign is bit-identical to a
 serial one.
 
+Framing is hardened: a malformed frame (bad magic, over the
+``--max-frame`` cap, non-JSON payload) gets one single-line ``error``
+frame back and the connection is dropped — the worker itself never
+dies on line noise.  SIGTERM is a *drain*: the in-flight job finishes,
+its result frame is delivered, and the worker exits 0 — results are
+never dropped on the floor.
+
 Workers are stateless and single-tenant by design: run one worker
 process per core (or per host) and hand the ``host:port`` list to
 :class:`~repro.campaign.executors.TcpExecutor`.  Designs referenced as
 ``"pkg.mod:fn"`` builders must be importable on the worker host;
 in-process ``register_builder`` registrations do not travel.
+
+For a *dynamic* pool — registration, heartbeats, dead-worker re-queue,
+work stealing, replicated verdict cache — run the same command with
+``--connect HOST:PORT`` to enrol with a :mod:`repro.fabric`
+coordinator instead of listening (``--reconnect`` keeps re-dialling
+under exponential backoff + jitter when the coordinator goes away).
 """
 
 from __future__ import annotations
 
+import select
+import signal
 import socket
 import traceback
 
-from .protocol import PROTOCOL_VERSION, recv_frame, send_frame
+from .protocol import PROTOCOL_VERSION, ProtocolError, recv_frame, send_frame
 
 __all__ = ["serve"]
 
 
-def _handle_connection(conn: socket.socket, log) -> bool:
+def _handle_connection(conn: socket.socket, log, max_frame=None,
+                       stopping=lambda: False) -> bool:
     """Serve one connection; returns False when asked to shut down.
 
     Client-side failures (a dropped connection — e.g. the executor
@@ -42,10 +58,10 @@ def _handle_connection(conn: socket.socket, log) -> bool:
     def reply(payload: dict) -> bool:
         """Send one frame; False (connection over) on a gone client."""
         try:
-            send_frame(conn, payload)
+            send_frame(conn, payload, max_frame=max_frame)
             return True
-        except ValueError as exc:
-            # Frame over MAX_FRAME: report instead of dying.
+        except ProtocolError as exc:
+            # Frame over the cap: report instead of dying.
             try:
                 send_frame(conn, {"op": "error",
                                   "message": f"unsendable result: {exc}"})
@@ -57,8 +73,22 @@ def _handle_connection(conn: socket.socket, log) -> bool:
             return False
 
     while True:
+        # Poll so a SIGTERM during an idle connection still drains
+        # promptly instead of waiting for the client to hang up.
+        readable, _, _ = select.select([conn], [], [], 0.5)
+        if not readable:
+            if stopping():
+                return False
+            continue
         try:
-            frame = recv_frame(conn)
+            frame = recv_frame(conn, max_frame=max_frame)
+        except ProtocolError as exc:
+            # Bad magic / over-long / non-JSON: one single-line error
+            # frame, then hang up — the stream cannot be resynced.
+            message = str(exc).splitlines()[0]
+            log(f"protocol error: {message}")
+            reply({"op": "error", "message": f"protocol error: {message}"})
+            return True
         except (ConnectionError, ValueError, OSError) as exc:
             log(f"connection dropped: {exc}")
             return True
@@ -88,6 +118,11 @@ def _handle_connection(conn: socket.socket, log) -> bool:
                 return True
             log(f"job {job.index}: {result.verdict} "
                 f"({result.seconds:.1f} s)")
+            if stopping():
+                # SIGTERM arrived mid-job: the result above is already
+                # delivered, so this is a clean drain.
+                log("drained in-flight job; exiting on SIGTERM")
+                return False
         else:
             if not reply({
                 "op": "error",
@@ -98,7 +133,8 @@ def _handle_connection(conn: socket.socket, log) -> bool:
 
 
 def serve(host: str = "127.0.0.1", port: int = 0,
-          max_connections: int | None = None, quiet: bool = False) -> int:
+          max_connections: int | None = None, quiet: bool = False,
+          max_frame: int | None = None) -> int:
     """Run a worker until shut down; returns the process exit code.
 
     Args:
@@ -106,28 +142,48 @@ def serve(host: str = "127.0.0.1", port: int = 0,
             for cross-host campaigns).
         port: bind port; 0 lets the OS pick one (announced on stdout).
         max_connections: exit after serving this many connections
-            (None = serve forever until a ``shutdown`` op).
+            (None = serve forever until a ``shutdown`` op or SIGTERM).
         quiet: suppress per-job log lines (the hello line always prints).
+        max_frame: per-frame byte cap (None = the protocol default).
     """
     def log(message: str) -> None:
         if not quiet:
             print(f"[worker] {message}", flush=True)
 
+    stop = {"flag": False}
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        stop["flag"] = True
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread (tests drive serve directly)
+        previous = None
+
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     server.bind((host, port))
     server.listen(8)
+    server.settimeout(0.5)
     bound_host, bound_port = server.getsockname()[:2]
     print(f"worker listening on {bound_host}:{bound_port}", flush=True)
 
     served = 0
     try:
         while max_connections is None or served < max_connections:
-            conn, peer = server.accept()
+            if stop["flag"]:
+                log("SIGTERM: exiting cleanly")
+                break
+            try:
+                conn, peer = server.accept()
+            except socket.timeout:
+                continue
             served += 1
             log(f"connection from {peer[0]}:{peer[1]}")
             try:
-                keep_going = _handle_connection(conn, log)
+                keep_going = _handle_connection(
+                    conn, log, max_frame=max_frame,
+                    stopping=lambda: stop["flag"])
             except Exception:  # noqa: BLE001 - worker must stay up
                 log("connection handler failed:\n"
                     + traceback.format_exc(limit=4))
@@ -140,4 +196,6 @@ def serve(host: str = "127.0.0.1", port: int = 0,
         log("interrupted")
     finally:
         server.close()
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
     return 0

@@ -404,3 +404,35 @@ def test_cli_runs_toy_spec_through_serial_executor(tmp_path, capsys):
     assert report["campaign"]["executor"] == "serial"
     assert report["summary"]["verdict_matrix"]["vulnerable"]["alg1"] == \
         "vulnerable"
+
+
+def test_cli_tcp_executor_unreachable_endpoint(tmp_path, capsys):
+    # A dead endpoint must produce a one-line exit-2 diagnostic, not a
+    # traceback and never an indefinite block: connects are budgeted by
+    # --connect-timeout and the scheduler's stalled-campaign error is
+    # rendered by the CLI.
+    spec_path = tmp_path / "toys.json"
+    toy_spec(hints="off").save(spec_path)
+    start = time.monotonic()
+    code = _cli([str(spec_path), "--executor", "tcp",
+                 "--connect", "127.0.0.1:1", "--connect-timeout", "0.5",
+                 "--no-cache", "--quiet"])
+    assert code == 2
+    assert time.monotonic() - start < 30
+    assert "stalled" in _single_error_line(capsys)
+
+
+def test_cli_fabric_executor_requires_single_connect(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({"name": "x"}))
+    assert _cli([str(spec), "--executor", "fabric"]) == 2
+    assert "exactly one" in _single_error_line(capsys)
+
+
+def test_cli_fabric_executor_unreachable_coordinator(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({"name": "x"}))
+    code = _cli([str(spec), "--executor", "fabric",
+                 "--connect", "127.0.0.1:1", "--connect-timeout", "0.5"])
+    assert code == 2
+    assert "cannot reach fabric coordinator" in _single_error_line(capsys)

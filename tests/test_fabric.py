@@ -1,0 +1,837 @@
+"""The verification fabric: protocol hardening, leases, re-queue,
+stealing, cache replication and end-to-end determinism.
+
+The heavyweight contracts are proven the same way the CI gate does —
+through :func:`repro.fabric.smoke.run_smoke` — while everything
+fault-injectable (dead workers, missed leases, duplicate and dropped
+result frames, reconnect backoff) is driven deterministically with an
+in-thread coordinator and hand-rolled fake workers.
+"""
+
+import contextlib
+import json
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    FabricExecutor,
+    Job,
+    JobResult,
+    SerialExecutor,
+    register_builder,
+    run_campaign,
+    smoke_spec,
+)
+from repro.fabric import (
+    Coordinator,
+    WorkerSupervisor,
+    backoff_delay,
+    fetch_status,
+    request_shutdown,
+)
+from repro.fabric.smoke import diff_campaigns, run_smoke, spawn_fabric_worker
+from repro.fabric.state import JobEntry, JobQueue, LeaseTable
+from repro.rtl import Circuit, mux
+from repro.upec import ThreatModel, VictimPort
+from repro.upec.report import format_fabric_status
+from repro.verify.cache import VerdictCache
+from repro.verify.protocol import (
+    FRAME_MAGIC,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+ADDR_W = 4
+PAGE_BITS = 2
+
+
+# -- toy designs (in-process builders; fabric workers here are threads) ------
+
+
+def fabric_toy(kind: str = "secure") -> ThreatModel:
+    c = Circuit(f"fabric-toy-{kind}")
+    v_valid = c.add_input("v_valid", 1)
+    v_addr = c.add_input("v_addr", ADDR_W)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 4)
+    c.add_input("victim_page", ADDR_W - PAGE_BITS)
+    soc = c.scope("soc")
+    buf = soc.child("xbar").reg("addr_buf", ADDR_W, kind="interconnect")
+    c.set_next(buf, mux(v_valid, v_addr, buf))
+    if kind == "vulnerable":
+        count = soc.child("spy").reg("count", 4, kind="ip")
+        c.set_next(count, mux(v_valid, count + 1, count))
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=PAGE_BITS,
+    )
+
+
+def slow_fabric_toy(sleep_seconds: float = 2.0) -> ThreatModel:
+    time.sleep(sleep_seconds)
+    return fabric_toy("secure")
+
+
+register_builder("fabric-toy", fabric_toy)
+register_builder("fabric-slow-toy", slow_fabric_toy)
+
+
+def toy_spec(hints: str = "first") -> CampaignSpec:
+    return CampaignSpec(
+        name="fabric-toys",
+        variants={
+            "secure": {"builder": "fabric-toy", "args": {"kind": "secure"}},
+            "vulnerable": {"builder": "fabric-toy",
+                           "args": {"kind": "vulnerable"}},
+        },
+        algorithms=["alg1"],
+        depths=[3],
+        hints=hints,
+    )
+
+
+def one_toy_job(kind: str = "secure") -> Job:
+    spec = CampaignSpec(
+        name="one-toy",
+        variants={kind: {"builder": "fabric-toy", "args": {"kind": kind}}},
+        algorithms=["alg1"],
+        depths=[3],
+        hints="off",
+    )
+    return spec.expand()[0]
+
+
+# -- in-thread fabric plumbing -----------------------------------------------
+
+
+class _Fabric:
+    def __init__(self, lease_seconds: float = 5.0):
+        self.coordinator = Coordinator(port=0, lease_seconds=lease_seconds,
+                                       quiet=True)
+        host, port = self.coordinator.bind()
+        self.address = f"{host}:{port}"
+        self.thread = threading.Thread(target=self.coordinator.serve,
+                                       daemon=True)
+        self.thread.start()
+        self.supervisors: list[WorkerSupervisor] = []
+        self.threads: list[threading.Thread] = []
+
+    def add_worker(self, **kwargs) -> WorkerSupervisor:
+        supervisor = WorkerSupervisor(self.address, quiet=True, **kwargs)
+        thread = threading.Thread(target=supervisor.run, daemon=True)
+        thread.start()
+        self.supervisors.append(supervisor)
+        self.threads.append(thread)
+        return supervisor
+
+    def wait_workers(self, count: int, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if fetch_status(self.address)["coordinator"]["workers"] \
+                        >= count:
+                    return
+            except (OSError, ConnectionError):
+                pass
+            time.sleep(0.05)
+        raise AssertionError(f"{count} worker(s) never registered")
+
+    def close(self) -> None:
+        try:
+            request_shutdown(self.address)
+        except (OSError, ConnectionError):
+            self.coordinator.shutdown()
+        for thread in self.threads:
+            thread.join(timeout=15)
+        self.thread.join(timeout=15)
+        for supervisor in self.supervisors:
+            supervisor.close()
+
+
+@contextlib.contextmanager
+def fabric_up(lease_seconds: float = 5.0, workers: int = 0):
+    fabric = _Fabric(lease_seconds)
+    try:
+        for _ in range(workers):
+            fabric.add_worker()
+        if workers:
+            fabric.wait_workers(workers)
+        yield fabric
+    finally:
+        fabric.close()
+
+
+def _dial(address: str, timeout: float = 15.0) -> socket.socket:
+    sock = socket.create_connection(parse_address(address), timeout=timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
+def _register_fake_worker(address: str, name: str = "fake"):
+    sock = _dial(address)
+    send_frame(sock, {"op": "register", "protocol": PROTOCOL_VERSION,
+                      "name": name})
+    reply = recv_frame(sock)
+    assert reply["op"] == "registered", reply
+    assert reply["protocol"] == PROTOCOL_VERSION
+    return sock, reply["worker"]
+
+
+def _client(address: str) -> socket.socket:
+    sock = _dial(address)
+    send_frame(sock, {"op": "hello", "role": "test",
+                      "protocol": PROTOCOL_VERSION})
+    welcome = recv_frame(sock)
+    assert welcome["op"] == "welcome", welcome
+    return sock
+
+
+def _submit(sock: socket.socket, job: Job, tag: int, hints=()) -> None:
+    send_frame(sock, {"op": "submit", "tag": tag, "job": job.to_dict(),
+                      "hints": list(hints)})
+
+
+def _assert_hung_up(sock: socket.socket) -> None:
+    """The peer dropped us: clean EOF, or RST when it closed with
+    unread bytes still in its receive buffer."""
+    try:
+        assert recv_frame(sock) is None
+    except ConnectionError:
+        pass
+
+
+# -- framing hardening -------------------------------------------------------
+
+
+def test_frame_roundtrip_and_clean_close():
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, {"op": "ping", "payload": [1, 2, 3]})
+        assert recv_frame(b) == {"op": "ping", "payload": [1, 2, 3]}
+        a.close()
+        assert recv_frame(b) is None
+    finally:
+        b.close()
+
+
+def test_frame_rejects_bad_magic():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b"GE" + struct.pack(">I", 2) + b"{}")
+        with pytest.raises(ProtocolError, match="bad frame magic"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frame_rejects_oversized():
+    a, b = socket.socketpair()
+    try:
+        with pytest.raises(ProtocolError, match="cap"):
+            send_frame(a, {"blob": "x" * 100}, max_frame=16)
+        a.sendall(struct.pack(">HI", FRAME_MAGIC, 1 << 30))
+        with pytest.raises(ProtocolError, match="cap"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frame_rejects_non_json():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack(">HI", FRAME_MAGIC, 4) + b"\xff\xfe\xfd\xfc")
+        with pytest.raises(ProtocolError, match="JSON"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frame_mid_frame_disconnect_raises_connection_error():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack(">HI", FRAME_MAGIC, 100) + b"partial")
+        a.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+# -- lease table and job queue (pure state) ----------------------------------
+
+
+def test_lease_table_lifecycle():
+    leases = LeaseTable(lease_seconds=10.0)
+    w1 = leases.register("alpha", "127.0.0.1:1", now=100.0)
+    w2 = leases.register("beta", "127.0.0.1:2", now=100.0)
+    assert (w1.worker_id, w2.worker_id) == (1, 2)
+    assert leases.next_deadline() == 110.0
+    leases.renew(1, now=105.0)
+    assert leases.expired(now=111.0) == [w2]
+    assert leases.remove(2, dead=True) is w2
+    assert leases.remove(2, dead=True) is None  # idempotent
+    assert leases.dead == 1 and leases.departed == 0
+    leases.remove(1, dead=False)
+    assert leases.departed == 1
+    assert len(leases) == 0 and leases.next_deadline() is None
+
+
+def _entry(key: str, variant: str = "v") -> JobEntry:
+    return JobEntry(key=key, job={"index": 0}, hints=[], variant=variant,
+                    cacheable=True, submitted_at=0.0)
+
+
+def test_job_queue_locality_prefers_warm_variant():
+    leases = LeaseTable()
+    w1 = leases.register("w1", "a", now=0.0)
+    w2 = leases.register("w2", "a", now=0.0)
+    queue = JobQueue()
+    queue.add_worker(1)
+    queue.add_worker(2)
+    w1.last_variant = "hot"
+    queue.enqueue(_entry("k1", variant="hot"), leases)
+    queue.enqueue(_entry("k2", variant="cold"), leases)
+    # The hot-variant entry landed on w1's backlog, the cold one on the
+    # shortest (w2's) — each worker's next pick is its own.
+    entry, stolen = queue.next_for(w1)
+    assert entry.key == "k1" and not stolen
+    entry, stolen = queue.next_for(w2)
+    assert entry.key == "k2" and not stolen
+
+
+def test_job_queue_steals_from_longest_backlog():
+    leases = LeaseTable()
+    w1 = leases.register("w1", "a", now=0.0)
+    w2 = leases.register("w2", "a", now=0.0)
+    queue = JobQueue()
+    queue.add_worker(1)
+    queue.add_worker(2)
+    w1.last_variant = "v"  # everything places on w1 (warm variant)
+    for i in range(3):
+        queue.enqueue(_entry(f"k{i}"), leases)
+    entry, stolen = queue.next_for(w2)
+    assert stolen and entry.key == "k2"  # stolen from the victim's tail
+    assert queue.steals == 1 and w2.steals == 1
+    entry, stolen = queue.next_for(w1)
+    assert not stolen and entry.key == "k0"  # owner drains oldest-first
+
+
+def test_job_queue_requeue_and_finish_are_idempotent():
+    leases = LeaseTable()
+    w1 = leases.register("w1", "a", now=0.0)
+    queue = JobQueue()
+    queue.add_worker(1)
+    queue.enqueue(_entry("k"), leases)
+    assert queue.requeue("k", leases) is None  # queued, not assigned
+    entry, _ = queue.next_for(w1)
+    queue.assign(entry, w1, now=1.0)
+    assert queue.inflight() == 1 and w1.busy
+    assert queue.requeue("k", leases) is entry
+    assert entry.requeues == 1 and queue.requeues == 1
+    assert queue.depth() == 1
+    entry2, _ = queue.next_for(w1)
+    assert entry2 is entry
+    queue.assign(entry2, w1, now=2.0)
+    assert queue.finish("k") is entry
+    assert queue.finish("k") is None  # already folded in
+    assert queue.depth() == 0 and queue.inflight() == 0
+
+
+def test_unassigned_pool_drains_when_first_worker_registers():
+    leases = LeaseTable()
+    queue = JobQueue()
+    queue.enqueue(_entry("early"), leases)  # submitted before any worker
+    w1 = leases.register("w1", "a", now=0.0)
+    queue.add_worker(1)
+    entry, stolen = queue.next_for(w1)
+    assert entry.key == "early" and not stolen
+
+
+# -- reconnect backoff -------------------------------------------------------
+
+
+class _MaxJitter:
+    @staticmethod
+    def uniform(lo, hi):
+        return hi
+
+
+class _MinJitter:
+    @staticmethod
+    def uniform(lo, hi):
+        return lo
+
+
+def test_backoff_delay_schedule():
+    assert backoff_delay(1, base=1.0, cap=30.0, rng=_MaxJitter()) == 1.0
+    assert backoff_delay(3, base=1.0, cap=30.0, rng=_MaxJitter()) == 4.0
+    assert backoff_delay(10, base=1.0, cap=30.0, rng=_MaxJitter()) == 30.0
+    assert backoff_delay(1, base=1.0, cap=30.0, rng=_MinJitter()) == 0.5
+    for attempt in range(1, 8):  # jitter stays within [delay/2, delay]
+        delay = backoff_delay(attempt, base=0.5, cap=30.0)
+        assert 0.5 * min(30.0, 0.5 * 2 ** (attempt - 1)) <= delay \
+            <= min(30.0, 0.5 * 2 ** (attempt - 1))
+    with pytest.raises(ValueError):
+        backoff_delay(0)
+
+
+# -- coordinator protocol ----------------------------------------------------
+
+
+def test_handshake_rejects_version_mismatch():
+    with fabric_up() as fabric:
+        sock = _dial(fabric.address)
+        send_frame(sock, {"op": "hello", "protocol": 1})
+        reply = recv_frame(sock)
+        assert reply["op"] == "error"
+        assert "version mismatch" in reply["message"]
+        _assert_hung_up(sock)  # coordinator hung up
+        sock.close()
+        sock = _dial(fabric.address)
+        send_frame(sock, {"op": "register", "protocol": 99, "name": "x"})
+        reply = recv_frame(sock)
+        assert reply["op"] == "error"
+        assert "version mismatch" in reply["message"]
+        sock.close()
+
+
+def test_coordinator_rejects_bad_magic_and_survives():
+    with fabric_up() as fabric:
+        sock = _dial(fabric.address)
+        sock.sendall(b"GE" + struct.pack(">I", 2) + b"{}")
+        reply = recv_frame(sock)
+        assert reply["op"] == "error" and "protocol error" in reply["message"]
+        _assert_hung_up(sock)
+        sock.close()
+        # The coordinator is still serving.
+        assert fetch_status(fabric.address)["coordinator"]["workers"] == 0
+
+
+def test_coordinator_ping_and_unknown_op():
+    with fabric_up() as fabric:
+        sock = _dial(fabric.address)
+        send_frame(sock, {"op": "ping"})
+        pong = recv_frame(sock)
+        assert pong["op"] == "pong" and pong["version"] == PROTOCOL_VERSION
+        send_frame(sock, {"op": "nonsense"})
+        reply = recv_frame(sock)
+        assert reply["op"] == "error" and "unknown op" in reply["message"]
+        sock.close()
+
+
+# -- fault injection ---------------------------------------------------------
+
+
+def test_dead_worker_requeues_job_to_survivor():
+    # A worker that dies holding a job (here: drops the connection — the
+    # same EOF a SIGKILL produces) must not lose it: the coordinator
+    # re-queues, a survivor answers, and the counters record the death.
+    with fabric_up(lease_seconds=30.0) as fabric:
+        sock, _ = _register_fake_worker(fabric.address)
+        client = _client(fabric.address)
+        _submit(client, one_toy_job(), tag=7)
+        assignment = recv_frame(sock)
+        assert assignment["op"] == "job"
+        sock.close()  # dies without delivering a result (dropped frame)
+        fabric.add_worker()
+        client.settimeout(120)
+        reply = recv_frame(client)
+        assert reply["op"] == "result" and reply["tag"] == 7
+        assert reply["result"]["verdict"] == "secure"
+        assert reply["source"] == "worker"
+        status = fetch_status(fabric.address)["coordinator"]
+        assert status["jobs_requeued"] == 1
+        assert status["dead_workers"] == 1
+        assert status["jobs_completed"] == 1  # never double-counted
+        client.close()
+
+
+def test_missed_lease_declares_silent_worker_dead():
+    # A worker that stops heartbeating without closing its socket (a
+    # wedged process, a partition) is detected by lease expiry.
+    with fabric_up(lease_seconds=1.0) as fabric:
+        sock, _ = _register_fake_worker(fabric.address)
+        client = _client(fabric.address)
+        _submit(client, one_toy_job(), tag=3)
+        assert recv_frame(sock)["op"] == "job"
+        # ... and now the fake goes silent (no heartbeat, no result).
+        fabric.add_worker()
+        client.settimeout(120)
+        reply = recv_frame(client)
+        assert reply["op"] == "result"
+        assert reply["result"]["verdict"] == "secure"
+        status = fetch_status(fabric.address)["coordinator"]
+        assert status["dead_workers"] >= 1
+        assert status["jobs_requeued"] == 1
+        sock.close()
+        client.close()
+
+
+def test_duplicate_result_is_folded_idempotently():
+    # The same result frame delivered twice (a presumed-dead worker's
+    # late answer, a retransmit) completes the job exactly once.
+    with fabric_up(lease_seconds=30.0) as fabric:
+        sock, worker_id = _register_fake_worker(fabric.address)
+        client = _client(fabric.address)
+        _submit(client, one_toy_job(), tag=9)
+        assignment = recv_frame(sock)
+        payload = JobResult(job=Job.from_dict(assignment["job"]),
+                            verdict="secure").to_dict()
+        frame = {"op": "result", "key": assignment["key"],
+                 "result": payload, "cache_hit": False}
+        send_frame(sock, frame)
+        send_frame(sock, frame)  # delivered twice
+        reply = recv_frame(client)
+        assert reply["op"] == "result" and reply["tag"] == 9
+        client.settimeout(1.0)
+        with pytest.raises(TimeoutError):
+            recv_frame(client)  # no second delivery
+        status = fetch_status(fabric.address)["coordinator"]
+        assert status["jobs_completed"] == 1
+        assert status["duplicate_results"] == 1
+        assert status["jobs_requeued"] == 0
+        sock.close()
+        client.close()
+
+
+def test_submit_coalesces_identical_inflight_questions():
+    # Two clients asking the same content-addressed question while it
+    # is in flight share one execution.
+    with fabric_up(lease_seconds=30.0) as fabric:
+        sock, _ = _register_fake_worker(fabric.address)
+        job = one_toy_job()
+        first = _client(fabric.address)
+        second = _client(fabric.address)
+        _submit(first, job, tag=1)
+        assignment = recv_frame(sock)
+        _submit(second, job, tag=2)  # same question, already in flight
+        deadline = time.monotonic() + 30
+        while fetch_status(fabric.address)["coordinator"][
+                "jobs_submitted"] < 2:  # don't race the result frame
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        payload = JobResult(job=Job.from_dict(assignment["job"]),
+                            verdict="secure").to_dict()
+        send_frame(sock, {"op": "result", "key": assignment["key"],
+                          "result": payload, "cache_hit": False})
+        assert recv_frame(first)["tag"] == 1
+        assert recv_frame(second)["tag"] == 2
+        status = fetch_status(fabric.address)["coordinator"]
+        assert status["jobs_completed"] == 1
+        assert status["jobs_coalesced"] == 1
+        for sock_ in (sock, first, second):
+            sock_.close()
+
+
+# -- the replicated verdict cache --------------------------------------------
+
+
+def test_verdict_cache_remote_tier_roundtrip(tmp_path):
+    with fabric_up() as fabric:
+        writer = VerdictCache(tmp_path / "writer", remote=fabric.address)
+        writer.put("deadbeef" * 8, {"verdict": "secure", "seconds": 1.0})
+        assert writer.remote_pushes == 1
+        reader = VerdictCache(tmp_path / "reader", remote=fabric.address)
+        assert reader.get("deadbeef" * 8) == {"verdict": "secure",
+                                              "seconds": 1.0}
+        assert reader.remote_hits == 1  # fetch-on-miss from the store
+        reader_memory_only = VerdictCache(tmp_path / "reader")
+        assert "deadbeef" * 8 in reader_memory_only  # seeded to disk
+        status = fetch_status(fabric.address)["coordinator"]["cache"]
+        assert status["entries"] >= 1
+        assert status["pushes"] == 1
+        assert status["queries"] == 1 and status["query_hits"] == 1
+        writer.close()
+        reader.close()
+
+
+def test_verdict_cache_remote_tier_failures_are_soft():
+    cache = VerdictCache(remote="127.0.0.1:1", connect_timeout=0.2)
+    assert cache.get("no-such-key") is None
+    cache.put("some-key", {"verdict": "secure"})  # must not raise
+    assert cache.remote_errors >= 1
+    assert cache.get("some-key") == {"verdict": "secure"}  # local tier fine
+    cache.close()
+
+
+# -- worker supervisor -------------------------------------------------------
+
+
+def test_supervisor_stop_drains_inflight_job():
+    # SIGTERM semantics: finish the running job, deliver its result,
+    # say goodbye, exit 0.
+    with fabric_up(lease_seconds=5.0) as fabric:
+        supervisor = WorkerSupervisor(fabric.address, quiet=True)
+        outcome = {}
+        thread = threading.Thread(
+            target=lambda: outcome.setdefault("code", supervisor.run()),
+            daemon=True)
+        thread.start()
+        fabric.wait_workers(1)
+        client = _client(fabric.address)
+        spec = CampaignSpec(
+            name="slow", variants={"slow": {"builder": "fabric-slow-toy",
+                                            "args": {"sleep_seconds": 2.0}}},
+            algorithms=["alg1"], hints="off")
+        _submit(client, spec.expand()[0], tag=1)
+        deadline = time.monotonic() + 30
+        while supervisor._current is None:  # wait for the assignment
+            assert time.monotonic() < deadline, "job never assigned"
+            time.sleep(0.05)
+        supervisor.stop()  # the drain: job still sleeping
+        client.settimeout(120)
+        reply = recv_frame(client)
+        assert reply["op"] == "result"
+        assert reply["result"]["verdict"] == "secure"
+        thread.join(timeout=30)
+        assert outcome.get("code") == 0
+        status = fetch_status(fabric.address)["coordinator"]
+        assert status["departed_workers"] == 1  # goodbye, not a death
+        client.close()
+        supervisor.close()
+
+
+def test_supervisor_without_reconnect_exits_on_lost_coordinator(capsys):
+    fabric = _Fabric(lease_seconds=5.0)
+    supervisor = WorkerSupervisor(fabric.address, reconnect=False,
+                                  quiet=True)
+    outcome = {}
+    thread = threading.Thread(
+        target=lambda: outcome.setdefault("code", supervisor.run()),
+        daemon=True)
+    thread.start()
+    fabric.wait_workers(1)
+    fabric.coordinator.shutdown()  # vanish without a shutdown frame
+    fabric.thread.join(timeout=15)
+    thread.join(timeout=30)
+    assert outcome.get("code") == 1
+    out = capsys.readouterr().out
+    assert "error: lost coordinator" in out
+    supervisor.close()
+
+
+def test_supervisor_reconnects_after_coordinator_restart():
+    first = _Fabric(lease_seconds=2.0)
+    port = parse_address(first.address)[1]
+    supervisor = WorkerSupervisor(first.address, reconnect=True,
+                                  backoff_base=0.05, backoff_max=0.2,
+                                  quiet=True)
+    thread = threading.Thread(target=supervisor.run, daemon=True)
+    thread.start()
+    try:
+        first.wait_workers(1)
+        first.coordinator.shutdown()  # crash, no shutdown frame
+        first.thread.join(timeout=15)
+        # Resurrect a coordinator on the same port; the supervisor must
+        # re-dial (backoff + jitter) and re-register on its own.
+        second = Coordinator(port=port, lease_seconds=2.0, quiet=True)
+        second.bind()
+        second_thread = threading.Thread(target=second.serve, daemon=True)
+        second_thread.start()
+        try:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                try:
+                    if fetch_status(first.address)["coordinator"][
+                            "workers"] >= 1:
+                        break
+                except (OSError, ConnectionError):
+                    pass
+                time.sleep(0.05)
+            else:
+                raise AssertionError("worker never re-registered")
+            assert supervisor.reconnects >= 1
+            # The resurrected fabric serves real work end to end.
+            campaign = run_campaign(
+                toy_spec(hints="off"),
+                executor=FabricExecutor(first.address))
+            assert campaign.verdicts() == {
+                "secure alg1": "secure", "vulnerable alg1": "vulnerable"}
+        finally:
+            supervisor.stop()
+            try:
+                request_shutdown(first.address)
+            except (OSError, ConnectionError):
+                second.shutdown()
+            second_thread.join(timeout=15)
+    finally:
+        thread.join(timeout=15)
+        supervisor.close()
+
+
+# -- determinism and replication end to end ----------------------------------
+
+
+def test_fabric_campaign_bit_identical_to_serial_toys():
+    spec = toy_spec()
+    serial = run_campaign(spec, executor=SerialExecutor())
+    with fabric_up(workers=2) as fabric:
+        campaign = run_campaign(spec, executor=FabricExecutor(fabric.address))
+    assert campaign.executor == "fabric"
+    assert diff_campaigns(serial, campaign) == [], \
+        diff_campaigns(serial, campaign)
+    assert not any(r.cached for r in campaign.results)
+
+
+def test_replicated_cache_answers_second_campaign():
+    spec = toy_spec()
+    with fabric_up(workers=1) as fabric:
+        first = run_campaign(spec, executor=FabricExecutor(fabric.address))
+        second = run_campaign(spec, executor=FabricExecutor(fabric.address))
+        assert second.verdicts() == first.verdicts()
+        assert all(r.cached for r in second.results)
+        status = fetch_status(fabric.address)["coordinator"]
+        assert status["cache"]["hits_served"] >= len(second.results)
+        assert status["jobs_completed"] == len(first.results)
+
+
+# -- status rendering --------------------------------------------------------
+
+
+def test_format_fabric_status_renders_counters():
+    with fabric_up(workers=1) as fabric:
+        run_campaign(toy_spec(hints="off"),
+                     executor=FabricExecutor(fabric.address))
+        status = fetch_status(fabric.address)
+        text = format_fabric_status(status)
+    assert "fabric coordinator" in text
+    assert "2 completed" in text
+    assert "hit(s) served on submit" in text
+    assert "smoke-" not in text  # worker names come from the supervisor
+    # One row per worker with its counters.
+    assert any(line.strip().startswith("1 ") for line in text.splitlines())
+
+
+def test_fabric_status_cli_unreachable(capsys):
+    from repro.fabric.__main__ import main
+
+    assert main(["status", "--connect", "127.0.0.1:1"]) == 2
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("error:") and len(err.splitlines()) == 1
+
+
+# -- the classic listening worker's hardening --------------------------------
+
+
+def _spawn_listening_worker(*extra_args):
+    import os
+    import pathlib
+
+    import repro
+
+    src = pathlib.Path(repro.__file__).parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = "0"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.verify", "worker",
+         "--port", "0", "--quiet", *extra_args],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    line = proc.stdout.readline().strip()
+    assert line.startswith("worker listening on "), line
+    return proc, line.split()[-1]
+
+
+def test_listening_worker_rejects_bad_magic_and_survives():
+    proc, address = _spawn_listening_worker()
+    try:
+        sock = _dial(address)
+        sock.sendall(b"GE" + struct.pack(">I", 2) + b"{}")
+        reply = recv_frame(sock)
+        assert reply["op"] == "error" and "protocol error" in reply["message"]
+        _assert_hung_up(sock)  # connection dropped
+        sock.close()
+        sock = _dial(address)  # the worker process survived
+        send_frame(sock, {"op": "ping"})
+        assert recv_frame(sock)["op"] == "pong"
+        send_frame(sock, {"op": "shutdown"})
+        sock.close()
+        assert proc.wait(timeout=15) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_listening_worker_enforces_max_frame_cap():
+    proc, address = _spawn_listening_worker("--max-frame", "256")
+    try:
+        sock = _dial(address)
+        send_frame(sock, {"op": "ping"})
+        assert recv_frame(sock)["op"] == "pong"
+        send_frame(sock, {"op": "job", "padding": "x" * 1024})
+        reply = recv_frame(sock)
+        assert reply["op"] == "error" and "cap" in reply["message"]
+        sock.close()
+        sock = _dial(address)
+        send_frame(sock, {"op": "shutdown"})
+        sock.close()
+        assert proc.wait(timeout=15) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_listening_worker_sigterm_drains_and_exits_zero():
+    proc, address = _spawn_listening_worker()
+    try:
+        sock = _dial(address, timeout=120)
+        job = smoke_spec().expand()[0]  # alg1: long enough to race SIGTERM
+        send_frame(sock, {"op": "job", "job": job.to_dict(), "hints": []})
+        time.sleep(0.2)
+        proc.send_signal(signal.SIGTERM)
+        frame = recv_frame(sock)  # the in-flight result still arrives
+        assert frame["op"] == "result"
+        assert frame["result"]["verdict"] == "vulnerable"
+        sock.close()
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_verify_worker_reconnect_requires_connect(capsys):
+    from repro.verify.__main__ import main
+
+    assert main(["worker", "--reconnect"]) == 2
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("error:") and "--connect" in err
+
+
+# -- the acceptance smoke (shared with the CI fabric-smoke job) --------------
+
+
+def test_fabric_smoke_end_to_end(tmp_path):
+    artifact = tmp_path / "fabric_status.json"
+    summary = run_smoke(workers=2, kill_one=True,
+                        status_json=str(artifact),
+                        log=lambda *_args, **_kwargs: None)
+    assert summary["verdicts"] == {
+        "baseline alg1": "vulnerable",
+        "baseline bmc@k2": "holds",
+        "baseline ift-baseline@k2": "flow",
+    }
+    assert summary["killed_one"] is True
+    assert summary["cached_speedup"] >= 5.0
+    status = json.loads(artifact.read_text())["status"]["coordinator"]
+    assert status["dead_workers"] >= 1
+    assert status["cache"]["hits_served"] >= 3

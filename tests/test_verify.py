@@ -47,7 +47,12 @@ from repro.verify import (
     unify_verdict,
     verify,
 )
-from repro.verify.protocol import parse_address, recv_frame, send_frame
+from repro.verify.protocol import (
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
 
 # -- shared fixtures ---------------------------------------------------------
 
@@ -438,7 +443,7 @@ def test_worker_protocol_ping_job_shutdown():
         sock = socket.create_connection(parse_address(address), timeout=10)
         send_frame(sock, {"op": "ping"})
         pong = recv_frame(sock)
-        assert pong["op"] == "pong" and pong["version"] == 1
+        assert pong["op"] == "pong" and pong["version"] == PROTOCOL_VERSION
         send_frame(sock, {"op": "nonsense"})
         error = recv_frame(sock)
         assert error["op"] == "error" and "unknown op" in error["message"]
