@@ -73,13 +73,22 @@ def main(argv=None) -> int:
         "--connect", action="append", metavar="HOST:PORT", default=None,
         help=("worker endpoint for --executor tcp (repeatable; start "
               "workers with 'python -m repro.verify worker') or the "
-              "coordinator address for --executor fabric"),
+              "coordinator endpoint(s) for --executor fabric "
+              "(repeatable or comma-separated failover list: primary "
+              "first, standbys after)"),
     )
     parser.add_argument(
         "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
         help=("TCP connect budget per endpoint (default 5); an "
               "unreachable endpoint fails with a diagnostic instead of "
               "blocking forever"),
+    )
+    parser.add_argument(
+        "--submit-timeout", type=float, default=None, metavar="SECONDS",
+        help=("(fabric executor) bounded wait for campaign progress: a "
+              "connected-but-unresponsive coordinator that produces no "
+              "result for this long fails with a one-line diagnostic "
+              "instead of hanging (default: wait indefinitely)"),
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None,
@@ -159,6 +168,7 @@ def main(argv=None) -> int:
             executor_name, workers=max(args.workers, 1),
             connect=args.connect or (),
             connect_timeout=args.connect_timeout,
+            submit_timeout=args.submit_timeout,
         )
     except (ValueError, TypeError, RuntimeError) as exc:
         # RuntimeError covers transport construction failures — e.g. a

@@ -30,6 +30,7 @@ produces bit-identical campaign results.
 from __future__ import annotations
 
 import socket
+import sys
 import time
 
 from ..verify.protocol import (
@@ -121,10 +122,14 @@ class Executor:
 def _timeout_result(job: Job):
     from .runner import JobResult
 
+    # A per-attempt timeout names its budget; a job expired by the
+    # coordinator's end-to-end deadline_s may not have one.
+    budget = f"{job.timeout_seconds:.1f}s" if job.timeout_seconds \
+        else "its deadline"
     return JobResult(
         job=job, verdict="timeout",
         seconds=job.timeout_seconds or 0.0,
-        error=f"terminated after {job.timeout_seconds:.1f}s budget",
+        error=f"terminated after {budget} budget",
     )
 
 
@@ -486,47 +491,159 @@ class FabricExecutor(Executor):
     scheduler's donor ordering still governs *when* a job may be
     submitted, so hint seeding survives redistribution untouched.
 
+    Failover: a lost connection re-dials through the endpoint list
+    (a promoted standby, a restarted primary) and *re-submits* every
+    in-flight job under its original tag — safe because submissions
+    are idempotent at the coordinator (content-keyed: a recovered job
+    coalesces, a journalled result is served back).  When every
+    endpoint stays unreachable, the executor finishes the in-flight
+    jobs *in-process* with :func:`repro.campaign.runner.run_job` (one
+    warning line) — bit-identical, since jobs are pure functions of
+    (spec, hints) — so ``--executor fabric`` never strands a campaign.
+
     Args:
-        connect: the coordinator address (``"host:port"`` or tuple).
-        connect_timeout: TCP connect + handshake budget; an unreachable
-            coordinator raises ``RuntimeError`` at construction (the
-            CLI turns it into a single-line ``error:`` exit 2).
+        connect: coordinator endpoint(s): ``"host:port"``, a
+            comma-separated failover list, a tuple, or a list of
+            either.
+        connect_timeout: per-endpoint TCP connect + handshake budget;
+            construction raises ``RuntimeError`` only when *every*
+            endpoint is unreachable (:func:`make_executor` turns that
+            into serial degradation, not an error).
+        submit_timeout: bounded wait for campaign progress — if the
+            coordinator is connected but produces no result for this
+            many seconds, ``drain`` raises ``RuntimeError`` (the CLI
+            turns it into a single-line ``error:`` exit 2) instead of
+            hanging forever.  None = wait indefinitely.
     """
 
     name = "fabric"
 
-    def __init__(self, connect, connect_timeout: float = 5.0):
-        address = parse_address(connect) if isinstance(connect, str) \
-            else tuple(connect)
-        self.address = address
-        host, port = address
-        try:
-            self._sock = socket.create_connection(address,
-                                                  timeout=connect_timeout)
-        except OSError as exc:
-            raise RuntimeError(
-                f"cannot reach fabric coordinator {host}:{port}: {exc}"
-            ) from None
-        try:
-            self._sock.settimeout(connect_timeout)
-            send_frame(self._sock, {"op": "hello", "role": "executor",
-                                    "protocol": PROTOCOL_VERSION})
-            welcome = recv_frame(self._sock)
-        except (OSError, ProtocolError) as exc:
-            self._sock.close()
-            raise RuntimeError(
-                f"fabric handshake with {host}:{port} failed: {exc}"
-            ) from None
-        if welcome is None or welcome.get("op") != "welcome":
-            message = (welcome or {}).get("message", "connection closed")
-            self._sock.close()
-            raise RuntimeError(
-                f"fabric coordinator {host}:{port} refused us: {message}")
-        self._sock.settimeout(None)
-        self._workers = int(welcome.get("workers") or 0)
+    #: Re-dial cycles through the endpoint list before giving up and
+    #: finishing in-process.
+    REDIAL_CYCLES = 3
+    #: Backoff between re-dial cycles, seconds (doubles per cycle).
+    REDIAL_BACKOFF = 0.3
+
+    def __init__(self, connect, connect_timeout: float = 5.0,
+                 submit_timeout: float | None = None):
+        from ..verify.protocol import parse_endpoints
+
+        if isinstance(connect, tuple):
+            connect = [connect]
+        self.endpoints = parse_endpoints(connect)
+        self.address = self.endpoints[0]
+        self.connect_timeout = connect_timeout
+        self.submit_timeout = submit_timeout
+        self._sock: socket.socket | None = None
+        self._workers = 0
         self._next_tag = 0
-        self._inflight: dict[int, JobFuture] = {}
+        self._inflight: dict[int, tuple[JobFuture, list]] = {}
         self._done_early: list[JobFuture] = []
+        self._degraded = False
+        self.redials = 0
+        self.inline_runs = 0
+        error = self._dial_any()
+        if error is not None:
+            raise RuntimeError(error)
+
+    def _endpoint_names(self) -> str:
+        return ",".join(f"{h}:{p}" for h, p in self.endpoints)
+
+    def _dial_any(self) -> str | None:
+        """Try every endpoint once; None on success, else the error."""
+        last = "no endpoints"
+        for address in self.endpoints:
+            host, port = address
+            try:
+                sock = socket.create_connection(
+                    address, timeout=self.connect_timeout)
+            except OSError as exc:
+                last = f"cannot reach fabric coordinator {host}:{port}: {exc}"
+                continue
+            try:
+                sock.settimeout(self.connect_timeout)
+                send_frame(sock, {"op": "hello", "role": "executor",
+                                  "protocol": PROTOCOL_VERSION})
+                welcome = recv_frame(sock)
+            except (OSError, ProtocolError) as exc:
+                sock.close()
+                last = f"fabric handshake with {host}:{port} failed: {exc}"
+                continue
+            if welcome is None or welcome.get("op") != "welcome":
+                message = (welcome or {}).get("message", "connection closed")
+                sock.close()
+                last = f"fabric coordinator {host}:{port} refused us: " \
+                       f"{message}"
+                continue
+            sock.settimeout(None)
+            self._sock = sock
+            self.address = address
+            self._workers = int(welcome.get("workers") or 0)
+            return None
+        self._sock = None
+        return last
+
+    def _drop_sock(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _reconnect(self, reason: str) -> bool:
+        """Re-dial through the endpoint list and re-submit in-flight
+        jobs.  False once every cycle failed (caller degrades)."""
+        self._drop_sock()
+        print(f"warning: {reason}; re-dialling fabric "
+              f"({self._endpoint_names()})", file=sys.stderr, flush=True)
+        for cycle in range(self.REDIAL_CYCLES):
+            if cycle:
+                time.sleep(self.REDIAL_BACKOFF * (2 ** (cycle - 1)))
+            if self._dial_any() is not None:
+                continue
+            self.redials += 1
+            # Re-submit everything in flight under the original tags.
+            # Idempotent at the coordinator: completed jobs are served
+            # from the journalled result/cache, pending ones coalesce.
+            ok = True
+            for tag in sorted(self._inflight):
+                future, hints = self._inflight[tag]
+                try:
+                    send_frame(self._sock, {
+                        "op": "submit", "tag": tag,
+                        "job": future.job.to_dict(), "hints": hints,
+                    })
+                except (OSError, ProtocolError):
+                    self._drop_sock()
+                    ok = False
+                    break
+            if ok:
+                return True
+        return False
+
+    def _finish_inline(self) -> list[JobFuture]:
+        """Every endpoint is gone: finish in-flight jobs in-process.
+
+        Jobs are pure functions of (spec, hints), so this is
+        bit-identical to what the fabric would have returned — slower,
+        but the campaign completes instead of stranding the user.
+        """
+        from .runner import run_job
+
+        if not self._degraded:
+            self._degraded = True
+            print(f"warning: fabric {self._endpoint_names()} unreachable; "
+                  f"finishing jobs in-process (serial fallback)",
+                  file=sys.stderr, flush=True)
+        completed = []
+        for tag in sorted(self._inflight):
+            future, hints = self._inflight[tag]
+            self.inline_runs += 1
+            future._finish(run_job(future.job, hints))
+            completed.append(future)
+        self._inflight.clear()
+        return completed
 
     def capacity(self) -> int:
         # The worker count at handshake time (display only; workers
@@ -537,29 +654,27 @@ class FabricExecutor(Executor):
         return True
 
     def submit(self, job: Job, hints) -> JobFuture:
+        from .runner import run_job
+
         future = JobFuture(job)
+        hints = list(hints or ())
+        if self._degraded or self._sock is None:
+            self.inline_runs += 1
+            future._finish(run_job(job, hints))
+            self._done_early.append(future)
+            return future
         self._next_tag += 1
         tag = self._next_tag
+        self._inflight[tag] = (future, hints)
         try:
             send_frame(self._sock, {
                 "op": "submit", "tag": tag,
-                "job": job.to_dict(), "hints": list(hints or ()),
+                "job": job.to_dict(), "hints": hints,
             })
         except (OSError, ProtocolError) as exc:
-            future._finish(_worker_death_result(
-                job, f"submit to coordinator {self.address} failed: {exc}"))
-            self._done_early.append(future)
-            return future
-        self._inflight[tag] = future
+            if not self._reconnect(f"submit to coordinator failed: {exc}"):
+                self._done_early.extend(self._finish_inline())
         return future
-
-    def _fail_all(self, reason: str) -> list[JobFuture]:
-        failed = []
-        for future in self._inflight.values():
-            future._finish(_worker_death_result(future.job, reason))
-            failed.append(future)
-        self._inflight.clear()
-        return failed
 
     def drain(self, block: bool = True) -> list[JobFuture]:
         import select
@@ -571,21 +686,32 @@ class FabricExecutor(Executor):
         while True:
             if not self._inflight:
                 return completed
-            timeout = None if block else 0.0
+            if self._sock is None:
+                return completed + self._finish_inline()
+            if not block:
+                timeout = 0.0
+            else:
+                timeout = self.submit_timeout  # None = wait forever
             readable, _, _ = select.select([self._sock], [], [], timeout)
             if readable:
                 try:
                     frame = recv_frame(self._sock)
                 except (OSError, ProtocolError, ConnectionError) as exc:
-                    return completed + self._fail_all(
-                        f"fabric coordinator {self.address} failed: {exc}")
+                    if not self._reconnect(
+                            f"fabric coordinator {self.address} failed: "
+                            f"{exc}"):
+                        return completed + self._finish_inline()
+                    continue
                 if frame is None:
-                    return completed + self._fail_all(
-                        f"fabric coordinator {self.address} closed the "
-                        f"connection")
+                    if not self._reconnect(
+                            f"fabric coordinator {self.address} closed "
+                            f"the connection"):
+                        return completed + self._finish_inline()
+                    continue
                 if frame.get("op") == "result":
-                    future = self._inflight.pop(frame.get("tag"), None)
-                    if future is not None:
+                    entry = self._inflight.pop(frame.get("tag"), None)
+                    if entry is not None:
+                        future, _ = entry
                         result = JobResult.from_dict(frame["result"])
                         # The coordinator may answer from its replicated
                         # cache; the payload then embeds the *donor*
@@ -599,14 +725,18 @@ class FabricExecutor(Executor):
                         completed.append(future)
                 # Any other op (status pushes, errors for unknown tags)
                 # is ignorable chatter for an executor.
+            elif block and self.submit_timeout is not None:
+                host, port = self.address
+                raise RuntimeError(
+                    f"fabric coordinator {host}:{port} made no progress "
+                    f"for {self.submit_timeout:.0f}s with "
+                    f"{len(self._inflight)} job(s) in flight "
+                    f"(--submit-timeout)")
             if completed or not block:
                 return completed
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop_sock()
 
 
 #: CLI-addressable executor names.
@@ -614,8 +744,17 @@ EXECUTOR_NAMES = ("serial", "fork", "spawn", "tcp", "fabric")
 
 
 def make_executor(name: str, workers: int = 1, connect=(),
-                  connect_timeout: float = 5.0) -> Executor:
-    """Build an executor from CLI-style parameters."""
+                  connect_timeout: float = 5.0,
+                  submit_timeout: float | None = None) -> Executor:
+    """Build an executor from CLI-style parameters.
+
+    The fabric branch degrades rather than fails: one or more
+    ``--connect`` endpoints are accepted (comma-separated lists too),
+    and when *every* endpoint is unreachable at construction the
+    campaign falls back to :class:`SerialExecutor` with a single
+    warning line — the run completes (exit 0), just without the
+    fabric's parallelism.
+    """
     if name == "serial":
         return SerialExecutor()
     if name == "fork":
@@ -626,11 +765,18 @@ def make_executor(name: str, workers: int = 1, connect=(),
         return TcpExecutor(list(connect), connect_timeout=connect_timeout)
     if name == "fabric":
         addresses = list(connect)
-        if len(addresses) != 1:
+        if not addresses:
             raise ValueError(
-                "the fabric executor takes exactly one --connect "
-                "coordinator address")
-        return FabricExecutor(addresses[0], connect_timeout=connect_timeout)
+                "the fabric executor needs at least one --connect "
+                "coordinator endpoint (host:port[,host:port...])")
+        try:
+            return FabricExecutor(addresses,
+                                  connect_timeout=connect_timeout,
+                                  submit_timeout=submit_timeout)
+        except RuntimeError as exc:
+            print(f"warning: {exc}; degrading to the serial executor",
+                  file=sys.stderr, flush=True)
+            return SerialExecutor()
     raise ValueError(
         f"unknown executor {name!r}; known: {', '.join(EXECUTOR_NAMES)}"
     )

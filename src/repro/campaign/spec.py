@@ -81,6 +81,18 @@ class Job:
     depth: int
     seed_from: tuple[int, ...] = ()
     timeout_seconds: float | None = None
+    #: End-to-end wall-clock budget from submission, enforced by the
+    #: fabric coordinator's lease sweep: a job nobody finished (or even
+    #: started) within ``deadline_s`` reports a TIMEOUT verdict instead
+    #: of wedging its campaign.  Distinct from ``timeout_seconds``, the
+    #: per-attempt execution budget.  Scheduling policy, not part of
+    #: the verdict-cache key.
+    deadline_s: float | None = None
+    #: Assignment attempts the fabric grants before a job that keeps
+    #: losing its worker (death, execution timeout) goes terminal with
+    #: a TIMEOUT/ERROR verdict.  None = the coordinator's default.
+    #: Scheduling policy, not part of the verdict-cache key.
+    max_attempts: int | None = None
     record_trace: bool = False
     #: Reduction-pipeline selection (bool or a PreprocessConfig field
     #: dict); verdicts are identical either way, so campaigns default
@@ -106,6 +118,8 @@ class Job:
             "depth": self.depth,
             "seed_from": list(self.seed_from),
             "timeout_seconds": self.timeout_seconds,
+            "deadline_s": self.deadline_s,
+            "max_attempts": self.max_attempts,
             "record_trace": self.record_trace,
             "preprocess": self.preprocess,
             "backend": self.backend,
@@ -126,6 +140,8 @@ class Job:
             depth=data["depth"],
             seed_from=tuple(data.get("seed_from", ())),
             timeout_seconds=data.get("timeout_seconds"),
+            deadline_s=data.get("deadline_s"),
+            max_attempts=data.get("max_attempts"),
             record_trace=data.get("record_trace", False),
             preprocess=data.get("preprocess", True),
             backend=data.get("backend", "reference"),
@@ -183,6 +199,9 @@ class CampaignSpec:
             maximal reuse, serializes the group).
         timeout_seconds: per-job wall-clock budget (enforced by the
             process executor; in-process serial runs cannot preempt).
+        deadline_s: end-to-end per-job budget from submission (enforced
+            by the fabric coordinator; see :class:`Job`).
+        max_attempts: fabric retry budget per job (see :class:`Job`).
         record_traces: decode counterexample traces into results
             (enlarges the JSON artifact considerably).
         preprocess: reduction-pipeline selection for every job — True
@@ -205,6 +224,8 @@ class CampaignSpec:
     depths: list = field(default_factory=lambda: [3])
     hints: str = "first"
     timeout_seconds: float | None = None
+    deadline_s: float | None = None
+    max_attempts: int | None = None
     record_traces: bool = False
     preprocess: object = True
     backend: str = "reference"
@@ -309,6 +330,8 @@ class CampaignSpec:
                             depth=depth,
                             seed_from=seed_from,
                             timeout_seconds=self.timeout_seconds,
+                            deadline_s=self.deadline_s,
+                            max_attempts=self.max_attempts,
                             record_trace=self.record_traces,
                             preprocess=self.preprocess,
                             backend=self.backend,
@@ -332,6 +355,8 @@ class CampaignSpec:
             "depths": list(self.depths),
             "hints": self.hints,
             "timeout_seconds": self.timeout_seconds,
+            "deadline_s": self.deadline_s,
+            "max_attempts": self.max_attempts,
             "record_traces": self.record_traces,
             "preprocess": self.preprocess,
             "backend": self.backend,
@@ -343,6 +368,7 @@ class CampaignSpec:
         known = {
             "name", "base", "base_overrides", "variants", "threat_models",
             "algorithms", "depths", "hints", "timeout_seconds",
+            "deadline_s", "max_attempts",
             "record_traces", "preprocess", "backend", "portfolio",
         }
         unknown = set(data) - known

@@ -28,18 +28,28 @@ from ..verify.protocol import (
     recv_frame,
     send_frame,
 )
-from .coordinator import Coordinator
+from .chaos import ChaosCrash, ChaosEngine, FaultPlan
+from .coordinator import Coordinator, StandbyCoordinator
+from .journal import Journal, ReplayState, read_journal, replay
 from .state import JobEntry, JobQueue, LeaseTable, WorkerRecord
 from .worker import WorkerSupervisor, backoff_delay
 
 __all__ = [
     "Coordinator",
+    "StandbyCoordinator",
     "WorkerSupervisor",
     "backoff_delay",
     "LeaseTable",
     "WorkerRecord",
     "JobQueue",
     "JobEntry",
+    "Journal",
+    "ReplayState",
+    "replay",
+    "read_journal",
+    "FaultPlan",
+    "ChaosEngine",
+    "ChaosCrash",
     "fetch_status",
     "request_shutdown",
 ]

@@ -1,22 +1,32 @@
 """The fabric CLI.
 
-Run a coordinator daemon::
+Run a coordinator daemon (``--state-dir`` makes it crash-safe: a
+restart replays the write-ahead journal and resumes the same jobs)::
 
-    python -m repro.fabric coordinator --port 7400
+    python -m repro.fabric coordinator --port 7400 --state-dir .fabric
 
-Enrol a worker (equivalent to ``python -m repro.verify worker
---connect``)::
+Run a warm standby that tails the primary's journal and promotes
+itself when the primary dies::
 
-    python -m repro.fabric worker --connect 127.0.0.1:7400 --reconnect
+    python -m repro.fabric coordinator --port 7401 \\
+        --standby-of 127.0.0.1:7400 --state-dir .fabric-standby
+
+Enrol a worker (``--connect`` accepts a comma-separated failover
+list: primary first, standbys after)::
+
+    python -m repro.fabric worker --connect 127.0.0.1:7400,127.0.0.1:7401 \\
+        --reconnect
 
 Inspect a running fabric::
 
     python -m repro.fabric status --connect 127.0.0.1:7400
 
 Run the self-contained acceptance smoke (coordinator + N workers, one
-SIGKILLed mid-campaign, bit-identity vs serial, cached-rerun speedup)::
+SIGKILLed mid-campaign, bit-identity vs serial, cached-rerun speedup),
+or the deterministic fault-injection smoke::
 
     python -m repro.fabric smoke --status-json fabric_status.json
+    python -m repro.fabric smoke --chaos seed=2
 
 Errors print a single-line ``error:`` diagnostic and exit 2.
 """
@@ -30,7 +40,21 @@ import sys
 
 
 def _coordinator(args) -> int:
-    from .coordinator import Coordinator
+    from .coordinator import Coordinator, StandbyCoordinator
+
+    if args.standby_of:
+        standby = StandbyCoordinator(
+            args.standby_of,
+            host=args.host, port=args.port,
+            lease_seconds=args.lease_seconds,
+            cache_dir=args.cache_dir,
+            state_dir=args.state_dir,
+            max_frame=args.max_frame,
+            quiet=args.quiet,
+        )
+        signal.signal(signal.SIGTERM, lambda *_: standby.stop())
+        signal.signal(signal.SIGINT, lambda *_: standby.stop())
+        return standby.run()
 
     coordinator = Coordinator(
         host=args.host, port=args.port,
@@ -38,7 +62,11 @@ def _coordinator(args) -> int:
         cache_dir=args.cache_dir,
         max_frame=args.max_frame,
         quiet=args.quiet,
+        state_dir=args.state_dir,
+        default_max_attempts=args.max_attempts,
     )
+    # SIGINT/SIGTERM take the graceful path: snapshot durable state,
+    # send every worker a goodbye, exit 0.
     signal.signal(signal.SIGTERM, lambda *_: coordinator.shutdown())
     signal.signal(signal.SIGINT, lambda *_: coordinator.shutdown())
     return coordinator.serve()
@@ -83,16 +111,34 @@ def _shutdown(args) -> int:
     return 0
 
 
+def _parse_chaos_seed(text: str) -> int:
+    """``"seed=N"`` (or bare ``"N"``) → N."""
+    value = text.partition("=")[2] if "=" in text else text
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"bad --chaos argument {text!r}; expected seed=N") from None
+
+
 def _smoke(args) -> int:
-    from .smoke import run_smoke
+    from .smoke import run_chaos_smoke, run_smoke
 
     try:
-        run_smoke(
-            workers=args.workers,
-            kill_one=not args.no_kill,
-            status_json=args.status_json,
-            speedup_floor=args.speedup_floor,
-        )
+        if args.chaos is not None:
+            run_chaos_smoke(
+                seed=_parse_chaos_seed(args.chaos),
+                workers=args.workers,
+                status_json=args.status_json,
+                state_dir=args.state_dir,
+            )
+        else:
+            run_smoke(
+                workers=args.workers,
+                kill_one=not args.no_kill,
+                status_json=args.status_json,
+                speedup_floor=args.speedup_floor,
+            )
     except AssertionError as exc:
         print(f"fabric smoke FAILED: {exc}", file=sys.stderr)
         return 1
@@ -124,6 +170,21 @@ def main(argv=None) -> int:
     coordinator.add_argument("--max-frame", type=int, default=None,
                              metavar="BYTES",
                              help="per-frame byte cap (default: 64 MiB)")
+    coordinator.add_argument("--state-dir", metavar="PATH", default=None,
+                             help="durable-state directory (write-ahead "
+                                  "journal + snapshots); a restarted "
+                                  "coordinator replays it and resumes the "
+                                  "same jobs")
+    coordinator.add_argument("--standby-of", metavar="HOST:PORT",
+                             default=None,
+                             help="run as a warm standby: tail this "
+                                  "primary's journal and promote to a "
+                                  "full coordinator when it dies")
+    coordinator.add_argument("--max-attempts", type=int, default=3,
+                             metavar="N",
+                             help="default per-job attempt budget before a "
+                                  "terminal TIMEOUT/ERROR verdict "
+                                  "(default 3; jobs may override)")
     coordinator.add_argument("--quiet", action="store_true")
     coordinator.set_defaults(func=_coordinator)
 
@@ -169,6 +230,16 @@ def main(argv=None) -> int:
     smoke.add_argument("--speedup-floor", type=float, default=5.0,
                        metavar="X",
                        help="minimum cached-rerun speedup (default 5)")
+    smoke.add_argument("--chaos", nargs="?", const="seed=0", default=None,
+                       metavar="seed=N",
+                       help="run the deterministic fault-injection smoke "
+                            "instead: sample a fault plan from seed N "
+                            "(N%%3 picks coordinator-crash / worker-kill / "
+                            "frame-fault profile) and assert the verdict "
+                            "matrix stays bit-identical to serial")
+    smoke.add_argument("--state-dir", metavar="PATH", default=None,
+                       help="(with --chaos) durable-state directory to "
+                            "crash-recover against (default: a temp dir)")
     smoke.set_defaults(func=_smoke)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,222 @@
+"""Deterministic fault injection for the fabric: seeded, serializable.
+
+A :class:`FaultPlan` is a pure value sampled from a seed — the same seed
+always yields the same faults, so a chaos failure in CI reproduces
+locally with ``python -m repro.fabric smoke --chaos seed=N``.  The plan
+says *what* to break; a :class:`ChaosEngine` holds the runtime counters
+that decide *when* each fault fires, so the plan survives serialization
+while the engine survives a coordinator restart (crash points fire
+once, not once per incarnation).
+
+Three fault families, matching how the fabric actually dies in the
+field:
+
+* **Coordinator crash points** — ``crash_submit_after`` kills the
+  coordinator *after* the Nth submit is journalled (proving the WAL
+  holds the job), ``crash_result_before_ack`` kills it after the Nth
+  result is journalled but *before* the client hears about it (proving
+  duplicate-result folding).  Both raise :class:`ChaosCrash`, which the
+  smoke harness treats as SIGKILL-equivalent.
+* **Frame faults** — drop/duplicate/delay specific ops on the
+  coordinator's side of the wire (``drop_ops``/``dup_ops``/
+  ``delay_ops``), exercising the heartbeat-resync and retry machinery.
+* **Worker kills** — ``kill_worker_after_results`` SIGKILLs one worker
+  subprocess after it has produced N results, exercising dead-worker
+  re-queue on a *different* worker.
+
+The engine is threaded explicitly (a ``chaos=`` parameter), never a
+module global: the smoke harness runs the coordinator in-thread with
+the client in the same process, and a global would fault the client's
+own frames.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FaultPlan", "ChaosEngine", "ChaosCrash"]
+
+
+class ChaosCrash(Exception):
+    """An injected coordinator crash (SIGKILL-equivalent: no cleanup)."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected coordinator crash at {point}")
+        self.point = point
+
+
+#: Ops that are safe to drop: the fabric must recover each via lease
+#: sweeps / heartbeat resync.  ``submit`` is deliberately excluded — a
+#: dropped submit wedges the *client*, which is outside the fabric's
+#: recovery contract (the client's own submit timeout covers it).
+_DROPPABLE_OPS = ("job", "result", "lease", "heartbeat")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, sampled deterministically from ``seed``.
+
+    ``seed % 3`` picks the fault family so the three fixed CI seeds are
+    guaranteed to cover all of them: 0 → coordinator crash points,
+    1 → worker kill, 2 → frame drops/dups/delays.
+    """
+
+    seed: int
+    crash_submit_after: int | None = None
+    crash_result_before_ack: int | None = None
+    kill_worker_index: int | None = None
+    kill_worker_after_results: int | None = None
+    drop_ops: dict = field(default_factory=dict)
+    dup_ops: dict = field(default_factory=dict)
+    delay_ops: dict = field(default_factory=dict)
+
+    @classmethod
+    def sample(cls, seed: int) -> "FaultPlan":
+        rng = random.Random(seed)
+        profile = seed % 3
+        if profile == 0:
+            # Coordinator crash: either right after a submit is
+            # journalled, or between journalling a result and acking it.
+            if rng.random() < 0.5:
+                return cls(seed=seed,
+                           crash_submit_after=rng.randint(1, 3))
+            return cls(seed=seed,
+                       crash_result_before_ack=rng.randint(1, 2))
+        if profile == 1:
+            return cls(seed=seed,
+                       kill_worker_index=rng.randint(0, 1),
+                       kill_worker_after_results=rng.randint(1, 2))
+        # profile == 2: frame faults.  Bounded counts per op — chaos
+        # must be finite or liveness is unprovable.
+        drop_ops: dict = {}
+        dup_ops: dict = {}
+        delay_ops: dict = {}
+        for op in rng.sample(_DROPPABLE_OPS, k=2):
+            drop_ops[op] = rng.randint(1, 2)
+        if rng.random() < 0.5:
+            dup_ops[rng.choice(("result", "lease"))] = rng.randint(1, 2)
+        if rng.random() < 0.5:
+            delay_ops[rng.choice(_DROPPABLE_OPS)] = round(
+                rng.uniform(0.01, 0.1), 3)
+        return cls(seed=seed, drop_ops=drop_ops, dup_ops=dup_ops,
+                   delay_ops=delay_ops)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "crash_submit_after": self.crash_submit_after,
+            "crash_result_before_ack": self.crash_result_before_ack,
+            "kill_worker_index": self.kill_worker_index,
+            "kill_worker_after_results": self.kill_worker_after_results,
+            "drop_ops": dict(self.drop_ops),
+            "dup_ops": dict(self.dup_ops),
+            "delay_ops": dict(self.delay_ops),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            seed=int(data.get("seed") or 0),
+            crash_submit_after=data.get("crash_submit_after"),
+            crash_result_before_ack=data.get("crash_result_before_ack"),
+            kill_worker_index=data.get("kill_worker_index"),
+            kill_worker_after_results=data.get("kill_worker_after_results"),
+            drop_ops=dict(data.get("drop_ops") or {}),
+            dup_ops=dict(data.get("dup_ops") or {}),
+            delay_ops=dict(data.get("delay_ops") or {}),
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.crash_submit_after is not None:
+            parts.append(f"crash after submit #{self.crash_submit_after}")
+        if self.crash_result_before_ack is not None:
+            parts.append(
+                f"crash before ack of result #{self.crash_result_before_ack}")
+        if self.kill_worker_after_results is not None:
+            parts.append(
+                f"kill worker {self.kill_worker_index} after "
+                f"{self.kill_worker_after_results} result(s)")
+        if self.drop_ops:
+            parts.append("drop " + ",".join(
+                f"{op}x{n}" for op, n in sorted(self.drop_ops.items())))
+        if self.dup_ops:
+            parts.append("dup " + ",".join(
+                f"{op}x{n}" for op, n in sorted(self.dup_ops.items())))
+        if self.delay_ops:
+            parts.append("delay " + ",".join(
+                f"{op}+{s}s" for op, s in sorted(self.delay_ops.items())))
+        return "; ".join(parts) or "no faults"
+
+
+class ChaosEngine:
+    """Runtime counters deciding when the plan's faults fire.
+
+    One engine spans every coordinator incarnation in a chaos run —
+    crash points fire exactly once, frame-fault budgets deplete
+    globally — which is what makes chaos runs terminate.
+    """
+
+    def __init__(self, plan: FaultPlan, sleep=time.sleep):
+        self.plan = plan
+        self._sleep = sleep
+        self._submits = 0
+        self._results = 0
+        self._crashed_points: set[str] = set()
+        self._drop_left = dict(plan.drop_ops)
+        self._dup_left = dict(plan.dup_ops)
+        self.faults_fired: list[str] = []
+
+    # -- coordinator crash points -------------------------------------------
+
+    def on_submit_journalled(self) -> None:
+        """Crash point: the submit is durable, the client is unacked."""
+        self._submits += 1
+        n = self.plan.crash_submit_after
+        if (n is not None and self._submits >= n
+                and "submit_after" not in self._crashed_points):
+            self._crashed_points.add("submit_after")
+            self.faults_fired.append(f"crash@submit#{self._submits}")
+            raise ChaosCrash("submit-after-journal")
+
+    def on_result_journalled(self) -> None:
+        """Crash point: the result is durable, nobody has been told."""
+        self._results += 1
+        n = self.plan.crash_result_before_ack
+        if (n is not None and self._results >= n
+                and "result_before_ack" not in self._crashed_points):
+            self._crashed_points.add("result_before_ack")
+            self.faults_fired.append(f"crash@result#{self._results}")
+            raise ChaosCrash("result-before-ack")
+
+    # -- frame faults --------------------------------------------------------
+
+    def should_drop(self, op: str) -> bool:
+        left = self._drop_left.get(op, 0)
+        if left > 0:
+            self._drop_left[op] = left - 1
+            self.faults_fired.append(f"drop:{op}")
+            return True
+        return False
+
+    def should_duplicate(self, op: str) -> bool:
+        left = self._dup_left.get(op, 0)
+        if left > 0:
+            self._dup_left[op] = left - 1
+            self.faults_fired.append(f"dup:{op}")
+            return True
+        return False
+
+    def maybe_delay(self, op: str) -> None:
+        delay = self.plan.delay_ops.get(op)
+        if delay:
+            self._sleep(delay)
+
+    def status(self) -> dict:
+        return {
+            "seed": self.plan.seed,
+            "plan": self.plan.describe(),
+            "faults_fired": list(self.faults_fired),
+        }

@@ -32,6 +32,11 @@ op             payload                                           direction
 ``cache_query````{"key"}`` → ``cache_result {"key","payload"}``  client → c
 ``cache_push`` ``{"key","payload"}`` → ``cache_ack {"stored"}``  client → c
 ``shutdown``   ``{}`` — stop workers and exit                    client → c
+``reject``     ``{"worker": id, "key"}`` — busy, reassign it     worker → c
+``goodbye``    ``{"reason"}`` — coordinator leaving; reconnect   c → worker
+``journal_sync`` ``{"protocol": v}`` — standby subscribes        standby → c
+``journal_state`` ``{"snapshot": {...}}`` — sync base state      c → standby
+``journal_record`` ``{"record": {...}}`` — streamed WAL record   c → standby
 ============== ================================================= =========
 
 Fault tolerance: a worker that misses its lease (SIGKILL, network
@@ -59,12 +64,15 @@ from ..verify.cache import VerdictCache
 from ..verify.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    parse_address,
     recv_frame,
     send_frame,
 )
+from .chaos import ChaosCrash
+from .journal import Journal, ReplayState, _apply as _replay_apply
 from .state import JobEntry, JobQueue, LeaseTable, WorkerRecord
 
-__all__ = ["Coordinator"]
+__all__ = ["Coordinator", "StandbyCoordinator"]
 
 #: Seconds a blocking per-frame read may take before the peer is
 #: declared unresponsive (select says readable, so a healthy peer has
@@ -100,26 +108,48 @@ class Coordinator:
         max_frame: per-frame byte cap (None = protocol default).
         quiet: suppress per-event log lines (the hello line always
             prints).
+        state_dir: durable-state directory; when set, every queue
+            mutation is write-ahead journalled there and the
+            constructor *replays* any existing snapshot+journal, so a
+            restarted coordinator resumes the same content-keyed jobs.
+            ``cache_dir`` defaults to ``state_dir/cache`` so completed
+            verdicts survive alongside the queue.
+        chaos: optional :class:`repro.fabric.chaos.ChaosEngine` — fault
+            injection for the chaos smoke (crash points, frame faults).
+        default_max_attempts: retry budget for jobs that don't carry
+            their own ``max_attempts``.
+        snapshot_every: journal records between automatic compactions.
+        journal_fsync: disable only in tests (loses the WAL guarantee).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  lease_seconds: float = 15.0,
                  cache_dir=None, max_frame: int | None = None,
-                 quiet: bool = False):
+                 quiet: bool = False, state_dir=None, chaos=None,
+                 default_max_attempts: int = 3,
+                 snapshot_every: int = 512, journal_fsync: bool = True,
+                 preloaded: ReplayState | None = None):
         self.host = host
         self.port = port
         self.lease_seconds = lease_seconds
         self.max_frame = max_frame
         self.quiet = quiet
+        self.chaos = chaos
+        self.default_max_attempts = max(1, int(default_max_attempts))
+        if state_dir is not None and cache_dir is None:
+            cache_dir = os.path.join(str(state_dir), "cache")
         self.cache = VerdictCache(cache_dir)
         self.leases = LeaseTable(lease_seconds)
         self.queue = JobQueue()
         self._server: socket.socket | None = None
         self._peers: dict[socket.socket, _Peer] = {}
         self._worker_peers: dict[int, _Peer] = {}
+        self._standbys: list[_Peer] = []
         self._completed: dict[str, int | None] = {}  # key -> worker id
+        self._completed_payloads: dict[str, dict] = {}
         self._expired: set[str] = set()
         self._running = False
+        self._crashing = False
         self._wake_r, self._wake_w = os.pipe()
         self._started = time.monotonic()
         self._uncached_seq = 0
@@ -128,6 +158,8 @@ class Coordinator:
         self.jobs_completed = 0
         self.jobs_coalesced = 0
         self.jobs_timed_out = 0
+        self.jobs_failed = 0
+        self.jobs_recovered = 0
         self.duplicate_results = 0
         self.late_results = 0
         self.cache_hits_served = 0
@@ -135,12 +167,101 @@ class Coordinator:
         self.cache_query_hits = 0
         self.cache_pushes = 0
         self.cache_push_duplicates = 0
+        self.journal: Journal | None = None
+        if state_dir is not None:
+            self.journal = Journal(state_dir, snapshot_every=snapshot_every,
+                                   fsync=journal_fsync, log=self._log_always)
+            recovered = self.journal.recover()
+            if preloaded is not None:
+                recovered = preloaded  # standby promotion wins
+            self._load_state(recovered)
+            # Compact immediately: recovery replayed the WAL, so the
+            # fresh snapshot + empty journal prove the same state.
+            self.journal.write_snapshot(self._current_state())
+        elif preloaded is not None:
+            self._load_state(preloaded)
+
+    def _load_state(self, state: ReplayState) -> None:
+        """Adopt a replayed :class:`ReplayState` (recovery/promotion)."""
+        now = time.monotonic()
+        for key in (*state.pending, *state.completed):
+            # Keep the throwaway-key sequence ahead of every recovered
+            # key, or a fresh uncacheable submit would collide with a
+            # replayed one and wrongly coalesce two different jobs.
+            if key.startswith("uncached:"):
+                try:
+                    self._uncached_seq = max(self._uncached_seq,
+                                             int(key.split(":", 1)[1]))
+                except ValueError:
+                    pass
+        for key, record in state.completed.items():
+            self._completed[key] = record.get("worker")
+            self.jobs_recovered += 1
+            payload = record.get("payload")
+            if isinstance(payload, dict):
+                self._completed_payloads[key] = payload
+                if not key.startswith("uncached:") and \
+                        payload.get("verdict") not in ("timeout", "error"):
+                    self.cache.put(key, payload)
+        self._expired |= set(state.expired)
+        for key, rec in state.pending.items():
+            entry = JobEntry(
+                key=key, job=dict(rec.get("job") or {}),
+                hints=list(rec.get("hints") or ()),
+                variant=str(rec.get("variant") or ""),
+                cacheable=bool(rec.get("cacheable", True)),
+                submitted_at=now,  # the deadline_s clock restarts here
+                attempts=int(rec.get("attempts") or 0),
+                # failed_on worker ids die with the incarnation that
+                # issued them — a fresh LeaseTable reuses the ids.
+                failed_on=set())
+            self.queue.enqueue(entry, self.leases)
+            self.jobs_recovered += 1
+        self.jobs_submitted = state.jobs_submitted
+        self.jobs_completed = state.jobs_completed
+        self.queue.requeues = state.requeues
+        if self.jobs_recovered:
+            self._log_always(
+                f"recovered {self.queue.depth()} pending / "
+                f"{len(self._completed)} completed job(s) from durable state")
+
+    def _current_state(self) -> ReplayState:
+        """The live queue as a :class:`ReplayState` (for snapshots and
+        ``journal_state`` frames; completed payloads live in the cache)."""
+        state = ReplayState(
+            jobs_submitted=self.jobs_submitted,
+            jobs_completed=self.jobs_completed,
+            requeues=self.queue.requeues)
+        for key, entry in self.queue.entries.items():
+            if entry.state in ("queued", "assigned"):
+                state.pending[key] = {
+                    "job": entry.job, "hints": entry.hints,
+                    "variant": entry.variant, "cacheable": entry.cacheable,
+                    "attempts": entry.attempts,
+                    "failed_on": sorted(entry.failed_on),
+                }
+        for key, worker_id in self._completed.items():
+            state.completed[key] = {"worker": worker_id, "payload": None}
+        state.expired = set(self._expired)
+        return state
+
+    def _journal(self, record: dict) -> None:
+        """Durably journal one mutation and stream it to standbys."""
+        if self.journal is not None:
+            self.journal.append(record)
+        for standby in list(self._standbys):
+            self._send(standby, {"op": "journal_record", "record": record})
 
     # -- lifecycle -----------------------------------------------------------
 
     def _log(self, message: str) -> None:
         if not self.quiet:
             print(f"[coordinator] {message}", flush=True)
+
+    def _log_always(self, message: str) -> None:
+        """Warnings that print even under ``--quiet`` (recovery, torn
+        journals, failover)."""
+        print(f"[coordinator] {message}", flush=True)
 
     def bind(self) -> tuple[str, int]:
         """Bind the listening socket; returns the bound (host, port)."""
@@ -163,15 +284,52 @@ class Coordinator:
         except OSError:  # pragma: no cover - already closed
             pass
 
+    def crash(self) -> None:
+        """Die abruptly: no goodbye, no snapshot (thread-safe).
+
+        The test/chaos hook for simulating SIGKILL in-process — peers
+        see a dropped connection, and recovery must work from the WAL
+        alone.
+        """
+        self._crashing = True
+        self.shutdown()
+
     def serve(self) -> int:
-        """Run until :meth:`shutdown` (or a client ``shutdown`` op)."""
+        """Run until :meth:`shutdown` (or a client ``shutdown`` op).
+
+        A graceful exit (signal, ``shutdown`` op) snapshots durable
+        state and tells every worker ``goodbye`` so ``--reconnect``
+        workers re-dial instead of dying.  An injected
+        :class:`ChaosCrash` (or :meth:`crash`) skips both — it is
+        SIGKILL-equivalent.
+        """
         self.bind()
         self._running = True
         try:
             while self._running:
                 self._tick()
-        finally:
+        except BaseException:
+            # Crash path (ChaosCrash, real bugs, KeyboardInterrupt
+            # outside a handler): no goodbye, no snapshot — recovery
+            # must work from the WAL alone.
             self._close_all()
+            if self.journal is not None:
+                self.journal.close()
+            raise
+        if self._crashing:
+            self._close_all()
+            if self.journal is not None:
+                self.journal.close()
+            return 0
+        for worker_peer in list(self._worker_peers.values()):
+            self._send(worker_peer, {"op": "goodbye",
+                                     "reason": "coordinator shutting down"})
+        if self.journal is not None:
+            self.journal.write_snapshot(self._current_state())
+            self.journal.close()
+            self._log("state snapshotted to "
+                      f"{self.journal.state_dir}")
+        self._close_all()
         return 0
 
     def _tick(self) -> None:
@@ -196,8 +354,12 @@ class Coordinator:
             self._worker_died(record.worker_id,
                               f"missed lease by {now - record.lease_deadline:.1f}s")
         for entry in self.queue.expired(now):
-            self._expire_entry(entry)
+            self._attempt_expired(entry)
+        for entry in self.queue.past_deadline(now):
+            self._expire_entry(entry, reason="deadline_s exceeded")
         self._dispatch()
+        if self.journal is not None and self.journal.due_for_snapshot:
+            self.journal.write_snapshot(self._current_state())
 
     def _close_all(self) -> None:
         for peer in list(self._peers.values()):
@@ -207,6 +369,7 @@ class Coordinator:
                 pass
         self._peers.clear()
         self._worker_peers.clear()
+        self._standbys.clear()
         if self._server is not None:
             self._server.close()
             self._server = None
@@ -223,8 +386,15 @@ class Coordinator:
         self._peers[conn] = _Peer(conn, address)
 
     def _send(self, peer: _Peer, payload: dict) -> bool:
+        # Chaos frame faults are scoped to the coordinator↔worker
+        # boundary: that is where the recovery machinery (lease sweep,
+        # heartbeat resync, retry) lives.  Client-facing frames are
+        # never faulted — a dropped client result has no retransmit
+        # path and would only prove the client can hang.
+        chaos = self.chaos if peer.role == "worker" else None
         try:
-            send_frame(peer.sock, payload, max_frame=self.max_frame)
+            send_frame(peer.sock, payload, max_frame=self.max_frame,
+                       chaos=chaos)
             return True
         except (OSError, ProtocolError) as exc:
             self._drop_peer(peer, f"send failed: {exc}")
@@ -234,6 +404,8 @@ class Coordinator:
         if peer.sock not in self._peers:
             return
         del self._peers[peer.sock]
+        if peer in self._standbys:
+            self._standbys.remove(peer)
         try:
             peer.sock.close()
         except OSError:
@@ -266,8 +438,22 @@ class Coordinator:
         if frame is None:
             self._drop_peer(peer, "connection closed")
             return
+        if self.chaos is not None and peer.role == "worker":
+            # Receive-side chaos: the frame "never arrived" (drop) or
+            # "arrived twice" (dup).  Same per-op budgets as the send
+            # side — worker-facing ops only (see :meth:`_send`).
+            op = frame.get("op", "") if isinstance(frame, dict) else ""
+            if self.chaos.should_drop(op):
+                return
+            if self.chaos.should_duplicate(op):
+                self._handle_safely(peer, frame)
+        self._handle_safely(peer, frame)
+
+    def _handle_safely(self, peer: _Peer, frame: dict) -> None:
         try:
             self._handle(peer, frame)
+        except ChaosCrash:
+            raise  # the injected crash must kill the serve loop
         except Exception:  # noqa: BLE001 - the loop must survive any frame
             detail = traceback.format_exc(limit=4)
             self._log(f"frame handler failed:\n{detail}")
@@ -289,8 +475,12 @@ class Coordinator:
             self._dispatch()
         elif op == "result":
             self._handle_result(peer, frame)
+        elif op == "reject":
+            self._handle_reject(peer, frame)
         elif op == "goodbye":
             self._handle_goodbye(peer)
+        elif op == "journal_sync":
+            self._handle_journal_sync(peer, frame)
         elif op == "submit":
             self._handle_submit(peer, frame)
         elif op == "status":
@@ -347,21 +537,112 @@ class Coordinator:
         peer.worker_id = record.worker_id
         self._worker_peers[record.worker_id] = peer
         self._log(f"worker {record.worker_id} ({record.name}) registered")
-        if self._send(peer, {"op": "registered",
-                             "worker": record.worker_id,
-                             "lease_s": self.lease_seconds,
-                             "protocol": PROTOCOL_VERSION}):
-            self._dispatch()
+        if not self._send(peer, {"op": "registered",
+                                 "worker": record.worker_id,
+                                 "lease_s": self.lease_seconds,
+                                 "protocol": PROTOCOL_VERSION}):
+            return
+        # Re-adoption: a worker that kept grinding through a
+        # coordinator restart registers with its in-flight key.  If
+        # that job is pending again (the journal replayed it), hand the
+        # assignment back instead of running it twice — this is what
+        # keeps ``duplicate_results == 0`` across a clean recovery.
+        inflight = frame.get("inflight")
+        if isinstance(inflight, str):
+            entry = self.queue.take(inflight)
+            if entry is not None:
+                self._journal({"t": "assign", "key": entry.key,
+                               "worker": record.worker_id})
+                self.queue.assign(entry, record, time.monotonic())
+                self._log(f"re-adopted in-flight job {entry.key[:12]}… "
+                          f"on worker {record.worker_id}")
+        self._dispatch()
 
     def _handle_heartbeat(self, peer: _Peer, frame: dict) -> None:
-        record = self.leases.renew(frame.get("worker"), time.monotonic())
+        now = time.monotonic()
+        record = self.leases.renew(frame.get("worker"), now)
         if record is None:
             self._send(peer, {"op": "error",
                               "message": f"unknown worker "
                                          f"{frame.get('worker')!r}; "
                                          f"re-register"})
             return
+        self._resync_assignment(record, frame, now)
         self._send(peer, {"op": "lease", "lease_s": self.lease_seconds})
+
+    def _resync_assignment(self, record: WorkerRecord, frame: dict,
+                           now: float) -> None:
+        """Recover from a lost ``job``/``result`` frame via heartbeats.
+
+        Heartbeats carry the worker's actual in-flight key.  If it
+        disagrees with the coordinator's book-keeping for longer than a
+        lease, the assignment frame (or its result) was lost on the
+        wire: re-queue the job.  The age guard keeps a heartbeat that
+        merely *crossed* a fresh assignment in flight from triggering a
+        spurious requeue.  Heartbeats without the field (older workers)
+        skip resync entirely.
+        """
+        if "inflight" not in frame:
+            return
+        reported = frame.get("inflight")
+        if record.inflight_key is None or record.inflight_key == reported:
+            return
+        entry = self.queue.entries.get(record.inflight_key)
+        if entry is None or entry.state != "assigned" \
+                or entry.assigned_to != record.worker_id:
+            record.state = "idle" if reported is None else record.state
+            record.inflight_key = reported
+            return
+        if entry.assigned_at is None \
+                or now - entry.assigned_at <= self.lease_seconds:
+            return
+        self._log(f"worker {record.worker_id} lost track of job "
+                  f"{entry.key[:12]}… (reports {str(reported)[:12]}); "
+                  f"re-queueing")
+        self._journal({"t": "requeue", "key": entry.key,
+                       "worker": record.worker_id})
+        self.queue.requeue(entry.key, self.leases)
+        record.state = "idle" if reported is None else "busy"
+        record.inflight_key = reported
+
+    def _handle_reject(self, peer: _Peer, frame: dict) -> None:
+        """A worker refused an assignment (it was already busy)."""
+        record = self.leases.get(peer.worker_id) \
+            if peer.worker_id is not None else None
+        key = frame.get("key")
+        entry = self.queue.entries.get(key) if isinstance(key, str) else None
+        if entry is None or entry.state != "assigned":
+            return
+        if record is not None \
+                and entry.assigned_to == record.worker_id:
+            self._journal({"t": "requeue", "key": key,
+                           "worker": record.worker_id})
+            entry.failed_on.add(record.worker_id)
+            self.queue.requeue(key, self.leases)
+            # The worker is mid-grind on something else: it stays busy,
+            # and crucially its *real* in-flight key is untouched.
+            record.state = "busy"
+            self._log(f"worker {record.worker_id} rejected job "
+                      f"{str(key)[:12]}…; re-queued")
+            self._dispatch()
+
+    def _handle_journal_sync(self, peer: _Peer, frame: dict) -> None:
+        """A standby subscribes to the journal stream."""
+        if not self._version_ok(frame):
+            self._send(peer, {
+                "op": "error",
+                "message": f"protocol version mismatch: coordinator speaks "
+                           f"v{PROTOCOL_VERSION}, standby sent "
+                           f"{frame.get('protocol')!r}"})
+            self._drop_peer(peer, "version mismatch")
+            return
+        peer.role = "standby"
+        if self._send(peer, {"op": "journal_state",
+                             "protocol": PROTOCOL_VERSION,
+                             "lease_s": self.lease_seconds,
+                             "snapshot": self._current_state().to_snapshot()}):
+            self._standbys.append(peer)
+            self._log(f"standby subscribed from {peer.address}")
 
     def _handle_goodbye(self, peer: _Peer) -> None:
         if peer.worker_id is not None:
@@ -404,9 +685,19 @@ class Coordinator:
             entry = self.queue.entries.get(record.inflight_key)
             if entry is not None and entry.state == "assigned" \
                     and entry.assigned_to == worker_id:
-                self.queue.requeue(entry.key, self.leases)
-                self._log(f"re-queued job {entry.key[:12]}… "
-                          f"(attempt {entry.requeues + 1})")
+                if dead and entry.attempts >= self._retry_limit(entry):
+                    self._fail_entry(
+                        entry,
+                        f"worker died {entry.attempts} time(s) running "
+                        f"this job (max_attempts={self._retry_limit(entry)})")
+                else:
+                    self._journal({"t": "requeue", "key": entry.key,
+                                   "worker": worker_id})
+                    if dead:
+                        entry.failed_on.add(worker_id)
+                    self.queue.requeue(entry.key, self.leases)
+                    self._log(f"re-queued job {entry.key[:12]}… "
+                              f"(attempt {entry.requeues + 1})")
 
     def _worker_died(self, worker_id: int, reason: str) -> None:
         self._worker_gone(worker_id, reason, dead=True)
@@ -441,6 +732,11 @@ class Coordinator:
         key, cacheable = self._job_key(job, hints)
         if cacheable:
             payload = self.cache.get(key)
+            if payload is None:
+                # A journalled result whose verdict the cache refuses
+                # (timeout/error) still answers a re-submit — the job
+                # must not run again after a crash-recover.
+                payload = self._completed_payloads.get(key)
             if payload is not None:
                 self.cache_hits_served += 1
                 self._send(peer, {"op": "result", "tag": tag, "key": key,
@@ -459,6 +755,16 @@ class Coordinator:
                          cacheable=cacheable,
                          submitted_at=time.monotonic(),
                          waiters=[(peer, tag)])
+        self._journal({"t": "submit", "key": key, "job": job,
+                       "hints": hints, "variant": entry.variant,
+                       "cacheable": cacheable,
+                       "deadline_s": entry.deadline_s,
+                       "max_attempts": entry.max_attempts})
+        if self.chaos is not None:
+            # Crash point: the submit is durable but unacknowledged —
+            # recovery must replay it and the client's re-submit must
+            # coalesce onto it.
+            self.chaos.on_submit_journalled()
         self.queue.enqueue(entry, self.leases)
         self._dispatch()
 
@@ -474,6 +780,8 @@ class Coordinator:
                 if nxt is None:
                     continue
                 entry, stolen = nxt
+                self._journal({"t": "assign", "key": entry.key,
+                               "worker": record.worker_id})
                 if not self._send(peer, {"op": "job", "key": entry.key,
                                          "job": entry.job,
                                          "hints": entry.hints}):
@@ -501,19 +809,58 @@ class Coordinator:
                                                               "error"):
             self.cache.put(entry.key, payload)
 
-    def _expire_entry(self, entry: JobEntry) -> None:
+    def _retry_limit(self, entry: JobEntry) -> int:
+        limit = entry.max_attempts
+        return int(limit) if limit else self.default_max_attempts
+
+    def _attempt_expired(self, entry: JobEntry) -> None:
+        """A per-attempt execution deadline lapsed: retry elsewhere
+        while the budget and the worker pool allow, else go terminal."""
+        others = [w for w in self.leases.workers()
+                  if w.worker_id != entry.assigned_to]
+        if entry.attempts < self._retry_limit(entry) and others:
+            self._log(f"job {entry.key[:12]}… timed out on worker "
+                      f"{entry.assigned_to} (attempt {entry.attempts}); "
+                      f"retrying elsewhere")
+            self._journal({"t": "requeue", "key": entry.key,
+                           "worker": entry.assigned_to})
+            if entry.assigned_to is not None:
+                entry.failed_on.add(entry.assigned_to)
+            self.queue.requeue(entry.key, self.leases)
+            # The old worker is still grinding; its late result folds
+            # in idempotently if it ever lands.
+            return
+        self._expire_entry(entry, reason="execution timeout")
+
+    def _expire_entry(self, entry: JobEntry, reason: str) -> None:
         from ..campaign.executors import _timeout_result
         from ..campaign.spec import Job
 
         self.jobs_timed_out += 1
         payload = _timeout_result(Job.from_dict(entry.job)).to_dict()
+        self._journal({"t": "expire", "key": entry.key})
         self._deliver(entry, payload, "timeout", entry.assigned_to)
         self.queue.finish(entry.key)
         self._expired.add(entry.key)
-        self._log(f"job {entry.key[:12]}… timed out on worker "
-                  f"{entry.assigned_to}")
-        # The worker is still grinding; it stays busy until its (late)
-        # result arrives and is folded in as cache-only.
+        self._log(f"job {entry.key[:12]}… timed out "
+                  f"({reason}, attempt {entry.attempts}, worker "
+                  f"{entry.assigned_to})")
+        # An assigned worker is still grinding; it stays busy until its
+        # (late) result arrives and is folded in as cache-only.
+
+    def _fail_entry(self, entry: JobEntry, message: str) -> None:
+        """Terminal ERROR verdict: the retry budget is spent."""
+        from ..campaign.executors import _worker_death_result
+        from ..campaign.spec import Job
+
+        self.jobs_failed += 1
+        payload = _worker_death_result(Job.from_dict(entry.job),
+                                       message).to_dict()
+        self._journal({"t": "expire", "key": entry.key})
+        self._deliver(entry, payload, "error", entry.assigned_to)
+        self.queue.finish(entry.key)
+        self._expired.add(entry.key)
+        self._log(f"job {entry.key[:12]}… failed permanently: {message}")
 
     def _handle_result(self, peer: _Peer, frame: dict) -> None:
         record = self.leases.get(peer.worker_id) \
@@ -552,6 +899,16 @@ class Coordinator:
                 record.duplicates += 1
             self._dispatch()
             return
+        self._journal({"t": "result", "key": key,
+                       "worker": record.worker_id,
+                       "payload": payload if isinstance(payload, dict)
+                       else None})
+        if self.chaos is not None:
+            # Crash point: the result is durable but nobody — client or
+            # worker — has been told.  Recovery must serve the
+            # journalled payload to the re-submitting client without
+            # running the job again.
+            self.chaos.on_result_journalled()
         self.queue.finish(key)
         self._completed[key] = record.worker_id
         self.jobs_completed += 1
@@ -559,6 +916,7 @@ class Coordinator:
         if frame.get("cache_hit"):
             record.cache_hits += 1
         if isinstance(payload, dict):
+            self._completed_payloads[key] = payload
             self._store(entry, payload)
             self._deliver(entry, payload, "worker", record.worker_id)
         self._dispatch()
@@ -608,13 +966,22 @@ class Coordinator:
                 "jobs_coalesced": self.jobs_coalesced,
                 "jobs_requeued": self.queue.requeues,
                 "jobs_timed_out": self.jobs_timed_out,
+                "jobs_failed": self.jobs_failed,
+                "jobs_recovered": self.jobs_recovered,
+                "default_max_attempts": self.default_max_attempts,
                 "duplicate_results": self.duplicate_results,
                 "late_results": self.late_results,
+                "standbys": len(self._standbys),
+                "journal": self.journal.status()
+                if self.journal is not None else None,
+                "chaos": self.chaos.status()
+                if self.chaos is not None else None,
                 "steals": self.queue.steals,
                 "dead_workers": self.leases.dead,
                 "departed_workers": self.leases.departed,
                 "cache": {
                     "entries": len(self.cache),
+                    "quarantined": self.cache.quarantined,
                     "hits_served": self.cache_hits_served,
                     "queries": self.cache_queries,
                     "query_hits": self.cache_query_hits,
@@ -627,3 +994,165 @@ class Coordinator:
                 for w in self.leases.workers()
             },
         }
+
+
+class StandbyCoordinator:
+    """A warm standby: tails the primary's journal, promotes on loss.
+
+    The standby dials the primary, sends ``journal_sync`` and receives
+    the primary's full state as a ``journal_state`` snapshot followed
+    by a live stream of ``journal_record`` frames — each applied to an
+    in-memory :class:`ReplayState` (and persisted to the standby's own
+    ``--state-dir`` journal when given, so even a standby crash loses
+    nothing).  Liveness is lease-based: the standby pings whenever the
+    stream has been silent for a third of the primary's lease, and a
+    primary that stays silent past the lease — or drops the connection
+    and refuses ``reconnect_attempts`` re-dials — is declared dead.
+    Promotion constructs a :class:`Coordinator` preloaded with the
+    replayed state on the standby's own host:port and serves.
+
+    Split-brain caveat (documented residue): a network partition that
+    isolates a *live* primary from its standby promotes anyway.  Both
+    coordinators then serve — safely for verdicts (jobs are pure and
+    content-keyed) but with the worker pool split between them until
+    operators intervene.
+    """
+
+    def __init__(self, primary: str, host: str = "127.0.0.1",
+                 port: int = 0, lease_seconds: float = 15.0,
+                 cache_dir=None, state_dir=None,
+                 max_frame: int | None = None, quiet: bool = False,
+                 reconnect_attempts: int = 2, backoff_base: float = 0.5):
+        self.primary = parse_address(primary)
+        self.host = host
+        self.port = port
+        self.lease_seconds = lease_seconds
+        self.cache_dir = cache_dir
+        self.state_dir = state_dir
+        self.max_frame = max_frame
+        self.quiet = quiet
+        self.reconnect_attempts = max(0, int(reconnect_attempts))
+        self.backoff_base = backoff_base
+        self.state = ReplayState()
+        self.records_applied = 0
+        self._journal: Journal | None = None
+        self._running = True
+        self.coordinator: Coordinator | None = None
+
+    def _log(self, message: str) -> None:
+        print(f"[standby] {message}", flush=True)
+
+    def stop(self) -> None:
+        self._running = False
+        if self.coordinator is not None:
+            self.coordinator.shutdown()
+
+    def _apply_record(self, record: dict) -> None:
+        _replay_apply(self.state, record)
+        self.records_applied += 1
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def _sync_once(self) -> bool:
+        """One connected session with the primary.
+
+        Returns True if the session ended because the standby was
+        stopped, False if the primary must be presumed dead/unreachable
+        (caller decides between re-dial and promotion).
+        """
+        host, port = self.primary
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError as exc:
+            self._log(f"primary {host}:{port} unreachable: {exc}")
+            return False
+        try:
+            sock.settimeout(max(0.2, self.lease_seconds / 3.0))
+            send_frame(sock, {"op": "journal_sync",
+                              "protocol": PROTOCOL_VERSION},
+                       max_frame=self.max_frame)
+            last_heard = time.monotonic()
+            synced = False
+            while self._running:
+                try:
+                    frame = recv_frame(sock, max_frame=self.max_frame)
+                except socket.timeout:
+                    if time.monotonic() - last_heard > self.lease_seconds:
+                        self._log("primary silent past its lease")
+                        return False
+                    try:
+                        send_frame(sock, {"op": "ping"},
+                                   max_frame=self.max_frame)
+                    except OSError:
+                        return False
+                    continue
+                except (OSError, ConnectionError, ProtocolError) as exc:
+                    self._log(f"journal stream lost: {exc}")
+                    return False
+                if frame is None:
+                    self._log("primary closed the journal stream")
+                    return False
+                last_heard = time.monotonic()
+                op = frame.get("op")
+                if op == "journal_state":
+                    self.state = ReplayState.from_snapshot(
+                        frame.get("snapshot") or {})
+                    synced = True
+                    self._log(f"synced: {len(self.state.pending)} pending / "
+                              f"{len(self.state.completed)} completed")
+                elif op == "journal_record" and synced:
+                    record = frame.get("record")
+                    if isinstance(record, dict):
+                        self._apply_record(record)
+                elif op == "error":
+                    self._log(f"primary refused sync: "
+                              f"{frame.get('message')}")
+                    return True  # config error, not a dead primary
+                # pongs and anything else just refresh last_heard
+            return True
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def promote(self) -> Coordinator:
+        """Build the successor coordinator from the replayed state."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        self._log(f"promoting: {len(self.state.pending)} pending job(s) "
+                  f"carried over")
+        self.coordinator = Coordinator(
+            host=self.host, port=self.port,
+            lease_seconds=self.lease_seconds,
+            cache_dir=self.cache_dir, max_frame=self.max_frame,
+            quiet=self.quiet, state_dir=self.state_dir,
+            preloaded=self.state)
+        return self.coordinator
+
+    def run(self) -> int:
+        """Tail the primary until it dies, then take over."""
+        if self.state_dir is not None:
+            self._journal = Journal(self.state_dir, log=self._log)
+            # Tailing starts from the primary's snapshot, so the local
+            # journal records only this session's stream.
+            self._journal.write_snapshot(ReplayState())
+        failures = 0
+        while self._running:
+            if self._sync_once():
+                return 0  # stopped deliberately
+            failures += 1
+            if failures > self.reconnect_attempts:
+                break
+            delay = min(self.backoff_base * (2 ** (failures - 1)), 5.0)
+            self._log(f"re-dialling primary in {delay:.1f}s "
+                      f"(attempt {failures}/{self.reconnect_attempts})")
+            time.sleep(delay)
+        if not self._running:
+            return 0
+        if self._journal is not None:
+            # Persist what the stream delivered so the promoted
+            # coordinator's own recovery sees it too.
+            self._journal.write_snapshot(self.state)
+        return self.promote().serve()

@@ -1,0 +1,378 @@
+"""Durable coordinator state: write-ahead journal + compacted snapshots.
+
+The coordinator's queue is rebuilt across process death from two files
+under ``--state-dir``:
+
+* ``journal.wal`` — an append-only *write-ahead journal* of queue
+  mutations.  Each record is one length-prefixed, CRC-32-checked JSON
+  blob, flushed and ``fsync``'d before the mutation is acted on, so a
+  mutation the coordinator acknowledged is a mutation the journal
+  holds.  A torn or corrupt tail (the crash hit mid-write) is
+  **truncated with a warning, never a crash** — everything before the
+  tear replays.
+* ``snapshot.json`` — a periodically-compacted snapshot of the replayed
+  state.  Writing a snapshot truncates the journal, bounding both
+  recovery time and disk use.
+
+Recovery is ``replay(snapshot, records)`` — a *pure function* from a
+snapshot dict plus a record sequence to a :class:`ReplayState`, so the
+property tests can drive it with arbitrary prefixes (any prefix of a
+valid journal is itself a valid journal: the crash may land anywhere).
+Because jobs are keyed by their content address, replay is idempotent
+by construction: a duplicate ``submit`` folds into the existing entry,
+a ``result`` for a completed key is ignored, and a client re-submitting
+after the crash is answered from the journalled result instead of
+re-running the job.
+
+Record vocabulary (the ``"t"`` discriminator):
+
+=========== ================================================== =========
+t           payload                                            meaning
+=========== ================================================== =========
+``submit``  ``{"key","job","hints","variant","cacheable"}``    job queued
+``assign``  ``{"key","worker"}``                               attempt started
+``requeue`` ``{"key","worker"}``                               attempt failed
+``result``  ``{"key","worker","payload"}``                     job completed
+``expire``  ``{"key","verdict","payload"}``                    terminal fault
+=========== ================================================== =========
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ReplayState",
+    "replay",
+    "read_journal",
+    "append_record",
+    "Journal",
+]
+
+#: Per-record header: payload byte length + CRC-32 of the payload.
+_RECORD_HEADER = struct.Struct(">II")
+
+#: Snapshot schema revision (bumped only on incompatible layout change).
+SNAPSHOT_VERSION = 1
+
+
+# -- the pure replay model ----------------------------------------------------
+
+
+@dataclass
+class ReplayState:
+    """The coordinator state a snapshot + journal replays to.
+
+    ``pending`` maps content keys to entry dicts (``job``/``hints``/
+    ``variant``/``cacheable``/``attempts``/``failed_on``); ``completed``
+    maps keys to ``{"worker", "payload"}`` (payload None once compacted
+    into a snapshot — the verdict then lives in the disk cache);
+    ``expired`` holds keys that ended in a terminal ``TIMEOUT``/
+    ``ERROR`` verdict.
+    """
+
+    pending: dict = field(default_factory=dict)
+    completed: dict = field(default_factory=dict)
+    expired: set = field(default_factory=set)
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    requeues: int = 0
+
+    def to_snapshot(self) -> dict:
+        """The compact JSON form (payloads dropped — see class doc)."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "pending": {
+                key: {k: v for k, v in entry.items()}
+                for key, entry in self.pending.items()
+            },
+            "completed": {
+                key: {"worker": record.get("worker")}
+                for key, record in self.completed.items()
+            },
+            "expired": sorted(self.expired),
+            "counters": {
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_completed": self.jobs_completed,
+                "requeues": self.requeues,
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "ReplayState":
+        counters = data.get("counters") or {}
+        state = cls(
+            pending={str(k): dict(v)
+                     for k, v in (data.get("pending") or {}).items()},
+            completed={str(k): dict(v)
+                       for k, v in (data.get("completed") or {}).items()},
+            expired=set(data.get("expired") or ()),
+            jobs_submitted=int(counters.get("jobs_submitted") or 0),
+            jobs_completed=int(counters.get("jobs_completed") or 0),
+            requeues=int(counters.get("requeues") or 0),
+        )
+        return state
+
+
+def _apply(state: ReplayState, record: dict) -> None:
+    """Fold one journal record into ``state`` (idempotent, total)."""
+    kind = record.get("t")
+    key = record.get("key")
+    if not isinstance(key, str):
+        return  # malformed record: skip, never crash a recovery
+    if kind == "submit":
+        if key in state.pending or key in state.completed:
+            return  # duplicate submit: the content key folds it in
+        state.pending[key] = {
+            "job": record.get("job") or {},
+            "hints": list(record.get("hints") or ()),
+            "variant": str(record.get("variant") or ""),
+            "cacheable": bool(record.get("cacheable", True)),
+            "deadline_s": record.get("deadline_s"),
+            "max_attempts": record.get("max_attempts"),
+            "attempts": 0,
+            "failed_on": [],
+        }
+        state.jobs_submitted += 1
+    elif kind == "assign":
+        entry = state.pending.get(key)
+        if entry is not None:
+            entry["attempts"] = int(entry.get("attempts") or 0) + 1
+    elif kind == "requeue":
+        entry = state.pending.get(key)
+        if entry is not None:
+            state.requeues += 1
+            worker = record.get("worker")
+            if worker is not None and worker not in entry["failed_on"]:
+                entry["failed_on"].append(worker)
+    elif kind == "result":
+        if key in state.completed:
+            return  # duplicate/late result: first one won
+        state.pending.pop(key, None)
+        state.expired.discard(key)
+        state.completed[key] = {
+            "worker": record.get("worker"),
+            "payload": record.get("payload"),
+        }
+        state.jobs_completed += 1
+    elif kind == "expire":
+        state.pending.pop(key, None)
+        state.expired.add(key)
+    # Unknown kinds from a newer writer are skipped: replay is forward-
+    # compatible by construction.
+
+
+def replay(snapshot: dict | None, records) -> ReplayState:
+    """Rebuild coordinator state from a snapshot plus journal records.
+
+    Pure and total: any snapshot dict (or None) plus any prefix of a
+    recorded journal yields a valid state — malformed records are
+    skipped, duplicates fold in, and the pending/completed sets stay
+    disjoint.
+    """
+    state = ReplayState.from_snapshot(snapshot) if snapshot else ReplayState()
+    for record in records:
+        if isinstance(record, dict):
+            _apply(state, record)
+    return state
+
+
+# -- record framing -----------------------------------------------------------
+
+
+def append_record(fh, record: dict, fsync: bool = True) -> int:
+    """Append one framed record to an open binary file; bytes written.
+
+    The frame is ``>II`` (length, CRC-32) + UTF-8 JSON.  The write is
+    flushed and (by default) ``fsync``'d before returning — the WAL
+    discipline: the record is durable before the caller acts on it.
+    """
+    blob = json.dumps(record, separators=(",", ":")).encode()
+    fh.write(_RECORD_HEADER.pack(len(blob), zlib.crc32(blob)) + blob)
+    fh.flush()
+    if fsync:
+        os.fsync(fh.fileno())
+    return _RECORD_HEADER.size + len(blob)
+
+
+def read_journal(source) -> tuple[list[dict], int, str | None]:
+    """Read every intact record: ``(records, good_bytes, problem)``.
+
+    ``source`` is a path or bytes.  Reading stops at the first torn or
+    corrupt record — a short header, a short payload, a CRC mismatch or
+    non-JSON bytes — and ``problem`` describes it (None for a clean
+    file).  ``good_bytes`` is the offset the caller should truncate the
+    file to before appending new records.
+    """
+    if isinstance(source, (bytes, bytearray)):
+        data = bytes(source)
+    else:
+        try:
+            data = pathlib.Path(source).read_bytes()
+        except FileNotFoundError:
+            return [], 0, None
+    records: list[dict] = []
+    offset = 0
+    stream = io.BytesIO(data)
+    while True:
+        header = stream.read(_RECORD_HEADER.size)
+        if not header:
+            return records, offset, None
+        if len(header) < _RECORD_HEADER.size:
+            return records, offset, "torn record header"
+        length, crc = _RECORD_HEADER.unpack(header)
+        blob = stream.read(length)
+        if len(blob) < length:
+            return records, offset, f"torn record payload ({len(blob)}/{length} bytes)"
+        if zlib.crc32(blob) != crc:
+            return records, offset, "record CRC mismatch"
+        try:
+            record = json.loads(blob.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, offset, "record payload is not valid JSON"
+        if not isinstance(record, dict):
+            return records, offset, "record payload is not an object"
+        records.append(record)
+        offset += _RECORD_HEADER.size + length
+
+
+# -- the state-dir manager ----------------------------------------------------
+
+
+class Journal:
+    """One ``--state-dir``: a snapshot file plus the live WAL.
+
+    Args:
+        state_dir: directory holding ``snapshot.json`` + ``journal.wal``
+            (created if missing).
+        snapshot_every: journal records between automatic compactions.
+        fsync: disable only in tests — without it a crash may lose the
+            tail the coordinator already acknowledged.
+        log: warning sink (``print`` by default).
+    """
+
+    SNAPSHOT = "snapshot.json"
+    WAL = "journal.wal"
+
+    def __init__(self, state_dir, snapshot_every: int = 512,
+                 fsync: bool = True, log=print):
+        self.state_dir = pathlib.Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.snapshot_every = max(1, int(snapshot_every))
+        self.fsync = fsync
+        self._log = log
+        self.snapshot_path = self.state_dir / self.SNAPSHOT
+        self.wal_path = self.state_dir / self.WAL
+        self._fh = None
+        self._records_since_snapshot = 0
+        self.records_appended = 0
+        self.snapshots_written = 0
+        self.recovered_truncated: str | None = None
+
+    # -- recovery ------------------------------------------------------------
+
+    def _load_snapshot(self) -> dict | None:
+        try:
+            data = json.loads(self.snapshot_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            # A corrupt snapshot (torn replace on a weird filesystem) is
+            # quarantined; the journal alone still replays.
+            self._log(f"[journal] snapshot unreadable ({exc}); "
+                      f"quarantined as {self.snapshot_path.name}.bad")
+            try:
+                self.snapshot_path.replace(
+                    self.snapshot_path.with_name(
+                        self.snapshot_path.name + ".bad"))
+            except OSError:
+                pass
+            return None
+        return data if isinstance(data, dict) else None
+
+    def recover(self) -> ReplayState:
+        """Replay snapshot + journal; truncate any torn tail; reopen.
+
+        After this call the journal is open for appending and the
+        returned state is exactly what the on-disk files prove.
+        """
+        snapshot = self._load_snapshot()
+        records, good_bytes, problem = read_journal(self.wal_path)
+        if problem is not None:
+            self._log(f"[journal] {self.wal_path.name}: {problem} — "
+                      f"truncating to last intact record "
+                      f"({good_bytes} bytes, {len(records)} record(s))")
+            self.recovered_truncated = problem
+            with open(self.wal_path, "r+b") as fh:
+                fh.truncate(good_bytes)
+                if self.fsync:
+                    os.fsync(fh.fileno())
+        state = replay(snapshot, records)
+        self._records_since_snapshot = len(records)
+        self._open()
+        return state
+
+    # -- appending -----------------------------------------------------------
+
+    def _open(self) -> None:
+        if self._fh is None:
+            self._fh = open(self.wal_path, "ab")
+
+    def append(self, record: dict) -> None:
+        """Durably append one mutation record (WAL discipline)."""
+        self._open()
+        append_record(self._fh, record, fsync=self.fsync)
+        self.records_appended += 1
+        self._records_since_snapshot += 1
+
+    @property
+    def due_for_snapshot(self) -> bool:
+        return self._records_since_snapshot >= self.snapshot_every
+
+    # -- compaction ----------------------------------------------------------
+
+    def write_snapshot(self, state: ReplayState) -> None:
+        """Atomically write a compacted snapshot and truncate the WAL.
+
+        Order matters: the snapshot must be durable *before* the journal
+        is truncated, or a crash between the two loses state.
+        """
+        tmp = self.snapshot_path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(state.to_snapshot(), fh)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        tmp.replace(self.snapshot_path)
+        if self._fh is not None:
+            self._fh.close()
+        self._fh = open(self.wal_path, "wb")  # truncate
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._records_since_snapshot = 0
+        self.snapshots_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def status(self) -> dict:
+        """JSON-ready journal counters for the ``status`` op."""
+        return {
+            "state_dir": str(self.state_dir),
+            "records_appended": self.records_appended,
+            "snapshots_written": self.snapshots_written,
+            "records_since_snapshot": self._records_since_snapshot,
+            "recovered_truncated": self.recovered_truncated,
+        }

@@ -33,9 +33,11 @@ import threading
 import time
 
 from . import fetch_status, request_shutdown
+from .chaos import ChaosCrash, ChaosEngine, FaultPlan
 from .coordinator import Coordinator
 
-__all__ = ["run_smoke", "diff_campaigns", "spawn_fabric_worker"]
+__all__ = ["run_smoke", "run_chaos_smoke", "diff_campaigns",
+           "spawn_fabric_worker"]
 
 
 def diff_campaigns(reference, other) -> list[str]:
@@ -242,3 +244,173 @@ def run_smoke(workers: int = 2, kill_one: bool = True,
                 except subprocess.TimeoutExpired:
                     proc.terminate()
                     proc.wait(timeout=5)
+
+
+def run_chaos_smoke(seed: int = 0, workers: int = 2,
+                    status_json: str | None = None,
+                    lease_seconds: float = 2.0,
+                    state_dir: str | None = None,
+                    log=print) -> dict:
+    """The deterministic fault-injection smoke: chaos, then bit-identity.
+
+    Samples a :class:`~repro.fabric.chaos.FaultPlan` from ``seed``
+    (``seed % 3`` picks the profile: 0 = coordinator crash, 1 = worker
+    SIGKILL, 2 = frame drop/duplicate/delay), runs the CI smoke grid
+    through the faulted fabric — restarting the coordinator against the
+    same ``--state-dir`` whenever an injected crash kills it — and
+    asserts the verdict matrix is **bit-identical** to a serial
+    reference run.  Raises :class:`AssertionError` on any divergence or
+    on a plan whose faults never fired.
+    """
+    import tempfile
+
+    from ..campaign.executors import FabricExecutor, SerialExecutor
+    from ..campaign.grids import smoke_spec
+    from ..campaign.runner import run_campaign
+
+    plan = FaultPlan.sample(seed)
+    engine = ChaosEngine(plan)
+    log(f"chaos plan (seed {seed}): {plan.describe()}")
+
+    log("serial reference run…")
+    serial = run_campaign(smoke_spec(), executor=SerialExecutor())
+
+    own_state = None
+    if state_dir is None:
+        own_state = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        state_dir = own_state.name
+
+    coordinator = Coordinator(port=0, lease_seconds=lease_seconds,
+                              quiet=True, state_dir=state_dir, chaos=engine)
+    host, port = coordinator.bind()
+    address = f"{host}:{port}"
+    current = {"c": coordinator}
+    crashes: list[str] = []
+    stopping = threading.Event()
+
+    def supervise() -> None:
+        # The ops-runbook loop, in miniature: serve until a chaos crash
+        # (SIGKILL-equivalent — no goodbye, no snapshot), then restart
+        # on the same port against the same state dir and let WAL
+        # recovery prove itself.
+        while True:
+            try:
+                current["c"].serve()
+                return
+            except ChaosCrash as crash:
+                crashes.append(crash.point)
+                log(f"chaos: coordinator crashed at {crash.point!r}; "
+                    f"restarting on {address}")
+            except Exception as exc:  # noqa: BLE001 - surfaced via summary
+                if not stopping.is_set():
+                    crashes.append(f"unexpected: {exc}")
+                return
+            if stopping.is_set():
+                return
+            successor = Coordinator(host=host, port=port,
+                                    lease_seconds=lease_seconds, quiet=True,
+                                    state_dir=state_dir, chaos=engine)
+            for _ in range(50):
+                try:
+                    successor.bind()
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            current["c"] = successor
+
+    thread = threading.Thread(target=supervise, name="fabric-supervisor",
+                              daemon=True)
+    thread.start()
+    procs: list[subprocess.Popen] = []
+    try:
+        procs = [spawn_fabric_worker(address, name=f"chaos-{i}")
+                 for i in range(workers)]
+        _wait_for_workers(address, workers)
+        log(f"fabric up: coordinator {address} (state {state_dir}), "
+            f"{workers} worker(s)")
+
+        results_seen = {"n": 0}
+        killed = {"pid": None}
+
+        def on_result(_result) -> None:
+            results_seen["n"] += 1
+            if (plan.kill_worker_after_results is not None
+                    and killed["pid"] is None
+                    and results_seen["n"] >= plan.kill_worker_after_results):
+                victim = procs[(plan.kill_worker_index or 0) % len(procs)]
+                if victim.poll() is None:
+                    victim.send_signal(signal.SIGKILL)
+                    killed["pid"] = victim.pid
+                    log(f"chaos: SIGKILLed worker pid {victim.pid} after "
+                        f"result {results_seen['n']}")
+
+        log("fabric run under chaos…")
+        fabric = run_campaign(
+            smoke_spec(),
+            executor=FabricExecutor(address, submit_timeout=120.0),
+            on_result=on_result,
+        )
+        problems = diff_campaigns(serial, fabric)
+        if problems:
+            raise AssertionError(
+                "chaos run is not bit-identical to serial:\n  "
+                + "\n  ".join(problems))
+        log(f"verdict matrix identical to serial "
+            f"({fabric.wall_seconds:.2f}s wall)")
+
+        # The plan must actually have bitten — a chaos smoke whose
+        # faults never fire is a vacuous pass.
+        profile = seed % 3
+        if profile == 0 and not crashes:
+            raise AssertionError(
+                "profile 0 planned a coordinator crash but none fired")
+        if profile == 1 and killed["pid"] is None:
+            raise AssertionError(
+                "profile 1 planned a worker SIGKILL but none fired")
+        if profile == 2 and not engine.faults_fired:
+            raise AssertionError(
+                "profile 2 planned frame faults but none fired")
+
+        status = None
+        try:
+            status = fetch_status(address)
+        except (OSError, ConnectionError):
+            pass  # executor may have finished inline after a late crash
+
+        summary = {
+            "seed": seed,
+            "plan": plan.to_dict(),
+            "profile": profile,
+            "coordinator": address,
+            "state_dir": str(state_dir),
+            "workers": workers,
+            "crashes": crashes,
+            "killed_worker_pid": killed["pid"],
+            "faults_fired": list(engine.faults_fired),
+            "verdicts": serial.verdicts(),
+            "serial_wall_s": round(serial.wall_seconds, 3),
+            "fabric_wall_s": round(fabric.wall_seconds, 3),
+            "status": status,
+        }
+        if status_json:
+            path = pathlib.Path(status_json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(summary, indent=2) + "\n")
+            log(f"status artifact: {path}")
+        return summary
+    finally:
+        stopping.set()
+        try:
+            request_shutdown(address)
+        except (OSError, ConnectionError):
+            current["c"].shutdown()
+        thread.join(timeout=10)
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    proc.wait(timeout=5)
+        if own_state is not None:
+            own_state.cleanup()

@@ -157,10 +157,27 @@ class JobEntry:
     assigned_to: int | None = None
     deadline: float | None = None
     requeues: int = 0
+    #: Assignment attempts so far (bumped by :meth:`JobQueue.assign`).
+    attempts: int = 0
+    #: Workers this entry already failed on (death/timeout/reject) —
+    #: placement avoids them so a retry lands somewhere else.
+    failed_on: set = field(default_factory=set)
+    assigned_at: float | None = None
+    #: Absolute wall-clock cutoff from the job's ``deadline_s`` —
+    #: end-to-end from submit, unlike the per-attempt execution timeout.
+    deadline_at: float | None = None
 
     @property
     def timeout_seconds(self) -> float | None:
         return self.job.get("timeout_seconds")
+
+    @property
+    def deadline_s(self) -> float | None:
+        return self.job.get("deadline_s")
+
+    @property
+    def max_attempts(self) -> int | None:
+        return self.job.get("max_attempts")
 
 
 class JobQueue:
@@ -195,6 +212,11 @@ class JobQueue:
                    if w.worker_id in self._backlogs]
         if not workers:
             return None
+        # Retry policy: avoid workers this entry already failed on —
+        # but only while alternatives exist (never wedge a one-worker
+        # fabric on a retry).
+        fresh = [w for w in workers if w.worker_id not in entry.failed_on]
+        workers = fresh or workers
         # Locality first: a worker whose last assignment shares the
         # design keeps its caches (disk verdict store, OS page cache,
         # eventually warm sessions) hot for this variant.
@@ -209,6 +231,9 @@ class JobQueue:
         self.entries[entry.key] = entry
         entry.state = "queued"
         entry.assigned_to = None
+        entry.assigned_at = None
+        if entry.deadline_at is None and entry.deadline_s:
+            entry.deadline_at = entry.submitted_at + entry.deadline_s
         backlog = self._target_backlog(entry, leases)
         if backlog is None:
             self._unassigned.append(entry.key)
@@ -229,16 +254,28 @@ class JobQueue:
     # -- dispatch ------------------------------------------------------------
 
     def _pop_matching(self, backlog: deque, variant: str | None,
-                      from_tail: bool) -> str | None:
+                      from_tail: bool, avoid=None) -> str | None:
         if not backlog:
             return None
+        order = list(reversed(backlog) if from_tail else backlog)
+        pick = None
         if variant is not None:
-            for key in (reversed(backlog) if from_tail else backlog):
+            for key in order:
                 entry = self.entries.get(key)
-                if entry is not None and entry.variant == variant:
-                    backlog.remove(key)
-                    return key
-        return backlog.pop() if from_tail else backlog.popleft()
+                if (entry is not None and entry.variant == variant
+                        and not (avoid is not None and avoid(entry))):
+                    pick = key
+                    break
+        if pick is None:
+            for key in order:
+                entry = self.entries.get(key)
+                if entry is None or avoid is None or not avoid(entry):
+                    pick = key
+                    break
+        if pick is None:
+            return None
+        backlog.remove(pick)
+        return pick
 
     def next_for(self, worker: WorkerRecord) -> tuple[JobEntry, bool] | None:
         """The next entry for an idle worker: ``(entry, stolen)``.
@@ -247,12 +284,24 @@ class JobQueue:
         variant), then the unassigned pool, then a steal from the back
         of the longest peer backlog.
         """
+        # A retrying entry avoids the workers it failed on — but only
+        # while the fabric has anyone else (a one-worker fabric still
+        # makes progress).
+        avoid = None
+        if len(self._backlogs) > 1:
+            avoid = lambda e: worker.worker_id in e.failed_on
         own = self._backlogs.get(worker.worker_id)
-        key = self._pop_matching(own, worker.last_variant, from_tail=False) \
+        key = self._pop_matching(own, worker.last_variant, from_tail=False,
+                                 avoid=avoid) \
             if own is not None else None
         stolen = False
         if key is None and self._unassigned:
-            key = self._unassigned.popleft()
+            for candidate in self._unassigned:
+                entry = self.entries.get(candidate)
+                if entry is None or avoid is None or not avoid(entry):
+                    key = candidate
+                    self._unassigned.remove(candidate)
+                    break
         if key is None:
             victims = [(wid, backlog)
                        for wid, backlog in self._backlogs.items()
@@ -260,7 +309,7 @@ class JobQueue:
             if victims:
                 _, backlog = max(victims, key=lambda v: len(v[1]))
                 key = self._pop_matching(backlog, worker.last_variant,
-                                         from_tail=True)
+                                         from_tail=True, avoid=avoid)
                 stolen = key is not None
         if key is None:
             return None
@@ -270,10 +319,33 @@ class JobQueue:
             worker.steals += 1
         return entry, stolen
 
+    def take(self, key: str) -> JobEntry | None:
+        """Pull a *queued* entry out of whichever backlog holds it.
+
+        Used for assignment re-adoption: a worker that kept grinding
+        through a coordinator restart claims its in-flight job back
+        before the dispatcher can hand it to someone else.
+        """
+        entry = self.entries.get(key)
+        if entry is None or entry.state != "queued":
+            return None
+        for backlog in self._backlogs.values():
+            try:
+                backlog.remove(key)
+            except ValueError:
+                pass
+        try:
+            self._unassigned.remove(key)
+        except ValueError:
+            pass
+        return entry
+
     def assign(self, entry: JobEntry, worker: WorkerRecord,
                now: float) -> None:
         entry.state = "assigned"
         entry.assigned_to = worker.worker_id
+        entry.assigned_at = now
+        entry.attempts += 1
         timeout = entry.timeout_seconds
         entry.deadline = (now + timeout) if timeout else None
         worker.state = "busy"
@@ -311,9 +383,24 @@ class JobQueue:
     def next_deadline(self) -> float | None:
         deadlines = [e.deadline for e in self.entries.values()
                      if e.state == "assigned" and e.deadline is not None]
+        deadlines += [e.deadline_at for e in self.entries.values()
+                      if e.state in ("queued", "assigned")
+                      and e.deadline_at is not None]
         return min(deadlines) if deadlines else None
 
     def expired(self, now: float) -> list[JobEntry]:
+        """Entries past their *per-attempt* execution deadline."""
         return [e for e in self.entries.values()
                 if e.state == "assigned" and e.deadline is not None
                 and e.deadline <= now]
+
+    def past_deadline(self, now: float) -> list[JobEntry]:
+        """Entries past their *end-to-end* ``deadline_s`` cutoff.
+
+        Unlike :meth:`expired` this also covers queued entries — a job
+        nobody ever picked up still times out instead of wedging its
+        client forever.
+        """
+        return [e for e in self.entries.values()
+                if e.state in ("queued", "assigned")
+                and e.deadline_at is not None and e.deadline_at <= now]

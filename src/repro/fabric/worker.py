@@ -39,7 +39,7 @@ from ..verify.cache import VerdictCache
 from ..verify.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
-    parse_address,
+    parse_endpoints,
     recv_frame,
     send_frame,
 )
@@ -80,7 +80,12 @@ class WorkerSupervisor:
     """One fabric worker: register, heartbeat, run jobs, reconnect.
 
     Args:
-        connect: coordinator address (``"host:port"`` or tuple).
+        connect: coordinator endpoint(s): ``"host:port"``, a
+            comma-separated failover list
+            (``"primary:9000,standby:9001"``), a tuple, or a list of
+            either.  Each dial attempt tries the next endpoint in the
+            rotation, so a worker follows a promoted standby without
+            operator action.
         name: advertised worker name (default ``host:pid``).
         reconnect: keep re-dialling (exponential backoff + jitter) when
             the coordinator goes away instead of exiting 1.
@@ -100,8 +105,11 @@ class WorkerSupervisor:
                  cache_dir=None, max_frame: int | None = None,
                  connect_timeout: float = 5.0, quiet: bool = False,
                  rng=None):
-        self.address = parse_address(connect) \
-            if isinstance(connect, str) else tuple(connect)
+        if isinstance(connect, tuple):
+            connect = [connect]
+        self.endpoints = parse_endpoints(connect)
+        self.address = self.endpoints[0]
+        self._endpoint_idx = 0
         self.name = name or f"{socket.gethostname()}:{os.getpid()}"
         self.reconnect = reconnect
         self.backoff_base = backoff_base
@@ -188,19 +196,38 @@ class WorkerSupervisor:
 
     # -- one connection ------------------------------------------------------
 
+    def _inflight_key(self) -> str | None:
+        """The key this worker is grinding on right now, if any —
+        carried in register and heartbeat frames so the coordinator can
+        re-adopt (restart) or resync (lost frame) the assignment."""
+        run = self._current
+        return run.key if run is not None else None
+
     def _connect_and_register(self) -> str | None:
-        try:
-            sock = socket.create_connection(self.address,
-                                            timeout=self.connect_timeout)
-        except OSError as exc:
-            host, port = self.address
-            self._log(f"cannot reach coordinator {host}:{port}: {exc}")
+        sock = None
+        # Walk the failover rotation once per dial attempt, starting
+        # from wherever the last successful dial left off.
+        for offset in range(len(self.endpoints)):
+            idx = (self._endpoint_idx + offset) % len(self.endpoints)
+            address = self.endpoints[idx]
+            try:
+                sock = socket.create_connection(address,
+                                                timeout=self.connect_timeout)
+            except OSError as exc:
+                host, port = address
+                self._log(f"cannot reach coordinator {host}:{port}: {exc}")
+                continue
+            self._endpoint_idx = idx
+            self.address = address
+            break
+        if sock is None:
             return "lost"
         sock.settimeout(None)
         try:
             send_frame(sock, {"op": "register",
                               "protocol": PROTOCOL_VERSION,
-                              "name": self.name, "pid": os.getpid()},
+                              "name": self.name, "pid": os.getpid(),
+                              "inflight": self._inflight_key()},
                        max_frame=self.max_frame)
             reply = recv_frame(sock, max_frame=self.max_frame)
         except (OSError, ProtocolError):
@@ -221,6 +248,9 @@ class WorkerSupervisor:
         self.lease_seconds = float(reply.get("lease_s") or 15.0)
         self._sock = sock
         self._registered_this_dial = True
+        # Point the cache's remote tier at whichever endpoint won, so
+        # fetch-on-miss follows a failover too.
+        self.cache.retarget(self.address)
         host, port = self.address
         self._log(f"registered with {host}:{port} "
                   f"(lease {self.lease_seconds:.0f}s)")
@@ -254,7 +284,8 @@ class WorkerSupervisor:
                     if not self._send({"op": "heartbeat",
                                        "worker": self.worker_id,
                                        "state": "busy" if self._current
-                                       else "idle"}):
+                                       else "idle",
+                                       "inflight": self._inflight_key()}):
                         return "lost"
         finally:
             self._close_socket()
@@ -292,12 +323,24 @@ class WorkerSupervisor:
             self._log("coordinator asked for shutdown")
             self._stopping = True
             return self._drain_and_goodbye()
+        elif op == "goodbye":
+            # The coordinator is leaving gracefully (signal).  With
+            # --reconnect, treat it like a lost connection and re-dial
+            # through the endpoint rotation (a standby may be taking
+            # over); without, exit cleanly — this is not a crash.
+            self._log(f"coordinator said goodbye "
+                      f"({frame.get('reason') or 'no reason'})")
+            if self.reconnect:
+                return "lost"
+            self._stopping = True
+            return "done"
         elif op == "error":
             message = str(frame.get("message") or "")
             if "re-register" in message:
                 if not self._send({"op": "register",
                                    "protocol": PROTOCOL_VERSION,
-                                   "name": self.name, "pid": os.getpid()}):
+                                   "name": self.name, "pid": os.getpid(),
+                                   "inflight": self._inflight_key()}):
                     return "lost"
             else:
                 self._log(f"coordinator error: {message}")
@@ -328,11 +371,13 @@ class WorkerSupervisor:
                             "cache_hit": True, "worker": self.worker_id})
                 return
         if self._current is not None:
-            # Should not happen (the coordinator assigns one job per
-            # worker), but never silently drop an assignment.
-            self._send({"op": "error",
-                        "message": f"worker {self.worker_id} is busy with "
-                                   f"{self._current.key}"})
+            # The coordinator's book-keeping drifted (a dropped result
+            # frame, a restart): hand the assignment *back* so it lands
+            # on another worker, instead of dropping it on the floor.
+            self._log(f"rejecting job {key[:12]}…: busy with "
+                      f"{self._current.key[:12]}…")
+            self._send({"op": "reject", "key": key,
+                        "worker": self.worker_id})
             return
         self._current = run
 

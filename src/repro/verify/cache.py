@@ -139,6 +139,18 @@ class _RemoteTier:
             self._drop(exc)
             return None
 
+    def retarget(self, address) -> None:
+        """Point the tier at a different coordinator (failover)."""
+        from .protocol import parse_address
+
+        address = parse_address(address) \
+            if isinstance(address, str) else tuple(address)
+        if address == self.address:
+            return
+        self.close()
+        self.address = address
+        self._retry_at = 0.0
+
     def query(self, key: str) -> dict | None:
         frame = self._roundtrip({"op": "cache_query", "key": key},
                                 "cache_result")
@@ -184,6 +196,7 @@ class VerdictCache:
         self.remote_hits = 0
         self.remote_misses = 0
         self.remote_pushes = 0
+        self.quarantined = 0
 
     @property
     def remote_errors(self) -> int:
@@ -193,16 +206,41 @@ class VerdictCache:
     def _entry_path(self, key: str) -> pathlib.Path:
         return self._path / key[:2] / f"{key}.json"
 
+    def _quarantine(self, entry: pathlib.Path, why) -> None:
+        """Move a corrupt shard file aside so it never raises again.
+
+        A truncated write (host died mid-``put`` on a filesystem where
+        the tmp+rename discipline still tore), a bad block, or hand
+        edits all land here: the entry becomes a miss, the bytes are
+        preserved as ``<name>.bad`` for post-mortems, and a counter
+        records it — a campaign must re-solve a verdict, never crash
+        on one.
+        """
+        self.quarantined += 1
+        try:
+            entry.replace(entry.with_name(entry.name + ".bad"))
+        except OSError:
+            pass
+        print(f"[cache] quarantined corrupt entry {entry.name} ({why})",
+              flush=True)
+
     def _local_get(self, key: str) -> dict | None:
         payload = self._memory.get(key)
         if payload is None and self._path is not None:
             entry = self._entry_path(key)
             try:
                 payload = json.loads(entry.read_text())
-            except (OSError, ValueError):
+            except FileNotFoundError:
+                payload = None  # a plain miss
+            except (OSError, ValueError) as exc:
+                self._quarantine(entry, exc)
                 payload = None
             else:
-                self._memory[key] = payload
+                if isinstance(payload, dict):
+                    self._memory[key] = payload
+                else:
+                    self._quarantine(entry, "payload is not an object")
+                    payload = None
         return payload
 
     def _local_put(self, key: str, payload: dict) -> None:
@@ -237,6 +275,24 @@ class VerdictCache:
         self._local_put(key, payload)
         if self._remote is not None and self._remote.push(key, payload):
             self.remote_pushes += 1
+
+    def retarget(self, address) -> None:
+        """Re-point the remote tier after a coordinator failover."""
+        if self._remote is not None:
+            self._remote.retarget(address)
+
+    def status(self) -> dict:
+        """JSON-ready cache counters (memory entries + tier health)."""
+        return {
+            "entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+            "remote_hits": self.remote_hits,
+            "remote_misses": self.remote_misses,
+            "remote_pushes": self.remote_pushes,
+            "remote_errors": self.remote_errors,
+        }
 
     def clear(self) -> None:
         """Drop the in-memory entries (disk/remote stores untouched)."""

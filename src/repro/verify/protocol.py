@@ -38,7 +38,7 @@ import socket
 import struct
 
 __all__ = ["FRAME_MAGIC", "MAX_FRAME", "PROTOCOL_VERSION", "ProtocolError",
-           "send_frame", "recv_frame", "parse_address"]
+           "send_frame", "recv_frame", "parse_address", "parse_endpoints"]
 
 #: Protocol revision, carried in every handshake (``hello``/``welcome``,
 #: ``register``/``registered``, ``pong``).  v2 added the frame magic and
@@ -63,14 +63,29 @@ class ProtocolError(ValueError):
 
 
 def send_frame(sock: socket.socket, payload: dict,
-               max_frame: int | None = None) -> None:
-    """Serialize ``payload`` and send it as one frame."""
+               max_frame: int | None = None, chaos=None) -> None:
+    """Serialize ``payload`` and send it as one frame.
+
+    ``chaos`` is an optional :class:`repro.fabric.chaos.ChaosEngine`
+    scoping injected frame faults to *this* send: a dropped frame is
+    silently not sent, a duplicated one is sent twice, a delayed one is
+    sent after the plan's delay.  It is an explicit parameter, not a
+    module global, so only the peer under test is faulted.
+    """
     cap = MAX_FRAME if max_frame is None else max_frame
     blob = json.dumps(payload, separators=(",", ":")).encode()
     if len(blob) > cap:
         raise ProtocolError(
             f"frame of {len(blob)} bytes exceeds the {cap}-byte cap")
-    sock.sendall(_HEADER.pack(FRAME_MAGIC, len(blob)) + blob)
+    frame = _HEADER.pack(FRAME_MAGIC, len(blob)) + blob
+    if chaos is not None:
+        op = payload.get("op", "")
+        chaos.maybe_delay(op)
+        if chaos.should_drop(op):
+            return
+        if chaos.should_duplicate(op):
+            sock.sendall(frame)
+    sock.sendall(frame)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
@@ -122,3 +137,29 @@ def parse_address(text: str) -> tuple[str, int]:
     if not sep or not port.isdigit():
         raise ValueError(f"bad worker address {text!r}; expected host:port")
     return host or "127.0.0.1", int(port)
+
+
+def parse_endpoints(text) -> list[tuple[str, int]]:
+    """Comma-separated ``host:port`` list → ``[(host, port), ...]``.
+
+    Accepts a single string (``"a:1,b:2"``), an iterable of strings, or
+    an iterable of already-parsed pairs; duplicates are dropped while
+    preserving order so failover walks each endpoint once per cycle.
+    """
+    if isinstance(text, str):
+        parts = [p.strip() for p in text.split(",") if p.strip()]
+    else:
+        parts = []
+        for item in text:
+            if isinstance(item, str):
+                parts.extend(p.strip() for p in item.split(",") if p.strip())
+            else:
+                parts.append(item)
+    endpoints: list[tuple[str, int]] = []
+    for part in parts:
+        addr = part if isinstance(part, tuple) else parse_address(part)
+        if addr not in endpoints:
+            endpoints.append(addr)
+    if not endpoints:
+        raise ValueError("no endpoints given; expected host:port[,host:port...]")
+    return endpoints

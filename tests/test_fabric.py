@@ -617,7 +617,7 @@ def test_supervisor_without_reconnect_exits_on_lost_coordinator(capsys):
         daemon=True)
     thread.start()
     fabric.wait_workers(1)
-    fabric.coordinator.shutdown()  # vanish without a shutdown frame
+    fabric.coordinator.crash()  # vanish without a goodbye frame
     fabric.thread.join(timeout=15)
     thread.join(timeout=30)
     assert outcome.get("code") == 1
@@ -636,7 +636,7 @@ def test_supervisor_reconnects_after_coordinator_restart():
     thread.start()
     try:
         first.wait_workers(1)
-        first.coordinator.shutdown()  # crash, no shutdown frame
+        first.coordinator.crash()  # no goodbye frame
         first.thread.join(timeout=15)
         # Resurrect a coordinator on the same port; the supervisor must
         # re-dial (backoff + jitter) and re-register on its own.

@@ -1,0 +1,657 @@
+"""Crash-safety of the fabric: journal replay, recovery, failover,
+deadline/retry policies and degraded modes.
+
+The journal is exercised as a pure function (any byte prefix of a
+recorded WAL must replay to a valid state — hypothesis drives the cut
+point), then end-to-end: a coordinator SIGKILL-equivalent crash
+mid-campaign, a restart against the same ``--state-dir``, and a
+bit-identical verdict matrix with ``duplicate_results == 0``.
+"""
+
+import io
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    CampaignSpec,
+    FabricExecutor,
+    SerialExecutor,
+    run_campaign,
+)
+from repro.campaign.executors import make_executor
+from repro.fabric import Coordinator, StandbyCoordinator, WorkerSupervisor
+from repro.fabric import fetch_status, request_shutdown
+from repro.fabric.journal import (
+    Journal,
+    ReplayState,
+    append_record,
+    read_journal,
+    replay,
+)
+from repro.fabric.smoke import _subprocess_env, diff_campaigns
+from repro.verify.cache import VerdictCache
+from repro.verify.protocol import parse_address, parse_endpoints, recv_frame
+
+from test_fabric import (  # noqa: F401 - registers the toy builders
+    _client,
+    _register_fake_worker,
+    _submit,
+    one_toy_job,
+    toy_spec,
+)
+
+
+# -- journal framing ----------------------------------------------------------
+
+
+def _frame_records(records) -> bytes:
+    buf = io.BytesIO()
+    for record in records:
+        append_record(buf, record, fsync=False)
+    return buf.getvalue()
+
+
+def test_journal_roundtrip():
+    records = [{"t": "submit", "key": "k1", "job": {"x": 1}, "hints": [],
+                "variant": "v", "cacheable": True},
+               {"t": "assign", "key": "k1", "worker": 1},
+               {"t": "result", "key": "k1", "worker": 1,
+                "payload": {"verdict": "secure"}}]
+    got, good, problem = read_journal(_frame_records(records))
+    assert got == records
+    assert problem is None
+
+
+def test_journal_torn_tail_is_truncated_not_fatal():
+    records = [{"t": "submit", "key": f"k{i}", "job": {}, "hints": [],
+                "variant": "", "cacheable": True} for i in range(4)]
+    data = _frame_records(records)
+    torn = data[:-3]  # the crash hit mid-write of the last record
+    got, good, problem = read_journal(torn)
+    assert got == records[:3]
+    assert problem is not None
+    assert good == len(_frame_records(records[:3]))
+
+
+def test_journal_corrupt_crc_stops_replay():
+    records = [{"t": "submit", "key": "a", "job": {}, "hints": [],
+                "variant": "", "cacheable": True},
+               {"t": "expire", "key": "a"}]
+    data = bytearray(_frame_records(records))
+    # Flip one payload byte of the second record.
+    data[-2] ^= 0xFF
+    got, good, problem = read_journal(bytes(data))
+    assert got == records[:1]
+    assert "CRC" in problem
+
+
+def test_journal_recover_truncates_and_appends(tmp_path):
+    journal = Journal(tmp_path, fsync=False, log=lambda *_: None)
+    journal.append({"t": "submit", "key": "k1", "job": {}, "hints": [],
+                    "variant": "", "cacheable": True})
+    journal.append({"t": "result", "key": "k1", "worker": 1,
+                    "payload": None})
+    journal.close()
+    # Tear the tail: append garbage that looks like a partial record.
+    with open(tmp_path / Journal.WAL, "ab") as fh:
+        fh.write(b"\x00\x00\x00\x40partial")
+    warnings = []
+    fresh = Journal(tmp_path, fsync=False, log=warnings.append)
+    state = fresh.recover()
+    assert state.completed.keys() == {"k1"}
+    assert fresh.recovered_truncated is not None
+    assert any("truncating" in w for w in warnings)
+    # The journal must be usable for appends after truncation.
+    fresh.append({"t": "submit", "key": "k2", "job": {}, "hints": [],
+                  "variant": "", "cacheable": True})
+    fresh.close()
+    again = Journal(tmp_path, fsync=False, log=lambda *_: None)
+    state = again.recover()
+    assert state.completed.keys() == {"k1"}
+    assert state.pending.keys() == {"k2"}
+    again.close()
+
+
+def test_corrupt_snapshot_is_quarantined_not_fatal(tmp_path):
+    journal = Journal(tmp_path, fsync=False, log=lambda *_: None)
+    journal.append({"t": "submit", "key": "k1", "job": {}, "hints": [],
+                    "variant": "", "cacheable": True})
+    journal.close()
+    (tmp_path / Journal.SNAPSHOT).write_text("{not json")
+    fresh = Journal(tmp_path, fsync=False, log=lambda *_: None)
+    state = fresh.recover()
+    assert state.pending.keys() == {"k1"}  # the WAL alone replays
+    assert (tmp_path / (Journal.SNAPSHOT + ".bad")).exists()
+    fresh.close()
+
+
+def test_snapshot_compaction_truncates_wal(tmp_path):
+    journal = Journal(tmp_path, snapshot_every=2, fsync=False,
+                      log=lambda *_: None)
+    state = journal.recover()
+    for i in range(3):
+        journal.append({"t": "submit", "key": f"k{i}", "job": {},
+                        "hints": [], "variant": "", "cacheable": True})
+    assert journal.due_for_snapshot
+    live = ReplayState(pending={f"k{i}": {"job": {}, "hints": [],
+                                          "variant": "", "cacheable": True,
+                                          "attempts": 0, "failed_on": []}
+                                for i in range(3)})
+    journal.write_snapshot(live)
+    assert (tmp_path / Journal.WAL).stat().st_size == 0
+    journal.close()
+    fresh = Journal(tmp_path, fsync=False, log=lambda *_: None)
+    assert fresh.recover().pending.keys() == {"k0", "k1", "k2"}
+    fresh.close()
+
+
+# -- the replay property ------------------------------------------------------
+
+
+_KEYS = st.sampled_from(["k1", "k2", "k3"])
+_RECORDS = st.one_of(
+    st.builds(lambda k: {"t": "submit", "key": k, "job": {"variant": k},
+                         "hints": [], "variant": k, "cacheable": True},
+              _KEYS),
+    st.builds(lambda k, w: {"t": "assign", "key": k, "worker": w},
+              _KEYS, st.integers(0, 3)),
+    st.builds(lambda k, w: {"t": "requeue", "key": k, "worker": w},
+              _KEYS, st.integers(0, 3)),
+    st.builds(lambda k, w: {"t": "result", "key": k, "worker": w,
+                            "payload": {"verdict": "secure"}},
+              _KEYS, st.integers(0, 3)),
+    st.builds(lambda k: {"t": "expire", "key": k}, _KEYS),
+    st.just({"t": "a-future-record-kind", "key": "k9"}),
+    st.just({"malformed": True}),
+    st.just({"t": "submit", "key": 42}),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(records=st.lists(_RECORDS, max_size=25),
+       cut=st.integers(min_value=0))
+def test_any_journal_prefix_replays_to_a_valid_state(records, cut):
+    """The crash may land anywhere: every byte prefix of a recorded
+    journal replays — the intact record prefix, a valid state, no
+    exception."""
+    data = _frame_records(records)
+    cut = cut % (len(data) + 1)
+    got, good_bytes, problem = read_journal(data[:cut])
+    # The readable records are exactly a prefix of what was written.
+    assert got == records[:len(got)]
+    assert good_bytes <= cut
+    assert (problem is None) == (good_bytes == cut)
+    state = replay(None, got)
+    # Core invariants: disjoint life-cycle sets, consistent counters.
+    assert not set(state.pending) & set(state.completed)
+    assert state.jobs_completed == len(state.completed)
+    assert state.jobs_submitted >= len(state.pending)
+    # Replay is deterministic and prefix-monotone at the record level.
+    assert replay(None, got).to_snapshot() == state.to_snapshot()
+    # Snapshot round-trips (payloads aside, which compaction drops).
+    resumed = ReplayState.from_snapshot(state.to_snapshot())
+    assert resumed.pending.keys() == state.pending.keys()
+    assert resumed.completed.keys() == state.completed.keys()
+    assert resumed.expired == state.expired
+
+
+# -- crash-recover end to end -------------------------------------------------
+
+
+class _DurableFabric:
+    """A coordinator on a fixed port + state dir, restartable in-place."""
+
+    def __init__(self, state_dir, lease_seconds: float = 2.0):
+        self.state_dir = str(state_dir)
+        self.lease_seconds = lease_seconds
+        self.coordinator = Coordinator(port=0,
+                                       lease_seconds=lease_seconds,
+                                       quiet=True, state_dir=self.state_dir)
+        self.host, self.port = self.coordinator.bind()
+        self.address = f"{self.host}:{self.port}"
+        self.restarts = 0
+        self.thread = threading.Thread(target=self._supervise, daemon=True)
+        self.thread.start()
+        self.workers: list[WorkerSupervisor] = []
+        self.worker_threads: list[threading.Thread] = []
+
+    def _supervise(self) -> None:
+        while True:
+            self.coordinator.serve()
+            if not self.coordinator._crashing:
+                return
+            self.restarts += 1
+            successor = Coordinator(host=self.host, port=self.port,
+                                    lease_seconds=self.lease_seconds,
+                                    quiet=True, state_dir=self.state_dir)
+            for _ in range(100):
+                try:
+                    successor.bind()
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            self.coordinator = successor
+
+    def add_worker(self) -> None:
+        worker = WorkerSupervisor(self.address, reconnect=True,
+                                  backoff_base=0.05, backoff_max=0.2,
+                                  quiet=True)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        self.workers.append(worker)
+        self.worker_threads.append(thread)
+
+    def wait_workers(self, count: int, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if fetch_status(self.address)["coordinator"]["workers"] \
+                        >= count:
+                    return
+            except (OSError, ConnectionError):
+                pass
+            time.sleep(0.05)
+        raise AssertionError(f"{count} worker(s) never registered")
+
+    def close(self) -> None:
+        try:
+            request_shutdown(self.address)
+        except (OSError, ConnectionError):
+            self.coordinator.shutdown()
+        for thread in self.worker_threads:
+            thread.join(timeout=15)
+        self.thread.join(timeout=15)
+        for worker in self.workers:
+            worker.close()
+
+
+def test_crash_recover_rerun_is_bit_identical(tmp_path):
+    """The ISSUE acceptance bar: SIGKILL-equivalent coordinator crash
+    mid-campaign, restart against the same state dir, campaign
+    completes bit-identical to serial with zero duplicate results."""
+    serial = run_campaign(toy_spec(hints="off"), executor=SerialExecutor())
+    fabric = _DurableFabric(tmp_path / "state")
+    try:
+        fabric.add_worker()
+        fabric.add_worker()
+        fabric.wait_workers(2)
+        crashed = {"done": False}
+
+        def crash_once(_result) -> None:
+            if not crashed["done"]:
+                crashed["done"] = True
+                fabric.coordinator.crash()
+
+        run = run_campaign(
+            toy_spec(hints="off"), workers=2,
+            executor=FabricExecutor(fabric.address, submit_timeout=120.0),
+            on_result=crash_once,
+        )
+        assert crashed["done"]
+        assert diff_campaigns(serial, run) == []
+        deadline = time.monotonic() + 30
+        while fabric.restarts < 1:
+            assert time.monotonic() < deadline, "coordinator never restarted"
+            time.sleep(0.05)
+        status = fetch_status(fabric.address)["coordinator"]
+        assert status["duplicate_results"] == 0
+        assert status["journal"] is not None
+        # The successor replayed durable state, not a blank slate.
+        assert status["jobs_recovered"] >= 1
+    finally:
+        fabric.close()
+
+
+def test_restart_against_state_dir_resumes_pending_jobs(tmp_path):
+    """A job submitted-but-unstarted survives the crash: the restarted
+    coordinator replays it from the WAL and hands it to the first
+    worker that registers."""
+    first = Coordinator(port=0, lease_seconds=2.0, quiet=True,
+                        state_dir=str(tmp_path))
+    host, port = first.bind()
+    address = f"{host}:{port}"
+    thread = threading.Thread(target=first.serve, daemon=True)
+    thread.start()
+    client = _client(address)
+    _submit(client, one_toy_job(), tag=1)
+    deadline = time.monotonic() + 15
+    while fetch_status(address)["coordinator"]["queue_depth"] < 1:
+        assert time.monotonic() < deadline
+        time.sleep(0.05)
+    first.crash()
+    thread.join(timeout=15)
+    client.close()
+
+    second = Coordinator(host=host, port=port, lease_seconds=2.0,
+                         quiet=True, state_dir=str(tmp_path))
+    for _ in range(100):
+        try:
+            second.bind()
+            break
+        except OSError:
+            time.sleep(0.05)
+    thread = threading.Thread(target=second.serve, daemon=True)
+    thread.start()
+    try:
+        status = fetch_status(address)["coordinator"]
+        assert status["queue_depth"] == 1
+        assert status["jobs_recovered"] == 1
+    finally:
+        try:
+            request_shutdown(address)
+        except (OSError, ConnectionError):
+            second.shutdown()
+        thread.join(timeout=15)
+
+
+# -- deadline / retry policies ------------------------------------------------
+
+
+def _deadline_spec(deadline_s: float) -> CampaignSpec:
+    return CampaignSpec(
+        name="deadline",
+        variants={"secure": {"builder": "fabric-toy",
+                             "args": {"kind": "secure"}}},
+        algorithms=["alg1"],
+        depths=[3],
+        hints="off",
+        deadline_s=deadline_s,
+    )
+
+
+def test_deadline_reports_timeout_instead_of_wedging():
+    # No workers at all: without a deadline the job would sit queued
+    # forever.  deadline_s turns that into a terminal TIMEOUT verdict.
+    coordinator = Coordinator(port=0, lease_seconds=1.0, quiet=True)
+    host, port = coordinator.bind()
+    address = f"{host}:{port}"
+    thread = threading.Thread(target=coordinator.serve, daemon=True)
+    thread.start()
+    try:
+        client = _client(address)
+        _submit(client, _deadline_spec(0.5).expand()[0], tag=9)
+        client.settimeout(30)
+        reply = recv_frame(client)
+        assert reply["op"] == "result"
+        assert reply["source"] == "timeout"
+        assert reply["result"]["verdict"] == "timeout"
+        client.close()
+    finally:
+        try:
+            request_shutdown(address)
+        except (OSError, ConnectionError):
+            coordinator.shutdown()
+        thread.join(timeout=15)
+
+
+def test_worker_death_retries_elsewhere_then_reports_error():
+    # Two fake workers, attempt budget of two: the first death re-queues
+    # onto the *other* worker; the second exhausts the budget and the
+    # client gets a terminal ERROR verdict instead of a wedged campaign.
+    import select as select_mod
+
+    coordinator = Coordinator(port=0, lease_seconds=30.0, quiet=True,
+                              default_max_attempts=2)
+    host, port = coordinator.bind()
+    address = f"{host}:{port}"
+    thread = threading.Thread(target=coordinator.serve, daemon=True)
+    thread.start()
+    try:
+        w1, id1 = _register_fake_worker(address, "fake-1")
+        w2, id2 = _register_fake_worker(address, "fake-2")
+        client = _client(address)
+        _submit(client, one_toy_job(), tag=1)
+
+        assigned_ids = []
+        sockets = {w1: id1, w2: id2}
+        for _ in range(2):
+            readable, _, _ = select_mod.select(list(sockets), [], [], 30)
+            assert readable, "job never assigned"
+            sock = readable[0]
+            frame = recv_frame(sock)
+            assert frame["op"] == "job"
+            assigned_ids.append(sockets.pop(sock))
+            sock.close()  # the worker "dies" mid-job
+
+        # The retry landed on a different worker than the first attempt.
+        assert assigned_ids[0] != assigned_ids[1]
+        client.settimeout(30)
+        reply = recv_frame(client)
+        assert reply["op"] == "result"
+        assert reply["source"] == "error"
+        assert reply["result"]["verdict"] == "error"
+        assert "max_attempts" in reply["result"]["error"]
+        client.close()
+    finally:
+        try:
+            request_shutdown(address)
+        except (OSError, ConnectionError):
+            coordinator.shutdown()
+        thread.join(timeout=15)
+
+
+# -- standby failover ---------------------------------------------------------
+
+
+def test_standby_tails_journal_and_promotes_on_crash(tmp_path):
+    primary = Coordinator(port=0, lease_seconds=1.0, quiet=True,
+                          state_dir=str(tmp_path / "primary"))
+    host, port = primary.bind()
+    primary_addr = f"{host}:{port}"
+    primary_thread = threading.Thread(target=primary.serve, daemon=True)
+    primary_thread.start()
+    standby = StandbyCoordinator(primary_addr, lease_seconds=1.0,
+                                 state_dir=str(tmp_path / "standby"),
+                                 reconnect_attempts=0, quiet=True)
+    standby_thread = threading.Thread(target=standby.run, daemon=True)
+    standby_thread.start()
+    worker_thread = None
+    worker = None
+    try:
+        deadline = time.monotonic() + 15
+        while fetch_status(primary_addr)["coordinator"]["standbys"] < 1:
+            assert time.monotonic() < deadline, "standby never synced"
+            time.sleep(0.05)
+
+        # A pending job (no workers yet) must stream to the standby.
+        client = _client(primary_addr)
+        _submit(client, one_toy_job(), tag=1)
+        deadline = time.monotonic() + 15
+        while not standby.state.pending:
+            assert time.monotonic() < deadline, \
+                "journal stream never delivered the submit"
+            time.sleep(0.05)
+        client.close()
+
+        primary.crash()
+        primary_thread.join(timeout=15)
+
+        # The standby declares the primary dead and serves in its place.
+        deadline = time.monotonic() + 30
+        while standby.coordinator is None or standby.coordinator.port == 0:
+            assert time.monotonic() < deadline, "standby never promoted"
+            time.sleep(0.05)
+        standby_addr = f"127.0.0.1:{standby.coordinator.port}"
+        deadline = time.monotonic() + 15
+        while True:
+            try:
+                status = fetch_status(standby_addr)["coordinator"]
+                break
+            except (OSError, ConnectionError):
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+        assert status["queue_depth"] == 1  # the tailed job carried over
+
+        # A worker dialing the failover list walks past the dead
+        # primary and registers with the promoted standby.
+        worker = WorkerSupervisor(f"{primary_addr},{standby_addr}",
+                                  reconnect=True, backoff_base=0.05,
+                                  backoff_max=0.2, quiet=True)
+        worker_thread = threading.Thread(target=worker.run, daemon=True)
+        worker_thread.start()
+        deadline = time.monotonic() + 30
+        while fetch_status(standby_addr)["coordinator"]["workers"] < 1:
+            assert time.monotonic() < deadline, "worker never failed over"
+            time.sleep(0.05)
+
+        # A client with the same failover list completes the campaign
+        # against the successor, bit-identical to serial.
+        spec = CampaignSpec(
+            name="one-toy",
+            variants={"secure": {"builder": "fabric-toy",
+                                 "args": {"kind": "secure"}}},
+            algorithms=["alg1"], depths=[3], hints="off")
+        serial = run_campaign(spec, executor=SerialExecutor())
+        run = run_campaign(
+            spec,
+            executor=FabricExecutor([primary_addr, standby_addr],
+                                    connect_timeout=2.0,
+                                    submit_timeout=120.0))
+        assert diff_campaigns(serial, run) == []
+        status = fetch_status(standby_addr)["coordinator"]
+        assert status["duplicate_results"] == 0
+    finally:
+        if worker is not None:
+            worker.stop()
+        standby.stop()
+        standby_thread.join(timeout=15)
+        if worker_thread is not None:
+            worker_thread.join(timeout=15)
+        if worker is not None:
+            worker.close()
+
+
+# -- graceful signals ---------------------------------------------------------
+
+
+def test_sigterm_snapshots_state_and_says_goodbye(tmp_path):
+    state_dir = tmp_path / "state"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.fabric", "coordinator",
+         "--port", "0", "--state-dir", str(state_dir), "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_subprocess_env())
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, line
+        address = line.rsplit(" ", 1)[-1].strip()
+        sock, _worker_id = _register_fake_worker(address)
+        proc.send_signal(signal.SIGTERM)
+        sock.settimeout(15)
+        frame = recv_frame(sock)
+        assert frame["op"] == "goodbye"
+        sock.close()
+        assert proc.wait(timeout=15) == 0
+        assert (state_dir / Journal.SNAPSHOT).exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=15)
+
+
+# -- degraded client modes ----------------------------------------------------
+
+
+def test_unreachable_fabric_degrades_to_serial(capsys):
+    executor = make_executor("fabric", connect=["127.0.0.1:1"],
+                             connect_timeout=0.5)
+    assert isinstance(executor, SerialExecutor)
+    err = capsys.readouterr().err
+    assert err.count("warning:") == 1
+    assert "degrading to the serial executor" in err
+
+
+def test_executor_walks_the_endpoint_list():
+    coordinator = Coordinator(port=0, lease_seconds=5.0, quiet=True)
+    host, port = coordinator.bind()
+    address = f"{host}:{port}"
+    thread = threading.Thread(target=coordinator.serve, daemon=True)
+    thread.start()
+    try:
+        executor = FabricExecutor(["127.0.0.1:1", address],
+                                  connect_timeout=1.0)
+        assert executor.address == parse_address(address)
+        executor.close()
+    finally:
+        try:
+            request_shutdown(address)
+        except (OSError, ConnectionError):
+            coordinator.shutdown()
+        thread.join(timeout=15)
+
+
+def test_submit_timeout_bounds_an_unresponsive_fabric():
+    # Connected but making no progress (no workers): --submit-timeout
+    # turns the indefinite hang into a RuntimeError the CLI renders as
+    # a one-line error, exit 2.
+    coordinator = Coordinator(port=0, lease_seconds=30.0, quiet=True)
+    host, port = coordinator.bind()
+    address = f"{host}:{port}"
+    thread = threading.Thread(target=coordinator.serve, daemon=True)
+    thread.start()
+    try:
+        executor = FabricExecutor(address, submit_timeout=0.5)
+        executor.submit(one_toy_job(), [])
+        with pytest.raises(RuntimeError, match="no progress"):
+            executor.drain(block=True)
+        executor.close()
+    finally:
+        try:
+            request_shutdown(address)
+        except (OSError, ConnectionError):
+            coordinator.shutdown()
+        thread.join(timeout=15)
+
+
+def test_parse_endpoints_forms():
+    assert parse_endpoints("a:1,b:2") == [("a", 1), ("b", 2)]
+    assert parse_endpoints(["a:1,b:2", "c:3"]) == \
+        [("a", 1), ("b", 2), ("c", 3)]
+    assert parse_endpoints("a:1,a:1") == [("a", 1)]  # ordered dedup
+    assert parse_endpoints([("a", 1), "b:2"]) == [("a", 1), ("b", 2)]
+    with pytest.raises(ValueError):
+        parse_endpoints("")
+    with pytest.raises(ValueError):
+        parse_endpoints("nonsense")
+
+
+# -- cache quarantine ---------------------------------------------------------
+
+
+def test_cache_quarantines_corrupt_shard_as_a_miss(tmp_path, capsys):
+    key = "ab" + "0" * 62
+    seed = VerdictCache(tmp_path)
+    seed.put(key, {"verdict": "secure"})
+    entry = seed._entry_path(key)
+    entry.write_text('{"verdict": "sec')  # torn write
+
+    cache = VerdictCache(tmp_path)
+    assert cache.get(key) is None  # a miss, not an exception
+    assert cache.quarantined == 1
+    assert entry.with_name(entry.name + ".bad").exists()
+    assert not entry.exists()
+    assert cache.get(key) is None  # now a plain miss, no re-quarantine
+    assert cache.quarantined == 1
+    assert cache.status()["quarantined"] == 1
+    assert "quarantined" in capsys.readouterr().out
+
+
+def test_cache_quarantines_non_object_payload(tmp_path):
+    key = "cd" + "1" * 62
+    seed = VerdictCache(tmp_path)
+    seed.put(key, {"verdict": "secure"})
+    entry = seed._entry_path(key)
+    entry.write_text("[1, 2, 3]")  # valid JSON, wrong shape
+
+    cache = VerdictCache(tmp_path)
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert entry.with_name(entry.name + ".bad").exists()
