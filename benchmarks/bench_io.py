@@ -48,11 +48,15 @@ def record_bench(
     peak_clauses: int | None = None,
     peak_vars: int | None = None,
     extra: dict | None = None,
+    baseline_ref: str | None = None,
 ) -> pathlib.Path:
     """Write ``BENCH_<name>.json`` into ``benchmarks/results/``.
 
     ``stats`` may be a :class:`repro.upec.miter.CheckStats`; explicit
-    keyword fields override what it provides.
+    keyword fields override what it provides.  ``baseline_ref`` names
+    the benchmark record an A/B measurement compares against (e.g. a
+    delta run's cold-baseline record), so tooling can resolve the pair
+    without guessing.
     """
     if stats is not None:
         encode_s = stats.encode_seconds if encode_s is None else encode_s
@@ -72,6 +76,7 @@ def record_bench(
         "peak_clauses": peak_clauses,
         "peak_vars": peak_vars,
         "extra": extra or {},
+        "baseline_ref": baseline_ref,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"

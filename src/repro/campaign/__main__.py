@@ -9,6 +9,7 @@ Usage::
     python -m repro.campaign smoke --executor tcp \\
         --connect 127.0.0.1:7321 --connect 127.0.0.1:7322
     python -m repro.campaign smoke --executor fabric --connect 127.0.0.1:7400
+    python -m repro.campaign delta edited.json --baseline smoke_report.json
 
 Streams one line per completed job, prints the verdict matrix, and
 writes the full JSON artifact (spec + per-job results + summary).
@@ -16,6 +17,13 @@ Solved jobs are answered from the content-addressed verdict cache when
 ``--cache-dir`` names a persistent store (``--no-cache`` disables
 caching entirely).  Malformed specs, unknown names and unreadable files
 exit with a single-line diagnostic, not a traceback.
+
+``delta`` mode re-verifies an *edited* design incrementally: the
+baseline report's verdicts answer every obligation whose dependency
+cone the edit provably did not touch (cone-hits, marked in the result
+provenance), only the rest re-run.  ``--delta-audit`` re-verifies a
+deterministic sample of the cone-hits from scratch and fails loudly on
+any mismatch — the soundness check for the cone fingerprinting.
 """
 
 from __future__ import annotations
@@ -30,6 +38,8 @@ from ..verify.__main__ import add_backend_arguments, \
     add_preprocess_arguments, parse_backend_arguments, \
     parse_preprocess_arguments
 from ..verify.cache import VerdictCache
+from ..verify.delta import DeltaAuditError, audit_cone_hits, \
+    plan_delta_campaign
 from .executors import EXECUTOR_NAMES, make_executor
 from .grids import paper_spec, smoke_spec
 from .runner import run_campaign
@@ -50,14 +60,37 @@ def load_spec(ref: str) -> CampaignSpec:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    delta_mode = bool(argv) and argv[0] == "delta"
+    if delta_mode:
+        argv = argv[1:]
     parser = argparse.ArgumentParser(
-        prog="python -m repro.campaign",
-        description="Run a declarative verification campaign.",
+        prog="python -m repro.campaign" + (" delta" if delta_mode else ""),
+        description="Run a declarative verification campaign."
+        if not delta_mode else
+        "Incrementally re-verify an edited design against a baseline "
+        "campaign report (prefix the spec with 'delta').",
     )
     parser.add_argument(
         "spec",
         help=("campaign spec: a JSON file path or a built-in name "
               f"({', '.join(sorted(BUILTIN_SPECS))})"),
+    )
+    parser.add_argument(
+        "--baseline", metavar="REPORT.JSON", default=None,
+        help=("(delta mode) the prior campaign's JSON artifact; its "
+              "verdicts answer obligations whose cones the edit did "
+              "not touch"),
+    )
+    parser.add_argument(
+        "--delta-audit", action="store_true",
+        help=("(delta mode) re-verify a deterministic sample of the "
+              "cone-hits from scratch and fail on any mismatch"),
+    )
+    parser.add_argument(
+        "--audit-fraction", type=float, default=0.25, metavar="F",
+        help=("(delta mode) fraction of cone-hits --delta-audit "
+              "re-verifies (default 0.25, at least one)"),
     )
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -160,10 +193,33 @@ def main(argv=None) -> int:
     if portfolio is not None:
         spec.portfolio = list(portfolio)
 
+    plan = None
+    if delta_mode:
+        if args.baseline is None:
+            print("error: delta mode requires --baseline REPORT.JSON",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = json.loads(pathlib.Path(args.baseline).read_text())
+        except FileNotFoundError:
+            print(f"error: baseline report not found: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            plan = plan_delta_campaign(spec, baseline)
+        except (ValueError, TypeError, KeyError) as exc:
+            print(f"error: cannot plan delta campaign: {exc}",
+                  file=sys.stderr)
+            return 2
+
     executor_name = args.executor or ("serial" if args.workers <= 0
                                       else "fork")
     try:
-        jobs = spec.expand()
+        jobs = plan.jobs if plan is not None else spec.expand()
         executor = make_executor(
             executor_name, workers=max(args.workers, 1),
             connect=args.connect or (),
@@ -182,6 +238,10 @@ def main(argv=None) -> int:
           f"executor={executor.name}, {args.workers} worker(s), "
           f"hints={spec.hints}"
           + (", cache off" if cache is None else ""))
+    if plan is not None:
+        print(f"delta plan: {len(plan.serve)} cone-hit(s) served from "
+              f"{args.baseline}, {len(plan.rerun)} job(s) re-run "
+              f"({len(plan.seeded)} hint-seeded)")
 
     def stream(result) -> None:
         if not args.quiet:
@@ -190,7 +250,9 @@ def main(argv=None) -> int:
     try:
         campaign = run_campaign(jobs, workers=args.workers,
                                 on_result=stream, executor=executor,
-                                cache=cache)
+                                cache=cache,
+                                preset=plan.serve if plan is not None
+                                else None)
     except RuntimeError as exc:
         # E.g. every TCP endpoint unreachable: the scheduler reports a
         # stalled campaign — a one-line diagnostic, not a traceback.
@@ -211,11 +273,28 @@ def main(argv=None) -> int:
         "summary": campaign_summary(campaign.results),
         "campaign": campaign.to_dict(),
     }
+    audit_failed = False
+    if plan is not None:
+        artifact["delta"] = plan.summary()
+        if args.delta_audit:
+            try:
+                audit = audit_cone_hits(plan,
+                                        fraction=args.audit_fraction)
+            except DeltaAuditError as exc:
+                print(f"delta audit FAILED: {exc}", file=sys.stderr)
+                audit = {"error": str(exc)}
+                audit_failed = True
+            else:
+                print(f"delta audit: {audit['sampled']} cone-hit(s) "
+                      f"re-verified, {audit['mismatches']} mismatch(es)")
+            artifact["delta"]["audit"] = audit
     json_path = pathlib.Path(
         args.json if args.json else f"{spec.name}_report.json"
     )
     json_path.write_text(json.dumps(artifact, indent=2) + "\n")
     print(f"\nJSON artifact: {json_path}")
+    if audit_failed:
+        return 1
 
     failed = [r for r in campaign.results if r.verdict in ("error", "timeout")]
     if failed:

@@ -719,8 +719,16 @@ class FabricExecutor(Executor):
                         # (the content key proves the question is
                         # identical) and mark the provenance.
                         result.job = future.job
-                        if frame.get("source") == "cache":
+                        if frame.get("source") in ("cache", "delta"):
                             result.cached = True
+                        if frame.get("source") == "delta":
+                            # The coordinator resolved a cone alias:
+                            # the design differs from the cached run's,
+                            # but this obligation's cone is untouched.
+                            result.provenance = {
+                                **result.provenance,
+                                "delta": "cone-hit",
+                            }
                         future._finish(result)
                         completed.append(future)
                 # Any other op (status pushes, errors for unknown tags)

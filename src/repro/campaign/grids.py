@@ -19,6 +19,7 @@ __all__ = [
     "paper_variant",
     "paper_spec",
     "smoke_spec",
+    "edit_variants",
 ]
 
 #: SoC design variants of the paper's Sec. 4 evaluation, as ``SocConfig``
@@ -76,6 +77,26 @@ def paper_spec(
         timeout_seconds=timeout_seconds,
         record_traces=record_traces,
     )
+
+
+def edit_variants(spec: CampaignSpec, edits: dict,
+                  only=None, name: str | None = None) -> CampaignSpec:
+    """``spec`` with SoC field ``edits`` applied to its variants.
+
+    The "design edit" half of a delta re-verification flow (see
+    :func:`repro.verify.delta.plan_delta_campaign`): the returned spec
+    is the same grid over the edited design(s).  ``only`` restricts the
+    edit to the named variants — the rest keep their definitions, which
+    is the common CI shape (one block changed, the grid re-checked).
+    """
+    data = spec.to_dict()
+    data["variants"] = {
+        key: dict(overrides, **edits)
+        if only is None or key in set(only) else dict(overrides)
+        for key, overrides in data["variants"].items()
+    }
+    data["name"] = name if name is not None else f"{spec.name}-edited"
+    return CampaignSpec.from_dict(data)
 
 
 def smoke_spec() -> CampaignSpec:

@@ -77,6 +77,11 @@ class JobResult:
     hint: dict | None = None
     error: str | None = None
     cached: bool = False
+    #: How this payload was obtained, beyond ``cached`` — e.g.
+    #: ``{"delta": "cone-hit"}`` when a delta plan served it from a
+    #: baseline run whose obligation cone is untouched.  Never part of
+    #: the bit-identity contract (wall-clock-class metadata).
+    provenance: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -90,6 +95,7 @@ class JobResult:
             "hint": self.hint,
             "error": self.error,
             "cached": self.cached,
+            "provenance": dict(self.provenance),
         }
 
     @classmethod
@@ -105,6 +111,7 @@ class JobResult:
             hint=data.get("hint"),
             error=data.get("error"),
             cached=data.get("cached", False),
+            provenance=dict(data.get("provenance") or {}),
         )
 
     def to_verdict(self) -> Verdict:
@@ -127,6 +134,7 @@ class JobResult:
                 "campaign": job.campaign,
                 "job_index": job.index,
                 "cache_hit": self.cached,
+                **self.provenance,
             },
             leaking=leaking,
             stats=self.stats,
@@ -219,13 +227,14 @@ def _gather_hints(job: Job, done: dict[int, JobResult]) -> list[dict]:
     return out
 
 
-def _complete(future, cache, keys, finish) -> None:
+def _complete(future, cache, keys, cone_keys, finish) -> None:
     """Fold one finished future into the campaign (cache + callback)."""
     result = future.result()
     key = keys.get(result.job.index)
     if (cache is not None and key is not None
             and result.verdict not in ("timeout", "error")):
-        cache.put(key, result.to_dict())
+        cache.put(key, result.to_dict(),
+                  cone_key=cone_keys.get(result.job.index))
     finish(result)
 
 
@@ -264,6 +273,7 @@ def run_campaign(
     on_result=None,
     executor: Executor | None = None,
     cache: VerdictCache | None = None,
+    preset: dict | None = None,
 ) -> CampaignResult:
     """Run a campaign spec (or pre-expanded job list).
 
@@ -281,7 +291,14 @@ def run_campaign(
             TCP workers, ...); it is closed when the campaign finishes.
         cache: a :class:`VerdictCache` — solved jobs are answered from
             it without occupying a worker, and fresh non-error results
-            populate it.
+            populate it.  Jobs carrying a ``cone_key`` additionally
+            consult (and populate) the cache's cone-alias tier, so a
+            design edit outside an obligation's cone still hits.
+        preset: job index -> :class:`JobResult` answered before
+            scheduling (a delta plan's cone-hits, see
+            :func:`repro.verify.delta.plan_delta_campaign`).  Preset
+            results participate in the donor hint flow exactly like
+            freshly computed ones.
 
     Returns:
         The ordered results plus wall-clock, worker count and the
@@ -314,6 +331,12 @@ def run_campaign(
     start = time.perf_counter()
     done: dict[int, JobResult] = {}
     keys: dict[int, str | None] = {}
+    cone_keys: dict[int, str | None] = {}
+    preset = dict(preset or {})
+    if cache is not None:
+        from ..verify.delta import cone_fingerprint_memo
+
+        cone_fp = cone_fingerprint_memo()
 
     def finish(result: JobResult) -> None:
         done[result.job.index] = result
@@ -330,11 +353,37 @@ def run_campaign(
                 for i, job in enumerate(pending):
                     if not all(d in done for d in job.seed_from):
                         continue
+                    if job.index in preset:
+                        # A delta plan proved this obligation's cone
+                        # untouched: its baseline payload IS the answer
+                        # (and its hint feeds dependants unchanged).
+                        result = preset[job.index]
+                        result.job = job
+                        finish(result)
+                        del pending[i]
+                        launched = True
+                        break
                     hints = _gather_hints(job, done)
                     key = _job_cache_key(job, hints) \
                         if cache is not None else None
+                    cone_key = None
                     if key is not None:
                         payload = cache.get(key)
+                        delta_hit = False
+                        if payload is None:
+                            # Primary miss: this job will run (or be
+                            # served via its cone alias) — fingerprint
+                            # its cone now, so the result is stored
+                            # under both addresses.
+                            from ..verify.delta import job_cone_key
+
+                            fp = cone_fp(job)
+                            if fp is not None:
+                                cone_key = job_cone_key(job, hints,
+                                                        fingerprint=fp)
+                            if cone_key is not None:
+                                payload = cache.get_cone(cone_key)
+                                delta_hit = payload is not None
                         if payload is not None:
                             result = JobResult.from_dict(payload)
                             # The stored payload embeds the *donor* run's
@@ -344,6 +393,11 @@ def run_campaign(
                             # the verification question is identical).
                             result.job = job
                             result.cached = True
+                            if delta_hit:
+                                result.provenance = {
+                                    **result.provenance,
+                                    "delta": "cone-hit",
+                                }
                             finish(result)
                             del pending[i]
                             launched = True
@@ -351,6 +405,7 @@ def run_campaign(
                     if not executor.has_slot():
                         continue
                     keys[job.index] = key
+                    cone_keys[job.index] = cone_key
                     future = executor.submit(job, hints)
                     del pending[i]
                     launched = True
@@ -358,7 +413,7 @@ def run_campaign(
                         # Synchronous executors complete on submit;
                         # consuming here (not at drain) lets the cache
                         # entry answer the very next job of the scan.
-                        _complete(future, cache, keys, finish)
+                        _complete(future, cache, keys, cone_keys, finish)
                     else:
                         inflight += 1
                     break
@@ -373,7 +428,7 @@ def run_campaign(
                 )
             for future in executor.drain(block=True):
                 inflight -= 1
-                _complete(future, cache, keys, finish)
+                _complete(future, cache, keys, cone_keys, finish)
 
     return CampaignResult(
         name=name,

@@ -104,6 +104,12 @@ class Job:
     #: Portfolio lanes to race per obligation ("" = no racing); a tuple
     #: of backend spec strings.
     portfolio: tuple = ()
+    #: Cone fingerprint of this obligation (see
+    #: :func:`repro.verify.delta.cone_fingerprint`), attached by delta
+    #: planners.  NOT part of the whole-design verdict-cache key — it
+    #: addresses the *alias* tier, so a design edit outside the cone
+    #: still answers from cache.  None = no cone addressing.
+    cone_key: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -124,6 +130,7 @@ class Job:
             "preprocess": self.preprocess,
             "backend": self.backend,
             "portfolio": list(self.portfolio),
+            "cone_key": self.cone_key,
         }
 
     @classmethod
@@ -146,6 +153,7 @@ class Job:
             preprocess=data.get("preprocess", True),
             backend=data.get("backend", "reference"),
             portfolio=tuple(data.get("portfolio", ())),
+            cone_key=data.get("cone_key"),
         )
 
     def label(self) -> str:

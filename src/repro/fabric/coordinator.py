@@ -50,6 +50,14 @@ verdicts land in the coordinator's authoritative
 :class:`~repro.verify.cache.VerdictCache`; a later ``submit`` of the
 same question — from any client, any campaign — is answered from the
 store without occupying a worker.
+
+Cone-granular serving (PR-10): a submitted job that carries a
+``cone_key`` fingerprint (attached by
+:func:`repro.verify.delta.plan_delta_campaign`) is additionally
+aliased in the cache under its cone address.  A later submit whose
+whole-design key *misses* but whose cone address hits — the design
+changed, the obligation's cone did not — is answered at submit with
+``"source": "delta"``, again without occupying a worker.
 """
 
 from __future__ import annotations
@@ -163,6 +171,7 @@ class Coordinator:
         self.duplicate_results = 0
         self.late_results = 0
         self.cache_hits_served = 0
+        self.delta_hits_served = 0
         self.cache_queries = 0
         self.cache_query_hits = 0
         self.cache_pushes = 0
@@ -205,16 +214,30 @@ class Coordinator:
                     self.cache.put(key, payload)
         self._expired |= set(state.expired)
         for key, rec in state.pending.items():
+            # Restore the deadline_s clock: the journal anchors each
+            # job at its first-submit wall-clock instant, so the
+            # monotonic submitted_at is backdated by however long the
+            # job has already been waiting across incarnations.
+            wall = rec.get("wall")
+            try:
+                elapsed = max(0.0, time.time() - float(wall)) \
+                    if wall is not None else 0.0
+            except (TypeError, ValueError):
+                elapsed = 0.0
             entry = JobEntry(
                 key=key, job=dict(rec.get("job") or {}),
                 hints=list(rec.get("hints") or ()),
                 variant=str(rec.get("variant") or ""),
                 cacheable=bool(rec.get("cacheable", True)),
-                submitted_at=now,  # the deadline_s clock restarts here
+                submitted_at=now - elapsed,
+                submitted_wall=float(wall) if wall is not None else None,
                 attempts=int(rec.get("attempts") or 0),
-                # failed_on worker ids die with the incarnation that
-                # issued them — a fresh LeaseTable reuses the ids.
-                failed_on=set())
+                # Worker-affinity history survives the restart: names
+                # (unlike the incarnation-scoped ids) still match
+                # re-registering workers, so retries keep avoiding the
+                # workers that already failed this job.
+                failed_on={w for w in (rec.get("failed_on") or ())
+                           if isinstance(w, str)})
             self.queue.enqueue(entry, self.leases)
             self.jobs_recovered += 1
         self.jobs_submitted = state.jobs_submitted
@@ -238,7 +261,8 @@ class Coordinator:
                     "job": entry.job, "hints": entry.hints,
                     "variant": entry.variant, "cacheable": entry.cacheable,
                     "attempts": entry.attempts,
-                    "failed_on": sorted(entry.failed_on),
+                    "failed_on": sorted(str(w) for w in entry.failed_on),
+                    "wall": entry.submitted_wall,
                 }
         for key, worker_id in self._completed.items():
             state.completed[key] = {"worker": worker_id, "payload": None}
@@ -600,7 +624,11 @@ class Coordinator:
                   f"{entry.key[:12]}… (reports {str(reported)[:12]}); "
                   f"re-queueing")
         self._journal({"t": "requeue", "key": entry.key,
-                       "worker": record.worker_id})
+                       "worker": record.worker_id,
+                       "worker_name": record.name})
+        # Keep live state and journal replay in agreement: the retry
+        # avoids the worker whose assignment frame went missing.
+        entry.failed_on.add(record.name)
         self.queue.requeue(entry.key, self.leases)
         record.state = "idle" if reported is None else "busy"
         record.inflight_key = reported
@@ -616,8 +644,9 @@ class Coordinator:
         if record is not None \
                 and entry.assigned_to == record.worker_id:
             self._journal({"t": "requeue", "key": key,
-                           "worker": record.worker_id})
-            entry.failed_on.add(record.worker_id)
+                           "worker": record.worker_id,
+                           "worker_name": record.name})
+            entry.failed_on.add(record.name)
             self.queue.requeue(key, self.leases)
             # The worker is mid-grind on something else: it stays busy,
             # and crucially its *real* in-flight key is untouched.
@@ -691,10 +720,15 @@ class Coordinator:
                         f"worker died {entry.attempts} time(s) running "
                         f"this job (max_attempts={self._retry_limit(entry)})")
                 else:
+                    # worker_name feeds failed_on on replay, so it is
+                    # only recorded when the live path records it too
+                    # (a clean goodbye is not a failure).
                     self._journal({"t": "requeue", "key": entry.key,
-                                   "worker": worker_id})
+                                   "worker": worker_id,
+                                   "worker_name": record.name
+                                   if dead else None})
                     if dead:
-                        entry.failed_on.add(worker_id)
+                        entry.failed_on.add(record.name)
                     self.queue.requeue(entry.key, self.leases)
                     self._log(f"re-queued job {entry.key[:12]}… "
                               f"(attempt {entry.requeues + 1})")
@@ -718,6 +752,23 @@ class Coordinator:
             return key, True
         self._uncached_seq += 1
         return f"uncached:{self._uncached_seq}", False
+
+    def _cone_key(self, job: dict, hints) -> str | None:
+        """The cone-granular alias address of a submission, or None.
+
+        Only jobs that arrive with a ``cone_key`` fingerprint get one —
+        the coordinator never builds a design to compute it (that is
+        the delta planner's job, done once per campaign client-side).
+        """
+        if not job.get("cone_key"):
+            return None
+        from ..campaign.spec import Job
+        from ..verify.delta import job_cone_key
+
+        try:
+            return job_cone_key(Job.from_dict(job), hints)
+        except Exception:  # noqa: BLE001 - a bad fingerprint is a miss
+            return None
 
     def _handle_submit(self, peer: _Peer, frame: dict) -> None:
         peer.role = "client"
@@ -743,6 +794,22 @@ class Coordinator:
                                   "result": payload, "source": "cache",
                                   "worker": self._completed.get(key)})
                 return
+            # Cone-granular fallback: the whole-design key missed, but
+            # the job's obligation cone may be untouched since a prior
+            # design solved it — answer from the alias tier without
+            # occupying a worker.
+            cone = self._cone_key(job, hints)
+            if cone is not None:
+                payload = self.cache.get_cone(cone)
+                if payload is not None:
+                    self.delta_hits_served += 1
+                    # Promote: the next submit of *this* design hits the
+                    # primary key directly instead of via the alias.
+                    self.cache.put(key, payload, cone_key=cone)
+                    self._send(peer, {"op": "result", "tag": tag,
+                                      "key": key, "result": payload,
+                                      "source": "delta", "worker": None})
+                    return
         entry = self.queue.entries.get(key)
         if entry is not None:
             # The same question is already in flight (another client,
@@ -754,12 +821,14 @@ class Coordinator:
                          variant=str(job.get("variant_id") or ""),
                          cacheable=cacheable,
                          submitted_at=time.monotonic(),
+                         submitted_wall=time.time(),
                          waiters=[(peer, tag)])
         self._journal({"t": "submit", "key": key, "job": job,
                        "hints": hints, "variant": entry.variant,
                        "cacheable": cacheable,
                        "deadline_s": entry.deadline_s,
-                       "max_attempts": entry.max_attempts})
+                       "max_attempts": entry.max_attempts,
+                       "wall": entry.submitted_wall})
         if self.chaos is not None:
             # Crash point: the submit is durable but unacknowledged —
             # recovery must replay it and the client's re-submit must
@@ -807,7 +876,8 @@ class Coordinator:
     def _store(self, entry: JobEntry, payload: dict) -> None:
         if entry.cacheable and payload.get("verdict") not in ("timeout",
                                                               "error"):
-            self.cache.put(entry.key, payload)
+            self.cache.put(entry.key, payload,
+                           cone_key=self._cone_key(entry.job, entry.hints))
 
     def _retry_limit(self, entry: JobEntry) -> int:
         limit = entry.max_attempts
@@ -822,10 +892,14 @@ class Coordinator:
             self._log(f"job {entry.key[:12]}… timed out on worker "
                       f"{entry.assigned_to} (attempt {entry.attempts}); "
                       f"retrying elsewhere")
+            record = self.leases.get(entry.assigned_to) \
+                if entry.assigned_to is not None else None
             self._journal({"t": "requeue", "key": entry.key,
-                           "worker": entry.assigned_to})
-            if entry.assigned_to is not None:
-                entry.failed_on.add(entry.assigned_to)
+                           "worker": entry.assigned_to,
+                           "worker_name": record.name
+                           if record is not None else None})
+            if record is not None:
+                entry.failed_on.add(record.name)
             self.queue.requeue(entry.key, self.leases)
             # The old worker is still grinding; its late result folds
             # in idempotently if it ever lands.
@@ -983,6 +1057,8 @@ class Coordinator:
                     "entries": len(self.cache),
                     "quarantined": self.cache.quarantined,
                     "hits_served": self.cache_hits_served,
+                    "delta_hits_served": self.delta_hits_served,
+                    "cone_aliases": self.cache.status()["cone_aliases"],
                     "queries": self.cache_queries,
                     "query_hits": self.cache_query_hits,
                     "pushes": self.cache_pushes,

@@ -29,12 +29,22 @@ Record vocabulary (the ``"t"`` discriminator):
 =========== ================================================== =========
 t           payload                                            meaning
 =========== ================================================== =========
-``submit``  ``{"key","job","hints","variant","cacheable"}``    job queued
+``submit``  ``{"key","job","hints","variant","cacheable",      job queued
+            "wall"}``
 ``assign``  ``{"key","worker"}``                               attempt started
-``requeue`` ``{"key","worker"}``                               attempt failed
+``requeue`` ``{"key","worker","worker_name"}``                 attempt failed
 ``result``  ``{"key","worker","payload"}``                     job completed
 ``expire``  ``{"key","verdict","payload"}``                    terminal fault
 =========== ================================================== =========
+
+``submit.wall`` is the wall-clock (``time.time()``) instant of the
+*first* submit — the anchor the recovered coordinator measures
+``deadline_s`` against, so a restart never resets a job's end-to-end
+deadline clock.  ``requeue.worker_name`` feeds the entry's
+``failed_on`` affinity set: names outlive coordinator restarts (worker
+ids are reissued per incarnation), so a post-recovery retry still
+avoids the workers that already failed the job.  Both fields are
+optional — records from older writers replay fine without them.
 """
 
 from __future__ import annotations
@@ -70,7 +80,8 @@ class ReplayState:
     """The coordinator state a snapshot + journal replays to.
 
     ``pending`` maps content keys to entry dicts (``job``/``hints``/
-    ``variant``/``cacheable``/``attempts``/``failed_on``); ``completed``
+    ``variant``/``cacheable``/``attempts``/``failed_on``/``wall``);
+    ``completed``
     maps keys to ``{"worker", "payload"}`` (payload None once compacted
     into a snapshot — the verdict then lives in the disk cache);
     ``expired`` holds keys that ended in a terminal ``TIMEOUT``/
@@ -136,6 +147,7 @@ def _apply(state: ReplayState, record: dict) -> None:
             "cacheable": bool(record.get("cacheable", True)),
             "deadline_s": record.get("deadline_s"),
             "max_attempts": record.get("max_attempts"),
+            "wall": record.get("wall"),
             "attempts": 0,
             "failed_on": [],
         }
@@ -148,7 +160,12 @@ def _apply(state: ReplayState, record: dict) -> None:
         entry = state.pending.get(key)
         if entry is not None:
             state.requeues += 1
-            worker = record.get("worker")
+            # Prefer the durable name; fall back to the id for records
+            # from older writers (an id can't match a post-restart
+            # worker, so old-journal affinity degrades to a no-op).
+            worker = record.get("worker_name")
+            if worker is None:
+                worker = record.get("worker")
             if worker is not None and worker not in entry["failed_on"]:
                 entry["failed_on"].append(worker)
     elif kind == "result":

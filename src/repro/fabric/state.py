@@ -159,9 +159,15 @@ class JobEntry:
     requeues: int = 0
     #: Assignment attempts so far (bumped by :meth:`JobQueue.assign`).
     attempts: int = 0
-    #: Workers this entry already failed on (death/timeout/reject) —
-    #: placement avoids them so a retry lands somewhere else.
+    #: Worker *names* this entry already failed on (death/timeout/
+    #: reject) — placement avoids them so a retry lands somewhere else.
+    #: Names (not ids) because they survive a coordinator restart: a
+    #: re-registering worker gets a fresh id but keeps its ``--name``.
     failed_on: set = field(default_factory=set)
+    #: Wall-clock time of the *first* submit (``time.time()``), kept so
+    #: a recovered coordinator restores the ``deadline_s`` clock instead
+    #: of restarting it.  None for entries that predate the field.
+    submitted_wall: float | None = None
     assigned_at: float | None = None
     #: Absolute wall-clock cutoff from the job's ``deadline_s`` —
     #: end-to-end from submit, unlike the per-attempt execution timeout.
@@ -214,8 +220,9 @@ class JobQueue:
             return None
         # Retry policy: avoid workers this entry already failed on —
         # but only while alternatives exist (never wedge a one-worker
-        # fabric on a retry).
-        fresh = [w for w in workers if w.worker_id not in entry.failed_on]
+        # fabric on a retry).  Matching is by name: ids are reissued
+        # per incarnation, names follow the worker across restarts.
+        fresh = [w for w in workers if w.name not in entry.failed_on]
         workers = fresh or workers
         # Locality first: a worker whose last assignment shares the
         # design keeps its caches (disk verdict store, OS page cache,
@@ -289,7 +296,7 @@ class JobQueue:
         # makes progress).
         avoid = None
         if len(self._backlogs) > 1:
-            avoid = lambda e: worker.worker_id in e.failed_on
+            avoid = lambda e: worker.name in e.failed_on
         own = self._backlogs.get(worker.worker_id)
         key = self._pop_matching(own, worker.last_variant, from_tail=False,
                                  avoid=avoid) \

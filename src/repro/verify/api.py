@@ -80,6 +80,41 @@ def _request_key(request: VerificationRequest, hints=None) -> str | None:
     )
 
 
+def _request_cone_key(request: VerificationRequest,
+                      hints=None) -> str | None:
+    """The cone-granular alias address of a request, or None.
+
+    :func:`_request_key` with the cone fingerprint substituted for the
+    whole-design fingerprint and every other keyed field identical —
+    two requests sharing a cone key differ at most in logic outside
+    the obligation's dependency cone.
+    """
+    if not request.serializable or not request.use_cache:
+        return None
+    try:
+        fingerprint = request.cone_fingerprint()
+    except Exception:  # noqa: BLE001 - an unfingerprintable cone is a miss
+        return None
+    if fingerprint is None:
+        return None
+    return cache_key(
+        "cone:" + fingerprint,
+        request.threat_overrides,
+        request.method,
+        request.depth,
+        record_trace=request.record_trace,
+        hints=list(hints or ()),
+        extra={
+            "max_iterations": request.max_iterations,
+            "seed_removed": list(request.seed_removed),
+            "induction_k": request.induction_k,
+            "preprocess": request.preprocess.to_dict(),
+            "backend": request.backend,
+            "portfolio": list(request.portfolio),
+        },
+    )
+
+
 def verify(request=None, *, cache: VerdictCache | None = None, **kwargs) -> Verdict:
     """Answer one verification question.
 
@@ -104,6 +139,7 @@ def verify(request=None, *, cache: VerdictCache | None = None, **kwargs) -> Verd
         raise TypeError("pass either a request or keyword fields, not both")
     cache = cache if cache is not None else _DEFAULT_CACHE
     key = _request_key(request)
+    cone = None
     if key is not None:
         payload = cache.get(key)
         if payload is not None:
@@ -111,9 +147,22 @@ def verify(request=None, *, cache: VerdictCache | None = None, **kwargs) -> Verd
             verdict.cached = True
             verdict.provenance["cache_hit"] = True
             return verdict
+        # Primary miss: try the cone-granular alias — an edit outside
+        # this obligation's dependency cone leaves the alias (and the
+        # verdict it points at) valid even though the whole-design
+        # fingerprint moved.
+        cone = _request_cone_key(request)
+        if cone is not None:
+            payload = cache.get_cone(cone)
+            if payload is not None:
+                verdict = Verdict.from_dict(payload)
+                verdict.cached = True
+                verdict.provenance["cache_hit"] = True
+                verdict.provenance["delta"] = "cone-hit"
+                return verdict
     verdict = execute(request)
     if key is not None:
-        cache.put(key, verdict.to_dict())
+        cache.put(key, verdict.to_dict(), cone_key=cone)
     return verdict
 
 

@@ -188,11 +188,18 @@ class VerdictCache:
     def __init__(self, path: str | pathlib.Path | None = None,
                  remote=None, connect_timeout: float = 5.0):
         self._memory: dict[str, dict] = {}
+        # Cone-alias tier: cone key -> primary key.  A *second* address
+        # for the same payload, so existing caches stay valid — primary
+        # entries are untouched and a cache without aliases just never
+        # answers a cone lookup.
+        self._cone_alias: dict[str, str] = {}
         self._path = pathlib.Path(path) if path is not None else None
         self._remote = _RemoteTier(remote, connect_timeout) \
             if remote is not None else None
         self.hits = 0
         self.misses = 0
+        self.cone_hits = 0
+        self.cone_misses = 0
         self.remote_hits = 0
         self.remote_misses = 0
         self.remote_pushes = 0
@@ -205,6 +212,9 @@ class VerdictCache:
 
     def _entry_path(self, key: str) -> pathlib.Path:
         return self._path / key[:2] / f"{key}.json"
+
+    def _alias_path(self, cone_key: str) -> pathlib.Path:
+        return self._path / "cone" / cone_key[:2] / f"{cone_key}.json"
 
     def _quarantine(self, entry: pathlib.Path, why) -> None:
         """Move a corrupt shard file aside so it never raises again.
@@ -270,9 +280,54 @@ class VerdictCache:
         self.hits += 1
         return payload
 
-    def put(self, key: str, payload: dict) -> None:
-        """Store a JSON-ready payload under ``key`` (all tiers)."""
+    def get_cone(self, cone_key: str) -> dict | None:
+        """The payload aliased under ``cone_key``, or None.
+
+        Cone lookups never fall through to the remote tier: the fabric
+        coordinator (the authoritative store) resolves its own aliases
+        at submit, and a stale alias must cost a local miss, not a
+        round trip.
+        """
+        primary = self._cone_alias.get(cone_key)
+        if primary is None and self._path is not None:
+            entry = self._alias_path(cone_key)
+            try:
+                pointer = json.loads(entry.read_text())
+                primary = pointer["key"] \
+                    if isinstance(pointer, dict) else None
+            except FileNotFoundError:
+                primary = None
+            except (OSError, ValueError, TypeError, KeyError) as exc:
+                self._quarantine(entry, exc)
+                primary = None
+            else:
+                if primary is not None:
+                    self._cone_alias[cone_key] = primary
+        payload = self._local_get(primary) if primary is not None else None
+        if payload is None:
+            self.cone_misses += 1
+            return None
+        self.cone_hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict, cone_key: str | None = None) -> None:
+        """Store a JSON-ready payload under ``key`` (all tiers).
+
+        ``cone_key`` additionally aliases the entry under a
+        cone-granular address (see :mod:`repro.verify.delta`): a later
+        design whose obligation cone is untouched shares the alias and
+        is answered without re-solving, even though its whole-design
+        key differs.
+        """
         self._local_put(key, payload)
+        if cone_key is not None:
+            self._cone_alias[cone_key] = key
+            if self._path is not None:
+                entry = self._alias_path(cone_key)
+                entry.parent.mkdir(parents=True, exist_ok=True)
+                tmp = entry.with_suffix(".tmp")
+                tmp.write_text(json.dumps({"key": key}))
+                tmp.replace(entry)
         if self._remote is not None and self._remote.push(key, payload):
             self.remote_pushes += 1
 
@@ -287,6 +342,9 @@ class VerdictCache:
             "entries": len(self._memory),
             "hits": self.hits,
             "misses": self.misses,
+            "cone_aliases": len(self._cone_alias),
+            "cone_hits": self.cone_hits,
+            "cone_misses": self.cone_misses,
             "quarantined": self.quarantined,
             "remote_hits": self.remote_hits,
             "remote_misses": self.remote_misses,

@@ -1,0 +1,715 @@
+"""Cone-granular fingerprints and design-diff-aware re-verification.
+
+The verdict cache addresses payloads by the *whole-design* fingerprint
+(:meth:`~repro.soc.config.SocConfig.variant_id`), so any RTL edit —
+however local — invalidates every cached verdict of that design.  This
+module makes re-verification cost proportional to the *diff* instead:
+
+* :func:`cone_fingerprint` hashes the COI-restricted sub-circuit one
+  verification obligation actually depends on, canonicalized so node
+  renumbering and edits outside the cone don't perturb it.  For BMC /
+  k-induction the cone is the register cone-of-influence of the spy
+  response invariants plus the firmware constraints (exactly what the
+  unroller encodes); for the relational methods (Algorithm 1/2, the IFT
+  baseline) the UPEC property reads essentially all state, so the sound
+  cone is the whole design — still canonical, so config fields that
+  never reach the formal netlist (e.g. ``rom_words`` on a CPU-cut
+  build) stop invalidating verdicts.
+* :func:`diff_designs` reports which registers/inputs actually changed
+  between two designs: a structural RTL hash pass refined by an
+  AIG-level strash comparison (two spellings of the same logic blast to
+  the same strashed node and are *cleared*).
+* :func:`plan_delta_campaign` partitions a campaign against a baseline
+  report into *cache-servable* jobs (cone untouched — answered from the
+  baseline payload with ``provenance["delta"] == "cone-hit"``),
+  *hint-seeded* reruns (cone intersects the diff but their ``seed_from``
+  donors are served, so the prior run's hints flow in through the
+  existing donor machinery) and plain *must-rerun* jobs.
+* :func:`audit_cone_hits` re-verifies a deterministic sample of served
+  cone-hits from scratch and raises :class:`DeltaAuditError` on any
+  payload mismatch — the soundness backstop, same shape as the
+  portfolio cross-check.
+
+Soundness argument: a cone-hit is served only when (a) every field of
+the job that is part of the verdict-cache key — except the whole-design
+fingerprint — is identical to the baseline job's, (b) the obligation's
+cone fingerprint is identical on the old and new design, and (c) every
+``seed_from`` donor is itself served (so the hint payloads in effect
+are bit-identical to the baseline's).  Under (a)–(c) the solver would
+read exactly the same netlist, assumptions and seeds as the baseline
+run, hence return a bit-identical payload.
+
+Threat-model overrides are the documented exception: an override
+rewrites the assumption set after the build, which can *widen* what an
+obligation reads, so overridden BMC / k-induction jobs conservatively
+fall back to the whole-design fingerprint (see README, "Incremental
+re-verification").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+
+from ..aig.aig import Aig
+from ..aig.bitblast import BitBlaster
+from ..aig.coi import reg_coi
+from ..rtl.circuit import Circuit, RegInfo
+from ..rtl.expr import Const, Expr, Input, MemRead, Op, RegRead, topo_sort
+from ..upec.threat_model import ThreatModel
+from .cache import cache_key
+from .request import build_design, normalize_design
+
+__all__ = [
+    "expr_digest",
+    "cone_fingerprint",
+    "job_cone_key",
+    "DesignDiff",
+    "diff_designs",
+    "DeltaPlan",
+    "plan_delta_campaign",
+    "DeltaAuditError",
+    "audit_cone_hits",
+]
+
+#: Methods whose obligation reads only the register cone-of-influence of
+#: the SoC reachability invariants (what the unroller actually encodes).
+COI_METHODS = frozenset({"bmc", "k-induction"})
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def expr_digest(root: Expr, memo: dict[int, str] | None = None) -> str:
+    """Canonical structural digest of an expression DAG.
+
+    Memoized on ``Expr.uid`` for sharing only — the uid itself (a
+    process-global counter) is never hashed, so two builds of the same
+    logic produce the same digest regardless of construction order.
+    """
+    memo = memo if memo is not None else {}
+    cached = memo.get(root.uid)
+    if cached is not None:
+        return cached
+    for node in topo_sort([root]):
+        if node.uid in memo:
+            continue
+        if isinstance(node, Const):
+            text = f"c{node.width}:{node.value}"
+        elif isinstance(node, Input):
+            text = f"i{node.width}:{node.name}"
+        elif isinstance(node, RegRead):
+            text = f"r{node.width}:{node.name}"
+        elif isinstance(node, MemRead):
+            text = f"m{node.width}:{node.mem_name}:{memo[node.addr.uid]}"
+        else:
+            assert isinstance(node, Op)
+            args = ",".join(memo[c.uid] for c in node.operands)
+            text = f"o{node.width}:{node.kind}:{node.params!r}:{args}"
+        memo[node.uid] = _digest(text)[:16]
+    return memo[root.uid]
+
+
+def _meta_text(info: RegInfo) -> str:
+    meta = info.meta
+    return (f"{meta.owner}|{meta.kind}|{meta.persistent}|{meta.accessible}"
+            f"|{meta.array}|{meta.index}")
+
+
+def _register_digest(info: RegInfo, memo: dict[int, str]) -> str:
+    """Digest of one register: name, shape, metadata and next-state logic."""
+    assert info.next is not None, f"register {info.name} undriven"
+    return _digest(
+        f"{info.name}|{info.width}|{info.reset}|{_meta_text(info)}"
+        f"|{expr_digest(info.next, memo)}"
+    )[:16]
+
+
+def _circuit_digest(
+    circuit: Circuit,
+    regs=None,
+    memo: dict[int, str] | None = None,
+) -> str:
+    """Canonical digest of a circuit (or the named register subset).
+
+    A subset digest covers the named registers' full definitions; the
+    inputs and registers they read appear as leaves inside the
+    next-state digests, so nothing outside the cone contributes.
+    """
+    memo = memo if memo is not None else {}
+    names = sorted(circuit.regs) if regs is None else sorted(regs)
+    parts = [
+        _register_digest(circuit.regs[name], memo)
+        for name in names if name in circuit.regs
+    ]
+    if regs is None:
+        parts.extend(
+            f"in:{name}:{node.width}"
+            for name, node in sorted(circuit.inputs.items())
+        )
+        for name, mem in sorted(circuit.memories.items()):
+            ports = ";".join(
+                f"{expr_digest(p.enable, memo)},{expr_digest(p.addr, memo)},"
+                f"{expr_digest(p.data, memo)}"
+                for p in mem.write_ports
+            )
+            parts.append(
+                f"mem:{name}:{mem.words}x{mem.width}:{mem.init}:{ports}")
+    return _digest("\n".join(parts))
+
+
+def _threat_model_digest(tm: ThreatModel, memo: dict[int, str]) -> str:
+    """Digest of everything a relational obligation reads off the TM."""
+    parts = [
+        "port:" + ",".join(tm.victim_port.fields()),
+        f"page:{tm.victim_page}@{tm.page_bits}",
+        "secrets:" + ",".join(
+            f"{k}={v}" for k, v in sorted(tm.secret_arrays.items())),
+        "spies:" + ";".join(f"{v},{a}" for v, a in tm.spy_master_ports),
+        "stable:" + ",".join(sorted(tm.stable_input_names)),
+        "fw:" + ",".join(expr_digest(e, memo)
+                         for e in tm.firmware_constraints),
+        "inv:" + ",".join(expr_digest(e, memo) for e in tm.invariants),
+        "vpc:" + (expr_digest(tm.victim_page_constraint, memo)
+                  if tm.victim_page_constraint is not None else "-"),
+    ]
+    return _digest("\n".join(parts))
+
+
+def _full_fingerprint(tm: ThreatModel, soc, memo: dict[int, str]) -> str:
+    parts = [
+        _circuit_digest(tm.circuit, memo=memo),
+        _threat_model_digest(tm, memo),
+    ]
+    if soc is not None:
+        # The IFT baseline concretizes the protected page from the
+        # address map; region bases are decode constants already in the
+        # netlist, but keying them explicitly keeps this independent of
+        # decode-logic restructuring.
+        for region in ("pub_ram", "priv_ram"):
+            pages = soc.address_map.pages_of(region, soc.config.page_bits)
+            parts.append(f"{region}@{pages.start}")
+    return "full:" + _digest("\n".join(parts))
+
+
+def cone_fingerprint(
+    design,
+    method: str,
+    threat_overrides=None,
+    *,
+    resolved=None,
+) -> str:
+    """Stable hash of the sub-circuit ``(design, method)`` depends on.
+
+    ``resolved`` may pass a prebuilt ``(tm, soc)`` pair (with overrides
+    already applied) to skip the design build; the campaign planner uses
+    this to fingerprint many obligations per design.
+    """
+    overrides = dict(threat_overrides or {})
+    if resolved is not None:
+        tm, soc = resolved
+    else:
+        from .request import apply_threat_overrides
+
+        tm, soc = build_design(design)
+        apply_threat_overrides(tm, overrides)
+    memo: dict[int, str] = {}
+    if method in COI_METHODS and soc is not None and not overrides:
+        from ..soc.invariants import spy_response_invariants
+
+        invariants = spy_response_invariants(soc)
+        if not invariants:
+            # The engine early-returns holds/proved without solving:
+            # the obligation depends on nothing but that emptiness.
+            return "coi:empty"
+        roots = list(invariants) + list(tm.firmware_constraints)
+        cone = reg_coi(tm.circuit, roots)
+        parts = [_circuit_digest(tm.circuit, regs=cone, memo=memo)]
+        parts.extend(expr_digest(e, memo) for e in roots)
+        return "coi:" + _digest("\n".join(parts))
+    # Relational methods read essentially all state (and an override may
+    # widen any cone): the sound cone is the whole design.
+    return _full_fingerprint(tm, soc, memo)
+
+
+def job_cone_key(job, hints=None, *, fingerprint: str | None = None):
+    """Cone-granular content address of a campaign job under ``hints``.
+
+    The exact analogue of
+    :func:`~repro.campaign.runner.job_cache_key` with the cone
+    fingerprint substituted for the whole-design fingerprint — every
+    other keyed field (threat overrides, method, depth, trace flag,
+    hints, preprocess/backend/portfolio) is identical, so two jobs
+    sharing a cone key differ at most in logic *outside* their cone.
+
+    The fingerprint comes from ``fingerprint``, then ``job.cone_key``
+    (planners precompute it there), then a fresh design build; None
+    when the design has no stable fingerprint (raw ThreatModel).
+    """
+    from ..sat.preprocess import PreprocessConfig
+
+    if fingerprint is None:
+        fingerprint = getattr(job, "cone_key", None)
+    if fingerprint is None:
+        if isinstance(job.design, ThreatModel):
+            return None
+        try:
+            normalize_design(job.design)
+        except (TypeError, ValueError):
+            return None
+        fingerprint = cone_fingerprint(
+            job.design, job.algorithm, job.threat_overrides)
+    return cache_key(
+        "cone:" + fingerprint,
+        job.threat_overrides,
+        job.algorithm,
+        job.depth,
+        record_trace=job.record_trace,
+        hints=hints,
+        extra={"preprocess": PreprocessConfig.coerce(job.preprocess)
+               .to_dict(),
+               "backend": job.backend,
+               "portfolio": list(job.portfolio)},
+    )
+
+
+def cone_fingerprint_memo():
+    """A memoized ``job -> cone fingerprint`` callable for campaigns.
+
+    One design build per ``(design, overrides, cone class)`` — the
+    campaign runner uses this to alias every *executed* job in the
+    verdict cache without rebuilding the design per obligation.  COI
+    methods share one class (their cones are the same invariant roots);
+    everything else shares the full-design class.  Returns None for
+    designs with no stable fingerprint.
+    """
+    memo: dict = {}
+
+    def lookup(job) -> str | None:
+        fp = getattr(job, "cone_key", None)
+        if fp:
+            return fp
+        if isinstance(job.design, ThreatModel):
+            return None
+        cone_class = "coi" if (job.algorithm in COI_METHODS
+                               and not job.threat_overrides) else "full"
+        try:
+            mkey = (
+                json.dumps(job.design, sort_keys=True),
+                json.dumps(dict(job.threat_overrides or {}),
+                           sort_keys=True),
+                cone_class,
+            )
+        except TypeError:
+            return None
+        if mkey not in memo:
+            try:
+                memo[mkey] = cone_fingerprint(
+                    job.design, job.algorithm, job.threat_overrides)
+            except Exception:  # noqa: BLE001 - unfingerprintable designs
+                memo[mkey] = None
+        return memo[mkey]
+
+    return lookup
+
+
+# -- design diffing ----------------------------------------------------------
+
+
+@dataclass
+class DesignDiff:
+    """Structural difference between two designs, register-granular.
+
+    ``changed_regs`` lists registers present in both designs whose
+    definition actually changed (surviving the strash comparison);
+    ``strash_cleared`` lists registers the RTL hash pass flagged but
+    whose next-state logic blasts to the identical strashed AIG node —
+    different spellings of the same gate-level function.
+    """
+
+    added_regs: tuple = ()
+    removed_regs: tuple = ()
+    changed_regs: tuple = ()
+    changed_inputs: tuple = ()
+    strash_cleared: tuple = ()
+
+    def touched(self) -> set[str]:
+        """Every register name the edit touches (added/removed/changed)."""
+        return (set(self.added_regs) | set(self.removed_regs)
+                | set(self.changed_regs))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.added_regs or self.removed_regs
+                    or self.changed_regs or self.changed_inputs)
+
+    def to_dict(self) -> dict:
+        return {
+            "added_regs": list(self.added_regs),
+            "removed_regs": list(self.removed_regs),
+            "changed_regs": list(self.changed_regs),
+            "changed_inputs": list(self.changed_inputs),
+            "strash_cleared": list(self.strash_cleared),
+        }
+
+
+def diff_designs(old, new) -> DesignDiff:
+    """Registers/inputs that changed between two design references.
+
+    Both arguments take anything
+    :func:`~repro.verify.request.normalize_design` accepts (a
+    ``SocConfig``, a named base config, a design-spec dict, a builder
+    reference).  The RTL hash pass flags candidates; a shared-strash
+    AIG comparison then clears registers whose old and new next-state
+    logic lower to the same literal vector (node renumbering and
+    re-spelled but equivalent structure never count as changes).
+    """
+    tm_old, _ = build_design(old)
+    tm_new, _ = build_design(new)
+    c_old, c_new = tm_old.circuit, tm_new.circuit
+    memo_old: dict[int, str] = {}
+    memo_new: dict[int, str] = {}
+
+    added = sorted(set(c_new.regs) - set(c_old.regs))
+    removed = sorted(set(c_old.regs) - set(c_new.regs))
+    changed_inputs = sorted(
+        set(c_old.inputs) ^ set(c_new.inputs)
+        | {n for n in set(c_old.inputs) & set(c_new.inputs)
+           if c_old.inputs[n].width != c_new.inputs[n].width}
+    )
+
+    changed: list[str] = []
+    strash_candidates: list[str] = []
+    for name in sorted(set(c_old.regs) & set(c_new.regs)):
+        a, b = c_old.regs[name], c_new.regs[name]
+        if (a.width, a.reset, _meta_text(a)) != (b.width, b.reset,
+                                                 _meta_text(b)):
+            changed.append(name)
+        elif expr_digest(a.next, memo_old) != expr_digest(b.next, memo_new):
+            strash_candidates.append(name)
+
+    cleared: list[str] = []
+    if strash_candidates:
+        aig = Aig()
+        shared: dict[tuple, list] = {}
+
+        def leaves_for(circuit: Circuit) -> dict:
+            out = {}
+            for name, node in circuit.inputs.items():
+                key = ("in", name, node.width)
+                if key not in shared:
+                    shared[key] = aig.input_vec(name, node.width)
+                out[("in", name)] = shared[key]
+            for name, info in circuit.regs.items():
+                key = ("reg", name, info.width)
+                if key not in shared:
+                    shared[key] = aig.input_vec(f"reg:{name}", info.width)
+                out[("reg", name)] = shared[key]
+            return out
+
+        blast_old = BitBlaster(aig, leaves_for(c_old))
+        blast_new = BitBlaster(aig, leaves_for(c_new))
+        for name in strash_candidates:
+            try:
+                same = (blast_old.vec(c_old.regs[name].next)
+                        == blast_new.vec(c_new.regs[name].next))
+            except (NotImplementedError, KeyError, ValueError):
+                # Behavioural-memory reads (and any other non-blastable
+                # construct) stay conservatively flagged as changed.
+                same = False
+            (cleared if same else changed).append(name)
+
+    return DesignDiff(
+        added_regs=tuple(added),
+        removed_regs=tuple(removed),
+        changed_regs=tuple(sorted(changed)),
+        changed_inputs=tuple(changed_inputs),
+        strash_cleared=tuple(cleared),
+    )
+
+
+# -- delta campaign planning -------------------------------------------------
+
+
+def _job_identity(job) -> tuple:
+    """What makes two jobs "the same obligation" across campaign runs."""
+    return (job.variant, job.threat, job.algorithm, job.depth)
+
+
+#: Job fields that may differ between the baseline and the new run
+#: without breaking bit-identity: position/linkage bookkeeping and
+#: scheduling policy (explicitly excluded from the verdict-cache key).
+_IDENTITY_FREE_FIELDS = frozenset({
+    "index", "campaign", "seed_from", "variant_id", "design",
+    "timeout_seconds", "deadline_s", "max_attempts", "cone_key",
+})
+
+
+def _policy_equal(a: dict, b: dict) -> bool:
+    strip = lambda d: {k: v for k, v in d.items()  # noqa: E731
+                       if k not in _IDENTITY_FREE_FIELDS}
+    return strip(a) == strip(b)
+
+
+@dataclass
+class DeltaPlan:
+    """The partition of a campaign against a baseline run.
+
+    ``jobs`` is the new spec's expansion with ``cone_key`` attached;
+    ``serve`` maps served job indices to preset
+    :class:`~repro.campaign.runner.JobResult` payloads (pass it to
+    ``run_campaign(..., preset=plan.serve)``); ``rerun`` lists job
+    indices that must re-verify, of which ``seeded`` names the subset
+    whose donors are served — they start from the prior run's hints
+    through the ordinary ``seed_from`` flow.
+    """
+
+    jobs: list = field(default_factory=list)
+    serve: dict = field(default_factory=dict)
+    rerun: list = field(default_factory=list)
+    seeded: list = field(default_factory=list)
+    reasons: dict = field(default_factory=dict)
+    diffs: dict = field(default_factory=dict)
+
+    @property
+    def cone_hits(self) -> int:
+        return len(self.serve)
+
+    def summary(self) -> dict:
+        """JSON-ready plan accounting (reports, benchmarks, CI)."""
+        return {
+            "jobs": len(self.jobs),
+            "cone_hits": len(self.serve),
+            "rerun": len(self.rerun),
+            "hint_seeded": len(self.seeded),
+            "served_indices": sorted(self.serve),
+            "rerun_indices": list(self.rerun),
+            "reasons": {str(i): r for i, r in sorted(self.reasons.items())},
+            "diffs": {k: d.to_dict() for k, d in self.diffs.items()},
+        }
+
+
+def plan_delta_campaign(spec, baseline, diffs=None) -> DeltaPlan:
+    """Partition ``spec``'s jobs against a baseline campaign report.
+
+    Args:
+        spec: the new :class:`~repro.campaign.spec.CampaignSpec`.
+        baseline: a campaign report artifact — the dict written by
+            ``python -m repro.campaign run`` (``{"spec", "campaign",
+            ...}``) or just its ``campaign`` result dict.
+        diffs: optional precomputed per-variant
+            :class:`DesignDiff` map (computed here when omitted —
+            purely informational; serve decisions rest on cone
+            fingerprints alone).
+
+    A job is served from the baseline iff its baseline twin exists with
+    a real verdict, every cache-keyed field matches, its cone
+    fingerprint is identical on the old and new design, and all its
+    ``seed_from`` donors are themselves served.
+    """
+    from ..campaign.runner import JobResult
+    from ..campaign.spec import CampaignSpec
+    from .request import apply_threat_overrides
+
+    if "campaign" in baseline:
+        old_spec_data = baseline.get("spec")
+        records = baseline["campaign"]["results"]
+    else:
+        old_spec_data = None
+        records = baseline["results"]
+    old_jobs: dict[tuple, dict] = {}
+    old_records: dict[tuple, dict] = {}
+    for record in records:
+        identity = _job_identity(JobResult.from_dict(record).job)
+        old_jobs[identity] = record["job"]
+        old_records[identity] = record
+    if old_spec_data is not None:
+        old_spec = CampaignSpec.from_dict(old_spec_data)
+    else:
+        old_spec = None
+
+    resolved_cache: dict[str, tuple] = {}
+
+    def resolve(design: dict, overrides: dict) -> tuple:
+        key = json.dumps([design, overrides], sort_keys=True)
+        if key not in resolved_cache:
+            tm, soc = build_design(design)
+            apply_threat_overrides(tm, overrides)
+            resolved_cache[key] = (tm, soc)
+        return resolved_cache[key]
+
+    fp_cache: dict[tuple, str] = {}
+
+    def fingerprint(design: dict, method: str, overrides: dict) -> str:
+        method_class = "coi" if method in COI_METHODS else "full"
+        key = (json.dumps([design, overrides], sort_keys=True), method_class)
+        if key not in fp_cache:
+            fp_cache[key] = cone_fingerprint(
+                design, method, overrides,
+                resolved=resolve(design, overrides))
+        return fp_cache[key]
+
+    plan = DeltaPlan()
+    new_jobs = spec.expand()
+    for job in new_jobs:
+        identity = _job_identity(job)
+        old_job = old_jobs.get(identity)
+        reason = None
+        if old_job is None:
+            reason = "new obligation"
+        elif not _policy_equal(job.to_dict(), old_job):
+            reason = "job parameters changed"
+        else:
+            record = old_records[identity]
+            if record["verdict"] in ("timeout", "error"):
+                reason = f"baseline verdict is {record['verdict']}"
+        if reason is None:
+            try:
+                fp_new = fingerprint(job.design, job.algorithm,
+                                     job.threat_overrides)
+                fp_old = fingerprint(old_job["design"], job.algorithm,
+                                     old_job["threat_overrides"])
+            except Exception as exc:  # noqa: BLE001 - plan, don't crash
+                reason = f"fingerprint failed: {exc}"
+                fp_new = None
+            else:
+                if fp_old != fp_new:
+                    reason = "cone intersects the diff"
+        else:
+            try:
+                fp_new = fingerprint(job.design, job.algorithm,
+                                     job.threat_overrides)
+            except Exception:  # noqa: BLE001
+                fp_new = None
+        if reason is None and not all(d in plan.serve for d in job.seed_from):
+            reason = "donor re-runs (hints not provably identical)"
+
+        job = dataclasses.replace(job, cone_key=fp_new)
+        plan.jobs.append(job)
+        if reason is None:
+            record = old_records[identity]
+            result = JobResult.from_dict(record)
+            result.job = job
+            result.cached = True
+            result.provenance = {**result.provenance, "delta": "cone-hit"}
+            plan.serve[job.index] = result
+        else:
+            plan.reasons[job.index] = reason
+            plan.rerun.append(job.index)
+            if job.seed_from and all(d in plan.serve
+                                     for d in job.seed_from):
+                plan.seeded.append(job.index)
+
+    if diffs is None and old_spec is not None:
+        diffs = {}
+        for variant in spec.variants:
+            try:
+                old_cfg = old_spec.resolve_variant(variant) \
+                    if variant in old_spec.variants else None
+                new_cfg = spec.resolve_variant(variant)
+            except Exception:  # noqa: BLE001 - informational only
+                continue
+            if old_cfg is not None and new_cfg is not None:
+                diffs[variant] = diff_designs(old_cfg, new_cfg)
+    plan.diffs = dict(diffs or {})
+    return plan
+
+
+# -- the soundness audit -----------------------------------------------------
+
+
+class DeltaAuditError(RuntimeError):
+    """A served cone-hit did not replay bit-identically."""
+
+
+#: Keys whose values are wall-clock or solver-cost measurements, never
+#: part of the bit-identity contract.  ``stats`` dicts nest them at
+#: every level (per-iteration, per-counterexample), so scrubbing is
+#: recursive.  Names like ``final_s``/``s_size`` (register sets) are
+#: semantic and must survive — hence a denylist, not a suffix rule.
+_TIMING_KEYS = frozenset({
+    "seconds", "stats", "wall_seconds",
+    "build_seconds", "solve_seconds", "encode_seconds",
+    "preprocess_s", "race_wall_s",
+})
+
+
+def _scrub_timings(value):
+    """Recursively drop measurement keys from a JSON-ready payload."""
+    if isinstance(value, dict):
+        return {k: _scrub_timings(v) for k, v in value.items()
+                if k not in _TIMING_KEYS}
+    if isinstance(value, list):
+        return [_scrub_timings(v) for v in value]
+    return value
+
+
+def _result_essence(record: dict) -> dict:
+    """The bit-identity contract fields of a result payload.
+
+    Everything except wall-clock, solver cost counters and cache/delta
+    provenance — the same shape :func:`repro.fabric.smoke.diff_campaigns`
+    checks between fabric and reference runs.
+    """
+    detail = dict(record.get("detail") or {})
+    detail.pop("trace", None)
+    return {
+        "verdict": record.get("verdict"),
+        "seeded": record.get("seeded"),
+        "reran_unseeded": record.get("reran_unseeded"),
+        "hint": record.get("hint"),
+        "detail": _scrub_timings(detail),
+    }
+
+
+def audit_sample(plan: DeltaPlan, fraction: float = 0.25) -> list[int]:
+    """The deterministic cone-hit sample an audit re-verifies.
+
+    Served indices ranked by the SHA-256 of their cone key (stable
+    across hosts and runs, independent of dict order), truncated to
+    ``ceil(fraction * hits)`` with at least one entry when any exist.
+    """
+    if not plan.serve:
+        return []
+    ranked = sorted(
+        plan.serve,
+        key=lambda i: _digest(f"{plan.jobs[i].cone_key}:{i}"),
+    )
+    count = max(1, math.ceil(len(ranked) * fraction))
+    return sorted(ranked[:count])
+
+
+def audit_cone_hits(plan: DeltaPlan, fraction: float = 0.25) -> dict:
+    """Re-verify a deterministic sample of served cone-hits from scratch.
+
+    Each sampled job runs fresh in-process with exactly the hints the
+    serve asserted (its donors' served payloads) and the fresh result
+    must match the served payload on every bit-identity contract field.
+    Raises :class:`DeltaAuditError` on the first mismatch; returns
+    ``{"sampled", "mismatches", "indices"}`` (mismatches always 0 when
+    it returns).
+    """
+    from ..campaign.runner import run_job
+
+    indices = audit_sample(plan, fraction)
+    for index in indices:
+        job = plan.jobs[index]
+        hints = [plan.serve[d].hint for d in job.seed_from
+                 if plan.serve[d].hint]
+        fresh = run_job(job, hints)
+        served = plan.serve[index]
+        want = _result_essence(served.to_dict())
+        got = _result_essence(fresh.to_dict())
+        if want != got:
+            mismatch = {k: (want[k], got[k]) for k in want
+                        if want[k] != got[k]}
+            raise DeltaAuditError(
+                f"cone-hit audit mismatch on job {index} "
+                f"({job.label()}): served payload differs from a fresh "
+                f"run in {sorted(mismatch)} — {mismatch}"
+            )
+    return {"sampled": len(indices), "mismatches": 0, "indices": indices}

@@ -261,6 +261,21 @@ class VerificationRequest:
         """The design's content fingerprint (see :func:`design_fingerprint`)."""
         return design_fingerprint(self.design)
 
+    def cone_fingerprint(self) -> str | None:
+        """The structural fingerprint of this obligation's dependency
+        cone (see :func:`repro.verify.delta.cone_fingerprint`), or None
+        for raw in-memory designs.
+
+        Unlike :meth:`fingerprint` this survives edits *outside* the
+        cone — the basis of cone-granular verdict caching.
+        """
+        if not self.serializable:
+            return None
+        from .delta import cone_fingerprint
+
+        return cone_fingerprint(self.design, self.method,
+                                self.threat_overrides)
+
     def resolve(self):
         """Build the design and apply overrides: ``(tm, soc)``."""
         tm, soc = build_design(self.design)

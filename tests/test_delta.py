@@ -1,0 +1,438 @@
+"""Cone-granular verdict caching and design-diff-aware re-verification.
+
+The soundness-critical contracts of :mod:`repro.verify.delta`: cone
+fingerprints are canonical (node renumbering and out-of-cone edits
+never move them, in-cone edits always do), design diffs are structural
+(strash clears re-spelled logic), delta plans serve only provably
+unaffected obligations, the audit catches any payload drift, and the
+cone-alias tier answers through every surface — the cache itself, the
+campaign runner, and the fabric coordinator at submit time.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignSpec, register_builder, run_campaign, \
+    smoke_spec
+from repro.campaign.grids import edit_variants
+from repro.rtl import Circuit
+from repro.rtl.expr import Input, const
+from repro.soc.config import FORMAL_TINY
+from repro.upec import ThreatModel, VictimPort
+from repro.upec.report import campaign_summary
+from repro.verify.cache import VerdictCache
+from repro.verify.delta import (
+    DeltaAuditError,
+    DeltaPlan,
+    audit_cone_hits,
+    audit_sample,
+    cone_fingerprint,
+    diff_designs,
+    expr_digest,
+    job_cone_key,
+    plan_delta_campaign,
+)
+from repro.verify.protocol import recv_frame
+
+from test_fabric import _client, _submit, fabric_up  # noqa: F401
+from repro.fabric import fetch_status
+
+ADDR_W = 4
+PAGE_BITS = 2
+
+
+# -- cone fingerprints --------------------------------------------------------
+
+
+def test_cone_fingerprint_is_stable_and_classed():
+    fp = cone_fingerprint(FORMAL_TINY, "bmc")
+    assert fp == cone_fingerprint(FORMAL_TINY, "bmc")
+    assert fp.startswith("coi:")
+    # k-induction encodes the same invariant roots: same cone.
+    assert cone_fingerprint(FORMAL_TINY, "k-induction") == fp
+    # Relational methods read essentially all state.
+    assert cone_fingerprint(FORMAL_TINY, "alg1").startswith("full:")
+    assert cone_fingerprint(FORMAL_TINY, "ift-baseline").startswith("full:")
+
+
+def test_out_of_cone_edit_keeps_every_fingerprint():
+    # rom_words never reaches the formal (CPU-cut) netlist, so even the
+    # whole-design cone class survives the edit — while the variant_id
+    # (the primary cache address) moves.
+    edited = FORMAL_TINY.replace(rom_words=FORMAL_TINY.rom_words * 2)
+    assert edited.variant_id() != FORMAL_TINY.variant_id()
+    for method in ("bmc", "alg1", "ift-baseline"):
+        assert cone_fingerprint(edited, method) == \
+            cone_fingerprint(FORMAL_TINY, method)
+
+
+def test_in_cone_edit_moves_the_fingerprint():
+    base = cone_fingerprint(FORMAL_TINY, "bmc")
+    for edits in ({"priv_mem_latency": 1}, {"include_timer": False},
+                  {"secure": True}):
+        assert cone_fingerprint(FORMAL_TINY.replace(**edits), "bmc") != base
+
+
+def test_threat_override_forces_the_full_class():
+    # An override rewrites the assumption set after the build and can
+    # widen what the obligation reads: COI methods conservatively fall
+    # back to the whole-design fingerprint.
+    fp = cone_fingerprint(FORMAL_TINY, "bmc", {"invariants": False})
+    assert fp.startswith("full:")
+    assert fp != cone_fingerprint(FORMAL_TINY, "bmc")
+
+
+def test_job_cone_key_keeps_hints_and_crosses_designs():
+    bmc = [j for j in smoke_spec().expand() if j.algorithm == "bmc"]
+    edited = [j for j in edit_variants(smoke_spec(),
+                                       {"rom_words": 64}).expand()
+              if j.algorithm == "bmc"]
+    (job,), (twin,) = bmc, edited
+    # Same obligation, out-of-cone edit: one alias address.
+    assert job_cone_key(job) == job_cone_key(twin)
+    # Hints are part of the verdict's identity, so they key the alias.
+    assert job_cone_key(job) != job_cone_key(job, hints=[{"removed": ["x"]}])
+
+
+# -- design diffing -----------------------------------------------------------
+
+
+def test_diff_identity_and_out_of_cone_edits_are_empty():
+    assert diff_designs(FORMAL_TINY, FORMAL_TINY).empty
+    assert diff_designs(FORMAL_TINY,
+                        FORMAL_TINY.replace(rom_words=64)).empty
+
+
+def test_diff_reports_removed_and_rippled_registers():
+    diff = diff_designs(FORMAL_TINY,
+                        FORMAL_TINY.replace(include_timer=False))
+    assert any(n.startswith("soc.timer.") for n in diff.removed_regs)
+    # Dropping a crossbar port rewires the surviving initiators too —
+    # the diff reports the ripple, not just the deleted block.
+    assert any(n.startswith("soc.dma.") for n in diff.changed_regs)
+    assert diff.touched() >= set(diff.removed_regs) | set(diff.changed_regs)
+    assert not diff.empty
+
+
+def test_diff_direction_mirrors_added_and_removed():
+    a, b = FORMAL_TINY, FORMAL_TINY.replace(include_timer=False)
+    ab, ba = diff_designs(a, b), diff_designs(b, a)
+    assert ab.added_regs == ba.removed_regs
+    assert ab.removed_regs == ba.added_regs
+    assert ab.changed_regs == ba.changed_regs
+
+
+def _strash_toy(flavor: str = "a") -> ThreatModel:
+    c = Circuit("delta-strash")
+    v_valid = c.add_input("v_valid", 1)
+    c.add_input("v_addr", ADDR_W)
+    c.add_input("v_we", 1)
+    c.add_input("v_wdata", 4)
+    c.add_input("victim_page", ADDR_W - PAGE_BITS)
+    x = c.add_input("x", 4)
+    y = c.add_input("y", 4)
+    ip = c.scope("soc").child("ip")
+    same = ip.reg("same", 4, kind="ip")
+    differs = ip.reg("differs", 4, kind="ip")
+    # Commuted operands: a different RTL spelling of the same function.
+    c.set_next(same, (x & y) if flavor == "a" else (y & x))
+    c.set_next(differs, (x | y) if flavor == "a" else (x & y))
+    del v_valid
+    return ThreatModel(
+        circuit=c,
+        victim_port=VictimPort("v_valid", "v_addr", "v_we", "v_wdata"),
+        victim_page="victim_page",
+        page_bits=PAGE_BITS,
+    )
+
+
+register_builder("delta-strash", _strash_toy)
+
+
+def test_strash_clears_respelled_logic_but_keeps_real_changes():
+    diff = diff_designs(
+        {"kind": "builder", "ref": "delta-strash", "args": {"flavor": "a"}},
+        {"kind": "builder", "ref": "delta-strash", "args": {"flavor": "b"}},
+    )
+    assert [n for n in diff.strash_cleared if n.endswith(".same")]
+    assert [n for n in diff.changed_regs if n.endswith(".differs")]
+    assert not any(n.endswith(".same") for n in diff.touched())
+
+
+# -- delta campaign planning --------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def smoke_baseline(tmp_path_factory):
+    """One cached smoke campaign: (campaign, cache, report artifact)."""
+    cache = VerdictCache(str(tmp_path_factory.mktemp("delta-cache")))
+    camp = run_campaign(smoke_spec(), cache=cache)
+    artifact = {
+        "spec": smoke_spec().to_dict(),
+        "summary": campaign_summary(camp.results),
+        "campaign": camp.to_dict(),
+    }
+    return camp, cache, artifact
+
+
+def test_plan_serves_every_out_of_cone_obligation(smoke_baseline):
+    camp, _, artifact = smoke_baseline
+    spec = edit_variants(smoke_spec(), {"rom_words": 64})
+    plan = plan_delta_campaign(spec, artifact)
+    assert plan.cone_hits == len(plan.jobs) == 3
+    assert plan.rerun == []
+    assert all(r.provenance.get("delta") == "cone-hit"
+               for r in plan.serve.values())
+    assert all(j.cone_key for j in plan.jobs)
+    assert plan.diffs["baseline"].empty
+    # Served through the ordinary runner: bit-identical verdicts.
+    served = run_campaign(plan.jobs, preset=plan.serve)
+    assert [r.verdict for r in served.results] == \
+        [r.verdict for r in camp.results]
+    summary = plan.summary()
+    assert summary["cone_hits"] == 3 and summary["rerun"] == 0
+
+
+def test_plan_reruns_everything_an_edit_can_reach(smoke_baseline):
+    _, _, artifact = smoke_baseline
+    # Dropping the timer rewires the crossbar: every smoke obligation's
+    # cone intersects the diff, so nothing may be served.
+    spec = edit_variants(smoke_spec(), {"include_timer": False})
+    plan = plan_delta_campaign(spec, artifact)
+    assert plan.cone_hits == 0
+    assert sorted(plan.rerun) == [j.index for j in plan.jobs]
+    assert all("cone" in r for r in plan.reasons.values())
+    assert plan.diffs["baseline"].touched()
+
+
+def test_plan_accepts_a_bare_campaign_dict(smoke_baseline):
+    camp, _, _ = smoke_baseline
+    spec = edit_variants(smoke_spec(), {"rom_words": 64})
+    plan = plan_delta_campaign(spec, camp.to_dict())
+    assert plan.cone_hits == 3
+
+
+def test_plan_flags_new_obligations(smoke_baseline):
+    _, _, artifact = smoke_baseline
+    spec = edit_variants(smoke_spec(), {"rom_words": 64})
+    spec.algorithms.append({"algorithm": "bmc", "depths": [4]})
+    plan = plan_delta_campaign(spec, artifact)
+    assert plan.cone_hits == 3
+    new = [i for i, r in plan.reasons.items() if r == "new obligation"]
+    assert len(new) == 1
+    assert plan.jobs[new[0]].depth == 4
+
+
+# -- the soundness audit ------------------------------------------------------
+
+
+def test_audit_sample_is_deterministic(smoke_baseline):
+    _, _, artifact = smoke_baseline
+    plan = plan_delta_campaign(
+        edit_variants(smoke_spec(), {"rom_words": 64}), artifact)
+    assert audit_sample(plan, 1.0) == sorted(plan.serve)
+    assert len(audit_sample(plan, 0.01)) == 1  # at least one when any
+    assert audit_sample(plan, 0.5) == audit_sample(plan, 0.5)
+    assert audit_sample(DeltaPlan(), 1.0) == []
+
+
+def test_audit_replays_served_hits_bit_identically(smoke_baseline):
+    _, _, artifact = smoke_baseline
+    plan = plan_delta_campaign(
+        edit_variants(smoke_spec(), {"rom_words": 64}), artifact)
+    audit = audit_cone_hits(plan, fraction=1.0)
+    assert audit == {"sampled": 3, "mismatches": 0,
+                     "indices": sorted(plan.serve)}
+
+
+def test_audit_raises_on_a_corrupted_serve(smoke_baseline):
+    _, _, artifact = smoke_baseline
+    plan = plan_delta_campaign(
+        edit_variants(smoke_spec(), {"rom_words": 64}), artifact)
+    for result in plan.serve.values():
+        result.verdict = "error" if result.verdict != "error" else "secure"
+    with pytest.raises(DeltaAuditError, match="audit mismatch"):
+        audit_cone_hits(plan, fraction=1.0)
+
+
+# -- the cache cone-alias tier ------------------------------------------------
+
+
+def test_cache_cone_alias_survives_restart(tmp_path):
+    cache = VerdictCache(str(tmp_path))
+    cache.put("primary-key", {"verdict": "SECURE"}, cone_key="cone-abc")
+    assert cache.get_cone("cone-abc") == {"verdict": "SECURE"}
+    fresh = VerdictCache(str(tmp_path))  # memory gone, disk pointer stays
+    assert fresh.get_cone("cone-abc") == {"verdict": "SECURE"}
+    status = fresh.status()
+    assert status["cone_hits"] == 1 and status["cone_aliases"] >= 1
+
+
+def test_cache_stale_cone_alias_is_a_miss_not_a_crash(tmp_path):
+    cache = VerdictCache(str(tmp_path))
+    cache.put("primary-key", {"verdict": "SECURE"}, cone_key="cone-abc")
+    # Delete every primary shard, keep the alias pointers.
+    for shard in tmp_path.iterdir():
+        if shard.is_dir() and shard.name != "cone":
+            for f in shard.glob("*.json"):
+                f.unlink()
+    fresh = VerdictCache(str(tmp_path))
+    assert fresh.get_cone("cone-abc") is None
+
+
+def test_runner_aliases_transparently_and_serves_edits(smoke_baseline):
+    camp, cache, _ = smoke_baseline
+    # The baseline run aliased every executed obligation by cone.
+    assert cache.status()["cone_aliases"] >= 3
+    # A plain re-run of the edited grid — no planner, no baseline
+    # report — answers from the cone tier.
+    edited = run_campaign(edit_variants(smoke_spec(), {"rom_words": 64}),
+                          cache=cache)
+    assert all(r.provenance.get("delta") == "cone-hit"
+               for r in edited.results)
+    assert [r.verdict for r in edited.results] == \
+        [r.verdict for r in camp.results]
+
+
+# -- fabric: cone-hits answered at submit -------------------------------------
+
+
+def _fabric_soc_job(rom_words: int | None = None):
+    spec = CampaignSpec(
+        name="delta-fabric",
+        base="FORMAL_TINY",
+        variants={"v": {} if rom_words is None
+                  else {"rom_words": rom_words}},
+        algorithms=[{"algorithm": "bmc", "depths": [2]}],
+        hints="off",
+    )
+    [job] = spec.expand()
+    return dataclasses.replace(
+        job, cone_key=cone_fingerprint(job.design, job.algorithm))
+
+
+def test_fabric_serves_cone_hits_without_a_worker_round_trip():
+    baseline, edited = _fabric_soc_job(), _fabric_soc_job(rom_words=64)
+    assert baseline.cone_key == edited.cone_key
+    with fabric_up(workers=1) as fabric:
+        client = _client(fabric.address)
+        client.settimeout(60)
+        _submit(client, baseline, tag=1)
+        first = recv_frame(client)
+        assert first["op"] == "result"
+        assert first["source"] != "delta"
+        _submit(client, edited, tag=2)
+        second = recv_frame(client)
+        assert second["op"] == "result"
+        assert second["source"] == "delta"
+        assert second["worker"] is None
+        assert second["result"] == first["result"]  # served verbatim
+        status = fetch_status(fabric.address)["coordinator"]
+        assert status["cache"]["delta_hits_served"] == 1
+        assert status["cache"]["cone_aliases"] >= 1
+        client.close()
+
+
+# -- properties (hypothesis) --------------------------------------------------
+
+
+_EXPR_SPEC = st.recursive(
+    st.one_of(
+        st.tuples(st.just("in"), st.sampled_from(["x", "y", "z"])),
+        st.tuples(st.just("const"), st.integers(0, 15)),
+    ),
+    lambda children: st.tuples(
+        st.sampled_from(["and", "or", "xor", "add"]), children, children),
+    max_leaves=8,
+)
+
+
+def _build_expr(spec, inputs):
+    kind = spec[0]
+    if kind == "in":
+        return inputs[spec[1]]
+    if kind == "const":
+        return const(spec[1], 4)
+    op, left, right = spec
+    a, b = _build_expr(left, inputs), _build_expr(right, inputs)
+    return {"and": a & b, "or": a | b,
+            "xor": a ^ b, "add": a + b}[op]
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=_EXPR_SPEC, skew=st.integers(0, 5))
+def test_expr_digest_ignores_node_renumbering(spec, skew):
+    """Two builds of the same logic get different uids (the process
+    counter advances, here skewed further between builds) but must
+    digest identically — the canonicalization cone keys rest on."""
+    first = _build_expr(spec, {n: Input(n, 4) for n in "xyz"})
+    for i in range(skew):  # burn uids so the second build is renumbered
+        Input(f"burn{i}", 4)
+    second = _build_expr(spec, {n: Input(n, 4) for n in "xyz"})
+    assert expr_digest(first) == expr_digest(second)
+
+
+_SOC_EDITS = st.fixed_dictionaries(
+    {},
+    optional={
+        "rom_words": st.sampled_from([16, 64]),
+        "include_timer": st.booleans(),
+        "include_hwpe": st.booleans(),
+        "priv_mem_latency": st.sampled_from([1, 2]),
+    },
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(a=_SOC_EDITS, b=_SOC_EDITS)
+def test_design_diff_properties(a, b):
+    cfg_a, cfg_b = FORMAL_TINY.replace(**a), FORMAL_TINY.replace(**b)
+    assert diff_designs(cfg_a, cfg_a).empty
+    ab, ba = diff_designs(cfg_a, cfg_b), diff_designs(cfg_b, cfg_a)
+    assert ab.added_regs == ba.removed_regs
+    assert ab.removed_regs == ba.added_regs
+    assert ab.changed_regs == ba.changed_regs
+    if cfg_a.variant_id() == cfg_b.variant_id():
+        assert ab.empty
+
+
+@settings(max_examples=8, deadline=None)
+@given(base=st.fixed_dictionaries(
+    {}, optional={"include_timer": st.booleans(),
+                  "include_hwpe": st.booleans()}),
+    rom=st.sampled_from([16, 32, 64]))
+def test_rom_words_is_out_of_cone_from_any_base(base, rom):
+    cfg = FORMAL_TINY.replace(**base)
+    edited = cfg.replace(rom_words=rom)
+    for method in ("bmc", "alg1"):
+        assert cone_fingerprint(edited, method) == \
+            cone_fingerprint(cfg, method)
+    assert diff_designs(cfg, edited).empty
+
+
+@settings(max_examples=6, deadline=None)
+@given(base=st.fixed_dictionaries(
+    {}, optional={"include_timer": st.booleans()}))
+def test_private_memory_latency_is_in_cone_from_any_base(base):
+    a = FORMAL_TINY.replace(**base, priv_mem_latency=1)
+    b = FORMAL_TINY.replace(**base, priv_mem_latency=2)
+    assert cone_fingerprint(a, "bmc") != cone_fingerprint(b, "bmc")
+
+
+@settings(max_examples=6, deadline=None)
+@given(rom=st.sampled_from([16, 32, 64]),
+       timer=st.booleans())
+def test_diff_round_trips_through_json(rom, timer):
+    diff = diff_designs(
+        FORMAL_TINY,
+        FORMAL_TINY.replace(rom_words=rom, include_timer=timer))
+    data = json.loads(json.dumps(diff.to_dict()))
+    assert tuple(data["added_regs"]) == diff.added_regs
+    assert tuple(data["removed_regs"]) == diff.removed_regs
+    assert tuple(data["changed_regs"]) == diff.changed_regs
+    assert tuple(data["changed_inputs"]) == diff.changed_inputs
+    assert tuple(data["strash_cleared"]) == diff.strash_cleared

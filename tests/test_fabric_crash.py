@@ -655,3 +655,109 @@ def test_cache_quarantines_non_object_payload(tmp_path):
     assert cache.get(key) is None
     assert cache.quarantined == 1
     assert entry.with_name(entry.name + ".bad").exists()
+
+
+# -- recovery of retry affinity and deadline clocks ---------------------------
+
+
+def test_failed_on_names_survive_coordinator_restart(tmp_path):
+    """Satellite contract: the journal carries worker *names* on every
+    requeue, so post-restart retries keep avoiding workers that already
+    failed the job (ids restart per incarnation; names don't)."""
+    first = Coordinator(port=0, lease_seconds=30.0, quiet=True,
+                        state_dir=str(tmp_path))
+    host, port = first.bind()
+    address = f"{host}:{port}"
+    thread = threading.Thread(target=first.serve, daemon=True)
+    thread.start()
+    doomed, _ = _register_fake_worker(address, "doomed")
+    client = _client(address)
+    _submit(client, one_toy_job(), tag=1)
+    doomed.settimeout(30)
+    frame = recv_frame(doomed)
+    assert frame["op"] == "job"
+    doomed.close()  # dies mid-job: requeue journals the name
+    deadline = time.monotonic() + 15
+    while fetch_status(address)["coordinator"]["queue_depth"] < 1:
+        assert time.monotonic() < deadline, "death never requeued the job"
+        time.sleep(0.05)
+    first.crash()
+    thread.join(timeout=15)
+    client.close()
+
+    second = Coordinator(host=host, port=port, lease_seconds=30.0,
+                         quiet=True, state_dir=str(tmp_path))
+    try:
+        [entry] = second.queue.entries.values()
+        assert entry.failed_on == {"doomed"}
+        assert entry.attempts >= 1
+        # Placement honours the recovered history: the re-registered
+        # "doomed" (fresh id, same name) is avoided while anyone else
+        # is around; the fresh worker gets the job.
+        now = time.monotonic()
+        flaky = second.leases.register("doomed", "addr:1", now)
+        fresh = second.leases.register("fresh", "addr:2", now)
+        second.queue.add_worker(flaky.worker_id)
+        second.queue.add_worker(fresh.worker_id)
+        assert second.queue.next_for(flaky) is None
+        got = second.queue.next_for(fresh)
+        assert got is not None and got[0] is entry
+    finally:
+        second.journal.close()
+
+
+def test_legacy_requeue_records_without_names_still_replay(tmp_path):
+    journal = Journal(tmp_path, fsync=False, log=lambda *_: None)
+    journal.append({"t": "submit", "key": "k1", "job": {"variant": "v"},
+                    "hints": [], "variant": "v", "cacheable": True})
+    journal.append({"t": "assign", "key": "k1", "worker": 7})
+    journal.append({"t": "requeue", "key": "k1", "worker": 7})
+    journal.close()
+    coordinator = Coordinator(port=0, lease_seconds=5.0, quiet=True,
+                              state_dir=str(tmp_path))
+    try:
+        entry = coordinator.queue.entries["k1"]
+        # A PR-9 journal knew only incarnation-scoped ids — useless for
+        # affinity after a restart, so they are dropped, not mistaken
+        # for names.
+        assert entry.failed_on == set()
+    finally:
+        coordinator.journal.close()
+
+
+def test_recovery_anchors_deadline_clock_to_first_submit(tmp_path):
+    """Satellite contract: deadline_s measures from the *first* submit
+    across restarts — the journalled wall-clock anchor backdates the
+    recovered clock instead of resetting it."""
+    journal = Journal(tmp_path, fsync=False, log=lambda *_: None)
+    journal.append({"t": "submit", "key": "anchored",
+                    "job": {"variant": "v", "deadline_s": 100.0},
+                    "hints": [], "variant": "v", "cacheable": True,
+                    "wall": time.time() - 40.0})
+    journal.append({"t": "submit", "key": "legacy",
+                    "job": {"variant": "v", "deadline_s": 100.0},
+                    "hints": [], "variant": "v", "cacheable": True})
+    journal.append({"t": "submit", "key": "expired",
+                    "job": {"variant": "v", "deadline_s": 5.0},
+                    "hints": [], "variant": "v", "cacheable": True,
+                    "wall": time.time() - 60.0})
+    journal.close()
+    coordinator = Coordinator(port=0, lease_seconds=5.0, quiet=True,
+                              state_dir=str(tmp_path))
+    try:
+        now = time.monotonic()
+        anchored = coordinator.queue.entries["anchored"]
+        legacy = coordinator.queue.entries["legacy"]
+        expired = coordinator.queue.entries["expired"]
+        # 40 of the 100 budget seconds elapsed before the crash: ~60
+        # remain — not a fresh 100.
+        assert anchored.submitted_wall is not None
+        assert 50.0 < anchored.deadline_at - now < 70.0
+        # Pre-anchor journals keep the old restart-the-clock behaviour.
+        assert legacy.submitted_wall is None
+        assert 90.0 < legacy.deadline_at - now < 110.0
+        # A job whose budget ran out while the coordinator was down is
+        # already past its deadline at recovery.
+        assert expired in coordinator.queue.past_deadline(now)
+    finally:
+        coordinator.journal.close()
